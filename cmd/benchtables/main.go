@@ -1,0 +1,181 @@
+// Command benchtables regenerates the reproduction's performance
+// comparison: every classical problem timed under all three concurrency
+// models, plus model microbenchmarks (spawn, communication, and
+// synchronization primitives). This is the quantitative side of the
+// course's goal that students "investigate the efficiency of these
+// implementations".
+//
+// Usage:
+//
+//	benchtables [-reps N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/metrics"
+	_ "repro/internal/problems/registry"
+	"repro/internal/threads"
+)
+
+func main() {
+	reps := flag.Int("reps", 3, "repetitions per cell (median reported)")
+	quick := flag.Bool("quick", false, "smaller workloads")
+	flag.Parse()
+
+	scale := 1
+	if *quick {
+		scale = 4
+	}
+
+	problemTable(*reps, scale)
+	fmt.Println()
+	microTable(*reps, scale)
+}
+
+// timeMedian runs fn reps times and returns the median duration.
+func timeMedian(reps int, fn func() error) (time.Duration, error) {
+	durs := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		durs = append(durs, float64(time.Since(start)))
+	}
+	med, err := metrics.Median(durs)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(med), nil
+}
+
+func problemTable(reps, scale int) {
+	t := metrics.NewTable("CROSS-MODEL PERFORMANCE: classical problems (median wall time)",
+		"Problem", "threads", "actors", "coroutines", "fastest")
+	params := map[string]core.Params{
+		"boundedbuffer":      {"producers": 4, "consumers": 4, "items": 2000 / scale, "capacity": 16},
+		"diningphilosophers": {"philosophers": 5, "meals": 400 / scale},
+		"readerswriters":     {"readers": 6, "writers": 2, "ops": 1000 / scale},
+		"sleepingbarber":     {"barbers": 2, "chairs": 4, "customers": 2000 / scale},
+		"partymatching":      {"pairs": 1000 / scale},
+		"singlelanebridge":   {"red": 3, "blue": 3, "crossings": 200 / scale},
+		"bookinventory":      {"titles": 10, "clients": 6, "ops": 1000 / scale, "initial": 20},
+		"sumworkers":         {"workers": 8, "n": 400000 / scale},
+		"threadpool":         {"workers": 4, "tasks": 4000 / scale, "queue": 16},
+	}
+	for _, name := range core.Default.Names() {
+		spec, _ := core.Default.Get(name)
+		row := []string{name}
+		best := core.Threads
+		var bestDur time.Duration
+		for _, m := range core.AllModels {
+			d, err := timeMedian(reps, func() error {
+				_, err := spec.Run(m, params[name], 1)
+				return err
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %s/%s: %v\n", name, m, err)
+				os.Exit(1)
+			}
+			row = append(row, d.Round(time.Microsecond).String())
+			if bestDur == 0 || d < bestDur {
+				bestDur, best = d, m
+			}
+		}
+		row = append(row, best.String())
+		t.AddRow(row...)
+	}
+	fmt.Print(t)
+}
+
+func microTable(reps, scale int) {
+	t := metrics.NewTable("MODEL MICROBENCHMARKS (median, lower is better)",
+		"Operation", "cost")
+	n := 100000 / scale
+
+	add := func(name string, per int, fn func() error) {
+		d, err := timeMedian(reps, fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.AddRow(name, fmt.Sprintf("%.0f ns/op", float64(d.Nanoseconds())/float64(per)))
+	}
+
+	add("goroutine spawn+join (threads substrate)", n, func() error {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go wg.Done()
+		}
+		wg.Wait()
+		return nil
+	})
+	add("actor spawn+stop", n/10, func() error {
+		sys := actors.NewSystem(actors.Config{})
+		for i := 0; i < n/10; i++ {
+			ref := sys.MustSpawn("a", func(ctx *actors.Context, msg any) {})
+			_ = ref
+		}
+		sys.Shutdown()
+		return nil
+	})
+	add("coroutine create+drain", n/10, func() error {
+		for i := 0; i < n/10; i++ {
+			co := coro.New(func(y *coro.Yielder, in any) any { return in })
+			if _, _, err := co.Resume(nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	add("monitor enter/exit", n, func() error {
+		var m threads.Monitor
+		for i := 0; i < n; i++ {
+			m.Enter()
+			m.Exit()
+		}
+		return nil
+	})
+	add("actor message round trip", n/10, func() error {
+		sys := actors.NewSystem(actors.Config{})
+		defer sys.Shutdown()
+		done := make(chan struct{})
+		count := 0
+		var echo *actors.Ref
+		pinger := sys.MustSpawn("pinger", func(ctx *actors.Context, msg any) {
+			count++
+			if count >= n/10 {
+				close(done)
+				return
+			}
+			ctx.Send(echo, struct{}{})
+		})
+		echo = sys.MustSpawn("echo", func(ctx *actors.Context, msg any) { ctx.Reply(msg) })
+		pinger.Tell(struct{}{})
+		<-done
+		return nil
+	})
+	add("coroutine yield/resume round trip", n, func() error {
+		co := coro.New(func(y *coro.Yielder, in any) any {
+			for {
+				y.Yield(nil)
+			}
+		})
+		for i := 0; i < n; i++ {
+			if _, _, err := co.Resume(nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	fmt.Print(t)
+}

@@ -1,0 +1,113 @@
+// Command pcexplore enumerates the complete execution space of a
+// concurrency-pseudocode program at atomic-statement granularity: all
+// possible outputs (the "possibility 1 / possibility 2" sets of the paper's
+// Figures 3 and 5), plus any deadlocked configurations.
+//
+// Usage:
+//
+//	pcexplore [-max-states N] [-sync-send] [-fifo] [-coarse-lock] file.pc
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pseudocode"
+)
+
+func main() {
+	maxStates := flag.Int("max-states", 0, "state bound (0 = default)")
+	syncSend := flag.Bool("sync-send", false, "misconception semantics [C1]M3: sends block until received")
+	fifo := flag.Bool("fifo", false, "misconception semantics [I2]M5: FIFO mailboxes")
+	coarse := flag.Bool("coarse-lock", false, "misconception semantics [I1]S7: lock held across whole functions")
+	waitKeeps := flag.Bool("wait-keeps-lock", false, "misconception semantics: WAIT() does not release the access")
+	notifyOne := flag.Bool("notify-one", false, "ablation: NOTIFY wakes one waiter instead of all")
+	livelock := flag.Bool("livelock", false, "also check liveness (tracks the state graph; costs memory)")
+	witness := flag.Bool("witness", false, "on deadlock, print a concrete schedule that reproduces it")
+	jsonOut := flag.Bool("json", false, "emit the raw exploration result as JSON")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcexplore [flags] file.pc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcexplore:", err)
+		os.Exit(1)
+	}
+	sem := pseudocode.Semantics{
+		SendSynchronous: *syncSend,
+		FIFOMailboxes:   *fifo,
+		CoarseLock:      *coarse,
+		WaitKeepsLock:   *waitKeeps,
+		NotifyWakesOne:  *notifyOne,
+	}
+	prog, err := pseudocode.CompileSource(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcexplore:", err)
+		os.Exit(1)
+	}
+	res, err := pseudocode.Explore(prog, pseudocode.ExploreOpts{
+		MaxStates:    *maxStates,
+		TrackGraph:   *livelock,
+		TrackWitness: *witness,
+		Sem:          sem,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcexplore:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "pcexplore:", err)
+			os.Exit(1)
+		}
+		if res.Deadlocks > 0 {
+			os.Exit(3)
+		}
+		return
+	}
+	fmt.Printf("states visited: %d\n", res.StatesVisited)
+	if res.Truncated {
+		fmt.Println("WARNING: exploration truncated; results are a lower bound")
+	}
+	fmt.Printf("distinct outputs (%d):\n", len(res.Outputs))
+	for i, o := range res.Outputs {
+		fmt.Printf("  possibility %d: %q\n", i+1, o)
+	}
+	if res.Deadlocks > 0 {
+		fmt.Printf("DEADLOCKS: %d distinct deadlocked states\n", res.Deadlocks)
+		for _, term := range res.Terminals {
+			if term.Kind == pseudocode.Deadlocked {
+				fmt.Printf("  blocked: %v after output %q\n", term.Blocked, term.Output)
+			}
+		}
+		if *witness && len(res.DeadlockWitness) > 0 {
+			fmt.Println("witness schedule (replayed):")
+			events, _, err := pseudocode.ReplayWitness(prog, sem, res.DeadlockWitness)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcexplore: replay failed:", err)
+				os.Exit(1)
+			}
+			for _, ev := range events {
+				fmt.Printf("  [%s] %s line %d %s\n", ev.TaskName, ev.Op, ev.Line, ev.Detail)
+			}
+		}
+		os.Exit(3)
+	}
+	fmt.Println("no deadlocks")
+	if *livelock {
+		if res.LivelockFree {
+			fmt.Println("livelock-free: every state can reach a terminal")
+		} else {
+			fmt.Printf("LIVELOCK: %d states cannot reach any terminal\n", res.DivergentStates)
+			os.Exit(4)
+		}
+	}
+}

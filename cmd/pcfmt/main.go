@@ -1,0 +1,49 @@
+// Command pcfmt formats concurrency-pseudocode source to the canonical
+// style (gofmt for .pc files).
+//
+// Usage:
+//
+//	pcfmt file.pc            # print formatted source to stdout
+//	pcfmt -w file.pc ...     # rewrite files in place
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pseudocode"
+)
+
+func main() {
+	write := flag.Bool("w", false, "write result back to the source file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pcfmt [-w] file.pc ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcfmt:", err)
+			exit = 1
+			continue
+		}
+		out, err := pseudocode.FormatSource(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcfmt:", err)
+			exit = 1
+			continue
+		}
+		if *write {
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "pcfmt:", err)
+				exit = 1
+			}
+		} else {
+			fmt.Print(out)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,74 @@
+// Command pcrun executes a concurrency-pseudocode program (the paper's
+// Figures 1-5 notation) once, under a seeded random scheduler.
+//
+// Usage:
+//
+//	pcrun [-seed N] [-trace] [-max-steps N] [-sync-send] [-fifo] [-coarse-lock] file.pc
+//
+// Different seeds explore different interleavings; use pcexplore to
+// enumerate all of them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pseudocode"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "scheduler seed (same seed, same interleaving)")
+	traceFlag := flag.Bool("trace", false, "print every atomic step")
+	diagram := flag.Bool("diagram", false, "print a Mermaid sequence diagram of the run")
+	maxSteps := flag.Int("max-steps", 0, "step bound (0 = default)")
+	syncSend := flag.Bool("sync-send", false, "misconception semantics [C1]M3: sends block until received")
+	fifo := flag.Bool("fifo", false, "misconception semantics [I2]M5: FIFO mailboxes")
+	coarse := flag.Bool("coarse-lock", false, "misconception semantics [I1]S7: lock held across whole functions")
+	waitKeeps := flag.Bool("wait-keeps-lock", false, "misconception semantics: WAIT() does not release the access")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcrun [flags] file.pc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcrun:", err)
+		os.Exit(1)
+	}
+	opts := pseudocode.RunOpts{
+		Seed:     *seed,
+		MaxSteps: *maxSteps,
+		Sem: pseudocode.Semantics{
+			SendSynchronous: *syncSend,
+			FIFOMailboxes:   *fifo,
+			CoarseLock:      *coarse,
+			WaitKeepsLock:   *waitKeeps,
+		},
+	}
+	var events []pseudocode.StepEvent
+	if *traceFlag || *diagram {
+		opts.Trace = func(ev pseudocode.StepEvent) {
+			if *traceFlag {
+				fmt.Fprintf(os.Stderr, "[%s] %s line %d %s\n", ev.TaskName, ev.Op, ev.Line, ev.Detail)
+			}
+			events = append(events, ev)
+		}
+	}
+	res, err := pseudocode.RunSource(string(src), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcrun:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Output)
+	if *diagram {
+		fmt.Println(pseudocode.TraceDiagram(events))
+	}
+	fmt.Fprintf(os.Stderr, "-- %s after %d steps\n", res.Kind, res.Steps)
+	if len(res.Blocked) > 0 {
+		fmt.Fprintf(os.Stderr, "-- blocked tasks: %v\n", res.Blocked)
+		os.Exit(3)
+	}
+}

@@ -1,0 +1,120 @@
+// Command problems runs any of the course's classical concurrency problems
+// under any of the three models, validating the run's invariants.
+//
+// Usage:
+//
+//	problems -list
+//	problems -problem diningphilosophers -model actors [-seed N] [-param k=v ...]
+//	problems -all [-seed N]        # run the full 9x3 matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	_ "repro/internal/problems/registry"
+)
+
+type paramFlags core.Params
+
+func (p paramFlags) String() string { return fmt.Sprint(core.Params(p)) }
+
+func (p paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("value of %s: %w", k, err)
+	}
+	p[k] = n
+	return nil
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the available problems")
+	all := flag.Bool("all", false, "run every problem under every model")
+	problem := flag.String("problem", "", "problem name")
+	model := flag.String("model", "threads", "threads | actors | coroutines")
+	seed := flag.Int64("seed", 1, "workload seed")
+	params := paramFlags{}
+	flag.Var(params, "param", "override a problem parameter, e.g. -param items=1000 (repeatable)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range core.Default.Names() {
+			spec, _ := core.Default.Get(name)
+			fmt.Printf("%-20s %s (defaults: %s)\n", name, spec.Description, fmtParams(spec.Defaults))
+		}
+	case *all:
+		failed := 0
+		for _, name := range core.Default.Names() {
+			spec, _ := core.Default.Get(name)
+			for _, m := range core.AllModels {
+				metrics, err := spec.Run(m, core.Params(params), *seed)
+				if err != nil {
+					fmt.Printf("%-20s %-11s FAIL: %v\n", name, m, err)
+					failed++
+					continue
+				}
+				fmt.Printf("%-20s %-11s ok  %s\n", name, m, fmtMetrics(metrics))
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	case *problem != "":
+		spec, err := core.Default.Get(*problem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "problems:", err)
+			os.Exit(2)
+		}
+		m, err := core.ParseModel(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "problems:", err)
+			os.Exit(2)
+		}
+		metrics, err := spec.Run(m, core.Params(params), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "problems: run failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s under %s: validated\n%s\n", spec.Name, m, fmtMetrics(metrics))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fmtParams(p core.Params) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, p[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtMetrics(m core.Metrics) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

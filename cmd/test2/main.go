@@ -1,0 +1,73 @@
+// Command test2 reproduces the paper's Test 2: "implement the single-lane
+// bridge problem with [all three models] ... this test provides information
+// on the costs and benefits of implementing the same problem in three
+// forms." For every problem (not just the bridge) it reports the
+// ease-of-programming side (lines, branches, synchronization operations,
+// spawns, from the Go AST of this repository's implementations) next to
+// the performance side (median wall time).
+//
+// Usage (from the repository root):
+//
+//	go run ./cmd/test2 [-root .] [-problem singlelanebridge] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/complexity"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	_ "repro/internal/problems/registry"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (contains internal/problems)")
+	only := flag.String("problem", "", "restrict to one problem")
+	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
+	flag.Parse()
+
+	reports, err := complexity.AnalyzeAllProblems(filepath.Join(*root, "internal", "problems"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "test2:", err)
+		os.Exit(1)
+	}
+
+	t := metrics.NewTable("TEST 2 (reproduced): costs and benefits of the same problem in three forms",
+		"Problem", "Model", "Lines", "Branches", "SyncOps", "Spawns", "Median time")
+	for _, rep := range reports {
+		if *only != "" && rep.Problem != *only {
+			continue
+		}
+		spec, err := core.Default.Get(rep.Problem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "test2:", err)
+			os.Exit(1)
+		}
+		for _, m := range core.AllModels {
+			cm := rep.PerModel[m]
+			durs := make([]float64, 0, *reps)
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				if _, err := spec.Run(m, nil, int64(r)); err != nil {
+					fmt.Fprintf(os.Stderr, "test2: %s/%s: %v\n", rep.Problem, m, err)
+					os.Exit(1)
+				}
+				durs = append(durs, float64(time.Since(start)))
+			}
+			med, _ := metrics.Median(durs)
+			t.AddRow(rep.Problem, m.String(),
+				metrics.I(cm.Lines), metrics.I(cm.Branches),
+				metrics.I(cm.SyncCalls), metrics.I(cm.Spawns),
+				time.Duration(med).Round(time.Microsecond).String())
+		}
+	}
+	fmt.Print(t)
+	fmt.Println()
+	fmt.Println("Reading: Lines/Branches/SyncOps/Spawns come from this repository's Go")
+	fmt.Println("implementations (program-text cost, the paper's 'ease of programming');")
+	fmt.Println("Median time is the runtime cost at each problem's default size.")
+}

@@ -1,0 +1,34 @@
+// Bug gallery: the course's bug-study homework made executable. Each
+// classical concurrency defect is a buggy/fixed pseudocode pair; the
+// explorer proves the bug exists (finds a witness interleaving) and that
+// the fix removes it. Run with:
+//
+//	go run ./examples/buggallery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bugs"
+)
+
+func main() {
+	fmt.Println("concurrency bug gallery — every defect proven, every fix verified")
+	fmt.Println()
+	for _, b := range bugs.Gallery() {
+		buggy, fixed, err := b.Check()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bugs.Report(&b, buggy, fixed))
+		fmt.Printf("    %s\n", b.Description)
+		if b.Name == "lost-update" {
+			fmt.Printf("    buggy outcomes: %q  fixed outcomes: %q\n", buggy.Outputs, fixed.Outputs)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Each witness is a reachability fact over the exhaustive execution")
+	fmt.Println("space — not a lucky schedule. Re-run with different seeds changes")
+	fmt.Println("nothing, which is the point.")
+}

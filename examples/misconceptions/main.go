@@ -1,0 +1,95 @@
+// Misconceptions: execute the same program under the *wrong* semantics the
+// paper's students believed (Table III) and watch the answers flip — the
+// mechanism behind the simulated study. Run with:
+//
+//	go run ./examples/misconceptions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pseudocode"
+)
+
+const program = `
+x = 10
+DEFINE changeX(diff)
+    EXC_ACC
+        WHILE x + diff < 0
+            WAIT()
+        ENDWHILE
+        x = x + diff
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+PARA
+    changeX(-11)
+    changeX(1)
+ENDPARA
+PRINTLN x
+`
+
+const msgProgram = `
+CLASS Receiver
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.h(v)
+                PRINT v
+            MESSAGE.w(v)
+                PRINTLN v
+    ENDDEF
+ENDCLASS
+m1 = MESSAGE.h("hello ")
+m2 = MESSAGE.w("world")
+r1 = new Receiver()
+r1.receive()
+Send(m1).To(r1)
+Send(m2).To(r1)
+`
+
+func explore(src string, sem pseudocode.Semantics) *pseudocode.ExploreResult {
+	res, err := pseudocode.ExploreSource(src, pseudocode.ExploreOpts{Sem: sem})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("The paper's Figure 4 program (WAIT/NOTIFY), under four belief systems:")
+	fmt.Println()
+	rows := []struct {
+		name string
+		sem  pseudocode.Semantics
+	}{
+		{"true semantics", pseudocode.Semantics{}},
+		{"[I1]S7 lock spans whole call (CoarseLock)", pseudocode.Semantics{CoarseLock: true}},
+		{"WAIT keeps the lock (WaitKeepsLock)", pseudocode.Semantics{WaitKeepsLock: true}},
+		{"Java-style notify-one (ablation)", pseudocode.Semantics{NotifyWakesOne: true}},
+	}
+	for _, r := range rows {
+		res := explore(program, r.sem)
+		fmt.Printf("  %-44s outputs=%-8q deadlocks=%d\n", r.name, res.Outputs, res.Deadlocks)
+	}
+
+	fmt.Println()
+	fmt.Println("Figure 5 (message passing), true vs [I2]M5 (FIFO) vs [C1]M3 (sync send):")
+	fmt.Println()
+	rows2 := []struct {
+		name string
+		sem  pseudocode.Semantics
+	}{
+		{"true semantics", pseudocode.Semantics{}},
+		{"[I2]M5 messages arrive in send order", pseudocode.Semantics{FIFOMailboxes: true}},
+		{"[C1]M3 sends are synchronous", pseudocode.Semantics{SendSynchronous: true}},
+	}
+	for _, r := range rows2 {
+		res := explore(msgProgram, r.sem)
+		fmt.Printf("  %-44s outputs=%q deadlocks=%d\n", r.name, res.Outputs, res.Deadlocks)
+	}
+	fmt.Println()
+	fmt.Println("A student answering a YES/NO reachability question from inside one of")
+	fmt.Println("these belief systems reproduces exactly the wrong answers of the")
+	fmt.Println("paper's Table III — that is how internal/study simulates the cohort.")
+}

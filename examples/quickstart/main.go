@@ -1,0 +1,106 @@
+// Quickstart: the same tiny job — ten workers incrementing a shared counter
+// 1000 times each — written in the course's three concurrency models:
+// threads (shared memory + monitor), Actors (message passing), and
+// coroutines (cooperative scheduling). Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/actors"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+const (
+	workers = 10
+	incs    = 1000
+)
+
+// threadsVersion guards the counter with a monitor — Java's synchronized
+// in Go clothing.
+func threadsVersion() int {
+	var m threads.Monitor
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				m.Enter()
+				counter++
+				m.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	return counter
+}
+
+// actorsVersion owns the counter inside a single actor; workers send
+// increment messages, so no locking is needed anywhere.
+func actorsVersion() int {
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	type inc struct{}
+	type read struct{ reply chan int }
+
+	counter := 0
+	counterActor := sys.MustSpawn("counter", func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case inc:
+			counter++
+		case read:
+			m.reply <- counter
+		}
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				counterActor.Tell(inc{})
+			}
+		}()
+	}
+	wg.Wait()
+	reply := make(chan int, 1)
+	counterActor.Tell(read{reply: reply})
+	return <-reply
+}
+
+// coroutinesVersion shares the counter between cooperative tasks; because
+// only one task runs at a time and control moves only at Pause points, the
+// bare increment is already atomic.
+func coroutinesVersion() int {
+	s := coro.NewScheduler()
+	counter := 0
+	for w := 0; w < workers; w++ {
+		s.Go(fmt.Sprintf("worker-%d", w), func(tc *coro.TaskCtl) {
+			for i := 0; i < incs; i++ {
+				counter++
+				if i%100 == 0 {
+					tc.Pause()
+				}
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	return counter
+}
+
+func main() {
+	want := workers * incs
+	fmt.Printf("threads    (shared memory): %d (want %d)\n", threadsVersion(), want)
+	fmt.Printf("actors     (message passing): %d (want %d)\n", actorsVersion(), want)
+	fmt.Printf("coroutines (cooperative): %d (want %d)\n", coroutinesVersion(), want)
+}

@@ -1,0 +1,82 @@
+// State machine lab: the course's UML modeling module (Section IV.B).
+// Model the book inventory as a state diagram once, then execute it under
+// BOTH transformations the course teaches: monitor + condition variables
+// (threads) and deferred messages (actors). Run with:
+//
+//	go run ./examples/statemachine
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/statemachine"
+)
+
+func main() {
+	m := statemachine.BookInventoryMachine(3)
+	fmt.Println("the diagram (Graphviz dot):")
+	fmt.Println(m.ToDot())
+
+	// Transformation 1: monitor + condition variables. Sellers block while
+	// out of stock; a restocker wakes them.
+	mm := statemachine.NewMonitorMachine(statemachine.BookInventoryMachine(3))
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := mm.Fire("sell"); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				mm.TryFire("restock")
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	fmt.Printf("monitor executor: state=%s stock=%d sold=%d (15 concurrent sales, blocking on OutOfStock)\n",
+		mm.State(), mm.Get("stock"), mm.Get("sold"))
+
+	// Transformation 2: message passing. Same diagram, deferral protocol.
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+	am, err := statemachine.NewActorMachine(sys, statemachine.BookInventoryMachine(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := am.Send("restock"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var wg2 sync.WaitGroup
+	for s := 0; s < 15; s++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			if _, err := am.Call("sell", 10*time.Second); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg2.Wait()
+	state, vars, steps := am.Snapshot()
+	fmt.Printf("actor executor:   state=%s stock=%d sold=%d (%d steps; disabled sells deferred, not blocked)\n",
+		state, vars["stock"], vars["sold"], len(steps))
+}

@@ -1,0 +1,36 @@
+package actors
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrAskTimeout is returned by Ask when no reply arrives in time.
+var ErrAskTimeout = errors.New("actors: ask timed out")
+
+// Ask sends msg to ref and waits for one reply, bridging the asynchronous
+// actor world to synchronous callers (Scala's `!?` / ask pattern). It spawns
+// a temporary actor to receive the reply.
+func Ask(sys *System, ref *Ref, msg any, timeout time.Duration) (any, error) {
+	replyCh := make(chan any, 1)
+	tmp, err := sys.Spawn("ask-reply", func(ctx *Context, m any) {
+		select {
+		case replyCh <- m:
+		default:
+		}
+		ctx.Stop()
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref.TellFrom(tmp, msg)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-replyCh:
+		return r, nil
+	case <-timer.C:
+		sys.Stop(tmp)
+		return nil, ErrAskTimeout
+	}
+}

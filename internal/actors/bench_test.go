@@ -1,0 +1,132 @@
+package actors
+
+import (
+	"sync"
+	"testing"
+)
+
+func BenchmarkTell(b *testing.B) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	count := 0
+	sink := sys.MustSpawn("sink", func(ctx *Context, msg any) {
+		count++
+		if count == b.N {
+			close(done)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Tell(i)
+	}
+	<-done
+}
+
+func BenchmarkTellParallelSenders(b *testing.B) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	var mu sync.Mutex
+	count := 0
+	done := make(chan struct{})
+	sink := sys.MustSpawn("sink", func(ctx *Context, msg any) {
+		mu.Lock()
+		count++
+		if count == b.N {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sink.Tell(0)
+		}
+	})
+	<-done
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	rounds := 0
+	var pong *Ref
+	ping := sys.MustSpawn("ping", func(ctx *Context, msg any) {
+		rounds++
+		if rounds >= b.N {
+			close(done)
+			return
+		}
+		ctx.Send(pong, nil)
+	})
+	pong = sys.MustSpawn("pong", func(ctx *Context, msg any) { ctx.Reply(nil) })
+	b.ResetTimer()
+	ping.Tell(nil)
+	<-done
+}
+
+func BenchmarkSpawnStop(b *testing.B) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	for i := 0; i < b.N; i++ {
+		ref := sys.MustSpawn("t", func(ctx *Context, msg any) { ctx.Stop() })
+		ref.Tell(nil)
+		sys.Await(ref)
+	}
+}
+
+func BenchmarkMailboxPerturbedDelivery(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		seed int64
+	}{{"fifo", 0}, {"perturbed", 7}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			sys := NewSystem(Config{PerturbSeed: cfg.seed})
+			defer sys.Shutdown()
+			done := make(chan struct{})
+			count := 0
+			sink := sys.MustSpawn("sink", func(ctx *Context, msg any) {
+				count++
+				if count == b.N {
+					close(done)
+				}
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink.Tell(i)
+			}
+			<-done
+		})
+	}
+}
+
+func BenchmarkBecome(b *testing.B) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	count := 0
+	var a, bb Behavior
+	a = func(ctx *Context, msg any) {
+		count++
+		if count == b.N {
+			close(done)
+			return
+		}
+		ctx.Become(bb)
+	}
+	bb = func(ctx *Context, msg any) {
+		count++
+		if count == b.N {
+			close(done)
+			return
+		}
+		ctx.Become(a)
+	}
+	ref := sys.MustSpawn("toggler", a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref.Tell(i)
+	}
+	<-done
+}

@@ -1,0 +1,125 @@
+// Package actors implements the Actor model the course teaches with Scala:
+// actors are computational entities that, in response to a message, can
+// (1) send messages to other actors, (2) create new actors, and
+// (3) designate the behavior for the next message (Become) — Hewitt's three
+// axioms, quoted in the paper. Communication is asynchronous; the runtime
+// can optionally perturb delivery order to exhibit the paper's point that
+// "two messages sent concurrently can arrive in either order".
+package actors
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Envelope carries a message together with its sender (which may be nil for
+// sends from outside the actor system).
+type Envelope struct {
+	Msg    any
+	Sender *Ref
+
+	// traceID pairs this envelope's send and receive events when the
+	// system runs with a trace.Recorder.
+	traceID string
+}
+
+// mailbox is a FIFO queue of envelopes with blocking receive. When perturb
+// is non-nil, dequeue picks a uniformly random pending envelope instead of
+// the head, modeling unordered asynchronous delivery. When cap > 0, put
+// blocks while the queue is full (bounded-mailbox backpressure, the
+// ablation from DESIGN.md §5); control messages bypass the bound.
+//
+// Dequeue is amortized O(1): a head index advances instead of re-slicing,
+// and the backing array is compacted once the dead prefix dominates.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Envelope
+	head    int // queue[head:] are the live entries
+	closed  bool
+	perturb *rand.Rand
+	cap     int
+}
+
+func newMailbox(perturb *rand.Rand, capacity int) *mailbox {
+	m := &mailbox{perturb: perturb, cap: capacity}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// live returns the number of queued envelopes. Caller holds mu.
+func (m *mailbox) live() int { return len(m.queue) - m.head }
+
+// put enqueues an envelope, blocking while a bounded mailbox is full
+// (unless force). It reports false if the mailbox is closed.
+func (m *mailbox) put(e Envelope, force bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.cap > 0 && !force && m.live() >= m.cap && !m.closed {
+		m.cond.Wait()
+	}
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, e)
+	m.cond.Broadcast()
+	return true
+}
+
+// take dequeues the next envelope, blocking until one is available or the
+// mailbox closes. ok is false if the mailbox closed and drained.
+func (m *mailbox) take() (e Envelope, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.live() == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if m.live() == 0 {
+		return Envelope{}, false
+	}
+	idx := m.head
+	if m.perturb != nil && m.live() > 1 {
+		idx = m.head + m.perturb.Intn(m.live())
+	}
+	e = m.queue[idx]
+	if idx != m.head {
+		m.queue[idx] = m.queue[m.head]
+	}
+	m.queue[m.head] = Envelope{} // release references for the GC
+	m.head++
+	// Compact once the dead prefix dominates a non-trivial backlog.
+	if m.head > 64 && m.head*2 >= len(m.queue) {
+		n := copy(m.queue, m.queue[m.head:])
+		for i := n; i < len(m.queue); i++ {
+			m.queue[i] = Envelope{}
+		}
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
+	m.cond.Broadcast() // space opened: wake blocked putters
+	return e, true
+}
+
+// close marks the mailbox closed and wakes blocked takers. Pending messages
+// remain takeable; the returned slice is what was still queued (for
+// deadletter accounting when discard is true).
+func (m *mailbox) close(discard bool) []Envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	var drained []Envelope
+	if discard {
+		drained = append(drained, m.queue[m.head:]...)
+		m.queue = nil
+		m.head = 0
+	}
+	m.cond.Broadcast()
+	return drained
+}
+
+// size returns the number of queued envelopes.
+func (m *mailbox) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live()
+}

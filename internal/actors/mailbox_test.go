@@ -1,0 +1,115 @@
+package actors
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBoundedMailboxBackpressure(t *testing.T) {
+	sys := NewSystem(Config{MailboxCap: 2})
+	defer sys.Shutdown()
+	release := make(chan struct{})
+	var handled atomic.Int32
+	slow := sys.MustSpawn("slow", func(ctx *Context, msg any) {
+		<-release
+		handled.Add(1)
+	})
+	slow.Tell(0) // picked up immediately
+	deadline := time.Now().Add(2 * time.Second)
+	for sys.MailboxSize(slow) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	slow.Tell(1)
+	slow.Tell(2) // mailbox now full (cap 2)
+	blocked := make(chan struct{})
+	go func() {
+		slow.Tell(3) // must block until the actor drains one
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("send into a full bounded mailbox did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	release <- struct{}{} // handle message 0; space opens
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked sender never released")
+	}
+	close(release)
+	deadline = time.Now().Add(2 * time.Second)
+	for handled.Load() != 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if handled.Load() != 4 {
+		t.Fatalf("handled = %d, want 4", handled.Load())
+	}
+}
+
+func TestBoundedMailboxShutdownUnblocksSenders(t *testing.T) {
+	sys := NewSystem(Config{MailboxCap: 1})
+	var dead atomic.Int64
+	sys.cfg.DeadLetter = func(to *Ref, e Envelope) { dead.Add(1) }
+	block := make(chan struct{})
+	busy := sys.MustSpawn("busy", func(ctx *Context, msg any) { <-block })
+	busy.Tell(0)
+	time.Sleep(10 * time.Millisecond)
+	busy.Tell(1) // fills the mailbox
+	sent := make(chan struct{})
+	go func() {
+		busy.Tell(2) // blocks on the full mailbox
+		close(sent)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(block) // let the in-flight message finish so Shutdown proceeds
+	}()
+	sys.Shutdown()
+	select {
+	case <-sent:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender still blocked after shutdown")
+	}
+}
+
+func TestBoundedMailboxPoisonPillBypassesCap(t *testing.T) {
+	sys := NewSystem(Config{MailboxCap: 1})
+	block := make(chan struct{})
+	busy := sys.MustSpawn("busy", func(ctx *Context, msg any) { <-block })
+	busy.Tell(0)
+	time.Sleep(10 * time.Millisecond)
+	busy.Tell(1)   // mailbox full
+	sys.Stop(busy) // control message must not block despite the cap
+	close(block)
+	done := make(chan struct{})
+	go func() { sys.Await(busy); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("poison pill was blocked by the mailbox cap")
+	}
+	sys.Shutdown()
+}
+
+func TestUnboundedDefaultNeverBlocks(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	release := make(chan struct{})
+	slow := sys.MustSpawn("slow", func(ctx *Context, msg any) { <-release })
+	donesend := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			slow.Tell(i)
+		}
+		close(donesend)
+	}()
+	select {
+	case <-donesend:
+	case <-time.After(5 * time.Second):
+		t.Fatal("unbounded sends blocked")
+	}
+	close(release)
+}

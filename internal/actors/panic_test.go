@@ -1,0 +1,77 @@
+package actors
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPanicKillsActorNotProcess(t *testing.T) {
+	var observedRef atomic.Value
+	var observedVal atomic.Value
+	sys := NewSystem(Config{OnPanic: func(ref *Ref, recovered any) {
+		observedRef.Store(ref.String())
+		observedVal.Store(recovered)
+	}})
+	defer sys.Shutdown()
+
+	bomb := sys.MustSpawn("bomb", func(ctx *Context, msg any) {
+		panic("behavior exploded")
+	})
+	bomb.Tell("trigger")
+	sys.Await(bomb)
+	if sys.Alive(bomb) {
+		t.Fatal("panicked actor should be dead")
+	}
+	if sys.Panics() != 1 {
+		t.Fatalf("Panics = %d", sys.Panics())
+	}
+	if got := observedVal.Load(); got != "behavior exploded" {
+		t.Fatalf("OnPanic recovered = %v", got)
+	}
+	if got := observedRef.Load(); got != bomb.String() {
+		t.Fatalf("OnPanic ref = %v", got)
+	}
+	// Further sends go to deadletters, and other actors are unaffected.
+	bomb.Tell("ghost")
+	alive := sys.MustSpawn("alive", func(ctx *Context, msg any) { ctx.Reply("ok") })
+	got, err := Ask(sys, alive, 1, 2*time.Second)
+	if err != nil || got != "ok" {
+		t.Fatalf("system unusable after panic: %v %v", got, err)
+	}
+}
+
+func TestPanicWithoutHandlerStillTrapped(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	bomb := sys.MustSpawn("bomb", func(ctx *Context, msg any) { panic(42) })
+	bomb.Tell(nil)
+	sys.Await(bomb)
+	if sys.Panics() != 1 {
+		t.Fatalf("Panics = %d", sys.Panics())
+	}
+}
+
+func TestPanicDrainsQueueToDeadletters(t *testing.T) {
+	var dead atomic.Int64
+	sys := NewSystem(Config{DeadLetter: func(to *Ref, e Envelope) { dead.Add(1) }})
+	defer sys.Shutdown()
+	release := make(chan struct{})
+	bomb := sys.MustSpawn("bomb", func(ctx *Context, msg any) {
+		<-release
+		panic("later")
+	})
+	bomb.Tell(1)
+	time.Sleep(10 * time.Millisecond)
+	bomb.Tell(2) // queued behind the in-flight panic
+	bomb.Tell(3)
+	close(release)
+	sys.Await(bomb)
+	deadline := time.Now().Add(2 * time.Second)
+	for dead.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("deadletters = %d, want 2", dead.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,341 @@
+package actors
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Behavior processes one message. It is the actor's "script": the runtime
+// delivers messages to the current behavior one at a time, so a behavior
+// never races with itself.
+type Behavior func(ctx *Context, msg any)
+
+// Ref is a location-transparent handle to an actor. Sending to a stopped
+// actor routes the message to the system's deadletter hook.
+type Ref struct {
+	id   uint64
+	name string
+	sys  *System
+}
+
+// Name returns the actor's registered name.
+func (r *Ref) Name() string {
+	if r == nil {
+		return "<nil>"
+	}
+	return r.name
+}
+
+func (r *Ref) String() string { return fmt.Sprintf("actor(%s#%d)", r.Name(), r.id) }
+
+// Tell sends msg to the actor asynchronously with no sender.
+func (r *Ref) Tell(msg any) { r.sys.deliver(r, Envelope{Msg: msg}) }
+
+// TellFrom sends msg recording sender, so the receiver's Context.Sender()
+// can reply.
+func (r *Ref) TellFrom(sender *Ref, msg any) {
+	r.sys.deliver(r, Envelope{Msg: msg, Sender: sender})
+}
+
+// Config controls a System.
+type Config struct {
+	// PerturbSeed, when non-zero, makes every mailbox deliver pending
+	// messages in random order (seeded deterministically per actor) instead
+	// of FIFO. This exhibits the Actor model's unordered asynchronous
+	// delivery, the behavior behind the paper's misconception [I2]M5
+	// ("conflate message sending order with receiving order").
+	PerturbSeed int64
+	// MailboxCap, when positive, bounds every mailbox: senders block while
+	// the receiver's queue is full (backpressure) instead of queueing
+	// without limit. Control messages (poison pills) bypass the bound so
+	// shutdown cannot deadlock.
+	MailboxCap int
+	// DeadLetter, when non-nil, receives messages sent to stopped actors.
+	DeadLetter func(to *Ref, e Envelope)
+	// Recorder, when non-nil, records every send and receive with vector
+	// clocks, so delivered messages carry happened-before edges (Lamport's
+	// relation, the paper's reference [3]). Sends from outside any actor
+	// are attributed to the pseudo-task "external".
+	Recorder *trace.Recorder
+	// OnPanic, when non-nil, observes panics raised by behaviors. In all
+	// cases a panicking actor is terminated (its queued messages become
+	// deadletters) rather than crashing the process — minimal supervision.
+	OnPanic func(ref *Ref, recovered any)
+}
+
+// System owns a set of actors and their mailboxes.
+type System struct {
+	cfg     Config
+	mu      sync.Mutex
+	nextID  uint64
+	actors  map[uint64]*cell
+	stopped bool
+	wg      sync.WaitGroup
+
+	deadletters atomic.Int64
+	processed   atomic.Int64
+	traceSeq    atomic.Int64
+	panics      atomic.Int64
+}
+
+// cell is the runtime state of one actor.
+type cell struct {
+	ref      *Ref
+	mbox     *mailbox
+	behavior Behavior
+	done     chan struct{}
+}
+
+// stopMsg is the internal poison-pill control message.
+type stopMsg struct{}
+
+// ErrSystemStopped is returned by Spawn after Shutdown.
+var ErrSystemStopped = errors.New("actors: system is shut down")
+
+// NewSystem creates an actor system with the given config.
+func NewSystem(cfg Config) *System {
+	return &System{cfg: cfg, actors: make(map[uint64]*cell)}
+}
+
+// Spawn creates an actor with the given name and initial behavior and starts
+// processing its mailbox. Names need not be unique; the Ref is the identity.
+func (s *System) Spawn(name string, b Behavior) (*Ref, error) {
+	if b == nil {
+		return nil, errors.New("actors: nil behavior")
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrSystemStopped
+	}
+	s.nextID++
+	id := s.nextID
+	ref := &Ref{id: id, name: name, sys: s}
+	var perturb *rand.Rand
+	if s.cfg.PerturbSeed != 0 {
+		perturb = rand.New(rand.NewSource(s.cfg.PerturbSeed + int64(id)))
+	}
+	c := &cell{
+		ref:      ref,
+		mbox:     newMailbox(perturb, s.cfg.MailboxCap),
+		behavior: b,
+		done:     make(chan struct{}),
+	}
+	s.actors[id] = c
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.run(c)
+	return ref, nil
+}
+
+// MustSpawn is Spawn that panics on error, for examples and tests.
+func (s *System) MustSpawn(name string, b Behavior) *Ref {
+	ref, err := s.Spawn(name, b)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
+func (s *System) run(c *cell) {
+	defer s.wg.Done()
+	defer close(c.done)
+	defer func() {
+		s.mu.Lock()
+		delete(s.actors, c.ref.id)
+		s.mu.Unlock()
+		for _, e := range c.mbox.close(true) {
+			s.deadletter(c.ref, e)
+		}
+	}()
+	ctx := &Context{system: s, self: c.ref, cell: c}
+	for {
+		e, ok := c.mbox.take()
+		if !ok {
+			return
+		}
+		if _, isStop := e.Msg.(stopMsg); isStop {
+			return
+		}
+		if s.cfg.Recorder != nil && e.traceID != "" {
+			s.cfg.Recorder.RecordReceive(c.ref.String(), e.traceID, fmt.Sprintf("%T", e.Msg))
+		}
+		ctx.sender = e.Sender
+		if s.invoke(c, ctx, e.Msg) {
+			return // behavior panicked: the actor dies, the process lives
+		}
+		s.processed.Add(1)
+		if ctx.stopped {
+			return
+		}
+	}
+}
+
+// invoke runs one behavior call, trapping panics. It reports whether the
+// behavior panicked.
+func (s *System) invoke(c *cell, ctx *Context, msg any) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			s.panics.Add(1)
+			if s.cfg.OnPanic != nil {
+				s.cfg.OnPanic(c.ref, r)
+			}
+		}
+	}()
+	c.behavior(ctx, msg)
+	return false
+}
+
+func (s *System) deliver(to *Ref, e Envelope) {
+	if to == nil || to.sys != s {
+		s.deadletter(to, e)
+		return
+	}
+	if s.cfg.Recorder != nil {
+		if _, isStop := e.Msg.(stopMsg); !isStop {
+			e.traceID = fmt.Sprintf("%s#%d", to.String(), s.traceSeq.Add(1))
+			s.cfg.Recorder.RecordSend(senderName(e.Sender), e.traceID, fmt.Sprintf("%T", e.Msg))
+		}
+	}
+	s.mu.Lock()
+	c, ok := s.actors[to.id]
+	s.mu.Unlock()
+	_, isControl := e.Msg.(stopMsg)
+	if !ok || !c.mbox.put(e, isControl) {
+		s.deadletter(to, e)
+	}
+}
+
+func senderName(r *Ref) string {
+	if r == nil {
+		return "external"
+	}
+	return r.String()
+}
+
+func (s *System) deadletter(to *Ref, e Envelope) {
+	s.deadletters.Add(1)
+	if s.cfg.DeadLetter != nil {
+		s.cfg.DeadLetter(to, e)
+	}
+}
+
+// Stop asks the actor to terminate after the messages already in its
+// mailbox. Further sends go to deadletters once it terminates.
+func (s *System) Stop(ref *Ref) { s.deliver(ref, Envelope{Msg: stopMsg{}}) }
+
+// Await blocks until the actor has terminated.
+func (s *System) Await(ref *Ref) {
+	s.mu.Lock()
+	c, ok := s.actors[ref.id]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	<-c.done
+}
+
+// Alive reports whether the actor is still running.
+func (s *System) Alive(ref *Ref) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.actors[ref.id]
+	return ok
+}
+
+// MailboxSize returns the number of messages queued for ref (0 if stopped).
+func (s *System) MailboxSize(ref *Ref) int {
+	s.mu.Lock()
+	c, ok := s.actors[ref.id]
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.mbox.size()
+}
+
+// Processed returns the total number of messages processed by all actors.
+func (s *System) Processed() int64 { return s.processed.Load() }
+
+// DeadLetters returns the count of undeliverable messages.
+func (s *System) DeadLetters() int64 { return s.deadletters.Load() }
+
+// Panics returns the count of behavior panics trapped by the system.
+func (s *System) Panics() int64 { return s.panics.Load() }
+
+// Shutdown stops every actor (poison pill after queued messages) and waits
+// for all of them to terminate. The system accepts no further Spawns.
+func (s *System) Shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	refs := make([]*Ref, 0, len(s.actors))
+	for _, c := range s.actors {
+		refs = append(refs, c.ref)
+	}
+	s.mu.Unlock()
+	for _, r := range refs {
+		s.Stop(r)
+	}
+	s.wg.Wait()
+}
+
+// Context is the per-delivery view an actor has of itself and the system.
+// It implements the Actor axioms: Send (to any Ref), Spawn (create actors),
+// and Become (designate how to handle the next message).
+type Context struct {
+	system  *System
+	self    *Ref
+	cell    *cell
+	sender  *Ref
+	stopped bool
+}
+
+// Self returns the actor's own Ref.
+func (c *Context) Self() *Ref { return c.self }
+
+// Sender returns the Ref recorded by TellFrom/ctx.Send for the message being
+// processed, or nil.
+func (c *Context) Sender() *Ref { return c.sender }
+
+// System returns the owning system, e.g. for Spawn from outside helpers.
+func (c *Context) System() *System { return c.system }
+
+// Send sends msg to to, recording this actor as the sender.
+func (c *Context) Send(to *Ref, msg any) { to.TellFrom(c.self, msg) }
+
+// Reply sends msg to the sender of the current message; it is a deadletter
+// if the sender was not recorded.
+func (c *Context) Reply(msg any) {
+	if c.sender == nil {
+		c.system.deadletter(nil, Envelope{Msg: msg, Sender: c.self})
+		return
+	}
+	c.Send(c.sender, msg)
+}
+
+// Spawn creates a child actor in the same system.
+func (c *Context) Spawn(name string, b Behavior) (*Ref, error) {
+	return c.system.Spawn(name, b)
+}
+
+// Become replaces the actor's behavior for subsequent messages.
+func (c *Context) Become(b Behavior) {
+	if b != nil {
+		c.cell.behavior = b
+	}
+}
+
+// Stop terminates this actor after the current message.
+func (c *Context) Stop() { c.stopped = true }

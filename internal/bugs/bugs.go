@@ -1,0 +1,367 @@
+// Package bugs is the reproduction of the course's bug-study homework: in
+// the paper, students search a real bug database (MySQL's) for
+// concurrency-related defects and categorize them. Here, each classical
+// defect class the course teaches — race conditions, conditional-
+// synchronization mistakes, deadlock, message-protocol errors — is a pair
+// of pseudocode programs (buggy, fixed) together with an executable
+// *witness*: a predicate over the explorer's results that demonstrates the
+// bug on the buggy version and its absence on the fix.
+package bugs
+
+import (
+	"fmt"
+
+	"repro/internal/pseudocode"
+)
+
+// Category is the course's taxonomy of concurrency issues.
+type Category string
+
+// The concurrency issues from the paper's Section IV.C.
+const (
+	RaceCondition   Category = "race condition"
+	CondSync        Category = "conditional synchronization"
+	Deadlock        Category = "deadlock"
+	ProtocolError   Category = "message protocol error"
+	AtomicViolation Category = "atomicity violation"
+)
+
+// Bug is one gallery entry.
+type Bug struct {
+	Name        string
+	Category    Category
+	Description string
+	// Buggy and Fixed are complete pseudocode programs.
+	Buggy, Fixed string
+	// Witness detects the defect in an exploration result.
+	Witness func(res *pseudocode.ExploreResult) bool
+	// WitnessDesc says what the witness looks for, for reports.
+	WitnessDesc string
+}
+
+// Check explores both versions and verifies the witness fires on Buggy and
+// not on Fixed. It returns the two exploration results.
+func (b *Bug) Check() (buggy, fixed *pseudocode.ExploreResult, err error) {
+	buggy, err = pseudocode.ExploreSource(b.Buggy, pseudocode.ExploreOpts{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bugs: %s: buggy version: %w", b.Name, err)
+	}
+	fixed, err = pseudocode.ExploreSource(b.Fixed, pseudocode.ExploreOpts{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bugs: %s: fixed version: %w", b.Name, err)
+	}
+	if !b.Witness(buggy) {
+		return buggy, fixed, fmt.Errorf("bugs: %s: witness did not fire on the buggy version", b.Name)
+	}
+	if b.Witness(fixed) {
+		return buggy, fixed, fmt.Errorf("bugs: %s: witness fired on the fixed version", b.Name)
+	}
+	return buggy, fixed, nil
+}
+
+// hasOutput reports whether out appears among the result's outputs.
+func hasOutput(res *pseudocode.ExploreResult, out string) bool {
+	return res.OutputSet()[out]
+}
+
+// Gallery returns the curated bug collection.
+func Gallery() []Bug {
+	return []Bug{
+		{
+			Name:        "lost-update",
+			Category:    AtomicViolation,
+			Description: "two tasks read-modify-write a shared counter; an interleaving loses one update",
+			WitnessDesc: "a final value other than 2 is reachable",
+			Buggy: `
+count = 0
+DEFINE bump()
+    tmp = count + 1
+    count = tmp
+ENDDEF
+PARA
+    bump()
+    bump()
+ENDPARA
+PRINTLN count
+`,
+			Fixed: `
+count = 0
+DEFINE bump()
+    EXC_ACC
+        tmp = count + 1
+        count = tmp
+    END_EXC_ACC
+ENDDEF
+PARA
+    bump()
+    bump()
+ENDPARA
+PRINTLN count
+`,
+			Witness: func(res *pseudocode.ExploreResult) bool {
+				return hasOutput(res, "1\n")
+			},
+		},
+		{
+			Name:        "check-then-act",
+			Category:    RaceCondition,
+			Description: "two buyers both pass the stock check before either decrements; stock goes negative",
+			WitnessDesc: "a negative final stock is reachable",
+			Buggy: `
+stock = 1
+DEFINE buy()
+    IF stock > 0 THEN
+        tmp = stock - 1
+        stock = tmp
+    ENDIF
+ENDDEF
+PARA
+    buy()
+    buy()
+ENDPARA
+PRINTLN stock
+`,
+			Fixed: `
+stock = 1
+DEFINE buy()
+    EXC_ACC
+        IF stock > 0 THEN
+            tmp = stock - 1
+            stock = tmp
+        ENDIF
+    END_EXC_ACC
+ENDDEF
+PARA
+    buy()
+    buy()
+ENDPARA
+PRINTLN stock
+`,
+			Witness: func(res *pseudocode.ExploreResult) bool {
+				return hasOutput(res, "-1\n")
+			},
+		},
+		{
+			Name:        "order-violation",
+			Category:    CondSync,
+			Description: "a consumer may read shared data before the producer initialized it",
+			WitnessDesc: "the uninitialized value 0 is observable",
+			Buggy: `
+data = 0
+DEFINE producer()
+    data = 42
+ENDDEF
+DEFINE consumer()
+    PRINTLN data
+ENDDEF
+PARA
+    producer()
+    consumer()
+ENDPARA
+`,
+			Fixed: `
+data = 0
+ready = False
+DEFINE producer()
+    EXC_ACC
+        data = 42
+        ready = True
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+DEFINE consumer()
+    EXC_ACC
+        WHILE ready == False
+            WAIT()
+        ENDWHILE
+        PRINTLN data
+    END_EXC_ACC
+ENDDEF
+PARA
+    producer()
+    consumer()
+ENDPARA
+`,
+			Witness: func(res *pseudocode.ExploreResult) bool {
+				return hasOutput(res, "0\n")
+			},
+		},
+		{
+			Name:        "lock-order-deadlock",
+			Category:    Deadlock,
+			Description: "two tasks acquire two exclusive regions in opposite orders (hold-and-wait cycle)",
+			WitnessDesc: "a deadlocked terminal state is reachable",
+			Buggy: `
+a = 0
+b = 0
+DEFINE left()
+    EXC_ACC
+        a = a + 1
+        EXC_ACC
+            b = b + 1
+        END_EXC_ACC
+    END_EXC_ACC
+ENDDEF
+DEFINE right()
+    EXC_ACC
+        b = b + 1
+        EXC_ACC
+            a = a + 1
+        END_EXC_ACC
+    END_EXC_ACC
+ENDDEF
+PARA
+    left()
+    right()
+ENDPARA
+PRINTLN a + b
+`,
+			Fixed: `
+a = 0
+b = 0
+DEFINE left()
+    EXC_ACC
+        a = a + 1
+        EXC_ACC
+            b = b + 1
+        END_EXC_ACC
+    END_EXC_ACC
+ENDDEF
+DEFINE right()
+    EXC_ACC
+        a = a + 1
+        EXC_ACC
+            b = b + 1
+        END_EXC_ACC
+    END_EXC_ACC
+ENDDEF
+PARA
+    left()
+    right()
+ENDPARA
+PRINTLN a + b
+`,
+			Witness: func(res *pseudocode.ExploreResult) bool {
+				return res.HasDeadlock()
+			},
+		},
+		{
+			Name:        "missed-notify",
+			Category:    CondSync,
+			Description: "the producer sets the condition without NOTIFY(); a waiter already asleep never wakes",
+			WitnessDesc: "a deadlocked terminal state is reachable (the lost wakeup)",
+			Buggy: `
+ready = False
+DEFINE setter()
+    EXC_ACC
+        ready = True
+    END_EXC_ACC
+ENDDEF
+DEFINE waiter()
+    EXC_ACC
+        WHILE ready == False
+            WAIT()
+        ENDWHILE
+    END_EXC_ACC
+ENDDEF
+PARA
+    setter()
+    waiter()
+ENDPARA
+PRINTLN "done"
+`,
+			Fixed: `
+ready = False
+DEFINE setter()
+    EXC_ACC
+        ready = True
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+DEFINE waiter()
+    EXC_ACC
+        WHILE ready == False
+            WAIT()
+        ENDWHILE
+    END_EXC_ACC
+ENDDEF
+PARA
+    setter()
+    waiter()
+ENDPARA
+PRINTLN "done"
+`,
+			Witness: func(res *pseudocode.ExploreResult) bool {
+				return res.HasDeadlock()
+			},
+		},
+		{
+			Name:        "unordered-reply-confusion",
+			Category:    ProtocolError,
+			Description: "a client assumes two acknowledgements arrive in send order and prints them as one record; async delivery can swap them",
+			WitnessDesc: "the swapped-order output is reachable",
+			Buggy: `
+CLASS Logger
+    DEFINE run
+        ON_RECEIVING
+            MESSAGE.ack(tag)
+                PRINT tag
+    ENDDEF
+ENDCLASS
+CLASS Server
+    DEFINE run
+        ON_RECEIVING
+            MESSAGE.req(tag, logger)
+                Send(MESSAGE.ack(tag)).To(logger)
+    ENDDEF
+ENDCLASS
+logger = new Logger()
+logger.run()
+s1 = new Server()
+s1.run()
+s2 = new Server()
+s2.run()
+Send(MESSAGE.req("first ", logger)).To(s1)
+Send(MESSAGE.req("second ", logger)).To(s2)
+`,
+			Fixed: `
+CLASS Server
+    DEFINE run
+        ON_RECEIVING
+            MESSAGE.req(tag, client)
+                Send(MESSAGE.ack(tag)).To(client)
+    ENDDEF
+ENDCLASS
+CLASS Client
+    DEFINE run
+        Send(MESSAGE.req("first ", self)).To(s1)
+        ON_RECEIVING
+            MESSAGE.ack(tag)
+                PRINT tag
+                IF tag == "first " THEN
+                    Send(MESSAGE.req("second ", self)).To(s2)
+                ENDIF
+    ENDDEF
+ENDCLASS
+s1 = new Server()
+s1.run()
+s2 = new Server()
+s2.run()
+c = new Client()
+c.run()
+`,
+			Witness: func(res *pseudocode.ExploreResult) bool {
+				return hasOutput(res, "second first ")
+			},
+		},
+	}
+}
+
+// Report describes one checked entry for human consumption.
+func Report(b *Bug, buggy, fixed *pseudocode.ExploreResult) string {
+	return fmt.Sprintf("%-26s %-28s buggy: %d outputs, %d deadlocks | fixed: %d outputs, %d deadlocks (%s)",
+		b.Name, "["+string(b.Category)+"]",
+		len(buggy.Outputs)+len(buggy.DeadlockOutputs), buggy.Deadlocks,
+		len(fixed.Outputs)+len(fixed.DeadlockOutputs), fixed.Deadlocks,
+		b.WitnessDesc)
+}

@@ -1,0 +1,108 @@
+package bugs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pseudocode"
+)
+
+// TestGalleryWitnesses verifies every entry: the witness fires on the buggy
+// version and not on the fixed one — the executable version of the
+// course's bug-study homework.
+func TestGalleryWitnesses(t *testing.T) {
+	for _, b := range Gallery() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			buggy, fixed, err := b.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if buggy == nil || fixed == nil {
+				t.Fatal("missing exploration results")
+			}
+			rep := Report(&b, buggy, fixed)
+			if !strings.Contains(rep, b.Name) {
+				t.Fatalf("report = %q", rep)
+			}
+		})
+	}
+}
+
+func TestGalleryCoversCourseCategories(t *testing.T) {
+	seen := map[Category]bool{}
+	for _, b := range Gallery() {
+		seen[b.Category] = true
+	}
+	for _, want := range []Category{RaceCondition, CondSync, Deadlock, ProtocolError, AtomicViolation} {
+		if !seen[want] {
+			t.Errorf("no gallery entry for category %q", want)
+		}
+	}
+}
+
+func TestLostUpdateOutputs(t *testing.T) {
+	g := Gallery()
+	var lost *Bug
+	for i := range g {
+		if g[i].Name == "lost-update" {
+			lost = &g[i]
+		}
+	}
+	if lost == nil {
+		t.Fatal("lost-update missing")
+	}
+	buggy, err := pseudocode.ExploreSource(lost.Buggy, pseudocode.ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the correct 2 and the lost-update 1 must be reachable.
+	set := buggy.OutputSet()
+	if !set["2\n"] || !set["1\n"] {
+		t.Fatalf("buggy outputs = %q", buggy.Outputs)
+	}
+	fixed, err := pseudocode.ExploreSource(lost.Fixed, pseudocode.ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed.Outputs) != 1 || fixed.Outputs[0] != "2\n" {
+		t.Fatalf("fixed outputs = %q", fixed.Outputs)
+	}
+}
+
+func TestDeadlockEntryStillCompletesSometimes(t *testing.T) {
+	g := Gallery()
+	for i := range g {
+		if g[i].Name != "lock-order-deadlock" {
+			continue
+		}
+		buggy, _, err := g[i].Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The deadlock is an interleaving, not a certainty.
+		if !buggy.OutputSet()["4\n"] {
+			t.Fatalf("non-deadlocked executions should print 4: %q", buggy.Outputs)
+		}
+	}
+}
+
+func TestBrokenWitnessDetected(t *testing.T) {
+	b := Bug{
+		Name:     "self-test",
+		Category: RaceCondition,
+		Buggy:    `PRINTLN 1`,
+		Fixed:    `PRINTLN 1`,
+		Witness: func(res *pseudocode.ExploreResult) bool {
+			return res.OutputSet()["1\n"]
+		},
+	}
+	// Witness fires on both → Check must reject.
+	if _, _, err := b.Check(); err == nil {
+		t.Fatal("Check should reject a witness that fires on the fixed version")
+	}
+	b.Witness = func(res *pseudocode.ExploreResult) bool { return false }
+	if _, _, err := b.Check(); err == nil {
+		t.Fatal("Check should reject a witness that never fires")
+	}
+}

@@ -1,0 +1,177 @@
+// Package complexity measures the "ease of programming" axis of the
+// paper's Test 2: students implement the same problem in three forms and
+// the course compares "the costs and benefits, including performance and
+// the ease of programming". Runtime cost comes from the benchmark harness;
+// this package supplies the program-text cost: lines of code, branching,
+// synchronization operations, and task spawns per model implementation,
+// computed from the Go AST of the problem packages.
+package complexity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Metrics summarizes one model implementation's source.
+type Metrics struct {
+	Lines     int // source lines of the function body
+	Branches  int // if / for / range / switch / select statements
+	SyncCalls int // synchronization-primitive calls (see syncNames)
+	Spawns    int // goroutines, actor spawns, scheduler tasks
+}
+
+// Add accumulates o into m.
+func (m *Metrics) Add(o Metrics) {
+	m.Lines += o.Lines
+	m.Branches += o.Branches
+	m.SyncCalls += o.SyncCalls
+	m.Spawns += o.Spawns
+}
+
+// syncNames are method/function names counted as explicit synchronization
+// operations, across all three substrates.
+var syncNames = map[string]bool{
+	// threads
+	"Enter": true, "Exit": true, "EnterAs": true, "TryEnter": true,
+	"Wait": true, "Notify": true, "NotifyAll": true, "WaitUntil": true,
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"Acquire": true, "Release": true, "TryAcquire": true, "Await": true,
+	"Submit": true, "Drain": true, "Shutdown": true,
+	// actors
+	"Tell": true, "TellFrom": true, "Send": true, "Reply": true, "Ask": true,
+	// coroutines
+	"Yield": true, "Resume": true, "Transfer": true, "Pause": true,
+}
+
+// spawnNames are calls counted as task creation.
+var spawnNames = map[string]bool{
+	"Spawn": true, "MustSpawn": true, "Go": true, "NewPool": true,
+}
+
+// modelFuncs maps each model to its conventional entry point in the
+// problem packages.
+var modelFuncs = map[core.Model]string{
+	core.Threads:    "RunThreads",
+	core.Actors:     "RunActors",
+	core.Coroutines: "RunCoroutines",
+}
+
+// AnalyzeDir parses every non-test Go file in dir and returns metrics per
+// top-level function name.
+func AnalyzeDir(dir string) (map[string]Metrics, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	out := map[string]Metrics{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("complexity: %s: %w", path, err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out[fn.Name.Name] = analyzeFunc(fset, fn)
+		}
+	}
+	return out, nil
+}
+
+func analyzeFunc(fset *token.FileSet, fn *ast.FuncDecl) Metrics {
+	m := Metrics{
+		Lines: fset.Position(fn.Body.End()).Line - fset.Position(fn.Body.Pos()).Line + 1,
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt:
+			m.Branches++
+		case *ast.GoStmt:
+			m.Spawns++
+		case *ast.CallExpr:
+			name := calleeName(x)
+			if syncNames[name] {
+				m.SyncCalls++
+			}
+			if spawnNames[name] {
+				m.Spawns++
+			}
+		}
+		return true
+	})
+	return m
+}
+
+func calleeName(c *ast.CallExpr) string {
+	switch f := c.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// ProblemReport is the Test-2 style comparison for one problem.
+type ProblemReport struct {
+	Problem  string
+	PerModel map[core.Model]Metrics
+}
+
+// AnalyzeProblem computes per-model metrics for one problem package
+// directory. The entry function and every helper it is the sole model to
+// use are attributed to that model; shared helpers (validators, workload
+// generators) are excluded, since students write those once.
+func AnalyzeProblem(dir string) (*ProblemReport, error) {
+	funcs, err := AnalyzeDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ProblemReport{Problem: filepath.Base(dir), PerModel: map[core.Model]Metrics{}}
+	for model, fname := range modelFuncs {
+		m, ok := funcs[fname]
+		if !ok {
+			return nil, fmt.Errorf("complexity: %s has no %s", dir, fname)
+		}
+		rep.PerModel[model] = m
+	}
+	return rep, nil
+}
+
+// AnalyzeAllProblems walks root (the internal/problems directory) and
+// reports every problem package, sorted by name.
+func AnalyzeAllProblems(root string) ([]*ProblemReport, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []*ProblemReport
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == "registry" {
+			continue
+		}
+		rep, err := AnalyzeProblem(filepath.Join(root, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Problem < out[b].Problem })
+	return out, nil
+}

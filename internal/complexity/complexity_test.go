@@ -1,0 +1,138 @@
+package complexity
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func writeFixture(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeDirCounts(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "x.go", `package x
+
+func RunThreads() {
+	m.Enter()
+	if x > 0 {
+		m.Wait("c")
+	}
+	for i := 0; i < 3; i++ {
+		go worker()
+	}
+	m.Exit()
+}
+
+func RunActors() {
+	ref := sys.MustSpawn("a", nil)
+	ref.Tell(1)
+	ctx.Reply(2)
+}
+
+func RunCoroutines() {
+	s.Go("t", nil)
+	tc.Pause()
+}
+`)
+	funcs, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := funcs["RunThreads"]
+	if th.SyncCalls != 3 { // Enter, Wait, Exit
+		t.Fatalf("threads sync = %d, want 3", th.SyncCalls)
+	}
+	if th.Branches != 2 { // if + for
+		t.Fatalf("threads branches = %d", th.Branches)
+	}
+	if th.Spawns != 1 { // go stmt
+		t.Fatalf("threads spawns = %d", th.Spawns)
+	}
+	ac := funcs["RunActors"]
+	if ac.SyncCalls != 2 || ac.Spawns != 1 { // Tell+Reply; MustSpawn
+		t.Fatalf("actors = %+v", ac)
+	}
+	co := funcs["RunCoroutines"]
+	if co.SyncCalls != 1 || co.Spawns != 1 { // Pause; Go
+		t.Fatalf("coroutines = %+v", co)
+	}
+	if th.Lines <= 0 {
+		t.Fatalf("lines = %d", th.Lines)
+	}
+}
+
+func TestAnalyzeDirSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "a.go", "package x\nfunc A() {}\n")
+	writeFixture(t, dir, "a_test.go", "package x\nfunc TestA() { m.Enter() }\n")
+	funcs, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := funcs["TestA"]; ok {
+		t.Fatal("test files should be skipped")
+	}
+	if _, ok := funcs["A"]; !ok {
+		t.Fatal("A missing")
+	}
+}
+
+func TestAnalyzeDirBadSource(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "bad.go", "this is not go")
+	if _, err := AnalyzeDir(dir); err == nil {
+		t.Fatal("parse error should surface")
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{Lines: 1, Branches: 2, SyncCalls: 3, Spawns: 4}
+	a.Add(Metrics{Lines: 10, Branches: 20, SyncCalls: 30, Spawns: 40})
+	if a != (Metrics{Lines: 11, Branches: 22, SyncCalls: 33, Spawns: 44}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+// TestAnalyzeRealProblems runs the analyzer over this repository's actual
+// problem packages — the real Test-2 artifact.
+func TestAnalyzeRealProblems(t *testing.T) {
+	root := filepath.Join("..", "problems")
+	reports, err := AnalyzeAllProblems(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 9 {
+		t.Fatalf("found %d problem packages, want 9", len(reports))
+	}
+	for _, rep := range reports {
+		for _, m := range core.AllModels {
+			met, ok := rep.PerModel[m]
+			if !ok {
+				t.Fatalf("%s: missing %s", rep.Problem, m)
+			}
+			if met.Lines < 5 {
+				t.Fatalf("%s/%s: implausible line count %d", rep.Problem, m, met.Lines)
+			}
+		}
+		// Every threads implementation uses explicit synchronization (the
+		// cooperative ones may use only WaitUntil/Pause which also count).
+		if rep.PerModel[core.Threads].SyncCalls == 0 {
+			t.Fatalf("%s: threads version has no sync calls?", rep.Problem)
+		}
+	}
+}
+
+func TestAnalyzeProblemMissingEntryPoints(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "x.go", "package x\nfunc OnlyThis() {}\n")
+	if _, err := AnalyzeProblem(dir); err == nil {
+		t.Fatal("missing Run* functions should error")
+	}
+}

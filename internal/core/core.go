@@ -1,0 +1,163 @@
+// Package core defines the shared vocabulary of the reproduction: the three
+// concurrency models the course compares (threads / shared memory, Actors /
+// message passing, coroutines / cooperative), and a registry of classical
+// problems, each implemented under all three models behind a uniform
+// run interface used by cmd/problems and the benchmark harness.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Model identifies one of the course's three concurrency models.
+type Model int
+
+const (
+	// Threads is the shared-memory model (Java threads in the course; the
+	// internal/threads monitor library here).
+	Threads Model = iota
+	// Actors is the message-passing model (Scala Actors in the course; the
+	// internal/actors system here).
+	Actors
+	// Coroutines is the cooperative model (Python coroutines in the course;
+	// the internal/coro scheduler here).
+	Coroutines
+)
+
+// AllModels lists the models in presentation order.
+var AllModels = []Model{Threads, Actors, Coroutines}
+
+func (m Model) String() string {
+	switch m {
+	case Threads:
+		return "threads"
+	case Actors:
+		return "actors"
+	case Coroutines:
+		return "coroutines"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParseModel converts a name ("threads", "actors", "coroutines") to a Model.
+func ParseModel(s string) (Model, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "threads", "thread", "shared", "sharedmemory":
+		return Threads, nil
+	case "actors", "actor", "message", "messagepassing":
+		return Actors, nil
+	case "coroutines", "coroutine", "coro", "cooperative":
+		return Coroutines, nil
+	}
+	return 0, fmt.Errorf("core: unknown model %q (want threads|actors|coroutines)", s)
+}
+
+// Params are a problem's sizing knobs (workers, items, iterations...).
+type Params map[string]int
+
+// Clone copies params so runs can't mutate shared defaults.
+func (p Params) Clone() Params {
+	c := make(Params, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns p[key], or def when absent or non-positive.
+func (p Params) Get(key string, def int) int {
+	if v, ok := p[key]; ok && v > 0 {
+		return v
+	}
+	return def
+}
+
+// Metrics are a run's validated counters (items moved, meals eaten...).
+type Metrics map[string]int64
+
+// RunFunc executes a problem under one model. Implementations must verify
+// their own invariants and return an error on violation — a run that
+// returns nil error is a validated execution.
+type RunFunc func(params Params, seed int64) (Metrics, error)
+
+// Spec describes one classical problem and its three implementations.
+type Spec struct {
+	Name        string
+	Description string
+	Defaults    Params
+	Runs        map[Model]RunFunc
+}
+
+// Run executes the problem under the given model, merging params over the
+// spec's defaults.
+func (s *Spec) Run(m Model, params Params, seed int64) (Metrics, error) {
+	fn, ok := s.Runs[m]
+	if !ok {
+		return nil, fmt.Errorf("core: problem %q has no %s implementation", s.Name, m)
+	}
+	merged := s.Defaults.Clone()
+	for k, v := range params {
+		merged[k] = v
+	}
+	return fn(merged, seed)
+}
+
+// Registry holds problem specs by name. The zero value is ready to use.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]*Spec
+}
+
+// ErrNotFound is returned by Get for unknown problems.
+var ErrNotFound = errors.New("core: problem not found")
+
+// Register adds a spec; it panics on duplicates or incomplete specs, since
+// registration is programmer-controlled.
+func (r *Registry) Register(s *Spec) {
+	if s == nil || s.Name == "" {
+		panic("core: invalid spec")
+	}
+	if len(s.Runs) == 0 {
+		panic("core: spec " + s.Name + " has no implementations")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.specs == nil {
+		r.specs = map[string]*Spec{}
+	}
+	if _, dup := r.specs[s.Name]; dup {
+		panic("core: duplicate problem " + s.Name)
+	}
+	r.specs[s.Name] = s
+}
+
+// Get returns the spec registered under name.
+func (r *Registry) Get(name string) (*Spec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s, nil
+}
+
+// Names returns the registered problem names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default is the process-wide registry the problem packages register into.
+var Default = &Registry{}

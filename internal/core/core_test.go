@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestModelString(t *testing.T) {
+	cases := map[Model]string{Threads: "threads", Actors: "actors", Coroutines: "coroutines", Model(9): "Model(9)"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]Model{
+		"threads": Threads, "Thread": Threads, " sharedmemory ": Threads,
+		"actors": Actors, "MESSAGE": Actors,
+		"coroutines": Coroutines, "coro": Coroutines, "cooperative": Coroutines,
+	}
+	for s, want := range cases {
+		got, err := ParseModel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseModel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseModel("quantum"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestParamsCloneAndGet(t *testing.T) {
+	p := Params{"workers": 4}
+	c := p.Clone()
+	c["workers"] = 8
+	if p["workers"] != 4 {
+		t.Fatal("Clone should be independent")
+	}
+	if p.Get("workers", 1) != 4 {
+		t.Fatal("Get should return existing value")
+	}
+	if p.Get("missing", 7) != 7 {
+		t.Fatal("Get should default")
+	}
+	if (Params{"zero": 0}).Get("zero", 5) != 5 {
+		t.Fatal("non-positive values should default")
+	}
+}
+
+func TestSpecRunMergesDefaults(t *testing.T) {
+	var gotParams Params
+	spec := &Spec{
+		Name:     "demo",
+		Defaults: Params{"n": 10, "w": 2},
+		Runs: map[Model]RunFunc{
+			Threads: func(p Params, seed int64) (Metrics, error) {
+				gotParams = p
+				return Metrics{"n": int64(p["n"])}, nil
+			},
+		},
+	}
+	m, err := spec.Run(Threads, Params{"n": 99}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["n"] != 99 || gotParams["w"] != 2 {
+		t.Fatalf("metrics = %v, params = %v", m, gotParams)
+	}
+	if _, err := spec.Run(Actors, nil, 1); err == nil {
+		t.Fatal("missing implementation should error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := &Registry{}
+	spec := &Spec{Name: "p1", Runs: map[Model]RunFunc{Threads: func(Params, int64) (Metrics, error) { return nil, nil }}}
+	r.Register(spec)
+	got, err := r.Get("p1")
+	if err != nil || got != spec {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := r.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	r.Register(&Spec{Name: "a0", Runs: spec.Runs})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a0" || names[1] != "p1" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := &Registry{}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil spec", func() { r.Register(nil) })
+	mustPanic("empty name", func() { r.Register(&Spec{}) })
+	mustPanic("no runs", func() { r.Register(&Spec{Name: "x"}) })
+	ok := &Spec{Name: "x", Runs: map[Model]RunFunc{Threads: func(Params, int64) (Metrics, error) { return nil, nil }}}
+	r.Register(ok)
+	mustPanic("duplicate", func() { r.Register(ok) })
+}

@@ -1,0 +1,100 @@
+package coro
+
+import "testing"
+
+func BenchmarkResumeYield(b *testing.B) {
+	co := New(func(y *Yielder, _ any) any {
+		for {
+			y.Yield(nil)
+		}
+	})
+	for i := 0; i < b.N; i++ {
+		if _, _, err := co.Resume(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCreateAndFinish(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		co := New(func(y *Yielder, in any) any { return in })
+		if _, _, err := co.Resume(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(func(yield func(int)) {
+		for i := 0; ; i++ {
+			yield(i)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator ended")
+		}
+	}
+}
+
+func BenchmarkSymmetricTransfer(b *testing.B) {
+	// Two coroutines transferring back and forth b.N times under the
+	// trampoline.
+	n := b.N
+	var c1, c2 *Coroutine
+	c1 = New(func(y *Yielder, in any) any {
+		for i := 0; i < n; i++ {
+			y.Transfer(c2, nil)
+		}
+		return nil
+	})
+	c2 = New(func(y *Yielder, in any) any {
+		for {
+			y.Transfer(c1, nil)
+		}
+	})
+	b.ResetTimer()
+	if _, err := RunSymmetric(c1, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerRoundRobin(b *testing.B) {
+	s := NewScheduler()
+	const tasks = 8
+	perTask := b.N/tasks + 1
+	for t := 0; t < tasks; t++ {
+		s.Go("t", func(tc *TaskCtl) {
+			for i := 0; i < perTask; i++ {
+				tc.Pause()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerWaitUntil(b *testing.B) {
+	s := NewScheduler()
+	turn := 0
+	n := b.N
+	s.Go("a", func(tc *TaskCtl) {
+		for i := 0; i < n; i++ {
+			tc.WaitUntil(func() bool { return turn == 0 })
+			turn = 1
+		}
+	})
+	s.Go("b", func(tc *TaskCtl) {
+		for i := 0; i < n; i++ {
+			tc.WaitUntil(func() bool { return turn == 1 })
+			turn = 0
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package coro implements the coroutine model the course teaches with
+// Python, following the taxonomy of de Moura & Ierusalimschy ("Revisiting
+// Coroutines", the paper's reference [5]): coroutines here are
+//
+//   - first-class: Coroutine values can be stored, passed, and resumed
+//     from anywhere;
+//   - stackful: a coroutine may suspend from within nested calls, because
+//     each coroutine runs on its own (goroutine) stack;
+//   - both asymmetric (Resume/Yield, like Lua and Python generators) and
+//     symmetric (Transfer, via the trampoline in symmetric.go).
+//
+// Per the paper's quoted definition [4]: local data persists between
+// successive calls, and execution resumes exactly where it left off.
+package coro
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Status is a coroutine's lifecycle state, mirroring Lua's
+// coroutine.status values.
+type Status int
+
+const (
+	// StatusSuspended: created but not started, or has yielded.
+	StatusSuspended Status = iota
+	// StatusRunning: currently executing.
+	StatusRunning
+	// StatusNormal: resumed another coroutine and is waiting for it.
+	StatusNormal
+	// StatusDead: body returned or panicked.
+	StatusDead
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuspended:
+		return "suspended"
+	case StatusRunning:
+		return "running"
+	case StatusNormal:
+		return "normal"
+	case StatusDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors returned by Resume.
+var (
+	ErrDead    = errors.New("coro: cannot resume dead coroutine")
+	ErrRunning = errors.New("coro: cannot resume non-suspended coroutine")
+)
+
+// PanicError wraps a panic raised inside a coroutine body; Resume returns it
+// and the coroutine becomes dead.
+type PanicError struct{ Value any }
+
+func (e PanicError) Error() string { return fmt.Sprintf("coro: coroutine panicked: %v", e.Value) }
+
+// Body is a coroutine's code. in is the value passed to the first Resume;
+// the return value becomes the final Resume's result. Call y.Yield to
+// suspend.
+type Body func(y *Yielder, in any) any
+
+// message is the handshake payload between Resume and Yield.
+type message struct {
+	val  any
+	done bool  // body returned
+	err  error // body panicked
+}
+
+// Coroutine is a first-class stackful coroutine. Create with New, drive
+// with Resume. A Coroutine must only be resumed by one goroutine at a time
+// (enforced: concurrent Resume returns ErrRunning rather than corrupting
+// the handshake).
+type Coroutine struct {
+	body    Body
+	in      chan any
+	out     chan message
+	started bool
+
+	mu     sync.Mutex
+	status Status
+}
+
+// New creates a suspended coroutine that will run body when first resumed.
+func New(body Body) *Coroutine {
+	if body == nil {
+		panic("coro: nil body")
+	}
+	return &Coroutine{
+		body:   body,
+		in:     make(chan any),
+		out:    make(chan message),
+		status: StatusSuspended,
+	}
+}
+
+// Status returns the coroutine's current lifecycle state.
+func (c *Coroutine) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status
+}
+
+func (c *Coroutine) setStatus(s Status) {
+	c.mu.Lock()
+	c.status = s
+	c.mu.Unlock()
+}
+
+// Resume transfers control to the coroutine, passing v (delivered as the
+// body's `in` on first resume, or as Yield's return value subsequently).
+// It returns the value the coroutine yields or returns. done is true when
+// the body has returned (the coroutine is dead).
+func (c *Coroutine) Resume(v any) (out any, done bool, err error) {
+	c.mu.Lock()
+	switch c.status {
+	case StatusDead:
+		c.mu.Unlock()
+		return nil, true, ErrDead
+	case StatusRunning, StatusNormal:
+		c.mu.Unlock()
+		return nil, false, ErrRunning
+	}
+	c.status = StatusRunning
+	first := !c.started
+	c.started = true
+	c.mu.Unlock()
+
+	if first {
+		go c.run()
+	}
+	c.in <- v
+	m := <-c.out
+	if m.done || m.err != nil {
+		c.setStatus(StatusDead)
+	} else {
+		c.setStatus(StatusSuspended)
+	}
+	return m.val, m.done || m.err != nil, m.err
+}
+
+func (c *Coroutine) run() {
+	in := <-c.in
+	y := &Yielder{c: c}
+	defer func() {
+		if r := recover(); r != nil {
+			c.out <- message{err: PanicError{Value: r}}
+		}
+	}()
+	ret := c.body(y, in)
+	c.out <- message{val: ret, done: true}
+}
+
+// Yielder is the in-coroutine capability to suspend. It is only valid
+// inside the owning coroutine's body.
+type Yielder struct{ c *Coroutine }
+
+// Yield suspends the coroutine, delivering v to the pending Resume, and
+// blocks until resumed again; it returns the value passed to that Resume.
+func (y *Yielder) Yield(v any) any {
+	y.c.out <- message{val: v}
+	return <-y.c.in
+}
+
+// Drain runs the coroutine to completion from its current state, collecting
+// every yielded value and the final return value. resumeWith is passed to
+// every Resume.
+func (c *Coroutine) Drain(resumeWith any) (yields []any, ret any, err error) {
+	for {
+		v, done, rerr := c.Resume(resumeWith)
+		if rerr != nil {
+			return yields, nil, rerr
+		}
+		if done {
+			return yields, v, nil
+		}
+		yields = append(yields, v)
+	}
+}

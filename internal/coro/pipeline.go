@@ -1,0 +1,78 @@
+package coro
+
+// Generator combinators: the "coroutine pipeline" idiom the course's
+// Python segment teaches — lazily chained stages, each a coroutine that
+// pulls from its upstream on demand.
+
+// Map returns a generator producing f of every upstream value.
+func Map[T, U any](g *Generator[T], f func(T) U) *Generator[U] {
+	return NewGenerator(func(yield func(U)) {
+		for {
+			v, ok := g.Next()
+			if !ok {
+				return
+			}
+			yield(f(v))
+		}
+	})
+}
+
+// Filter returns a generator passing through upstream values satisfying
+// pred.
+func Filter[T any](g *Generator[T], pred func(T) bool) *Generator[T] {
+	return NewGenerator(func(yield func(T)) {
+		for {
+			v, ok := g.Next()
+			if !ok {
+				return
+			}
+			if pred(v) {
+				yield(v)
+			}
+		}
+	})
+}
+
+// Take returns a generator producing at most n upstream values.
+func Take[T any](g *Generator[T], n int) *Generator[T] {
+	return NewGenerator(func(yield func(T)) {
+		for i := 0; i < n; i++ {
+			v, ok := g.Next()
+			if !ok {
+				return
+			}
+			yield(v)
+		}
+	})
+}
+
+// Naturals generates 0, 1, 2, ... forever.
+func Naturals() *Generator[int] {
+	return NewGenerator(func(yield func(int)) {
+		for i := 0; ; i++ {
+			yield(i)
+		}
+	})
+}
+
+// Primes generates prime numbers with the classic generator-chaining sieve
+// of Eratosthenes: each discovered prime adds a Filter stage — a pipeline
+// of coroutines growing as it runs.
+func Primes() *Generator[int] {
+	return NewGenerator(func(yield func(int)) {
+		src := NewGenerator(func(y2 func(int)) {
+			for i := 2; ; i++ {
+				y2(i)
+			}
+		})
+		for {
+			p, ok := src.Next()
+			if !ok {
+				return
+			}
+			yield(p)
+			prime := p
+			src = Filter(src, func(v int) bool { return v%prime != 0 })
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package coro
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMapFilterTakePipeline(t *testing.T) {
+	squaredEvens := Take(Map(Filter(Naturals(),
+		func(v int) bool { return v%2 == 0 }),
+		func(v int) int { return v * v }),
+		5)
+	got := squaredEvens.Collect()
+	want := []int{0, 4, 16, 36, 64}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pipeline = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineLaziness(t *testing.T) {
+	pulls := 0
+	src := NewGenerator(func(yield func(int)) {
+		for i := 0; ; i++ {
+			pulls++
+			yield(i)
+		}
+	})
+	taken := Take(src, 3)
+	if pulls != 0 {
+		t.Fatal("pipeline ran eagerly")
+	}
+	taken.Collect()
+	if pulls != 3 {
+		t.Fatalf("pulled %d values from an infinite source, want exactly 3", pulls)
+	}
+}
+
+func TestTakeMoreThanAvailable(t *testing.T) {
+	src := NewGenerator(func(yield func(int)) {
+		yield(1)
+		yield(2)
+	})
+	got := Take(src, 10).Collect()
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFilterAll(t *testing.T) {
+	src := NewGenerator(func(yield func(int)) {
+		for i := 0; i < 5; i++ {
+			yield(i)
+		}
+	})
+	got := Filter(src, func(int) bool { return false }).Collect()
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPrimesSieve(t *testing.T) {
+	got := Take(Primes(), 10).Collect()
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("primes = %v, want %v", got, want)
+	}
+}
+
+func TestMapTypeChange(t *testing.T) {
+	src := NewGenerator(func(yield func(int)) {
+		yield(1)
+		yield(2)
+	})
+	got := Map(src, func(v int) string {
+		return string(rune('a' + v))
+	}).Collect()
+	if !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,142 @@
+package coro
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scheduler is a cooperative round-robin scheduler over coroutine tasks —
+// the "cooperative form" in which the course's Test 2 implements the
+// single-lane bridge. Exactly one task runs at a time and control changes
+// hands only at Pause/WaitUntil points, so tasks may share data without
+// locks; that freedom from data races (at the cost of explicit scheduling
+// points) is the coroutine model's trade-off the course examines.
+type Scheduler struct {
+	tasks   []*Task
+	running bool
+}
+
+// Task is a cooperative task managed by a Scheduler.
+type Task struct {
+	name string
+	co   *Coroutine
+	// blocked, when non-nil, must return true before the task is resumed.
+	blocked func() bool
+	done    bool
+	err     error
+}
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// Done reports whether the task's body has returned.
+func (t *Task) Done() bool { return t.done }
+
+// Err returns the task's panic error, if its body panicked.
+func (t *Task) Err() error { return t.err }
+
+// TaskCtl is passed to task bodies to yield control.
+type TaskCtl struct {
+	y *Yielder
+	t *Task
+}
+
+// Pause yields to the scheduler; the task resumes on a later round.
+func (tc *TaskCtl) Pause() {
+	tc.y.Yield(nil)
+}
+
+// WaitUntil yields to the scheduler until pred() is true. pred is evaluated
+// by the scheduler between task steps (never concurrently with any task),
+// so it may read shared state freely.
+func (tc *TaskCtl) WaitUntil(pred func() bool) {
+	if pred == nil || pred() {
+		return
+	}
+	tc.t.blocked = pred
+	tc.y.Yield(nil)
+}
+
+// ErrDeadlock is returned by Run when every unfinished task is blocked on a
+// condition that no task can make true — the cooperative analogue of the
+// deadlock concurrency issue from the course.
+var ErrDeadlock = errors.New("coro: cooperative deadlock: all tasks blocked")
+
+// DeadlockError carries the names of the blocked tasks.
+type DeadlockError struct{ Blocked []string }
+
+func (e DeadlockError) Error() string {
+	return fmt.Sprintf("%v (tasks: %v)", ErrDeadlock, e.Blocked)
+}
+
+// Is reports that a DeadlockError matches ErrDeadlock for errors.Is.
+func (e DeadlockError) Is(target error) bool { return target == ErrDeadlock }
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Go registers a task. Tasks may be added before Run or by a running task.
+func (s *Scheduler) Go(name string, body func(tc *TaskCtl)) *Task {
+	t := &Task{name: name}
+	t.co = New(func(y *Yielder, _ any) any {
+		body(&TaskCtl{y: y, t: t})
+		return nil
+	})
+	s.tasks = append(s.tasks, t)
+	return t
+}
+
+// Len returns the number of registered tasks (finished ones included until
+// the next Run sweeps them).
+func (s *Scheduler) Len() int { return len(s.tasks) }
+
+// Run drives all tasks round-robin until every task completes. It returns
+// DeadlockError if all remaining tasks are blocked, or the first task
+// panic as a PanicError.
+func (s *Scheduler) Run() error {
+	if s.running {
+		return errors.New("coro: scheduler already running")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		live := 0
+		progressed := false
+		// Iterate by index: tasks may append via Go during the loop.
+		for i := 0; i < len(s.tasks); i++ {
+			t := s.tasks[i]
+			if t.done {
+				continue
+			}
+			live++
+			if t.blocked != nil {
+				if !t.blocked() {
+					continue
+				}
+				t.blocked = nil
+			}
+			_, done, err := t.co.Resume(nil)
+			progressed = true
+			if err != nil {
+				t.done = true
+				t.err = err
+				return err
+			}
+			if done {
+				t.done = true
+			}
+		}
+		if live == 0 {
+			return nil
+		}
+		if !progressed {
+			var blocked []string
+			for _, t := range s.tasks {
+				if !t.done {
+					blocked = append(blocked, t.name)
+				}
+			}
+			return DeadlockError{Blocked: blocked}
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package coro
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGeneratorBasic(t *testing.T) {
+	g := NewGenerator(func(yield func(int)) {
+		for i := 1; i <= 4; i++ {
+			yield(i * i)
+		}
+	})
+	got := g.Collect()
+	want := []int{1, 4, 9, 16}
+	if len(got) != len(want) {
+		t.Fatalf("Collect = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Collect = %v, want %v", got, want)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("exhausted generator should return ok=false")
+	}
+}
+
+func TestGeneratorLazy(t *testing.T) {
+	produced := 0
+	g := NewGenerator(func(yield func(int)) {
+		for i := 0; i < 100; i++ {
+			produced++
+			yield(i)
+		}
+	})
+	if produced != 0 {
+		t.Fatal("generator should be lazy")
+	}
+	g.Next()
+	g.Next()
+	if produced != 2 {
+		t.Fatalf("produced = %d, want 2 (one element per Next)", produced)
+	}
+	g.Stop()
+	if _, ok := g.Next(); ok {
+		t.Fatal("stopped generator should be exhausted")
+	}
+}
+
+func TestGeneratorEmpty(t *testing.T) {
+	g := NewGenerator(func(yield func(string)) {})
+	if _, ok := g.Next(); ok {
+		t.Fatal("empty generator should be immediately exhausted")
+	}
+	if got := g.Collect(); len(got) != 0 {
+		t.Fatalf("Collect = %v", got)
+	}
+}
+
+func TestGeneratorFibonacci(t *testing.T) {
+	g := NewGenerator(func(yield func(int)) {
+		a, b := 0, 1
+		for i := 0; i < 10; i++ {
+			yield(a)
+			a, b = b, a+b
+		}
+	})
+	got := g.Collect()
+	want := []int{0, 1, 1, 2, 3, 5, 8, 13, 21, 34}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fib = %v", got)
+		}
+	}
+}
+
+func TestSymmetricTransferPingPong(t *testing.T) {
+	var a, b *Coroutine
+	var log []string
+	a = New(func(y *Yielder, in any) any {
+		log = append(log, "a:"+in.(string))
+		v := y.Transfer(b, "from-a")
+		log = append(log, "a:"+v.(string))
+		return "a-done"
+	})
+	b = New(func(y *Yielder, in any) any {
+		log = append(log, "b:"+in.(string))
+		v := y.Transfer(a, "from-b")
+		log = append(log, "b:"+v.(string))
+		return "b-done"
+	})
+	ret, err := RunSymmetric(a, "start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a gets "start", transfers to b; b transfers back to a; a returns.
+	if ret != "a-done" {
+		t.Fatalf("ret = %v", ret)
+	}
+	want := []string{"a:start", "b:from-a", "a:from-b"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestSymmetricChain(t *testing.T) {
+	// A chain of N coroutines each incrementing and transferring onward;
+	// the last returns the total.
+	const n = 10
+	cos := make([]*Coroutine, n)
+	for i := n - 1; i >= 0; i-- {
+		i := i
+		cos[i] = New(func(y *Yielder, in any) any {
+			v := in.(int) + 1
+			if i == n-1 {
+				return v
+			}
+			return y.Transfer(cos[i+1], v) // tail transfer; never resumed
+		})
+	}
+	ret, err := RunSymmetric(cos[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != n {
+		t.Fatalf("ret = %v, want %d", ret, n)
+	}
+}
+
+func TestRunSymmetricRejectsPlainYield(t *testing.T) {
+	co := New(func(y *Yielder, _ any) any {
+		y.Yield("oops")
+		return nil
+	})
+	if _, err := RunSymmetric(co, nil); err != ErrTransferOutside {
+		t.Fatalf("err = %v, want ErrTransferOutside", err)
+	}
+}
+
+func TestRunSymmetricPropagatesPanic(t *testing.T) {
+	co := New(func(y *Yielder, _ any) any { panic("sym") })
+	_, err := RunSymmetric(co, nil)
+	var pe PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+}
+
+func TestSchedulerRunsAllTasks(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.Go("t1", func(tc *TaskCtl) {
+		order = append(order, "t1-a")
+		tc.Pause()
+		order = append(order, "t1-b")
+	})
+	s.Go("t2", func(tc *TaskCtl) {
+		order = append(order, "t2-a")
+		tc.Pause()
+		order = append(order, "t2-b")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t1-a", "t2-a", "t1-b", "t2-b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (round-robin)", order, want)
+		}
+	}
+}
+
+func TestSchedulerWaitUntil(t *testing.T) {
+	s := NewScheduler()
+	ready := false
+	var got []string
+	s.Go("waiter", func(tc *TaskCtl) {
+		tc.WaitUntil(func() bool { return ready })
+		got = append(got, "woke")
+	})
+	s.Go("setter", func(tc *TaskCtl) {
+		tc.Pause()
+		tc.Pause()
+		ready = true
+		got = append(got, "set")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "set" || got[1] != "woke" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestSchedulerWaitUntilTruePredicateDoesNotYield(t *testing.T) {
+	s := NewScheduler()
+	steps := 0
+	s.Go("t", func(tc *TaskCtl) {
+		tc.WaitUntil(func() bool { return true })
+		tc.WaitUntil(nil)
+		steps++
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("steps = %d", steps)
+	}
+}
+
+func TestSchedulerDeadlockDetection(t *testing.T) {
+	s := NewScheduler()
+	s.Go("blocked1", func(tc *TaskCtl) {
+		tc.WaitUntil(func() bool { return false })
+	})
+	s.Go("blocked2", func(tc *TaskCtl) {
+		tc.WaitUntil(func() bool { return false })
+	})
+	err := s.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var de DeadlockError
+	if !errors.As(err, &de) || len(de.Blocked) != 2 {
+		t.Fatalf("DeadlockError = %v", err)
+	}
+}
+
+func TestSchedulerPanicStopsRun(t *testing.T) {
+	s := NewScheduler()
+	s.Go("bad", func(tc *TaskCtl) { panic("task panic") })
+	err := s.Run()
+	var pe PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+}
+
+func TestSchedulerTaskSpawnsTask(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.Go("parent", func(tc *TaskCtl) {
+		order = append(order, "parent")
+		s.Go("child", func(tc2 *TaskCtl) {
+			order = append(order, "child")
+		})
+		tc.Pause()
+		order = append(order, "parent-after")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "parent" || order[1] != "child" {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSchedulerSharedStateWithoutLocks(t *testing.T) {
+	// The cooperative model's guarantee: tasks interleave only at yields,
+	// so read-modify-write across a Pause is the only hazard; plain
+	// increments are atomic with respect to other tasks.
+	s := NewScheduler()
+	counter := 0
+	for i := 0; i < 10; i++ {
+		s.Go("inc", func(tc *TaskCtl) {
+			for j := 0; j < 100; j++ {
+				counter++ // safe: no preemption without a yield
+				if j%10 == 0 {
+					tc.Pause()
+				}
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1000 {
+		t.Fatalf("counter = %d, want 1000", counter)
+	}
+}
+
+func TestSchedulerTaskAccessors(t *testing.T) {
+	s := NewScheduler()
+	task := s.Go("named", func(tc *TaskCtl) {})
+	if task.Name() != "named" || task.Done() {
+		t.Fatalf("task = %+v", task)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !task.Done() || task.Err() != nil {
+		t.Fatalf("after run: done=%v err=%v", task.Done(), task.Err())
+	}
+}
+
+func TestSchedulerProducerConsumer(t *testing.T) {
+	// Bounded-buffer in the cooperative model: no locks, only WaitUntil.
+	s := NewScheduler()
+	var buf []int
+	const capN, items = 3, 20
+	var consumed []int
+	s.Go("producer", func(tc *TaskCtl) {
+		for i := 0; i < items; i++ {
+			tc.WaitUntil(func() bool { return len(buf) < capN })
+			buf = append(buf, i)
+		}
+	})
+	s.Go("consumer", func(tc *TaskCtl) {
+		for len(consumed) < items {
+			tc.WaitUntil(func() bool { return len(buf) > 0 })
+			consumed = append(consumed, buf[0])
+			buf = buf[1:]
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range consumed {
+		if v != i {
+			t.Fatalf("consumed = %v", consumed)
+		}
+	}
+}
+
+func TestSchedulerRunTwice(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.Go("a", func(tc *TaskCtl) { n++ })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Second run with all tasks finished is a no-op.
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+}

@@ -1,0 +1,49 @@
+package coro
+
+import "errors"
+
+// transferReq is the control message a symmetric coroutine yields to the
+// trampoline to hand control directly to another coroutine.
+type transferReq struct {
+	target *Coroutine
+	val    any
+}
+
+// ErrTransferOutside is returned by RunSymmetric when a coroutine yields a
+// plain value instead of transferring; symmetric coroutines must end by
+// returning, not yielding.
+var ErrTransferOutside = errors.New("coro: symmetric coroutine yielded without Transfer")
+
+// Transfer suspends the current coroutine and passes control (and v)
+// directly to target, implementing symmetric coroutines on top of the
+// asymmetric pair via the RunSymmetric trampoline (the standard
+// construction from de Moura & Ierusalimschy). The call returns when some
+// coroutine transfers back to this one, with the transferred value.
+func (y *Yielder) Transfer(target *Coroutine, v any) any {
+	return y.Yield(transferReq{target: target, val: v})
+}
+
+// RunSymmetric drives a web of symmetric coroutines starting at entry,
+// passing v to it. Control moves between coroutines only via
+// y.Transfer; the run ends when the currently running coroutine returns.
+// It returns that coroutine's return value.
+func RunSymmetric(entry *Coroutine, v any) (any, error) {
+	cur := entry
+	for {
+		out, done, err := cur.Resume(v)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return out, nil
+		}
+		req, ok := out.(transferReq)
+		if !ok {
+			return nil, ErrTransferOutside
+		}
+		// The transferring coroutine is parked inside its Yield and was
+		// already marked suspended by Resume; just switch control.
+		cur = req.target
+		v = req.val
+	}
+}

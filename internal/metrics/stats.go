@@ -1,0 +1,269 @@
+// Package metrics provides the small statistical toolkit used by the study
+// simulation and the benchmark harness: summary statistics, confidence
+// intervals, permutation tests (the paper reports a p=0.005 session effect),
+// and plain-text table rendering for regenerating the paper's tables.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty samples.
+var ErrEmpty = errors.New("metrics: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It returns 0 for samples of size < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs. It returns an error on an empty sample.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs. It returns an error on an empty sample.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Median returns the median of xs. It returns an error on an empty sample.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("metrics: quantile out of range")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for xs. A zero Summary is
+// returned for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	md, _ := Median(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    mn,
+		Max:    mx,
+		Median: md,
+	}
+}
+
+// PermutationTest estimates the two-sided p-value for the difference of
+// means between samples a and b under the null hypothesis that the group
+// labels are exchangeable. It draws iters random relabelings using rng.
+//
+// This is the test used to reproduce the paper's "students performed better
+// in the 2nd session (79.20%) than in the 1st session (60.71%) (p=0.005)".
+func PermutationTest(a, b []float64, iters int, rng *rand.Rand) (p float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrEmpty
+	}
+	if iters <= 0 {
+		return 0, errors.New("metrics: iters must be positive")
+	}
+	observed := math.Abs(Mean(a) - Mean(b))
+	pool := make([]float64, 0, len(a)+len(b))
+	pool = append(pool, a...)
+	pool = append(pool, b...)
+	na := len(a)
+	extreme := 0
+	perm := make([]float64, len(pool))
+	for i := 0; i < iters; i++ {
+		copy(perm, pool)
+		rng.Shuffle(len(perm), func(x, y int) { perm[x], perm[y] = perm[y], perm[x] })
+		d := math.Abs(Mean(perm[:na]) - Mean(perm[na:]))
+		if d >= observed-1e-12 {
+			extreme++
+		}
+	}
+	// Add-one smoothing keeps the estimate away from an impossible p of 0.
+	return (float64(extreme) + 1) / (float64(iters) + 1), nil
+}
+
+// PairedPermutationTest estimates the two-sided p-value for the mean of
+// paired differences a[i]-b[i] under sign-flipping of each pair. The paper's
+// session comparison is within-subject (each student took both sessions), so
+// this is the more faithful test; both are provided.
+func PairedPermutationTest(a, b []float64, iters int, rng *rand.Rand) (float64, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0, errors.New("metrics: paired samples must be equal-length and non-empty")
+	}
+	if iters <= 0 {
+		return 0, errors.New("metrics: iters must be positive")
+	}
+	diffs := make([]float64, len(a))
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	observed := math.Abs(Mean(diffs))
+	extreme := 0
+	flipped := make([]float64, len(diffs))
+	for i := 0; i < iters; i++ {
+		for j, d := range diffs {
+			if rng.Intn(2) == 0 {
+				flipped[j] = d
+			} else {
+				flipped[j] = -d
+			}
+		}
+		if math.Abs(Mean(flipped)) >= observed-1e-12 {
+			extreme++
+		}
+	}
+	return (float64(extreme) + 1) / (float64(iters) + 1), nil
+}
+
+// WelchT returns Welch's t statistic for samples a and b (no p-value; use
+// PermutationTest for inference without distributional assumptions).
+func WelchT(a, b []float64) (float64, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, errors.New("metrics: Welch t needs at least 2 observations per group")
+	}
+	va := Variance(a) / float64(len(a))
+	vb := Variance(b) / float64(len(b))
+	denom := math.Sqrt(va + vb)
+	if denom == 0 {
+		return 0, errors.New("metrics: zero pooled variance")
+	}
+	return (Mean(a) - Mean(b)) / denom, nil
+}
+
+// Histogram counts xs into nbins equal-width bins over [min, max].
+// Values outside the range are clamped into the edge bins.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins.
+func NewHistogram(xs []float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, errors.New("metrics: nbins must be positive")
+	}
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	h := &Histogram{Min: mn, Max: mx, Counts: make([]int, nbins)}
+	width := (mx - mn) / float64(nbins)
+	for _, x := range xs {
+		var idx int
+		if width == 0 {
+			idx = 0
+		} else {
+			idx = int((x - mn) / width)
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// Total returns the number of observations in the histogram.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,290 @@
+// Package bookinventory implements the course's semester project: a book
+// inventory system built both as a shared-memory system and as a message-
+// passing system (students model it in UML first, then implement it twice).
+// Clients concurrently restock, purchase, and query titles. Runs validate
+// that stock is conserved (initial + restocked - sold per title), never
+// negative, and that every successful purchase was actually decremented.
+package bookinventory
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+// askTimeout bounds the final audit round-trip.
+const askTimeout = 30 * time.Second
+
+// Spec returns the registry entry for this problem.
+func Spec() *core.Spec {
+	return &core.Spec{
+		Name:        "bookinventory",
+		Description: "concurrent clients restock, purchase, and query a book inventory",
+		Defaults:    core.Params{"titles": 10, "clients": 6, "ops": 300, "initial": 20},
+		Runs: map[core.Model]core.RunFunc{
+			core.Threads:    RunThreads,
+			core.Actors:     RunActors,
+			core.Coroutines: RunCoroutines,
+		},
+	}
+}
+
+// ledger tallies what each client believes happened; reconciled at the end.
+type ledger struct {
+	restocked []int64 // per title
+	sold      []int64
+	queries   atomic.Int64
+	failed    atomic.Int64 // purchases rejected for empty stock
+}
+
+func newLedger(titles int) *ledger {
+	return &ledger{restocked: make([]int64, titles), sold: make([]int64, titles)}
+}
+
+func reconcile(l *ledger, stock []int, initial int) (core.Metrics, error) {
+	var sold, restocked int64
+	for t := range stock {
+		if stock[t] < 0 {
+			return nil, fmt.Errorf("bookinventory: title %d has negative stock %d", t, stock[t])
+		}
+		want := int64(initial) + atomic.LoadInt64(&l.restocked[t]) - atomic.LoadInt64(&l.sold[t])
+		if int64(stock[t]) != want {
+			return nil, fmt.Errorf("bookinventory: title %d stock %d, ledger says %d", t, stock[t], want)
+		}
+		sold += atomic.LoadInt64(&l.sold[t])
+		restocked += atomic.LoadInt64(&l.restocked[t])
+	}
+	return core.Metrics{
+		"sold":      sold,
+		"restocked": restocked,
+		"queries":   l.queries.Load(),
+		"rejected":  l.failed.Load(),
+	}, nil
+}
+
+// op is one client operation.
+type op int
+
+const (
+	opQuery op = iota
+	opBuy
+	opRestock
+)
+
+func opFor(rng *rand.Rand) op {
+	switch r := rng.Intn(10); {
+	case r < 5:
+		return opQuery
+	case r < 8:
+		return opBuy
+	default:
+		return opRestock
+	}
+}
+
+// RunThreads guards the inventory with the writer-preference RWLock:
+// queries take the read lock, purchases and restocks the write lock.
+func RunThreads(p core.Params, seed int64) (core.Metrics, error) {
+	titles := p.Get("titles", 10)
+	clients := p.Get("clients", 6)
+	ops := p.Get("ops", 300)
+	initial := p.Get("initial", 20)
+
+	stock := make([]int, titles)
+	for t := range stock {
+		stock[t] = initial
+	}
+	lock := threads.NewRWLock()
+	l := newLedger(titles)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < ops; i++ {
+				t := rng.Intn(titles)
+				switch opFor(rng) {
+				case opQuery:
+					lock.RLock()
+					_ = stock[t]
+					lock.RUnlock()
+					l.queries.Add(1)
+				case opBuy:
+					lock.Lock()
+					if stock[t] > 0 {
+						stock[t]--
+						atomic.AddInt64(&l.sold[t], 1)
+					} else {
+						l.failed.Add(1)
+					}
+					lock.Unlock()
+				case opRestock:
+					lock.Lock()
+					stock[t] += 5
+					atomic.AddInt64(&l.restocked[t], 5)
+					lock.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return reconcile(l, stock, initial)
+}
+
+// Inventory protocol for the actor version.
+type queryMsg struct{ title int }
+type stockMsg struct{ count int }
+type buyMsg struct{ title int }
+type buyOK struct{}
+type buyFail struct{}
+type restockMsg struct{ title, count int }
+type restockOK struct{}
+type auditMsg struct{}
+type auditReply struct{ stock []int }
+
+// RunActors holds the inventory in a single actor; clients converse with it
+// over the message vocabulary above.
+func RunActors(p core.Params, seed int64) (core.Metrics, error) {
+	titles := p.Get("titles", 10)
+	clients := p.Get("clients", 6)
+	ops := p.Get("ops", 300)
+	initial := p.Get("initial", 20)
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	stock := make([]int, titles)
+	for t := range stock {
+		stock[t] = initial
+	}
+	l := newLedger(titles)
+
+	inventory := sys.MustSpawn("inventory", func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case queryMsg:
+			ctx.Reply(stockMsg{count: stock[m.title]})
+		case buyMsg:
+			if stock[m.title] > 0 {
+				stock[m.title]--
+				ctx.Reply(buyOK{})
+			} else {
+				ctx.Reply(buyFail{})
+			}
+		case restockMsg:
+			stock[m.title] += m.count
+			ctx.Reply(restockOK{})
+		case auditMsg:
+			cp := make([]int, len(stock))
+			copy(cp, stock)
+			ctx.Reply(auditReply{stock: cp})
+		}
+	})
+
+	done := make(chan struct{}, clients)
+	for c := 0; c < clients; c++ {
+		rng := rand.New(rand.NewSource(seed + int64(c)))
+		remaining := ops
+		title := 0
+		var current op
+		next := func(ctx *actors.Context) {
+			if remaining == 0 {
+				done <- struct{}{}
+				ctx.Stop()
+				return
+			}
+			remaining--
+			title = rng.Intn(titles)
+			current = opFor(rng)
+			switch current {
+			case opQuery:
+				ctx.Send(inventory, queryMsg{title: title})
+			case opBuy:
+				ctx.Send(inventory, buyMsg{title: title})
+			case opRestock:
+				ctx.Send(inventory, restockMsg{title: title, count: 5})
+			}
+		}
+		client := sys.MustSpawn(fmt.Sprintf("client-%d", c), func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case string: // kickoff
+				next(ctx)
+			case stockMsg:
+				l.queries.Add(1)
+				next(ctx)
+			case buyOK:
+				atomic.AddInt64(&l.sold[title], 1)
+				next(ctx)
+			case buyFail:
+				l.failed.Add(1)
+				next(ctx)
+			case restockOK:
+				atomic.AddInt64(&l.restocked[title], 5)
+				next(ctx)
+			}
+		})
+		client.Tell("start")
+	}
+	for i := 0; i < clients; i++ {
+		<-done
+	}
+	// Final audit through the same message channel.
+	reply, err := actors.Ask(sys, inventory, auditMsg{}, askTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("bookinventory: audit failed: %w", err)
+	}
+	return reconcile(l, reply.(auditReply).stock, initial)
+}
+
+// RunCoroutines shares the stock table between cooperative client tasks.
+func RunCoroutines(p core.Params, seed int64) (core.Metrics, error) {
+	titles := p.Get("titles", 10)
+	clients := p.Get("clients", 6)
+	ops := p.Get("ops", 300)
+	initial := p.Get("initial", 20)
+
+	stock := make([]int, titles)
+	for t := range stock {
+		stock[t] = initial
+	}
+	l := newLedger(titles)
+
+	s := coro.NewScheduler()
+	for c := 0; c < clients; c++ {
+		c := c
+		s.Go(fmt.Sprintf("client-%d", c), func(tc *coro.TaskCtl) {
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < ops; i++ {
+				t := rng.Intn(titles)
+				switch opFor(rng) {
+				case opQuery:
+					_ = stock[t]
+					l.queries.Add(1)
+				case opBuy:
+					if stock[t] > 0 {
+						stock[t]--
+						atomic.AddInt64(&l.sold[t], 1)
+					} else {
+						l.failed.Add(1)
+					}
+				case opRestock:
+					stock[t] += 5
+					atomic.AddInt64(&l.restocked[t], 5)
+				}
+				tc.Pause()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("bookinventory: %w", err)
+	}
+	return reconcile(l, stock, initial)
+}

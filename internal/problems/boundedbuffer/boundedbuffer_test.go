@@ -1,0 +1,111 @@
+package boundedbuffer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSpecShape(t *testing.T) {
+	s := Spec()
+	if s.Name != "boundedbuffer" || len(s.Runs) != 3 {
+		t.Fatalf("spec = %+v", s)
+	}
+	for _, m := range core.AllModels {
+		if s.Runs[m] == nil {
+			t.Fatalf("missing %s implementation", m)
+		}
+	}
+}
+
+func runAll(t *testing.T, p core.Params) map[core.Model]core.Metrics {
+	t.Helper()
+	out := map[core.Model]core.Metrics{}
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, p, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		out[m] = metrics
+	}
+	return out
+}
+
+func TestAllModelsConserveItems(t *testing.T) {
+	res := runAll(t, core.Params{"producers": 3, "consumers": 2, "items": 100, "capacity": 5})
+	for m, metrics := range res {
+		if metrics["consumed"] != 300 {
+			t.Fatalf("%s: consumed = %d, want 300", m, metrics["consumed"])
+		}
+		if metrics["maxOccupancy"] > 5 {
+			t.Fatalf("%s: capacity violated: %d", m, metrics["maxOccupancy"])
+		}
+	}
+}
+
+func TestSingleProducerSingleConsumer(t *testing.T) {
+	res := runAll(t, core.Params{"producers": 1, "consumers": 1, "items": 500, "capacity": 1})
+	for m, metrics := range res {
+		if metrics["consumed"] != 500 {
+			t.Fatalf("%s: consumed = %d", m, metrics["consumed"])
+		}
+		if metrics["maxOccupancy"] != 1 {
+			t.Fatalf("%s: capacity-1 buffer had occupancy %d", m, metrics["maxOccupancy"])
+		}
+	}
+}
+
+func TestManyProducersOneConsumer(t *testing.T) {
+	res := runAll(t, core.Params{"producers": 8, "consumers": 1, "items": 50, "capacity": 4})
+	for m, metrics := range res {
+		if metrics["consumed"] != 400 {
+			t.Fatalf("%s: consumed = %d", m, metrics["consumed"])
+		}
+	}
+}
+
+func TestOneProducerManyConsumers(t *testing.T) {
+	res := runAll(t, core.Params{"producers": 1, "consumers": 8, "items": 400, "capacity": 16})
+	for m, metrics := range res {
+		if metrics["consumed"] != 400 {
+			t.Fatalf("%s: consumed = %d", m, metrics["consumed"])
+		}
+	}
+}
+
+func TestCapacityPressure(t *testing.T) {
+	// Tiny capacity with many producers maximizes blocking.
+	res := runAll(t, core.Params{"producers": 6, "consumers": 6, "items": 40, "capacity": 2})
+	for m, metrics := range res {
+		if metrics["maxOccupancy"] > 2 {
+			t.Fatalf("%s: occupancy %d > 2", m, metrics["maxOccupancy"])
+		}
+	}
+}
+
+func TestValidateRejectsBadLogs(t *testing.T) {
+	// Missing items.
+	if _, err := validate([]item{{0, 0}}, 1, 2, 4, 0); err == nil {
+		t.Fatal("short log should fail")
+	}
+	// Duplicates.
+	if _, err := validate([]item{{0, 0}, {0, 0}}, 1, 2, 4, 1); err == nil {
+		t.Fatal("duplicate should fail")
+	}
+	// Order violation.
+	if _, err := validate([]item{{0, 1}, {0, 0}}, 1, 2, 4, 1); err == nil {
+		t.Fatal("reorder should fail")
+	}
+	// Capacity violation.
+	if _, err := validate([]item{{0, 0}, {0, 1}}, 1, 2, 4, 9); err == nil {
+		t.Fatal("occupancy should fail")
+	}
+	// Unknown producer.
+	if _, err := validateMultiset([]item{{7, 0}, {0, 0}}, 1, 2, 4, 1); err == nil {
+		t.Fatal("bogus producer should fail")
+	}
+	// Happy path.
+	if _, err := validate([]item{{0, 0}, {0, 1}}, 1, 2, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+}

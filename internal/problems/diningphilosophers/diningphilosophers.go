@@ -1,0 +1,248 @@
+// Package diningphilosophers implements the dining philosophers problem —
+// the course's canonical deadlock example from the very first lab — under
+// all three models. Every implementation uses the asymmetric solution the
+// course teaches ("asymmetric design in concurrent systems"): the last
+// philosopher picks forks in the opposite order, breaking the circular
+// wait. Runs validate that every philosopher finishes all meals and that
+// no fork is ever held by two philosophers.
+package diningphilosophers
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+// Spec returns the registry entry for this problem.
+func Spec() *core.Spec {
+	return &core.Spec{
+		Name:        "diningphilosophers",
+		Description: "N philosophers share N forks; asymmetric acquisition avoids deadlock",
+		Defaults:    core.Params{"philosophers": 5, "meals": 50},
+		Runs: map[core.Model]core.RunFunc{
+			core.Threads:    RunThreads,
+			core.Actors:     RunActors,
+			core.Coroutines: RunCoroutines,
+		},
+	}
+}
+
+// RunThreads: forks are mutexes (fair ticket locks); philosopher i takes
+// fork i then i+1, except the last, who takes them in reverse order.
+func RunThreads(p core.Params, seed int64) (core.Metrics, error) {
+	n := p.Get("philosophers", 5)
+	meals := p.Get("meals", 50)
+	if n < 2 {
+		return nil, fmt.Errorf("diningphilosophers: need at least 2 philosophers")
+	}
+
+	forks := make([]threads.TicketLock, n)
+	forkHolder := make([]atomic.Int32, n) // -1 free, else philosopher id
+	for i := range forkHolder {
+		forkHolder[i].Store(-1)
+	}
+	eaten := make([]int64, n)
+	var violation atomic.Value
+
+	takeFork := func(f, who int) {
+		forks[f].Lock()
+		if !forkHolder[f].CompareAndSwap(-1, int32(who)) {
+			violation.Store(fmt.Sprintf("fork %d already held when philosopher %d took it", f, who))
+		}
+	}
+	dropFork := func(f, who int) {
+		if !forkHolder[f].CompareAndSwap(int32(who), -1) {
+			violation.Store(fmt.Sprintf("fork %d not held by philosopher %d at release", f, who))
+		}
+		forks[f].Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			first, second := i, (i+1)%n
+			if i == n-1 {
+				first, second = second, first // asymmetric: break the cycle
+			}
+			for m := 0; m < meals; m++ {
+				takeFork(first, i)
+				takeFork(second, i)
+				eaten[i]++ // eating (guarded by both forks)
+				dropFork(second, i)
+				dropFork(first, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v := violation.Load(); v != nil {
+		return nil, fmt.Errorf("diningphilosophers: %s", v)
+	}
+	return checkMeals(eaten, meals)
+}
+
+func checkMeals(eaten []int64, meals int) (core.Metrics, error) {
+	total := int64(0)
+	for i, e := range eaten {
+		if e != int64(meals) {
+			return nil, fmt.Errorf("diningphilosophers: philosopher %d ate %d meals, want %d", i, e, meals)
+		}
+		total += e
+	}
+	return core.Metrics{"meals": total, "philosophers": int64(len(eaten))}, nil
+}
+
+// Actor protocol: philosophers ask a waiter actor for their fork pair; the
+// waiter grants a pair only when both forks are free and queues the request
+// otherwise — the message-passing deadlock-free design (a central arbiter
+// instead of distributed locking).
+type requestForks struct{ who int }
+type granted struct{}
+type releaseForks struct{ who int }
+
+// RunActors runs the waiter-arbitrated message-passing version.
+func RunActors(p core.Params, seed int64) (core.Metrics, error) {
+	n := p.Get("philosophers", 5)
+	meals := p.Get("meals", 50)
+	if n < 2 {
+		return nil, fmt.Errorf("diningphilosophers: need at least 2 philosophers")
+	}
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	free := make([]bool, n)
+	for i := range free {
+		free[i] = true
+	}
+	pending := []actors.Envelope{}
+	forksOf := func(who int) (int, int) { return who, (who + 1) % n }
+	var protoViolation atomic.Value
+
+	waiter := sys.MustSpawn("waiter", func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case requestForks:
+			l, r := forksOf(m.who)
+			if free[l] && free[r] {
+				free[l], free[r] = false, false
+				ctx.Reply(granted{})
+			} else {
+				pending = append(pending, actors.Envelope{Msg: m, Sender: ctx.Sender()})
+			}
+		case releaseForks:
+			l, r := forksOf(m.who)
+			if free[l] || free[r] {
+				protoViolation.Store(fmt.Sprintf("release of free fork by %d", m.who))
+			}
+			free[l], free[r] = true, true
+			// Grant any pending request that can now proceed.
+			for i := 0; i < len(pending); i++ {
+				req := pending[i].Msg.(requestForks)
+				pl, pr := forksOf(req.who)
+				if free[pl] && free[pr] {
+					free[pl], free[pr] = false, false
+					ctx.Send(pending[i].Sender, granted{})
+					pending = append(pending[:i], pending[i+1:]...)
+					i--
+				}
+			}
+		}
+	})
+
+	eaten := make([]int64, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		remaining := meals
+		eating := false
+		phil := sys.MustSpawn(fmt.Sprintf("philosopher-%d", i), func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case string: // kickoff
+				if remaining == 0 {
+					done <- i
+					ctx.Stop()
+					return
+				}
+				ctx.Send(waiter, requestForks{who: i})
+			case granted:
+				if eating {
+					protoViolation.Store("double grant")
+				}
+				eating = true
+				eaten[i]++ // exclusive: only this actor touches eaten[i]
+				remaining--
+				eating = false
+				ctx.Send(waiter, releaseForks{who: i})
+				if remaining == 0 {
+					done <- i
+					ctx.Stop()
+					return
+				}
+				ctx.Send(waiter, requestForks{who: i})
+			}
+		})
+		phil.Tell("start")
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if v := protoViolation.Load(); v != nil {
+		return nil, fmt.Errorf("diningphilosophers: %s", v)
+	}
+	return checkMeals(eaten, meals)
+}
+
+// RunCoroutines: cooperative version. Fork state is plain shared data;
+// taking both forks happens between yield points, so acquisition is atomic
+// by construction — the model makes the deadlock impossible to even
+// express accidentally, which is the comparison point the course draws.
+func RunCoroutines(p core.Params, seed int64) (core.Metrics, error) {
+	n := p.Get("philosophers", 5)
+	meals := p.Get("meals", 50)
+	if n < 2 {
+		return nil, fmt.Errorf("diningphilosophers: need at least 2 philosophers")
+	}
+
+	s := coro.NewScheduler()
+	holder := make([]int, n)
+	for i := range holder {
+		holder[i] = -1
+	}
+	eaten := make([]int64, n)
+	var violation error
+
+	for i := 0; i < n; i++ {
+		i := i
+		s.Go(fmt.Sprintf("philosopher-%d", i), func(tc *coro.TaskCtl) {
+			l, r := i, (i+1)%n
+			for m := 0; m < meals; m++ {
+				tc.WaitUntil(func() bool { return holder[l] == -1 && holder[r] == -1 })
+				if holder[l] != -1 || holder[r] != -1 {
+					violation = fmt.Errorf("diningphilosophers: fork stolen between wait and take")
+					return
+				}
+				holder[l], holder[r] = i, i
+				eaten[i]++
+				tc.Pause() // eat (a scheduling point while holding forks)
+				if holder[l] != i || holder[r] != i {
+					violation = fmt.Errorf("diningphilosophers: fork %d/%d taken while philosopher %d ate", l, r, i)
+					return
+				}
+				holder[l], holder[r] = -1, -1
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("diningphilosophers: %w", err)
+	}
+	if violation != nil {
+		return nil, violation
+	}
+	return checkMeals(eaten, meals)
+}

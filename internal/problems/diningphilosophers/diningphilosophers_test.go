@@ -1,0 +1,93 @@
+package diningphilosophers
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/threads"
+)
+
+func TestAllModelsAllMealsEaten(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"philosophers": 5, "meals": 40}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["meals"] != 200 {
+			t.Fatalf("%s: meals = %d, want 200", m, metrics["meals"])
+		}
+	}
+}
+
+func TestTwoPhilosophers(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"philosophers": 2, "meals": 100}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["meals"] != 200 {
+			t.Fatalf("%s: meals = %d", m, metrics["meals"])
+		}
+	}
+}
+
+func TestManyPhilosophers(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"philosophers": 12, "meals": 25}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["meals"] != 300 {
+			t.Fatalf("%s: meals = %d", m, metrics["meals"])
+		}
+	}
+}
+
+func TestRejectsOnePhilosopher(t *testing.T) {
+	for _, m := range core.AllModels {
+		if _, err := Spec().Run(m, core.Params{"philosophers": 1, "meals": 1}, 1); err == nil {
+			t.Fatalf("%s: one philosopher should be rejected", m)
+		}
+	}
+}
+
+// TestSymmetricDesignCanDeadlock demonstrates the bug the asymmetric design
+// fixes: with every philosopher taking left-then-right, the all-hold-left
+// state deadlocks. We reproduce the circular wait deterministically with a
+// barrier, then verify nobody can proceed.
+func TestSymmetricDesignCanDeadlock(t *testing.T) {
+	const n = 4
+	forks := make([]threads.TicketLock, n)
+	barrier := threads.NewBarrier(n, nil)
+	progressed := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			forks[i].Lock() // everyone takes their left fork...
+			barrier.Await() // ...and only then tries the right one
+			forks[(i+1)%n].Lock()
+			progressed <- i
+			forks[(i+1)%n].Unlock()
+			forks[i].Unlock()
+		}(i)
+	}
+	select {
+	case i := <-progressed:
+		t.Fatalf("philosopher %d progressed; circular wait should deadlock", i)
+	case <-time.After(200 * time.Millisecond):
+		// Deadlocked as predicted. Break the cycle so the test can exit:
+		// steal one fork by force is impossible with locks, so we just leak
+		// the goroutines — they are parked and harmless for the test binary.
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec()
+	if s.Defaults.Get("philosophers", 0) != 5 || s.Defaults.Get("meals", 0) != 50 {
+		t.Fatalf("defaults = %v", s.Defaults)
+	}
+}

@@ -1,0 +1,21 @@
+// Package problems is the parent of the course's classical concurrency
+// problems (Section IV.D): each subpackage implements one problem under
+// all three models — threads (internal/threads), Actors (internal/actors)
+// and coroutines (internal/coro) — behind the uniform core.Spec interface,
+// with run-time validation of the problem's defining invariants.
+//
+// The nine problems:
+//
+//	boundedbuffer       producers/consumers over a fixed-capacity buffer
+//	diningphilosophers  the canonical deadlock problem (asymmetric solution)
+//	readerswriters      shared readers, exclusive writers
+//	sleepingbarber      bounded waiting room, sleeping servers (lab problem)
+//	partymatching       pairwise rendezvous (lab problem)
+//	singlelanebridge    the paper's Test-1/Test-2 exam problem
+//	bookinventory       the semester project (shared memory + messages)
+//	sumworkers          scatter/gather partial sums
+//	threadpool          the first lab's thread-pool arithmetic program
+//
+// Import repro/internal/problems/registry for its side effect to register
+// all of them into core.Default.
+package problems

@@ -1,0 +1,229 @@
+// Package partymatching implements the party-matching problem from the
+// course labs: boys and girls arrive at a party individually, but may only
+// leave with a partner of the opposite sex. Runs validate that every guest
+// leaves in exactly one boy-girl pair and that the number of pairs equals
+// the guest count per side.
+package partymatching
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+// Spec returns the registry entry for this problem.
+func Spec() *core.Spec {
+	return &core.Spec{
+		Name:        "partymatching",
+		Description: "boys and girls pair up before leaving the party",
+		Defaults:    core.Params{"pairs": 200},
+		Runs: map[core.Model]core.RunFunc{
+			core.Threads:    RunThreads,
+			core.Actors:     RunActors,
+			core.Coroutines: RunCoroutines,
+		},
+	}
+}
+
+// pair records who left with whom. boy/girl are per-side IDs.
+type pair struct{ boy, girl int }
+
+func validatePairs(pairs []pair, n int) (core.Metrics, error) {
+	if len(pairs) != n {
+		return nil, fmt.Errorf("partymatching: %d pairs left, want %d", len(pairs), n)
+	}
+	boySeen := make([]bool, n)
+	girlSeen := make([]bool, n)
+	for _, pr := range pairs {
+		if pr.boy < 0 || pr.boy >= n || pr.girl < 0 || pr.girl >= n {
+			return nil, fmt.Errorf("partymatching: bogus pair %+v", pr)
+		}
+		if boySeen[pr.boy] {
+			return nil, fmt.Errorf("partymatching: boy %d left twice", pr.boy)
+		}
+		if girlSeen[pr.girl] {
+			return nil, fmt.Errorf("partymatching: girl %d left twice", pr.girl)
+		}
+		boySeen[pr.boy] = true
+		girlSeen[pr.girl] = true
+	}
+	return core.Metrics{"pairs": int64(len(pairs))}, nil
+}
+
+// RunThreads: a monitor holds two queues; an arrival either takes a waiting
+// guest of the opposite sex (forming a pair) or queues up and waits to be
+// claimed — the two-condition rendezvous the course develops in pseudocode.
+func RunThreads(p core.Params, seed int64) (core.Metrics, error) {
+	n := p.Get("pairs", 200)
+
+	var m threads.Monitor
+	var waitingBoys, waitingGirls []int
+	var pairs []pair
+	claimed := make(map[int]int) // boy id -> girl id for boys claimed by girls
+	claimedGirl := make(map[int]int)
+
+	var wg sync.WaitGroup
+	for b := 0; b < n; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			m.Enter()
+			if len(waitingGirls) > 0 {
+				g := waitingGirls[0]
+				waitingGirls = waitingGirls[1:]
+				pairs = append(pairs, pair{boy: b, girl: g})
+				claimedGirl[g] = b
+				m.NotifyAll("matched")
+			} else {
+				waitingBoys = append(waitingBoys, b)
+				m.WaitUntil("matched", func() bool { _, ok := claimed[b]; return ok })
+			}
+			m.Exit()
+		}(b)
+	}
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m.Enter()
+			if len(waitingBoys) > 0 {
+				b := waitingBoys[0]
+				waitingBoys = waitingBoys[1:]
+				pairs = append(pairs, pair{boy: b, girl: g})
+				claimed[b] = g
+				m.NotifyAll("matched")
+			} else {
+				waitingGirls = append(waitingGirls, g)
+				m.WaitUntil("matched", func() bool { _, ok := claimedGirl[g]; return ok })
+			}
+			m.Exit()
+		}(g)
+	}
+	wg.Wait()
+	return validatePairs(pairs, n)
+}
+
+// Matchmaker protocol for the actor version.
+type arriveBoy struct{ id int }
+type arriveGirl struct{ id int }
+type matched struct{ partner int }
+
+// RunActors: a matchmaker actor pairs arrivals; guests wait for their
+// matched message before leaving.
+func RunActors(p core.Params, seed int64) (core.Metrics, error) {
+	n := p.Get("pairs", 200)
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	type waiting struct {
+		id  int
+		ref *actors.Ref
+	}
+	var boys, girls []waiting
+	var pairsMu sync.Mutex
+	var pairs []pair
+
+	matchmaker := sys.MustSpawn("matchmaker", func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case arriveBoy:
+			if len(girls) > 0 {
+				g := girls[0]
+				girls = girls[1:]
+				pairsMu.Lock()
+				pairs = append(pairs, pair{boy: m.id, girl: g.id})
+				pairsMu.Unlock()
+				ctx.Reply(matched{partner: g.id})
+				ctx.Send(g.ref, matched{partner: m.id})
+			} else {
+				boys = append(boys, waiting{id: m.id, ref: ctx.Sender()})
+			}
+		case arriveGirl:
+			if len(boys) > 0 {
+				b := boys[0]
+				boys = boys[1:]
+				pairsMu.Lock()
+				pairs = append(pairs, pair{boy: b.id, girl: m.id})
+				pairsMu.Unlock()
+				ctx.Reply(matched{partner: b.id})
+				ctx.Send(b.ref, matched{partner: m.id})
+			} else {
+				girls = append(girls, waiting{id: m.id, ref: ctx.Sender()})
+			}
+		}
+	})
+
+	left := make(chan struct{}, 2*n)
+	spawnGuest := func(name string, arriveMsg any) {
+		guest := sys.MustSpawn(name, func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case string:
+				ctx.Send(matchmaker, arriveMsg)
+			case matched:
+				left <- struct{}{}
+				ctx.Stop()
+			}
+		})
+		guest.Tell("start")
+	}
+	for b := 0; b < n; b++ {
+		spawnGuest(fmt.Sprintf("boy-%d", b), arriveBoy{id: b})
+	}
+	for g := 0; g < n; g++ {
+		spawnGuest(fmt.Sprintf("girl-%d", g), arriveGirl{id: g})
+	}
+	for i := 0; i < 2*n; i++ {
+		<-left
+	}
+	pairsMu.Lock()
+	defer pairsMu.Unlock()
+	return validatePairs(pairs, n)
+}
+
+// RunCoroutines: guests are cooperative tasks pairing through shared queues.
+func RunCoroutines(p core.Params, seed int64) (core.Metrics, error) {
+	n := p.Get("pairs", 200)
+
+	s := coro.NewScheduler()
+	var waitingBoys, waitingGirls []int
+	var pairs []pair
+	boyMatched := make([]bool, n)
+	girlMatched := make([]bool, n)
+
+	for b := 0; b < n; b++ {
+		b := b
+		s.Go(fmt.Sprintf("boy-%d", b), func(tc *coro.TaskCtl) {
+			if len(waitingGirls) > 0 {
+				g := waitingGirls[0]
+				waitingGirls = waitingGirls[1:]
+				pairs = append(pairs, pair{boy: b, girl: g})
+				boyMatched[b], girlMatched[g] = true, true
+				return
+			}
+			waitingBoys = append(waitingBoys, b)
+			tc.WaitUntil(func() bool { return boyMatched[b] })
+		})
+	}
+	for g := 0; g < n; g++ {
+		g := g
+		s.Go(fmt.Sprintf("girl-%d", g), func(tc *coro.TaskCtl) {
+			if len(waitingBoys) > 0 {
+				b := waitingBoys[0]
+				waitingBoys = waitingBoys[1:]
+				pairs = append(pairs, pair{boy: b, girl: g})
+				boyMatched[b], girlMatched[g] = true, true
+				return
+			}
+			waitingGirls = append(waitingGirls, g)
+			tc.WaitUntil(func() bool { return girlMatched[g] })
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("partymatching: %w", err)
+	}
+	return validatePairs(pairs, n)
+}

@@ -1,0 +1,61 @@
+package partymatching
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllModelsEveryonePaired(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"pairs": 150}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["pairs"] != 150 {
+			t.Fatalf("%s: pairs = %d, want 150", m, metrics["pairs"])
+		}
+	}
+}
+
+func TestSinglePair(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"pairs": 1}, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["pairs"] != 1 {
+			t.Fatalf("%s: pairs = %d", m, metrics["pairs"])
+		}
+	}
+}
+
+func TestLargeParty(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"pairs": 1000}, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["pairs"] != 1000 {
+			t.Fatalf("%s: pairs = %d", m, metrics["pairs"])
+		}
+	}
+}
+
+func TestValidatePairsRejects(t *testing.T) {
+	if _, err := validatePairs([]pair{{0, 0}}, 2); err == nil {
+		t.Fatal("short list should fail")
+	}
+	if _, err := validatePairs([]pair{{0, 0}, {0, 1}}, 2); err == nil {
+		t.Fatal("boy leaving twice should fail")
+	}
+	if _, err := validatePairs([]pair{{0, 0}, {1, 0}}, 2); err == nil {
+		t.Fatal("girl leaving twice should fail")
+	}
+	if _, err := validatePairs([]pair{{0, 5}}, 1); err == nil {
+		t.Fatal("bogus id should fail")
+	}
+	if _, err := validatePairs([]pair{{0, 1}, {1, 0}}, 2); err != nil {
+		t.Fatal(err)
+	}
+}

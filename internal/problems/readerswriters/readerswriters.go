@@ -1,0 +1,284 @@
+// Package readerswriters implements the readers-writers problem from the
+// course's pseudocode quizzes under all three models. Readers may share the
+// resource; writers need exclusivity. Every run validates the exclusion
+// invariant (no reader overlaps a writer, writers never overlap) and that
+// all operations complete.
+package readerswriters
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+// Spec returns the registry entry for this problem.
+func Spec() *core.Spec {
+	return &core.Spec{
+		Name:        "readerswriters",
+		Description: "shared readers, exclusive writers over one resource",
+		Defaults:    core.Params{"readers": 6, "writers": 2, "ops": 200},
+		Runs: map[core.Model]core.RunFunc{
+			core.Threads:    RunThreads,
+			core.Actors:     RunActors,
+			core.Coroutines: RunCoroutines,
+		},
+	}
+}
+
+// auditor checks the exclusion invariant from concurrent sections.
+type auditor struct {
+	readers  atomic.Int32
+	writers  atomic.Int32
+	maxRead  atomic.Int32
+	err      atomic.Value
+	readOps  atomic.Int64
+	writeOps atomic.Int64
+}
+
+func (a *auditor) beginRead() {
+	r := a.readers.Add(1)
+	for {
+		old := a.maxRead.Load()
+		if r <= old || a.maxRead.CompareAndSwap(old, r) {
+			break
+		}
+	}
+	if a.writers.Load() != 0 {
+		a.err.Store("reader admitted while writer active")
+	}
+}
+
+func (a *auditor) endRead() {
+	a.readers.Add(-1)
+	a.readOps.Add(1)
+}
+
+func (a *auditor) beginWrite() {
+	if a.writers.Add(1) != 1 {
+		a.err.Store("two writers active")
+	}
+	if a.readers.Load() != 0 {
+		a.err.Store("writer admitted while readers active")
+	}
+}
+
+func (a *auditor) endWrite() {
+	a.writers.Add(-1)
+	a.writeOps.Add(1)
+}
+
+func (a *auditor) metrics(readers, writers, ops int) (core.Metrics, error) {
+	if e := a.err.Load(); e != nil {
+		return nil, fmt.Errorf("readerswriters: %s", e)
+	}
+	if a.readOps.Load() != int64(readers*ops) {
+		return nil, fmt.Errorf("readerswriters: %d read ops, want %d", a.readOps.Load(), readers*ops)
+	}
+	if a.writeOps.Load() != int64(writers*ops) {
+		return nil, fmt.Errorf("readerswriters: %d write ops, want %d", a.writeOps.Load(), writers*ops)
+	}
+	return core.Metrics{
+		"readOps":    a.readOps.Load(),
+		"writeOps":   a.writeOps.Load(),
+		"maxReaders": int64(a.maxRead.Load()),
+	}, nil
+}
+
+// RunThreads uses the writer-preference RWLock from internal/threads.
+func RunThreads(p core.Params, seed int64) (core.Metrics, error) {
+	readers := p.Get("readers", 6)
+	writers := p.Get("writers", 2)
+	ops := p.Get("ops", 200)
+
+	lock := threads.NewRWLock()
+	var a auditor
+	data := 0
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				lock.RLock()
+				a.beginRead()
+				_ = data
+				a.endRead()
+				lock.RUnlock()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				lock.Lock()
+				a.beginWrite()
+				data++
+				a.endWrite()
+				lock.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if data != writers*ops {
+		return nil, fmt.Errorf("readerswriters: data = %d, want %d", data, writers*ops)
+	}
+	return a.metrics(readers, writers, ops)
+}
+
+// Controller protocol for the actor version.
+type readReq struct{}
+type writeReq struct{}
+type grant struct{ write bool }
+type opDone struct{ write bool }
+
+// RunActors centralizes the policy in a controller actor: it grants read
+// tokens freely while no writer is active or queued (writer preference) and
+// write tokens only when the resource is idle.
+func RunActors(p core.Params, seed int64) (core.Metrics, error) {
+	readers := p.Get("readers", 6)
+	writers := p.Get("writers", 2)
+	ops := p.Get("ops", 200)
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	var a auditor
+	activeReaders := 0
+	writerActive := false
+	var waitingWrites []*actors.Ref
+	var waitingReads []*actors.Ref
+
+	controller := sys.MustSpawn("controller", func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case readReq:
+			if !writerActive && len(waitingWrites) == 0 {
+				activeReaders++
+				ctx.Reply(grant{})
+			} else {
+				waitingReads = append(waitingReads, ctx.Sender())
+			}
+		case writeReq:
+			if !writerActive && activeReaders == 0 {
+				writerActive = true
+				ctx.Reply(grant{write: true})
+			} else {
+				waitingWrites = append(waitingWrites, ctx.Sender())
+			}
+		case opDone:
+			if m.write {
+				writerActive = false
+			} else {
+				activeReaders--
+			}
+			if !writerActive && activeReaders == 0 && len(waitingWrites) > 0 {
+				writerActive = true
+				ctx.Send(waitingWrites[0], grant{write: true})
+				waitingWrites = waitingWrites[1:]
+			} else if !writerActive && len(waitingWrites) == 0 {
+				for _, r := range waitingReads {
+					activeReaders++
+					ctx.Send(r, grant{})
+				}
+				waitingReads = nil
+			}
+		}
+	})
+
+	done := make(chan struct{}, readers+writers)
+	spawnClient := func(name string, write bool, count int) {
+		remaining := count
+		client := sys.MustSpawn(name, func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case string: // kickoff
+				if write {
+					ctx.Send(controller, writeReq{})
+				} else {
+					ctx.Send(controller, readReq{})
+				}
+			case grant:
+				if write {
+					a.beginWrite()
+					a.endWrite()
+				} else {
+					a.beginRead()
+					a.endRead()
+				}
+				ctx.Send(controller, opDone{write: write})
+				remaining--
+				if remaining == 0 {
+					done <- struct{}{}
+					ctx.Stop()
+					return
+				}
+				if write {
+					ctx.Send(controller, writeReq{})
+				} else {
+					ctx.Send(controller, readReq{})
+				}
+			}
+		})
+		client.Tell("start")
+	}
+	for r := 0; r < readers; r++ {
+		spawnClient(fmt.Sprintf("reader-%d", r), false, ops)
+	}
+	for w := 0; w < writers; w++ {
+		spawnClient(fmt.Sprintf("writer-%d", w), true, ops)
+	}
+	for i := 0; i < readers+writers; i++ {
+		<-done
+	}
+	return a.metrics(readers, writers, ops)
+}
+
+// RunCoroutines expresses the policy as WaitUntil conditions over shared
+// counters — no lock object at all.
+func RunCoroutines(p core.Params, seed int64) (core.Metrics, error) {
+	readers := p.Get("readers", 6)
+	writers := p.Get("writers", 2)
+	ops := p.Get("ops", 200)
+
+	s := coro.NewScheduler()
+	var a auditor
+	activeReaders := 0
+	writerActive := false
+	writersWaiting := 0
+
+	for r := 0; r < readers; r++ {
+		s.Go(fmt.Sprintf("reader-%d", r), func(tc *coro.TaskCtl) {
+			for i := 0; i < ops; i++ {
+				tc.WaitUntil(func() bool { return !writerActive && writersWaiting == 0 })
+				activeReaders++
+				a.beginRead()
+				tc.Pause() // read
+				a.endRead()
+				activeReaders--
+			}
+		})
+	}
+	for w := 0; w < writers; w++ {
+		s.Go(fmt.Sprintf("writer-%d", w), func(tc *coro.TaskCtl) {
+			for i := 0; i < ops; i++ {
+				writersWaiting++
+				tc.WaitUntil(func() bool { return !writerActive && activeReaders == 0 })
+				writersWaiting--
+				writerActive = true
+				a.beginWrite()
+				tc.Pause() // write
+				a.endWrite()
+				writerActive = false
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("readerswriters: %w", err)
+	}
+	return a.metrics(readers, writers, ops)
+}

@@ -1,0 +1,85 @@
+package readerswriters
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllModelsCompleteAllOps(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"readers": 4, "writers": 2, "ops": 100}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["readOps"] != 400 {
+			t.Fatalf("%s: readOps = %d", m, metrics["readOps"])
+		}
+		if metrics["writeOps"] != 200 {
+			t.Fatalf("%s: writeOps = %d", m, metrics["writeOps"])
+		}
+	}
+}
+
+func TestReadersOverlapThreads(t *testing.T) {
+	// With many readers and no writers, reads should actually overlap under
+	// the preemptive models. (The cooperative model serializes by design, so
+	// maxReaders == 1 there is correct, not a bug.)
+	metrics, err := RunThreads(core.Params{"readers": 8, "writers": 1, "ops": 300}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics["maxReaders"] < 2 {
+		t.Logf("note: readers never overlapped (max %d); possible but unlikely", metrics["maxReaders"])
+	}
+}
+
+func TestCooperativeReadersOverlapLogically(t *testing.T) {
+	// Cooperative readers hold their read sections across Pause points, so
+	// several logical readers are in the section at once — the shared-read
+	// policy working — while the auditor still verifies no writer overlaps.
+	metrics, err := RunCoroutines(core.Params{"readers": 4, "writers": 1, "ops": 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics["maxReaders"] < 2 {
+		t.Fatalf("cooperative readers never overlapped logically: %d", metrics["maxReaders"])
+	}
+}
+
+func TestWritersOnly(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"readers": 1, "writers": 4, "ops": 50}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["writeOps"] != 200 {
+			t.Fatalf("%s: writeOps = %d", m, metrics["writeOps"])
+		}
+	}
+}
+
+func TestAuditorCatchesViolations(t *testing.T) {
+	var a auditor
+	a.beginWrite()
+	a.beginRead() // reader while writer active
+	a.endRead()
+	a.endWrite()
+	if _, err := a.metrics(1, 1, 1); err == nil {
+		t.Fatal("auditor should flag reader-during-writer")
+	}
+	var b auditor
+	b.beginWrite()
+	b.beginWrite() // two writers
+	b.endWrite()
+	b.endWrite()
+	if _, err := b.metrics(0, 2, 1); err == nil {
+		t.Fatal("auditor should flag double writer")
+	}
+	var c auditor
+	c.beginRead()
+	c.endRead()
+	if _, err := c.metrics(1, 0, 2); err == nil {
+		t.Fatal("auditor should flag missing ops")
+	}
+}

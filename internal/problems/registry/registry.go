@@ -1,0 +1,40 @@
+// Package registry wires every classical problem into core.Default so the
+// CLI and benchmark harness can enumerate them. Import it for its side
+// effect:
+//
+//	import _ "repro/internal/problems/registry"
+package registry
+
+import (
+	"repro/internal/core"
+	"repro/internal/problems/bookinventory"
+	"repro/internal/problems/boundedbuffer"
+	"repro/internal/problems/diningphilosophers"
+	"repro/internal/problems/partymatching"
+	"repro/internal/problems/readerswriters"
+	"repro/internal/problems/singlelanebridge"
+	"repro/internal/problems/sleepingbarber"
+	"repro/internal/problems/sumworkers"
+	"repro/internal/problems/threadpool"
+)
+
+func init() {
+	for _, spec := range All() {
+		core.Default.Register(spec)
+	}
+}
+
+// All returns the specs of every classical problem in the course.
+func All() []*core.Spec {
+	return []*core.Spec{
+		boundedbuffer.Spec(),
+		diningphilosophers.Spec(),
+		readerswriters.Spec(),
+		sleepingbarber.Spec(),
+		partymatching.Spec(),
+		singlelanebridge.Spec(),
+		bookinventory.Spec(),
+		sumworkers.Spec(),
+		threadpool.Spec(),
+	}
+}

@@ -1,0 +1,97 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllProblemsRegistered(t *testing.T) {
+	names := core.Default.Names()
+	want := []string{
+		"bookinventory", "boundedbuffer", "diningphilosophers",
+		"partymatching", "readerswriters", "singlelanebridge",
+		"sleepingbarber", "sumworkers", "threadpool",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registered = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registered = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestEveryProblemHasAllThreeModels(t *testing.T) {
+	for _, spec := range All() {
+		for _, m := range core.AllModels {
+			if spec.Runs[m] == nil {
+				t.Errorf("%s: missing %s implementation", spec.Name, m)
+			}
+		}
+		if spec.Description == "" {
+			t.Errorf("%s: missing description", spec.Name)
+		}
+		if len(spec.Defaults) == 0 {
+			t.Errorf("%s: missing defaults", spec.Name)
+		}
+	}
+}
+
+// TestFullMatrixSmoke runs every (problem, model) pair once at small scale —
+// the 9×3 matrix that constitutes the course's implementation curriculum.
+func TestFullMatrixSmoke(t *testing.T) {
+	small := map[string]core.Params{
+		"boundedbuffer":      {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
+		"diningphilosophers": {"philosophers": 4, "meals": 10},
+		"readerswriters":     {"readers": 3, "writers": 2, "ops": 20},
+		"sleepingbarber":     {"barbers": 1, "chairs": 2, "customers": 30},
+		"partymatching":      {"pairs": 25},
+		"singlelanebridge":   {"red": 2, "blue": 2, "crossings": 10},
+		"bookinventory":      {"titles": 4, "clients": 3, "ops": 40, "initial": 5},
+		"sumworkers":         {"workers": 3, "n": 5000},
+		"threadpool":         {"workers": 3, "tasks": 60, "queue": 4},
+	}
+	for _, spec := range All() {
+		params, ok := small[spec.Name]
+		if !ok {
+			t.Fatalf("no small params for %s", spec.Name)
+		}
+		for _, m := range core.AllModels {
+			metrics, err := spec.Run(m, params, 7)
+			if err != nil {
+				t.Errorf("%s/%s: %v", spec.Name, m, err)
+				continue
+			}
+			if len(metrics) == 0 {
+				t.Errorf("%s/%s: empty metrics", spec.Name, m)
+			}
+		}
+	}
+}
+
+// TestMatrixSeedStability: runs must validate across several seeds.
+func TestMatrixSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed matrix is slow")
+	}
+	for _, spec := range All() {
+		for _, m := range core.AllModels {
+			for seed := int64(0); seed < 3; seed++ {
+				if _, err := spec.Run(m, core.Params{
+					"producers": 2, "consumers": 2, "items": 10, "capacity": 2,
+					"philosophers": 3, "meals": 5,
+					"readers": 2, "writers": 1, "ops": 10,
+					"barbers": 1, "chairs": 1, "customers": 10,
+					"pairs": 10,
+					"red":   2, "blue": 1, "crossings": 5,
+					"titles": 3, "clients": 2, "initial": 4,
+					"workers": 2, "n": 1000, "tasks": 20, "queue": 2,
+				}, seed); err != nil {
+					t.Errorf("%s/%s seed %d: %v", spec.Name, m, seed, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package singlelanebridge implements the paper's Test-1 and Test-2
+// program — the single-lane bridge — natively under all three models (the
+// pseudocode versions live in internal/pseudocode/testdata). Red and blue
+// cars cross a bridge that holds any number of same-direction cars but
+// never both directions. Runs validate the safety invariant continuously
+// and that every car completes all its crossings.
+package singlelanebridge
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+// Spec returns the registry entry for this problem.
+func Spec() *core.Spec {
+	return &core.Spec{
+		Name:        "singlelanebridge",
+		Description: "red and blue cars share a single-lane bridge",
+		Defaults:    core.Params{"red": 3, "blue": 3, "crossings": 50},
+		Runs: map[core.Model]core.RunFunc{
+			core.Threads:    RunThreads,
+			core.Actors:     RunActors,
+			core.Coroutines: RunCoroutines,
+		},
+	}
+}
+
+// safetyAuditor watches bridge occupancy from any model's hot path.
+type safetyAuditor struct {
+	red, blue atomic.Int32
+	maxSame   atomic.Int32
+	violation atomic.Value
+	crossings atomic.Int64
+}
+
+func (a *safetyAuditor) enter(isRed bool) {
+	var mine, other int32
+	if isRed {
+		mine = a.red.Add(1)
+		other = a.blue.Load()
+	} else {
+		mine = a.blue.Add(1)
+		other = a.red.Load()
+	}
+	if other != 0 {
+		a.violation.Store("both directions on the bridge")
+	}
+	for {
+		old := a.maxSame.Load()
+		if mine <= old || a.maxSame.CompareAndSwap(old, mine) {
+			break
+		}
+	}
+}
+
+func (a *safetyAuditor) exit(isRed bool) {
+	if isRed {
+		a.red.Add(-1)
+	} else {
+		a.blue.Add(-1)
+	}
+	a.crossings.Add(1)
+}
+
+func (a *safetyAuditor) metrics(red, blue, crossings int) (core.Metrics, error) {
+	if v := a.violation.Load(); v != nil {
+		return nil, fmt.Errorf("singlelanebridge: %s", v)
+	}
+	want := int64((red + blue) * crossings)
+	if a.crossings.Load() != want {
+		return nil, fmt.Errorf("singlelanebridge: %d crossings, want %d", a.crossings.Load(), want)
+	}
+	return core.Metrics{
+		"crossings":        a.crossings.Load(),
+		"maxSameDirection": int64(a.maxSame.Load()),
+	}, nil
+}
+
+// RunThreads: the monitor solution with per-direction counts — the native
+// transliteration of the shared-memory pseudocode version.
+func RunThreads(p core.Params, seed int64) (core.Metrics, error) {
+	red := p.Get("red", 3)
+	blue := p.Get("blue", 3)
+	crossings := p.Get("crossings", 50)
+
+	var m threads.Monitor
+	redOn, blueOn := 0, 0
+	var a safetyAuditor
+
+	cross := func(isRed bool) {
+		m.Enter()
+		if isRed {
+			m.WaitUntil("clear", func() bool { return blueOn == 0 })
+			redOn++
+		} else {
+			m.WaitUntil("clear", func() bool { return redOn == 0 })
+			blueOn++
+		}
+		m.Exit()
+		a.enter(isRed)
+		a.exit(isRed)
+		m.Enter()
+		if isRed {
+			redOn--
+		} else {
+			blueOn--
+		}
+		m.NotifyAll("clear")
+		m.Exit()
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < red; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < crossings; c++ {
+				cross(true)
+			}
+		}()
+	}
+	for b := 0; b < blue; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < crossings; c++ {
+				cross(false)
+			}
+		}()
+	}
+	wg.Wait()
+	return a.metrics(red, blue, crossings)
+}
+
+// Bridge protocol for the actor version, mirroring the paper's Figure 7
+// message vocabulary: redEnter/blueEnter → succeedEnter, redExit/blueExit →
+// succeedExit.
+type enterReq struct{ isRed bool }
+type succeedEnter struct{ onBridge int }
+type exitReq struct{ isRed bool }
+type succeedExit struct{ onBridge int }
+
+// RunActors: a bridge actor grants entry when the opposite direction is
+// clear and queues requests otherwise.
+func RunActors(p core.Params, seed int64) (core.Metrics, error) {
+	red := p.Get("red", 3)
+	blue := p.Get("blue", 3)
+	crossings := p.Get("crossings", 50)
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	var a safetyAuditor
+	redOn, blueOn := 0, 0
+	var waitingRed, waitingBlue []*actors.Ref
+
+	bridge := sys.MustSpawn("bridge", func(ctx *actors.Context, msg any) {
+		grantRed := func(to *actors.Ref) {
+			redOn++
+			ctx.Send(to, succeedEnter{onBridge: redOn})
+		}
+		grantBlue := func(to *actors.Ref) {
+			blueOn++
+			ctx.Send(to, succeedEnter{onBridge: blueOn})
+		}
+		switch m := msg.(type) {
+		case enterReq:
+			if m.isRed {
+				if blueOn == 0 && len(waitingBlue) == 0 {
+					grantRed(ctx.Sender())
+				} else {
+					waitingRed = append(waitingRed, ctx.Sender())
+				}
+			} else {
+				if redOn == 0 && len(waitingRed) == 0 {
+					grantBlue(ctx.Sender())
+				} else {
+					waitingBlue = append(waitingBlue, ctx.Sender())
+				}
+			}
+		case exitReq:
+			if m.isRed {
+				redOn--
+				ctx.Reply(succeedExit{onBridge: redOn})
+				if redOn == 0 {
+					for _, w := range waitingBlue {
+						grantBlue(w)
+					}
+					waitingBlue = nil
+				}
+			} else {
+				blueOn--
+				ctx.Reply(succeedExit{onBridge: blueOn})
+				if blueOn == 0 {
+					for _, w := range waitingRed {
+						grantRed(w)
+					}
+					waitingRed = nil
+				}
+			}
+		}
+	})
+
+	done := make(chan struct{}, red+blue)
+	spawnCar := func(name string, isRed bool) {
+		remaining := crossings
+		car := sys.MustSpawn(name, func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case string:
+				ctx.Send(bridge, enterReq{isRed: isRed})
+			case succeedEnter:
+				a.enter(isRed)
+				a.exit(isRed)
+				ctx.Send(bridge, exitReq{isRed: isRed})
+			case succeedExit:
+				remaining--
+				if remaining == 0 {
+					done <- struct{}{}
+					ctx.Stop()
+					return
+				}
+				ctx.Send(bridge, enterReq{isRed: isRed})
+			}
+		})
+		car.Tell("start")
+	}
+	for r := 0; r < red; r++ {
+		spawnCar(fmt.Sprintf("redCar-%d", r), true)
+	}
+	for b := 0; b < blue; b++ {
+		spawnCar(fmt.Sprintf("blueCar-%d", b), false)
+	}
+	for i := 0; i < red+blue; i++ {
+		<-done
+	}
+	return a.metrics(red, blue, crossings)
+}
+
+// RunCoroutines: car tasks gate on shared per-direction counters.
+func RunCoroutines(p core.Params, seed int64) (core.Metrics, error) {
+	red := p.Get("red", 3)
+	blue := p.Get("blue", 3)
+	crossings := p.Get("crossings", 50)
+
+	s := coro.NewScheduler()
+	redOn, blueOn := 0, 0
+	var a safetyAuditor
+
+	car := func(isRed bool) func(tc *coro.TaskCtl) {
+		return func(tc *coro.TaskCtl) {
+			for c := 0; c < crossings; c++ {
+				if isRed {
+					tc.WaitUntil(func() bool { return blueOn == 0 })
+					redOn++
+				} else {
+					tc.WaitUntil(func() bool { return redOn == 0 })
+					blueOn++
+				}
+				a.enter(isRed)
+				a.exit(isRed)
+				tc.Pause() // crossing
+				if isRed {
+					redOn--
+				} else {
+					blueOn--
+				}
+			}
+		}
+	}
+	for r := 0; r < red; r++ {
+		s.Go(fmt.Sprintf("redCar-%d", r), car(true))
+	}
+	for b := 0; b < blue; b++ {
+		s.Go(fmt.Sprintf("blueCar-%d", b), car(false))
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("singlelanebridge: %w", err)
+	}
+	return a.metrics(red, blue, crossings)
+}

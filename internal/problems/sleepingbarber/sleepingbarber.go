@@ -1,0 +1,260 @@
+// Package sleepingbarber implements the sleeping barber(s) problem — one of
+// the two programs students implement in all three languages during the
+// course's in-class labs. Customers arrive at a shop with a bounded waiting
+// room; barbers serve waiting customers and sleep when the shop is empty.
+// Runs validate that every customer is either served exactly once or turned
+// away at a full waiting room, and that the waiting room never exceeds its
+// capacity.
+package sleepingbarber
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+// Spec returns the registry entry for this problem.
+func Spec() *core.Spec {
+	return &core.Spec{
+		Name:        "sleepingbarber",
+		Description: "barbers serve customers from a bounded waiting room",
+		Defaults:    core.Params{"barbers": 2, "chairs": 4, "customers": 300},
+		Runs: map[core.Model]core.RunFunc{
+			core.Threads:    RunThreads,
+			core.Actors:     RunActors,
+			core.Coroutines: RunCoroutines,
+		},
+	}
+}
+
+func report(served, turnedAway, customers, maxWaiting, chairs int) (core.Metrics, error) {
+	if served+turnedAway != customers {
+		return nil, fmt.Errorf("sleepingbarber: served %d + turned away %d != %d customers",
+			served, turnedAway, customers)
+	}
+	if maxWaiting > chairs {
+		return nil, fmt.Errorf("sleepingbarber: waiting room held %d > %d chairs", maxWaiting, chairs)
+	}
+	return core.Metrics{
+		"served":     int64(served),
+		"turnedAway": int64(turnedAway),
+		"maxWaiting": int64(maxWaiting),
+	}, nil
+}
+
+// RunThreads is the classic monitor solution: the shop state (waiting
+// queue) lives under one monitor; barbers wait on "customers", customers
+// either take a chair or leave.
+func RunThreads(p core.Params, seed int64) (core.Metrics, error) {
+	barbers := p.Get("barbers", 2)
+	chairs := p.Get("chairs", 4)
+	customers := p.Get("customers", 300)
+
+	var m threads.Monitor
+	waiting := 0
+	maxWaiting := 0
+	served := 0
+	turnedAway := 0
+	arrived := 0
+	closed := false
+
+	var wg sync.WaitGroup
+	// Barbers.
+	for b := 0; b < barbers; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m.Enter()
+				m.WaitUntil("customers", func() bool { return waiting > 0 || closed })
+				if waiting == 0 && closed {
+					m.Exit()
+					return
+				}
+				waiting--
+				served++ // cut hair (modeled as instantaneous under the monitor)
+				m.NotifyAll("chairs")
+				m.Exit()
+			}
+		}()
+	}
+	// Customers.
+	for c := 0; c < customers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			arrived++
+			if waiting < chairs {
+				waiting++
+				if waiting > maxWaiting {
+					maxWaiting = waiting
+				}
+				m.NotifyAll("customers")
+			} else {
+				turnedAway++
+			}
+			if arrived == customers {
+				closed = true
+				m.NotifyAll("customers")
+			}
+			m.Exit()
+		}()
+	}
+	wg.Wait()
+	return report(served, turnedAway, customers, maxWaiting, chairs)
+}
+
+// Shop protocol for the actor version.
+type arrive struct{ id int }
+type seated struct{}
+type turnedAwayMsg struct{}
+type barberReady struct{ barber *actors.Ref }
+type cutHair struct{}
+type shopClosed struct{}
+
+// RunActors: a shop actor owns the waiting queue; barber actors announce
+// readiness and receive customers; customer actors get seated or turned
+// away.
+func RunActors(p core.Params, seed int64) (core.Metrics, error) {
+	barbers := p.Get("barbers", 2)
+	chairs := p.Get("chairs", 4)
+	customers := p.Get("customers", 300)
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	type shopState struct {
+		waiting     []int
+		idleBarbers []*actors.Ref
+		maxWaiting  int
+		served      int
+		turnedAway  int
+		arrived     int
+		reported    bool
+	}
+	st := &shopState{}
+	result := make(chan shopState, 1)
+	// report fires exactly once: late barberReady announcements arriving
+	// after completion must not block the shop actor on a full channel.
+	reportDone := func() {
+		if !st.reported && st.arrived == customers && len(st.waiting) == 0 &&
+			st.served+st.turnedAway == customers {
+			st.reported = true
+			result <- *st
+		}
+	}
+
+	var shop *actors.Ref
+	shop = sys.MustSpawn("shop", func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case arrive:
+			st.arrived++
+			if len(st.idleBarbers) > 0 {
+				// Straight to a chair: a sleeping barber wakes.
+				b := st.idleBarbers[0]
+				st.idleBarbers = st.idleBarbers[1:]
+				st.served++
+				ctx.Send(b, cutHair{})
+				ctx.Reply(seated{})
+			} else if len(st.waiting) < chairs {
+				st.waiting = append(st.waiting, m.id)
+				if len(st.waiting) > st.maxWaiting {
+					st.maxWaiting = len(st.waiting)
+				}
+				ctx.Reply(seated{})
+			} else {
+				st.turnedAway++
+				ctx.Reply(turnedAwayMsg{})
+			}
+			reportDone()
+		case barberReady:
+			if len(st.waiting) > 0 {
+				st.waiting = st.waiting[1:]
+				st.served++
+				ctx.Send(m.barber, cutHair{})
+			} else {
+				st.idleBarbers = append(st.idleBarbers, m.barber)
+			}
+			reportDone()
+		}
+	})
+
+	for b := 0; b < barbers; b++ {
+		barber := sys.MustSpawn(fmt.Sprintf("barber-%d", b), func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case string: // kickoff
+				ctx.Send(shop, barberReady{barber: ctx.Self()})
+			case cutHair:
+				ctx.Send(shop, barberReady{barber: ctx.Self()})
+			case shopClosed:
+				ctx.Stop()
+			}
+		})
+		barber.Tell("start")
+	}
+	for c := 0; c < customers; c++ {
+		customer := sys.MustSpawn(fmt.Sprintf("customer-%d", c), func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case string:
+				ctx.Send(shop, arrive{id: c})
+			case seated, turnedAwayMsg:
+				ctx.Stop()
+			}
+		})
+		customer.Tell("start")
+	}
+
+	final := <-result
+	return report(final.served, final.turnedAway, customers, final.maxWaiting, chairs)
+}
+
+// RunCoroutines: shop state is plain data; barbers and customers are
+// cooperative tasks.
+func RunCoroutines(p core.Params, seed int64) (core.Metrics, error) {
+	barbers := p.Get("barbers", 2)
+	chairs := p.Get("chairs", 4)
+	customers := p.Get("customers", 300)
+
+	s := coro.NewScheduler()
+	waiting := 0
+	maxWaiting := 0
+	served := 0
+	turnedAway := 0
+	arrived := 0
+
+	for b := 0; b < barbers; b++ {
+		s.Go(fmt.Sprintf("barber-%d", b), func(tc *coro.TaskCtl) {
+			for {
+				tc.WaitUntil(func() bool { return waiting > 0 || arrived == customers })
+				if waiting == 0 {
+					return // shop closed
+				}
+				waiting--
+				served++
+				tc.Pause() // cutting hair
+			}
+		})
+	}
+	for c := 0; c < customers; c++ {
+		s.Go(fmt.Sprintf("customer-%d", c), func(tc *coro.TaskCtl) {
+			arrived++
+			if waiting < chairs {
+				waiting++
+				if waiting > maxWaiting {
+					maxWaiting = waiting
+				}
+			} else {
+				turnedAway++
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("sleepingbarber: %w", err)
+	}
+	return report(served, turnedAway, customers, maxWaiting, chairs)
+}

@@ -1,0 +1,66 @@
+package sleepingbarber
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllModelsAccountForEveryCustomer(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"barbers": 2, "chairs": 3, "customers": 200}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["served"]+metrics["turnedAway"] != 200 {
+			t.Fatalf("%s: served %d + turnedAway %d != 200", m, metrics["served"], metrics["turnedAway"])
+		}
+		if metrics["maxWaiting"] > 3 {
+			t.Fatalf("%s: waiting room overflow: %d", m, metrics["maxWaiting"])
+		}
+	}
+}
+
+func TestSingleBarberSingleChair(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"barbers": 1, "chairs": 1, "customers": 100}, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["maxWaiting"] > 1 {
+			t.Fatalf("%s: 1-chair room held %d", m, metrics["maxWaiting"])
+		}
+		if metrics["served"] < 1 {
+			t.Fatalf("%s: nobody served", m)
+		}
+	}
+}
+
+func TestManyBarbersFewCustomers(t *testing.T) {
+	// With more barbers than customers nobody should be turned away when
+	// the waiting room can hold everyone momentarily queued.
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"barbers": 8, "chairs": 50, "customers": 40}, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["turnedAway"] != 0 {
+			t.Fatalf("%s: %d turned away despite 50 chairs for 40 customers", m, metrics["turnedAway"])
+		}
+		if metrics["served"] != 40 {
+			t.Fatalf("%s: served = %d", m, metrics["served"])
+		}
+	}
+}
+
+func TestReportRejectsBadCounts(t *testing.T) {
+	if _, err := report(5, 2, 8, 1, 3); err == nil {
+		t.Fatal("mismatched totals should fail")
+	}
+	if _, err := report(5, 3, 8, 9, 3); err == nil {
+		t.Fatal("overflowed waiting room should fail")
+	}
+	if _, err := report(5, 3, 8, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package sumworkers
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestAllModelsMatchSequentialSum(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"workers": 6, "n": 50000}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["workers"] != 6 {
+			t.Fatalf("%s: workers = %d", m, metrics["workers"])
+		}
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	for _, m := range core.AllModels {
+		if _, err := Spec().Run(m, core.Params{"workers": 1, "n": 10000}, 2); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestMoreWorkersThanElements(t *testing.T) {
+	for _, m := range core.AllModels {
+		if _, err := Spec().Run(m, core.Params{"workers": 16, "n": 5}, 3); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestChunkCoversExactly(t *testing.T) {
+	f := func(rawN uint16, rawW uint8) bool {
+		n := int(rawN%5000) + 1
+		w := int(rawW%32) + 1
+		covered := 0
+		prevHi := 0
+		for i := 0; i < w; i++ {
+			lo, hi := chunk(n, w, i)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllModelsAgree(t *testing.T) {
+	// The three models must compute the same sum for the same seed.
+	var sums []int64
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"workers": 4, "n": 20000}, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		sums = append(sums, metrics["sum"])
+	}
+	if sums[0] != sums[1] || sums[1] != sums[2] {
+		t.Fatalf("models disagree: %v", sums)
+	}
+}

@@ -1,0 +1,172 @@
+// Package threadpool implements the "thread pool arithmetic program" from
+// the course's first lab: a stream of arithmetic tasks dispatched to a
+// fixed set of workers. Runs validate every task's result against direct
+// evaluation.
+package threadpool
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/threads"
+)
+
+// Spec returns the registry entry for this problem.
+func Spec() *core.Spec {
+	return &core.Spec{
+		Name:        "threadpool",
+		Description: "arithmetic tasks dispatched to a fixed worker pool",
+		Defaults:    core.Params{"workers": 4, "tasks": 1000, "queue": 16},
+		Runs: map[core.Model]core.RunFunc{
+			core.Threads:    RunThreads,
+			core.Actors:     RunActors,
+			core.Coroutines: RunCoroutines,
+		},
+	}
+}
+
+// arith is one task: compute a op b.
+type arith struct {
+	a, b int64
+	op   byte // '+', '-', '*', '%'
+}
+
+func (t arith) eval() int64 {
+	switch t.op {
+	case '+':
+		return t.a + t.b
+	case '-':
+		return t.a - t.b
+	case '*':
+		return t.a * t.b
+	default:
+		if t.b == 0 {
+			return 0
+		}
+		return t.a % t.b
+	}
+}
+
+func makeTasks(n int, seed int64) []arith {
+	rng := rand.New(rand.NewSource(seed))
+	ops := []byte{'+', '-', '*', '%'}
+	tasks := make([]arith, n)
+	for i := range tasks {
+		tasks[i] = arith{
+			a:  int64(rng.Intn(10000)) - 5000,
+			b:  int64(rng.Intn(1000)) + 1,
+			op: ops[rng.Intn(len(ops))],
+		}
+	}
+	return tasks
+}
+
+func verifyResults(tasks []arith, results []int64) (core.Metrics, error) {
+	if len(results) != len(tasks) {
+		return nil, fmt.Errorf("threadpool: %d results for %d tasks", len(results), len(tasks))
+	}
+	for i, task := range tasks {
+		if results[i] != task.eval() {
+			return nil, fmt.Errorf("threadpool: task %d = %d, want %d", i, results[i], task.eval())
+		}
+	}
+	return core.Metrics{"tasks": int64(len(tasks))}, nil
+}
+
+// RunThreads submits every task to the bounded internal/threads.Pool.
+func RunThreads(p core.Params, seed int64) (core.Metrics, error) {
+	workers := p.Get("workers", 4)
+	nTasks := p.Get("tasks", 1000)
+	queue := p.Get("queue", 16)
+	tasks := makeTasks(nTasks, seed)
+
+	pool := threads.NewPool(workers, queue)
+	results := make([]int64, nTasks)
+	for i, task := range tasks {
+		i, task := i, task
+		if err := pool.Submit(func() { results[i] = task.eval() }); err != nil {
+			return nil, fmt.Errorf("threadpool: %w", err)
+		}
+	}
+	pool.Drain()
+	pool.Shutdown()
+	return verifyResults(tasks, results)
+}
+
+// Messages for the actor version.
+type workMsg struct {
+	idx  int
+	task arith
+}
+type resultMsg struct {
+	idx int
+	val int64
+}
+
+// RunActors: a dispatcher round-robins tasks over worker actors; a
+// collector gathers results.
+func RunActors(p core.Params, seed int64) (core.Metrics, error) {
+	workers := p.Get("workers", 4)
+	nTasks := p.Get("tasks", 1000)
+	tasks := makeTasks(nTasks, seed)
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+
+	results := make([]int64, nTasks)
+	doneCh := make(chan struct{}, 1)
+	received := 0
+	collector := sys.MustSpawn("collector", func(ctx *actors.Context, msg any) {
+		m := msg.(resultMsg)
+		results[m.idx] = m.val
+		received++
+		if received == nTasks {
+			doneCh <- struct{}{}
+			ctx.Stop()
+		}
+	})
+
+	pool := make([]*actors.Ref, workers)
+	for w := range pool {
+		pool[w] = sys.MustSpawn(fmt.Sprintf("worker-%d", w), func(ctx *actors.Context, msg any) {
+			m := msg.(workMsg)
+			ctx.Send(collector, resultMsg{idx: m.idx, val: m.task.eval()})
+		})
+	}
+	for i, task := range tasks {
+		pool[i%workers].Tell(workMsg{idx: i, task: task})
+	}
+	<-doneCh
+	return verifyResults(tasks, results)
+}
+
+// RunCoroutines: worker tasks pull from a shared queue cooperatively.
+func RunCoroutines(p core.Params, seed int64) (core.Metrics, error) {
+	workers := p.Get("workers", 4)
+	nTasks := p.Get("tasks", 1000)
+	tasks := makeTasks(nTasks, seed)
+
+	s := coro.NewScheduler()
+	results := make([]int64, nTasks)
+	next := 0
+	for w := 0; w < workers; w++ {
+		s.Go(fmt.Sprintf("worker-%d", w), func(tc *coro.TaskCtl) {
+			for {
+				if next >= nTasks {
+					return
+				}
+				i := next
+				next++
+				results[i] = tasks[i].eval()
+				tc.Pause()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("threadpool: %w", err)
+	}
+	return verifyResults(tasks, results)
+}

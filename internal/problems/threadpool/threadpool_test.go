@@ -1,0 +1,80 @@
+package threadpool
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllModelsComputeCorrectly(t *testing.T) {
+	for _, m := range core.AllModels {
+		metrics, err := Spec().Run(m, core.Params{"workers": 4, "tasks": 500, "queue": 8}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if metrics["tasks"] != 500 {
+			t.Fatalf("%s: tasks = %d", m, metrics["tasks"])
+		}
+	}
+}
+
+func TestTinyQueueBackpressure(t *testing.T) {
+	if _, err := RunThreads(core.Params{"workers": 2, "tasks": 300, "queue": 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleWorkerSerialization(t *testing.T) {
+	for _, m := range core.AllModels {
+		if _, err := Spec().Run(m, core.Params{"workers": 1, "tasks": 200, "queue": 4}, 3); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestArithEval(t *testing.T) {
+	cases := []struct {
+		t    arith
+		want int64
+	}{
+		{arith{3, 4, '+'}, 7},
+		{arith{3, 4, '-'}, -1},
+		{arith{3, 4, '*'}, 12},
+		{arith{10, 3, '%'}, 1},
+		{arith{10, 0, '%'}, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.eval(); got != c.want {
+			t.Fatalf("%d %c %d = %d, want %d", c.t.a, c.t.op, c.t.b, got, c.want)
+		}
+	}
+}
+
+func TestVerifyResultsRejects(t *testing.T) {
+	tasks := makeTasks(3, 1)
+	good := make([]int64, 3)
+	for i, task := range tasks {
+		good[i] = task.eval()
+	}
+	if _, err := verifyResults(tasks, good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifyResults(tasks, good[:2]); err == nil {
+		t.Fatal("short results should fail")
+	}
+	bad := append([]int64(nil), good...)
+	bad[1]++
+	if _, err := verifyResults(tasks, bad); err == nil {
+		t.Fatal("wrong value should fail")
+	}
+}
+
+func TestTasksDeterministicBySeed(t *testing.T) {
+	a := makeTasks(50, 7)
+	b := makeTasks(50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different tasks")
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package pseudocode
+
+// --- Expressions ---
+
+// Expr is any pseudocode expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ Value string }
+
+// BoolLit is True or False.
+type BoolLit struct{ Value bool }
+
+// NullLit is the Null literal.
+type NullLit struct{}
+
+// Ident references a variable (local, field via scoping, or global).
+type Ident struct{ Name string }
+
+// SelfExpr is the `self` receiver inside a class method.
+type SelfExpr struct{}
+
+// FieldExpr accesses a field of an object expression (obj.name).
+type FieldExpr struct {
+	Obj  Expr
+	Name string
+}
+
+// BinaryExpr applies a binary operator: + - * / % < <= > >= == != AND OR.
+type BinaryExpr struct {
+	Op       string
+	Lhs, Rhs Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op  string
+	Rhs Expr
+}
+
+// CallExpr calls a global function by name.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// MethodCallExpr calls a method on an object expression.
+type MethodCallExpr struct {
+	Obj  Expr
+	Name string
+	Args []Expr
+	Line int
+}
+
+// MessageExpr constructs a message value: MESSAGE.name(args).
+type MessageExpr struct {
+	Name string
+	Args []Expr
+}
+
+// NewExpr instantiates a class: new ClassName(args).
+type NewExpr struct {
+	Class string
+	Args  []Expr
+	Line  int
+}
+
+func (*IntLit) exprNode()         {}
+func (*FloatLit) exprNode()       {}
+func (*StrLit) exprNode()         {}
+func (*BoolLit) exprNode()        {}
+func (*NullLit) exprNode()        {}
+func (*Ident) exprNode()          {}
+func (*SelfExpr) exprNode()       {}
+func (*FieldExpr) exprNode()      {}
+func (*BinaryExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()      {}
+func (*CallExpr) exprNode()       {}
+func (*MethodCallExpr) exprNode() {}
+func (*MessageExpr) exprNode()    {}
+func (*NewExpr) exprNode()        {}
+
+// --- Statements ---
+
+// Stmt is any pseudocode statement node.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt assigns to an identifier, self.field, or obj.field target.
+type AssignStmt struct {
+	Target Expr // *Ident or *FieldExpr
+	Value  Expr
+	Line   int
+}
+
+// PrintStmt is PRINT (no newline, matching the figures' spacing-in-literal
+// style) or PRINTLN.
+type PrintStmt struct {
+	Value   Expr
+	Newline bool
+	Line    int
+}
+
+// IfStmt is IF/ELSE IF/ELSE/ENDIF. ElseIfs are flattened into nested Else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may contain a single IfStmt for ELSE IF chains
+	Line int
+}
+
+// WhileStmt is WHILE cond ... ENDWHILE.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// DefineStmt declares a function (top level) or method (inside CLASS).
+type DefineStmt struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// ParaStmt runs each child statement as a concurrent task and joins.
+type ParaStmt struct {
+	Tasks []Stmt
+	Line  int
+}
+
+// ExcAccStmt is an exclusive-access block guarding the variables it touches.
+type ExcAccStmt struct {
+	Body []Stmt
+	Line int
+}
+
+// WaitStmt is WAIT(): release the enclosing exclusive access and suspend.
+type WaitStmt struct{ Line int }
+
+// NotifyStmt is NOTIFY(): wake all waiters.
+type NotifyStmt struct{ Line int }
+
+// SendStmt is Send(msg).To(target): asynchronous message send.
+type SendStmt struct {
+	Msg    Expr
+	Target Expr
+	Line   int
+}
+
+// RecvClause is one ON_RECEIVING arm: MESSAGE.name(params) body.
+type RecvClause struct {
+	MsgName string
+	Params  []string
+	Body    []Stmt
+	Line    int
+}
+
+// ReceiveStmt is an ON_RECEIVING dispatch. A method whose body consists of
+// a ReceiveStmt runs as a persistent receiver task.
+type ReceiveStmt struct {
+	Clauses []RecvClause
+	Line    int
+}
+
+// ClassStmt declares a class with methods.
+type ClassStmt struct {
+	Name    string
+	Methods []*DefineStmt
+	Line    int
+}
+
+// ReturnStmt returns from a function, optionally with a value.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its effects (a call statement).
+type ExprStmt struct {
+	E    Expr
+	Line int
+}
+
+func (*AssignStmt) stmtNode()  {}
+func (*PrintStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()   {}
+func (*DefineStmt) stmtNode()  {}
+func (*ParaStmt) stmtNode()    {}
+func (*ExcAccStmt) stmtNode()  {}
+func (*WaitStmt) stmtNode()    {}
+func (*NotifyStmt) stmtNode()  {}
+func (*SendStmt) stmtNode()    {}
+func (*ReceiveStmt) stmtNode() {}
+func (*ClassStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()    {}
+
+// Program is a parsed pseudocode source file.
+type Program struct {
+	Stmts []Stmt
+}

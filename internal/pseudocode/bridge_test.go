@@ -1,0 +1,223 @@
+package pseudocode
+
+import "testing"
+
+// The single-lane bridge is the program behind the paper's Test 1
+// (Figures 6-7). These tests verify the safety property (no two directions
+// on the bridge), progress (all three cars cross), and the reachability
+// facts the test questions ask about.
+
+func TestBridgeSharedSafety(t *testing.T) {
+	src := loadFixture(t, "bridge_shared.pc")
+	violated, err := Reachable(src, Semantics{}, func(w *World) bool {
+		r, _ := w.GetGlobal("redOnBridge").(IntV)
+		b, _ := w.GetGlobal("blueOnBridge").(IntV)
+		return r > 0 && b > 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("safety violated: red and blue cars on the bridge together")
+	}
+}
+
+func TestBridgeSharedBothRedsShareBridge(t *testing.T) {
+	src := loadFixture(t, "bridge_shared.pc")
+	reachable, err := Reachable(src, Semantics{}, func(w *World) bool {
+		r, _ := w.GetGlobal("redOnBridge").(IntV)
+		return r == 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reachable {
+		t.Fatal("two same-direction cars should be able to share the bridge")
+	}
+}
+
+func TestBridgeSharedAllCross(t *testing.T) {
+	src := loadFixture(t, "bridge_shared.pc")
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatalf("bridge deadlocked in %d terminal states", res.Deadlocks)
+	}
+	for _, o := range res.Outputs {
+		if o != "3\n" {
+			t.Fatalf("some execution finished with crossed != 3: %q", res.Outputs)
+		}
+	}
+}
+
+func TestBridgeSharedCoarseLockStillSafe(t *testing.T) {
+	// Under the [I1]S7 misconception the whole enter/exit functions hold
+	// the lock; the program still completes (it is *more* conservative),
+	// which is why S7 students answer "NO" to questions about concurrent
+	// entry attempts that are actually possible.
+	src := loadFixture(t, "bridge_shared.pc")
+	res := mustExplore(t, src, Semantics{CoarseLock: true})
+	if res.HasDeadlock() {
+		t.Fatal("coarse-lock bridge should still complete")
+	}
+	for _, o := range res.Outputs {
+		if o != "3\n" {
+			t.Fatalf("outputs = %q", res.Outputs)
+		}
+	}
+}
+
+// Question (m) of Figure 6's family: while redCarA is inside redEnter's
+// exclusive block (holding the access), can redCarB also be inside
+// redEnter (blocked at the EXC_ACC marker)? True semantics: YES — method
+// invocation does not acquire the lock; only EXC_ACC does.
+func TestBridgeSharedTwoCarsInsideEnter(t *testing.T) {
+	src := loadFixture(t, "bridge_shared.pc")
+	reachable, err := Reachable(src, Semantics{}, func(w *World) bool {
+		inside := 0
+		for _, task := range w.Tasks {
+			if task.Done {
+				continue
+			}
+			for _, fr := range task.frames {
+				if fr.code.Name == "redEnter" {
+					inside++
+				}
+			}
+		}
+		return inside >= 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reachable {
+		t.Fatal("two cars should be able to be inside redEnter simultaneously")
+	}
+	// Under S7 (lock held for the whole function) this becomes impossible —
+	// exactly the wrong "NO" the misconception produces. (Cars parked in
+	// WAIT — or woken but not yet re-acquired — hold no access in either
+	// model, so they don't count as "inside".)
+	reachableS7, err := Reachable(src, Semantics{CoarseLock: true}, func(w *World) bool {
+		inside := 0
+		for _, task := range w.Tasks {
+			if task.Done || task.block == blockWaitNotify || task.block == blockReacquire {
+				continue
+			}
+			for _, fr := range task.frames {
+				if fr.code.Name == "redEnter" {
+					inside++
+				}
+			}
+		}
+		return inside >= 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reachableS7 {
+		t.Fatal("coarse lock must serialize redEnter invocations")
+	}
+}
+
+func TestBridgeMessageSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("message-bridge exploration is expensive")
+	}
+	src := loadFixture(t, "bridge_message.pc")
+	violated, err := Reachable(src, Semantics{}, func(w *World) bool {
+		bridges := w.ObjectsByClass("Bridge")
+		if len(bridges) == 0 {
+			return false
+		}
+		r, _ := bridges[0].Fields["red"].(IntV)
+		b, _ := bridges[0].Fields["blue"].(IntV)
+		return r > 0 && b > 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("bridge granted both directions simultaneously")
+	}
+}
+
+func TestBridgeMessageAllCross(t *testing.T) {
+	if testing.Short() {
+		t.Skip("message-bridge exploration is expensive")
+	}
+	src := loadFixture(t, "bridge_message.pc")
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatalf("message bridge deadlocked: %+v", res.Terminals)
+	}
+	// Every quiescent terminal must have all three cars across.
+	stuck, err := Reachable(src, Semantics{}, func(w *World) bool {
+		if w.Classify() != Quiescent {
+			return false
+		}
+		c, _ := w.GetGlobal("crossed").(IntV)
+		return c != 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stuck {
+		t.Fatal("some quiescent state has crossed != 3")
+	}
+	if res.StatesVisited == 0 {
+		t.Fatal("no exploration happened")
+	}
+}
+
+// [C1]M4's target fact: a car can be "on the bridge" (bridge granted entry)
+// before the car has received the succeedEnter acknowledgement. True
+// semantics: YES (grant and receipt are separate events).
+func TestBridgeMessageGrantPrecedesReceipt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("message-bridge exploration is expensive")
+	}
+	src := loadFixture(t, "bridge_message.pc")
+	reachable, err := Reachable(src, Semantics{}, func(w *World) bool {
+		bridges := w.ObjectsByClass("Bridge")
+		if len(bridges) == 0 {
+			return false
+		}
+		r, _ := bridges[0].Fields["red"].(IntV)
+		// red > 0 while a succeedEnter message is still in flight.
+		return r > 0 && w.MailboxCount() > 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reachable {
+		t.Fatal("bridge grant should precede acknowledgement receipt")
+	}
+}
+
+// [I2]M5's target fact: two enter requests from different senders can be
+// received in either order. Under true (bag) semantics, redCarB's request
+// can be served before redCarA's even if sent later; under the FIFO
+// misconception the service order is fixed by arrival order.
+func TestBridgeMessageUnorderedDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("message-bridge exploration is expensive")
+	}
+	src := loadFixture(t, "bridge_message.pc")
+	resFIFO := mustExplore(t, src, Semantics{FIFOMailboxes: true})
+	if resFIFO.HasDeadlock() {
+		t.Fatal("FIFO bridge should still complete")
+	}
+	// Even under FIFO, every quiescent terminal crosses all three cars.
+	stuck, err := Reachable(src, Semantics{FIFOMailboxes: true}, func(w *World) bool {
+		if w.Classify() != Quiescent {
+			return false
+		}
+		c, _ := w.GetGlobal("crossed").(IntV)
+		return c != 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stuck {
+		t.Fatal("FIFO bridge strands a car")
+	}
+}

@@ -1,0 +1,580 @@
+package pseudocode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a VM opcode.
+type Op int
+
+// Opcodes. OpStep marks the start of an atomic statement: tasks park at
+// OpStep (or at a blocked blocking-op) between scheduler turns, which gives
+// exactly the paper's interleaving granularity ("simple statements are
+// executed atomically").
+const (
+	OpStep        Op = iota // statement boundary marker
+	OpPush                  // push Consts[A]
+	OpLoad                  // push variable S (locals → self fields → globals)
+	OpStore                 // store top of stack into S
+	OpLoadSelf              // push the frame's self reference
+	OpGetField              // pop obj, push obj.S
+	OpSetField              // pop value, pop obj, set obj.S
+	OpBinary                // pop rhs, lhs; push lhs S rhs
+	OpUnary                 // pop v; push S v
+	OpJump                  // ip = A
+	OpJumpIfFalse           // pop cond; if false ip = A
+	OpPrint                 // pop v, append to output; A==1 appends newline
+	OpCall                  // call global function S with A args
+	OpCallMethod            // pop A args then obj; call method S
+	OpReturn                // pop return value, pop frame
+	OpPop                   // discard top of stack
+	OpMakeMsg               // pop A args; push MESSAGE.S(args)
+	OpNew                   // push new instance of class S
+	OpSend                  // pop target, msg; enqueue msg in target's mailbox
+	OpAcquire               // acquire footprint Footprints[A] (blocking)
+	OpRelease               // release footprint Footprints[A]
+	OpWait                  // release footprint Footprints[A], park until NOTIFY
+	OpNotify                // wake waiters
+	OpPara                  // spawn tasks ParaBlocks[A]
+	OpParaJoin              // block until this task's children finish
+	OpReceive               // dispatch per RecvTables[A] (blocking, choice)
+)
+
+var opNames = [...]string{
+	"STEP", "PUSH", "LOAD", "STORE", "LOADSELF", "GETFIELD", "SETFIELD",
+	"BINARY", "UNARY", "JUMP", "JMPFALSE", "PRINT", "CALL", "CALLMETHOD",
+	"RETURN", "POP", "MAKEMSG", "NEW", "SEND", "ACQUIRE", "RELEASE",
+	"WAIT", "NOTIFY", "PARA", "PARAJOIN", "RECEIVE",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op   Op
+	A    int    // numeric operand (jump target, argc, table index)
+	S    string // symbolic operand (name, operator)
+	Line int    // source line for traces and errors
+}
+
+// CompiledClause is one ON_RECEIVING arm after compilation.
+type CompiledClause struct {
+	MsgName string
+	Params  []string
+	Target  int // jump target of the clause body
+}
+
+// RecvTable is the dispatch table of one OpReceive.
+type RecvTable struct {
+	Clauses []CompiledClause
+}
+
+// CodeObject is a compiled function, method, top-level program, or PARA
+// child.
+type CodeObject struct {
+	Name       string
+	Params     []string
+	Instrs     []Instr
+	IsReceiver bool     // body contains ON_RECEIVING: calls spawn a task
+	IsMethod   bool     // defined inside a CLASS
+	ExcVars    []string // union of EXC_ACC footprints (for CoarseLock)
+}
+
+// Compiled is a fully compiled program.
+type Compiled struct {
+	Main       *CodeObject
+	Funcs      map[string]*CodeObject
+	Classes    map[string]map[string]*CodeObject
+	Footprints [][]string // EXC_ACC variable sets by index
+	ParaBlocks [][]*CodeObject
+	RecvTables []RecvTable
+	Consts     []Value
+}
+
+// CompileError reports a semantic error found during compilation.
+type CompileError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("pseudocode: line %d: %s", e.Line, e.Msg)
+}
+
+// Compile translates a parsed program to VM code.
+func Compile(prog *Program) (*Compiled, error) {
+	c := &compiler{
+		out: &Compiled{
+			Funcs:   map[string]*CodeObject{},
+			Classes: map[string]map[string]*CodeObject{},
+		},
+		constIdx: map[string]int{},
+	}
+	// First pass: hoist function and class declarations so calls can appear
+	// before definitions (the figures define after use in places).
+	var mainStmts []Stmt
+	for _, s := range prog.Stmts {
+		switch d := s.(type) {
+		case *DefineStmt:
+			if _, dup := c.out.Funcs[d.Name]; dup {
+				return nil, &CompileError{d.Line, "duplicate function " + d.Name}
+			}
+			c.out.Funcs[d.Name] = nil // reserve
+		case *ClassStmt:
+			if _, dup := c.out.Classes[d.Name]; dup {
+				return nil, &CompileError{d.Line, "duplicate class " + d.Name}
+			}
+			c.out.Classes[d.Name] = map[string]*CodeObject{}
+			for _, m := range d.Methods {
+				if _, dup := c.out.Classes[d.Name][m.Name]; dup {
+					return nil, &CompileError{m.Line, "duplicate method " + m.Name}
+				}
+				c.out.Classes[d.Name][m.Name] = nil
+			}
+		default:
+			mainStmts = append(mainStmts, s)
+		}
+	}
+	for _, s := range prog.Stmts {
+		switch d := s.(type) {
+		case *DefineStmt:
+			co, err := c.compileFunc(d, false)
+			if err != nil {
+				return nil, err
+			}
+			c.out.Funcs[d.Name] = co
+		case *ClassStmt:
+			for _, m := range d.Methods {
+				co, err := c.compileFunc(m, true)
+				if err != nil {
+					return nil, err
+				}
+				co.Name = d.Name + "." + m.Name
+				c.out.Classes[d.Name][m.Name] = co
+			}
+		}
+	}
+	main, err := c.compileBlock("main", nil, mainStmts, false)
+	if err != nil {
+		return nil, err
+	}
+	c.out.Main = main
+	return c.out, nil
+}
+
+// CompileSource parses and compiles src in one call.
+func CompileSource(src string) (*Compiled, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(p)
+}
+
+type compiler struct {
+	out      *Compiled
+	constIdx map[string]int
+}
+
+// fnCtx carries per-function compilation context.
+type fnCtx struct {
+	code     *CodeObject
+	isMethod bool
+	params   map[string]bool
+	excStack []int // footprint indices of enclosing EXC_ACC blocks
+}
+
+func (c *compiler) compileFunc(d *DefineStmt, isMethod bool) (*CodeObject, error) {
+	co, err := c.compileBlock(d.Name, d.Params, d.Body, isMethod)
+	if err != nil {
+		return nil, err
+	}
+	return co, nil
+}
+
+func (c *compiler) compileBlock(name string, params []string, body []Stmt, isMethod bool) (*CodeObject, error) {
+	code := &CodeObject{Name: name, Params: params, IsMethod: isMethod}
+	ctx := &fnCtx{code: code, isMethod: isMethod, params: map[string]bool{}}
+	for _, p := range params {
+		ctx.params[p] = true
+	}
+	if err := c.stmts(ctx, body); err != nil {
+		return nil, err
+	}
+	// Implicit return Null at the end (top level: frame pop ends the task).
+	c.emit(ctx, Instr{Op: OpPush, A: c.constant(NullV{})})
+	c.emit(ctx, Instr{Op: OpReturn})
+	return code, nil
+}
+
+func (c *compiler) emit(ctx *fnCtx, in Instr) int {
+	ctx.code.Instrs = append(ctx.code.Instrs, in)
+	return len(ctx.code.Instrs) - 1
+}
+
+func (c *compiler) constant(v Value) int {
+	key := encodeValue(v)
+	if i, ok := c.constIdx[key]; ok {
+		return i
+	}
+	c.out.Consts = append(c.out.Consts, v)
+	c.constIdx[key] = len(c.out.Consts) - 1
+	return len(c.out.Consts) - 1
+}
+
+func (c *compiler) stmts(ctx *fnCtx, body []Stmt) error {
+	for _, s := range body {
+		if err := c.stmt(ctx, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(ctx *fnCtx, s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		switch tgt := st.Target.(type) {
+		case *Ident:
+			if err := c.expr(ctx, st.Value); err != nil {
+				return err
+			}
+			c.emit(ctx, Instr{Op: OpStore, S: tgt.Name, Line: st.Line})
+		case *FieldExpr:
+			if err := c.expr(ctx, tgt.Obj); err != nil {
+				return err
+			}
+			if err := c.expr(ctx, st.Value); err != nil {
+				return err
+			}
+			c.emit(ctx, Instr{Op: OpSetField, S: tgt.Name, Line: st.Line})
+		default:
+			return &CompileError{st.Line, "invalid assignment target"}
+		}
+	case *PrintStmt:
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		if err := c.expr(ctx, st.Value); err != nil {
+			return err
+		}
+		nl := 0
+		if st.Newline {
+			nl = 1
+		}
+		c.emit(ctx, Instr{Op: OpPrint, A: nl, Line: st.Line})
+	case *IfStmt:
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		if err := c.expr(ctx, st.Cond); err != nil {
+			return err
+		}
+		jf := c.emit(ctx, Instr{Op: OpJumpIfFalse, Line: st.Line})
+		if err := c.stmts(ctx, st.Then); err != nil {
+			return err
+		}
+		jend := c.emit(ctx, Instr{Op: OpJump, Line: st.Line})
+		ctx.code.Instrs[jf].A = len(ctx.code.Instrs)
+		if err := c.stmts(ctx, st.Else); err != nil {
+			return err
+		}
+		ctx.code.Instrs[jend].A = len(ctx.code.Instrs)
+	case *WhileStmt:
+		top := len(ctx.code.Instrs)
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		if err := c.expr(ctx, st.Cond); err != nil {
+			return err
+		}
+		jf := c.emit(ctx, Instr{Op: OpJumpIfFalse, Line: st.Line})
+		if err := c.stmts(ctx, st.Body); err != nil {
+			return err
+		}
+		c.emit(ctx, Instr{Op: OpJump, A: top, Line: st.Line})
+		ctx.code.Instrs[jf].A = len(ctx.code.Instrs)
+	case *DefineStmt:
+		return &CompileError{st.Line, "nested DEFINE is not allowed"}
+	case *ClassStmt:
+		return &CompileError{st.Line, "nested CLASS is not allowed"}
+	case *ParaStmt:
+		children := make([]*CodeObject, 0, len(st.Tasks))
+		for i, ts := range st.Tasks {
+			child, err := c.compileBlock(fmt.Sprintf("%s/para%d", ctx.code.Name, i), nil, []Stmt{ts}, ctx.isMethod)
+			if err != nil {
+				return err
+			}
+			children = append(children, child)
+		}
+		c.out.ParaBlocks = append(c.out.ParaBlocks, children)
+		idx := len(c.out.ParaBlocks) - 1
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		c.emit(ctx, Instr{Op: OpPara, A: idx, Line: st.Line})
+		c.emit(ctx, Instr{Op: OpParaJoin, Line: st.Line})
+	case *ExcAccStmt:
+		fp := c.footprint(ctx, st.Body, st.Line)
+		c.out.Footprints = append(c.out.Footprints, fp)
+		idx := len(c.out.Footprints) - 1
+		// Record the union footprint on the code object for CoarseLock.
+		ctx.code.ExcVars = unionSorted(ctx.code.ExcVars, fp)
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		c.emit(ctx, Instr{Op: OpAcquire, A: idx, Line: st.Line})
+		ctx.excStack = append(ctx.excStack, idx)
+		if err := c.stmts(ctx, st.Body); err != nil {
+			return err
+		}
+		ctx.excStack = ctx.excStack[:len(ctx.excStack)-1]
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		c.emit(ctx, Instr{Op: OpRelease, A: idx, Line: st.Line})
+	case *WaitStmt:
+		if len(ctx.excStack) == 0 {
+			return &CompileError{st.Line, "WAIT() outside EXC_ACC"}
+		}
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		c.emit(ctx, Instr{Op: OpWait, A: ctx.excStack[len(ctx.excStack)-1], Line: st.Line})
+	case *NotifyStmt:
+		if len(ctx.excStack) == 0 {
+			return &CompileError{st.Line, "NOTIFY() outside EXC_ACC"}
+		}
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		c.emit(ctx, Instr{Op: OpNotify, Line: st.Line})
+	case *SendStmt:
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		if err := c.expr(ctx, st.Msg); err != nil {
+			return err
+		}
+		if err := c.expr(ctx, st.Target); err != nil {
+			return err
+		}
+		c.emit(ctx, Instr{Op: OpSend, Line: st.Line})
+	case *ReceiveStmt:
+		ctx.code.IsReceiver = true
+		table := RecvTable{}
+		c.out.RecvTables = append(c.out.RecvTables, table)
+		tblIdx := len(c.out.RecvTables) - 1
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		recvPos := c.emit(ctx, Instr{Op: OpReceive, A: tblIdx, Line: st.Line})
+		loopTop := recvPos - 1 // the OpStep before OpReceive
+		// Jump over the clause bodies happens via each clause ending with a
+		// jump back to the loop top; compile bodies and record targets.
+		var clauses []CompiledClause
+		for _, cl := range st.Clauses {
+			target := len(ctx.code.Instrs)
+			for _, p := range cl.Params {
+				ctx.params[p] = false // clause params are frame locals
+			}
+			if err := c.stmts(ctx, cl.Body); err != nil {
+				return err
+			}
+			c.emit(ctx, Instr{Op: OpJump, A: loopTop, Line: cl.Line})
+			clauses = append(clauses, CompiledClause{MsgName: cl.MsgName, Params: cl.Params, Target: target})
+		}
+		c.out.RecvTables[tblIdx] = RecvTable{Clauses: clauses}
+	case *ReturnStmt:
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		if st.Value != nil {
+			if err := c.expr(ctx, st.Value); err != nil {
+				return err
+			}
+		} else {
+			c.emit(ctx, Instr{Op: OpPush, A: c.constant(NullV{}), Line: st.Line})
+		}
+		c.emit(ctx, Instr{Op: OpReturn, Line: st.Line})
+	case *ExprStmt:
+		c.emit(ctx, Instr{Op: OpStep, Line: st.Line})
+		if err := c.expr(ctx, st.E); err != nil {
+			return err
+		}
+		c.emit(ctx, Instr{Op: OpPop, Line: st.Line})
+	default:
+		return &CompileError{0, fmt.Sprintf("unhandled statement %T", s)}
+	}
+	return nil
+}
+
+func (c *compiler) expr(ctx *fnCtx, e Expr) error {
+	switch ex := e.(type) {
+	case *IntLit:
+		c.emit(ctx, Instr{Op: OpPush, A: c.constant(IntV(ex.Value))})
+	case *FloatLit:
+		c.emit(ctx, Instr{Op: OpPush, A: c.constant(FloatV(ex.Value))})
+	case *StrLit:
+		c.emit(ctx, Instr{Op: OpPush, A: c.constant(StrV(ex.Value))})
+	case *BoolLit:
+		c.emit(ctx, Instr{Op: OpPush, A: c.constant(BoolV(ex.Value))})
+	case *NullLit:
+		c.emit(ctx, Instr{Op: OpPush, A: c.constant(NullV{})})
+	case *Ident:
+		c.emit(ctx, Instr{Op: OpLoad, S: ex.Name})
+	case *SelfExpr:
+		if !ctx.isMethod {
+			return &CompileError{0, "self outside class method"}
+		}
+		c.emit(ctx, Instr{Op: OpLoadSelf})
+	case *FieldExpr:
+		if err := c.expr(ctx, ex.Obj); err != nil {
+			return err
+		}
+		c.emit(ctx, Instr{Op: OpGetField, S: ex.Name})
+	case *BinaryExpr:
+		if err := c.expr(ctx, ex.Lhs); err != nil {
+			return err
+		}
+		if err := c.expr(ctx, ex.Rhs); err != nil {
+			return err
+		}
+		c.emit(ctx, Instr{Op: OpBinary, S: ex.Op})
+	case *UnaryExpr:
+		if err := c.expr(ctx, ex.Rhs); err != nil {
+			return err
+		}
+		c.emit(ctx, Instr{Op: OpUnary, S: ex.Op})
+	case *CallExpr:
+		for _, a := range ex.Args {
+			if err := c.expr(ctx, a); err != nil {
+				return err
+			}
+		}
+		if _, ok := c.out.Funcs[ex.Name]; !ok {
+			return &CompileError{ex.Line, "call to undefined function " + ex.Name}
+		}
+		c.emit(ctx, Instr{Op: OpCall, S: ex.Name, A: len(ex.Args), Line: ex.Line})
+	case *MethodCallExpr:
+		if err := c.expr(ctx, ex.Obj); err != nil {
+			return err
+		}
+		for _, a := range ex.Args {
+			if err := c.expr(ctx, a); err != nil {
+				return err
+			}
+		}
+		c.emit(ctx, Instr{Op: OpCallMethod, S: ex.Name, A: len(ex.Args), Line: ex.Line})
+	case *MessageExpr:
+		for _, a := range ex.Args {
+			if err := c.expr(ctx, a); err != nil {
+				return err
+			}
+		}
+		c.emit(ctx, Instr{Op: OpMakeMsg, S: ex.Name, A: len(ex.Args)})
+	case *NewExpr:
+		if len(ex.Args) != 0 {
+			return &CompileError{ex.Line, "constructors take no arguments; assign fields instead"}
+		}
+		if _, ok := c.out.Classes[ex.Class]; !ok {
+			return &CompileError{ex.Line, "unknown class " + ex.Class}
+		}
+		c.emit(ctx, Instr{Op: OpNew, S: ex.Class, Line: ex.Line})
+	default:
+		return &CompileError{0, fmt.Sprintf("unhandled expression %T", e)}
+	}
+	return nil
+}
+
+// footprint computes the variable set guarded by an EXC_ACC block: every
+// plain identifier referenced in the block that is not a parameter of the
+// enclosing function and not a known function/class name. Per Figure 4,
+// "other function calls that read or modify the same variables that appear
+// inside the markers may not execute".
+func (c *compiler) footprint(ctx *fnCtx, body []Stmt, line int) []string {
+	vars := map[string]bool{}
+	var walkExpr func(Expr)
+	var walkStmt func(Stmt)
+	walkExpr = func(e Expr) {
+		switch ex := e.(type) {
+		case *Ident:
+			if !ctx.params[ex.Name] {
+				if _, isFn := c.out.Funcs[ex.Name]; !isFn {
+					vars[ex.Name] = true
+				}
+			}
+		case *FieldExpr:
+			walkExpr(ex.Obj)
+		case *BinaryExpr:
+			walkExpr(ex.Lhs)
+			walkExpr(ex.Rhs)
+		case *UnaryExpr:
+			walkExpr(ex.Rhs)
+		case *CallExpr:
+			for _, a := range ex.Args {
+				walkExpr(a)
+			}
+		case *MethodCallExpr:
+			walkExpr(ex.Obj)
+			for _, a := range ex.Args {
+				walkExpr(a)
+			}
+		case *MessageExpr:
+			for _, a := range ex.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *AssignStmt:
+			walkExpr(st.Target)
+			walkExpr(st.Value)
+		case *PrintStmt:
+			walkExpr(st.Value)
+		case *IfStmt:
+			walkExpr(st.Cond)
+			for _, t := range st.Then {
+				walkStmt(t)
+			}
+			for _, t := range st.Else {
+				walkStmt(t)
+			}
+		case *WhileStmt:
+			walkExpr(st.Cond)
+			for _, t := range st.Body {
+				walkStmt(t)
+			}
+		case *ExcAccStmt:
+			// A nested EXC_ACC guards its own footprint; the outer block
+			// guards only the variables appearing outside it. (Figure 4
+			// specifies single blocks; this scoping choice preserves
+			// hold-and-wait, so the classic lock-ordering deadlock the
+			// course teaches is expressible.)
+		case *SendStmt:
+			walkExpr(st.Msg)
+			walkExpr(st.Target)
+		case *ReturnStmt:
+			if st.Value != nil {
+				walkExpr(st.Value)
+			}
+		case *ExprStmt:
+			walkExpr(st.E)
+		case *ParaStmt:
+			for _, t := range st.Tasks {
+				walkStmt(t)
+			}
+		}
+	}
+	for _, s := range body {
+		walkStmt(s)
+	}
+	out := make([]string, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unionSorted(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,65 @@
+package pseudocode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceDiagram renders a concrete run's step events as a Mermaid sequence
+// diagram: task lifelines, send→receive arrows (paired FIFO by message
+// display text), and notes for synchronization events. Use with
+// RunOpts.Trace or ReplayWitness to visualize an interleaving — including
+// a deadlock counterexample.
+func TraceDiagram(events []StepEvent) string {
+	var b strings.Builder
+	b.WriteString("sequenceDiagram\n")
+	seen := map[string]bool{}
+	var order []string
+	for _, e := range events {
+		if !seen[e.TaskName] {
+			seen[e.TaskName] = true
+			order = append(order, e.TaskName)
+		}
+	}
+	for _, p := range order {
+		fmt.Fprintf(&b, "    participant %s\n", diagramID(p))
+	}
+	// Pair sends to receives by the message's display text.
+	pending := map[string][]int{} // display -> send event indexes
+	recvOf := map[int]string{}    // send index -> receiving task
+	for i, e := range events {
+		switch e.Op {
+		case "send":
+			pending[e.Detail] = append(pending[e.Detail], i)
+		case "receive":
+			if q := pending[e.Detail]; len(q) > 0 {
+				recvOf[q[0]] = e.TaskName
+				pending[e.Detail] = q[1:]
+			}
+		}
+	}
+	for i, e := range events {
+		switch e.Op {
+		case "send":
+			if to, ok := recvOf[i]; ok {
+				fmt.Fprintf(&b, "    %s->>%s: %s\n", diagramID(e.TaskName), diagramID(to), e.Detail)
+			} else {
+				fmt.Fprintf(&b, "    %s--x%s: %s (pending)\n", diagramID(e.TaskName), diagramID(e.TaskName), e.Detail)
+			}
+		case "acquire", "release", "wait", "wake", "notify", "block-acquire":
+			fmt.Fprintf(&b, "    Note over %s: %s %s\n", diagramID(e.TaskName), e.Op, e.Detail)
+		case "print":
+			fmt.Fprintf(&b, "    Note over %s: PRINT %q\n", diagramID(e.TaskName), e.Detail)
+		}
+	}
+	return b.String()
+}
+
+func diagramID(name string) string {
+	r := strings.NewReplacer(" ", "_", "(", "_", ")", "_", "#", "_", ".", "_", "@", "_", "/", "_", "-", "_")
+	out := r.Replace(name)
+	if out == "" {
+		return "anon"
+	}
+	return out
+}

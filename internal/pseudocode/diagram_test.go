@@ -1,0 +1,67 @@
+package pseudocode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDiagramFromRun(t *testing.T) {
+	var events []StepEvent
+	_, err := RunSource(loadFixture(t, "fig5_messages.pc"), RunOpts{
+		Seed:  1,
+		Trace: func(ev StepEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := TraceDiagram(events)
+	for _, want := range []string{
+		"sequenceDiagram",
+		"participant main",
+		"->>Receiver_receive_0:",
+		"Note over Receiver_receive_0: PRINT",
+	} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("diagram missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestTraceDiagramFromDeadlockWitness(t *testing.T) {
+	prog, err := CompileSource(loadFixture(t, "philosophers_symmetric.pc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(prog, ExploreOpts{TrackWitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := ReplayWitness(prog, Semantics{}, res.DeadlockWitness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := TraceDiagram(events)
+	if !strings.Contains(d, "Note over") || !strings.Contains(d, "acquire") {
+		t.Fatalf("witness diagram lacks acquisitions:\n%s", d)
+	}
+}
+
+func TestTraceDiagramPendingSend(t *testing.T) {
+	var events []StepEvent
+	_, err := RunSource(`CLASS R
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.never(v)
+                PRINT v
+    ENDDEF
+ENDCLASS
+r = new R()
+Send(MESSAGE.orphan(1)).To(r)`, RunOpts{Seed: 1, Trace: func(ev StepEvent) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := TraceDiagram(events)
+	if !strings.Contains(d, "(pending)") {
+		t.Fatalf("undelivered message not marked:\n%s", d)
+	}
+}

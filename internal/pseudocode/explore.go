@@ -1,0 +1,328 @@
+package pseudocode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ExploreOpts configures exhaustive state-space exploration.
+type ExploreOpts struct {
+	Sem Semantics
+	// MaxStates bounds the number of distinct states visited
+	// (0 = DefaultMaxStates). When exceeded, the result is marked Truncated.
+	MaxStates int
+	// MaxDepth bounds the number of steps along any one execution
+	// (0 = DefaultMaxDepth).
+	MaxDepth int
+	// Predicate, when non-nil, is evaluated at every visited state; the
+	// result records whether any state satisfied it. Used for the study's
+	// "could this happen?" reachability questions.
+	Predicate func(w *World) bool
+	// Predicates, when non-empty, are all evaluated at every visited state;
+	// PredicateHits[i] records whether Predicates[i] matched anywhere. This
+	// lets one exploration answer a whole question bank.
+	Predicates []func(w *World) bool
+	// NoMemo disables state memoization (ablation): the exploration then
+	// walks the execution *tree* instead of the state *graph*. Only safe
+	// for acyclic programs; bounded by MaxStates/MaxDepth regardless.
+	NoMemo bool
+	// TrackGraph records the state graph so the result can answer liveness
+	// questions: DivergentStates counts states from which no terminal is
+	// reachable (livelock — e.g. an unconditional message-deferral loop).
+	// Costs memory proportional to the edge count. Incompatible with
+	// NoMemo.
+	TrackGraph bool
+	// TrackWitness records parent links so the result carries a concrete
+	// schedule (sequence of Choices) reaching the first deadlock found —
+	// a counterexample you can replay with ReplayWitness. Incompatible
+	// with NoMemo.
+	TrackWitness bool
+}
+
+// Exploration bounds defaults.
+const (
+	DefaultMaxStates = 2_000_000
+	DefaultMaxDepth  = 100_000
+)
+
+// ErrExploreError wraps a runtime error found on some execution path.
+var ErrExploreError = errors.New("pseudocode: runtime error during exploration")
+
+// Terminal is one distinct terminal configuration found by Explore.
+type Terminal struct {
+	Kind    TerminalKind
+	Output  string
+	Blocked []string // for deadlocks
+}
+
+// ExploreResult summarizes the full execution space.
+type ExploreResult struct {
+	// Terminals are the distinct terminal configurations (by state encoding).
+	Terminals []Terminal
+	// Outputs is the sorted set of distinct outputs over non-deadlocked
+	// terminals — Figure 3/5's "possibility 1 / possibility 2" sets.
+	Outputs []string
+	// DeadlockOutputs is the sorted set of outputs at deadlocked terminals.
+	DeadlockOutputs []string
+	// Deadlocks counts distinct deadlocked terminal states.
+	Deadlocks int
+	// StatesVisited counts distinct states explored.
+	StatesVisited int
+	// PredicateHit is true when opts.Predicate matched some visited state.
+	PredicateHit bool
+	// PredicateHits mirrors opts.Predicates.
+	PredicateHits []bool
+	// DivergentStates counts states that cannot reach any terminal state
+	// (only computed with opts.TrackGraph; livelocks make it non-zero).
+	DivergentStates int
+	// LivelockFree reports that every state can reach a terminal (only
+	// meaningful with opts.TrackGraph and an untruncated exploration).
+	LivelockFree bool
+	// DeadlockWitness is a schedule from the initial state to the first
+	// deadlock found (with opts.TrackWitness). Empty when no deadlock.
+	DeadlockWitness []Choice
+	// Truncated is true when a bound was hit; the result is then a lower
+	// bound on the execution space.
+	Truncated bool
+}
+
+// HasDeadlock reports whether any execution deadlocks.
+func (r *ExploreResult) HasDeadlock() bool { return r.Deadlocks > 0 }
+
+// OutputSet returns the distinct outputs as a set.
+func (r *ExploreResult) OutputSet() map[string]bool {
+	m := make(map[string]bool, len(r.Outputs))
+	for _, o := range r.Outputs {
+		m[o] = true
+	}
+	return m
+}
+
+// Explore enumerates every reachable state of prog under the semantics at
+// atomic-statement granularity, merging states that are identical under
+// canonical encoding. It returns the distinct terminal configurations and
+// the set of possible outputs — the "space of executions".
+func Explore(prog *Compiled, opts ExploreOpts) (*ExploreResult, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	res := &ExploreResult{}
+	visited := map[string]bool{}
+	terminalSeen := map[string]bool{}
+	outputSet := map[string]bool{}
+	deadlockOutputSet := map[string]bool{}
+
+	type node struct {
+		w     *World
+		depth int
+	}
+	res.PredicateHits = make([]bool, len(opts.Predicates))
+	observe := func(w *World) {
+		if opts.Predicate != nil && opts.Predicate(w) {
+			res.PredicateHit = true
+		}
+		for i, p := range opts.Predicates {
+			if !res.PredicateHits[i] && p(w) {
+				res.PredicateHits[i] = true
+			}
+		}
+	}
+	if (opts.TrackGraph || opts.TrackWitness) && opts.NoMemo {
+		return nil, errors.New("pseudocode: graph/witness tracking requires memoization")
+	}
+	var edges map[string][]string
+	var terminalEncs []string
+	if opts.TrackGraph {
+		edges = map[string][]string{}
+	}
+	var parents map[string]parentLink
+	if opts.TrackWitness {
+		parents = map[string]parentLink{}
+	}
+
+	start := NewWorld(prog, opts.Sem)
+	stack := []node{{w: start, depth: 0}}
+	visited[start.Encode()] = true
+	res.StatesVisited = 1
+	observe(start)
+
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var parentEnc string
+		if opts.TrackGraph || opts.TrackWitness {
+			parentEnc = n.w.Encode()
+		}
+		choices := n.w.Runnable()
+		if len(choices) == 0 {
+			kind := n.w.Classify()
+			enc := n.w.Encode()
+			if opts.TrackWitness && kind == Deadlocked && res.DeadlockWitness == nil {
+				res.DeadlockWitness = rebuildWitness(parents, enc)
+			}
+			if opts.TrackGraph && !terminalSeen[enc] {
+				terminalEncs = append(terminalEncs, enc)
+			}
+			if !terminalSeen[enc] {
+				terminalSeen[enc] = true
+				term := Terminal{Kind: kind, Output: n.w.Output()}
+				if kind == Deadlocked {
+					term.Blocked = n.w.BlockedTasks()
+					res.Deadlocks++
+					deadlockOutputSet[n.w.Output()] = true
+				} else {
+					outputSet[n.w.Output()] = true
+				}
+				res.Terminals = append(res.Terminals, term)
+			}
+			continue
+		}
+		if n.depth >= maxDepth {
+			res.Truncated = true
+			continue
+		}
+		for _, ch := range choices {
+			child := n.w.Clone()
+			if err := child.Step(ch); err != nil {
+				return res, errors.Join(ErrExploreError, err)
+			}
+			nVisited := len(visited)
+			if opts.NoMemo {
+				nVisited = res.StatesVisited
+			}
+			if nVisited >= maxStates {
+				res.Truncated = true
+				continue
+			}
+			if !opts.NoMemo {
+				enc := child.Encode()
+				if opts.TrackGraph {
+					edges[parentEnc] = append(edges[parentEnc], enc)
+				}
+				if visited[enc] {
+					continue
+				}
+				visited[enc] = true
+				if opts.TrackWitness {
+					parents[enc] = parentLink{parent: parentEnc, ch: ch}
+				}
+			}
+			res.StatesVisited++
+			observe(child)
+			stack = append(stack, node{w: child, depth: n.depth + 1})
+		}
+	}
+	for o := range outputSet {
+		res.Outputs = append(res.Outputs, o)
+	}
+	sort.Strings(res.Outputs)
+	for o := range deadlockOutputSet {
+		res.DeadlockOutputs = append(res.DeadlockOutputs, o)
+	}
+	sort.Strings(res.DeadlockOutputs)
+
+	if opts.TrackGraph && !res.Truncated {
+		// Liveness: a state is divergent if no terminal is reachable from
+		// it. Compute by reverse BFS from the terminals.
+		rev := map[string][]string{}
+		for from, tos := range edges {
+			for _, to := range tos {
+				rev[to] = append(rev[to], from)
+			}
+		}
+		reach := make(map[string]bool, len(visited))
+		queue := append([]string(nil), terminalEncs...)
+		for _, enc := range queue {
+			reach[enc] = true
+		}
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, prev := range rev[cur] {
+				if !reach[prev] {
+					reach[prev] = true
+					queue = append(queue, prev)
+				}
+			}
+		}
+		res.DivergentStates = len(visited) - len(reach)
+		res.LivelockFree = res.DivergentStates == 0
+	}
+	return res, nil
+}
+
+// parentLink records how a state was first reached during exploration.
+type parentLink struct {
+	parent string
+	ch     Choice
+}
+
+// rebuildWitness walks parent links from a terminal encoding back to the
+// initial state and returns the schedule in execution order.
+func rebuildWitness(parents map[string]parentLink, enc string) []Choice {
+	var rev []Choice
+	cur := enc
+	for {
+		link, ok := parents[cur]
+		if !ok {
+			break
+		}
+		rev = append(rev, link.ch)
+		cur = link.parent
+	}
+	out := make([]Choice, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// ReplayWitness executes a schedule produced by TrackWitness on a fresh
+// world, returning the trace of steps and the final world. It fails if the
+// schedule doesn't replay (wrong program or semantics).
+func ReplayWitness(prog *Compiled, sem Semantics, witness []Choice) ([]StepEvent, *World, error) {
+	w := NewWorld(prog, sem)
+	var events []StepEvent
+	w.Trace = func(ev StepEvent) { events = append(events, ev) }
+	for i, ch := range witness {
+		ok := false
+		for _, valid := range w.Runnable() {
+			if valid == ch {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return events, w, fmt.Errorf("pseudocode: witness step %d (%+v) is not runnable", i, ch)
+		}
+		if err := w.Step(ch); err != nil {
+			return events, w, err
+		}
+	}
+	return events, w, nil
+}
+
+// ExploreSource parses, compiles and explores src.
+func ExploreSource(src string, opts ExploreOpts) (*ExploreResult, error) {
+	prog, err := CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return Explore(prog, opts)
+}
+
+// Reachable reports whether pred holds in some reachable state of src under
+// sem — the primitive the study's Test-1 questions are built on.
+func Reachable(src string, sem Semantics, pred func(w *World) bool) (bool, error) {
+	res, err := ExploreSource(src, ExploreOpts{Sem: sem, Predicate: pred})
+	if err != nil {
+		return false, err
+	}
+	return res.PredicateHit, nil
+}

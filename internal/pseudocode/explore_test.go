@@ -1,0 +1,544 @@
+package pseudocode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustExplore(t *testing.T, src string, sem Semantics) *ExploreResult {
+	t.Helper()
+	res, err := ExploreSource(src, ExploreOpts{Sem: sem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated")
+	}
+	return res
+}
+
+func TestExploreSequentialSingleOutput(t *testing.T) {
+	res := mustExplore(t, `x = 1
+x = x + 1
+PRINTLN x`, Semantics{})
+	if len(res.Outputs) != 1 || res.Outputs[0] != "2\n" {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+	if res.StatesVisited == 0 {
+		t.Fatal("no states visited")
+	}
+}
+
+func TestExploreDetectsLockDeadlock(t *testing.T) {
+	// Classic lock-ordering deadlock: two tasks acquire a and b in opposite
+	// orders. Nested EXC_ACC blocks guard disjoint footprints.
+	src := `a = 0
+b = 0
+DEFINE left()
+    EXC_ACC
+        a = a + 1
+        EXC_ACC
+            b = b + 1
+        END_EXC_ACC
+    END_EXC_ACC
+ENDDEF
+DEFINE right()
+    EXC_ACC
+        b = b + 1
+        EXC_ACC
+            a = a + 1
+        END_EXC_ACC
+    END_EXC_ACC
+ENDDEF
+PARA
+    left()
+    right()
+ENDPARA
+PRINTLN a + b`
+	res := mustExplore(t, src, Semantics{})
+	if !res.HasDeadlock() {
+		t.Fatal("lock-order deadlock not found")
+	}
+	// But non-deadlocked executions still complete with 4.
+	set := res.OutputSet()
+	if !set["4\n"] {
+		t.Fatalf("successful executions should print 4; outputs = %q", res.Outputs)
+	}
+	foundBlocked := false
+	for _, term := range res.Terminals {
+		if term.Kind == Deadlocked && len(term.Blocked) == 3 { // two workers + joining main
+			foundBlocked = true
+		}
+	}
+	if !foundBlocked {
+		t.Fatalf("deadlock terminals should list blocked tasks: %+v", res.Terminals)
+	}
+}
+
+func TestExploreWaitWithoutNotifyDeadlocks(t *testing.T) {
+	src := `x = 0
+DEFINE f()
+    EXC_ACC
+        WHILE x < 1
+            WAIT()
+        ENDWHILE
+    END_EXC_ACC
+ENDDEF
+PARA
+    f()
+ENDPARA`
+	res := mustExplore(t, src, Semantics{})
+	if !res.HasDeadlock() {
+		t.Fatal("waiting forever should be a deadlock")
+	}
+	if len(res.Outputs) != 0 {
+		t.Fatalf("no execution completes, outputs = %q", res.Outputs)
+	}
+}
+
+func TestExploreNotifyWakesAll(t *testing.T) {
+	// Paper semantics: one NOTIFY finishes every WAIT. Two waiters, one
+	// notifier: all complete.
+	src := `go = 0
+done = 0
+DEFINE waiter()
+    EXC_ACC
+        WHILE go < 1
+            WAIT()
+        ENDWHILE
+        done = done + 1
+    END_EXC_ACC
+ENDDEF
+DEFINE setter()
+    EXC_ACC
+        go = 1
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+PARA
+    waiter()
+    waiter()
+    setter()
+ENDPARA
+PRINTLN done`
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatalf("wake-all must complete; %d deadlocks", res.Deadlocks)
+	}
+	for _, o := range res.Outputs {
+		if o != "2\n" {
+			t.Fatalf("both waiters must finish: outputs = %q", res.Outputs)
+		}
+	}
+}
+
+func TestExploreNotifyWakesOneAblation(t *testing.T) {
+	// Same program under Java-style notify (wake one): the second waiter
+	// can be stranded when the woken waiter doesn't re-notify.
+	src := `go = 0
+done = 0
+DEFINE waiter()
+    EXC_ACC
+        WHILE go < 1
+            WAIT()
+        ENDWHILE
+        done = done + 1
+    END_EXC_ACC
+ENDDEF
+DEFINE setter()
+    EXC_ACC
+        go = 1
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+PARA
+    waiter()
+    waiter()
+    setter()
+ENDPARA
+PRINTLN done`
+	res := mustExplore(t, src, Semantics{NotifyWakesOne: true})
+	if !res.HasDeadlock() {
+		t.Fatal("wake-one should strand a waiter in some interleaving")
+	}
+}
+
+func TestExploreSendSynchronousMisconception(t *testing.T) {
+	// Under [C1]M3 semantics a sender cannot proceed past a send until the
+	// receiver consumes it. With no receiver started, the send blocks
+	// forever → deadlock; under true semantics the program completes.
+	src := `CLASS R
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.m(v)
+                PRINT v
+    ENDDEF
+ENDCLASS
+r = new R()
+Send(MESSAGE.m("x")).To(r)
+PRINTLN "after send"`
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatal("async send must not block")
+	}
+	if !res.OutputSet()["after send\n"] {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+	resSync := mustExplore(t, src, Semantics{SendSynchronous: true})
+	if !resSync.HasDeadlock() {
+		t.Fatal("synchronous-send semantics should deadlock without a receiver")
+	}
+	if len(resSync.Outputs) != 0 {
+		t.Fatalf("sync outputs = %q", resSync.Outputs)
+	}
+}
+
+func TestExploreSendSynchronousWithReceiverCompletes(t *testing.T) {
+	src := `CLASS R
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.m(v)
+                PRINT v
+    ENDDEF
+ENDCLASS
+r = new R()
+r.receive()
+Send(MESSAGE.m("x")).To(r)
+PRINTLN "done"`
+	res := mustExplore(t, src, Semantics{SendSynchronous: true})
+	if res.HasDeadlock() {
+		t.Fatalf("rendezvous with live receiver must complete; terminals: %+v", res.Terminals)
+	}
+	if !res.OutputSet()["xdone\n"] {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+}
+
+func TestExploreCoarseLockSerializesWholeFunctions(t *testing.T) {
+	// Two functions that each take the lock briefly but also do unguarded
+	// prints. Under true semantics the prints interleave; under the [I1]S7
+	// coarse-lock misconception the whole functions serialize.
+	src := `x = 0
+DEFINE f()
+    PRINT "a"
+    EXC_ACC
+        x = x + 1
+    END_EXC_ACC
+    PRINT "b"
+ENDDEF
+DEFINE g()
+    PRINT "c"
+    EXC_ACC
+        x = x + 1
+    END_EXC_ACC
+    PRINT "d"
+ENDDEF
+PARA
+    f()
+    g()
+ENDPARA`
+	res := mustExplore(t, src, Semantics{})
+	coarse := mustExplore(t, src, Semantics{CoarseLock: true})
+	if len(coarse.Outputs) >= len(res.Outputs) {
+		t.Fatalf("coarse lock should shrink the output space: %d vs %d",
+			len(coarse.Outputs), len(res.Outputs))
+	}
+	// Under coarse locking only full serializations survive.
+	for _, o := range coarse.Outputs {
+		if o != "abcd" && o != "cdab" {
+			t.Fatalf("coarse-lock output %q is not a full serialization", o)
+		}
+	}
+	// True semantics allow e.g. "acbd".
+	if !res.OutputSet()["acbd"] {
+		t.Fatalf("true semantics should allow interleaving: %q", res.Outputs)
+	}
+}
+
+func TestExploreWaitKeepsLockDeadlocks(t *testing.T) {
+	// Under the wait-keeps-lock confusion, the setter can never enter the
+	// exclusive region, so the waiter waits forever.
+	src := loadFixtureStr(t, "fig4b_waitnotify.pc")
+	res := mustExplore(t, src, Semantics{WaitKeepsLock: true})
+	if !res.HasDeadlock() {
+		t.Fatal("wait-keeps-lock should deadlock fig4b")
+	}
+}
+
+func loadFixtureStr(t *testing.T, name string) string {
+	return loadFixture(t, name)
+}
+
+func TestExplorePredicateReachability(t *testing.T) {
+	src := `x = 0
+PARA
+    x = x + 1
+    x = x + 10
+ENDPARA
+PRINTLN x`
+	reached, err := Reachable(src, Semantics{}, func(w *World) bool {
+		v, ok := w.GetGlobal("x").(IntV)
+		return ok && v == 10 // the +10 task ran first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Fatal("x == 10 should be reachable")
+	}
+	reached, err = Reachable(src, Semantics{}, func(w *World) bool {
+		v, ok := w.GetGlobal("x").(IntV)
+		return ok && v == 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Fatal("x == 5 should be unreachable")
+	}
+}
+
+func TestExploreStateMerging(t *testing.T) {
+	// Two commuting increments: the diamond should merge, keeping the state
+	// count well below the trace count.
+	src := `x = 0
+y = 0
+PARA
+    x = 1
+    y = 1
+ENDPARA
+PRINTLN x + y`
+	res := mustExplore(t, src, Semantics{})
+	if len(res.Outputs) != 1 || res.Outputs[0] != "2\n" {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+	if res.StatesVisited > 40 {
+		t.Fatalf("state merging ineffective: %d states", res.StatesVisited)
+	}
+}
+
+func TestExploreMaxStatesTruncates(t *testing.T) {
+	src := `x = 0
+PARA
+    x = x + 1
+    x = x + 2
+    x = x + 3
+ENDPARA
+PRINTLN x`
+	res, err := ExploreSource(src, ExploreOpts{MaxStates: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("tiny MaxStates should truncate")
+	}
+}
+
+func TestExploreRuntimeErrorPropagates(t *testing.T) {
+	_, err := ExploreSource(`PRINTLN 1 / 0`, ExploreOpts{})
+	if err == nil {
+		t.Fatal("division by zero should surface")
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	src := loadFixture(t, "fig3c_interleave.pc")
+	a1, err := RunSource(src, RunOpts{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := RunSource(src, RunOpts{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Output != a2.Output {
+		t.Fatalf("same seed, different outputs: %q vs %q", a1.Output, a2.Output)
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	src := `x = 0
+WHILE True
+    x = x + 1
+ENDWHILE`
+	_, err := RunSource(src, RunOpts{Seed: 1, MaxSteps: 100})
+	if err != ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestRunTraceEvents(t *testing.T) {
+	var events []StepEvent
+	_, err := RunSource(`x = 1
+PRINTLN x`, RunOpts{Seed: 1, Trace: func(ev StepEvent) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Op)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "assign") || !strings.Contains(joined, "print") {
+		t.Fatalf("trace = %v", kinds)
+	}
+}
+
+// Property: every concrete run's output is contained in the explored output
+// set (the explorer over-approximates nothing and misses nothing).
+func TestExplorerCoversConcreteRunsQuick(t *testing.T) {
+	src := loadFixture(t, "fig3c_interleave.pc")
+	res := mustExplore(t, src, Semantics{})
+	set := res.OutputSet()
+	f := func(seed int64) bool {
+		r, err := RunSource(src, RunOpts{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return set[r.Output]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exploration is deterministic.
+func TestExploreDeterministic(t *testing.T) {
+	src := loadFixture(t, "fig5_messages.pc")
+	r1 := mustExplore(t, src, Semantics{})
+	r2 := mustExplore(t, src, Semantics{})
+	if r1.StatesVisited != r2.StatesVisited || len(r1.Outputs) != len(r2.Outputs) {
+		t.Fatalf("nondeterministic exploration: %d/%d vs %d/%d",
+			r1.StatesVisited, len(r1.Outputs), r2.StatesVisited, len(r2.Outputs))
+	}
+}
+
+func TestWorldCloneIndependence(t *testing.T) {
+	prog, err := CompileSource(`x = 1
+x = 2
+PRINTLN x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(prog, Semantics{})
+	choices := w.Runnable()
+	if len(choices) != 1 {
+		t.Fatalf("choices = %v", choices)
+	}
+	clone := w.Clone()
+	if err := w.Step(choices[0]); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Encode() == w.Encode() {
+		t.Fatal("stepping the original mutated the clone")
+	}
+	if clone.GetGlobal("x") != nil {
+		t.Fatal("clone should still be at the initial state")
+	}
+}
+
+func TestClassFieldsAndMethods(t *testing.T) {
+	src := `CLASS Counter
+    DEFINE init(start)
+        self.n = start
+    ENDDEF
+    DEFINE incr(by)
+        self.n = self.n + by
+        RETURN self.n
+    ENDDEF
+ENDCLASS
+c = new Counter()
+c.init(10)
+v = c.incr(5)
+PRINTLN v
+PRINTLN c.n`
+	res, err := RunSource(src, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "15\n15\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestMethodImplicitFieldResolution(t *testing.T) {
+	// Inside a method, a bare name falls back to self's fields before
+	// globals.
+	src := `CLASS C
+    DEFINE setup()
+        self.v = 1
+    ENDDEF
+    DEFINE bump()
+        v = v + 41
+        RETURN v
+    ENDDEF
+ENDCLASS
+v = 1000
+c = new C()
+c.setup()
+PRINTLN c.bump()
+PRINTLN v`
+	res, err := RunSource(src, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42\n1000\n" {
+		t.Fatalf("output = %q (field must shadow global)", res.Output)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined variable": `PRINTLN nope`,
+		"bad condition":      `IF 3 THEN PRINTLN 1 ENDIF`,
+		"bad operand":        `PRINTLN "a" + 1`,
+		"no such field":      "CLASS C DEFINE m() ENDDEF ENDCLASS\nc = new C()\nPRINTLN c.ghost",
+		"no such method":     "CLASS C DEFINE m() ENDDEF ENDCLASS\nc = new C()\nc.ghost()",
+		"send to non-object": `Send(MESSAGE.m(1)).To(5)`,
+		"arity mismatch":     "DEFINE f(a) ENDDEF\nf(1, 2)",
+	}
+	for name, src := range cases {
+		if _, err := RunSource(src, RunOpts{Seed: 1}); err == nil {
+			t.Fatalf("%s: RunSource(%q) should fail", name, src)
+		}
+	}
+}
+
+func TestWhileLoopAndModulo(t *testing.T) {
+	src := `i = 0
+evens = 0
+WHILE i < 10
+    IF i % 2 == 0 THEN
+        evens = evens + 1
+    ENDIF
+    i = i + 1
+ENDWHILE
+PRINTLN evens`
+	res, err := RunSource(src, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "5\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestFloatsAndStringsOps(t *testing.T) {
+	src := `PRINTLN 1.5 + 2
+PRINTLN "ab" + "cd"
+PRINTLN 7 / 2
+PRINTLN 7.0 / 2
+PRINTLN -3
+PRINTLN NOT False
+PRINTLN 1 == 1.0
+PRINTLN "a" < "b"`
+	res, err := RunSource(src, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "3.5\nabcd\n3\n3.5\n-3\nTrue\nTrue\nTrue\n"
+	if res.Output != want {
+		t.Fatalf("output = %q, want %q", res.Output, want)
+	}
+}

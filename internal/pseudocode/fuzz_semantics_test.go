@@ -1,0 +1,195 @@
+package pseudocode
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The misconception semantics power the study simulation, so they deserve
+// the same differential guarantee as the true semantics: under every
+// Semantics variant, every concrete run's outcome must lie within that
+// variant's explored execution space.
+
+func allSemantics() map[string]Semantics {
+	return map[string]Semantics{
+		"true":            {},
+		"sync-send":       {SendSynchronous: true},
+		"fifo":            {FIFOMailboxes: true},
+		"coarse-lock":     {CoarseLock: true},
+		"wait-keeps-lock": {WaitKeepsLock: true},
+		"notify-one":      {NotifyWakesOne: true},
+	}
+}
+
+// genGuardedProgram produces random programs that exercise EXC_ACC and
+// WAIT/NOTIFY (the constructs the lock-related semantics perturb). The
+// generated pattern is always terminating under true semantics: a setter
+// task eventually satisfies every waiter's condition.
+func genGuardedProgram(rng *rand.Rand) string {
+	// waiters wait for g >= threshold; setters increment g with NOTIFY.
+	nWaiters := 1 + rng.Intn(2)
+	nSetters := nWaiters + rng.Intn(2) // at least one increment per waiter
+	threshold := 1 + rng.Intn(nSetters)
+	src := "g = 0\ndone = 0\n"
+	src += "DEFINE waiter()\n    EXC_ACC\n"
+	src += "        WHILE g < " + itoa(threshold) + "\n            WAIT()\n        ENDWHILE\n"
+	src += "        done = done + 1\n    END_EXC_ACC\nENDDEF\n"
+	src += "DEFINE setter()\n    EXC_ACC\n        g = g + 1\n        NOTIFY()\n    END_EXC_ACC\nENDDEF\n"
+	src += "PARA\n"
+	for i := 0; i < nWaiters; i++ {
+		src += "    waiter()\n"
+	}
+	for i := 0; i < nSetters; i++ {
+		src += "    setter()\n"
+	}
+	src += "ENDPARA\nPRINTLN done\n"
+	return src
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// genMessageProgram produces random message-passing programs: one receiver
+// with two clauses, a few sends in random order from the main task.
+func genMessageProgram(rng *rand.Rand) string {
+	src := `CLASS R
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.a(v)
+                PRINT v
+            MESSAGE.b(v)
+                PRINT v
+    ENDDEF
+ENDCLASS
+r = new R()
+r.receive()
+`
+	n := 2 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		kind := "a"
+		if rng.Intn(2) == 0 {
+			kind = "b"
+		}
+		src += "Send(MESSAGE." + kind + "(" + itoa(i) + ")).To(r)\n"
+	}
+	return src
+}
+
+func TestDifferentialSemanticsGuarded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for p := 0; p < 10; p++ {
+		src := genGuardedProgram(rng)
+		prog, err := CompileSource(src)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		for name, sem := range allSemantics() {
+			res, err := Explore(prog, ExploreOpts{Sem: sem})
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", name, err, src)
+			}
+			if res.Truncated {
+				t.Fatalf("%s: truncated\n%s", name, src)
+			}
+			okOutputs := res.OutputSet()
+			deadlockOutputs := map[string]bool{}
+			for _, o := range res.DeadlockOutputs {
+				deadlockOutputs[o] = true
+			}
+			for seed := int64(0); seed < 10; seed++ {
+				run, err := Run(prog, RunOpts{Seed: seed, Sem: sem})
+				if err != nil {
+					t.Fatalf("%s seed %d: %v\n%s", name, seed, err, src)
+				}
+				switch run.Kind {
+				case Completed, Quiescent:
+					if !okOutputs[run.Output] {
+						t.Fatalf("%s: concrete output %q not in explored set %q\n%s",
+							name, run.Output, res.Outputs, src)
+					}
+				case Deadlocked:
+					if res.Deadlocks == 0 {
+						t.Fatalf("%s: concrete run deadlocked but explorer found none\n%s", name, src)
+					}
+					if !deadlockOutputs[run.Output] {
+						t.Fatalf("%s: deadlock output %q not among explored deadlock outputs %q\n%s",
+							name, run.Output, res.DeadlockOutputs, src)
+					}
+				default:
+					t.Fatalf("%s: unexpected kind %v\n%s", name, run.Kind, src)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialSemanticsMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for p := 0; p < 10; p++ {
+		src := genMessageProgram(rng)
+		prog, err := CompileSource(src)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		for _, name := range []string{"true", "sync-send", "fifo"} {
+			sem := allSemantics()[name]
+			res, err := Explore(prog, ExploreOpts{Sem: sem})
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", name, err, src)
+			}
+			set := res.OutputSet()
+			for seed := int64(0); seed < 10; seed++ {
+				run, err := Run(prog, RunOpts{Seed: seed, Sem: sem})
+				if err != nil {
+					t.Fatalf("%s seed %d: %v\n%s", name, seed, err, src)
+				}
+				if run.Kind == Deadlocked {
+					if res.Deadlocks == 0 {
+						t.Fatalf("%s: unexpected concrete deadlock\n%s", name, src)
+					}
+					continue
+				}
+				if !set[run.Output] {
+					t.Fatalf("%s: output %q not in %q\n%s", name, run.Output, res.Outputs, src)
+				}
+			}
+		}
+	}
+}
+
+// TestSemanticsInclusion: the FIFO execution space is a subset of the bag
+// space (strictly ordered delivery can only remove behaviors, never add).
+func TestSemanticsInclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for p := 0; p < 10; p++ {
+		src := genMessageProgram(rng)
+		bag, err := ExploreSource(src, ExploreOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fifo, err := ExploreSource(src, ExploreOpts{Sem: Semantics{FIFOMailboxes: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bagSet := bag.OutputSet()
+		for _, o := range fifo.Outputs {
+			if !bagSet[o] {
+				t.Fatalf("FIFO produced %q, impossible under bag semantics %q\n%s",
+					o, bag.Outputs, src)
+			}
+		}
+		if len(fifo.Outputs) > len(bag.Outputs) {
+			t.Fatalf("FIFO space (%d) larger than bag space (%d)\n%s",
+				len(fifo.Outputs), len(bag.Outputs), src)
+		}
+	}
+}

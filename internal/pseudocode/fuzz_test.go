@@ -1,0 +1,168 @@
+package pseudocode
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genProgram builds a small random concurrent program: a few shared
+// variables, 2-3 PARA tasks each running 1-3 statements (assignments,
+// prints, optionally wrapped in EXC_ACC), then a final PRINTLN of the
+// variables. The generator only produces terminating programs.
+func genProgram(rng *rand.Rand) string {
+	vars := []string{"x", "y"}
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%s = %d\n", v, rng.Intn(3))
+	}
+	nFuncs := 2 + rng.Intn(2)
+	for f := 0; f < nFuncs; f++ {
+		fmt.Fprintf(&b, "DEFINE task%d()\n", f)
+		guarded := rng.Intn(2) == 0
+		if guarded {
+			b.WriteString("    EXC_ACC\n")
+		}
+		nStmts := 1 + rng.Intn(3)
+		for s := 0; s < nStmts; s++ {
+			v := vars[rng.Intn(len(vars))]
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "    %s = %s + %d\n", v, v, 1+rng.Intn(3))
+			case 1:
+				fmt.Fprintf(&b, "    %s = %d\n", v, rng.Intn(5))
+			case 2:
+				fmt.Fprintf(&b, "    PRINT \"%c\"\n", 'a'+rune(f))
+			}
+		}
+		if guarded {
+			b.WriteString("    END_EXC_ACC\n")
+		}
+		b.WriteString("ENDDEF\n")
+	}
+	b.WriteString("PARA\n")
+	for f := 0; f < nFuncs; f++ {
+		fmt.Fprintf(&b, "    task%d()\n", f)
+	}
+	b.WriteString("ENDPARA\n")
+	b.WriteString("PRINTLN x + y\n")
+	return b.String()
+}
+
+// TestDifferentialExplorerVsRunner generates random programs and checks
+// the two engines agree: every concrete run's output is in the explored
+// output set, and over many seeds the concrete runs don't produce outputs
+// the explorer missed.
+func TestDifferentialExplorerVsRunner(t *testing.T) {
+	rng := rand.New(rand.NewSource(2013))
+	const programs = 30
+	for p := 0; p < programs; p++ {
+		src := genProgram(rng)
+		prog, err := CompileSource(src)
+		if err != nil {
+			t.Fatalf("generated program does not compile:\n%s\n%v", src, err)
+		}
+		res, err := Explore(prog, ExploreOpts{})
+		if err != nil {
+			t.Fatalf("exploration failed:\n%s\n%v", src, err)
+		}
+		if res.Truncated {
+			t.Fatalf("exploration truncated on a tiny program:\n%s", src)
+		}
+		if res.HasDeadlock() {
+			t.Fatalf("straight-line program deadlocked:\n%s", src)
+		}
+		set := res.OutputSet()
+		if len(set) == 0 {
+			t.Fatalf("no outputs:\n%s", src)
+		}
+		for seed := int64(0); seed < 20; seed++ {
+			run, err := Run(prog, RunOpts{Seed: seed})
+			if err != nil {
+				t.Fatalf("run failed:\n%s\n%v", src, err)
+			}
+			if run.Kind != Completed {
+				t.Fatalf("run did not complete (%v):\n%s", run.Kind, src)
+			}
+			if !set[run.Output] {
+				t.Fatalf("concrete output %q not in explored set %q:\n%s",
+					run.Output, res.Outputs, src)
+			}
+		}
+	}
+}
+
+// TestDifferentialFormatterPreservesSpace: formatting a random program must
+// not change its execution space.
+func TestDifferentialFormatterPreservesSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for p := 0; p < 15; p++ {
+		src := genProgram(rng)
+		formatted, err := FormatSource(src)
+		if err != nil {
+			t.Fatalf("format failed:\n%s\n%v", src, err)
+		}
+		a, err := ExploreSource(src, ExploreOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ExploreSource(formatted, ExploreOpts{})
+		if err != nil {
+			t.Fatalf("formatted program failed:\n%s\n%v", formatted, err)
+		}
+		if strings.Join(a.Outputs, "|") != strings.Join(b.Outputs, "|") {
+			t.Fatalf("output space changed by formatting:\noriginal %q\nformatted %q\nsource:\n%s",
+				a.Outputs, b.Outputs, src)
+		}
+	}
+}
+
+// TestLexerNeverPanics feeds the lexer random byte strings.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	chars := []byte("ABCDEFabcdef0123 \n\t\"\\()=+-*/%<>!,.#_")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(60)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = chars[rng.Intn(len(chars))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", buf, r)
+				}
+			}()
+			Lex(string(buf)) //nolint:errcheck // errors are fine; panics are not
+		}()
+	}
+}
+
+// TestParserNeverPanics feeds the parser random token soup.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	words := []string{
+		"IF", "THEN", "ELSE", "ENDIF", "WHILE", "ENDWHILE", "DEFINE", "ENDDEF",
+		"PARA", "ENDPARA", "EXC_ACC", "END_EXC_ACC", "WAIT", "NOTIFY",
+		"CLASS", "ENDCLASS", "MESSAGE", "ON_RECEIVING", "PRINT", "PRINTLN",
+		"RETURN", "Send", "To", "new", "self", "x", "y", "f", "(", ")", "=",
+		"+", "1", `"s"`, ",", ".", "True",
+	}
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(20)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			Parse(src) //nolint:errcheck
+		}()
+	}
+}

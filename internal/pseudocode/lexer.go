@@ -1,0 +1,139 @@
+package pseudocode
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes src. Comments run from '#' or '//' to end of line.
+// Newlines are not tokens; the grammar is self-delimiting.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					switch src[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '"':
+						b.WriteByte('"')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						b.WriteByte(src[i+1])
+					}
+					advance(2)
+					continue
+				}
+				if src[i] == '"' {
+					advance(1)
+					closed = true
+					break
+				}
+				if src[i] == '\n' {
+					return nil, &SyntaxError{startLine, startCol, "unterminated string literal"}
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, &SyntaxError{startLine, startCol, "unterminated string literal"}
+			}
+			toks = append(toks, Token{TokString, b.String(), startLine, startCol})
+		case c >= '0' && c <= '9':
+			startLine, startCol := line, col
+			start := i
+			isFloat := false
+			for i < n && (src[i] >= '0' && src[i] <= '9') {
+				advance(1)
+			}
+			if i < n && src[i] == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				advance(1)
+				for i < n && (src[i] >= '0' && src[i] <= '9') {
+					advance(1)
+				}
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{kind, src[start:i], startLine, startCol})
+		case isIdentStart(rune(c)):
+			startLine, startCol := line, col
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{kind, text, startLine, startCol})
+		default:
+			startLine, startCol := line, col
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case ">=", "<=", "==", "!=":
+				toks = append(toks, Token{TokOp, two, startLine, startCol})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ',', '.':
+				toks = append(toks, Token{TokOp, string(c), startLine, startCol})
+				advance(1)
+			default:
+				return nil, &SyntaxError{startLine, startCol, "unexpected character " + string(c)}
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,336 @@
+package pseudocode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`x = 10 + 2.5 # comment
+PRINT "hi there" // also comment
+IF x >= 3 THEN`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind != TokEOF {
+			texts = append(texts, tk.Text)
+		}
+	}
+	want := []string{"x", "=", "10", "+", "2.5", "PRINT", "hi there", "IF", "x", ">=", "3", "THEN"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\nb\t\"c\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\nb\t\"c\\" {
+		t.Fatalf("escaped string = %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "\"newline\nin string\"", "x = @"} {
+		if _, err := Lex(src); err == nil {
+			t.Fatalf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Fatalf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, _ := Lex("PARA para EXC_ACC exc")
+	wantKinds := []TokKind{TokKeyword, TokIdent, TokKeyword, TokIdent}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d (%s) kind = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestParseAssignAndPrint(t *testing.T) {
+	p := MustParse(`x = 1 + 2 * 3
+PRINTLN x`)
+	if len(p.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(p.Stmts))
+	}
+	as, ok := p.Stmts[0].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 0 = %T", p.Stmts[0])
+	}
+	// Precedence: 1 + (2*3)
+	bin := as.Value.(*BinaryExpr)
+	if bin.Op != "+" {
+		t.Fatalf("top op = %s", bin.Op)
+	}
+	if inner, ok := bin.Rhs.(*BinaryExpr); !ok || inner.Op != "*" {
+		t.Fatalf("rhs = %#v", bin.Rhs)
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	p := MustParse(`IF a >= 90 THEN
+PRINTLN "A"
+ELSE IF a >= 80 THEN
+PRINTLN "B"
+ELSE
+PRINTLN "F"
+ENDIF`)
+	ifs := p.Stmts[0].(*IfStmt)
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatalf("if = %+v", ifs)
+	}
+	nested, ok := ifs.Else[0].(*IfStmt)
+	if !ok || len(nested.Else) != 1 {
+		t.Fatalf("else-if chain = %#v", ifs.Else[0])
+	}
+}
+
+func TestParseWhileWaitNotify(t *testing.T) {
+	p := MustParse(`DEFINE f(d)
+EXC_ACC
+WHILE x + d < 0
+WAIT()
+ENDWHILE
+x = x + d
+NOTIFY()
+END_EXC_ACC
+ENDDEF`)
+	def := p.Stmts[0].(*DefineStmt)
+	if def.Name != "f" || len(def.Params) != 1 || def.Params[0] != "d" {
+		t.Fatalf("def = %+v", def)
+	}
+	exc := def.Body[0].(*ExcAccStmt)
+	wh := exc.Body[0].(*WhileStmt)
+	if _, ok := wh.Body[0].(*WaitStmt); !ok {
+		t.Fatalf("while body = %#v", wh.Body[0])
+	}
+	if _, ok := exc.Body[2].(*NotifyStmt); !ok {
+		t.Fatalf("exc body = %#v", exc.Body)
+	}
+}
+
+func TestParsePara(t *testing.T) {
+	p := MustParse(`PARA
+f()
+g(1, 2)
+ENDPARA`)
+	para := p.Stmts[0].(*ParaStmt)
+	if len(para.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(para.Tasks))
+	}
+}
+
+func TestParseClassAndReceive(t *testing.T) {
+	p := MustParse(`CLASS Receiver
+DEFINE receive
+ON_RECEIVING
+MESSAGE.h(v)
+PRINT v
+MESSAGE.w(v)
+PRINTLN v
+ENDDEF
+ENDCLASS`)
+	cls := p.Stmts[0].(*ClassStmt)
+	if cls.Name != "Receiver" || len(cls.Methods) != 1 {
+		t.Fatalf("class = %+v", cls)
+	}
+	recv := cls.Methods[0].Body[0].(*ReceiveStmt)
+	if len(recv.Clauses) != 2 || recv.Clauses[0].MsgName != "h" || recv.Clauses[1].MsgName != "w" {
+		t.Fatalf("clauses = %+v", recv.Clauses)
+	}
+}
+
+func TestParseSendAndMessage(t *testing.T) {
+	p := MustParse(`m1 = MESSAGE.h("hello")
+Send(m1).To(r1)`)
+	as := p.Stmts[0].(*AssignStmt)
+	msg := as.Value.(*MessageExpr)
+	if msg.Name != "h" || len(msg.Args) != 1 {
+		t.Fatalf("msg = %+v", msg)
+	}
+	snd := p.Stmts[1].(*SendStmt)
+	if _, ok := snd.Target.(*Ident); !ok {
+		t.Fatalf("send target = %#v", snd.Target)
+	}
+}
+
+func TestParseNewAndMethodCall(t *testing.T) {
+	p := MustParse(`r = new Receiver()
+r.receive()
+v = r.count`)
+	if _, ok := p.Stmts[0].(*AssignStmt).Value.(*NewExpr); !ok {
+		t.Fatal("expected NewExpr")
+	}
+	es := p.Stmts[1].(*ExprStmt)
+	if _, ok := es.E.(*MethodCallExpr); !ok {
+		t.Fatal("expected MethodCallExpr")
+	}
+	if _, ok := p.Stmts[2].(*AssignStmt).Value.(*FieldExpr); !ok {
+		t.Fatal("expected FieldExpr")
+	}
+}
+
+func TestParseSelfField(t *testing.T) {
+	p := MustParse(`CLASS C
+DEFINE m()
+self.x = self.x + 1
+RETURN self.x
+ENDDEF
+ENDCLASS`)
+	m := p.Stmts[0].(*ClassStmt).Methods[0]
+	as := m.Body[0].(*AssignStmt)
+	fe := as.Target.(*FieldExpr)
+	if _, ok := fe.Obj.(*SelfExpr); !ok || fe.Name != "x" {
+		t.Fatalf("target = %#v", as.Target)
+	}
+	rt := m.Body[1].(*ReturnStmt)
+	if rt.Value == nil {
+		t.Fatal("return value missing")
+	}
+}
+
+func TestParseBareReturn(t *testing.T) {
+	p := MustParse(`DEFINE f()
+RETURN
+ENDDEF`)
+	rt := p.Stmts[0].(*DefineStmt).Body[0].(*ReturnStmt)
+	if rt.Value != nil {
+		t.Fatalf("bare return has value %#v", rt.Value)
+	}
+}
+
+func TestParseUnaryAndLogic(t *testing.T) {
+	p := MustParse(`b = NOT (x > 0 AND y < 0) OR z == -1`)
+	as := p.Stmts[0].(*AssignStmt)
+	top := as.Value.(*BinaryExpr)
+	if top.Op != "OR" {
+		t.Fatalf("top = %s", top.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"IF x THEN",                     // missing ENDIF
+		"PARA",                          // missing ENDPARA
+		"x + 1",                         // expression statement not a call
+		"1 = 2",                         // invalid target
+		"DEFINE 3() ENDDEF",             // bad name
+		"Send(m).At(r)",                 // wrong Send syntax
+		"CLASS C x = 1 ENDCLASS",        // non-DEFINE in class
+		"ON_RECEIVING END_ON_RECEIVING", // no clauses
+		"f(1,",                          // bad args
+		"ELSE",                          // stray keyword
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("IF x THEN\nPRINT 1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "pseudocode: line") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"WAIT() outside":      "EXC_ACC\nEND_EXC_ACC\nWAIT()",
+		"NOTIFY outside":      "NOTIFY()",
+		"undefined function":  "f()",
+		"unknown class":       "x = new Nope()",
+		"constructor args":    "CLASS C DEFINE m() ENDDEF ENDCLASS\nx = new C(1)",
+		"duplicate function":  "DEFINE f() ENDDEF\nDEFINE f() ENDDEF",
+		"self outside method": "DEFINE f() x = self ENDDEF",
+	}
+	for name, src := range cases {
+		if _, err := CompileSource(src); err == nil {
+			t.Fatalf("%s: CompileSource(%q) should fail", name, src)
+		}
+	}
+}
+
+func TestCompileFootprint(t *testing.T) {
+	c, err := CompileSource(`x = 0
+y = 0
+DEFINE f(d)
+EXC_ACC
+x = x + d
+y = y - d
+END_EXC_ACC
+ENDDEF
+f(1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Footprints) != 1 {
+		t.Fatalf("footprints = %v", c.Footprints)
+	}
+	fp := c.Footprints[0]
+	if len(fp) != 2 || fp[0] != "x" || fp[1] != "y" {
+		t.Fatalf("footprint = %v (param d must be excluded)", fp)
+	}
+	fn := c.Funcs["f"]
+	if len(fn.ExcVars) != 2 {
+		t.Fatalf("ExcVars = %v", fn.ExcVars)
+	}
+}
+
+func TestCompileReceiverFlag(t *testing.T) {
+	c, err := CompileSource(`CLASS R
+DEFINE receive
+ON_RECEIVING
+MESSAGE.m(v)
+PRINT v
+ENDDEF
+DEFINE plain()
+RETURN 1
+ENDDEF
+ENDCLASS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Classes["R"]["receive"].IsReceiver {
+		t.Fatal("receive should be flagged IsReceiver")
+	}
+	if c.Classes["R"]["plain"].IsReceiver {
+		t.Fatal("plain should not be IsReceiver")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpStep.String() != "STEP" || OpReceive.String() != "RECEIVE" {
+		t.Fatal("op names broken")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatalf("unknown op = %q", Op(99).String())
+	}
+}

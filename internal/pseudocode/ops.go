@@ -1,0 +1,138 @@
+package pseudocode
+
+import "fmt"
+
+// binaryOp evaluates lhs op rhs with Int/Float promotion; + concatenates
+// strings; comparisons work on numbers and strings; AND/OR require bools.
+func binaryOp(op string, lhs, rhs Value) (Value, error) {
+	switch op {
+	case "AND", "OR":
+		lb, lok := lhs.(BoolV)
+		rb, rok := rhs.(BoolV)
+		if !lok || !rok {
+			return nil, fmt.Errorf("%s requires booleans, got %T and %T", op, lhs, rhs)
+		}
+		if op == "AND" {
+			return BoolV(bool(lb) && bool(rb)), nil
+		}
+		return BoolV(bool(lb) || bool(rb)), nil
+	case "==":
+		return BoolV(valuesEqual(lhs, rhs)), nil
+	case "!=":
+		return BoolV(!valuesEqual(lhs, rhs)), nil
+	}
+	// String concatenation and comparison.
+	if ls, ok := lhs.(StrV); ok {
+		rs, ok := rhs.(StrV)
+		if !ok {
+			return nil, fmt.Errorf("cannot apply %s to string and %T", op, rhs)
+		}
+		switch op {
+		case "+":
+			return StrV(string(ls) + string(rs)), nil
+		case "<":
+			return BoolV(ls < rs), nil
+		case "<=":
+			return BoolV(ls <= rs), nil
+		case ">":
+			return BoolV(ls > rs), nil
+		case ">=":
+			return BoolV(ls >= rs), nil
+		}
+		return nil, fmt.Errorf("operator %s not defined on strings", op)
+	}
+	// Numeric.
+	li, lInt := lhs.(IntV)
+	lf, lFlt := lhs.(FloatV)
+	ri, rInt := rhs.(IntV)
+	rf, rFlt := rhs.(FloatV)
+	if (!lInt && !lFlt) || (!rInt && !rFlt) {
+		return nil, fmt.Errorf("cannot apply %s to %T and %T", op, lhs, rhs)
+	}
+	if lInt && rInt {
+		a, b := int64(li), int64(ri)
+		switch op {
+		case "+":
+			return IntV(a + b), nil
+		case "-":
+			return IntV(a - b), nil
+		case "*":
+			return IntV(a * b), nil
+		case "/":
+			if b == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return IntV(a / b), nil
+		case "%":
+			if b == 0 {
+				return nil, fmt.Errorf("modulo by zero")
+			}
+			return IntV(a % b), nil
+		case "<":
+			return BoolV(a < b), nil
+		case "<=":
+			return BoolV(a <= b), nil
+		case ">":
+			return BoolV(a > b), nil
+		case ">=":
+			return BoolV(a >= b), nil
+		}
+		return nil, fmt.Errorf("unknown operator %s", op)
+	}
+	var a, b float64
+	if lInt {
+		a = float64(li)
+	} else {
+		a = float64(lf)
+	}
+	if rInt {
+		b = float64(ri)
+	} else {
+		b = float64(rf)
+	}
+	switch op {
+	case "+":
+		return FloatV(a + b), nil
+	case "-":
+		return FloatV(a - b), nil
+	case "*":
+		return FloatV(a * b), nil
+	case "/":
+		if b == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		return FloatV(a / b), nil
+	case "%":
+		return nil, fmt.Errorf("modulo requires integers")
+	case "<":
+		return BoolV(a < b), nil
+	case "<=":
+		return BoolV(a <= b), nil
+	case ">":
+		return BoolV(a > b), nil
+	case ">=":
+		return BoolV(a >= b), nil
+	}
+	return nil, fmt.Errorf("unknown operator %s", op)
+}
+
+// unaryOp evaluates NOT and unary minus.
+func unaryOp(op string, v Value) (Value, error) {
+	switch op {
+	case "NOT":
+		b, ok := v.(BoolV)
+		if !ok {
+			return nil, fmt.Errorf("NOT requires a boolean, got %T", v)
+		}
+		return BoolV(!bool(b)), nil
+	case "-":
+		switch x := v.(type) {
+		case IntV:
+			return IntV(-int64(x)), nil
+		case FloatV:
+			return FloatV(-float64(x)), nil
+		}
+		return nil, fmt.Errorf("unary minus requires a number, got %T", v)
+	}
+	return nil, fmt.Errorf("unknown unary operator %s", op)
+}

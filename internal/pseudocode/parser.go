@@ -1,0 +1,669 @@
+package pseudocode
+
+import "fmt"
+
+// Parse lexes and parses src into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and fixtures.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) atKw(words ...string) bool {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	for _, w := range words {
+		if t.Text == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = kind.String()
+		}
+		return t, &SyntaxError{t.Line, t.Col, fmt.Sprintf("expected %s, found %s", want, t)}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &SyntaxError{t.Line, t.Col, fmt.Sprintf(format, args...)}
+}
+
+// stmts parses statements until one of the given terminator keywords
+// (which is not consumed).
+func (p *parser) stmts(terminators ...string) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if p.at(TokEOF, "") {
+			t := p.peek()
+			return nil, p.errf(t, "unexpected end of input, expected one of %v", terminators)
+		}
+		if p.atKw(terminators...) {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "PRINT", "PRINTLN":
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &PrintStmt{Value: e, Newline: t.Text == "PRINTLN", Line: t.Line}, nil
+		case "IF":
+			return p.ifStmt()
+		case "WHILE":
+			p.next()
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.stmts("ENDWHILE")
+			if err != nil {
+				return nil, err
+			}
+			p.next() // ENDWHILE
+			return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+		case "DEFINE":
+			return p.defineStmt()
+		case "PARA":
+			p.next()
+			tasks, err := p.stmts("ENDPARA")
+			if err != nil {
+				return nil, err
+			}
+			p.next()
+			return &ParaStmt{Tasks: tasks, Line: t.Line}, nil
+		case "EXC_ACC":
+			p.next()
+			body, err := p.stmts("END_EXC_ACC")
+			if err != nil {
+				return nil, err
+			}
+			p.next()
+			return &ExcAccStmt{Body: body, Line: t.Line}, nil
+		case "WAIT":
+			p.next()
+			if err := p.parens(); err != nil {
+				return nil, err
+			}
+			return &WaitStmt{Line: t.Line}, nil
+		case "NOTIFY":
+			p.next()
+			if err := p.parens(); err != nil {
+				return nil, err
+			}
+			return &NotifyStmt{Line: t.Line}, nil
+		case "CLASS":
+			return p.classStmt()
+		case "Send":
+			return p.sendStmt()
+		case "ON_RECEIVING":
+			return p.receiveStmt()
+		case "RETURN":
+			p.next()
+			// RETURN may be bare (end of function) — a value must start a
+			// plausible expression token.
+			if p.startsExpr() {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &ReturnStmt{Value: e, Line: t.Line}, nil
+			}
+			return &ReturnStmt{Line: t.Line}, nil
+		case "self":
+			// self.field = value, or self.method() statement.
+			return p.exprOrAssign()
+		default:
+			return nil, p.errf(t, "unexpected keyword %s", t)
+		}
+	}
+	if t.Kind == TokIdent {
+		return p.exprOrAssign()
+	}
+	return nil, p.errf(t, "unexpected token %s at statement start", t)
+}
+
+// startsExpr reports whether the next token can begin an expression;
+// used only to disambiguate bare RETURN.
+func (p *parser) startsExpr() bool {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt, TokFloat, TokString, TokIdent:
+		return true
+	case TokOp:
+		return t.Text == "(" || t.Text == "-"
+	case TokKeyword:
+		switch t.Text {
+		case "True", "False", "Null", "NOT", "MESSAGE", "new", "self":
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parens() error {
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return err
+	}
+	_, err := p.expect(TokOp, ")")
+	return err
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // IF
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.stmts("ELSE", "ENDIF")
+	if err != nil {
+		return nil, err
+	}
+	var elseBody []Stmt
+	if p.atKw("ELSE") {
+		p.next()
+		if p.atKw("IF") {
+			nested, err := p.ifStmt() // consumes through its ENDIF
+			if err != nil {
+				return nil, err
+			}
+			return &IfStmt{Cond: cond, Then: thenBody, Else: []Stmt{nested}, Line: t.Line}, nil
+		}
+		elseBody, err = p.stmts("ENDIF")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "ENDIF"); err != nil {
+		return nil, err
+	}
+	return &IfStmt{Cond: cond, Then: thenBody, Else: elseBody, Line: t.Line}, nil
+}
+
+func (p *parser) defineStmt() (*DefineStmt, error) {
+	t := p.next() // DEFINE
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.at(TokOp, "(") { // parens optional: Fig. 5 writes "DEFINE receive"
+		p.next()
+		for !p.at(TokOp, ")") {
+			pn, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pn.Text)
+			if p.at(TokOp, ",") {
+				p.next()
+			}
+		}
+		p.next() // )
+	}
+	body, err := p.stmts("ENDDEF")
+	if err != nil {
+		return nil, err
+	}
+	p.next() // ENDDEF
+	return &DefineStmt{Name: name.Text, Params: params, Body: body, Line: t.Line}, nil
+}
+
+func (p *parser) classStmt() (Stmt, error) {
+	t := p.next() // CLASS
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	var methods []*DefineStmt
+	for !p.atKw("ENDCLASS") {
+		if p.at(TokEOF, "") {
+			return nil, p.errf(p.peek(), "unexpected end of input in CLASS %s", name.Text)
+		}
+		if !p.atKw("DEFINE") {
+			return nil, p.errf(p.peek(), "only DEFINE allowed inside CLASS, found %s", p.peek())
+		}
+		m, err := p.defineStmt()
+		if err != nil {
+			return nil, err
+		}
+		methods = append(methods, m)
+	}
+	p.next() // ENDCLASS
+	return &ClassStmt{Name: name.Text, Methods: methods, Line: t.Line}, nil
+}
+
+func (p *parser) sendStmt() (Stmt, error) {
+	t := p.next() // Send
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	msg, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "."); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "To"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	target, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return &SendStmt{Msg: msg, Target: target, Line: t.Line}, nil
+}
+
+func (p *parser) receiveStmt() (Stmt, error) {
+	t := p.next() // ON_RECEIVING
+	var clauses []RecvClause
+	for {
+		if p.atKw("ENDDEF") || p.atKw("END_ON_RECEIVING") {
+			break
+		}
+		if p.at(TokEOF, "") {
+			return nil, p.errf(p.peek(), "unexpected end of input in ON_RECEIVING")
+		}
+		if !p.atKw("MESSAGE") {
+			return nil, p.errf(p.peek(), "expected MESSAGE clause in ON_RECEIVING, found %s", p.peek())
+		}
+		ct := p.next() // MESSAGE
+		if _, err := p.expect(TokOp, "."); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		var params []string
+		for !p.at(TokOp, ")") {
+			pn, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pn.Text)
+			if p.at(TokOp, ",") {
+				p.next()
+			}
+		}
+		p.next() // )
+		body, err := p.recvClauseBody()
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, RecvClause{MsgName: name.Text, Params: params, Body: body, Line: ct.Line})
+	}
+	if p.atKw("END_ON_RECEIVING") {
+		p.next()
+	}
+	if len(clauses) == 0 {
+		return nil, p.errf(t, "ON_RECEIVING requires at least one MESSAGE clause")
+	}
+	return &ReceiveStmt{Clauses: clauses, Line: t.Line}, nil
+}
+
+// recvClauseBody parses statements until the next MESSAGE clause header,
+// END_ON_RECEIVING, or ENDDEF. A MESSAGE token can also begin an expression
+// (MESSAGE.x(...) as a value), but only inside assignments/sends, which
+// start with an identifier or Send — so a bare MESSAGE token here is always
+// a new clause.
+func (p *parser) recvClauseBody() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if p.atKw("MESSAGE") || p.atKw("END_ON_RECEIVING") || p.atKw("ENDDEF") {
+			return out, nil
+		}
+		if p.at(TokEOF, "") {
+			return nil, p.errf(p.peek(), "unexpected end of input in ON_RECEIVING clause")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+// exprOrAssign parses either an assignment (target = value) or a call
+// statement.
+func (p *parser) exprOrAssign() (Stmt, error) {
+	t := p.peek()
+	e, err := p.postfixExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokOp, "=") {
+		p.next()
+		switch e.(type) {
+		case *Ident, *FieldExpr:
+		default:
+			return nil, p.errf(t, "invalid assignment target")
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: e, Value: val, Line: t.Line}, nil
+	}
+	switch e.(type) {
+	case *CallExpr, *MethodCallExpr:
+		return &ExprStmt{E: e, Line: t.Line}, nil
+	}
+	return nil, p.errf(t, "expression statement must be a call")
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	lhs, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("OR") {
+		p.next()
+		rhs, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: "OR", Lhs: lhs, Rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	lhs, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("AND") {
+		p.next()
+		rhs, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: "AND", Lhs: lhs, Rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.atKw("NOT") {
+		p.next()
+		rhs, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Rhs: rhs}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	lhs, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "<") || p.at(TokOp, ">") || p.at(TokOp, "<=") ||
+		p.at(TokOp, ">=") || p.at(TokOp, "==") || p.at(TokOp, "!=") {
+		op := p.next().Text
+		rhs, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, Lhs: lhs, Rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	lhs, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "+") || p.at(TokOp, "-") {
+		op := p.next().Text
+		rhs, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, Lhs: lhs, Rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "*") || p.at(TokOp, "/") || p.at(TokOp, "%") {
+		op := p.next().Text
+		rhs, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, Lhs: lhs, Rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(TokOp, "-") {
+		p.next()
+		rhs, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Rhs: rhs}, nil
+	}
+	return p.postfixExpr()
+}
+
+// postfixExpr parses a primary followed by .field / .method(args) chains.
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, ".") {
+		p.next()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokOp, "(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			e = &MethodCallExpr{Obj: e, Name: name.Text, Args: args, Line: name.Line}
+		} else {
+			e = &FieldExpr{Obj: e, Name: name.Text}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) args() ([]Expr, error) {
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for !p.at(TokOp, ")") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.at(TokOp, ",") {
+			p.next()
+		} else if !p.at(TokOp, ")") {
+			return nil, p.errf(p.peek(), "expected , or ) in argument list, found %s", p.peek())
+		}
+	}
+	p.next() // )
+	return out, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		var v int64
+		if _, err := fmt.Sscanf(t.Text, "%d", &v); err != nil {
+			return nil, p.errf(t, "bad integer literal %s", t)
+		}
+		return &IntLit{Value: v}, nil
+	case TokFloat:
+		p.next()
+		var v float64
+		if _, err := fmt.Sscanf(t.Text, "%g", &v); err != nil {
+			return nil, p.errf(t, "bad float literal %s", t)
+		}
+		return &FloatLit{Value: v}, nil
+	case TokString:
+		p.next()
+		return &StrLit{Value: t.Text}, nil
+	case TokIdent:
+		p.next()
+		if p.at(TokOp, "(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: args, Line: t.Line}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "True":
+			p.next()
+			return &BoolLit{Value: true}, nil
+		case "False":
+			p.next()
+			return &BoolLit{Value: false}, nil
+		case "Null":
+			p.next()
+			return &NullLit{}, nil
+		case "self":
+			p.next()
+			return &SelfExpr{}, nil
+		case "MESSAGE":
+			p.next()
+			if _, err := p.expect(TokOp, "."); err != nil {
+				return nil, err
+			}
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &MessageExpr{Name: name.Text, Args: args}, nil
+		case "new":
+			p.next()
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &NewExpr{Class: name.Text, Args: args, Line: t.Line}, nil
+		}
+	}
+	if t.Kind == TokOp && t.Text == "(" {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t, "unexpected token %s in expression", t)
+}

@@ -1,0 +1,224 @@
+package pseudocode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical pseudocode text:
+// four-space indentation, one statement per line, keywords as in the
+// paper's figures. Format(Parse(src)) is a normalizer; it is idempotent.
+func Format(p *Program) string {
+	var pr printer
+	for _, s := range p.Stmts {
+		pr.stmt(s)
+	}
+	return pr.b.String()
+}
+
+// FormatSource parses and formats src.
+func FormatSource(src string) (string, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Format(p), nil
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) block(body []Stmt) {
+	p.indent++
+	for _, s := range body {
+		p.stmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *AssignStmt:
+		p.line("%s = %s", expr(st.Target), expr(st.Value))
+	case *PrintStmt:
+		kw := "PRINT"
+		if st.Newline {
+			kw = "PRINTLN"
+		}
+		p.line("%s %s", kw, expr(st.Value))
+	case *IfStmt:
+		p.ifChain(st, false)
+		p.line("ENDIF")
+	case *WhileStmt:
+		p.line("WHILE %s", expr(st.Cond))
+		p.block(st.Body)
+		p.line("ENDWHILE")
+	case *DefineStmt:
+		p.define(st)
+	case *ClassStmt:
+		p.line("CLASS %s", st.Name)
+		p.indent++
+		for _, m := range st.Methods {
+			p.define(m)
+		}
+		p.indent--
+		p.line("ENDCLASS")
+	case *ParaStmt:
+		p.line("PARA")
+		p.block(st.Tasks)
+		p.line("ENDPARA")
+	case *ExcAccStmt:
+		p.line("EXC_ACC")
+		p.block(st.Body)
+		p.line("END_EXC_ACC")
+	case *WaitStmt:
+		p.line("WAIT()")
+	case *NotifyStmt:
+		p.line("NOTIFY()")
+	case *SendStmt:
+		p.line("Send(%s).To(%s)", expr(st.Msg), expr(st.Target))
+	case *ReceiveStmt:
+		p.line("ON_RECEIVING")
+		p.indent++
+		for _, cl := range st.Clauses {
+			p.line("MESSAGE.%s(%s)", cl.MsgName, strings.Join(cl.Params, ", "))
+			p.block(cl.Body)
+		}
+		p.indent--
+		p.line("END_ON_RECEIVING")
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("RETURN %s", expr(st.Value))
+		} else {
+			p.line("RETURN")
+		}
+	case *ExprStmt:
+		p.line("%s", expr(st.E))
+	default:
+		p.line("# <unprintable %T>", s)
+	}
+}
+
+// ifChain prints IF/ELSE IF chains flat, reversing the parser's nesting.
+func (p *printer) ifChain(st *IfStmt, isElseIf bool) {
+	kw := "IF"
+	if isElseIf {
+		kw = "ELSE IF"
+	}
+	p.line("%s %s THEN", kw, expr(st.Cond))
+	p.block(st.Then)
+	if len(st.Else) == 1 {
+		if nested, ok := st.Else[0].(*IfStmt); ok {
+			p.ifChain(nested, true)
+			return
+		}
+	}
+	if len(st.Else) > 0 {
+		p.line("ELSE")
+		p.block(st.Else)
+	}
+}
+
+func (p *printer) define(st *DefineStmt) {
+	p.line("DEFINE %s(%s)", st.Name, strings.Join(st.Params, ", "))
+	p.block(st.Body)
+	p.line("ENDDEF")
+}
+
+// precedence levels, matching the parser.
+func prec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case "OR":
+			return 1
+		case "AND":
+			return 2
+		case "<", "<=", ">", ">=", "==", "!=":
+			return 4
+		case "+", "-":
+			return 5
+		case "*", "/", "%":
+			return 6
+		}
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return 3
+		}
+		return 7
+	}
+	return 8
+}
+
+func expr(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".e") {
+			s += ".0" // keep float literals lexically floats
+		}
+		return s
+	case *StrLit:
+		return strconv.Quote(x.Value)
+	case *BoolLit:
+		if x.Value {
+			return "True"
+		}
+		return "False"
+	case *NullLit:
+		return "Null"
+	case *Ident:
+		return x.Name
+	case *SelfExpr:
+		return "self"
+	case *FieldExpr:
+		return childExpr(x.Obj, 8) + "." + x.Name
+	case *BinaryExpr:
+		p := prec(x)
+		// Left-associative: the right child needs parens at equal precedence.
+		return childExpr(x.Lhs, p) + " " + x.Op + " " + childExpr(x.Rhs, p+1)
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return "NOT " + childExpr(x.Rhs, 3)
+		}
+		return "-" + childExpr(x.Rhs, 7)
+	case *CallExpr:
+		return x.Name + "(" + args(x.Args) + ")"
+	case *MethodCallExpr:
+		return childExpr(x.Obj, 8) + "." + x.Name + "(" + args(x.Args) + ")"
+	case *MessageExpr:
+		return "MESSAGE." + x.Name + "(" + args(x.Args) + ")"
+	case *NewExpr:
+		return "new " + x.Class + "(" + args(x.Args) + ")"
+	default:
+		return fmt.Sprintf("<unprintable %T>", e)
+	}
+}
+
+// childExpr parenthesizes child when its precedence is below min.
+func childExpr(e Expr, min int) string {
+	s := expr(e)
+	if prec(e) < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func args(xs []Expr) string {
+	parts := make([]string, len(xs))
+	for i, a := range xs {
+		parts[i] = expr(a)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,140 @@
+package pseudocode
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFormatSimple(t *testing.T) {
+	got, err := FormatSource(`x=1+2*3
+PRINTLN x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x = 1 + 2 * 3\nPRINTLN x\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestFormatPrecedenceParens(t *testing.T) {
+	cases := map[string]string{
+		"x = (1 + 2) * 3":    "x = (1 + 2) * 3\n",
+		"x = 1 + 2 + 3":      "x = 1 + 2 + 3\n",
+		"x = 1 - (2 - 3)":    "x = 1 - (2 - 3)\n",
+		"b = NOT (a AND c)":  "b = NOT (a AND c)\n",
+		"b = NOT a AND c":    "b = NOT a AND c\n",
+		"x = -(1 + 2)":       "x = -(1 + 2)\n",
+		`s = "a" + "b"`:      "s = \"a\" + \"b\"\n",
+		"y = 1.5 + 2.0":      "y = 1.5 + 2.0\n",
+		"c = a < b OR b < a": "c = a < b OR b < a\n",
+		"c = (a OR b) AND d": "c = (a OR b) AND d\n",
+	}
+	for src, want := range cases {
+		got, err := FormatSource(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got != want {
+			t.Fatalf("FormatSource(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestFormatControlFlow(t *testing.T) {
+	got, err := FormatSource(`IF a >= 90 THEN PRINTLN "A" ELSE IF a >= 80 THEN PRINTLN "B" ELSE PRINTLN "F" ENDIF`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `IF a >= 90 THEN
+    PRINTLN "A"
+ELSE IF a >= 80 THEN
+    PRINTLN "B"
+ELSE
+    PRINTLN "F"
+ENDIF
+`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFormatIdempotent(t *testing.T) {
+	// Formatting is a normal form: format(format(x)) == format(x), for
+	// every fixture program.
+	files, err := filepath.Glob(filepath.Join("testdata", "*.pc"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("fixtures: %v %v", files, err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		once, err := FormatSource(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		twice, err := FormatSource(once)
+		if err != nil {
+			t.Fatalf("%s: reparse of formatted output failed: %v\n%s", f, err, once)
+		}
+		if once != twice {
+			t.Fatalf("%s: format not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", f, once, twice)
+		}
+	}
+}
+
+func TestFormatPreservesSemantics(t *testing.T) {
+	// The formatted program has the same execution space as the original.
+	for _, f := range []string{"fig3c_interleave.pc", "fig4b_waitnotify.pc", "fig5_messages.pc"} {
+		src := loadFixture(t, f)
+		formatted, err := FormatSource(src)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		orig, err := ExploreSource(src, ExploreOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := ExploreSource(formatted, ExploreOpts{})
+		if err != nil {
+			t.Fatalf("%s: formatted program failed: %v\n%s", f, err, formatted)
+		}
+		if strings.Join(orig.Outputs, "|") != strings.Join(re.Outputs, "|") {
+			t.Fatalf("%s: outputs changed: %q vs %q", f, orig.Outputs, re.Outputs)
+		}
+		if orig.Deadlocks != re.Deadlocks {
+			t.Fatalf("%s: deadlocks changed", f)
+		}
+	}
+}
+
+func TestFormatClassReceiveSend(t *testing.T) {
+	got, err := FormatSource(loadFixture(t, "fig5_messages.pc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CLASS Receiver",
+		"    DEFINE receive()",
+		"        ON_RECEIVING",
+		"            MESSAGE.h(var)",
+		"        END_ON_RECEIVING",
+		"Send(m1).To(r1)",
+		`m1 = MESSAGE.h("hello ")`,
+		"r1 = new Receiver()",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFormatSyntaxErrorPropagates(t *testing.T) {
+	if _, err := FormatSource("IF x THEN"); err == nil {
+		t.Fatal("bad source should error")
+	}
+}

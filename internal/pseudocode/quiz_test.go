@@ -1,0 +1,123 @@
+package pseudocode
+
+import "testing"
+
+// The course's in-class quiz models (Section IV.C): students write
+// pseudocode for the bounded buffer, readers-writers, sum & workers, and
+// party-matching systems. These fixtures are those models; the explorer
+// verifies each one's defining invariant over the entire execution space.
+
+func TestQuizBoundedBuffer(t *testing.T) {
+	src := loadFixture(t, "quiz_boundedbuffer.pc")
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatalf("deadlocked in %d states", res.Deadlocks)
+	}
+	for _, o := range res.Outputs {
+		if o != "3\n" {
+			t.Fatalf("outputs = %q, want all 3", res.Outputs)
+		}
+	}
+	// Capacity and non-negativity invariants over every reachable state.
+	violated, err := Reachable(src, Semantics{}, func(w *World) bool {
+		b, _ := w.GetGlobal("buffer").(IntV)
+		return b < 0 || b > 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("buffer bound violated")
+	}
+}
+
+func TestQuizReadersWriters(t *testing.T) {
+	src := loadFixture(t, "quiz_readerswriters.pc")
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatalf("deadlocked in %d states", res.Deadlocks)
+	}
+	for _, o := range res.Outputs {
+		if o != "1\n" {
+			t.Fatalf("outputs = %q, want data always 1", res.Outputs)
+		}
+	}
+	// Exclusion: never a reader and the writer active together, never two
+	// writers.
+	violated, err := Reachable(src, Semantics{}, func(w *World) bool {
+		r, _ := w.GetGlobal("readers").(IntV)
+		wr, _ := w.GetGlobal("writing").(IntV)
+		return (r > 0 && wr > 0) || wr > 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("readers-writers exclusion violated")
+	}
+	// Liveness of concurrency: both readers CAN be in the read section
+	// together.
+	overlap, err := Reachable(src, Semantics{}, func(w *World) bool {
+		r, _ := w.GetGlobal("readers").(IntV)
+		return r == 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !overlap {
+		t.Fatal("readers never overlap; the model serializes reads")
+	}
+}
+
+func TestQuizSumWorkers(t *testing.T) {
+	src := loadFixture(t, "quiz_sumworkers.pc")
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatalf("deadlocked in %d states", res.Deadlocks)
+	}
+	for _, o := range res.Outputs {
+		if o != "6\n" {
+			t.Fatalf("outputs = %q, want the combiner to always print 6", res.Outputs)
+		}
+	}
+}
+
+func TestQuizPartyMatching(t *testing.T) {
+	src := loadFixture(t, "quiz_partymatching.pc")
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatalf("deadlocked in %d states: %+v", res.Deadlocks, res.Terminals)
+	}
+	for _, o := range res.Outputs {
+		if o != "2\n" {
+			t.Fatalf("outputs = %q, want 2 pairs always", res.Outputs)
+		}
+	}
+	// Token conservation: tokens never go negative.
+	violated, err := Reachable(src, Semantics{}, func(w *World) bool {
+		bt, _ := w.GetGlobal("boyTokens").(IntV)
+		gt, _ := w.GetGlobal("girlTokens").(IntV)
+		return bt < 0 || gt < 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("token conservation violated")
+	}
+}
+
+func TestQuizModelsLivelockFree(t *testing.T) {
+	for _, f := range []string{
+		"quiz_boundedbuffer.pc", "quiz_readerswriters.pc",
+		"quiz_sumworkers.pc", "quiz_partymatching.pc",
+	} {
+		res, err := ExploreSource(loadFixture(t, f), ExploreOpts{TrackGraph: true})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !res.LivelockFree {
+			t.Fatalf("%s: %d divergent states", f, res.DivergentStates)
+		}
+	}
+}

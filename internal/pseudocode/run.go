@@ -1,0 +1,84 @@
+package pseudocode
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// RunOpts configures a concrete (single-execution) run.
+type RunOpts struct {
+	Seed     int64 // scheduler seed; same seed → same interleaving
+	MaxSteps int   // safety bound; 0 means DefaultMaxSteps
+	Sem      Semantics
+	Trace    func(ev StepEvent) // optional step observer
+}
+
+// DefaultMaxSteps bounds concrete runs against runaway loops.
+const DefaultMaxSteps = 1_000_000
+
+// ErrStepLimit is returned when a run exceeds its step bound.
+var ErrStepLimit = errors.New("pseudocode: step limit exceeded")
+
+// RunResult is the outcome of one concrete execution.
+type RunResult struct {
+	Output string
+	Kind   TerminalKind
+	Steps  int
+	// Blocked lists stuck tasks when Kind is Deadlocked.
+	Blocked []string
+	// TaskSteps maps task names to the atomic steps each executed — the
+	// raw material for fairness analysis of the scheduler.
+	TaskSteps map[string]int
+	// Final is the terminal world, for inspecting globals.
+	Final *World
+}
+
+// Run executes the compiled program once under a uniformly random scheduler
+// seeded by opts.Seed. Every schedule the paper's PARA semantics allows is
+// reachable with some seed.
+func Run(prog *Compiled, opts RunOpts) (*RunResult, error) {
+	w := NewWorld(prog, opts.Sem)
+	w.Trace = opts.Trace
+	rng := rand.New(rand.NewSource(opts.Seed))
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	for {
+		choices := w.Runnable()
+		if len(choices) == 0 {
+			kind := w.Classify()
+			res := &RunResult{Output: w.Output(), Kind: kind, Steps: w.Steps(), Final: w}
+			res.TaskSteps = map[string]int{}
+			for _, t := range w.Tasks {
+				res.TaskSteps[t.Name] = t.Steps
+			}
+			if kind == Deadlocked {
+				res.Blocked = w.BlockedTasks()
+			}
+			return res, nil
+		}
+		if w.Steps() >= maxSteps {
+			return &RunResult{Output: w.Output(), Kind: NotTerminal, Steps: w.Steps(), Final: w}, ErrStepLimit
+		}
+		ch := choices[rng.Intn(len(choices))]
+		if err := w.Step(ch); err != nil {
+			return &RunResult{Output: w.Output(), Kind: NotTerminal, Steps: w.Steps(), Final: w}, err
+		}
+	}
+}
+
+// RunSource parses, compiles and runs src.
+func RunSource(src string, opts RunOpts) (*RunResult, error) {
+	prog, err := CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(prog, opts)
+}
+
+// String renders a run result compactly.
+func (r *RunResult) String() string {
+	return fmt.Sprintf("[%s after %d steps] %q", r.Kind, r.Steps, r.Output)
+}

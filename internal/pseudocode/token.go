@@ -1,0 +1,91 @@
+// Package pseudocode implements the paper's language-independent concurrency
+// pseudocode (Figures 1-5): a lexer, parser, compiler and virtual machine
+// for programs using PARA/ENDPARA concurrent blocks, EXC_ACC/END_EXC_ACC
+// exclusive-access blocks with WAIT()/NOTIFY(), and asynchronous message
+// passing (MESSAGE.name(...), Send(m).To(r), ON_RECEIVING).
+//
+// Two execution engines are provided: a concrete interpreter with a seeded
+// random scheduler (Run), and an exhaustive explorer (Explore) that
+// enumerates the full space of executions at atomic-statement granularity —
+// the "space of executions" the paper's Test-1 questions reason about.
+package pseudocode
+
+import "fmt"
+
+// TokKind identifies a lexical token class.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokKeyword // uppercase reserved words and reserved identifiers
+	TokOp      // operators and punctuation
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "int"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords are the reserved words of the pseudocode notation. Send/To/new/
+// self are contextual but reserving them keeps the grammar unambiguous.
+var keywords = map[string]bool{
+	"IF": true, "THEN": true, "ELSE": true, "ENDIF": true,
+	"WHILE": true, "ENDWHILE": true,
+	"DEFINE": true, "ENDDEF": true,
+	"PARA": true, "ENDPARA": true,
+	"EXC_ACC": true, "END_EXC_ACC": true,
+	"WAIT": true, "NOTIFY": true,
+	"CLASS": true, "ENDCLASS": true,
+	"MESSAGE": true, "ON_RECEIVING": true, "END_ON_RECEIVING": true,
+	"PRINT": true, "PRINTLN": true,
+	"RETURN": true,
+	"AND":    true, "OR": true, "NOT": true,
+	"True": true, "False": true, "Null": true,
+	"Send": true, "To": true, "new": true, "self": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with position info.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pseudocode: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,173 @@
+package pseudocode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a pseudocode runtime value: Int, Float, Str, Bool, Null, an
+// object reference, or a message.
+type Value interface {
+	// encode appends a canonical representation used for state hashing.
+	encode(b *strings.Builder)
+	// display renders the value the way PRINT shows it.
+	display() string
+}
+
+// IntV is an integer value.
+type IntV int64
+
+// FloatV is a floating-point value.
+type FloatV float64
+
+// StrV is a string value.
+type StrV string
+
+// BoolV is a boolean value.
+type BoolV bool
+
+// NullV is the Null value.
+type NullV struct{}
+
+// RefV references a heap object by ID.
+type RefV int
+
+// MsgV is a message value: MESSAGE.Name(Args...).
+type MsgV struct {
+	Name string
+	Args []Value
+}
+
+func (v IntV) encode(b *strings.Builder)   { fmt.Fprintf(b, "i%d", int64(v)) }
+func (v FloatV) encode(b *strings.Builder) { fmt.Fprintf(b, "f%g", float64(v)) }
+func (v StrV) encode(b *strings.Builder)   { fmt.Fprintf(b, "s%q", string(v)) }
+func (v BoolV) encode(b *strings.Builder)  { fmt.Fprintf(b, "b%t", bool(v)) }
+func (v NullV) encode(b *strings.Builder)  { b.WriteString("n") }
+func (v RefV) encode(b *strings.Builder)   { fmt.Fprintf(b, "r%d", int(v)) }
+func (v MsgV) encode(b *strings.Builder) {
+	fmt.Fprintf(b, "m%q(", v.Name)
+	for i, a := range v.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		a.encode(b)
+	}
+	b.WriteByte(')')
+}
+
+func (v IntV) display() string   { return fmt.Sprintf("%d", int64(v)) }
+func (v FloatV) display() string { return fmt.Sprintf("%g", float64(v)) }
+func (v StrV) display() string   { return string(v) }
+func (v BoolV) display() string {
+	if v {
+		return "True"
+	}
+	return "False"
+}
+func (v NullV) display() string { return "Null" }
+func (v RefV) display() string  { return fmt.Sprintf("<object %d>", int(v)) }
+func (v MsgV) display() string {
+	parts := make([]string, len(v.Args))
+	for i, a := range v.Args {
+		parts[i] = a.display()
+	}
+	return fmt.Sprintf("MESSAGE.%s(%s)", v.Name, strings.Join(parts, ", "))
+}
+
+// encodeValue renders v canonically (helper for tests).
+func encodeValue(v Value) string {
+	var b strings.Builder
+	v.encode(&b)
+	return b.String()
+}
+
+// truthy converts a value to a condition result; only BoolV is accepted,
+// matching the figures' strongly-boolean conditions.
+func truthy(v Value) (bool, error) {
+	b, ok := v.(BoolV)
+	if !ok {
+		return false, fmt.Errorf("pseudocode: condition is %T, not a boolean", v)
+	}
+	return bool(b), nil
+}
+
+// valuesEqual implements ==.
+func valuesEqual(a, b Value) bool {
+	switch x := a.(type) {
+	case IntV:
+		switch y := b.(type) {
+		case IntV:
+			return x == y
+		case FloatV:
+			return FloatV(x) == y
+		}
+		return false
+	case FloatV:
+		switch y := b.(type) {
+		case FloatV:
+			return x == y
+		case IntV:
+			return x == FloatV(y)
+		}
+		return false
+	case StrV:
+		y, ok := b.(StrV)
+		return ok && x == y
+	case BoolV:
+		y, ok := b.(BoolV)
+		return ok && x == y
+	case NullV:
+		_, ok := b.(NullV)
+		return ok
+	case RefV:
+		y, ok := b.(RefV)
+		return ok && x == y
+	case MsgV:
+		y, ok := b.(MsgV)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !valuesEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Object is a heap-allocated class instance. Its mailbox is stored in the
+// World, keyed by object ID, so Objects themselves stay simple records.
+type Object struct {
+	Class  string
+	Fields map[string]Value
+}
+
+func (o *Object) encode(b *strings.Builder) {
+	fmt.Fprintf(b, "O%q{", o.Class)
+	keys := make([]string, 0, len(o.Fields))
+	for k := range o.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%q=", k)
+		o.Fields[k].encode(b)
+		b.WriteByte(';')
+	}
+	b.WriteString("}")
+}
+
+// clone deep-copies the object (values are immutable; only containers copy).
+func (o *Object) clone() *Object {
+	n := &Object{Class: o.Class}
+	if o.Fields != nil {
+		n.Fields = make(map[string]Value, len(o.Fields))
+		for k, v := range o.Fields {
+			n.Fields[k] = v
+		}
+	}
+	return n
+}

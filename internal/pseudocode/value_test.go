@@ -1,0 +1,166 @@
+package pseudocode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValuesEqualMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{IntV(1), IntV(1), true},
+		{IntV(1), IntV(2), false},
+		{IntV(1), FloatV(1), true},
+		{FloatV(2.5), IntV(2), false},
+		{FloatV(2.5), FloatV(2.5), true},
+		{StrV("a"), StrV("a"), true},
+		{StrV("a"), StrV("b"), false},
+		{StrV("a"), IntV(1), false},
+		{BoolV(true), BoolV(true), true},
+		{BoolV(true), BoolV(false), false},
+		{NullV{}, NullV{}, true},
+		{NullV{}, IntV(0), false},
+		{RefV(1), RefV(1), true},
+		{RefV(1), RefV(2), false},
+		{MsgV{Name: "m", Args: []Value{IntV(1)}}, MsgV{Name: "m", Args: []Value{IntV(1)}}, true},
+		{MsgV{Name: "m", Args: []Value{IntV(1)}}, MsgV{Name: "m", Args: []Value{IntV(2)}}, false},
+		{MsgV{Name: "m"}, MsgV{Name: "n"}, false},
+		{MsgV{Name: "m", Args: []Value{IntV(1)}}, MsgV{Name: "m"}, false},
+		{MsgV{Name: "m"}, IntV(1), false},
+	}
+	for _, c := range cases {
+		if got := valuesEqual(c.a, c.b); got != c.want {
+			t.Errorf("valuesEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDisplayForms(t *testing.T) {
+	cases := map[string]Value{
+		"42":               IntV(42),
+		"3.5":              FloatV(3.5),
+		"text":             StrV("text"),
+		"True":             BoolV(true),
+		"False":            BoolV(false),
+		"Null":             NullV{},
+		"<object 3>":       RefV(3),
+		"MESSAGE.hi(1, x)": MsgV{Name: "hi", Args: []Value{IntV(1), StrV("x")}},
+	}
+	for want, v := range cases {
+		if got := v.display(); got != want {
+			t.Errorf("display(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEncodeForms(t *testing.T) {
+	if encodeValue(RefV(2)) != "r2" {
+		t.Fatalf("RefV encode = %q", encodeValue(RefV(2)))
+	}
+	if encodeValue(NullV{}) != "n" {
+		t.Fatalf("NullV encode = %q", encodeValue(NullV{}))
+	}
+	got := encodeValue(MsgV{Name: "m", Args: []Value{IntV(1), BoolV(false)}})
+	if got != `m"m"(i1,bfalse)` {
+		t.Fatalf("MsgV encode = %q", got)
+	}
+}
+
+func TestBinaryOpErrors(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b Value
+	}{
+		{"AND", IntV(1), BoolV(true)},
+		{"+", StrV("a"), IntV(1)},
+		{"*", StrV("a"), StrV("b")},
+		{"+", BoolV(true), BoolV(false)},
+		{"/", IntV(1), IntV(0)},
+		{"%", IntV(1), IntV(0)},
+		{"/", FloatV(1), FloatV(0)},
+		{"%", FloatV(1), FloatV(2)},
+		{"^^", IntV(1), IntV(2)},
+	}
+	for _, c := range cases {
+		if _, err := binaryOp(c.op, c.a, c.b); err == nil {
+			t.Errorf("binaryOp(%s, %v, %v) should fail", c.op, c.a, c.b)
+		}
+	}
+	// Success paths not exercised elsewhere.
+	if v, err := binaryOp("OR", BoolV(false), BoolV(true)); err != nil || v != BoolV(true) {
+		t.Fatalf("OR = %v, %v", v, err)
+	}
+	if v, err := binaryOp(">=", StrV("b"), StrV("a")); err != nil || v != BoolV(true) {
+		t.Fatalf("string >= = %v, %v", v, err)
+	}
+	if v, err := binaryOp("<=", FloatV(1), IntV(2)); err != nil || v != BoolV(true) {
+		t.Fatalf("mixed <= = %v, %v", v, err)
+	}
+	if v, err := binaryOp("!=", IntV(1), IntV(2)); err != nil || v != BoolV(true) {
+		t.Fatalf("!= = %v, %v", v, err)
+	}
+}
+
+func TestUnaryOpErrors(t *testing.T) {
+	if _, err := unaryOp("NOT", IntV(1)); err == nil {
+		t.Fatal("NOT int should fail")
+	}
+	if _, err := unaryOp("-", StrV("a")); err == nil {
+		t.Fatal("minus string should fail")
+	}
+	if _, err := unaryOp("??", IntV(1)); err == nil {
+		t.Fatal("unknown unary should fail")
+	}
+	if v, err := unaryOp("-", FloatV(2.5)); err != nil || v != FloatV(-2.5) {
+		t.Fatalf("-float = %v, %v", v, err)
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	ce := &CompileError{Line: 3, Msg: "boom"}
+	if !strings.Contains(ce.Error(), "line 3") || !strings.Contains(ce.Error(), "boom") {
+		t.Fatalf("CompileError = %q", ce.Error())
+	}
+	re := &RuntimeError{Task: "t", Line: 9, Msg: "bad"}
+	if !strings.Contains(re.Error(), "t") || !strings.Contains(re.Error(), "line 9") {
+		t.Fatalf("RuntimeError = %q", re.Error())
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	cases := map[TokKind]string{
+		TokEOF: "EOF", TokIdent: "identifier", TokInt: "int",
+		TokFloat: "float", TokString: "string", TokKeyword: "keyword",
+		TokOp: "operator", TokKind(99): "TokKind(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("TokKind(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestTerminalKindStrings(t *testing.T) {
+	cases := map[TerminalKind]string{
+		NotTerminal: "running", Completed: "completed",
+		Quiescent: "quiescent", Deadlocked: "deadlocked",
+		TerminalKind(42): "TerminalKind(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestTruthyRequiresBool(t *testing.T) {
+	if _, err := truthy(IntV(1)); err == nil {
+		t.Fatal("truthy(int) should fail")
+	}
+	b, err := truthy(BoolV(true))
+	if err != nil || !b {
+		t.Fatalf("truthy(true) = %v, %v", b, err)
+	}
+}

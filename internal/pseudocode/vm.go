@@ -1,0 +1,1122 @@
+package pseudocode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Semantics selects the execution rules. The zero value is the paper's
+// semantics (Figures 3-5). The other fields implement perturbed semantics:
+// each corresponds to a misconception from Table III (used by the study
+// simulation to model students) or to an ablation.
+type Semantics struct {
+	// SendSynchronous models [C1]M3: a message send behaves like a
+	// synchronous call — the sender blocks until the receiver consumes the
+	// message.
+	SendSynchronous bool
+	// FIFOMailboxes models the belief behind [I2]M5: messages are received
+	// exactly in arrival order (a receiver blocks if the head-of-queue
+	// message matches no clause).
+	FIFOMailboxes bool
+	// CoarseLock models [I1]S7: the exclusive access is held from function
+	// invocation to return rather than from EXC_ACC to END_EXC_ACC.
+	CoarseLock bool
+	// WaitKeepsLock models [I1]S6-adjacent confusion: WAIT() does not
+	// release the exclusive access.
+	WaitKeepsLock bool
+	// NotifyWakesOne is an ablation: NOTIFY wakes a single waiter (Java's
+	// notify) instead of the paper's wake-all semantics.
+	NotifyWakesOne bool
+}
+
+// blockKind says why a task is not runnable.
+type blockKind int
+
+const (
+	blockNone       blockKind = iota
+	blockAcquire              // waiting for footprint vars to be free
+	blockWaitNotify           // parked in WAIT()
+	blockReacquire            // woken by NOTIFY, waiting to re-acquire
+	blockJoin                 // PARA join: waiting for children
+	blockReceive              // no matching message available
+	blockRendezvous           // synchronous-send: waiting for consumption
+)
+
+var blockNames = [...]string{"", "acquire", "wait", "reacquire", "join", "receive", "rendezvous"}
+
+func (b blockKind) String() string { return blockNames[b] }
+
+// frame is one activation record.
+type frame struct {
+	code     *CodeObject
+	ip       int
+	locals   map[string]Value
+	stack    []Value
+	self     RefV     // -1 when not in a method
+	heldCall []string // vars acquired at call entry under CoarseLock
+}
+
+func (f *frame) clone() *frame {
+	n := &frame{code: f.code, ip: f.ip, self: f.self}
+	if f.locals != nil {
+		n.locals = make(map[string]Value, len(f.locals))
+		for k, v := range f.locals {
+			n.locals[k] = v
+		}
+	}
+	n.stack = append([]Value(nil), f.stack...)
+	n.heldCall = append([]string(nil), f.heldCall...)
+	return n
+}
+
+// Task is one concurrent activity (the main program, a PARA child, or a
+// receiver).
+type Task struct {
+	ID       int
+	Name     string
+	Parent   int // -1 for main
+	frames   []*frame
+	block    blockKind
+	blockFP  []string // vars for blockAcquire/blockReacquire
+	blockSeq int      // mail seq for blockRendezvous
+	children int      // live child count for join
+	Done     bool
+	// Steps counts atomic steps this task executed. Path metadata: it is
+	// excluded from state encoding and exists for fairness measurements.
+	Steps int
+}
+
+// BlockedOn describes why the task is blocked ("" if runnable or done).
+func (t *Task) BlockedOn() string { return t.block.String() }
+
+// InFunction reports whether the task currently has an activation record
+// for the named function or method. Intended for explorer predicates
+// ("is this car inside redEnter?").
+func (t *Task) InFunction(name string) bool {
+	for _, f := range t.frames {
+		if f.code.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Waiting reports whether the task is parked in WAIT() (including the
+// woken-but-not-reacquired phase).
+func (t *Task) Waiting() bool {
+	return t.block == blockWaitNotify || t.block == blockReacquire
+}
+
+func (t *Task) clone() *Task {
+	n := &Task{
+		ID: t.ID, Name: t.Name, Parent: t.Parent,
+		block: t.block, blockSeq: t.blockSeq, children: t.children, Done: t.Done,
+		Steps: t.Steps,
+	}
+	n.blockFP = append([]string(nil), t.blockFP...)
+	n.frames = make([]*frame, len(t.frames))
+	for i, f := range t.frames {
+		n.frames[i] = f.clone()
+	}
+	return n
+}
+
+func (t *Task) top() *frame {
+	if len(t.frames) == 0 {
+		return nil
+	}
+	return t.frames[len(t.frames)-1]
+}
+
+// mailEntry is one message in a mailbox, with a sequence number for
+// rendezvous identity and FIFO ordering (the seq is excluded from state
+// hashing).
+type mailEntry struct {
+	seq int
+	msg MsgV
+}
+
+// World is the full machine state: shared globals, heap, tasks, locks,
+// wait queue, and output. Worlds are cloneable so the explorer can branch.
+type World struct {
+	prog    *Compiled
+	sem     Semantics
+	Globals map[string]Value
+	heap    []*Object
+	mail    map[int][]mailEntry // object id -> mailbox
+	Tasks   []*Task
+	locks   map[string]lockState
+	waiters []int // task IDs parked in WAIT, in arrival order
+	output  strings.Builder
+	msgSeq  int
+	nextTID int
+
+	// Trace, when non-nil, observes every atomic step.
+	Trace func(ev StepEvent)
+	// steps counts atomic steps executed.
+	steps int
+}
+
+// lockState records the holder of one guarded variable.
+type lockState struct {
+	holder int // task ID
+	depth  int // re-entrancy count
+}
+
+// StepEvent describes one atomic step for tracing.
+type StepEvent struct {
+	TaskID   int
+	TaskName string
+	Op       string
+	Line     int
+	Detail   string
+}
+
+// RuntimeError is a dynamic execution error (type error, unknown name...).
+type RuntimeError struct {
+	Task string
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("pseudocode: runtime error in %s at line %d: %s", e.Task, e.Line, e.Msg)
+}
+
+// NewWorld creates the initial state for prog under sem, with the main task
+// parked at the first statement.
+func NewWorld(prog *Compiled, sem Semantics) *World {
+	w := &World{
+		prog:    prog,
+		sem:     sem,
+		Globals: map[string]Value{},
+		mail:    map[int][]mailEntry{},
+		locks:   map[string]lockState{},
+	}
+	w.spawn("main", -1, prog.Main, nil, RefV(-1))
+	return w
+}
+
+// Clone deep-copies the world (Trace is not carried over).
+func (w *World) Clone() *World {
+	n := &World{
+		prog:    w.prog,
+		sem:     w.sem,
+		Globals: make(map[string]Value, len(w.Globals)),
+		heap:    make([]*Object, len(w.heap)),
+		mail:    make(map[int][]mailEntry, len(w.mail)),
+		Tasks:   make([]*Task, len(w.Tasks)),
+		locks:   make(map[string]lockState, len(w.locks)),
+		msgSeq:  w.msgSeq,
+		nextTID: w.nextTID,
+		steps:   w.steps,
+	}
+	for k, v := range w.Globals {
+		n.Globals[k] = v
+	}
+	for i, o := range w.heap {
+		n.heap[i] = o.clone()
+	}
+	for k, v := range w.mail {
+		n.mail[k] = append([]mailEntry(nil), v...)
+	}
+	for i, t := range w.Tasks {
+		n.Tasks[i] = t.clone()
+	}
+	for k, v := range w.locks {
+		n.locks[k] = v
+	}
+	n.waiters = append([]int(nil), w.waiters...)
+	n.output.WriteString(w.output.String())
+	return n
+}
+
+// Output returns everything printed so far.
+func (w *World) Output() string { return w.output.String() }
+
+// Steps returns the number of atomic steps executed.
+func (w *World) Steps() int { return w.steps }
+
+// GetGlobal returns a global variable's value (nil if unset).
+func (w *World) GetGlobal(name string) Value { return w.Globals[name] }
+
+// TaskByName returns the first non-done task with the given name, or nil.
+func (w *World) TaskByName(name string) *Task {
+	for _, t := range w.Tasks {
+		if t.Name == name && !t.Done {
+			return t
+		}
+	}
+	return nil
+}
+
+// LockHolder returns the task ID holding var name, or -1.
+func (w *World) LockHolder(name string) int {
+	if ls, ok := w.locks[name]; ok {
+		return ls.holder
+	}
+	return -1
+}
+
+// ObjectsByClass returns the heap objects of the given class, in
+// allocation order. Intended for explorer predicates.
+func (w *World) ObjectsByClass(class string) []*Object {
+	var out []*Object
+	for _, o := range w.heap {
+		if o.Class == class {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// MailboxCount returns the number of queued messages across all objects.
+func (w *World) MailboxCount() int {
+	n := 0
+	for _, q := range w.mail {
+		n += len(q)
+	}
+	return n
+}
+
+func (w *World) spawn(name string, parent int, code *CodeObject, locals map[string]Value, self RefV) *Task {
+	if locals == nil {
+		locals = map[string]Value{}
+	}
+	t := &Task{
+		ID:     w.nextTID,
+		Name:   name,
+		Parent: parent,
+		frames: []*frame{{code: code, locals: locals, self: self}},
+	}
+	w.nextTID++
+	w.Tasks = append(w.Tasks, t)
+	return t
+}
+
+// --- Runnability ---
+
+// Choice identifies a scheduling option: run task TaskIdx; for a receive
+// with several deliverable messages, Option selects which (0-based index
+// into the canonically ordered candidate list).
+type Choice struct {
+	TaskIdx int
+	Option  int
+}
+
+// Runnable returns all scheduling choices available in the current state.
+func (w *World) Runnable() []Choice {
+	var out []Choice
+	for i, t := range w.Tasks {
+		n := w.taskOptions(t)
+		for o := 0; o < n; o++ {
+			out = append(out, Choice{TaskIdx: i, Option: o})
+		}
+	}
+	return out
+}
+
+// taskOptions returns how many scheduling options the task has now
+// (0 = not runnable).
+func (w *World) taskOptions(t *Task) int {
+	if t.Done {
+		return 0
+	}
+	f := t.top()
+	if f == nil {
+		return 0
+	}
+	in := f.code.Instrs[f.ip]
+	// A task parked at OpStep: look at the next instruction, since blocking
+	// ops are compiled immediately after their OpStep.
+	probe := in
+	if in.Op == OpStep && f.ip+1 < len(f.code.Instrs) {
+		probe = f.code.Instrs[f.ip+1]
+	}
+	switch t.block {
+	case blockJoin:
+		if t.children == 0 {
+			return 1
+		}
+		return 0
+	case blockWaitNotify:
+		return 0 // only NOTIFY can move it
+	case blockReacquire:
+		if w.canAcquire(t.ID, t.blockFP) {
+			return 1
+		}
+		return 0
+	case blockRendezvous:
+		return 0 // consumption of the message unblocks it
+	case blockAcquire:
+		if w.canAcquire(t.ID, t.blockFP) {
+			return 1
+		}
+		return 0
+	case blockReceive:
+		// fall through to re-probe the receive below
+	}
+	switch probe.Op {
+	case OpAcquire:
+		if w.canAcquire(t.ID, w.prog.Footprints[probe.A]) {
+			return 1
+		}
+		return 0
+	case OpParaJoin:
+		// Not yet spawned (blockNone) — OpPara precedes and is non-blocking;
+		// if parked exactly at OpParaJoin without blockJoin, children==0.
+		if t.children == 0 {
+			return 1
+		}
+		return 0
+	case OpReceive:
+		cands := w.receiveCandidates(t, w.prog.RecvTables[probe.A])
+		return len(cands)
+	case OpCall:
+		if w.sem.CoarseLock {
+			if fn := w.prog.Funcs[probe.S]; fn != nil && len(fn.ExcVars) > 0 {
+				if !w.canAcquire(t.ID, fn.ExcVars) {
+					return 0
+				}
+			}
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+func (w *World) canAcquire(tid int, vars []string) bool {
+	for _, v := range vars {
+		if ls, ok := w.locks[v]; ok && ls.holder != tid {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *World) acquire(tid int, vars []string) {
+	for _, v := range vars {
+		ls := w.locks[v]
+		if ls.depth == 0 {
+			ls.holder = tid
+		}
+		ls.depth++
+		w.locks[v] = ls
+	}
+}
+
+func (w *World) release(tid int, vars []string) {
+	for _, v := range vars {
+		ls, ok := w.locks[v]
+		if !ok || ls.holder != tid {
+			continue
+		}
+		ls.depth--
+		if ls.depth <= 0 {
+			delete(w.locks, v)
+		} else {
+			w.locks[v] = ls
+		}
+	}
+}
+
+// receiveCandidates lists the mailbox entries task t could consume, in
+// canonical order (so Option indices are stable across equivalent states).
+type candidate struct {
+	entryIdx  int
+	clauseIdx int
+	enc       string
+}
+
+func (w *World) receiveCandidates(t *Task, table RecvTable) []candidate {
+	f := t.top()
+	box := w.mail[int(f.self)]
+	var cands []candidate
+	consider := func(i int) {
+		e := box[i]
+		for ci, cl := range table.Clauses {
+			if cl.MsgName == e.msg.Name && len(cl.Params) == len(e.msg.Args) {
+				cands = append(cands, candidate{entryIdx: i, clauseIdx: ci, enc: encodeValue(e.msg)})
+				return
+			}
+		}
+	}
+	if w.sem.FIFOMailboxes {
+		if len(box) > 0 {
+			consider(0) // strict order: only the head is deliverable
+		}
+		return cands
+	}
+	for i := range box {
+		consider(i)
+	}
+	// Canonical order and dedup by message content: receiving either of two
+	// identical messages leads to the same state.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].enc < cands[b].enc })
+	uniq := cands[:0]
+	var last string
+	for i, c := range cands {
+		if i == 0 || c.enc != last {
+			uniq = append(uniq, c)
+			last = c.enc
+		}
+	}
+	return uniq
+}
+
+// --- Stepping ---
+
+// Step executes one atomic step for the given choice. The choice must come
+// from Runnable() on the current state.
+func (w *World) Step(ch Choice) error {
+	t := w.Tasks[ch.TaskIdx]
+	w.steps++
+	t.Steps++
+	// A task parked at a blocking op (block != none) is mid-statement: the
+	// next OpStep it reaches ends this step. A task parked at an OpStep has
+	// not consumed its boundary yet.
+	consumed := t.block != blockNone
+	for {
+		f := t.top()
+		if f == nil {
+			w.taskExit(t)
+			return nil
+		}
+		if f.ip >= len(f.code.Instrs) {
+			return &RuntimeError{t.Name, 0, "instruction pointer out of range"}
+		}
+		in := f.code.Instrs[f.ip]
+		switch in.Op {
+		case OpStep:
+			if consumed {
+				return nil // parked at the next statement
+			}
+			consumed = true
+			f.ip++
+		case OpPush:
+			f.stack = append(f.stack, w.prog.Consts[in.A])
+			f.ip++
+		case OpLoad:
+			v, err := w.load(t, f, in.S, in.Line)
+			if err != nil {
+				return err
+			}
+			f.stack = append(f.stack, v)
+			f.ip++
+		case OpStore:
+			v := w.pop(f)
+			w.store(t, f, in.S, v)
+			w.trace(t, "assign", in.Line, in.S+" = "+v.display())
+			f.ip++
+		case OpLoadSelf:
+			f.stack = append(f.stack, f.self)
+			f.ip++
+		case OpGetField:
+			obj, err := w.popObject(t, f, in.Line)
+			if err != nil {
+				return err
+			}
+			v, ok := obj.Fields[in.S]
+			if !ok {
+				return &RuntimeError{t.Name, in.Line, "object has no field " + in.S}
+			}
+			f.stack = append(f.stack, v)
+			f.ip++
+		case OpSetField:
+			v := w.pop(f)
+			obj, err := w.popObject(t, f, in.Line)
+			if err != nil {
+				return err
+			}
+			if obj.Fields == nil {
+				obj.Fields = map[string]Value{}
+			}
+			obj.Fields[in.S] = v
+			w.trace(t, "setfield", in.Line, in.S+" = "+v.display())
+			f.ip++
+		case OpBinary:
+			rhs := w.pop(f)
+			lhs := w.pop(f)
+			v, err := binaryOp(in.S, lhs, rhs)
+			if err != nil {
+				return &RuntimeError{t.Name, in.Line, err.Error()}
+			}
+			f.stack = append(f.stack, v)
+			f.ip++
+		case OpUnary:
+			v := w.pop(f)
+			r, err := unaryOp(in.S, v)
+			if err != nil {
+				return &RuntimeError{t.Name, in.Line, err.Error()}
+			}
+			f.stack = append(f.stack, r)
+			f.ip++
+		case OpJump:
+			f.ip = in.A
+		case OpJumpIfFalse:
+			v := w.pop(f)
+			b, err := truthy(v)
+			if err != nil {
+				return &RuntimeError{t.Name, in.Line, err.Error()}
+			}
+			if b {
+				f.ip++
+			} else {
+				f.ip = in.A
+			}
+		case OpPrint:
+			v := w.pop(f)
+			w.output.WriteString(v.display())
+			if in.A == 1 {
+				w.output.WriteByte('\n')
+			}
+			w.trace(t, "print", in.Line, v.display())
+			f.ip++
+		case OpCall:
+			fn := w.prog.Funcs[in.S]
+			if fn == nil {
+				return &RuntimeError{t.Name, in.Line, "undefined function " + in.S}
+			}
+			if w.sem.CoarseLock && len(fn.ExcVars) > 0 {
+				if !w.canAcquire(t.ID, fn.ExcVars) {
+					t.block = blockAcquire
+					t.blockFP = fn.ExcVars
+					return nil
+				}
+				w.acquire(t.ID, fn.ExcVars)
+			}
+			t.block = blockNone
+			args := w.popN(f, in.A)
+			if len(args) != len(fn.Params) {
+				return &RuntimeError{t.Name, in.Line, fmt.Sprintf("%s expects %d args, got %d", in.S, len(fn.Params), len(args))}
+			}
+			locals := map[string]Value{}
+			for i, p := range fn.Params {
+				locals[p] = args[i]
+			}
+			nf := &frame{code: fn, locals: locals, self: RefV(-1)}
+			if w.sem.CoarseLock && len(fn.ExcVars) > 0 {
+				nf.heldCall = fn.ExcVars
+			}
+			f.ip++
+			t.frames = append(t.frames, nf)
+			w.trace(t, "call", in.Line, in.S)
+		case OpCallMethod:
+			args := w.popN(f, in.A)
+			objV := w.pop(f)
+			ref, ok := objV.(RefV)
+			if !ok || int(ref) < 0 || int(ref) >= len(w.heap) {
+				return &RuntimeError{t.Name, in.Line, "method call on non-object"}
+			}
+			obj := w.heap[ref]
+			methods := w.prog.Classes[obj.Class]
+			m := methods[in.S]
+			if m == nil {
+				return &RuntimeError{t.Name, in.Line, obj.Class + " has no method " + in.S}
+			}
+			if len(args) != len(m.Params) {
+				return &RuntimeError{t.Name, in.Line, fmt.Sprintf("%s expects %d args, got %d", in.S, len(m.Params), len(args))}
+			}
+			locals := map[string]Value{}
+			for i, p := range m.Params {
+				locals[p] = args[i]
+			}
+			f.ip++
+			if m.IsReceiver {
+				// Starting a receiver spawns a persistent task on the object.
+				w.spawn(obj.Class+"."+in.S+"@"+fmt.Sprint(int(ref)), t.ID, m, locals, ref)
+				f.stack = append(f.stack, NullV{})
+				w.trace(t, "start-receiver", in.Line, in.S)
+			} else {
+				t.frames = append(t.frames, &frame{code: m, locals: locals, self: ref})
+				w.trace(t, "call", in.Line, in.S)
+			}
+		case OpReturn:
+			ret := w.pop(f)
+			if len(f.heldCall) > 0 {
+				w.release(t.ID, f.heldCall)
+			}
+			t.frames = t.frames[:len(t.frames)-1]
+			if top := t.top(); top != nil {
+				top.stack = append(top.stack, ret)
+			} else {
+				w.taskExit(t)
+				return nil
+			}
+		case OpPop:
+			w.pop(f)
+			f.ip++
+		case OpMakeMsg:
+			args := w.popN(f, in.A)
+			f.stack = append(f.stack, MsgV{Name: in.S, Args: args})
+			f.ip++
+		case OpNew:
+			w.heap = append(w.heap, &Object{Class: in.S, Fields: map[string]Value{}})
+			f.stack = append(f.stack, RefV(len(w.heap)-1))
+			f.ip++
+		case OpSend:
+			tgt := w.pop(f)
+			msg := w.pop(f)
+			ref, ok := tgt.(RefV)
+			if !ok || int(ref) < 0 || int(ref) >= len(w.heap) {
+				return &RuntimeError{t.Name, in.Line, "Send target is not an object"}
+			}
+			mv, ok := msg.(MsgV)
+			if !ok {
+				return &RuntimeError{t.Name, in.Line, "Send argument is not a MESSAGE"}
+			}
+			w.msgSeq++
+			w.mail[int(ref)] = append(w.mail[int(ref)], mailEntry{seq: w.msgSeq, msg: mv})
+			w.trace(t, "send", in.Line, mv.display())
+			f.ip++
+			if w.sem.SendSynchronous {
+				t.block = blockRendezvous
+				t.blockSeq = w.msgSeq
+				return nil
+			}
+		case OpAcquire:
+			fp := w.prog.Footprints[in.A]
+			if t.block == blockAcquire || t.block == blockNone {
+				if !w.canAcquire(t.ID, fp) {
+					t.block = blockAcquire
+					t.blockFP = fp
+					w.trace(t, "block-acquire", in.Line, strings.Join(fp, ","))
+					return nil
+				}
+			}
+			w.acquire(t.ID, fp)
+			t.block = blockNone
+			t.blockFP = nil
+			w.trace(t, "acquire", in.Line, strings.Join(fp, ","))
+			f.ip++
+		case OpRelease:
+			fp := w.prog.Footprints[in.A]
+			w.release(t.ID, fp)
+			w.trace(t, "release", in.Line, strings.Join(fp, ","))
+			f.ip++
+		case OpWait:
+			fp := w.prog.Footprints[in.A]
+			switch t.block {
+			case blockNone:
+				releaseSet := fp
+				if w.sem.CoarseLock {
+					// Under the S7 model the lock spans the whole call, so a
+					// coherent WAIT must release every level the task holds
+					// (and re-acquire the same multiset on wakeup).
+					releaseSet = nil
+					for v, ls := range w.locks {
+						if ls.holder == t.ID {
+							for d := 0; d < ls.depth; d++ {
+								releaseSet = append(releaseSet, v)
+							}
+						}
+					}
+					sort.Strings(releaseSet)
+				}
+				if !w.sem.WaitKeepsLock {
+					w.release(t.ID, releaseSet)
+				}
+				t.block = blockWaitNotify
+				t.blockFP = releaseSet
+				w.waiters = append(w.waiters, t.ID)
+				w.trace(t, "wait", in.Line, strings.Join(releaseSet, ","))
+				return nil
+			case blockReacquire:
+				// Woken by NOTIFY; re-acquire and continue after WAIT().
+				// Under WaitKeepsLock the lock was never released.
+				if !w.sem.WaitKeepsLock {
+					w.acquire(t.ID, t.blockFP)
+				}
+				t.block = blockNone
+				t.blockFP = nil
+				w.trace(t, "wake", in.Line, "")
+				f.ip++
+			default:
+				return &RuntimeError{t.Name, in.Line, "invalid wait state"}
+			}
+		case OpNotify:
+			w.notifyWaiters(t, in.Line)
+			f.ip++
+		case OpPara:
+			children := w.prog.ParaBlocks[in.A]
+			for i, child := range children {
+				w.spawn(fmt.Sprintf("%s#%d", child.Name, i), t.ID, child, nil, f.self)
+			}
+			t.children = len(children)
+			w.trace(t, "para", in.Line, fmt.Sprintf("%d tasks", len(children)))
+			f.ip++
+		case OpParaJoin:
+			if t.children > 0 {
+				t.block = blockJoin
+				return nil
+			}
+			t.block = blockNone
+			w.trace(t, "join", in.Line, "")
+			f.ip++
+		case OpReceive:
+			table := w.prog.RecvTables[in.A]
+			cands := w.receiveCandidates(t, table)
+			if len(cands) == 0 {
+				t.block = blockReceive
+				return nil
+			}
+			opt := ch.Option
+			if opt >= len(cands) {
+				opt = 0
+			}
+			cand := cands[opt]
+			box := w.mail[int(f.self)]
+			entry := box[cand.entryIdx]
+			w.mail[int(f.self)] = append(box[:cand.entryIdx:cand.entryIdx], box[cand.entryIdx+1:]...)
+			// A rendezvous sender blocked on this message is now released.
+			if w.sem.SendSynchronous {
+				for _, st := range w.Tasks {
+					if st.block == blockRendezvous && st.blockSeq == entry.seq {
+						st.block = blockNone
+					}
+				}
+			}
+			cl := table.Clauses[cand.clauseIdx]
+			for i, p := range cl.Params {
+				f.locals[p] = entry.msg.Args[i]
+			}
+			t.block = blockNone
+			w.trace(t, "receive", in.Line, entry.msg.display())
+			f.ip = cl.Target
+		default:
+			return &RuntimeError{t.Name, in.Line, "unknown opcode " + in.Op.String()}
+		}
+	}
+}
+
+func (w *World) notifyWaiters(t *Task, line int) {
+	if len(w.waiters) == 0 {
+		w.trace(t, "notify", line, "no waiters")
+		return
+	}
+	wake := w.waiters
+	if w.sem.NotifyWakesOne {
+		wake = w.waiters[:1]
+		w.waiters = append([]int(nil), w.waiters[1:]...)
+	} else {
+		w.waiters = nil
+	}
+	for _, id := range wake {
+		for _, wt := range w.Tasks {
+			if wt.ID == id && wt.block == blockWaitNotify {
+				wt.block = blockReacquire
+			}
+		}
+	}
+	w.trace(t, "notify", line, fmt.Sprintf("woke %d", len(wake)))
+}
+
+func (w *World) taskExit(t *Task) {
+	if t.Done {
+		return
+	}
+	t.Done = true
+	w.trace(t, "exit", 0, "")
+	// Release anything still held (defensive; balanced programs hold nothing).
+	var held []string
+	for v, ls := range w.locks {
+		if ls.holder == t.ID {
+			held = append(held, v)
+		}
+	}
+	for _, v := range held {
+		delete(w.locks, v)
+	}
+	if t.Parent >= 0 {
+		for _, pt := range w.Tasks {
+			if pt.ID == t.Parent {
+				if pt.children > 0 {
+					pt.children--
+				}
+				if pt.children == 0 && pt.block == blockJoin {
+					pt.block = blockNone
+				}
+			}
+		}
+	}
+}
+
+func (w *World) trace(t *Task, op string, line int, detail string) {
+	if w.Trace != nil {
+		w.Trace(StepEvent{TaskID: t.ID, TaskName: t.Name, Op: op, Line: line, Detail: detail})
+	}
+}
+
+func (w *World) pop(f *frame) Value {
+	if len(f.stack) == 0 {
+		return NullV{}
+	}
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+func (w *World) popN(f *frame, n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	vals := make([]Value, n)
+	for i := n - 1; i >= 0; i-- {
+		vals[i] = w.pop(f)
+	}
+	return vals
+}
+
+func (w *World) popObject(t *Task, f *frame, line int) (*Object, error) {
+	v := w.pop(f)
+	ref, ok := v.(RefV)
+	if !ok || int(ref) < 0 || int(ref) >= len(w.heap) {
+		return nil, &RuntimeError{t.Name, line, "not an object"}
+	}
+	return w.heap[ref], nil
+}
+
+// load resolves a name: locals → method self fields → globals. Loads in the
+// main (top-level) frame read globals directly.
+func (w *World) load(t *Task, f *frame, name string, line int) (Value, error) {
+	if v, ok := f.locals[name]; ok {
+		return v, nil
+	}
+	if int(f.self) >= 0 {
+		if v, ok := w.heap[f.self].Fields[name]; ok {
+			return v, nil
+		}
+	}
+	if v, ok := w.Globals[name]; ok {
+		return v, nil
+	}
+	return nil, &RuntimeError{t.Name, line, "undefined variable " + name}
+}
+
+// store resolves an assignment target: existing local → method self field →
+// existing global → new binding (global at top level, local otherwise).
+func (w *World) store(t *Task, f *frame, name string, v Value) {
+	if _, ok := f.locals[name]; ok {
+		f.locals[name] = v
+		return
+	}
+	if int(f.self) >= 0 {
+		if _, ok := w.heap[f.self].Fields[name]; ok {
+			w.heap[f.self].Fields[name] = v
+			return
+		}
+	}
+	if _, ok := w.Globals[name]; ok {
+		w.Globals[name] = v
+		return
+	}
+	if f.code == w.prog.Main {
+		w.Globals[name] = v
+		return
+	}
+	f.locals[name] = v
+}
+
+// --- Terminal classification ---
+
+// TerminalKind classifies a state with no runnable tasks.
+type TerminalKind int
+
+const (
+	// NotTerminal: some task can still run.
+	NotTerminal TerminalKind = iota
+	// Completed: every task finished.
+	Completed
+	// Quiescent: the only blocked tasks are receivers with empty/unmatched
+	// mailboxes — normal for programs with persistent receiver loops.
+	Quiescent
+	// Deadlocked: some task is stuck on a lock, condition, join, or
+	// rendezvous that no runnable task can ever satisfy.
+	Deadlocked
+)
+
+func (k TerminalKind) String() string {
+	switch k {
+	case NotTerminal:
+		return "running"
+	case Completed:
+		return "completed"
+	case Quiescent:
+		return "quiescent"
+	case Deadlocked:
+		return "deadlocked"
+	default:
+		return fmt.Sprintf("TerminalKind(%d)", int(k))
+	}
+}
+
+// effectiveBlock reports why a non-runnable task cannot proceed, probing
+// the parked instruction when the task has not yet recorded a block state
+// (it may be parked at the OpStep preceding a blocking op).
+func (w *World) effectiveBlock(t *Task) blockKind {
+	if t.block != blockNone {
+		return t.block
+	}
+	f := t.top()
+	if f == nil {
+		return blockNone
+	}
+	in := f.code.Instrs[f.ip]
+	probe := in
+	if in.Op == OpStep && f.ip+1 < len(f.code.Instrs) {
+		probe = f.code.Instrs[f.ip+1]
+	}
+	switch probe.Op {
+	case OpReceive:
+		return blockReceive
+	case OpAcquire:
+		return blockAcquire
+	case OpParaJoin:
+		return blockJoin
+	case OpCall:
+		return blockAcquire // only blocking under CoarseLock
+	}
+	return blockNone
+}
+
+// Classify reports whether the world is terminal and how.
+func (w *World) Classify() TerminalKind {
+	if len(w.Runnable()) > 0 {
+		return NotTerminal
+	}
+	allDone := true
+	onlyReceivers := true
+	for _, t := range w.Tasks {
+		if t.Done {
+			continue
+		}
+		allDone = false
+		if w.effectiveBlock(t) != blockReceive {
+			onlyReceivers = false
+		}
+	}
+	if allDone {
+		return Completed
+	}
+	if onlyReceivers {
+		return Quiescent
+	}
+	return Deadlocked
+}
+
+// BlockedTasks returns the names of non-done, non-runnable tasks and their
+// block reasons, for deadlock reports.
+func (w *World) BlockedTasks() []string {
+	var out []string
+	for _, t := range w.Tasks {
+		if !t.Done && w.taskOptions(t) == 0 {
+			out = append(out, fmt.Sprintf("%s(%s)", t.Name, w.effectiveBlock(t)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode produces a canonical string for state memoization: globals, heap,
+// mailboxes (as multisets under bag delivery, sequences under FIFO), tasks
+// (code, ip, locals, stack, block state), locks, waiters, and output.
+func (w *World) Encode() string {
+	var b strings.Builder
+	b.WriteString("G{")
+	keys := make([]string, 0, len(w.Globals))
+	for k := range w.Globals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%q=", k)
+		w.Globals[k].encode(&b)
+		b.WriteByte(';')
+	}
+	b.WriteString("}H[")
+	for i, o := range w.heap {
+		fmt.Fprintf(&b, "%d:", i)
+		o.encode(&b)
+		// Mailbox lives in w.mail, encode here per object.
+		box := w.mail[i]
+		if w.sem.FIFOMailboxes {
+			b.WriteByte('<')
+			for _, e := range box {
+				e.msg.encode(&b)
+				b.WriteByte('|')
+			}
+			b.WriteByte('>')
+		} else {
+			enc := make([]string, len(box))
+			for j, e := range box {
+				enc[j] = encodeValue(e.msg)
+			}
+			sort.Strings(enc)
+			b.WriteByte('<')
+			b.WriteString(strings.Join(enc, "|"))
+			b.WriteByte('>')
+		}
+	}
+	b.WriteString("]T[")
+	for _, t := range w.Tasks {
+		fmt.Fprintf(&b, "%d%q:", t.ID, t.Name)
+		if t.Done {
+			b.WriteString("done;")
+			continue
+		}
+		fmt.Fprintf(&b, "blk%d/%d/", int(t.block), t.children)
+		b.WriteString(strings.Join(t.blockFP, ","))
+		b.WriteByte('/')
+		if t.block == blockRendezvous {
+			// Encode the awaited message by content (seq numbers are
+			// path-dependent and would defeat memoization).
+			for oid := 0; oid < len(w.heap); oid++ {
+				for _, e := range w.mail[oid] {
+					if e.seq == t.blockSeq {
+						fmt.Fprintf(&b, "rdv%d:", oid)
+						e.msg.encode(&b)
+					}
+				}
+			}
+		}
+		for _, f := range t.frames {
+			fmt.Fprintf(&b, "(%q@%d self%d L{", f.code.Name, f.ip, int(f.self))
+			lk := make([]string, 0, len(f.locals))
+			for k := range f.locals {
+				lk = append(lk, k)
+			}
+			sort.Strings(lk)
+			for _, k := range lk {
+				fmt.Fprintf(&b, "%q=", k)
+				f.locals[k].encode(&b)
+				b.WriteByte(';')
+			}
+			b.WriteString("}S{")
+			for _, v := range f.stack {
+				v.encode(&b)
+				b.WriteByte(';')
+			}
+			b.WriteString("})")
+		}
+		b.WriteByte(';')
+	}
+	b.WriteString("]L{")
+	lkeys := make([]string, 0, len(w.locks))
+	for k := range w.locks {
+		lkeys = append(lkeys, k)
+	}
+	sort.Strings(lkeys)
+	for _, k := range lkeys {
+		ls := w.locks[k]
+		fmt.Fprintf(&b, "%q=%d/%d;", k, ls.holder, ls.depth)
+	}
+	b.WriteString("}W[")
+	for _, id := range w.waiters {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	b.WriteString("]O")
+	fmt.Fprintf(&b, "%q", w.output.String())
+	return b.String()
+}

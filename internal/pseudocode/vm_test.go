@@ -1,0 +1,289 @@
+package pseudocode
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomWalk advances the world n random steps (or until terminal).
+func randomWalk(t *testing.T, w *World, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		cs := w.Runnable()
+		if len(cs) == 0 {
+			return
+		}
+		if err := w.Step(cs[rng.Intn(len(cs))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	prog, err := CompileSource(loadFixture(t, "bridge_shared.pc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(prog, Semantics{})
+	randomWalk(t, w, 25, 3)
+	e1 := w.Encode()
+	for i := 0; i < 10; i++ {
+		if e2 := w.Encode(); e2 != e1 {
+			t.Fatal("Encode not deterministic on the same world")
+		}
+	}
+}
+
+// Property: a clone encodes identically, and stepping the clone leaves the
+// original's encoding unchanged.
+func TestCloneEncodesIdentically(t *testing.T) {
+	prog, err := CompileSource(loadFixture(t, "fig5_messages.pc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		w := NewWorld(prog, Semantics{})
+		randomWalk(t, w, int(seed), seed)
+		c := w.Clone()
+		if c.Encode() != w.Encode() {
+			t.Fatalf("seed %d: clone encodes differently", seed)
+		}
+		before := w.Encode()
+		if cs := c.Runnable(); len(cs) > 0 {
+			if err := c.Step(cs[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w.Encode() != before {
+			t.Fatalf("seed %d: stepping the clone mutated the original", seed)
+		}
+	}
+}
+
+// Property: Runnable choices never error when stepped, across random walks
+// of every fixture program.
+func TestRunnableChoicesAlwaysStep(t *testing.T) {
+	for _, f := range []string{
+		"fig3a_para.pc", "fig4b_waitnotify.pc", "fig5_messages.pc",
+		"bridge_shared.pc", "philosophers_symmetric.pc",
+	} {
+		prog, err := CompileSource(loadFixture(t, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			w := NewWorld(prog, Semantics{})
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				cs := w.Runnable()
+				if len(cs) == 0 {
+					break
+				}
+				ch := cs[rng.Intn(len(cs))]
+				if err := w.Step(ch); err != nil {
+					t.Fatalf("%s seed %d: step %d (%+v): %v", f, seed, i, ch, err)
+				}
+			}
+		}
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	// Under FIFO semantics, a receiver whose head-of-queue message matches
+	// no clause is stuck even though a matching message sits behind it.
+	src := `CLASS R
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.wanted(v)
+                PRINTLN v
+    ENDDEF
+ENDCLASS
+r = new R()
+r.receive()
+Send(MESSAGE.unwanted(1)).To(r)
+Send(MESSAGE.wanted(2)).To(r)`
+	// True (bag) semantics: the wanted message is deliverable.
+	res := mustExplore(t, src, Semantics{})
+	if !res.OutputSet()["2\n"] {
+		t.Fatalf("bag semantics should deliver the wanted message: %q", res.Outputs)
+	}
+	// FIFO semantics: head of line never matches → nothing is printed.
+	resFIFO := mustExplore(t, src, Semantics{FIFOMailboxes: true})
+	if len(resFIFO.Outputs) != 1 || resFIFO.Outputs[0] != "" {
+		t.Fatalf("FIFO head-of-line blocking should suppress output: %q", resFIFO.Outputs)
+	}
+}
+
+func TestReceiverMultipleParams(t *testing.T) {
+	src := `CLASS R
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.pair(a, b)
+                PRINTLN a + b
+    ENDDEF
+ENDCLASS
+r = new R()
+r.receive()
+Send(MESSAGE.pair(40, 2)).To(r)`
+	res, err := RunSource(src, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestArityMismatchedMessageNotDelivered(t *testing.T) {
+	// A message whose arity matches no clause stays in the mailbox.
+	src := `CLASS R
+    DEFINE receive
+        ON_RECEIVING
+            MESSAGE.m(a)
+                PRINTLN a
+    ENDDEF
+ENDCLASS
+r = new R()
+r.receive()
+Send(MESSAGE.m(1, 2)).To(r)
+Send(MESSAGE.m(7)).To(r)`
+	res := mustExplore(t, src, Semantics{})
+	if len(res.Outputs) != 1 || res.Outputs[0] != "7\n" {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+}
+
+func TestNestedPara(t *testing.T) {
+	src := `x = 0
+PARA
+    PARA
+        x = x + 1
+        x = x + 2
+    ENDPARA
+    x = x + 4
+ENDPARA
+PRINTLN x`
+	res := mustExplore(t, src, Semantics{})
+	// All adds are atomic statements on x: the final value is always 7.
+	if len(res.Outputs) != 1 || res.Outputs[0] != "7\n" {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+	if res.HasDeadlock() {
+		t.Fatal("nested PARA join deadlocked")
+	}
+}
+
+func TestReentrantExcAcc(t *testing.T) {
+	// Nested EXC_ACC blocks with overlapping footprints in one task must
+	// not self-deadlock (re-entrancy).
+	src := `x = 0
+DEFINE f()
+    EXC_ACC
+        x = x + 1
+        EXC_ACC
+            x = x + 1
+        END_EXC_ACC
+        x = x + 1
+    END_EXC_ACC
+ENDDEF
+PARA
+    f()
+    f()
+ENDPARA
+PRINTLN x`
+	res := mustExplore(t, src, Semantics{})
+	if res.HasDeadlock() {
+		t.Fatal("re-entrant exclusive access self-deadlocked")
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0] != "6\n" {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+}
+
+func TestCallInCondition(t *testing.T) {
+	src := `DEFINE double(v)
+    RETURN v * 2
+ENDDEF
+x = 5
+WHILE double(x) < 20
+    x = x + 1
+ENDWHILE
+PRINTLN x`
+	res, err := RunSource(src, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "10\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestReturnValuePropagation(t *testing.T) {
+	src := `DEFINE fib(n)
+    IF n < 2 THEN
+        RETURN n
+    ENDIF
+    RETURN fib(n - 1) + fib(n - 2)
+ENDDEF
+PRINTLN fib(10)`
+	res, err := RunSource(src, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "55\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	prog, err := CompileSource(`x = 0
+PARA
+    x = x + 1
+ENDPARA`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(prog, Semantics{})
+	if w.TaskByName("main") == nil {
+		t.Fatal("main task missing")
+	}
+	if w.TaskByName("ghost") != nil {
+		t.Fatal("ghost task found")
+	}
+	if w.LockHolder("x") != -1 {
+		t.Fatal("x should be unlocked")
+	}
+	main := w.TaskByName("main")
+	if main.BlockedOn() != "" || main.Waiting() || main.InFunction("nope") {
+		t.Fatalf("fresh main task state: %q %v", main.BlockedOn(), main.Waiting())
+	}
+}
+
+func TestStepsAccounting(t *testing.T) {
+	res, err := RunSource(`x = 1
+x = 2
+PRINTLN x`, RunOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3 atomic statements", res.Steps)
+	}
+	if res.TaskSteps["main"] != 3 {
+		t.Fatalf("TaskSteps = %v", res.TaskSteps)
+	}
+	if !strings.Contains(res.String(), "completed") {
+		t.Fatalf("String = %q", res.String())
+	}
+}
+
+func TestBlockKindStrings(t *testing.T) {
+	names := []string{"", "acquire", "wait", "reacquire", "join", "receive", "rendezvous"}
+	for i, want := range names {
+		if blockKind(i).String() != want {
+			t.Fatalf("blockKind(%d) = %q, want %q", i, blockKind(i).String(), want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package statemachine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/actors"
+)
+
+// ActorMachine executes a Machine under the message-passing model: the
+// machine is an actor; events arrive as messages. A disabled event is
+// deferred (kept in a pending list) and retried after every state change —
+// the course's state-diagram → message-protocol transformation, the same
+// deferral pattern the message-passing bridge uses.
+type ActorMachine struct {
+	m   *Machine
+	sys *actors.System
+	ref *actors.Ref
+
+	mu      sync.Mutex
+	state   string
+	vars    Vars
+	history []Step
+}
+
+// eventMsg asks the machine to fire an event; done (optional) is closed
+// with the step when it eventually fires.
+type eventMsg struct {
+	event string
+	done  chan Step
+}
+
+// queryMsg reads a snapshot.
+type queryMsg struct{ reply chan snapshot }
+
+type snapshot struct {
+	state string
+	vars  Vars
+	steps []Step
+}
+
+// NewActorMachine spawns a machine actor in sys.
+func NewActorMachine(sys *actors.System, m *Machine) (*ActorMachine, error) {
+	am := &ActorMachine{m: m, sys: sys, state: m.Initial, vars: m.Vars.Clone()}
+	var pending []eventMsg
+	ref, err := sys.Spawn("machine:"+m.Name, func(ctx *actors.Context, msg any) {
+		switch q := msg.(type) {
+		case queryMsg:
+			am.mu.Lock()
+			q.reply <- snapshot{state: am.state, vars: am.vars.Clone(), steps: append([]Step(nil), am.history...)}
+			am.mu.Unlock()
+			return
+		case eventMsg:
+			pending = append(pending, q)
+		}
+		// Fire any pending events that are now enabled; keep going until a
+		// full pass makes no progress (each firing can enable others).
+		for {
+			progressed := false
+			for i := 0; i < len(pending); i++ {
+				e := pending[i]
+				am.mu.Lock()
+				idx := am.m.enabled(am.state, e.event, am.vars)
+				if idx >= 0 {
+					from := am.state
+					am.state = am.m.apply(idx, am.vars)
+					step := Step{Event: e.event, From: from, To: am.state}
+					am.history = append(am.history, step)
+					am.mu.Unlock()
+					if e.done != nil {
+						e.done <- step
+					}
+					pending = append(pending[:i], pending[i+1:]...)
+					i--
+					progressed = true
+				} else {
+					am.mu.Unlock()
+				}
+			}
+			if !progressed {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	am.ref = ref
+	return am, nil
+}
+
+// Send delivers an event asynchronously; if it is not yet enabled it is
+// deferred until a later state change enables it.
+func (am *ActorMachine) Send(event string) error {
+	if !am.m.knownEvent(event) {
+		return ErrUnknownEvent
+	}
+	am.ref.Tell(eventMsg{event: event})
+	return nil
+}
+
+// Call delivers an event and waits until it has fired (or the timeout
+// elapses), returning the step taken.
+func (am *ActorMachine) Call(event string, timeout time.Duration) (Step, error) {
+	if !am.m.knownEvent(event) {
+		return Step{}, ErrUnknownEvent
+	}
+	done := make(chan Step, 1)
+	am.ref.Tell(eventMsg{event: event, done: done})
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case s := <-done:
+		return s, nil
+	case <-timer.C:
+		return Step{}, ErrEventDisabled
+	}
+}
+
+// Snapshot returns the current state, variables and history.
+func (am *ActorMachine) Snapshot() (state string, vars Vars, steps []Step) {
+	reply := make(chan snapshot, 1)
+	am.ref.Tell(queryMsg{reply: reply})
+	s := <-reply
+	return s.state, s.vars, s.steps
+}
+
+// Stop terminates the machine actor after its queued messages.
+func (am *ActorMachine) Stop() { am.sys.Stop(am.ref) }

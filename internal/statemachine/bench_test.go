@@ -1,0 +1,53 @@
+package statemachine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+)
+
+func BenchmarkMonitorFire(b *testing.B) {
+	mm := NewMonitorMachine(simpleDoor())
+	events := []string{"open", "close"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mm.Fire(events[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActorCall(b *testing.B) {
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+	am, err := NewActorMachine(sys, simpleDoor())
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := []string{"open", "close"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := am.Call(events[i%2], 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateSequential(b *testing.B) {
+	m := BookInventoryMachine(1000000)
+	events := make([]string, 100)
+	for i := range events {
+		if i%3 == 2 {
+			events[i] = "restock"
+		} else {
+			events[i] = "sell"
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := m.SimulateSequential(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

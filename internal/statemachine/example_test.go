@@ -1,0 +1,37 @@
+package statemachine_test
+
+import (
+	"fmt"
+
+	"repro/internal/statemachine"
+)
+
+// ExampleMachine_SimulateSequential models a door and replays an event
+// sequence against the diagram.
+func ExampleMachine_SimulateSequential() {
+	door := statemachine.MustNew("Door",
+		[]string{"Closed", "Open"},
+		"Closed",
+		statemachine.Vars{"cycles": 0},
+		[]statemachine.Transition{
+			{From: "Closed", Event: "open", To: "Open"},
+			{From: "Open", Event: "close", To: "Closed",
+				Action: func(v statemachine.Vars) { v["cycles"]++ }},
+		})
+	state, vars, steps, err := door.SimulateSequential([]string{"open", "close", "open"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(state, vars["cycles"], len(steps))
+	// Output: Open 1 3
+}
+
+// ExampleNewMonitorMachine executes the book-inventory diagram under the
+// monitor transformation.
+func ExampleNewMonitorMachine() {
+	mm := statemachine.NewMonitorMachine(statemachine.BookInventoryMachine(2))
+	mm.Fire("sell")
+	mm.Fire("sell")
+	fmt.Println(mm.State(), mm.Get("sold"))
+	// Output: OutOfStock 2
+}

@@ -1,0 +1,278 @@
+package statemachine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+)
+
+func TestMonitorMachineSequential(t *testing.T) {
+	mm := NewMonitorMachine(simpleDoor())
+	if mm.State() != "Closed" {
+		t.Fatalf("initial state = %s", mm.State())
+	}
+	step, err := mm.Fire("open")
+	if err != nil || step.To != "Open" {
+		t.Fatalf("open: %+v %v", step, err)
+	}
+	if _, err := mm.Fire("nosuch"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := mm.Fire("close"); err != nil {
+		t.Fatal(err)
+	}
+	if mm.Get("cycles") != 1 {
+		t.Fatalf("cycles = %d", mm.Get("cycles"))
+	}
+	if len(mm.History()) != 2 {
+		t.Fatalf("history = %v", mm.History())
+	}
+}
+
+func TestMonitorMachineBlocksUntilEnabled(t *testing.T) {
+	mm := NewMonitorMachine(simpleDoor())
+	fired := make(chan Step, 1)
+	go func() {
+		s, err := mm.Fire("close") // disabled: door is closed
+		if err != nil {
+			t.Error(err)
+		}
+		fired <- s
+	}()
+	select {
+	case s := <-fired:
+		t.Fatalf("close fired while disabled: %+v", s)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := mm.Fire("open"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-fired:
+		if s.From != "Open" || s.To != "Closed" {
+			t.Fatalf("step = %+v", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Fire never woke after enabling state change")
+	}
+}
+
+func TestMonitorMachineTryFire(t *testing.T) {
+	mm := NewMonitorMachine(simpleDoor())
+	if _, ok, err := mm.TryFire("close"); err != nil || ok {
+		t.Fatalf("disabled TryFire = %v %v", ok, err)
+	}
+	if _, ok, err := mm.TryFire("open"); err != nil || !ok {
+		t.Fatalf("enabled TryFire = %v %v", ok, err)
+	}
+	if _, _, err := mm.TryFire("nosuch"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMonitorMachineStopWakesWaiters(t *testing.T) {
+	mm := NewMonitorMachine(simpleDoor())
+	errs := make(chan error, 1)
+	go func() {
+		_, err := mm.Fire("close")
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	mm.Stop()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrMachineStopped) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke on Stop")
+	}
+	if _, err := mm.Fire("open"); !errors.Is(err, ErrMachineStopped) {
+		t.Fatalf("Fire after Stop = %v", err)
+	}
+}
+
+func TestMonitorMachineConcurrentInventory(t *testing.T) {
+	// Concurrent sellers block on OutOfStock until restockers refill —
+	// conditional synchronization, generated from the diagram.
+	mm := NewMonitorMachine(BookInventoryMachine(1))
+	const sellers, salesEach = 4, 25
+	var wg sync.WaitGroup
+	for s := 0; s < sellers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < salesEach; i++ {
+				if _, err := mm.Fire("sell"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// One restocker keeps the shop supplied.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				mm.TryFire("restock")
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if got := mm.Get("sold"); got != sellers*salesEach {
+		t.Fatalf("sold = %d, want %d", got, sellers*salesEach)
+	}
+	if mm.Get("stock") < 0 {
+		t.Fatalf("negative stock %d", mm.Get("stock"))
+	}
+}
+
+func TestActorMachineSequential(t *testing.T) {
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+	am, err := NewActorMachine(sys, simpleDoor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := am.Call("open", 2*time.Second)
+	if err != nil || step.To != "Open" {
+		t.Fatalf("open: %+v %v", step, err)
+	}
+	if err := am.Send("nosuch"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := am.Call("close", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	state, vars, steps := am.Snapshot()
+	if state != "Closed" || vars["cycles"] != 1 || len(steps) != 2 {
+		t.Fatalf("snapshot = %s %v %d", state, vars, len(steps))
+	}
+}
+
+func TestActorMachineDefersDisabledEvents(t *testing.T) {
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+	am, err := NewActorMachine(sys, simpleDoor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// close is disabled now; it must fire after open arrives.
+	done := make(chan Step, 1)
+	go func() {
+		s, err := am.Call("close", 5*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- s
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := am.Send("open"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-done:
+		if s.From != "Open" {
+			t.Fatalf("step = %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deferred event never fired")
+	}
+}
+
+func TestActorMachineCallTimeout(t *testing.T) {
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+	am, err := NewActorMachine(sys, simpleDoor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := am.Call("close", 50*time.Millisecond); !errors.Is(err, ErrEventDisabled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestActorMachineInventoryConservation(t *testing.T) {
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+	am, err := NewActorMachine(sys, BookInventoryMachine(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sales, restocks = 40, 10
+	for i := 0; i < restocks; i++ {
+		if err := am.Send("restock"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < sales; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := am.Call("sell", 10*time.Second); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	_, vars, _ := am.Snapshot()
+	if vars["sold"] != sales {
+		t.Fatalf("sold = %d, want %d", vars["sold"], sales)
+	}
+	if vars["stock"] != 5+5*restocks-sales {
+		t.Fatalf("stock = %d, want %d", vars["stock"], 5+5*restocks-sales)
+	}
+}
+
+// TestExecutorsAgreeOnSequentialRuns drives both executors (and the pure
+// simulator) with the same enabled event sequence and checks they agree —
+// the diagram is the single source of truth for both transformations.
+func TestExecutorsAgreeOnSequentialRuns(t *testing.T) {
+	events := []string{"sell", "sell", "restock", "sell", "sell", "sell", "restock", "discontinue"}
+	m := BookInventoryMachine(2)
+
+	wantState, wantVars, _, err := m.SimulateSequential(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mm := NewMonitorMachine(BookInventoryMachine(2))
+	for _, e := range events {
+		if _, err := mm.Fire(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mm.State() != wantState || mm.Get("stock") != wantVars["stock"] || mm.Get("sold") != wantVars["sold"] {
+		t.Fatalf("monitor executor diverged: %s stock=%d sold=%d, want %s %v",
+			mm.State(), mm.Get("stock"), mm.Get("sold"), wantState, wantVars)
+	}
+
+	sys := actors.NewSystem(actors.Config{})
+	defer sys.Shutdown()
+	am, err := NewActorMachine(sys, BookInventoryMachine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if _, err := am.Call(e, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, vars, steps := am.Snapshot()
+	if state != wantState || vars["stock"] != wantVars["stock"] || vars["sold"] != wantVars["sold"] {
+		t.Fatalf("actor executor diverged: %s %v, want %s %v", state, vars, wantState, wantVars)
+	}
+	if len(steps) != len(events) {
+		t.Fatalf("steps = %d, want %d", len(steps), len(events))
+	}
+}

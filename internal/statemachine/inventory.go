@@ -1,0 +1,45 @@
+package statemachine
+
+// BookInventoryMachine is the course's modeling-lab artifact: one book
+// title's lifecycle in the inventory system, as a UML state diagram with
+// an extended-state stock counter. Students model this diagram first and
+// later implement it as both a shared-memory and a message-passing system;
+// MonitorMachine and ActorMachine are those two implementations, generated
+// from the same diagram.
+func BookInventoryMachine(initialStock int) *Machine {
+	if initialStock < 1 {
+		initialStock = 1
+	}
+	return MustNew(
+		"BookInventory",
+		[]string{"Available", "OutOfStock", "Discontinued"},
+		"Available",
+		Vars{"stock": initialStock, "sold": 0},
+		[]Transition{
+			{
+				From: "Available", Event: "sell", To: "Available",
+				Guard:  func(v Vars) bool { return v["stock"] > 1 },
+				Action: func(v Vars) { v["stock"]--; v["sold"]++ },
+				Label:  "[stock>1] / stock--",
+			},
+			{
+				From: "Available", Event: "sell", To: "OutOfStock",
+				Guard:  func(v Vars) bool { return v["stock"] == 1 },
+				Action: func(v Vars) { v["stock"]--; v["sold"]++ },
+				Label:  "[stock==1] / stock--",
+			},
+			{
+				From: "Available", Event: "restock", To: "Available",
+				Action: func(v Vars) { v["stock"] += 5 },
+				Label:  "/ stock += 5",
+			},
+			{
+				From: "OutOfStock", Event: "restock", To: "Available",
+				Action: func(v Vars) { v["stock"] += 5 },
+				Label:  "/ stock += 5",
+			},
+			{From: "Available", Event: "discontinue", To: "Discontinued"},
+			{From: "OutOfStock", Event: "discontinue", To: "Discontinued"},
+		},
+	)
+}

@@ -1,0 +1,202 @@
+// Package statemachine implements the modeling module of the course
+// (Section IV.B): UML state diagrams of concurrent systems and the
+// "well-defined transformation from state diagrams to threads-based
+// implementations of monitor constructs and condition variables, and a
+// corresponding transformation to a message-passing implementation".
+//
+// A Machine is a guarded labeled transition system over integer variables.
+// Two executors realize it concurrently:
+//
+//   - MonitorMachine (monitor.go): events are blocking method calls; a
+//     disabled event waits on a condition variable until some transition
+//     for it becomes enabled — the threads transformation.
+//   - ActorMachine (actor.go): events are asynchronous messages; a
+//     disabled event is deferred and retried after the next state change —
+//     the message-passing transformation.
+//
+// The course's lab models the book inventory system this way before
+// implementing it twice; examples/statemachine does the same.
+package statemachine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vars are a machine's extended-state variables (UML: attributes).
+type Vars map[string]int
+
+// Clone copies the variables.
+func (v Vars) Clone() Vars {
+	c := make(Vars, len(v))
+	for k, x := range v {
+		c[k] = x
+	}
+	return c
+}
+
+// Transition is one guarded arc of the diagram.
+type Transition struct {
+	From  string
+	Event string
+	To    string
+	// Guard, when non-nil, must hold for the transition to fire.
+	Guard func(v Vars) bool
+	// Action, when non-nil, runs atomically with the state change.
+	Action func(v Vars)
+	// Label annotates diagrams and traces (e.g. "[stock>0] / stock--").
+	Label string
+}
+
+// Machine is a validated state diagram.
+type Machine struct {
+	Name        string
+	States      []string
+	Initial     string
+	Vars        Vars // initial variable values
+	Transitions []Transition
+
+	byEvent map[string][]int // event -> transition indexes
+}
+
+// Validation errors.
+var (
+	ErrNoStates       = errors.New("statemachine: no states")
+	ErrBadInitial     = errors.New("statemachine: initial state not in state set")
+	ErrBadTransition  = errors.New("statemachine: transition references unknown state")
+	ErrEmptyEvent     = errors.New("statemachine: transition with empty event")
+	ErrUnknownEvent   = errors.New("statemachine: unknown event")
+	ErrEventDisabled  = errors.New("statemachine: event not enabled in current state")
+	ErrMachineStopped = errors.New("statemachine: machine stopped")
+)
+
+// New validates and returns a Machine.
+func New(name string, states []string, initial string, vars Vars, transitions []Transition) (*Machine, error) {
+	if len(states) == 0 {
+		return nil, ErrNoStates
+	}
+	set := map[string]bool{}
+	for _, s := range states {
+		set[s] = true
+	}
+	if !set[initial] {
+		return nil, fmt.Errorf("%w: %q", ErrBadInitial, initial)
+	}
+	m := &Machine{
+		Name:        name,
+		States:      append([]string(nil), states...),
+		Initial:     initial,
+		Vars:        vars.Clone(),
+		Transitions: append([]Transition(nil), transitions...),
+		byEvent:     map[string][]int{},
+	}
+	for i, t := range m.Transitions {
+		if !set[t.From] || !set[t.To] {
+			return nil, fmt.Errorf("%w: %s -[%s]-> %s", ErrBadTransition, t.From, t.Event, t.To)
+		}
+		if t.Event == "" {
+			return nil, ErrEmptyEvent
+		}
+		m.byEvent[t.Event] = append(m.byEvent[t.Event], i)
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error, for fixtures.
+func MustNew(name string, states []string, initial string, vars Vars, transitions []Transition) *Machine {
+	m, err := New(name, states, initial, vars, transitions)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Events returns the sorted set of event names.
+func (m *Machine) Events() []string {
+	out := make([]string, 0, len(m.byEvent))
+	for e := range m.byEvent {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// enabled returns the index of the first enabled transition for event in
+// the given state with the given vars, or -1.
+func (m *Machine) enabled(state string, event string, vars Vars) int {
+	for _, i := range m.byEvent[event] {
+		t := &m.Transitions[i]
+		if t.From != state {
+			continue
+		}
+		if t.Guard == nil || t.Guard(vars) {
+			return i
+		}
+	}
+	return -1
+}
+
+// knownEvent reports whether the event exists anywhere in the diagram.
+func (m *Machine) knownEvent(event string) bool {
+	_, ok := m.byEvent[event]
+	return ok
+}
+
+// apply fires transition i on (state, vars), returning the new state.
+func (m *Machine) apply(i int, vars Vars) string {
+	t := &m.Transitions[i]
+	if t.Action != nil {
+		t.Action(vars)
+	}
+	return t.To
+}
+
+// Step is one recorded firing.
+type Step struct {
+	Event    string
+	From, To string
+}
+
+// SimulateSequential runs a sequence of events without concurrency,
+// returning the steps taken. A disabled or unknown event is an error —
+// useful for unit-testing a diagram before executing it concurrently.
+func (m *Machine) SimulateSequential(events []string) (state string, vars Vars, steps []Step, err error) {
+	state = m.Initial
+	vars = m.Vars.Clone()
+	for _, e := range events {
+		if !m.knownEvent(e) {
+			return state, vars, steps, fmt.Errorf("%w: %q", ErrUnknownEvent, e)
+		}
+		i := m.enabled(state, e, vars)
+		if i < 0 {
+			return state, vars, steps, fmt.Errorf("%w: %q in state %q", ErrEventDisabled, e, state)
+		}
+		from := state
+		state = m.apply(i, vars)
+		steps = append(steps, Step{Event: e, From: from, To: state})
+	}
+	return state, vars, steps, nil
+}
+
+// ToDot renders the diagram in Graphviz dot syntax — the course's UML
+// modeling artifact.
+func (m *Machine) ToDot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.Name)
+	b.WriteString("  rankdir=LR;\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> %q;\n", m.Initial)
+	for _, s := range m.States {
+		fmt.Fprintf(&b, "  %q [shape=ellipse];\n", s)
+	}
+	for _, t := range m.Transitions {
+		label := t.Event
+		if t.Label != "" {
+			label += " " + t.Label
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", t.From, t.To, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package statemachine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func simpleDoor() *Machine {
+	return MustNew("Door",
+		[]string{"Closed", "Open"},
+		"Closed",
+		Vars{"cycles": 0},
+		[]Transition{
+			{From: "Closed", Event: "open", To: "Open"},
+			{From: "Open", Event: "close", To: "Closed",
+				Action: func(v Vars) { v["cycles"]++ }},
+		})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", nil, "a", nil, nil); !errors.Is(err, ErrNoStates) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New("x", []string{"a"}, "b", nil, nil); !errors.Is(err, ErrBadInitial) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New("x", []string{"a"}, "a", nil,
+		[]Transition{{From: "a", Event: "e", To: "ghost"}}); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New("x", []string{"a"}, "a", nil,
+		[]Transition{{From: "a", Event: "", To: "a"}}); !errors.Is(err, ErrEmptyEvent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSimulateSequential(t *testing.T) {
+	m := simpleDoor()
+	state, vars, steps, err := m.SimulateSequential([]string{"open", "close", "open", "close"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != "Closed" || vars["cycles"] != 2 || len(steps) != 4 {
+		t.Fatalf("state=%s vars=%v steps=%d", state, vars, len(steps))
+	}
+	if steps[0] != (Step{Event: "open", From: "Closed", To: "Open"}) {
+		t.Fatalf("step0 = %+v", steps[0])
+	}
+}
+
+func TestSimulateDisabledAndUnknown(t *testing.T) {
+	m := simpleDoor()
+	if _, _, _, err := m.SimulateSequential([]string{"close"}); !errors.Is(err, ErrEventDisabled) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, _, err := m.SimulateSequential([]string{"explode"}); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("err = %v", err)
+	}
+	// Simulation must not mutate the machine's initial vars.
+	if m.Vars["cycles"] != 0 {
+		t.Fatal("initial vars mutated")
+	}
+}
+
+func TestGuardsSelectTransition(t *testing.T) {
+	m := BookInventoryMachine(2)
+	state, vars, _, err := m.SimulateSequential([]string{"sell", "sell"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != "OutOfStock" || vars["stock"] != 0 || vars["sold"] != 2 {
+		t.Fatalf("state=%s vars=%v", state, vars)
+	}
+	// Restock reopens.
+	state, vars, _, err = m.SimulateSequential([]string{"sell", "sell", "restock", "sell"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != "Available" || vars["stock"] != 4 || vars["sold"] != 3 {
+		t.Fatalf("state=%s vars=%v", state, vars)
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	m := BookInventoryMachine(1)
+	ev := m.Events()
+	want := []string{"discontinue", "restock", "sell"}
+	if len(ev) != len(want) {
+		t.Fatalf("events = %v", ev)
+	}
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Fatalf("events = %v", ev)
+		}
+	}
+}
+
+func TestToDot(t *testing.T) {
+	dot := BookInventoryMachine(3).ToDot()
+	for _, want := range []string{
+		`digraph "BookInventory"`,
+		`"Available" -> "OutOfStock"`,
+		`[stock==1]`,
+		"__start ->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid machine")
+		}
+	}()
+	MustNew("bad", nil, "a", nil, nil)
+}

@@ -1,0 +1,121 @@
+package statemachine
+
+import (
+	"sync"
+
+	"repro/internal/threads"
+)
+
+// MonitorMachine executes a Machine under the shared-memory model: the
+// machine state lives under one monitor; Fire(event) blocks the calling
+// thread until some transition for the event is enabled, then fires it
+// atomically and notifies all waiters — exactly the course's state-diagram
+// → monitor-and-condition-variables transformation.
+type MonitorMachine struct {
+	m   *Machine
+	mon threads.Monitor
+
+	mu      sync.Mutex // guards the snapshot fields below for observers
+	state   string
+	vars    Vars
+	stopped bool
+	history []Step
+}
+
+// NewMonitorMachine creates a running monitor executor for m.
+func NewMonitorMachine(m *Machine) *MonitorMachine {
+	return &MonitorMachine{m: m, state: m.Initial, vars: m.Vars.Clone()}
+}
+
+// Fire delivers an event, blocking until it is enabled. It returns the
+// step taken, ErrUnknownEvent for events not in the diagram, or
+// ErrMachineStopped if Stop was called while waiting.
+func (mm *MonitorMachine) Fire(event string) (Step, error) {
+	if !mm.m.knownEvent(event) {
+		return Step{}, ErrUnknownEvent
+	}
+	mm.mon.Enter()
+	defer mm.mon.Exit()
+	for {
+		mm.mu.Lock()
+		stopped := mm.stopped
+		idx := -1
+		if !stopped {
+			idx = mm.m.enabled(mm.state, event, mm.vars)
+		}
+		if stopped {
+			mm.mu.Unlock()
+			return Step{}, ErrMachineStopped
+		}
+		if idx >= 0 {
+			from := mm.state
+			mm.state = mm.m.apply(idx, mm.vars)
+			step := Step{Event: event, From: from, To: mm.state}
+			mm.history = append(mm.history, step)
+			mm.mu.Unlock()
+			// A state change may enable waiters of any event.
+			mm.mon.NotifyAll("change")
+			return step, nil
+		}
+		mm.mu.Unlock()
+		mm.mon.Wait("change")
+	}
+}
+
+// TryFire delivers an event only if it is enabled right now, reporting
+// whether it fired.
+func (mm *MonitorMachine) TryFire(event string) (Step, bool, error) {
+	if !mm.m.knownEvent(event) {
+		return Step{}, false, ErrUnknownEvent
+	}
+	mm.mon.Enter()
+	defer mm.mon.Exit()
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if mm.stopped {
+		return Step{}, false, ErrMachineStopped
+	}
+	idx := mm.m.enabled(mm.state, event, mm.vars)
+	if idx < 0 {
+		return Step{}, false, nil
+	}
+	from := mm.state
+	mm.state = mm.m.apply(idx, mm.vars)
+	step := Step{Event: event, From: from, To: mm.state}
+	mm.history = append(mm.history, step)
+	mm.mon.NotifyAll("change")
+	return step, true, nil
+}
+
+// Stop wakes all blocked Fire calls with ErrMachineStopped.
+func (mm *MonitorMachine) Stop() {
+	mm.mon.Enter()
+	mm.mu.Lock()
+	mm.stopped = true
+	mm.mu.Unlock()
+	mm.mon.NotifyAll("change")
+	mm.mon.Exit()
+}
+
+// State returns the current state name.
+func (mm *MonitorMachine) State() string {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.state
+}
+
+// Get returns a variable's current value.
+func (mm *MonitorMachine) Get(name string) int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.vars[name]
+}
+
+// History returns the steps fired so far, in order.
+func (mm *MonitorMachine) History() []Step {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	out := make([]Step, len(mm.history))
+	copy(out, mm.history)
+	return out
+}

@@ -1,0 +1,119 @@
+// Package study reproduces the paper's human-subjects evaluation (Section V
+// and VI) by substitution: since no classroom data can exist in a code
+// artifact, it builds a generative model of student reasoning. A simulated
+// student is a set of misconception codes drawn with the prevalences the
+// paper reports in Table III, plus a session-learning effect; answers to
+// mechanically generated Test-1 questions follow the misconception-
+// perturbed semantics, and grading against explorer ground truth
+// regenerates Table II (scores), Table III (misconception counts), and the
+// survey findings — in shape, which is the reproducible content of a
+// 16-student study.
+package study
+
+import "repro/internal/pseudocode"
+
+// Section identifies a Test-1 section.
+type Section int
+
+const (
+	// SharedMemory is the EXC_ACC/WAIT/NOTIFY section (Figure 6).
+	SharedMemory Section = iota
+	// MessagePassing is the Send/ON_RECEIVING section (Figure 7).
+	MessagePassing
+)
+
+func (s Section) String() string {
+	if s == SharedMemory {
+		return "shared memory"
+	}
+	return "message passing"
+}
+
+// Level is one level of the paper's misconception hierarchy (Table I).
+type Level struct {
+	Code        string
+	Name        string
+	Description string
+}
+
+// Hierarchy is Table I: the five-level misconception hierarchy.
+var Hierarchy = []Level{
+	{"D1", "Description", "misconceptions of the system and/or problem descriptions"},
+	{"T1", "Terminology", "misinterpretation of a term that describes thread or process behavior"},
+	{"C1", "Concurrency", "misconceptions about thread or process behaviors"},
+	{"I1", "Implementation", "misconceptions about synchronous mechanisms"},
+	{"I2", "Implementation", "misconceptions about asynchronous mechanisms"},
+	{"U1", "Uncertainty", "confusion about the space of executions: impossible sequences included or possible ones missed"},
+}
+
+// Code names a misconception from Table III, e.g. "M3" or "S7".
+type Code string
+
+// Misconception is one Table III entry. PaperCount is the number of
+// students (out of 16) the paper observed exhibiting it; the simulation
+// uses PaperCount/16 as the prevalence when generating a cohort.
+// Semantics, when non-nil, is the perturbed execution semantics that
+// formalizes the misconception in the pseudocode VM.
+type Misconception struct {
+	Code        Code
+	Level       string
+	Section     Section
+	Description string
+	PaperCount  int
+	Semantics   *pseudocode.Semantics
+}
+
+// Catalog is Table III: the misconceptions observed in Test 1 with their
+// student counts.
+var Catalog = []Misconception{
+	// Message passing.
+	{Code: "M1", Level: "D1", Section: MessagePassing, PaperCount: 6,
+		Description: "misreads the question setting"},
+	{Code: "M2", Level: "T1", Section: MessagePassing, PaperCount: 1,
+		Description: "misinterprets 'race condition' as 'different order of messages'"},
+	{Code: "M3", Level: "C1", Section: MessagePassing, PaperCount: 7,
+		Description: "send semantics: a send depends on the receiver's condition or behaves like a synchronous call",
+		Semantics:   &pseudocode.Semantics{SendSynchronous: true}},
+	{Code: "M4", Level: "C1", Section: MessagePassing, PaperCount: 7,
+		Description: "receive semantics: assumes the acknowledged event coincides with receiving the acknowledgement"},
+	{Code: "M5", Level: "I2", Section: MessagePassing, PaperCount: 6,
+		Description: "conflates message sending order with receiving order",
+		Semantics:   &pseudocode.Semantics{FIFOMailboxes: true}},
+	{Code: "M6", Level: "U1", Section: MessagePassing, PaperCount: 7,
+		Description: "uncertainty: larger state spaces trigger illogical reasoning"},
+	// Shared memory.
+	{Code: "S1", Level: "D1", Section: SharedMemory, PaperCount: 3,
+		Description: "conflates the order of cars with their thread's name"},
+	{Code: "S2", Level: "T1", Section: SharedMemory, PaperCount: 1,
+		Description: "misinterprets 'race condition' as 'different interleaving'"},
+	{Code: "S3", Level: "T1", Section: SharedMemory, PaperCount: 2,
+		Description: "misinterprets the terminology 'block on'"},
+	{Code: "S4", Level: "C1", Section: SharedMemory, PaperCount: 4,
+		Description: "conflates order of method return with order of entering/exiting the bridge"},
+	{Code: "S5", Level: "C1", Section: SharedMemory, PaperCount: 9,
+		Description: "conflates locking with conditional waiting"},
+	{Code: "S6", Level: "I1", Section: SharedMemory, PaperCount: 1,
+		Description: "misinterprets WAIT(): conflates wait with continuous execution of the enclosing loop",
+		Semantics:   &pseudocode.Semantics{WaitKeepsLock: true}},
+	{Code: "S7", Level: "I1", Section: SharedMemory, PaperCount: 10,
+		Description: "conflates method invocation/return with lock acquire/release",
+		Semantics:   &pseudocode.Semantics{CoarseLock: true}},
+	{Code: "S8", Level: "U1", Section: SharedMemory, PaperCount: 2,
+		Description: "uncertainty: larger state spaces trigger illogical reasoning"},
+}
+
+// CatalogByCode indexes the catalog.
+func CatalogByCode() map[Code]Misconception {
+	m := make(map[Code]Misconception, len(Catalog))
+	for _, mc := range Catalog {
+		m[mc.Code] = mc
+	}
+	return m
+}
+
+// CohortSize is the paper's subject count: 9 in group S + 7 in group D.
+const (
+	GroupSSize = 9
+	GroupDSize = 7
+	CohortSize = GroupSSize + GroupDSize
+)

@@ -1,0 +1,137 @@
+package study
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Student is one simulated subject: a bundle of misconception codes plus
+// noise/learning parameters.
+type Student struct {
+	ID    int
+	Group string // "S" (shared-memory section first) or "D" (message passing first)
+	// Has marks the misconceptions this student holds.
+	Has map[Code]bool
+	// BaseError is the session-1 probability of an unforced wrong answer.
+	BaseError float64
+	// Learning scales misconception application and noise in session 2
+	// (the paper observed a 60.71% → 79.20% session effect, attributed to
+	// learning during the exam and between sessions).
+	Learning float64
+}
+
+// MisconceptionLoad counts held misconceptions in a section.
+func (s *Student) MisconceptionLoad(sec Section) int {
+	n := 0
+	byCode := CatalogByCode()
+	for c := range s.Has {
+		if byCode[c].Section == sec {
+			n++
+		}
+	}
+	return n
+}
+
+// CohortConfig tunes cohort generation.
+type CohortConfig struct {
+	// BaseError is the unforced error probability (default 0.05).
+	BaseError float64
+	// Learning is the session-2 multiplier on misconception application
+	// and noise (default 0.45).
+	Learning float64
+}
+
+func (c CohortConfig) withDefaults() CohortConfig {
+	if c.BaseError == 0 {
+		c.BaseError = 0.05
+	}
+	if c.Learning == 0 {
+		c.Learning = 0.45
+	}
+	return c
+}
+
+// GenerateCohort creates the paper's 16 subjects. Each misconception is
+// assigned independently with probability PaperCount/16 — the prevalences
+// of Table III. Students are then split into groups S (9) and D (7) with
+// balanced misconception load, mirroring the paper's balanced-by-prior-
+// performance grouping.
+func GenerateCohort(rng *rand.Rand, cfg CohortConfig) []Student {
+	cfg = cfg.withDefaults()
+	students := make([]Student, CohortSize)
+	for i := range students {
+		students[i] = Student{
+			ID:        i + 1,
+			Has:       map[Code]bool{},
+			BaseError: cfg.BaseError,
+			Learning:  cfg.Learning,
+		}
+		for _, mc := range Catalog {
+			if rng.Float64() < float64(mc.PaperCount)/float64(CohortSize) {
+				students[i].Has[mc.Code] = true
+			}
+		}
+	}
+	// Balanced grouping: order by total misconception load, then deal
+	// snake-wise into S and D until D has its 7.
+	order := make([]int, CohortSize)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(students[order[a]].Has) > len(students[order[b]].Has)
+	})
+	dLeft := GroupDSize
+	sLeft := GroupSSize
+	for pos, idx := range order {
+		pick := "S"
+		if (pos%2 == 1 && dLeft > 0) || sLeft == 0 {
+			pick = "D"
+			dLeft--
+		} else {
+			sLeft--
+		}
+		students[idx].Group = pick
+	}
+	return students
+}
+
+// Answer simulates one student answering one question in the given session
+// (1 or 2). It returns the given answer and, when the answer is wrong
+// because of a held misconception, the code to attribute.
+func (s *Student) Answer(q Question, session int, rng *rand.Rand) (answer bool, attributed Code) {
+	apply := 1.0
+	noise := s.BaseError
+	if session == 2 {
+		apply = s.Learning
+		noise *= s.Learning
+	}
+	// A held misconception that targets this question flips the answer.
+	for _, code := range q.FlippedBy {
+		if s.Has[code] && rng.Float64() < apply {
+			return !q.Truth, code
+		}
+	}
+	// Uncertainty: on large-state-space questions, students holding the
+	// section's U1 code guess (the paper: "when students are not quite able
+	// to manage the execution space ... they tend to reduce the complexity
+	// by falling back into one of the lower level misconceptions").
+	if q.Complex {
+		uCode := Code("S8")
+		if q.Section == MessagePassing {
+			uCode = "M6"
+		}
+		if s.Has[uCode] && rng.Float64() < 0.5*apply {
+			guess := rng.Intn(2) == 0
+			if guess != q.Truth {
+				return guess, uCode
+			}
+			return guess, ""
+		}
+	}
+	// Unforced noise.
+	if rng.Float64() < noise {
+		return !q.Truth, ""
+	}
+	return q.Truth, ""
+}

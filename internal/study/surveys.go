@@ -1,0 +1,77 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// AssignmentSurvey is one per-assignment difficulty poll (the paper ran
+// these after homeworks 2-3 and labs 2-3).
+type AssignmentSurvey struct {
+	Assignment string
+	SMHarder   int
+	MPHarder   int
+	Equal      int
+	NoResponse int
+}
+
+// Respondents returns how many students answered.
+func (s AssignmentSurvey) Respondents() int { return s.SMHarder + s.MPHarder + s.Equal }
+
+// SimulateCourseSurveys models the course-long difficulty polls: each
+// student responds with some probability and votes according to their
+// misconception load, with the systematic lean toward shared memory
+// feeling harder that the paper reports throughout (homework 3: 10 SM
+// harder vs 1 MP harder; labs: 8 vs 1 with 2 equal).
+func SimulateCourseSurveys(rng *rand.Rand, students []Student) []AssignmentSurvey {
+	assignments := []string{
+		"homework 2+3 (pseudocode: bounded buffer, dining philosophers)",
+		"labs 2+3 (book inventory design)",
+	}
+	var out []AssignmentSurvey
+	for _, a := range assignments {
+		sv := AssignmentSurvey{Assignment: a}
+		for _, st := range students {
+			if rng.Float64() > 0.8 { // some students skip the survey
+				sv.NoResponse++
+				continue
+			}
+			// Base lean: shared memory feels harder (the paper's consistent
+			// finding); a heavy message-passing misconception load can
+			// overcome it, equality is the fallback.
+			pSM := 0.62 + 0.04*float64(st.MisconceptionLoad(SharedMemory)-st.MisconceptionLoad(MessagePassing))
+			if pSM < 0.1 {
+				pSM = 0.1
+			}
+			if pSM > 0.95 {
+				pSM = 0.95
+			}
+			switch r := rng.Float64(); {
+			case r < pSM:
+				sv.SMHarder++
+			case r < pSM+0.1:
+				sv.MPHarder++
+			default:
+				sv.Equal++
+			}
+		}
+		out = append(out, sv)
+	}
+	return out
+}
+
+// CourseSurveyReport renders the polls next to the paper's numbers.
+func CourseSurveyReport(surveys []AssignmentSurvey) string {
+	var b strings.Builder
+	b.WriteString("Course-long difficulty polls (simulated):\n")
+	paper := []string{
+		"(paper: 10 shared-memory-harder, 1 message-passing-harder)",
+		"(paper: 8 of 11 shared-memory-harder, 1 message-passing-harder, 2 equal)",
+	}
+	for i, s := range surveys {
+		fmt.Fprintf(&b, "  %s:\n    %d shared memory harder, %d message passing harder, %d equal, %d no response %s\n",
+			s.Assignment, s.SMHarder, s.MPHarder, s.Equal, s.NoResponse, paper[i%len(paper)])
+	}
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package study
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCourseSurveysShape(t *testing.T) {
+	// Across several cohorts, the shared-memory-harder vote must dominate
+	// in every assignment — the paper's consistent course-long finding.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		students := GenerateCohort(rng, CohortConfig{})
+		surveys := SimulateCourseSurveys(rng, students)
+		if len(surveys) != 2 {
+			t.Fatalf("surveys = %d", len(surveys))
+		}
+		for _, s := range surveys {
+			if s.Respondents()+s.NoResponse != CohortSize {
+				t.Fatalf("%s: accounting broken: %+v", s.Assignment, s)
+			}
+			if s.SMHarder <= s.MPHarder {
+				t.Errorf("trial %d %s: SM harder %d should exceed MP harder %d",
+					trial, s.Assignment, s.SMHarder, s.MPHarder)
+			}
+		}
+	}
+}
+
+func TestCourseSurveyReportRenders(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	students := GenerateCohort(rng, CohortConfig{})
+	report := CourseSurveyReport(SimulateCourseSurveys(rng, students))
+	for _, want := range []string{"homework 2+3", "labs 2+3", "shared memory harder", "paper:"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}

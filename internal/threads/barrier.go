@@ -1,0 +1,60 @@
+package threads
+
+import "sync"
+
+// Barrier is a reusable (cyclic) synchronization barrier for a fixed party
+// count, equivalent to Java's CyclicBarrier, used by the sum & workers lab.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+	action  func() // runs once per trip, by the last arriver, under the lock
+}
+
+// NewBarrier creates a barrier for parties participants. The optional
+// action (may be nil) runs exactly once per barrier trip, executed by the
+// last thread to arrive before any thread is released.
+func NewBarrier(parties int, action func()) *Barrier {
+	if parties <= 0 {
+		panic("threads: barrier parties must be positive")
+	}
+	b := &Barrier{parties: parties, action: action}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until parties threads have called Await, then releases all of
+// them and resets for the next cycle. It returns the arrival index: parties-1
+// for the first arriver down to 0 for the last (matching CyclicBarrier).
+func (b *Barrier) Await() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	index := b.parties - 1 - b.waiting
+	b.waiting++
+	if b.waiting == b.parties {
+		if b.action != nil {
+			b.action()
+		}
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return 0
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	return index
+}
+
+// Parties returns the participant count.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Waiting returns how many threads are currently blocked at the barrier.
+func (b *Barrier) Waiting() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waiting
+}

@@ -1,0 +1,156 @@
+package threads
+
+import (
+	"sync"
+	"testing"
+)
+
+func BenchmarkMonitorEnterExit(b *testing.B) {
+	var m Monitor
+	for i := 0; i < b.N; i++ {
+		m.Enter()
+		m.Exit()
+	}
+}
+
+func BenchmarkMonitorContended(b *testing.B) {
+	var m Monitor
+	counter := 0
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Enter()
+			counter++
+			m.Exit()
+		}
+	})
+}
+
+func BenchmarkMonitorNotifyAllNoWaiters(b *testing.B) {
+	var m Monitor
+	for i := 0; i < b.N; i++ {
+		m.Enter()
+		m.NotifyAll("c")
+		m.Exit()
+	}
+}
+
+func BenchmarkMonitorWaitNotifyPingPong(b *testing.B) {
+	var m Monitor
+	turn := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			m.Enter()
+			m.WaitUntil("turn", func() bool { return turn == 1 })
+			turn = 0
+			m.NotifyAll("turn")
+			m.Exit()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Enter()
+		m.WaitUntil("turn", func() bool { return turn == 0 })
+		turn = 1
+		m.NotifyAll("turn")
+		m.Exit()
+	}
+	<-done
+}
+
+func BenchmarkSemaphoreAcquireRelease(b *testing.B) {
+	s := NewSemaphore(1)
+	for i := 0; i < b.N; i++ {
+		s.Acquire()
+		s.Release()
+	}
+}
+
+func BenchmarkSemaphoreContended(b *testing.B) {
+	s := NewSemaphore(4)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Acquire()
+			s.Release()
+		}
+	})
+}
+
+func BenchmarkTicketLockUncontended(b *testing.B) {
+	var l TicketLock
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkTicketLockContended(b *testing.B) {
+	var l TicketLock
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}
+
+func BenchmarkMutexContendedBaseline(b *testing.B) {
+	var l sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}
+
+func BenchmarkRWLockReadHeavy(b *testing.B) {
+	l := NewRWLock()
+	data := 0
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				l.Lock()
+				data++
+				l.Unlock()
+			} else {
+				l.RLock()
+				_ = data
+				l.RUnlock()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkBarrierTwoParties(b *testing.B) {
+	bar := NewBarrier(2, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			bar.Await()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bar.Await()
+	}
+	<-done
+}
+
+func BenchmarkPoolSubmit(b *testing.B) {
+	p := NewPool(4, 64)
+	task := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Submit(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Drain()
+	b.StopTimer()
+	p.Shutdown()
+}

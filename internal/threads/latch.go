@@ -1,0 +1,108 @@
+package threads
+
+import "sync"
+
+// CountDownLatch is a one-shot synchronization gate, mirroring
+// java.util.concurrent.CountDownLatch from the course's "well-defined and
+// easy-to-use concurrent data structures": Await blocks until CountDown
+// has been called count times. The latch cannot be reset (use Barrier for
+// the cyclic variant).
+type CountDownLatch struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+}
+
+// NewCountDownLatch creates a latch requiring count countdowns. It panics
+// if count is negative.
+func NewCountDownLatch(count int) *CountDownLatch {
+	if count < 0 {
+		panic("threads: negative latch count")
+	}
+	l := &CountDownLatch{count: count}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// CountDown decrements the latch, releasing all waiters at zero. Extra
+// countdowns after zero are no-ops (Java semantics).
+func (l *CountDownLatch) CountDown() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return
+	}
+	l.count--
+	if l.count == 0 {
+		l.cond.Broadcast()
+	}
+}
+
+// Await blocks until the count reaches zero.
+func (l *CountDownLatch) Await() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.count > 0 {
+		l.cond.Wait()
+	}
+}
+
+// Count returns the remaining count. For diagnostics only.
+func (l *CountDownLatch) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Exchanger is a two-party rendezvous that swaps values, mirroring
+// java.util.concurrent.Exchanger: the first arriver blocks until the
+// second arrives; each receives the other's item.
+type Exchanger[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting bool // a first party is parked
+	slot    T    // the first party's item
+	reply   T    // the second party's item, handed back
+	done    bool // the second party has arrived; first may take reply
+}
+
+// NewExchanger returns an empty exchanger.
+func NewExchanger[T any]() *Exchanger[T] {
+	e := &Exchanger[T]{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Exchange offers item and blocks until a partner arrives, returning the
+// partner's item. Any number of goroutines may call Exchange; they pair up
+// two at a time in arrival order.
+func (e *Exchanger[T]) Exchange(item T) T {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if !e.waiting {
+			// First of a pair: deposit and wait for a partner.
+			e.waiting = true
+			e.slot = item
+			for !e.done {
+				e.cond.Wait()
+			}
+			out := e.reply
+			// Reset for the next pair and release anyone waiting to start.
+			e.waiting = false
+			e.done = false
+			e.cond.Broadcast()
+			return out
+		}
+		if !e.done {
+			// Second of the pair: swap and wake the first.
+			out := e.slot
+			e.reply = item
+			e.done = true
+			e.cond.Broadcast()
+			return out
+		}
+		// A pair is mid-handoff; wait for the slot to free up.
+		e.cond.Wait()
+	}
+}

@@ -1,0 +1,142 @@
+package threads
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLatchReleasesAtZero(t *testing.T) {
+	l := NewCountDownLatch(3)
+	released := make(chan struct{})
+	go func() {
+		l.Await()
+		close(released)
+	}()
+	for i := 0; i < 2; i++ {
+		l.CountDown()
+		select {
+		case <-released:
+			t.Fatalf("released after %d countdowns", i+1)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	l.CountDown()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("never released")
+	}
+	if l.Count() != 0 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+}
+
+func TestLatchZeroCountAwaitReturnsImmediately(t *testing.T) {
+	l := NewCountDownLatch(0)
+	done := make(chan struct{})
+	go func() { l.Await(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Await on zero latch blocked")
+	}
+}
+
+func TestLatchExtraCountdownsIgnored(t *testing.T) {
+	l := NewCountDownLatch(1)
+	l.CountDown()
+	l.CountDown()
+	l.CountDown()
+	if l.Count() != 0 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+}
+
+func TestLatchManyWaiters(t *testing.T) {
+	l := NewCountDownLatch(1)
+	var released atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Await()
+			released.Add(1)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if released.Load() != 0 {
+		t.Fatal("waiters released early")
+	}
+	l.CountDown()
+	wg.Wait()
+	if released.Load() != 10 {
+		t.Fatalf("released = %d", released.Load())
+	}
+}
+
+func TestLatchNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count should panic")
+		}
+	}()
+	NewCountDownLatch(-1)
+}
+
+func TestExchangerSwapsPair(t *testing.T) {
+	e := NewExchanger[int]()
+	got := make(chan int, 2)
+	go func() { got <- e.Exchange(1) }()
+	go func() { got <- e.Exchange(2) }()
+	a, b := <-got, <-got
+	vals := []int{a, b}
+	sort.Ints(vals)
+	if vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("exchanged = %v", vals)
+	}
+}
+
+func TestExchangerFirstBlocksAlone(t *testing.T) {
+	e := NewExchanger[string]()
+	done := make(chan string, 1)
+	go func() { done <- e.Exchange("lonely") }()
+	select {
+	case v := <-done:
+		t.Fatalf("single party exchanged %q with nobody", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	go e.Exchange("partner")
+	select {
+	case v := <-done:
+		if v != "partner" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pair never completed")
+	}
+}
+
+func TestExchangerManyPairs(t *testing.T) {
+	e := NewExchanger[int]()
+	const pairs = 50
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2*pairs; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			sum.Add(int64(e.Exchange(v)))
+		}(i)
+	}
+	wg.Wait()
+	// Every value is received by exactly one partner, so the total is
+	// conserved.
+	want := int64(2*pairs-1) * int64(2*pairs) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

@@ -1,0 +1,179 @@
+// Package threads implements the shared-memory concurrency model the course
+// teaches with Java: a monitor construct with condition variables
+// (synchronized + wait/notify/notifyAll), counting semaphores, a fair ticket
+// lock, a cyclic barrier, a readers-writer lock, and a bounded thread pool.
+//
+// The Monitor type mirrors Java's intrinsic-lock discipline: Enter/Exit
+// bracket a critical section; Wait atomically releases the monitor and
+// suspends; Notify/NotifyAll wake waiters, who re-acquire the monitor before
+// returning from Wait. This is also the semantics of the paper's
+// EXC_ACC/END_EXC_ACC + WAIT()/NOTIFY() pseudocode (Figure 4), where NOTIFY
+// wakes all waiters.
+package threads
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Monitor is a re-entrant-free mutual exclusion monitor with any number of
+// named condition variables. The zero value is ready to use.
+//
+// Unlike sync.Cond, Monitor checks its usage discipline: calling Wait,
+// Notify, or Exit while not holding the monitor panics with ErrNotOwner,
+// matching Java's IllegalMonitorStateException — one of the misconceptions
+// ([I1]S7) the paper's study revolves around is exactly confusion about when
+// the lock is held.
+type Monitor struct {
+	mu    sync.Mutex
+	cond  map[string]*sync.Cond
+	held  bool
+	owner string // diagnostic label of current holder (optional)
+}
+
+// ErrNotOwner is the panic value raised when a monitor operation requires
+// holding the monitor but the caller does not.
+type ErrNotOwner struct{ Op string }
+
+func (e ErrNotOwner) Error() string {
+	return fmt.Sprintf("threads: %s called without holding the monitor", e.Op)
+}
+
+// Enter acquires the monitor, blocking until it is free.
+func (m *Monitor) Enter() { m.EnterAs("") }
+
+// EnterAs acquires the monitor and records label as the owner for
+// diagnostics.
+func (m *Monitor) EnterAs(label string) {
+	m.mu.Lock()
+	for m.held {
+		m.waiterFor("\x00entry").Wait()
+	}
+	m.held = true
+	m.owner = label
+	m.mu.Unlock()
+}
+
+// TryEnter acquires the monitor if it is immediately available, reporting
+// whether it did.
+func (m *Monitor) TryEnter() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.held {
+		return false
+	}
+	m.held = true
+	m.owner = ""
+	return true
+}
+
+// Exit releases the monitor. It panics if the monitor is not held.
+func (m *Monitor) Exit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.held {
+		panic(ErrNotOwner{Op: "Exit"})
+	}
+	m.held = false
+	m.owner = ""
+	m.waiterFor("\x00entry").Signal()
+}
+
+// waiterFor returns (creating if needed) the condition queue named cond.
+// Caller must hold m.mu.
+func (m *Monitor) waiterFor(cond string) *sync.Cond {
+	if m.cond == nil {
+		m.cond = make(map[string]*sync.Cond)
+	}
+	c, ok := m.cond[cond]
+	if !ok {
+		c = sync.NewCond(&m.mu)
+		m.cond[cond] = c
+	}
+	return c
+}
+
+// Wait atomically releases the monitor and suspends the caller on the named
+// condition. When woken by Notify/NotifyAll it re-acquires the monitor
+// before returning. Spurious wakeups do not occur, but callers should still
+// use the standard while-loop idiom because another thread may invalidate
+// the condition between wakeup and re-acquisition.
+func (m *Monitor) Wait(cond string) {
+	m.mu.Lock()
+	if !m.held {
+		m.mu.Unlock()
+		panic(ErrNotOwner{Op: "Wait"})
+	}
+	// Release the monitor.
+	m.held = false
+	owner := m.owner
+	m.owner = ""
+	m.waiterFor("\x00entry").Signal()
+	// Sleep on the condition.
+	m.waiterFor(cond).Wait()
+	// Re-acquire.
+	for m.held {
+		m.waiterFor("\x00entry").Wait()
+	}
+	m.held = true
+	m.owner = owner
+	m.mu.Unlock()
+}
+
+// Notify wakes one thread waiting on the named condition, if any. The
+// caller must hold the monitor.
+func (m *Monitor) Notify(cond string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.held {
+		panic(ErrNotOwner{Op: "Notify"})
+	}
+	m.waiterFor(cond).Signal()
+}
+
+// NotifyAll wakes every thread waiting on the named condition. The caller
+// must hold the monitor. This matches the paper's NOTIFY(), which finishes
+// all WAIT() calls.
+func (m *Monitor) NotifyAll(cond string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.held {
+		panic(ErrNotOwner{Op: "NotifyAll"})
+	}
+	m.waiterFor(cond).Broadcast()
+}
+
+// Held reports whether the monitor is currently held by some thread.
+// Intended for tests and assertions, not for synchronization decisions.
+func (m *Monitor) Held() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.held
+}
+
+// Owner returns the diagnostic label recorded by EnterAs, or "" when the
+// monitor is free or was entered without a label.
+func (m *Monitor) Owner() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owner
+}
+
+// With runs fn while holding the monitor, releasing it even if fn panics.
+func (m *Monitor) With(fn func()) {
+	m.Enter()
+	defer m.Exit()
+	fn()
+}
+
+// WaitUntil blocks on cond until pred() is true, using the standard
+// while-loop wait idiom. The caller must hold the monitor; pred is
+// evaluated with the monitor held.
+func (m *Monitor) WaitUntil(cond string, pred func() bool) {
+	if !m.Held() {
+		panic(ErrNotOwner{Op: "WaitUntil"})
+	}
+	for !pred() {
+		m.Wait(cond)
+	}
+}

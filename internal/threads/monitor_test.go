@@ -1,0 +1,379 @@
+package threads
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	var m Monitor
+	var inside int32
+	var maxInside int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.Enter()
+				n := atomic.AddInt32(&inside, 1)
+				if n > atomic.LoadInt32(&maxInside) {
+					atomic.StoreInt32(&maxInside, n)
+				}
+				atomic.AddInt32(&inside, -1)
+				m.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("max threads inside monitor = %d, want 1", maxInside)
+	}
+}
+
+func TestMonitorCounterNoLostUpdates(t *testing.T) {
+	var m Monitor
+	counter := 0
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				m.Enter()
+				counter++
+				m.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+func TestMonitorWaitNotify(t *testing.T) {
+	var m Monitor
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		m.Enter()
+		for !ready {
+			m.Wait("ready")
+		}
+		m.Exit()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.Enter()
+	ready = true
+	m.Notify("ready")
+	m.Exit()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestMonitorNotifyAllWakesEveryWaiter(t *testing.T) {
+	var m Monitor
+	const n = 10
+	var woke int32
+	var wg sync.WaitGroup
+	go_ := false
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			for !go_ {
+				m.Wait("go")
+			}
+			m.Exit()
+			atomic.AddInt32(&woke, 1)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.Enter()
+	go_ = true
+	m.NotifyAll("go")
+	m.Exit()
+	wg.Wait()
+	if woke != n {
+		t.Fatalf("woke = %d, want %d", woke, n)
+	}
+}
+
+func TestMonitorNotifyWakesAtMostOne(t *testing.T) {
+	var m Monitor
+	const n = 5
+	var started sync.WaitGroup
+	released := make(chan int, n)
+	permits := 0
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		go func(id int) {
+			m.Enter()
+			started.Done()
+			for permits == 0 {
+				m.Wait("permit")
+			}
+			permits--
+			m.Exit()
+			released <- id
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(20 * time.Millisecond)
+	m.Enter()
+	permits = 1
+	m.Notify("permit")
+	m.Exit()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no waiter released")
+	}
+	select {
+	case id := <-released:
+		t.Fatalf("second waiter %d released with a single permit", id)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Release the rest so goroutines don't leak past the test binary.
+	m.Enter()
+	permits = n - 1
+	m.NotifyAll("permit")
+	m.Exit()
+	for i := 0; i < n-1; i++ {
+		<-released
+	}
+}
+
+func TestMonitorSeparateConditions(t *testing.T) {
+	var m Monitor
+	wokeA := make(chan struct{})
+	condA, condB := false, false
+	go func() {
+		m.Enter()
+		for !condA {
+			m.Wait("A")
+		}
+		m.Exit()
+		close(wokeA)
+	}()
+	go func() {
+		m.Enter()
+		for !condB {
+			m.Wait("B")
+		}
+		m.Exit()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Notifying B must not wake A's waiter.
+	m.Enter()
+	m.NotifyAll("B")
+	m.Exit()
+	select {
+	case <-wokeA:
+		t.Fatal("waiter on A woke from notify on B")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Enter()
+	condA = true
+	m.NotifyAll("A")
+	condB = true
+	m.NotifyAll("B")
+	m.Exit()
+	<-wokeA
+}
+
+func TestMonitorDisciplinePanics(t *testing.T) {
+	var m Monitor
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatalf("%s without monitor should panic", name)
+			} else if _, ok := r.(ErrNotOwner); !ok {
+				t.Fatalf("%s panic value = %v, want ErrNotOwner", name, r)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Exit", m.Exit)
+	mustPanic("Wait", func() { m.Wait("c") })
+	mustPanic("Notify", func() { m.Notify("c") })
+	mustPanic("NotifyAll", func() { m.NotifyAll("c") })
+	mustPanic("WaitUntil", func() { m.WaitUntil("c", func() bool { return true }) })
+}
+
+func TestErrNotOwnerMessage(t *testing.T) {
+	e := ErrNotOwner{Op: "Wait"}
+	if e.Error() != "threads: Wait called without holding the monitor" {
+		t.Fatalf("message = %q", e.Error())
+	}
+}
+
+func TestMonitorTryEnter(t *testing.T) {
+	var m Monitor
+	if !m.TryEnter() {
+		t.Fatal("TryEnter on free monitor should succeed")
+	}
+	if m.TryEnter() {
+		t.Fatal("TryEnter on held monitor should fail")
+	}
+	m.Exit()
+	if !m.TryEnter() {
+		t.Fatal("TryEnter after Exit should succeed")
+	}
+	m.Exit()
+}
+
+func TestMonitorOwnerLabel(t *testing.T) {
+	var m Monitor
+	m.EnterAs("philosopher-3")
+	if m.Owner() != "philosopher-3" {
+		t.Fatalf("Owner = %q", m.Owner())
+	}
+	if !m.Held() {
+		t.Fatal("Held should be true")
+	}
+	m.Exit()
+	if m.Owner() != "" || m.Held() {
+		t.Fatal("monitor should be free after Exit")
+	}
+}
+
+func TestMonitorWaitPreservesOwnerLabel(t *testing.T) {
+	var m Monitor
+	done := make(chan string, 1)
+	flag := false
+	go func() {
+		m.EnterAs("waiter")
+		for !flag {
+			m.Wait("c")
+		}
+		owner := m.Owner()
+		m.Exit()
+		done <- owner
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.EnterAs("notifier")
+	flag = true
+	m.NotifyAll("c")
+	m.Exit()
+	if owner := <-done; owner != "waiter" {
+		t.Fatalf("owner after wakeup = %q, want waiter", owner)
+	}
+}
+
+func TestMonitorWith(t *testing.T) {
+	var m Monitor
+	ran := false
+	m.With(func() {
+		ran = true
+		if !m.Held() {
+			t.Error("With should hold the monitor")
+		}
+	})
+	if !ran || m.Held() {
+		t.Fatal("With should run fn and release")
+	}
+	// Panic inside fn still releases the monitor.
+	func() {
+		defer func() { recover() }()
+		m.With(func() { panic("boom") })
+	}()
+	if m.Held() {
+		t.Fatal("monitor leaked after panic in With")
+	}
+}
+
+func TestMonitorWaitUntil(t *testing.T) {
+	var m Monitor
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		m.Enter()
+		m.WaitUntil("x", func() bool { return x >= 3 })
+		m.Exit()
+		close(done)
+	}()
+	for i := 0; i < 3; i++ {
+		time.Sleep(5 * time.Millisecond)
+		m.Enter()
+		x++
+		m.NotifyAll("x")
+		m.Exit()
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitUntil never satisfied")
+	}
+}
+
+func TestMonitorBoundedBufferStress(t *testing.T) {
+	// A monitor-based bounded buffer must conserve items under contention.
+	var m Monitor
+	const capN = 4
+	var buf []int
+	const producers, itemsEach = 4, 250
+	var consumed int64
+	var sum int64
+	var wg sync.WaitGroup
+	totalItems := producers * itemsEach
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < itemsEach; i++ {
+				m.Enter()
+				for len(buf) >= capN {
+					m.Wait("notFull")
+				}
+				buf = append(buf, base+i)
+				m.NotifyAll("notEmpty")
+				m.Exit()
+			}
+		}(p * 1000)
+	}
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m.Enter()
+				for len(buf) == 0 {
+					if atomic.LoadInt64(&consumed) >= int64(totalItems) {
+						m.Exit()
+						return
+					}
+					m.Wait("notEmpty")
+				}
+				v := buf[0]
+				buf = buf[1:]
+				n := atomic.AddInt64(&consumed, 1)
+				atomic.AddInt64(&sum, int64(v))
+				m.NotifyAll("notFull")
+				if n == int64(totalItems) {
+					m.NotifyAll("notEmpty") // release idle consumers
+				}
+				m.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	var want int64
+	for p := 0; p < producers; p++ {
+		for i := 0; i < itemsEach; i++ {
+			want += int64(p*1000 + i)
+		}
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}

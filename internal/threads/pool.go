@@ -1,0 +1,81 @@
+package threads
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Shutdown has been called.
+var ErrPoolClosed = errors.New("threads: pool is shut down")
+
+// Pool is a fixed-size worker thread pool with a bounded task queue — the
+// "thread pool arithmetic program" from the course's first lab. Submit
+// blocks when the queue is full (backpressure) and returns ErrPoolClosed
+// after Shutdown.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	// state guards closed; Submit holds it shared across the channel send so
+	// Shutdown (exclusive) can never close the channel mid-send. Workers keep
+	// draining the queue, so a blocked Submit always completes and releases
+	// the shared lock.
+	state  sync.RWMutex
+	closed bool
+
+	executed sync.WaitGroup // tracks in-flight + queued tasks for Drain
+}
+
+// NewPool starts a pool with workers goroutines and a task queue of the
+// given capacity (0 means rendezvous handoff).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		panic("threads: pool needs at least one worker")
+	}
+	if queue < 0 {
+		panic("threads: negative queue capacity")
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+				p.executed.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues task for execution, blocking if the queue is full.
+// It returns ErrPoolClosed if the pool has been shut down.
+func (p *Pool) Submit(task func()) error {
+	if task == nil {
+		return errors.New("threads: nil task")
+	}
+	p.state.RLock()
+	defer p.state.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.executed.Add(1)
+	p.tasks <- task
+	return nil
+}
+
+// Drain blocks until every task submitted so far has finished executing.
+func (p *Pool) Drain() { p.executed.Wait() }
+
+// Shutdown stops accepting tasks, runs everything already queued, and waits
+// for the workers to exit. It is idempotent.
+func (p *Pool) Shutdown() {
+	p.state.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.state.Unlock()
+	p.wg.Wait()
+}

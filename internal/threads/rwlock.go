@@ -1,0 +1,82 @@
+package threads
+
+import "sync"
+
+// RWLock is a writer-preference readers-writer lock built on a Monitor-style
+// condition discipline. It exists (rather than reusing sync.RWMutex) so the
+// readers-writers course problem can demonstrate an explicit fairness
+// policy: arriving writers block new readers, preventing writer starvation.
+type RWLock struct {
+	mu             sync.Mutex
+	readersActive  int
+	writerActive   bool
+	writersWaiting int
+	canRead        *sync.Cond
+	canWrite       *sync.Cond
+}
+
+// NewRWLock returns an unlocked RWLock.
+func NewRWLock() *RWLock {
+	l := &RWLock{}
+	l.canRead = sync.NewCond(&l.mu)
+	l.canWrite = sync.NewCond(&l.mu)
+	return l
+}
+
+// RLock acquires a shared read lock. It blocks while a writer is active or
+// waiting (writer preference).
+func (l *RWLock) RLock() {
+	l.mu.Lock()
+	for l.writerActive || l.writersWaiting > 0 {
+		l.canRead.Wait()
+	}
+	l.readersActive++
+	l.mu.Unlock()
+}
+
+// RUnlock releases a shared read lock. It panics if no read lock is held.
+func (l *RWLock) RUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.readersActive <= 0 {
+		panic("threads: RUnlock without RLock")
+	}
+	l.readersActive--
+	if l.readersActive == 0 {
+		l.canWrite.Signal()
+	}
+}
+
+// Lock acquires the exclusive write lock.
+func (l *RWLock) Lock() {
+	l.mu.Lock()
+	l.writersWaiting++
+	for l.writerActive || l.readersActive > 0 {
+		l.canWrite.Wait()
+	}
+	l.writersWaiting--
+	l.writerActive = true
+	l.mu.Unlock()
+}
+
+// Unlock releases the write lock. It panics if the write lock is not held.
+func (l *RWLock) Unlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writerActive {
+		panic("threads: Unlock without Lock")
+	}
+	l.writerActive = false
+	if l.writersWaiting > 0 {
+		l.canWrite.Signal()
+	} else {
+		l.canRead.Broadcast()
+	}
+}
+
+// Readers returns the number of active readers. For diagnostics only.
+func (l *RWLock) Readers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readersActive
+}

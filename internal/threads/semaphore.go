@@ -1,0 +1,76 @@
+package threads
+
+import "sync"
+
+// Semaphore is a counting semaphore with FIFO-fair wakeup. A Semaphore with
+// initial count 1 is a mutex; larger counts bound concurrent entry, e.g. the
+// sleeping barber's waiting-room chairs.
+type Semaphore struct {
+	mu      sync.Mutex
+	count   int
+	waiters []chan struct{} // FIFO queue of blocked acquirers
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+// It panics if initial is negative.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		panic("threads: negative semaphore count")
+	}
+	return &Semaphore{count: initial}
+}
+
+// Acquire decrements the semaphore, blocking while the count is zero.
+// Blocked goroutines are released in FIFO order (fairness).
+func (s *Semaphore) Acquire() {
+	s.mu.Lock()
+	if s.count > 0 && len(s.waiters) == 0 {
+		s.count--
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	<-ch
+}
+
+// TryAcquire decrements the semaphore if the count is positive and no
+// earlier acquirer is queued, reporting whether it succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count > 0 && len(s.waiters) == 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Release increments the semaphore, waking the longest-waiting acquirer
+// if any.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		close(ch) // hand the permit directly to the waiter
+		return
+	}
+	s.count++
+}
+
+// Available returns the current count. For diagnostics only.
+func (s *Semaphore) Available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Waiting returns the number of blocked acquirers. For diagnostics only.
+func (s *Semaphore) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}

@@ -1,0 +1,532 @@
+package threads
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	const permits = 3
+	s := NewSemaphore(permits)
+	var inside, maxInside int32
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Acquire()
+				n := atomic.AddInt32(&inside, 1)
+				for {
+					old := atomic.LoadInt32(&maxInside)
+					if n <= old || atomic.CompareAndSwapInt32(&maxInside, old, n) {
+						break
+					}
+				}
+				atomic.AddInt32(&inside, -1)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside > permits {
+		t.Fatalf("max concurrent holders = %d, want <= %d", maxInside, permits)
+	}
+	if s.Available() != permits {
+		t.Fatalf("final count = %d, want %d", s.Available(), permits)
+	}
+}
+
+func TestSemaphoreZeroBlocksUntilRelease(t *testing.T) {
+	s := NewSemaphore(0)
+	got := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("Acquire on zero semaphore should block")
+	case <-time.After(30 * time.Millisecond):
+	}
+	s.Release()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Release did not unblock Acquire")
+	}
+}
+
+func TestSemaphoreFIFO(t *testing.T) {
+	s := NewSemaphore(0)
+	order := make(chan int, 3)
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		go func(id int) {
+			// Enforce arrival order: goroutine id queues only after id
+			// earlier acquirers are already waiting.
+			for s.Waiting() != id {
+				if time.Now().After(deadline) {
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			s.Acquire()
+			order <- id
+		}(i)
+	}
+	for s.Waiting() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("acquirers never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Release one permit at a time so only the FIFO head can proceed.
+	for want := 0; want < 3; want++ {
+		s.Release()
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("wakeup order: got %d, want %d", got, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter never woke")
+		}
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire with permit should succeed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire without permit should fail")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire after Release should succeed")
+	}
+	s.Release()
+}
+
+func TestSemaphoreNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative initial count should panic")
+		}
+	}()
+	NewSemaphore(-1)
+}
+
+func TestSemaphoreWaitingCount(t *testing.T) {
+	s := NewSemaphore(0)
+	done := make(chan struct{})
+	go func() { s.Acquire(); close(done) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Release()
+	<-done
+	if s.Waiting() != 0 {
+		t.Fatalf("Waiting = %d after release", s.Waiting())
+	}
+}
+
+// Property: any interleaving of n acquires and n releases (starting from
+// count n, using TryAcquire to avoid blocking) keeps the count in [0, 2n].
+func TestSemaphoreCountNeverNegativeQuick(t *testing.T) {
+	f := func(ops []bool) bool {
+		n := len(ops)
+		s := NewSemaphore(n)
+		for _, acquire := range ops {
+			if acquire {
+				s.TryAcquire()
+			} else {
+				s.Release()
+			}
+		}
+		return s.Available() >= 0 && s.Available() <= 2*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTicketLockMutualExclusion(t *testing.T) {
+	var l TicketLock
+	counter := 0
+	var wg sync.WaitGroup
+	const workers, iters = 8, 300
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+	if l.QueueLength() != 0 {
+		t.Fatalf("queue length = %d after all done", l.QueueLength())
+	}
+}
+
+func TestTicketLockFIFOOrder(t *testing.T) {
+	var l TicketLock
+	l.Lock() // hold so arrivals queue up
+	order := make(chan int, 3)
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() {
+			// Queue only after the holder plus i earlier arrivals are in.
+			for l.QueueLength() != i+1 {
+				if time.Now().After(deadline) {
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			l.Lock()
+			order <- i
+			l.Unlock()
+		}()
+	}
+	for l.QueueLength() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("lockers never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	l.Unlock()
+	for want := 0; want < 3; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("ticket order: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestTicketLockUnlockUnheldPanics(t *testing.T) {
+	var l TicketLock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked TicketLock should panic")
+		}
+	}()
+	l.Unlock()
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	const parties = 5
+	b := NewBarrier(parties, nil)
+	var arrived int32
+	var wg sync.WaitGroup
+	errs := make(chan string, parties)
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt32(&arrived, 1)
+			b.Await()
+			if n := atomic.LoadInt32(&arrived); n != parties {
+				errs <- "released before all arrived"
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestBarrierCyclicReuse(t *testing.T) {
+	const parties, cycles = 3, 4
+	trips := 0
+	b := NewBarrier(parties, func() { trips++ })
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < cycles; c++ {
+				b.Await()
+			}
+		}()
+	}
+	wg.Wait()
+	if trips != cycles {
+		t.Fatalf("action ran %d times, want %d", trips, cycles)
+	}
+}
+
+func TestBarrierArrivalIndex(t *testing.T) {
+	b := NewBarrier(2, nil)
+	idx := make(chan int, 2)
+	go func() { idx <- b.Await() }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { idx <- b.Await() }()
+	a, c := <-idx, <-idx
+	if (a == 0) == (c == 0) {
+		t.Fatalf("exactly one arriver should get index 0: got %d, %d", a, c)
+	}
+	if a+c != 1 {
+		t.Fatalf("indices for 2 parties should be {0,1}: got %d, %d", a, c)
+	}
+}
+
+func TestBarrierInvalidParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("parties <= 0 should panic")
+		}
+	}()
+	NewBarrier(0, nil)
+}
+
+func TestBarrierAccessors(t *testing.T) {
+	b := NewBarrier(3, nil)
+	if b.Parties() != 3 {
+		t.Fatalf("Parties = %d", b.Parties())
+	}
+	done := make(chan struct{})
+	go func() { b.Await(); close(done) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("Waiting never became 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go b.Await()
+	go b.Await()
+	<-done
+}
+
+func TestRWLockConcurrentReaders(t *testing.T) {
+	l := NewRWLock()
+	var concurrent int32
+	var maxConcurrent int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.RLock()
+			n := atomic.AddInt32(&concurrent, 1)
+			for {
+				old := atomic.LoadInt32(&maxConcurrent)
+				if n <= old || atomic.CompareAndSwapInt32(&maxConcurrent, old, n) {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+			atomic.AddInt32(&concurrent, -1)
+			l.RUnlock()
+		}()
+	}
+	wg.Wait()
+	if maxConcurrent < 2 {
+		t.Fatalf("readers never overlapped (max %d); RWLock is serializing reads", maxConcurrent)
+	}
+}
+
+func TestRWLockWriterExcludesAll(t *testing.T) {
+	l := NewRWLock()
+	data := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Lock()
+				data++
+				l.Unlock()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.RLock()
+				_ = data
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if data != 400 {
+		t.Fatalf("data = %d, want 400", data)
+	}
+}
+
+func TestRWLockWriterPreference(t *testing.T) {
+	l := NewRWLock()
+	l.RLock() // an active reader
+	writerIn := make(chan struct{})
+	readerIn := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(writerIn)
+		time.Sleep(20 * time.Millisecond)
+		l.Unlock()
+	}()
+	time.Sleep(20 * time.Millisecond) // writer is now waiting
+	go func() {
+		l.RLock()
+		close(readerIn)
+		l.RUnlock()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-readerIn:
+		t.Fatal("new reader admitted while writer waiting (no writer preference)")
+	default:
+	}
+	l.RUnlock() // release the original reader; writer should go first
+	<-writerIn
+	select {
+	case <-readerIn:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader starved after writer finished")
+	}
+}
+
+func TestRWLockMisusePanics(t *testing.T) {
+	l := NewRWLock()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RUnlock without RLock should panic")
+			}
+		}()
+		l.RUnlock()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Unlock without Lock should panic")
+			}
+		}()
+		l.Unlock()
+	}()
+}
+
+func TestRWLockReadersAccessor(t *testing.T) {
+	l := NewRWLock()
+	l.RLock()
+	l.RLock()
+	if l.Readers() != 2 {
+		t.Fatalf("Readers = %d, want 2", l.Readers())
+	}
+	l.RUnlock()
+	l.RUnlock()
+	if l.Readers() != 0 {
+		t.Fatalf("Readers = %d, want 0", l.Readers())
+	}
+}
+
+func TestPoolExecutesAllTasks(t *testing.T) {
+	p := NewPool(4, 8)
+	var sum int64
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		i := i
+		if err := p.Submit(func() { atomic.AddInt64(&sum, int64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	if sum != n*(n+1)/2 {
+		t.Fatalf("sum = %d, want %d", sum, n*(n+1)/2)
+	}
+	p.Shutdown()
+}
+
+func TestPoolSubmitAfterShutdown(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Shutdown()
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+	p.Shutdown() // idempotent
+}
+
+func TestPoolNilTask(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Shutdown()
+	if err := p.Submit(nil); err == nil {
+		t.Fatal("nil task should error")
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 0) // rendezvous queue
+	block := make(chan struct{})
+	if err := p.Submit(func() { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // worker is now busy
+	submitted := make(chan struct{})
+	go func() {
+		p.Submit(func() {})
+		close(submitted)
+	}()
+	select {
+	case <-submitted:
+		t.Fatal("Submit should block when worker busy and queue full")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	select {
+	case <-submitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit never unblocked")
+	}
+	p.Shutdown()
+}
+
+func TestPoolShutdownRunsQueued(t *testing.T) {
+	p := NewPool(1, 16)
+	var ran int32
+	for i := 0; i < 10; i++ {
+		if err := p.Submit(func() {
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&ran, 1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Shutdown()
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10 (Shutdown must drain the queue)", ran)
+	}
+}
+
+func TestPoolInvalidConfigPanics(t *testing.T) {
+	for _, tc := range []struct{ w, q int }{{0, 1}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewPool(%d,%d) should panic", tc.w, tc.q)
+				}
+			}()
+			NewPool(tc.w, tc.q)
+		}()
+	}
+}

@@ -1,0 +1,52 @@
+package threads
+
+import "sync"
+
+// TicketLock is a strictly FIFO-fair mutual exclusion lock: threads acquire
+// in the order they asked. The course contrasts fair locking with Java's
+// unfair intrinsic locks when discussing the fairness concurrency issue.
+// The zero value is an unlocked TicketLock.
+type TicketLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    uint64 // next ticket to hand out
+	serving uint64 // ticket currently allowed in
+}
+
+func (t *TicketLock) condInit() {
+	if t.cond == nil {
+		t.cond = sync.NewCond(&t.mu)
+	}
+}
+
+// Lock acquires the lock, waiting behind all earlier arrivals.
+func (t *TicketLock) Lock() {
+	t.mu.Lock()
+	t.condInit()
+	ticket := t.next
+	t.next++
+	for t.serving != ticket {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// Unlock releases the lock, admitting the next ticket holder.
+// It panics if the lock is not held.
+func (t *TicketLock) Unlock() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.condInit()
+	if t.serving == t.next {
+		panic("threads: Unlock of unlocked TicketLock")
+	}
+	t.serving++
+	t.cond.Broadcast()
+}
+
+// QueueLength returns the number of threads holding or waiting for the lock.
+func (t *TicketLock) QueueLength() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.next - t.serving)
+}

@@ -1,0 +1,146 @@
+// Package trace implements the logical-time machinery the paper's Actor
+// discussion is built on (Lamport's "happened before" relation, reference
+// [3]): Lamport scalar clocks, vector clocks, event traces, and a
+// trace-based race detector used by the pseudocode interpreter's test
+// harness.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LamportClock is a scalar logical clock. The zero value is ready to use.
+// It is safe for concurrent use.
+type LamportClock struct {
+	mu   sync.Mutex
+	time uint64
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (c *LamportClock) Tick() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.time++
+	return c.time
+}
+
+// Observe merges a received timestamp into the clock (max rule) and ticks,
+// returning the new time. Use on message receipt.
+func (c *LamportClock) Observe(remote uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if remote > c.time {
+		c.time = remote
+	}
+	c.time++
+	return c.time
+}
+
+// Now returns the current time without advancing it.
+func (c *LamportClock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.time
+}
+
+// VectorClock maps process IDs to their logical times. The zero value is
+// an empty clock. VectorClock values are not safe for concurrent mutation;
+// each process owns its clock.
+type VectorClock map[string]uint64
+
+// NewVectorClock returns an empty vector clock.
+func NewVectorClock() VectorClock { return VectorClock{} }
+
+// Copy returns an independent copy of v.
+func (v VectorClock) Copy() VectorClock {
+	c := make(VectorClock, len(v))
+	for k, t := range v {
+		c[k] = t
+	}
+	return c
+}
+
+// Tick advances the component for process id and returns the copy-on-read
+// clock value (the receiver itself, for chaining).
+func (v VectorClock) Tick(id string) VectorClock {
+	v[id]++
+	return v
+}
+
+// Merge sets each component of v to the max of v and other.
+func (v VectorClock) Merge(other VectorClock) VectorClock {
+	for k, t := range other {
+		if t > v[k] {
+			v[k] = t
+		}
+	}
+	return v
+}
+
+// Before reports whether v happened-before other: v <= other componentwise
+// and v != other.
+func (v VectorClock) Before(other VectorClock) bool {
+	le := true
+	lt := false
+	for k, t := range v {
+		o := other[k]
+		if t > o {
+			le = false
+			break
+		}
+		if t < o {
+			lt = true
+		}
+	}
+	if !le {
+		return false
+	}
+	// Components present only in other also witness strictness.
+	for k, o := range other {
+		if o > v[k] {
+			lt = true
+		}
+	}
+	return lt
+}
+
+// Concurrent reports whether v and other are causally unordered.
+func (v VectorClock) Concurrent(other VectorClock) bool {
+	return !v.Before(other) && !other.Before(v) && !v.Equal(other)
+}
+
+// Equal reports componentwise equality (missing components are zero).
+func (v VectorClock) Equal(other VectorClock) bool {
+	for k, t := range v {
+		if other[k] != t {
+			return false
+		}
+	}
+	for k, t := range other {
+		if v[k] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock deterministically, e.g. "{a:1 b:3}".
+func (v VectorClock) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		if v[k] != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", k, v[k])
+	}
+	return s + "}"
+}

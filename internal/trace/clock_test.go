@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportTickMonotone(t *testing.T) {
+	var c LamportClock
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		now := c.Tick()
+		if now <= prev {
+			t.Fatalf("tick not monotone: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestLamportObserve(t *testing.T) {
+	var c LamportClock
+	c.Tick() // 1
+	if got := c.Observe(10); got != 11 {
+		t.Fatalf("Observe(10) = %d, want 11", got)
+	}
+	if got := c.Observe(3); got != 12 {
+		t.Fatalf("Observe(3) = %d, want 12 (max rule then tick)", got)
+	}
+	if c.Now() != 12 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+}
+
+func TestLamportConcurrentSafety(t *testing.T) {
+	var c LamportClock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8000 {
+		t.Fatalf("Now = %d, want 8000", c.Now())
+	}
+}
+
+func TestVectorClockBeforeBasic(t *testing.T) {
+	a := VectorClock{"p": 1, "q": 2}
+	b := VectorClock{"p": 2, "q": 2}
+	if !a.Before(b) {
+		t.Fatal("a should be before b")
+	}
+	if b.Before(a) {
+		t.Fatal("b should not be before a")
+	}
+	if a.Concurrent(b) {
+		t.Fatal("ordered clocks are not concurrent")
+	}
+}
+
+func TestVectorClockConcurrent(t *testing.T) {
+	a := VectorClock{"p": 2, "q": 1}
+	b := VectorClock{"p": 1, "q": 2}
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Fatal("crossed clocks should be concurrent")
+	}
+}
+
+func TestVectorClockEqualNotBefore(t *testing.T) {
+	a := VectorClock{"p": 1}
+	b := VectorClock{"p": 1}
+	if a.Before(b) || b.Before(a) {
+		t.Fatal("equal clocks are not before each other")
+	}
+	if !a.Equal(b) {
+		t.Fatal("clocks should be equal")
+	}
+	if a.Concurrent(b) {
+		t.Fatal("equal clocks are not concurrent")
+	}
+}
+
+func TestVectorClockMissingComponentsAreZero(t *testing.T) {
+	a := VectorClock{}
+	b := VectorClock{"p": 1}
+	if !a.Before(b) {
+		t.Fatal("empty clock should be before any nonzero clock")
+	}
+	if !a.Equal(VectorClock{"p": 0}) {
+		t.Fatal("explicit zero equals missing")
+	}
+}
+
+func TestVectorClockMergeTick(t *testing.T) {
+	a := NewVectorClock().Tick("p").Tick("p") // p:2
+	b := NewVectorClock().Tick("q")           // q:1
+	a.Merge(b)
+	if a["p"] != 2 || a["q"] != 1 {
+		t.Fatalf("merge result = %v", a)
+	}
+}
+
+func TestVectorClockCopyIndependent(t *testing.T) {
+	a := VectorClock{"p": 1}
+	b := a.Copy()
+	b.Tick("p")
+	if a["p"] != 1 {
+		t.Fatal("Copy should be independent")
+	}
+}
+
+func TestVectorClockString(t *testing.T) {
+	v := VectorClock{"b": 2, "a": 1, "z": 0}
+	if got := v.String(); got != "{a:1 b:2}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: for vector clocks built from random event histories, exactly one
+// of Before(a,b), Before(b,a), Equal, Concurrent holds.
+func TestVectorClockTrichotomyQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a, b := NewVectorClock(), NewVectorClock()
+		procs := []string{"p", "q", "r"}
+		for _, op := range ops {
+			target := a
+			if op&1 == 1 {
+				target = b
+			}
+			target.Tick(procs[int(op>>1)%len(procs)])
+		}
+		ab, ba, eq, cc := a.Before(b), b.Before(a), a.Equal(b), a.Concurrent(b)
+		count := 0
+		for _, x := range []bool{ab, ba, eq, cc} {
+			if x {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is an upper bound — after a.Merge(b), b.Before(a) or
+// b.Equal(a) componentwise (b <= a).
+func TestVectorClockMergeUpperBoundQuick(t *testing.T) {
+	f := func(xa, xb [3]uint8) bool {
+		a := VectorClock{"p": uint64(xa[0]), "q": uint64(xa[1]), "r": uint64(xa[2])}
+		b := VectorClock{"p": uint64(xb[0]), "q": uint64(xb[1]), "r": uint64(xb[2])}
+		a.Merge(b)
+		for k, t := range b {
+			if a[k] < t {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSend.String() != "send" {
+		t.Fatalf("KindSend = %q", KindSend.String())
+	}
+	if Kind(999).String() != "Kind(999)" {
+		t.Fatalf("unknown kind = %q", Kind(999).String())
+	}
+}
+
+func ExampleVectorClock_Before() {
+	send := NewVectorClock().Tick("alice")
+	recv := send.Copy().Merge(send).Tick("bob")
+	fmt.Println(send.Before(recv))
+	// Output: true
+}

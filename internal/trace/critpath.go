@@ -1,0 +1,39 @@
+package trace
+
+// CriticalPath returns the length of the longest happened-before chain in
+// the trace — the causal "span". Together with the total event count (the
+// "work"), it bounds achievable parallelism: a protocol whose span equals
+// its work is inherently sequential no matter how many actors it spawns.
+func CriticalPath(events []Event) int {
+	n := len(events)
+	if n == 0 {
+		return 0
+	}
+	// Events are recorded in a global order consistent with causality
+	// (vector clocks only ever grow), so a DP over the recorded order works:
+	// longest[i] = 1 + max(longest[j]) over j<i with e_j happened-before e_i.
+	longest := make([]int, n)
+	best := 0
+	for i := 0; i < n; i++ {
+		longest[i] = 1
+		for j := 0; j < i; j++ {
+			if events[j].Clock.Before(events[i].Clock) && longest[j]+1 > longest[i] {
+				longest[i] = longest[j] + 1
+			}
+		}
+		if longest[i] > best {
+			best = longest[i]
+		}
+	}
+	return best
+}
+
+// Parallelism returns work/span for the trace: the average number of
+// causally independent events per critical-path step. 0 for empty traces.
+func Parallelism(events []Event) float64 {
+	span := CriticalPath(events)
+	if span == 0 {
+		return 0
+	}
+	return float64(len(events)) / float64(span)
+}

@@ -1,0 +1,64 @@
+package trace
+
+import "testing"
+
+func TestCriticalPathSequentialChain(t *testing.T) {
+	r := NewRecorder()
+	// A strict relay: every event depends on the previous one.
+	r.RecordSend("a", "m1", "")
+	r.RecordReceive("b", "m1", "")
+	r.RecordSend("b", "m2", "")
+	r.RecordReceive("c", "m2", "")
+	events := r.Events()
+	if got := CriticalPath(events); got != 4 {
+		t.Fatalf("span = %d, want 4 (fully sequential)", got)
+	}
+	if p := Parallelism(events); p != 1 {
+		t.Fatalf("parallelism = %v, want 1", p)
+	}
+}
+
+func TestCriticalPathIndependentTasks(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 4; i++ {
+		task := string(rune('a' + i))
+		r.Record(task, KindLocal, "", "")
+		r.Record(task, KindLocal, "", "")
+	}
+	events := r.Events()
+	// 4 independent chains of length 2: span 2, work 8.
+	if got := CriticalPath(events); got != 2 {
+		t.Fatalf("span = %d, want 2", got)
+	}
+	if p := Parallelism(events); p != 4 {
+		t.Fatalf("parallelism = %v, want 4", p)
+	}
+}
+
+func TestCriticalPathFanOutFanIn(t *testing.T) {
+	r := NewRecorder()
+	// Coordinator scatters to two workers, gathers both replies.
+	r.RecordSend("coord", "w1", "task")
+	r.RecordSend("coord", "w2", "task")
+	r.RecordReceive("worker1", "w1", "task")
+	r.RecordReceive("worker2", "w2", "task")
+	r.RecordSend("worker1", "r1", "result")
+	r.RecordSend("worker2", "r2", "result")
+	r.RecordReceive("coord", "r1", "result")
+	r.RecordReceive("coord", "r2", "result")
+	events := r.Events()
+	span := CriticalPath(events)
+	// send → receive → send(result) → receive(result) [→ second gather]
+	if span < 4 || span > 5 {
+		t.Fatalf("span = %d, want 4-5", span)
+	}
+	if p := Parallelism(events); p <= 1 {
+		t.Fatalf("scatter-gather should show parallelism > 1, got %v", p)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if CriticalPath(nil) != 0 || Parallelism(nil) != 0 {
+		t.Fatal("empty trace should be zero")
+	}
+}

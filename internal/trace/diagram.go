@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SequenceDiagram renders a recorded trace as a Mermaid sequence diagram —
+// the course's UML artifact for "depicting and reasoning about critical
+// scenarios" (Section IV.B), generated from an actual execution instead of
+// drawn by hand. Send/receive pairs become arrows; unmatched sends render
+// as lost-message arrows; other events become notes on their lifeline.
+func SequenceDiagram(events []Event) string {
+	var b strings.Builder
+	b.WriteString("sequenceDiagram\n")
+	// Declare participants in first-appearance order for stable layout.
+	seen := map[string]bool{}
+	var order []string
+	for _, e := range events {
+		if !seen[e.Task] {
+			seen[e.Task] = true
+			order = append(order, e.Task)
+		}
+	}
+	for _, p := range order {
+		fmt.Fprintf(&b, "    participant %s\n", sanitize(p))
+	}
+	// Pair sends to receives by message object ID (FIFO per ID, matching
+	// the Recorder's clock bookkeeping).
+	type sendInfo struct {
+		seq  int
+		task string
+	}
+	pendingSends := map[string][]sendInfo{}
+	recvTask := map[int]string{} // send Seq -> receiving task
+	recvSeq := map[int]int{}     // send Seq -> receive Seq
+	for _, e := range events {
+		switch e.Kind {
+		case KindSend:
+			pendingSends[e.Object] = append(pendingSends[e.Object], sendInfo{seq: e.Seq, task: e.Task})
+		case KindReceive:
+			if q := pendingSends[e.Object]; len(q) > 0 {
+				recvTask[q[0].seq] = e.Task
+				recvSeq[q[0].seq] = e.Seq
+				pendingSends[e.Object] = q[1:]
+			}
+		}
+	}
+	emitted := map[int]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSend:
+			label := e.Detail
+			if label == "" {
+				label = e.Object
+			}
+			if to, ok := recvTask[e.Seq]; ok {
+				fmt.Fprintf(&b, "    %s->>%s: %s\n", sanitize(e.Task), sanitize(to), label)
+				emitted[recvSeq[e.Seq]] = true
+			} else {
+				fmt.Fprintf(&b, "    %s--x%s: %s (undelivered)\n", sanitize(e.Task), sanitize(e.Task), label)
+			}
+		case KindReceive:
+			// Paired receives are drawn by their send; orphans get a note.
+			if !emitted[e.Seq] {
+				fmt.Fprintf(&b, "    Note over %s: receive %s\n", sanitize(e.Task), e.Detail)
+			}
+		case KindAcquire, KindRelease, KindWait, KindNotify:
+			fmt.Fprintf(&b, "    Note over %s: %s %s\n", sanitize(e.Task), e.Kind, e.Object)
+		}
+	}
+	return b.String()
+}
+
+// sanitize makes a task name a valid Mermaid participant identifier.
+func sanitize(name string) string {
+	r := strings.NewReplacer(" ", "_", "(", "_", ")", "_", "#", "_", ".", "_", "@", "_", ":", "_", "-", "_", "/", "_")
+	out := r.Replace(name)
+	if out == "" {
+		return "anon"
+	}
+	return out
+}
+
+// Participants returns the distinct lifelines of a trace, in first-
+// appearance order.
+func Participants(events []Event) []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, e := range events {
+		if !seen[e.Task] {
+			seen[e.Task] = true
+			order = append(order, e.Task)
+		}
+	}
+	return order
+}
+
+// MessageFlow summarizes who sent how many messages to whom.
+func MessageFlow(events []Event) map[string]int {
+	pending := map[string][]string{}
+	flow := map[string]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSend:
+			pending[e.Object] = append(pending[e.Object], e.Task)
+		case KindReceive:
+			if q := pending[e.Object]; len(q) > 0 {
+				flow[q[0]+" -> "+e.Task]++
+				pending[e.Object] = q[1:]
+			}
+		}
+	}
+	return flow
+}
+
+// FlowReport renders MessageFlow sorted for stable output.
+func FlowReport(events []Event) string {
+	flow := MessageFlow(events)
+	keys := make([]string, 0, len(flow))
+	for k := range flow {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %d\n", k, flow[k])
+	}
+	return b.String()
+}

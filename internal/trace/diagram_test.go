@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Recorder {
+	r := NewRecorder()
+	r.RecordSend("alice", "m1", "hello")
+	r.RecordReceive("bob", "m1", "hello")
+	r.RecordSend("bob", "m2", "world")
+	r.RecordReceive("alice", "m2", "world")
+	r.Record("alice", KindAcquire, "lock", "")
+	r.Record("alice", KindRelease, "lock", "")
+	r.RecordSend("alice", "lost", "ghost") // never received
+	return r
+}
+
+func TestSequenceDiagramArrows(t *testing.T) {
+	d := SequenceDiagram(sampleTrace().Events())
+	for _, want := range []string{
+		"sequenceDiagram",
+		"participant alice",
+		"participant bob",
+		"alice->>bob: hello",
+		"bob->>alice: world",
+		"Note over alice: acquire lock",
+		"(undelivered)",
+	} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("diagram missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestSequenceDiagramEmptyTrace(t *testing.T) {
+	d := SequenceDiagram(nil)
+	if !strings.HasPrefix(d, "sequenceDiagram") {
+		t.Fatalf("diagram = %q", d)
+	}
+}
+
+func TestSequenceDiagramSanitizesNames(t *testing.T) {
+	r := NewRecorder()
+	r.RecordSend("actor(shop#1)", "m", "x")
+	r.RecordReceive("barber-2@shop", "m", "x")
+	d := SequenceDiagram(r.Events())
+	if strings.ContainsAny(d, "()#@") {
+		t.Fatalf("unsanitized identifiers:\n%s", d)
+	}
+	if !strings.Contains(d, "actor_shop_1_->>barber_2_shop: x") {
+		t.Fatalf("arrow missing:\n%s", d)
+	}
+}
+
+func TestParticipantsOrder(t *testing.T) {
+	ps := Participants(sampleTrace().Events())
+	if len(ps) != 2 || ps[0] != "alice" || ps[1] != "bob" {
+		t.Fatalf("participants = %v", ps)
+	}
+}
+
+func TestMessageFlow(t *testing.T) {
+	flow := MessageFlow(sampleTrace().Events())
+	if flow["alice -> bob"] != 1 || flow["bob -> alice"] != 1 {
+		t.Fatalf("flow = %v", flow)
+	}
+	rep := FlowReport(sampleTrace().Events())
+	if !strings.Contains(rep, "alice -> bob: 1") {
+		t.Fatalf("report = %q", rep)
+	}
+}
+
+func TestDiagramFIFOPairing(t *testing.T) {
+	// Two messages with the same ID pair in order.
+	r := NewRecorder()
+	r.RecordSend("p", "ch", "a")
+	r.RecordSend("p", "ch", "b")
+	r.RecordReceive("q", "ch", "a")
+	r.RecordReceive("q", "ch", "b")
+	d := SequenceDiagram(r.Events())
+	if strings.Count(d, "p->>q:") != 2 {
+		t.Fatalf("expected two arrows:\n%s", d)
+	}
+	if strings.Contains(d, "undelivered") {
+		t.Fatalf("spurious lost message:\n%s", d)
+	}
+}

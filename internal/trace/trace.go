@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+// Event kinds recorded by the runtimes and the pseudocode interpreter.
+const (
+	KindLocal   Kind = iota // local computation step
+	KindRead                // shared-variable read
+	KindWrite               // shared-variable write
+	KindAcquire             // lock/exclusive-access acquire
+	KindRelease             // lock/exclusive-access release
+	KindSend                // message send
+	KindReceive             // message receive
+	KindWait                // condition wait
+	KindNotify              // condition notify
+	KindSpawn               // task creation
+	KindExit                // task termination
+)
+
+var kindNames = map[Kind]string{
+	KindLocal:   "local",
+	KindRead:    "read",
+	KindWrite:   "write",
+	KindAcquire: "acquire",
+	KindRelease: "release",
+	KindSend:    "send",
+	KindReceive: "receive",
+	KindWait:    "wait",
+	KindNotify:  "notify",
+	KindSpawn:   "spawn",
+	KindExit:    "exit",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded step of a concurrent execution.
+type Event struct {
+	Seq    int         // global sequence number in the recorded order
+	Task   string      // task/actor/thread identifier
+	Kind   Kind        //
+	Object string      // variable, lock, mailbox, or message name
+	Detail string      // free-form payload (value written, message body, ...)
+	Clock  VectorClock // causal timestamp at the time of the event
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s %s %s %s", e.Seq, e.Task, e.Kind, e.Object, e.Detail, e.Clock)
+}
+
+// Recorder accumulates events from concurrently executing tasks and stamps
+// them with vector clocks. It is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	clocks map[string]VectorClock
+	// pending send clocks keyed by message identity, consumed by Receive.
+	inflight map[string][]VectorClock
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		clocks:   make(map[string]VectorClock),
+		inflight: make(map[string][]VectorClock),
+	}
+}
+
+func (r *Recorder) clockOf(task string) VectorClock {
+	c, ok := r.clocks[task]
+	if !ok {
+		c = NewVectorClock()
+		r.clocks[task] = c
+	}
+	return c
+}
+
+// Record logs a plain event for task, advancing its vector clock.
+func (r *Recorder) Record(task string, kind Kind, object, detail string) Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.record(task, kind, object, detail)
+}
+
+func (r *Recorder) record(task string, kind Kind, object, detail string) Event {
+	c := r.clockOf(task)
+	c.Tick(task)
+	ev := Event{
+		Seq:    len(r.events),
+		Task:   task,
+		Kind:   kind,
+		Object: object,
+		Detail: detail,
+		Clock:  c.Copy(),
+	}
+	r.events = append(r.events, ev)
+	return ev
+}
+
+// RecordSend logs a message send and remembers the sender's clock so the
+// matching RecordReceive establishes the happened-before edge. msgID must
+// be unique per in-flight message (e.g. "mailbox/name#7").
+func (r *Recorder) RecordSend(task, msgID, detail string) Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev := r.record(task, KindSend, msgID, detail)
+	r.inflight[msgID] = append(r.inflight[msgID], ev.Clock.Copy())
+	return ev
+}
+
+// RecordReceive logs a message receive, merging the sender's clock if the
+// send was recorded.
+func (r *Recorder) RecordReceive(task, msgID, detail string) Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.clockOf(task)
+	if sends := r.inflight[msgID]; len(sends) > 0 {
+		c.Merge(sends[0])
+		r.inflight[msgID] = sends[1:]
+		if len(r.inflight[msgID]) == 0 {
+			delete(r.inflight, msgID)
+		}
+	}
+	return r.record(task, KindReceive, msgID, detail)
+}
+
+// RecordSync logs an event on task that synchronizes-with the most recent
+// event on object (e.g. lock release → acquire). The recorder merges the
+// releasing task's clock into the acquiring task's clock.
+func (r *Recorder) RecordSync(task string, kind Kind, object, detail string, syncWith VectorClock) Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if syncWith != nil {
+		r.clockOf(task).Merge(syncWith)
+	}
+	return r.record(task, kind, object, detail)
+}
+
+// Events returns a copy of the recorded events in recorded order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Tasks returns the sorted set of task IDs that appear in the trace.
+func (r *Recorder) Tasks() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range r.events {
+		seen[e.Task] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the full trace, one event per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Race describes a pair of conflicting, causally unordered accesses to the
+// same object where at least one access is a write.
+type Race struct {
+	First, Second Event
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race on %q: %v || %v", r.First.Object, r.First, r.Second)
+}
+
+// DetectRaces scans events for conflicting concurrent accesses (read/write
+// or write/write on the same object by different tasks with concurrent
+// vector clocks). This is a happens-before race detector over a recorded
+// trace, used to demonstrate the "race condition" concept from the course.
+func DetectRaces(events []Event) []Race {
+	var races []Race
+	isAccess := func(k Kind) bool { return k == KindRead || k == KindWrite }
+	for i := 0; i < len(events); i++ {
+		a := events[i]
+		if !isAccess(a.Kind) {
+			continue
+		}
+		for j := i + 1; j < len(events); j++ {
+			b := events[j]
+			if !isAccess(b.Kind) || a.Object != b.Object || a.Task == b.Task {
+				continue
+			}
+			if a.Kind == KindRead && b.Kind == KindRead {
+				continue
+			}
+			if a.Clock.Concurrent(b.Clock) {
+				races = append(races, Race{First: a, Second: b})
+			}
+		}
+	}
+	return races
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderSequence(t *testing.T) {
+	r := NewRecorder()
+	r.Record("t1", KindLocal, "x", "1")
+	r.Record("t1", KindWrite, "x", "2")
+	r.Record("t2", KindRead, "x", "")
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRecorderClocksAdvancePerTask(t *testing.T) {
+	r := NewRecorder()
+	e1 := r.Record("a", KindLocal, "", "")
+	e2 := r.Record("a", KindLocal, "", "")
+	e3 := r.Record("b", KindLocal, "", "")
+	if !e1.Clock.Before(e2.Clock) {
+		t.Fatal("same-task events must be ordered")
+	}
+	if !e1.Clock.Concurrent(e3.Clock) {
+		t.Fatal("independent tasks must be concurrent")
+	}
+}
+
+func TestSendReceiveHappensBefore(t *testing.T) {
+	r := NewRecorder()
+	s := r.RecordSend("alice", "m1", "hello")
+	rcv := r.RecordReceive("bob", "m1", "hello")
+	if !s.Clock.Before(rcv.Clock) {
+		t.Fatalf("send %v should happen-before receive %v", s.Clock, rcv.Clock)
+	}
+}
+
+func TestReceiveWithoutSendIsLocal(t *testing.T) {
+	r := NewRecorder()
+	other := r.Record("alice", KindLocal, "", "")
+	rcv := r.RecordReceive("bob", "ghost", "")
+	if !other.Clock.Concurrent(rcv.Clock) {
+		t.Fatal("receive of unrecorded message creates no edge")
+	}
+}
+
+func TestMultipleInflightSameID(t *testing.T) {
+	r := NewRecorder()
+	r.RecordSend("a", "m", "1")
+	r.RecordSend("a", "m", "2")
+	r1 := r.RecordReceive("b", "m", "")
+	r2 := r.RecordReceive("b", "m", "")
+	if !r1.Clock.Before(r2.Clock) {
+		t.Fatal("receives on same task are ordered")
+	}
+	// Both sends should be consumed.
+	if len(r.inflight) != 0 {
+		t.Fatalf("inflight not drained: %v", r.inflight)
+	}
+}
+
+func TestRecordSyncEstablishesEdge(t *testing.T) {
+	r := NewRecorder()
+	rel := r.Record("t1", KindRelease, "lock", "")
+	acq := r.RecordSync("t2", KindAcquire, "lock", "", rel.Clock)
+	if !rel.Clock.Before(acq.Clock) {
+		t.Fatal("release should happen-before acquire")
+	}
+	// nil syncWith must not panic and creates no edge.
+	e := r.RecordSync("t3", KindAcquire, "lock", "", nil)
+	if !e.Clock.Concurrent(rel.Clock) {
+		t.Fatal("nil sync should not order t3 after t1")
+	}
+}
+
+func TestDetectRacesFindsWriteWrite(t *testing.T) {
+	r := NewRecorder()
+	r.Record("t1", KindWrite, "x", "1")
+	r.Record("t2", KindWrite, "x", "2")
+	races := DetectRaces(r.Events())
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	if races[0].First.Object != "x" {
+		t.Fatalf("race object = %q", races[0].First.Object)
+	}
+	if !strings.Contains(races[0].String(), "race on \"x\"") {
+		t.Fatalf("race string = %q", races[0].String())
+	}
+}
+
+func TestDetectRacesIgnoresReadRead(t *testing.T) {
+	r := NewRecorder()
+	r.Record("t1", KindRead, "x", "")
+	r.Record("t2", KindRead, "x", "")
+	if races := DetectRaces(r.Events()); len(races) != 0 {
+		t.Fatalf("read/read flagged: %v", races)
+	}
+}
+
+func TestDetectRacesIgnoresSameTask(t *testing.T) {
+	r := NewRecorder()
+	r.Record("t1", KindWrite, "x", "1")
+	r.Record("t1", KindWrite, "x", "2")
+	if races := DetectRaces(r.Events()); len(races) != 0 {
+		t.Fatalf("same-task flagged: %v", races)
+	}
+}
+
+func TestDetectRacesRespectsSynchronization(t *testing.T) {
+	r := NewRecorder()
+	w := r.Record("t1", KindWrite, "x", "1")
+	rel := r.RecordSync("t1", KindRelease, "lock", "", nil)
+	_ = w
+	r.RecordSync("t2", KindAcquire, "lock", "", rel.Clock)
+	r.Record("t2", KindWrite, "x", "2")
+	if races := DetectRaces(r.Events()); len(races) != 0 {
+		t.Fatalf("synchronized accesses flagged as race: %v", races)
+	}
+}
+
+func TestDetectRacesDifferentObjects(t *testing.T) {
+	r := NewRecorder()
+	r.Record("t1", KindWrite, "x", "")
+	r.Record("t2", KindWrite, "y", "")
+	if races := DetectRaces(r.Events()); len(races) != 0 {
+		t.Fatalf("different objects flagged: %v", races)
+	}
+}
+
+func TestDetectRacesMessageSyncSuppresses(t *testing.T) {
+	r := NewRecorder()
+	r.Record("p", KindWrite, "data", "v")
+	r.RecordSend("p", "ch", "ready")
+	r.RecordReceive("q", "ch", "ready")
+	r.Record("q", KindRead, "data", "")
+	if races := DetectRaces(r.Events()); len(races) != 0 {
+		t.Fatalf("message-ordered accesses flagged: %v", races)
+	}
+}
+
+func TestTasksSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Record("z", KindLocal, "", "")
+	r.Record("a", KindLocal, "", "")
+	r.Record("m", KindLocal, "", "")
+	got := r.Tasks()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("Tasks = %v", got)
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			task := string(rune('a' + id))
+			for j := 0; j < 500; j++ {
+				r.Record(task, KindLocal, "obj", "")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 2000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Sequence numbers must be unique and dense.
+	seen := make([]bool, 2000)
+	for _, e := range r.Events() {
+		if e.Seq < 0 || e.Seq >= 2000 || seen[e.Seq] {
+			t.Fatalf("bad Seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestRecorderString(t *testing.T) {
+	r := NewRecorder()
+	r.Record("t1", KindWrite, "x", "42")
+	out := r.String()
+	if !strings.Contains(out, "t1 write x 42") {
+		t.Fatalf("trace string = %q", out)
+	}
+}
