@@ -168,6 +168,9 @@ func BenchmarkProblem(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, m := range core.AllModels {
+			if spec.Runs[m] == nil {
+				continue // chaos variants are actors-only
+			}
 			b.Run(fmt.Sprintf("%s/%s", name, m), func(b *testing.B) {
 				params := benchParams[name]
 				for i := 0; i < b.N; i++ {

@@ -73,6 +73,9 @@ func problemTable(reps, scale int) {
 	}
 	for _, name := range core.Default.Names() {
 		spec, _ := core.Default.Get(name)
+		if len(spec.Runs) < len(core.AllModels) {
+			continue // cross-model rows need all three models (skips chaos variants)
+		}
 		row := []string{name}
 		best := core.Threads
 		var bestDur time.Duration

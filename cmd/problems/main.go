@@ -5,7 +5,7 @@
 //
 //	problems -list
 //	problems -problem diningphilosophers -model actors [-seed N] [-param k=v ...]
-//	problems -all [-seed N]        # run the full 9x3 matrix
+//	problems -all [-seed N]        # run every problem under every model it implements
 package main
 
 import (
@@ -58,6 +58,9 @@ func main() {
 		for _, name := range core.Default.Names() {
 			spec, _ := core.Default.Get(name)
 			for _, m := range core.AllModels {
+				if spec.Runs[m] == nil {
+					continue // e.g. the chaos variants are actors-only
+				}
 				metrics, err := spec.Run(m, core.Params(params), *seed)
 				if err != nil {
 					fmt.Printf("%-20s %-11s FAIL: %v\n", name, m, err)

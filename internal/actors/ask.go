@@ -2,15 +2,27 @@ package actors
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"time"
 )
 
 // ErrAskTimeout is returned by Ask when no reply arrives in time.
 var ErrAskTimeout = errors.New("actors: ask timed out")
 
+// ErrActorStopped is returned by Ask when the target actor is already
+// stopped: the request deadletters immediately, so instead of waiting out
+// the full timeout the ask fails fast. (A supervised actor in a restart
+// backoff is *not* stopped — its mailbox keeps accepting messages.)
+var ErrActorStopped = errors.New("actors: target actor is stopped")
+
 // Ask sends msg to ref and waits for one reply, bridging the asynchronous
 // actor world to synchronous callers (Scala's `!?` / ask pattern). It spawns
-// a temporary actor to receive the reply.
+// a temporary actor to receive the reply. If the target is already stopped
+// the call fails fast with ErrActorStopped rather than leaking the reply
+// actor until the timeout. A message lost to an injected fault is
+// indistinguishable from a slow reply and still times out — that is what
+// AskRetry is for.
 func Ask(sys *System, ref *Ref, msg any, timeout time.Duration) (any, error) {
 	replyCh := make(chan any, 1)
 	tmp, err := sys.Spawn("ask-reply", func(ctx *Context, m any) {
@@ -23,7 +35,14 @@ func Ask(sys *System, ref *Ref, msg any, timeout time.Duration) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref.TellFrom(tmp, msg)
+	if ref == nil || ref.sys != sys {
+		sys.Stop(tmp)
+		return nil, ErrActorStopped
+	}
+	if st := sys.send(ref, Envelope{Msg: msg, Sender: tmp}); st == statusDead {
+		sys.Stop(tmp)
+		return nil, ErrActorStopped
+	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -33,4 +52,93 @@ func Ask(sys *System, ref *Ref, msg any, timeout time.Duration) (any, error) {
 		sys.Stop(tmp)
 		return nil, ErrAskTimeout
 	}
+}
+
+// RetryConfig shapes AskRetry's persistence.
+type RetryConfig struct {
+	// Attempts is the maximum number of asks (default 3, minimum 1).
+	Attempts int
+	// Timeout is the per-attempt reply timeout (default 1s).
+	Timeout time.Duration
+	// Backoff is the sleep before the second attempt; it doubles per retry
+	// (default 1ms when unset and Attempts > 1).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 250ms).
+	MaxBackoff time.Duration
+	// Jitter randomizes each backoff by ±Jitter fraction (e.g. 0.2 → ±20%),
+	// de-synchronizing retry storms. Zero means no jitter.
+	Jitter float64
+	// Budget, when positive, caps the total wall-clock time across all
+	// attempts and backoffs; when it runs out AskRetry stops retrying.
+	Budget time.Duration
+	// Seed makes the jitter deterministic (0 uses a fixed default seed).
+	Seed int64
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.Attempts < 1 {
+		rc.Attempts = 3
+	}
+	if rc.Timeout <= 0 {
+		rc.Timeout = time.Second
+	}
+	if rc.Backoff <= 0 && rc.Attempts > 1 {
+		rc.Backoff = time.Millisecond
+	}
+	if rc.MaxBackoff <= 0 {
+		rc.MaxBackoff = 250 * time.Millisecond
+	}
+	return rc
+}
+
+// AskRetry is Ask with a retry budget: timeouts are retried with jittered
+// exponential backoff until a reply arrives, attempts are exhausted, or the
+// wall-clock budget runs out. It is the at-least-once delivery layer that
+// makes lossy (fault-injected) message paths usable: receivers must treat
+// retried requests idempotently. ErrActorStopped is not retried — a stopped
+// actor will not come back as the same Ref.
+func AskRetry(sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
+	rc = rc.withDefaults()
+	rng := rand.New(rand.NewSource(rc.Seed + 0x5eed))
+	start := time.Now()
+	backoff := rc.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= rc.Attempts; attempt++ {
+		if attempt > 1 {
+			d := backoff
+			if rc.Jitter > 0 {
+				// Scale by a uniform factor in [1-Jitter, 1+Jitter].
+				f := 1 + rc.Jitter*(2*rng.Float64()-1)
+				d = time.Duration(float64(d) * f)
+			}
+			if rc.Budget > 0 && time.Since(start)+d > rc.Budget {
+				break
+			}
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > rc.MaxBackoff {
+				backoff = rc.MaxBackoff
+			}
+		}
+		timeout := rc.Timeout
+		if rc.Budget > 0 {
+			if left := rc.Budget - time.Since(start); left <= 0 {
+				break
+			} else if left < timeout {
+				timeout = left
+			}
+		}
+		r, err := Ask(sys, ref, msg, timeout)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrActorStopped) || errors.Is(err, ErrSystemStopped) {
+			return nil, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrAskTimeout
+	}
+	return nil, fmt.Errorf("actors: ask retry budget exhausted: %w", lastErr)
 }

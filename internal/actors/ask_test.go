@@ -1,0 +1,143 @@
+package actors
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestAskStoppedActorFailsFast(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	target := sys.MustSpawn("target", func(ctx *Context, msg any) { ctx.Stop() })
+	target.Tell("die")
+	sys.Await(target)
+
+	start := time.Now()
+	_, err := Ask(sys, target, "hello", 5*time.Second)
+	if !errors.Is(err, ErrActorStopped) {
+		t.Fatalf("Ask(stopped) error = %v, want ErrActorStopped", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Ask(stopped) took %v; should fail fast, not wait out the timeout", elapsed)
+	}
+	// The temporary reply actor must not leak: once the deadlettered ask
+	// returns, the only remaining work is its own teardown.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		sys.mu.Lock()
+		n := len(sys.actors)
+		sys.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d actors still alive; ask-reply actor leaked", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAskNilAndForeignRef(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	other := NewSystem(Config{})
+	defer other.Shutdown()
+	foreign := other.MustSpawn("foreign", func(ctx *Context, msg any) {})
+	if _, err := Ask(sys, nil, 1, time.Second); !errors.Is(err, ErrActorStopped) {
+		t.Fatalf("Ask(nil) error = %v", err)
+	}
+	if _, err := Ask(sys, foreign, 1, time.Second); !errors.Is(err, ErrActorStopped) {
+		t.Fatalf("Ask(foreign) error = %v", err)
+	}
+}
+
+func TestAskRetryRecoversFromDroppedRequests(t *testing.T) {
+	// Drop the first two echo requests deterministically; the third attempt
+	// succeeds.
+	var sent atomic.Int64
+	dropFirst2 := injectorFunc(func(op faults.Op) faults.Decision {
+		if op.Site == faults.SiteSend && op.Actor == "echo" {
+			if sent.Add(1) <= 2 {
+				return faults.Decision{Action: faults.ActDrop}
+			}
+		}
+		return faults.Decision{}
+	})
+	sys := NewSystem(Config{Injector: dropFirst2})
+	defer sys.Shutdown()
+	echo := sys.MustSpawn("echo", func(ctx *Context, msg any) { ctx.Reply(msg) })
+
+	got, err := AskRetry(sys, echo, "ping", RetryConfig{
+		Attempts: 5,
+		Timeout:  50 * time.Millisecond,
+		Backoff:  time.Millisecond,
+		Jitter:   0.2,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatalf("AskRetry error = %v", err)
+	}
+	if got != "ping" {
+		t.Fatalf("AskRetry reply = %v", got)
+	}
+	if sys.DeadLetters() < 2 {
+		t.Fatalf("deadletters = %d, want >= 2 (the dropped requests)", sys.DeadLetters())
+	}
+}
+
+// injectorFunc adapts a function to faults.Injector for tests.
+type injectorFunc func(faults.Op) faults.Decision
+
+func (f injectorFunc) Decide(op faults.Op) faults.Decision { return f(op) }
+
+func TestAskRetryExhaustsAttempts(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	blackhole := sys.MustSpawn("blackhole", func(ctx *Context, msg any) {})
+	_, err := AskRetry(sys, blackhole, "anyone?", RetryConfig{
+		Attempts: 3, Timeout: 5 * time.Millisecond, Backoff: time.Millisecond,
+	})
+	if !errors.Is(err, ErrAskTimeout) {
+		t.Fatalf("AskRetry error = %v, want wrapped ErrAskTimeout", err)
+	}
+}
+
+func TestAskRetryRespectsBudget(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	blackhole := sys.MustSpawn("blackhole", func(ctx *Context, msg any) {})
+	start := time.Now()
+	_, err := AskRetry(sys, blackhole, "anyone?", RetryConfig{
+		Attempts: 1000,
+		Timeout:  10 * time.Millisecond,
+		Backoff:  time.Millisecond,
+		Budget:   50 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if elapsed > time.Second {
+		t.Fatalf("AskRetry ran %v; budget of 50ms was not honored", elapsed)
+	}
+}
+
+func TestAskRetryFailsFastOnStoppedActor(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	target := sys.MustSpawn("target", func(ctx *Context, msg any) { ctx.Stop() })
+	target.Tell("die")
+	sys.Await(target)
+	start := time.Now()
+	_, err := AskRetry(sys, target, 1, RetryConfig{Attempts: 50, Timeout: time.Second, Backoff: time.Millisecond})
+	if !errors.Is(err, ErrActorStopped) {
+		t.Fatalf("error = %v, want ErrActorStopped", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("AskRetry should not retry a stopped actor")
+	}
+}

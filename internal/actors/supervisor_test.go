@@ -1,0 +1,262 @@
+package actors
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// collectEvents gathers lifecycle events thread-safely.
+type collectEvents struct {
+	mu  sync.Mutex
+	evs []LifecycleEvent
+}
+
+func (c *collectEvents) add(ev LifecycleEvent) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *collectEvents) count(k LifecycleKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.evs {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSupervisedPanicRestartsInPlace(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	var events collectEvents
+	sup := sys.Supervise("root", SupervisorSpec{
+		Strategy:    OneForOne,
+		MaxRestarts: 5,
+		OnEvent:     events.add,
+	})
+
+	// Counter state outside the factory survives restarts; the "fresh"
+	// marker inside it is reset by each factory call.
+	var processed atomic.Int64
+	worker := sup.MustSpawn("worker", func() Behavior {
+		fresh := true
+		return func(ctx *Context, msg any) {
+			if msg == "boom" {
+				panic("injected failure")
+			}
+			if fresh {
+				fresh = false
+			}
+			processed.Add(1)
+		}
+	})
+
+	worker.Tell("work")
+	worker.Tell("boom") // panics; supervisor restarts the same Ref
+	worker.Tell("work") // processed by the fresh behavior
+	deadline := time.Now().Add(2 * time.Second)
+	for processed.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("processed = %d, want 2 (restart did not preserve mailbox/Ref)", processed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sys.Alive(worker) {
+		t.Fatal("supervised worker should still be alive after a panic")
+	}
+	if got := events.count(LifecycleRestarted); got != 1 {
+		t.Fatalf("Restarted events = %d, want 1", got)
+	}
+	if sys.Restarts() != 1 {
+		t.Fatalf("system Restarts = %d, want 1", sys.Restarts())
+	}
+}
+
+func TestRestartBudgetEscalatesAndBackoffBounds(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	var events collectEvents
+	sup := sys.Supervise("root", SupervisorSpec{
+		Strategy:    OneForOne,
+		MaxRestarts: 3,
+		Backoff:     2 * time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		OnEvent:     events.add,
+	})
+	bomb := sup.MustSpawn("bomb", func() Behavior {
+		return func(ctx *Context, msg any) { panic("always") }
+	})
+
+	start := time.Now()
+	for i := 0; i < 4; i++ { // 3 restarts + 1 escalation
+		bomb.Tell(i)
+	}
+	sys.Await(bomb)
+	elapsed := time.Since(start)
+
+	if sys.Alive(bomb) {
+		t.Fatal("bomb should be stopped after exhausting its restart budget")
+	}
+	if got := events.count(LifecycleRestarted); got != 3 {
+		t.Fatalf("Restarted events = %d, want 3 (MaxRestarts)", got)
+	}
+	if got := events.count(LifecycleEscalated); got != 1 {
+		t.Fatalf("Escalated events = %d, want 1", got)
+	}
+	// Exponential backoff 2+4+8ms must have been slept through.
+	if elapsed < 14*time.Millisecond {
+		t.Fatalf("restarts completed in %v; backoff (2+4+8ms) was not applied", elapsed)
+	}
+	// Root supervisor: escalation with no parent leaves the child stopped.
+	if _, alive := sup.Child("bomb"); alive {
+		t.Fatal("escalated child should be marked dead")
+	}
+}
+
+func TestAllForOneRestartsSiblings(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	var events collectEvents
+	sup := sys.Supervise("root", SupervisorSpec{
+		Strategy:    AllForOne,
+		MaxRestarts: 2,
+		OnEvent:     events.add,
+	})
+	// The sibling's per-incarnation state is reset by a forced restart.
+	var siblingGen atomic.Int64
+	sibling := sup.MustSpawn("sibling", func() Behavior {
+		siblingGen.Add(1)
+		return func(ctx *Context, msg any) {}
+	})
+	bomb := sup.MustSpawn("bomb", func() Behavior {
+		return func(ctx *Context, msg any) {
+			if msg == "boom" {
+				panic("boom")
+			}
+		}
+	})
+
+	if siblingGen.Load() != 1 {
+		t.Fatalf("sibling factory calls = %d, want 1", siblingGen.Load())
+	}
+	bomb.Tell("boom")
+	deadline := time.Now().Add(2 * time.Second)
+	for siblingGen.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sibling factory calls = %d, want 2 (all-for-one should restart siblings)", siblingGen.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sys.Alive(sibling) || !sys.Alive(bomb) {
+		t.Fatal("both children should survive an all-for-one restart")
+	}
+	// 2 restarts total: the bomb (failure-driven) and the sibling (forced).
+	if got := events.count(LifecycleRestarted); got != 2 {
+		t.Fatalf("Restarted events = %d, want 2", got)
+	}
+}
+
+func TestEscalationToParentRespawnsGroup(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	var events collectEvents
+	root := sys.Supervise("root", SupervisorSpec{
+		Strategy:    OneForOne,
+		MaxRestarts: 2,
+		OnEvent:     events.add,
+	})
+	group, err := root.Subtree("group", SupervisorSpec{
+		Strategy:    OneForOne,
+		MaxRestarts: 1,
+		OnEvent:     events.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen atomic.Int64
+	bomb := group.MustSpawn("bomb", func() Behavior {
+		gen.Add(1)
+		return func(ctx *Context, msg any) {
+			if msg == "boom" {
+				panic("boom")
+			}
+		}
+	})
+	bomb.Tell("boom") // restart 1 (within group budget)
+	bomb.Tell("boom") // exhausts budget → escalate to root → group respawn
+	deadline := time.Now().Add(2 * time.Second)
+	for gen.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("factory generations = %d, want >= 3 (respawn after escalation)", gen.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// After escalation the child lives again under a fresh Ref.
+	fresh, alive := group.Child("bomb")
+	if !alive {
+		t.Fatal("escalated group should have respawned the bomb")
+	}
+	if fresh.id == bomb.id {
+		t.Fatal("respawned child should have a fresh Ref")
+	}
+	if got := events.count(LifecycleEscalated); got == 0 {
+		t.Fatal("expected an Escalated event")
+	}
+	if got := events.count(LifecycleStarted); got < 2 {
+		t.Fatalf("Started events = %d, want >= 2 (initial + respawn)", got)
+	}
+}
+
+func TestInjectedBehaviorPanicIsSupervised(t *testing.T) {
+	// Crash every 3rd message to the worker; supervision keeps it alive and
+	// the lost messages are exactly the crashed ones.
+	inj := faults.Count(faults.CrashOnNth(3, faults.All(
+		faults.AtSite(faults.SiteBehavior), faults.OnActor("worker"))))
+	sys := NewSystem(Config{Injector: inj})
+	defer sys.Shutdown()
+	sup := sys.Supervise("root", SupervisorSpec{MaxRestarts: 100})
+	var processed atomic.Int64
+	worker := sup.MustSpawn("worker", func() Behavior {
+		return func(ctx *Context, msg any) { processed.Add(1) }
+	})
+	const n = 30
+	for i := 0; i < n; i++ {
+		worker.Tell(i)
+	}
+	want := int64(n - n/3)
+	deadline := time.Now().Add(2 * time.Second)
+	for processed.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("processed = %d, want %d", processed.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sys.Alive(worker) {
+		t.Fatal("worker should survive injected panics under supervision")
+	}
+	if inj.Panics() != int64(n/3) {
+		t.Fatalf("injected panics = %d, want %d", inj.Panics(), n/3)
+	}
+	if sys.Panics() != int64(n/3) || sys.FaultsInjected() != int64(n/3) {
+		t.Fatalf("system counters: panics=%d faults=%d, want %d", sys.Panics(), sys.FaultsInjected(), n/3)
+	}
+}
+
+func TestDuplicateChildNameRejected(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	sup := sys.Supervise("root", SupervisorSpec{MaxRestarts: 1})
+	sup.MustSpawn("twin", func() Behavior { return func(ctx *Context, msg any) {} })
+	if _, err := sup.Spawn("twin", func() Behavior { return func(ctx *Context, msg any) {} }); !errors.Is(err, ErrDuplicateChild) {
+		t.Fatalf("duplicate spawn error = %v, want ErrDuplicateChild", err)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/trace"
 )
 
@@ -33,12 +35,21 @@ func (r *Ref) Name() string {
 
 func (r *Ref) String() string { return fmt.Sprintf("actor(%s#%d)", r.Name(), r.id) }
 
-// Tell sends msg to the actor asynchronously with no sender.
-func (r *Ref) Tell(msg any) { r.sys.deliver(r, Envelope{Msg: msg}) }
+// Tell sends msg to the actor asynchronously with no sender. Sends on a
+// Ref with no owning system (such as NoRecipient) are silently discarded.
+func (r *Ref) Tell(msg any) {
+	if r == nil || r.sys == nil {
+		return
+	}
+	r.sys.deliver(r, Envelope{Msg: msg})
+}
 
 // TellFrom sends msg recording sender, so the receiver's Context.Sender()
 // can reply.
 func (r *Ref) TellFrom(sender *Ref, msg any) {
+	if r == nil || r.sys == nil {
+		return
+	}
 	r.sys.deliver(r, Envelope{Msg: msg, Sender: sender})
 }
 
@@ -56,16 +67,35 @@ type Config struct {
 	// shutdown cannot deadlock.
 	MailboxCap int
 	// DeadLetter, when non-nil, receives messages sent to stopped actors.
+	// The to argument is never nil: a message that had no recipient at all
+	// (for example Context.Reply with no recorded sender) arrives addressed
+	// to the NoRecipient sentinel, so hooks may call to.Name() and friends
+	// unconditionally.
 	DeadLetter func(to *Ref, e Envelope)
 	// Recorder, when non-nil, records every send and receive with vector
 	// clocks, so delivered messages carry happened-before edges (Lamport's
 	// relation, the paper's reference [3]). Sends from outside any actor
 	// are attributed to the pseudo-task "external".
 	Recorder *trace.Recorder
-	// OnPanic, when non-nil, observes panics raised by behaviors. In all
-	// cases a panicking actor is terminated (its queued messages become
-	// deadletters) rather than crashing the process — minimal supervision.
+	// OnPanic, when non-nil, observes panics raised by behaviors
+	// (including injected ones). An unsupervised panicking actor is
+	// terminated (its queued messages become deadletters) rather than
+	// crashing the process; a supervised actor is handled by its
+	// supervisor's restart strategy (see Supervise).
 	OnPanic func(ref *Ref, recovered any)
+	// Injector, when non-nil, is consulted on the message path: at
+	// faults.SiteSend before a message is enqueued (ActDrop deadletters it,
+	// ActDelay stalls the sender), at faults.SiteReceive before a dequeued
+	// message is processed (ActDelay models a slow consumer), and at
+	// faults.SiteBehavior before the behavior runs (ActPanic crashes the
+	// actor instead of running the behavior, leaving state unmutated).
+	// Control messages (poison pills, restart directives) bypass injection
+	// so shutdown and supervision cannot be faulted away.
+	Injector faults.Injector
+	// OnLifecycle, when non-nil, observes supervision lifecycle events
+	// (Started, Restarted, Stopped, Escalated) for every supervised actor,
+	// in addition to any per-supervisor OnEvent hook.
+	OnLifecycle func(ev LifecycleEvent)
 }
 
 // System owns a set of actors and their mailboxes.
@@ -81,6 +111,8 @@ type System struct {
 	processed   atomic.Int64
 	traceSeq    atomic.Int64
 	panics      atomic.Int64
+	injected    atomic.Int64
+	restarts    atomic.Int64
 }
 
 // cell is the runtime state of one actor.
@@ -89,13 +121,38 @@ type cell struct {
 	mbox     *mailbox
 	behavior Behavior
 	done     chan struct{}
+
+	// Supervision state; nil/zero for unsupervised actors. factory rebuilds
+	// the initial behavior on restart; restarts counts panics survived.
+	sup      *Supervisor
+	factory  func() Behavior
+	restarts int
 }
 
 // stopMsg is the internal poison-pill control message.
 type stopMsg struct{}
 
+// restartMsg is the internal control message a supervisor uses to force a
+// sibling restart under the all-for-one strategy. Like stopMsg it bypasses
+// mailbox bounds and fault injection.
+type restartMsg struct{ reason any }
+
+// isControl reports whether msg is an internal control message.
+func isControl(msg any) bool {
+	switch msg.(type) {
+	case stopMsg, restartMsg:
+		return true
+	}
+	return false
+}
+
 // ErrSystemStopped is returned by Spawn after Shutdown.
 var ErrSystemStopped = errors.New("actors: system is shut down")
+
+// NoRecipient is the sentinel Ref handed to DeadLetter hooks for messages
+// that had no recipient at all (e.g. Context.Reply when no sender was
+// recorded). Sends on it are discarded; it belongs to no system.
+var NoRecipient = &Ref{name: "no-recipient"}
 
 // NewSystem creates an actor system with the given config.
 func NewSystem(cfg Config) *System {
@@ -108,6 +165,11 @@ func (s *System) Spawn(name string, b Behavior) (*Ref, error) {
 	if b == nil {
 		return nil, errors.New("actors: nil behavior")
 	}
+	return s.spawn(name, b, nil, nil)
+}
+
+// spawn creates the cell; sup/factory are non-nil for supervised actors.
+func (s *System) spawn(name string, b Behavior, sup *Supervisor, factory func() Behavior) (*Ref, error) {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -125,6 +187,8 @@ func (s *System) Spawn(name string, b Behavior) (*Ref, error) {
 		mbox:     newMailbox(perturb, s.cfg.MailboxCap),
 		behavior: b,
 		done:     make(chan struct{}),
+		sup:      sup,
+		factory:  factory,
 	}
 	s.actors[id] = c
 	s.wg.Add(1)
@@ -153,6 +217,9 @@ func (s *System) run(c *cell) {
 		for _, e := range c.mbox.close(true) {
 			s.deadletter(c.ref, e)
 		}
+		if c.sup != nil {
+			c.sup.childExited(c.ref)
+		}
 	}()
 	ctx := &Context{system: s, self: c.ref, cell: c}
 	for {
@@ -160,29 +227,70 @@ func (s *System) run(c *cell) {
 		if !ok {
 			return
 		}
-		if _, isStop := e.Msg.(stopMsg); isStop {
+		switch m := e.Msg.(type) {
+		case stopMsg:
+			s.emitStopped(c, nil)
 			return
+		case restartMsg:
+			// Forced restart (all-for-one sibling, or subtree restart on
+			// escalation). Takes effect after the messages that were queued
+			// ahead of it; it does not count against the child's own budget.
+			s.restart(c, m.reason)
+			continue
+		}
+		// Receive-site fault injection: a slow consumer stalls here, after
+		// dequeue and before processing.
+		if d := s.decide(faults.SiteReceive, c.ref.name, e.Msg); d.Action == faults.ActDelay {
+			s.recordFault(c.ref, faults.SiteReceive, e.Msg, d)
+			time.Sleep(d.Delay)
 		}
 		if s.cfg.Recorder != nil && e.traceID != "" {
 			s.cfg.Recorder.RecordReceive(c.ref.String(), e.traceID, fmt.Sprintf("%T", e.Msg))
 		}
 		ctx.sender = e.Sender
-		if s.invoke(c, ctx, e.Msg) {
-			return // behavior panicked: the actor dies, the process lives
+		var panicked bool
+		var reason any
+		if d := s.decide(faults.SiteBehavior, c.ref.name, e.Msg); d.Action == faults.ActPanic {
+			// Injected crash: the behavior never runs, so actor state is not
+			// half-mutated — the message is simply lost with the crash.
+			panicked = true
+			reason = faults.InjectedPanic{Op: faults.Op{
+				Site: faults.SiteBehavior, Actor: c.ref.name, Msg: fmt.Sprintf("%T", e.Msg),
+			}}
+			s.recordFault(c.ref, faults.SiteBehavior, e.Msg, d)
+			s.panics.Add(1)
+			if s.cfg.OnPanic != nil {
+				s.cfg.OnPanic(c.ref, reason)
+			}
+		} else {
+			panicked, reason = s.invoke(c, ctx, e.Msg)
+		}
+		if panicked {
+			if c.sup == nil {
+				// Unsupervised: the actor dies, the process lives.
+				s.emitStopped(c, reason)
+				return
+			}
+			if !s.superviseFailure(c, reason) {
+				return
+			}
+			continue
 		}
 		s.processed.Add(1)
 		if ctx.stopped {
+			s.emitStopped(c, nil)
 			return
 		}
 	}
 }
 
 // invoke runs one behavior call, trapping panics. It reports whether the
-// behavior panicked.
-func (s *System) invoke(c *cell, ctx *Context, msg any) (panicked bool) {
+// behavior panicked and with what value.
+func (s *System) invoke(c *cell, ctx *Context, msg any) (panicked bool, recovered any) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
+			recovered = r
 			s.panics.Add(1)
 			if s.cfg.OnPanic != nil {
 				s.cfg.OnPanic(c.ref, r)
@@ -190,27 +298,136 @@ func (s *System) invoke(c *cell, ctx *Context, msg any) (panicked bool) {
 		}
 	}()
 	c.behavior(ctx, msg)
-	return false
+	return false, nil
 }
 
-func (s *System) deliver(to *Ref, e Envelope) {
+// superviseFailure consults the cell's supervisor about a panic and applies
+// the directive in the actor's own goroutine (so backoff sleeps never block
+// the supervisor or siblings). It reports whether the actor keeps running.
+func (s *System) superviseFailure(c *cell, reason any) bool {
+	restart, delay := c.sup.onChildFailure(c.ref, reason)
+	if !restart {
+		s.emitStopped(c, reason)
+		return false
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	s.restart(c, reason)
+	return true
+}
+
+// restart resets the cell's behavior from its factory and emits the
+// Restarted lifecycle event. The Ref and mailbox survive: queued messages
+// are processed by the fresh behavior.
+func (s *System) restart(c *cell, reason any) {
+	if c.factory != nil {
+		c.behavior = c.factory()
+	}
+	c.restarts++
+	s.restarts.Add(1)
+	s.emitLifecycle(c.sup, LifecycleEvent{
+		Kind: LifecycleRestarted, Ref: c.ref, Reason: reason, Restarts: c.restarts,
+	})
+}
+
+// emitStopped emits the Stopped lifecycle event for a terminating actor.
+func (s *System) emitStopped(c *cell, reason any) {
+	s.emitLifecycle(c.sup, LifecycleEvent{Kind: LifecycleStopped, Ref: c.ref, Reason: reason})
+}
+
+// emitLifecycle fans a lifecycle event out to the supervisor's OnEvent hook,
+// the system-wide OnLifecycle hook, and the trace recorder.
+func (s *System) emitLifecycle(sup *Supervisor, ev LifecycleEvent) {
+	if sup != nil {
+		ev.Supervisor = sup.name
+		if sup.spec.OnEvent != nil {
+			sup.spec.OnEvent(ev)
+		}
+	}
+	if s.cfg.OnLifecycle != nil {
+		s.cfg.OnLifecycle(ev)
+	}
+	// Only supervised actors add lifecycle events to the trace: an
+	// unsupervised actor's exit is causally unrelated to other tasks, and
+	// recording it would pollute happened-before analyses of pure
+	// message-passing protocols.
+	if s.cfg.Recorder != nil && sup != nil {
+		kind := trace.KindExit
+		switch ev.Kind {
+		case LifecycleStarted:
+			kind = trace.KindSpawn
+		case LifecycleRestarted:
+			kind = trace.KindRestart
+		case LifecycleEscalated:
+			kind = trace.KindFault
+		}
+		s.cfg.Recorder.Record(ev.Ref.String(), kind, ev.Supervisor, ev.Kind.String())
+	}
+}
+
+// decide consults the configured injector for one operation.
+func (s *System) decide(site faults.Site, actor string, msg any) faults.Decision {
+	if s.cfg.Injector == nil {
+		return faults.Decision{}
+	}
+	return s.cfg.Injector.Decide(faults.Op{Site: site, Actor: actor, Msg: fmt.Sprintf("%T", msg)})
+}
+
+// recordFault counts an injected fault and records it in the trace.
+func (s *System) recordFault(ref *Ref, site faults.Site, msg any, d faults.Decision) {
+	s.injected.Add(1)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Record(ref.String(), trace.KindFault, string(site),
+			fmt.Sprintf("%s %T", d.Action, msg))
+	}
+}
+
+// deliverStatus reports what became of a send.
+type deliverStatus int
+
+const (
+	// statusDelivered: the message was enqueued.
+	statusDelivered deliverStatus = iota
+	// statusDropped: a fault injector discarded the message (deadlettered).
+	statusDropped
+	// statusDead: the target is stopped, foreign, or nil (deadlettered).
+	statusDead
+)
+
+func (s *System) deliver(to *Ref, e Envelope) { s.send(to, e) }
+
+// send delivers an envelope and reports what happened, so synchronous
+// bridges like Ask can fail fast on dead targets.
+func (s *System) send(to *Ref, e Envelope) deliverStatus {
 	if to == nil || to.sys != s {
 		s.deadletter(to, e)
-		return
+		return statusDead
 	}
-	if s.cfg.Recorder != nil {
-		if _, isStop := e.Msg.(stopMsg); !isStop {
-			e.traceID = fmt.Sprintf("%s#%d", to.String(), s.traceSeq.Add(1))
-			s.cfg.Recorder.RecordSend(senderName(e.Sender), e.traceID, fmt.Sprintf("%T", e.Msg))
+	ctrl := isControl(e.Msg)
+	if !ctrl {
+		switch d := s.decide(faults.SiteSend, to.name, e.Msg); d.Action {
+		case faults.ActDrop:
+			s.recordFault(to, faults.SiteSend, e.Msg, d)
+			s.deadletter(to, e)
+			return statusDropped
+		case faults.ActDelay:
+			s.recordFault(to, faults.SiteSend, e.Msg, d)
+			time.Sleep(d.Delay)
 		}
+	}
+	if s.cfg.Recorder != nil && !ctrl {
+		e.traceID = fmt.Sprintf("%s#%d", to.String(), s.traceSeq.Add(1))
+		s.cfg.Recorder.RecordSend(senderName(e.Sender), e.traceID, fmt.Sprintf("%T", e.Msg))
 	}
 	s.mu.Lock()
 	c, ok := s.actors[to.id]
 	s.mu.Unlock()
-	_, isControl := e.Msg.(stopMsg)
-	if !ok || !c.mbox.put(e, isControl) {
+	if !ok || !c.mbox.put(e, ctrl) {
 		s.deadletter(to, e)
+		return statusDead
 	}
+	return statusDelivered
 }
 
 func senderName(r *Ref) string {
@@ -223,6 +440,11 @@ func senderName(r *Ref) string {
 func (s *System) deadletter(to *Ref, e Envelope) {
 	s.deadletters.Add(1)
 	if s.cfg.DeadLetter != nil {
+		if to == nil {
+			// Never hand user hooks a nil receiver: a message with no
+			// recipient at all is addressed to the NoRecipient sentinel.
+			to = NoRecipient
+		}
 		s.cfg.DeadLetter(to, e)
 	}
 }
@@ -267,8 +489,17 @@ func (s *System) Processed() int64 { return s.processed.Load() }
 // DeadLetters returns the count of undeliverable messages.
 func (s *System) DeadLetters() int64 { return s.deadletters.Load() }
 
-// Panics returns the count of behavior panics trapped by the system.
+// Panics returns the count of behavior panics trapped by the system,
+// injected ones included.
 func (s *System) Panics() int64 { return s.panics.Load() }
+
+// FaultsInjected returns the count of faults the configured injector has
+// applied (drops, delays, and panics across all sites).
+func (s *System) FaultsInjected() int64 { return s.injected.Load() }
+
+// Restarts returns the count of supervised actor restarts (including forced
+// all-for-one sibling restarts).
+func (s *System) Restarts() int64 { return s.restarts.Load() }
 
 // Shutdown stops every actor (poison pill after queued messages) and waits
 // for all of them to terminate. The system accepts no further Spawns.

@@ -153,8 +153,26 @@ func (c *Coroutine) run() {
 			c.out <- message{err: PanicError{Value: r}}
 		}
 	}()
+	if k, ok := in.(killSignal); ok {
+		panic(k.reason)
+	}
 	ret := c.body(y, in)
 	c.out <- message{val: ret, done: true}
+}
+
+// killSignal is a poison resume value: when a suspended coroutine receives
+// it, the panic is raised *inside* the coroutine body at its current yield
+// point, so deferred cleanup runs and the coroutine dies cleanly (its
+// goroutine exits) instead of leaking parked on the resume channel.
+type killSignal struct{ reason any }
+
+// Kill resumes the coroutine with a poison value that panics inside the
+// body with the given reason. The resulting PanicError (wrapping reason) is
+// returned; the coroutine is dead afterwards. Killing an unstarted
+// coroutine starts and immediately fails it.
+func (c *Coroutine) Kill(reason any) error {
+	_, _, err := c.Resume(killSignal{reason: reason})
+	return err
 }
 
 // Yielder is the in-coroutine capability to suspend. It is only valid
@@ -165,7 +183,11 @@ type Yielder struct{ c *Coroutine }
 // blocks until resumed again; it returns the value passed to that Resume.
 func (y *Yielder) Yield(v any) any {
 	y.c.out <- message{val: v}
-	return <-y.c.in
+	in := <-y.c.in
+	if k, ok := in.(killSignal); ok {
+		panic(k.reason)
+	}
+	return in
 }
 
 // Drain runs the coroutine to completion from its current state, collecting

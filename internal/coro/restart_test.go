@@ -1,0 +1,188 @@
+package coro
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestKillRunsDeferredCleanup(t *testing.T) {
+	cleaned := false
+	c := New(func(y *Yielder, _ any) any {
+		defer func() { cleaned = true }()
+		y.Yield(1)
+		y.Yield(2)
+		return nil
+	})
+	if _, _, err := c.Resume(nil); err != nil {
+		t.Fatalf("first resume: %v", err)
+	}
+	err := c.Kill("injected")
+	var pe PanicError
+	if !errors.As(err, &pe) || pe.Value != "injected" {
+		t.Fatalf("Kill error = %v, want PanicError{injected}", err)
+	}
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run inside the killed coroutine")
+	}
+	if c.Status() != StatusDead {
+		t.Fatalf("status = %v, want dead", c.Status())
+	}
+}
+
+func TestGoRestartableRecoversFromPanic(t *testing.T) {
+	s := NewScheduler()
+	attempts := 0 // external state: survives restarts
+	var finished bool
+	task := s.GoRestartable("flaky", 3, func(tc *TaskCtl) {
+		attempts++
+		tc.Pause()
+		if attempts < 3 {
+			panic("transient failure")
+		}
+		finished = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run = %v; restarts should have absorbed the panics", err)
+	}
+	if !finished {
+		t.Fatal("task never completed")
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (body restarts from the top)", attempts)
+	}
+	if task.Restarts() != 2 || s.Restarts() != 2 {
+		t.Fatalf("restarts = task %d / sched %d, want 2 / 2", task.Restarts(), s.Restarts())
+	}
+	if task.Err() == nil {
+		t.Fatal("last panic should stay on record after recovery")
+	}
+}
+
+func TestRestartBudgetExhaustedStopsTask(t *testing.T) {
+	s := NewScheduler()
+	runs := 0
+	s.GoRestartable("doomed", 2, func(tc *TaskCtl) {
+		runs++
+		panic("always")
+	})
+	err := s.Run()
+	var pe PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run = %v, want PanicError after budget exhaustion", err)
+	}
+	if runs != 3 {
+		t.Fatalf("runs = %d, want 3 (initial + 2 restarts)", runs)
+	}
+}
+
+func TestContinueOnPanicAggregatesErrors(t *testing.T) {
+	s := NewScheduler()
+	s.ContinueOnPanic = true
+	var observed []string
+	s.OnTaskPanic = func(t *Task, err error) { observed = append(observed, t.Name()) }
+	survivorSteps := 0
+	s.Go("bad-a", func(tc *TaskCtl) { tc.Pause(); panic("a") })
+	s.Go("bad-b", func(tc *TaskCtl) { tc.Pause(); tc.Pause(); panic("b") })
+	s.Go("survivor", func(tc *TaskCtl) {
+		for i := 0; i < 5; i++ {
+			survivorSteps++
+			tc.Pause()
+		}
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("Run should report the collected panics")
+	}
+	var pe PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("joined error %v does not expose a PanicError", err)
+	}
+	if survivorSteps != 5 {
+		t.Fatalf("survivor ran %d steps; panics in siblings must not abort it", survivorSteps)
+	}
+	if len(observed) != 2 {
+		t.Fatalf("OnTaskPanic saw %v, want both failing tasks", observed)
+	}
+}
+
+func TestInjectedResumePanicFlowsThroughRestartPolicy(t *testing.T) {
+	s := NewScheduler()
+	inj := faults.Count(faults.CrashOnNth(4, faults.OnActor("worker")))
+	s.SetInjector(inj)
+	work := 0
+	s.GoRestartable("worker", 5, func(tc *TaskCtl) {
+		for work < 10 {
+			work++
+			tc.Pause()
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if work != 10 {
+		t.Fatalf("work = %d, want 10 (restarts resume external progress)", work)
+	}
+	if inj.Panics() == 0 {
+		t.Fatal("injector never fired")
+	}
+	if s.Restarts() != int(inj.Panics()) {
+		t.Fatalf("restarts = %d, injected panics = %d; every injected kill should restart",
+			s.Restarts(), inj.Panics())
+	}
+	if s.FaultsInjected() != int(inj.Panics()) {
+		t.Fatalf("FaultsInjected = %d, want %d", s.FaultsInjected(), inj.Panics())
+	}
+	// The injected reason is identifiable on the task record.
+	var ip faults.InjectedPanic
+	var pe PanicError
+	for _, task := range s.tasks {
+		if task.Err() != nil && errors.As(task.Err(), &pe) {
+			if v, ok := pe.Value.(faults.InjectedPanic); ok {
+				ip = v
+			}
+		}
+	}
+	if ip.Op.Site != faults.SiteResume || ip.Op.Actor != "worker" {
+		t.Fatalf("injected panic op = %+v", ip.Op)
+	}
+}
+
+func TestInjectedDropSkipsRoundsWithoutDeadlock(t *testing.T) {
+	s := NewScheduler()
+	// Drop ~40% of resumes of "slow"; the task must still finish and the
+	// skipped rounds must not be misread as a cooperative deadlock.
+	s.SetInjector(faults.Drop(99, 0.4, faults.All(
+		faults.AtSite(faults.SiteResume), faults.OnActor("slow"))))
+	steps := 0
+	s.Go("slow", func(tc *TaskCtl) {
+		for i := 0; i < 20; i++ {
+			steps++
+			tc.Pause()
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if steps != 20 {
+		t.Fatalf("steps = %d, want 20", steps)
+	}
+	if s.FaultsInjected() == 0 {
+		t.Fatal("drop policy never fired")
+	}
+}
+
+func TestInjectedResumeDelayStallsScheduler(t *testing.T) {
+	s := NewScheduler()
+	s.SetInjector(faults.Delay(1, 1.0, 2*time.Millisecond, faults.AtSite(faults.SiteResume)))
+	s.Go("t", func(tc *TaskCtl) { tc.Pause() })
+	start := time.Now()
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("delay policy did not stall the resume")
+	}
+}

@@ -3,6 +3,9 @@ package coro
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"repro/internal/faults"
 )
 
 // Scheduler is a cooperative round-robin scheduler over coroutine tasks —
@@ -12,8 +15,21 @@ import (
 // locks; that freedom from data races (at the cost of explicit scheduling
 // points) is the coroutine model's trade-off the course examines.
 type Scheduler struct {
-	tasks   []*Task
-	running bool
+	// ContinueOnPanic keeps Run going when an unrestartable task panics:
+	// the task is marked done with its error and the remaining tasks keep
+	// running. Run then returns the joined panic errors at the end instead
+	// of aborting on the first one.
+	ContinueOnPanic bool
+	// OnTaskPanic, when set, observes every task panic (before any restart
+	// decision). It runs on the scheduler goroutine between task steps.
+	OnTaskPanic func(t *Task, err error)
+
+	tasks    []*Task
+	running  bool
+	inj      faults.Injector
+	restarts int
+	injected int
+	panics   []error
 }
 
 // Task is a cooperative task managed by a Scheduler.
@@ -24,6 +40,11 @@ type Task struct {
 	blocked func() bool
 	done    bool
 	err     error
+	// Restart policy (GoRestartable): body is kept to rebuild the coroutine
+	// after a panic, up to maxRestarts times.
+	body        func(tc *TaskCtl)
+	maxRestarts int
+	restarts    int
 }
 
 // Name returns the task's name.
@@ -32,8 +53,12 @@ func (t *Task) Name() string { return t.name }
 // Done reports whether the task's body has returned.
 func (t *Task) Done() bool { return t.done }
 
-// Err returns the task's panic error, if its body panicked.
+// Err returns the task's most recent panic error, if its body panicked.
+// A restarted task keeps the last panic on record even while running again.
 func (t *Task) Err() error { return t.err }
+
+// Restarts returns how many times the task has been restarted after panics.
+func (t *Task) Restarts() int { return t.restarts }
 
 // TaskCtl is passed to task bodies to yield control.
 type TaskCtl struct {
@@ -77,27 +102,64 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 
 // Go registers a task. Tasks may be added before Run or by a running task.
 func (s *Scheduler) Go(name string, body func(tc *TaskCtl)) *Task {
-	t := &Task{name: name}
+	t := &Task{name: name, body: body}
+	t.rebuild()
+	s.tasks = append(s.tasks, t)
+	return t
+}
+
+// GoRestartable registers a task with a restart policy: if its body panics
+// (or a fault injector kills it at a resume point), the scheduler rebuilds
+// the coroutine from body and runs it again from the top, up to maxRestarts
+// times. The body restarts from its beginning — any state it must survive
+// a restart has to live outside the body (the same contract as a supervised
+// actor's external state).
+func (s *Scheduler) GoRestartable(name string, maxRestarts int, body func(tc *TaskCtl)) *Task {
+	t := s.Go(name, body)
+	t.maxRestarts = maxRestarts
+	return t
+}
+
+// rebuild creates a fresh coroutine from the task's stored body, clearing
+// any blocked predicate from the previous incarnation.
+func (t *Task) rebuild() {
+	body := t.body
 	t.co = New(func(y *Yielder, _ any) any {
 		body(&TaskCtl{y: y, t: t})
 		return nil
 	})
-	s.tasks = append(s.tasks, t)
-	return t
+	t.blocked = nil
 }
+
+// SetInjector installs a fault injector consulted at faults.SiteResume
+// (with the task's name as Op.Actor) before every resume. ActDelay stalls
+// the scheduler; ActDrop skips the task for one round; ActPanic kills the
+// task at its current yield point as if its body had panicked — which then
+// flows through the task's restart policy like any real panic.
+func (s *Scheduler) SetInjector(inj faults.Injector) { s.inj = inj }
+
+// Restarts returns the total number of task restarts performed by Run.
+func (s *Scheduler) Restarts() int { return s.restarts }
+
+// FaultsInjected returns how many injector decisions (delays, drops,
+// panics) Run has acted on.
+func (s *Scheduler) FaultsInjected() int { return s.injected }
 
 // Len returns the number of registered tasks (finished ones included until
 // the next Run sweeps them).
 func (s *Scheduler) Len() int { return len(s.tasks) }
 
 // Run drives all tasks round-robin until every task completes. It returns
-// DeadlockError if all remaining tasks are blocked, or the first task
-// panic as a PanicError.
+// DeadlockError if all remaining tasks are blocked. A task panic restarts
+// the task if it has restart budget (GoRestartable); otherwise Run returns
+// the PanicError immediately — or, with ContinueOnPanic, records it, keeps
+// the other tasks running, and returns the joined errors at the end.
 func (s *Scheduler) Run() error {
 	if s.running {
 		return errors.New("coro: scheduler already running")
 	}
 	s.running = true
+	s.panics = nil
 	defer func() { s.running = false }()
 	for {
 		live := 0
@@ -115,11 +177,42 @@ func (s *Scheduler) Run() error {
 				}
 				t.blocked = nil
 			}
-			_, done, err := t.co.Resume(nil)
+			var resumeVal any
+			if s.inj != nil {
+				op := faults.Op{Site: faults.SiteResume, Actor: t.name}
+				switch d := s.inj.Decide(op); d.Action {
+				case faults.ActDelay:
+					s.injected++
+					time.Sleep(d.Delay)
+				case faults.ActDrop:
+					// Skip this task for one round. Counts as progress so a
+					// drop-heavy round is not mistaken for a deadlock.
+					s.injected++
+					progressed = true
+					continue
+				case faults.ActPanic:
+					s.injected++
+					resumeVal = killSignal{reason: faults.InjectedPanic{Op: op}}
+				}
+			}
+			_, done, err := t.co.Resume(resumeVal)
 			progressed = true
 			if err != nil {
-				t.done = true
 				t.err = err
+				if s.OnTaskPanic != nil {
+					s.OnTaskPanic(t, err)
+				}
+				if t.restarts < t.maxRestarts {
+					t.restarts++
+					s.restarts++
+					t.rebuild()
+					continue
+				}
+				t.done = true
+				if s.ContinueOnPanic {
+					s.panics = append(s.panics, fmt.Errorf("coro: task %q: %w", t.name, err))
+					continue
+				}
 				return err
 			}
 			if done {
@@ -127,7 +220,7 @@ func (s *Scheduler) Run() error {
 			}
 		}
 		if live == 0 {
-			return nil
+			return errors.Join(s.panics...)
 		}
 		if !progressed {
 			var blocked []string

@@ -1,0 +1,340 @@
+// Package faults is a deterministic, seedable fault-injection harness for
+// the three concurrency runtimes. The paper's course is ultimately about how
+// concurrent programs fail — deadlock, lost wakeups, lost messages — and the
+// misconception catalog (Table III) is a catalog of latent faults. This
+// package makes those faults first-class and reproducible: an Injector is
+// consulted at instrumented operation sites (message send, message receive,
+// behavior invocation, lock entry, coroutine resume) and decides whether the
+// operation proceeds normally, is delayed, is dropped, or panics.
+//
+// All policies are deterministic for a fixed seed and operation sequence, so
+// a chaos run that fails can be replayed exactly. Policies carry their own
+// counters, so "crash on the Nth matching operation" means the Nth operation
+// *that policy has matched*, independent of other policies in a Chain.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site identifies an instrumented operation site in a runtime.
+type Site string
+
+// The sites the runtimes consult an Injector at.
+const (
+	// SiteSend: a message is about to be enqueued into a mailbox
+	// (internal/actors). Drop makes it a deadletter; Delay stalls the
+	// sender.
+	SiteSend Site = "send"
+	// SiteReceive: a message was dequeued and is about to be processed
+	// (internal/actors). Delay models a slow consumer.
+	SiteReceive Site = "receive"
+	// SiteBehavior: an actor behavior is about to run (internal/actors).
+	// Panic crashes the actor *instead of* running the behavior, so actor
+	// state is never left half-mutated — the message is simply lost.
+	SiteBehavior Site = "behavior"
+	// SiteLock: a monitor is about to be acquired (internal/threads).
+	// Delay models lock-path contention.
+	SiteLock Site = "lock"
+	// SiteResume: a cooperative task is about to be resumed
+	// (internal/coro). Panic crashes the task at the scheduling point;
+	// Drop skips the task for one round (starvation injection).
+	SiteResume Site = "resume"
+)
+
+// Op describes one operation presented to an Injector.
+type Op struct {
+	Site  Site
+	Actor string // target actor / task / monitor identity
+	Msg   string // message or operation detail (e.g. Go type of the message)
+}
+
+func (o Op) String() string { return fmt.Sprintf("%s %s %s", o.Site, o.Actor, o.Msg) }
+
+// Action is what an Injector tells the runtime to do with an operation.
+type Action int
+
+const (
+	// ActNone: proceed normally.
+	ActNone Action = iota
+	// ActDelay: proceed after Decision.Delay.
+	ActDelay
+	// ActDrop: discard the operation (lost message / skipped resume).
+	ActDrop
+	// ActPanic: crash the executing entity with an InjectedPanic.
+	ActPanic
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActDelay:
+		return "delay"
+	case ActDrop:
+		return "drop"
+	case ActPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Decision is an Injector's verdict for one operation.
+type Decision struct {
+	Action Action
+	Delay  time.Duration // meaningful when Action == ActDelay
+}
+
+// Injector decides, per operation, whether to inject a fault. Implementations
+// must be safe for concurrent use: runtimes consult them from many
+// goroutines.
+type Injector interface {
+	Decide(op Op) Decision
+}
+
+// InjectedPanic is the value thrown when an injector decides ActPanic, so
+// handlers can distinguish injected crashes from genuine bugs.
+type InjectedPanic struct{ Op Op }
+
+func (p InjectedPanic) Error() string { return fmt.Sprintf("faults: injected panic at %s", p.Op) }
+
+// Matcher selects the operations a policy applies to. A nil Matcher matches
+// everything.
+type Matcher func(Op) bool
+
+// AtSite matches operations at the given site.
+func AtSite(s Site) Matcher { return func(op Op) bool { return op.Site == s } }
+
+// OnActor matches operations targeting the named actor/task/monitor.
+func OnActor(name string) Matcher { return func(op Op) bool { return op.Actor == name } }
+
+// MsgType matches operations whose Msg detail equals t (for actors this is
+// the Go type of the message, e.g. "boundedbuffer.putMsg").
+func MsgType(t string) Matcher { return func(op Op) bool { return op.Msg == t } }
+
+// All combines matchers conjunctively.
+func All(ms ...Matcher) Matcher {
+	return func(op Op) bool {
+		for _, m := range ms {
+			if m != nil && !m(op) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// None is the no-fault injector.
+type None struct{}
+
+// Decide always reports ActNone.
+func (None) Decide(Op) Decision { return Decision{} }
+
+// policy is the shared machinery: a matcher plus a per-policy counter of
+// matched operations (1-based), optionally with a seeded RNG.
+type policy struct {
+	match Matcher
+	n     atomic.Int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// hit reports whether op matches and, if so, the 1-based count of matched
+// operations so far.
+func (p *policy) hit(op Op) (int64, bool) {
+	if p.match != nil && !p.match(op) {
+		return 0, false
+	}
+	return p.n.Add(1), true
+}
+
+// roll draws a uniform float in [0,1) from the policy's seeded RNG.
+func (p *policy) roll() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}
+
+type dropPolicy struct {
+	policy
+	prob float64
+}
+
+// Drop returns an injector that discards each matching operation with
+// probability prob, deterministically for a fixed seed and op sequence.
+func Drop(seed int64, prob float64, match Matcher) Injector {
+	return &dropPolicy{policy: policy{match: match, rng: rand.New(rand.NewSource(seed))}, prob: prob}
+}
+
+func (d *dropPolicy) Decide(op Op) Decision {
+	if _, ok := d.hit(op); !ok {
+		return Decision{}
+	}
+	if d.roll() < d.prob {
+		return Decision{Action: ActDrop}
+	}
+	return Decision{}
+}
+
+type delayPolicy struct {
+	policy
+	prob float64
+	d    time.Duration
+}
+
+// Delay returns an injector that delays each matching operation by up to d
+// (uniformly drawn) with probability prob.
+func Delay(seed int64, prob float64, d time.Duration, match Matcher) Injector {
+	return &delayPolicy{policy: policy{match: match, rng: rand.New(rand.NewSource(seed))}, prob: prob, d: d}
+}
+
+func (p *delayPolicy) Decide(op Op) Decision {
+	if _, ok := p.hit(op); !ok {
+		return Decision{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng.Float64() >= p.prob {
+		return Decision{}
+	}
+	return Decision{Action: ActDelay, Delay: time.Duration(p.rng.Int63n(int64(p.d) + 1))}
+}
+
+type panicPolicy struct {
+	policy
+	prob float64
+}
+
+// Panic returns an injector that crashes each matching operation with
+// probability prob.
+func Panic(seed int64, prob float64, match Matcher) Injector {
+	return &panicPolicy{policy: policy{match: match, rng: rand.New(rand.NewSource(seed))}, prob: prob}
+}
+
+func (p *panicPolicy) Decide(op Op) Decision {
+	if _, ok := p.hit(op); !ok {
+		return Decision{}
+	}
+	if p.roll() < p.prob {
+		return Decision{Action: ActPanic}
+	}
+	return Decision{}
+}
+
+type crashOnNth struct {
+	policy
+	every int64
+}
+
+// CrashOnNth returns an injector that crashes exactly the every-th matching
+// operation, then every multiple of it (operations every, 2·every, ...).
+// It is fully deterministic: no randomness, only the match count.
+func CrashOnNth(every int64, match Matcher) Injector {
+	if every <= 0 {
+		every = 1
+	}
+	return &crashOnNth{policy: policy{match: match}, every: every}
+}
+
+func (c *crashOnNth) Decide(op Op) Decision {
+	n, ok := c.hit(op)
+	if !ok {
+		return Decision{}
+	}
+	if n%c.every == 0 {
+		return Decision{Action: ActPanic}
+	}
+	return Decision{}
+}
+
+type slowConsumer struct {
+	policy
+	every int64
+	d     time.Duration
+}
+
+// SlowConsumer returns an injector that delays every every-th matching
+// receive-site operation by d, modeling a consumer that periodically stalls.
+// The matcher is combined with AtSite(SiteReceive).
+func SlowConsumer(every int64, d time.Duration, match Matcher) Injector {
+	if every <= 0 {
+		every = 1
+	}
+	return &slowConsumer{policy: policy{match: All(AtSite(SiteReceive), match)}, every: every, d: d}
+}
+
+func (s *slowConsumer) Decide(op Op) Decision {
+	n, ok := s.hit(op)
+	if !ok {
+		return Decision{}
+	}
+	if n%s.every == 0 {
+		return Decision{Action: ActDelay, Delay: s.d}
+	}
+	return Decision{}
+}
+
+// Chain consults injectors in order and returns the first non-ActNone
+// decision. Every injector sees every operation (so per-policy counters
+// advance uniformly even when an earlier policy fires).
+func Chain(injs ...Injector) Injector { return chain(injs) }
+
+type chain []Injector
+
+func (c chain) Decide(op Op) Decision {
+	out := Decision{}
+	for _, in := range c {
+		if in == nil {
+			continue
+		}
+		d := in.Decide(op)
+		if out.Action == ActNone && d.Action != ActNone {
+			out = d
+		}
+	}
+	return out
+}
+
+// Counter wraps an injector and counts the decisions it hands out, for
+// accounting invariants in tests ("dropped + delivered == sent").
+type Counter struct {
+	in                           Injector
+	none, delays, drops, panics_ atomic.Int64
+}
+
+// Count wraps in with a decision counter.
+func Count(in Injector) *Counter { return &Counter{in: in} }
+
+// Decide delegates to the wrapped injector and tallies the outcome.
+func (c *Counter) Decide(op Op) Decision {
+	d := c.in.Decide(op)
+	switch d.Action {
+	case ActDelay:
+		c.delays.Add(1)
+	case ActDrop:
+		c.drops.Add(1)
+	case ActPanic:
+		c.panics_.Add(1)
+	default:
+		c.none.Add(1)
+	}
+	return d
+}
+
+// Clean returns the number of operations that passed through unfaulted.
+func (c *Counter) Clean() int64 { return c.none.Load() }
+
+// Delays returns the number of injected delays.
+func (c *Counter) Delays() int64 { return c.delays.Load() }
+
+// Drops returns the number of injected drops.
+func (c *Counter) Drops() int64 { return c.drops.Load() }
+
+// Panics returns the number of injected panics.
+func (c *Counter) Panics() int64 { return c.panics_.Load() }

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCrashOnNthIsDeterministic(t *testing.T) {
+	inj := CrashOnNth(3, AtSite(SiteBehavior))
+	var got []int
+	for i := 1; i <= 10; i++ {
+		d := inj.Decide(Op{Site: SiteBehavior, Actor: "a"})
+		if d.Action == ActPanic {
+			got = append(got, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("panics at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("panics at %v, want %v", got, want)
+		}
+	}
+	// Non-matching sites do not advance the counter.
+	inj2 := CrashOnNth(2, AtSite(SiteBehavior))
+	inj2.Decide(Op{Site: SiteSend})
+	inj2.Decide(Op{Site: SiteBehavior})
+	if d := inj2.Decide(Op{Site: SiteBehavior}); d.Action != ActPanic {
+		t.Fatal("second matching op should panic despite interleaved non-matching ops")
+	}
+}
+
+func TestSeededPoliciesReplayExactly(t *testing.T) {
+	run := func() []Action {
+		inj := Chain(
+			Drop(7, 0.3, AtSite(SiteSend)),
+			Delay(11, 0.5, time.Millisecond, AtSite(SiteReceive)),
+			Panic(13, 0.2, AtSite(SiteBehavior)),
+		)
+		var out []Action
+		sites := []Site{SiteSend, SiteReceive, SiteBehavior}
+		for i := 0; i < 60; i++ {
+			out = append(out, inj.Decide(Op{Site: sites[i%3], Actor: "x"}).Action)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical seeded runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must eventually diverge.
+	inj := Drop(99, 0.3, nil)
+	diverged := false
+	ref := Drop(7, 0.3, nil)
+	for i := 0; i < 200; i++ {
+		if inj.Decide(Op{}).Action != ref.Decide(Op{}).Action {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 200-op decision streams")
+	}
+}
+
+func TestSlowConsumerFiresEveryNthReceive(t *testing.T) {
+	inj := SlowConsumer(4, 2*time.Millisecond, nil)
+	fired := 0
+	for i := 0; i < 12; i++ {
+		// Sends never match, receives count.
+		if d := inj.Decide(Op{Site: SiteSend}); d.Action != ActNone {
+			t.Fatal("slow-consumer fired at a send site")
+		}
+		d := inj.Decide(Op{Site: SiteReceive})
+		if d.Action == ActDelay {
+			if d.Delay != 2*time.Millisecond {
+				t.Fatalf("delay = %v", d.Delay)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times over 12 receives with every=4, want 3", fired)
+	}
+}
+
+func TestChainFirstDecisionWinsButAllCountersAdvance(t *testing.T) {
+	first := CrashOnNth(1, nil)  // fires on every op
+	second := CrashOnNth(2, nil) // would fire on every 2nd
+	c := Count(Chain(first, second))
+	d := c.Decide(Op{})
+	if d.Action != ActPanic {
+		t.Fatalf("chained decision = %v", d.Action)
+	}
+	// second's counter advanced even though first won: its 2nd match fires.
+	if d := second.Decide(Op{}); d.Action != ActPanic {
+		t.Fatal("later chain members should still see every op")
+	}
+	if c.Panics() != 1 || c.Clean() != 0 {
+		t.Fatalf("counter: panics=%d clean=%d", c.Panics(), c.Clean())
+	}
+}
+
+func TestMatchers(t *testing.T) {
+	m := All(AtSite(SiteSend), OnActor("buffer"), MsgType("pkg.putMsg"))
+	if !m(Op{Site: SiteSend, Actor: "buffer", Msg: "pkg.putMsg"}) {
+		t.Fatal("full match failed")
+	}
+	if m(Op{Site: SiteSend, Actor: "buffer", Msg: "pkg.getMsg"}) {
+		t.Fatal("wrong msg type matched")
+	}
+	if m(Op{Site: SiteReceive, Actor: "buffer", Msg: "pkg.putMsg"}) {
+		t.Fatal("wrong site matched")
+	}
+}

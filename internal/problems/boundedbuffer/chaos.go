@@ -1,0 +1,238 @@
+package boundedbuffer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// ChaosSpec returns the registry entry for the fault-injected variant: the
+// same producer/consumer workload, but the buffer actor is supervised and a
+// seeded injector crashes it, drops requests, and stalls its mailbox. The
+// protocol must still conserve every item.
+func ChaosSpec() *core.Spec {
+	return &core.Spec{
+		Name:        "boundedbuffer-chaos",
+		Description: "bounded buffer under injected crashes, drops, and slowdowns (supervised actors)",
+		Defaults:    core.Params{"producers": 3, "consumers": 3, "items": 40, "capacity": 4},
+		Runs: map[core.Model]core.RunFunc{
+			core.Actors: RunActorsChaos,
+		},
+	}
+}
+
+// Chaos protocol. Unlike the fault-free actor protocol, the buffer never
+// queues deferred replies (a deferred reply races the asker's timeout and
+// loses the item); every request is answered immediately with the result or
+// a nack, and clients poll with retries. Requests carry identity so retried
+// duplicates are recognized:
+//
+//   - cPut is deduplicated by item (producer, seq): a retransmitted put of
+//     an already-accepted item is acked without a second insert.
+//   - cGet carries (consumer, k): "give me my k-th item". The buffer
+//     remembers the item assigned to request k until the consumer's request
+//     k+1 implicitly acks it, so a retried get receives the same item
+//     instead of popping (and losing) a fresh one.
+type cPut struct{ it item }
+type cPutAck struct{}
+type cFullNack struct{}
+type cGet struct{ consumer, k int }
+type cItem struct{ it item }
+type cEmptyNack struct{}
+type cStaleNack struct{}
+type cDrained struct{}
+type cStats struct{}
+type cStatsReply struct{ maxOccupancy int }
+
+// RunActorsChaos runs the bounded buffer with a supervised buffer actor
+// under seed-determined injected faults. Faults are injected only where the
+// protocol can recover: crashes at the behavior site (the message is lost
+// before any state mutation), drops on the request direction, and receive
+// delays; replies are never dropped. Every loss surfaces as an ask timeout
+// and is healed by retry + idempotence.
+func RunActorsChaos(p core.Params, seed int64) (core.Metrics, error) {
+	producers := p.Get("producers", 3)
+	consumers := p.Get("consumers", 3)
+	itemsEach := p.Get("items", 40)
+	capacity := p.Get("capacity", 4)
+	total := producers * itemsEach
+
+	crashEvery := 13 + seed%7
+	inj := faults.Count(faults.Chain(
+		faults.CrashOnNth(crashEvery, faults.All(
+			faults.AtSite(faults.SiteBehavior), faults.OnActor("buffer"))),
+		faults.Drop(seed, 0.05, faults.All(
+			faults.AtSite(faults.SiteSend), faults.OnActor("buffer"))),
+		faults.SlowConsumer(11, 200*time.Microsecond, faults.OnActor("buffer")),
+	))
+	sys := actors.NewSystem(actors.Config{Injector: inj})
+	defer sys.Shutdown()
+	sup := sys.Supervise("chaos-root", actors.SupervisorSpec{
+		Strategy:    actors.OneForOne,
+		MaxRestarts: 1 << 20,
+		Backoff:     100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+
+	// Buffer state lives outside the behavior closure, so it survives
+	// supervised restarts; a behavior-site crash loses only the in-flight
+	// message, which its sender retries.
+	type getSlot struct {
+		k  int // outstanding request index, -1 when none
+		it item
+	}
+	var (
+		buf       []item
+		accepted  = make(map[item]bool, total)
+		acceptedN = 0
+		maxOcc    = 0
+		slots     = make([]getSlot, consumers)
+		completed = make([]int, consumers)
+	)
+	for c := 0; c < consumers; c++ {
+		slots[c] = getSlot{k: -1}
+		completed[c] = -1
+	}
+	behavior := func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case cPut:
+			if accepted[m.it] {
+				ctx.Reply(cPutAck{}) // duplicate of an accepted put
+				return
+			}
+			if len(buf) >= capacity {
+				ctx.Reply(cFullNack{})
+				return
+			}
+			buf = append(buf, m.it)
+			accepted[m.it] = true
+			acceptedN++
+			if len(buf) > maxOcc {
+				maxOcc = len(buf)
+			}
+			ctx.Reply(cPutAck{})
+		case cGet:
+			c, k := m.consumer, m.k
+			if k <= completed[c] {
+				ctx.Reply(cStaleNack{}) // late retransmit of a finished request
+				return
+			}
+			if slots[c].k == k {
+				ctx.Reply(cItem{it: slots[c].it}) // redeliver the assigned item
+				return
+			}
+			if slots[c].k >= 0 && slots[c].k < k {
+				completed[c] = slots[c].k // request k implicitly acks k-1
+				slots[c].k = -1
+			}
+			if len(buf) > 0 {
+				it := buf[0]
+				buf = buf[1:]
+				slots[c] = getSlot{k: k, it: it}
+				ctx.Reply(cItem{it: it})
+				return
+			}
+			if acceptedN == total {
+				ctx.Reply(cDrained{})
+				return
+			}
+			ctx.Reply(cEmptyNack{})
+		case cStats:
+			ctx.Reply(cStatsReply{maxOccupancy: maxOcc})
+		}
+	}
+	buffer := sup.MustSpawn("buffer", func() actors.Behavior { return behavior })
+
+	retryFor := func(id int64) actors.RetryConfig {
+		return actors.RetryConfig{
+			Attempts:   200,
+			Timeout:    25 * time.Millisecond,
+			Backoff:    300 * time.Microsecond,
+			MaxBackoff: 5 * time.Millisecond,
+			Jitter:     0.3,
+			Budget:     30 * time.Second,
+			Seed:       seed + id,
+		}
+	}
+
+	errCh := make(chan error, producers+consumers)
+	var collectMu sync.Mutex
+	var collected []item
+	var wg sync.WaitGroup
+	for pid := 0; pid < producers; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rc := retryFor(int64(pid))
+			for seq := 0; seq < itemsEach; seq++ {
+				it := item{producer: pid, seq: seq}
+				for {
+					rep, err := actors.AskRetry(sys, buffer, cPut{it: it}, rc)
+					if err != nil {
+						errCh <- fmt.Errorf("producer %d: %w", pid, err)
+						return
+					}
+					if _, ok := rep.(cPutAck); ok {
+						break
+					}
+					time.Sleep(200 * time.Microsecond) // full: poll again
+				}
+			}
+		}(pid)
+	}
+	for cid := 0; cid < consumers; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			rc := retryFor(int64(1000 + cid))
+			var local []item
+			for k := 0; ; {
+				rep, err := actors.AskRetry(sys, buffer, cGet{consumer: cid, k: k}, rc)
+				if err != nil {
+					errCh <- fmt.Errorf("consumer %d: %w", cid, err)
+					return
+				}
+				switch r := rep.(type) {
+				case cItem:
+					local = append(local, r.it)
+					k++
+				case cDrained:
+					collectMu.Lock()
+					collected = append(collected, local...)
+					collectMu.Unlock()
+					return
+				default: // empty or stale: poll again with the same k
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}(cid)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, fmt.Errorf("boundedbuffer-chaos: %w", err)
+	default:
+	}
+
+	// Read occupancy through the actor itself: late duplicate requests may
+	// still be in flight, so the state must not be touched from outside.
+	rep, err := actors.AskRetry(sys, buffer, cStats{}, retryFor(9999))
+	if err != nil {
+		return nil, fmt.Errorf("boundedbuffer-chaos: stats: %w", err)
+	}
+	stats := rep.(cStatsReply)
+
+	m, err := validateMultiset(collected, producers, itemsEach, capacity, stats.maxOccupancy)
+	if err != nil {
+		return nil, err
+	}
+	m["restarts"] = sys.Restarts()
+	m["faultsInjected"] = sys.FaultsInjected()
+	m["injectedDrops"] = inj.Drops()
+	m["injectedPanics"] = inj.Panics()
+	return m, nil
+}

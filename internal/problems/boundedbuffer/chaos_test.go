@@ -1,0 +1,59 @@
+package boundedbuffer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The chaos run must conserve every item even while the supervised buffer
+// actor is being crashed, its requests dropped, and its mailbox stalled by
+// the seeded injector — and the faults must actually have fired, or the
+// test proves nothing.
+func TestRunActorsChaosConservesItemsUnderFaults(t *testing.T) {
+	params := core.Params{"producers": 2, "consumers": 2, "items": 30, "capacity": 3}
+	for _, seed := range []int64{1, 7, 42} {
+		m, err := RunActorsChaos(params, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m["consumed"] != 2*30 {
+			t.Fatalf("seed %d: consumed = %d, want %d", seed, m["consumed"], 2*30)
+		}
+		if m["injectedPanics"] == 0 {
+			t.Fatalf("seed %d: no crashes injected; the chaos run exercised nothing", seed)
+		}
+		if m["restarts"] < m["injectedPanics"] {
+			t.Fatalf("seed %d: restarts = %d < injected panics %d; supervisor missed crashes",
+				seed, m["restarts"], m["injectedPanics"])
+		}
+		if m["injectedDrops"] == 0 {
+			t.Fatalf("seed %d: no requests dropped; retry path untested", seed)
+		}
+		if m["maxOccupancy"] > 3 {
+			t.Fatalf("seed %d: occupancy %d exceeded capacity under faults", seed, m["maxOccupancy"])
+		}
+	}
+}
+
+// Same seed, same params: the injected fault schedule must be reproducible.
+func TestRunActorsChaosSeedDeterminesFaultPlan(t *testing.T) {
+	params := core.Params{"producers": 2, "consumers": 1, "items": 20, "capacity": 3}
+	a, err := RunActorsChaos(params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunActorsChaos(params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timing-dependent counters (retries, hence send attempts) vary between
+	// runs, but both runs must complete and crash cadence comes from the
+	// same seed-derived period.
+	if a["consumed"] != b["consumed"] {
+		t.Fatalf("consumed differs across identical seeds: %d vs %d", a["consumed"], b["consumed"])
+	}
+	if a["injectedPanics"] == 0 || b["injectedPanics"] == 0 {
+		t.Fatal("crash policy silent in a deterministic replay")
+	}
+}

@@ -28,11 +28,13 @@ func init() {
 func All() []*core.Spec {
 	return []*core.Spec{
 		boundedbuffer.Spec(),
+		boundedbuffer.ChaosSpec(),
 		diningphilosophers.Spec(),
 		readerswriters.Spec(),
 		sleepingbarber.Spec(),
 		partymatching.Spec(),
 		singlelanebridge.Spec(),
+		singlelanebridge.ChaosSpec(),
 		bookinventory.Spec(),
 		sumworkers.Spec(),
 		threadpool.Spec(),

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -9,8 +10,9 @@ import (
 func TestAllProblemsRegistered(t *testing.T) {
 	names := core.Default.Names()
 	want := []string{
-		"bookinventory", "boundedbuffer", "diningphilosophers",
-		"partymatching", "readerswriters", "singlelanebridge",
+		"bookinventory", "boundedbuffer", "boundedbuffer-chaos",
+		"diningphilosophers", "partymatching", "readerswriters",
+		"singlelanebridge", "singlelanebridge-chaos",
 		"sleepingbarber", "sumworkers", "threadpool",
 	}
 	if len(names) != len(want) {
@@ -23,11 +25,20 @@ func TestAllProblemsRegistered(t *testing.T) {
 	}
 }
 
-func TestEveryProblemHasAllThreeModels(t *testing.T) {
+// Every classical problem implements the full three-model matrix; the chaos
+// variants are actor-runtime exercises by design (they exist to drive the
+// supervision tree under injected faults).
+func TestModelCoverage(t *testing.T) {
 	for _, spec := range All() {
-		for _, m := range core.AllModels {
-			if spec.Runs[m] == nil {
-				t.Errorf("%s: missing %s implementation", spec.Name, m)
+		if strings.HasSuffix(spec.Name, "-chaos") {
+			if spec.Runs[core.Actors] == nil {
+				t.Errorf("%s: missing actors implementation", spec.Name)
+			}
+		} else {
+			for _, m := range core.AllModels {
+				if spec.Runs[m] == nil {
+					t.Errorf("%s: missing %s implementation", spec.Name, m)
+				}
 			}
 		}
 		if spec.Description == "" {
@@ -40,18 +51,21 @@ func TestEveryProblemHasAllThreeModels(t *testing.T) {
 }
 
 // TestFullMatrixSmoke runs every (problem, model) pair once at small scale —
-// the 9×3 matrix that constitutes the course's implementation curriculum.
+// the 9×3 matrix that constitutes the course's implementation curriculum,
+// plus the chaos variants under the actors runtime.
 func TestFullMatrixSmoke(t *testing.T) {
 	small := map[string]core.Params{
-		"boundedbuffer":      {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
-		"diningphilosophers": {"philosophers": 4, "meals": 10},
-		"readerswriters":     {"readers": 3, "writers": 2, "ops": 20},
-		"sleepingbarber":     {"barbers": 1, "chairs": 2, "customers": 30},
-		"partymatching":      {"pairs": 25},
-		"singlelanebridge":   {"red": 2, "blue": 2, "crossings": 10},
-		"bookinventory":      {"titles": 4, "clients": 3, "ops": 40, "initial": 5},
-		"sumworkers":         {"workers": 3, "n": 5000},
-		"threadpool":         {"workers": 3, "tasks": 60, "queue": 4},
+		"boundedbuffer":          {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
+		"boundedbuffer-chaos":    {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
+		"diningphilosophers":     {"philosophers": 4, "meals": 10},
+		"readerswriters":         {"readers": 3, "writers": 2, "ops": 20},
+		"sleepingbarber":         {"barbers": 1, "chairs": 2, "customers": 30},
+		"partymatching":          {"pairs": 25},
+		"singlelanebridge":       {"red": 2, "blue": 2, "crossings": 10},
+		"singlelanebridge-chaos": {"red": 2, "blue": 2, "crossings": 10},
+		"bookinventory":          {"titles": 4, "clients": 3, "ops": 40, "initial": 5},
+		"sumworkers":             {"workers": 3, "n": 5000},
+		"threadpool":             {"workers": 3, "tasks": 60, "queue": 4},
 	}
 	for _, spec := range All() {
 		params, ok := small[spec.Name]
@@ -59,6 +73,9 @@ func TestFullMatrixSmoke(t *testing.T) {
 			t.Fatalf("no small params for %s", spec.Name)
 		}
 		for _, m := range core.AllModels {
+			if spec.Runs[m] == nil {
+				continue
+			}
 			metrics, err := spec.Run(m, params, 7)
 			if err != nil {
 				t.Errorf("%s/%s: %v", spec.Name, m, err)
@@ -78,6 +95,9 @@ func TestMatrixSeedStability(t *testing.T) {
 	}
 	for _, spec := range All() {
 		for _, m := range core.AllModels {
+			if spec.Runs[m] == nil {
+				continue
+			}
 			for seed := int64(0); seed < 3; seed++ {
 				if _, err := spec.Run(m, core.Params{
 					"producers": 2, "consumers": 2, "items": 10, "capacity": 2,

@@ -1,0 +1,196 @@
+package singlelanebridge
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// ChaosSpec returns the registry entry for the fault-injected variant: the
+// bridge actor is supervised and a seeded injector crashes it mid-workload,
+// drops entry/exit requests, and stalls its mailbox. The safety invariant
+// (never both directions on the bridge) must hold throughout, and every car
+// must still complete all its crossings.
+func ChaosSpec() *core.Spec {
+	return &core.Spec{
+		Name:        "singlelanebridge-chaos",
+		Description: "single-lane bridge under injected crashes, drops, and slowdowns (supervised actors)",
+		Defaults:    core.Params{"red": 2, "blue": 2, "crossings": 25},
+		Runs: map[core.Model]core.RunFunc{
+			core.Actors: RunActorsChaos,
+		},
+	}
+}
+
+// Chaos protocol. The fault-free actor bridge queues waiting cars and
+// replies later; under message loss a queued reply races the asker's
+// timeout, so here every request is answered immediately (grant or nack)
+// and cars poll. Requests carry the car's name and crossing number n, which
+// makes them idempotent:
+//
+//   - a retried cEnter for a crossing already granted is re-granted without
+//     a second occupancy increment;
+//   - a late retransmit of an *earlier* crossing's cEnter (its ask long
+//     dead) is recognized by n and refused, so a ghost car can never be
+//     left on the bridge;
+//   - cExit is acked whether or not it is a duplicate, mutating occupancy
+//     only the first time.
+type cEnter struct {
+	car   string
+	n     int
+	isRed bool
+}
+type cGranted struct{}
+type cBusyNack struct{}
+type cEnterStale struct{}
+type cExit struct {
+	car   string
+	n     int
+	isRed bool
+}
+type cExitAck struct{}
+
+// RunActorsChaos runs the single-lane bridge with a supervised bridge actor
+// under seed-determined injected faults (behavior-site crashes, request
+// drops, receive delays). Retries plus per-crossing idempotence keep the
+// run both safe and live.
+func RunActorsChaos(p core.Params, seed int64) (core.Metrics, error) {
+	red := p.Get("red", 2)
+	blue := p.Get("blue", 2)
+	crossings := p.Get("crossings", 25)
+
+	crashEvery := 17 + seed%5
+	inj := faults.Count(faults.Chain(
+		faults.CrashOnNth(crashEvery, faults.All(
+			faults.AtSite(faults.SiteBehavior), faults.OnActor("bridge"))),
+		faults.Drop(seed+1, 0.05, faults.All(
+			faults.AtSite(faults.SiteSend), faults.OnActor("bridge"))),
+		faults.SlowConsumer(13, 200*time.Microsecond, faults.OnActor("bridge")),
+	))
+	sys := actors.NewSystem(actors.Config{Injector: inj})
+	defer sys.Shutdown()
+	sup := sys.Supervise("chaos-root", actors.SupervisorSpec{
+		Strategy:    actors.OneForOne,
+		MaxRestarts: 1 << 20,
+		Backoff:     100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+
+	var a safetyAuditor
+
+	// Bridge state survives restarts by living outside the behavior.
+	// onBridge maps a car to the crossing number it is currently crossing;
+	// done records each car's highest completed crossing, which is what
+	// unmasks stale retransmits.
+	onBridge := make(map[string]int)
+	done := make(map[string]int)
+	redOn, blueOn := 0, 0
+	behavior := func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case cEnter:
+			if d, ok := done[m.car]; ok && m.n <= d {
+				ctx.Reply(cEnterStale{}) // ghost of a finished crossing
+				return
+			}
+			if cur, ok := onBridge[m.car]; ok && cur == m.n {
+				ctx.Reply(cGranted{}) // duplicate of the current grant
+				return
+			}
+			blocked := blueOn
+			if !m.isRed {
+				blocked = redOn
+			}
+			if blocked > 0 {
+				ctx.Reply(cBusyNack{})
+				return
+			}
+			onBridge[m.car] = m.n
+			if m.isRed {
+				redOn++
+			} else {
+				blueOn++
+			}
+			ctx.Reply(cGranted{})
+		case cExit:
+			if cur, ok := onBridge[m.car]; ok && cur == m.n {
+				delete(onBridge, m.car)
+				done[m.car] = m.n
+				if m.isRed {
+					redOn--
+				} else {
+					blueOn--
+				}
+			}
+			ctx.Reply(cExitAck{}) // ack duplicates too: exit is idempotent
+		}
+	}
+	bridge := sup.MustSpawn("bridge", func() actors.Behavior { return behavior })
+
+	errCh := make(chan error, red+blue)
+	var wg sync.WaitGroup
+	car := func(id int64, name string, isRed bool) {
+		defer wg.Done()
+		rc := actors.RetryConfig{
+			Attempts:   200,
+			Timeout:    25 * time.Millisecond,
+			Backoff:    300 * time.Microsecond,
+			MaxBackoff: 5 * time.Millisecond,
+			Jitter:     0.3,
+			Budget:     30 * time.Second,
+			Seed:       seed + id,
+		}
+		for n := 0; n < crossings; n++ {
+			for {
+				rep, err := actors.AskRetry(sys, bridge, cEnter{car: name, n: n, isRed: isRed}, rc)
+				if err != nil {
+					errCh <- fmt.Errorf("%s: enter %d: %w", name, n, err)
+					return
+				}
+				if _, ok := rep.(cGranted); ok {
+					break
+				}
+				time.Sleep(200 * time.Microsecond) // busy: poll again
+			}
+			a.enter(isRed)
+			a.exit(isRed)
+			for {
+				rep, err := actors.AskRetry(sys, bridge, cExit{car: name, n: n, isRed: isRed}, rc)
+				if err != nil {
+					errCh <- fmt.Errorf("%s: exit %d: %w", name, n, err)
+					return
+				}
+				if _, ok := rep.(cExitAck); ok {
+					break
+				}
+			}
+		}
+	}
+	for r := 0; r < red; r++ {
+		wg.Add(1)
+		go car(int64(r), fmt.Sprintf("redCar-%d", r), true)
+	}
+	for b := 0; b < blue; b++ {
+		wg.Add(1)
+		go car(int64(100+b), fmt.Sprintf("blueCar-%d", b), false)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, fmt.Errorf("singlelanebridge-chaos: %w", err)
+	default:
+	}
+
+	m, err := a.metrics(red, blue, crossings)
+	if err != nil {
+		return nil, err
+	}
+	m["restarts"] = sys.Restarts()
+	m["faultsInjected"] = sys.FaultsInjected()
+	m["injectedDrops"] = inj.Drops()
+	m["injectedPanics"] = inj.Panics()
+	return m, nil
+}

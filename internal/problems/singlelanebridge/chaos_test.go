@@ -1,0 +1,33 @@
+package singlelanebridge
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Under injected crashes, drops, and slowdowns, the bridge must stay safe
+// (never both directions at once — validated continuously by the auditor
+// inside the run) and live (every car finishes every crossing).
+func TestRunActorsChaosSafeAndLiveUnderFaults(t *testing.T) {
+	params := core.Params{"red": 2, "blue": 2, "crossings": 20}
+	for _, seed := range []int64{1, 9, 33} {
+		m, err := RunActorsChaos(params, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if want := int64(4 * 20); m["crossings"] != want {
+			t.Fatalf("seed %d: crossings = %d, want %d", seed, m["crossings"], want)
+		}
+		if m["injectedPanics"] == 0 {
+			t.Fatalf("seed %d: no bridge crashes injected; chaos run exercised nothing", seed)
+		}
+		if m["restarts"] < m["injectedPanics"] {
+			t.Fatalf("seed %d: restarts = %d < injected panics %d",
+				seed, m["restarts"], m["injectedPanics"])
+		}
+		if m["injectedDrops"] == 0 {
+			t.Fatalf("seed %d: no requests dropped; retry path untested", seed)
+		}
+	}
+}

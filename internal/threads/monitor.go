@@ -12,8 +12,12 @@
 package threads
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/faults"
 )
 
 // Monitor is a re-entrant-free mutual exclusion monitor with any number of
@@ -29,7 +33,50 @@ type Monitor struct {
 	cond  map[string]*sync.Cond
 	held  bool
 	owner string // diagnostic label of current holder (optional)
+
+	// Contention bookkeeping for the lock watchdog: labels of tasks blocked
+	// at entry and parked on conditions, plus channel-based tickets for the
+	// deadline-aware WaitFor.
+	entryWaiters []string
+	condWaiters  map[string][]string
+	timed        map[string][]*timedWaiter
+	inj          faults.Injector
 }
+
+// timedWaiter is one WaitFor parkee: notified via channel close so the
+// waiter can race it against a timer.
+type timedWaiter struct {
+	label    string
+	ch       chan struct{}
+	notified bool
+}
+
+// ErrMonitorTimeout is the sentinel matched (via errors.Is) by the
+// structured *TimeoutError that EnterFor and WaitFor return on deadline.
+var ErrMonitorTimeout = errors.New("threads: monitor wait timed out")
+
+// TimeoutError reports a deadline expiry on a monitor operation, with a
+// snapshot of who held and who waited — the raw material for diagnosing a
+// suspected deadlock or lost wakeup.
+type TimeoutError struct {
+	Op      string   // "EnterFor" or "WaitFor"
+	Label   string   // the task that timed out
+	Cond    string   // condition name (WaitFor only)
+	Holder  string   // who held the monitor at expiry ("" if free)
+	Waiters []string // labels blocked at entry at expiry
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Op == "WaitFor" {
+		return fmt.Sprintf("threads: %s(%q) by %q timed out (holder %q, entry waiters %v) — possible lost wakeup",
+			e.Op, e.Cond, e.Label, e.Holder, e.Waiters)
+	}
+	return fmt.Sprintf("threads: %s by %q timed out (holder %q, entry waiters %v) — possible deadlock",
+		e.Op, e.Label, e.Holder, e.Waiters)
+}
+
+// Is matches TimeoutError against ErrMonitorTimeout for errors.Is.
+func (e *TimeoutError) Is(target error) bool { return target == ErrMonitorTimeout }
 
 // ErrNotOwner is the panic value raised when a monitor operation requires
 // holding the monitor but the caller does not.
@@ -45,13 +92,124 @@ func (m *Monitor) Enter() { m.EnterAs("") }
 // EnterAs acquires the monitor and records label as the owner for
 // diagnostics.
 func (m *Monitor) EnterAs(label string) {
+	m.injectLockDelay(label)
 	m.mu.Lock()
-	for m.held {
-		m.waiterFor("\x00entry").Wait()
+	m.acquireLocked(label)
+	m.mu.Unlock()
+}
+
+// acquireLocked blocks until the monitor is free and takes it, keeping the
+// entry-waiter label list accurate. Caller holds m.mu.
+func (m *Monitor) acquireLocked(label string) {
+	if m.held {
+		m.entryWaiters = append(m.entryWaiters, label)
+		for m.held {
+			m.waiterFor("\x00entry").Wait()
+		}
+		removeLabel(&m.entryWaiters, label)
 	}
 	m.held = true
 	m.owner = label
+}
+
+// removeLabel deletes the first occurrence of label from *s.
+func removeLabel(s *[]string, label string) {
+	for i, l := range *s {
+		if l == label {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
+}
+
+// injectLockDelay consults the configured fault injector at the lock site.
+func (m *Monitor) injectLockDelay(label string) {
+	m.mu.Lock()
+	inj := m.inj
 	m.mu.Unlock()
+	if inj == nil {
+		return
+	}
+	if d := inj.Decide(faults.Op{Site: faults.SiteLock, Actor: label}); d.Action == faults.ActDelay {
+		time.Sleep(d.Delay)
+	}
+}
+
+// SetInjector installs a fault injector consulted (at faults.SiteLock, with
+// the entering task's label as Op.Actor) on every Enter/EnterAs/EnterFor;
+// an ActDelay decision stalls the acquirer before it contends for the lock.
+func (m *Monitor) SetInjector(inj faults.Injector) {
+	m.mu.Lock()
+	m.inj = inj
+	m.mu.Unlock()
+}
+
+// EnterFor acquires the monitor like EnterAs but gives up after d,
+// returning a *TimeoutError (matching ErrMonitorTimeout via errors.Is) that
+// snapshots the holder and waiters — the deadline-aware entry that turns a
+// silent monitor deadlock into a structured, recoverable report.
+func (m *Monitor) EnterFor(label string, d time.Duration) error {
+	m.injectLockDelay(label)
+	deadline := time.Now().Add(d)
+	m.mu.Lock()
+	if !m.held {
+		m.held = true
+		m.owner = label
+		m.mu.Unlock()
+		return nil
+	}
+	entry := m.waiterFor("\x00entry")
+	stop := make(chan struct{})
+	defer close(stop)
+	go pingAfter(entry, d, stop)
+	m.entryWaiters = append(m.entryWaiters, label)
+	for m.held {
+		if time.Now().After(deadline) {
+			removeLabel(&m.entryWaiters, label)
+			err := m.timeoutErrLocked("EnterFor", label, "")
+			m.mu.Unlock()
+			return err
+		}
+		entry.Wait()
+	}
+	removeLabel(&m.entryWaiters, label)
+	m.held = true
+	m.owner = label
+	m.mu.Unlock()
+	return nil
+}
+
+// pingAfter broadcasts on c once d elapses and keeps pinging until stopped,
+// so a deadline-waiting Enter loop is guaranteed to wake and observe its
+// expiry (entry waits are loop-based, so spurious broadcasts are harmless).
+func pingAfter(c *sync.Cond, d time.Duration, stop chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return
+	case <-t.C:
+	}
+	for {
+		c.Broadcast()
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// timeoutErrLocked snapshots contention into a TimeoutError. Caller holds
+// m.mu.
+func (m *Monitor) timeoutErrLocked(op, label, cond string) *TimeoutError {
+	return &TimeoutError{
+		Op:      op,
+		Label:   label,
+		Cond:    cond,
+		Holder:  m.owner,
+		Waiters: append([]string(nil), m.entryWaiters...),
+	}
 }
 
 // TryEnter acquires the monitor if it is immediately available, reporting
@@ -108,16 +266,84 @@ func (m *Monitor) Wait(cond string) {
 	m.held = false
 	owner := m.owner
 	m.owner = ""
+	m.condWaiterAdd(cond, owner)
 	m.waiterFor("\x00entry").Signal()
 	// Sleep on the condition.
 	m.waiterFor(cond).Wait()
+	m.condWaiterRemove(cond, owner)
 	// Re-acquire.
-	for m.held {
-		m.waiterFor("\x00entry").Wait()
-	}
-	m.held = true
-	m.owner = owner
+	m.acquireLocked(owner)
 	m.mu.Unlock()
+}
+
+// condWaiterAdd/Remove keep the per-condition waiting-label lists accurate.
+// Caller holds m.mu.
+func (m *Monitor) condWaiterAdd(cond, label string) {
+	if m.condWaiters == nil {
+		m.condWaiters = make(map[string][]string)
+	}
+	m.condWaiters[cond] = append(m.condWaiters[cond], label)
+}
+
+func (m *Monitor) condWaiterRemove(cond, label string) {
+	ls := m.condWaiters[cond]
+	removeLabel(&ls, label)
+	m.condWaiters[cond] = ls
+}
+
+// WaitFor is Wait with a deadline: it atomically releases the monitor and
+// parks on cond, and if no Notify/NotifyAll arrives within d it re-acquires
+// the monitor and returns a *TimeoutError (errors.Is-matching
+// ErrMonitorTimeout) — turning a lost wakeup into a detectable, recoverable
+// event. On timeout the caller still holds the monitor and must Exit it.
+// When plain Wait and WaitFor waiters share one condition, Notify prefers
+// the plain waiters.
+func (m *Monitor) WaitFor(cond string, d time.Duration) error {
+	m.mu.Lock()
+	if !m.held {
+		m.mu.Unlock()
+		panic(ErrNotOwner{Op: "WaitFor"})
+	}
+	w := &timedWaiter{label: m.owner, ch: make(chan struct{})}
+	if m.timed == nil {
+		m.timed = make(map[string][]*timedWaiter)
+	}
+	m.timed[cond] = append(m.timed[cond], w)
+	owner := m.owner
+	m.held = false
+	m.owner = ""
+	m.waiterFor("\x00entry").Signal()
+	m.mu.Unlock()
+
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	timedOut := false
+	select {
+	case <-w.ch:
+	case <-timer.C:
+		timedOut = true
+	}
+	m.mu.Lock()
+	if timedOut {
+		if w.notified {
+			timedOut = false // a Notify raced the timer: count it as a wakeup
+		} else {
+			ws := m.timed[cond]
+			for i, x := range ws {
+				if x == w {
+					m.timed[cond] = append(ws[:i], ws[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	m.acquireLocked(owner)
+	var err error
+	if timedOut {
+		err = m.timeoutErrLocked("WaitFor", owner, cond)
+	}
+	m.mu.Unlock()
+	return err
 }
 
 // Notify wakes one thread waiting on the named condition, if any. The
@@ -128,7 +354,18 @@ func (m *Monitor) Notify(cond string) {
 	if !m.held {
 		panic(ErrNotOwner{Op: "Notify"})
 	}
-	m.waiterFor(cond).Signal()
+	if len(m.condWaiters[cond]) > 0 {
+		m.waiterFor(cond).Signal()
+		return
+	}
+	if ws := m.timed[cond]; len(ws) > 0 {
+		w := ws[0]
+		m.timed[cond] = ws[1:]
+		w.notified = true
+		close(w.ch)
+		return
+	}
+	m.waiterFor(cond).Signal() // no tracked waiter: preserve no-op Signal
 }
 
 // NotifyAll wakes every thread waiting on the named condition. The caller
@@ -141,6 +378,11 @@ func (m *Monitor) NotifyAll(cond string) {
 		panic(ErrNotOwner{Op: "NotifyAll"})
 	}
 	m.waiterFor(cond).Broadcast()
+	for _, w := range m.timed[cond] {
+		w.notified = true
+		close(w.ch)
+	}
+	delete(m.timed, cond)
 }
 
 // Held reports whether the monitor is currently held by some thread.
@@ -176,4 +418,36 @@ func (m *Monitor) WaitUntil(cond string, pred func() bool) {
 	for !pred() {
 		m.Wait(cond)
 	}
+}
+
+// Contention is a diagnostic snapshot of who holds and who waits on a
+// monitor, consumed by the lock watchdog. Labels come from EnterAs/EnterFor;
+// anonymous entries (plain Enter) appear as "".
+type Contention struct {
+	Holder       string
+	EntryWaiters []string
+	CondWaiters  map[string][]string
+}
+
+// Contention returns a snapshot of the monitor's holder, entry waiters, and
+// condition waiters (both plain and deadline-aware).
+func (m *Monitor) Contention() Contention {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := Contention{
+		Holder:       m.owner,
+		EntryWaiters: append([]string(nil), m.entryWaiters...),
+		CondWaiters:  make(map[string][]string),
+	}
+	for cond, ls := range m.condWaiters {
+		if len(ls) > 0 {
+			c.CondWaiters[cond] = append([]string(nil), ls...)
+		}
+	}
+	for cond, ws := range m.timed {
+		for _, w := range ws {
+			c.CondWaiters[cond] = append(c.CondWaiters[cond], w.label)
+		}
+	}
+	return c
 }

@@ -1,0 +1,204 @@
+package threads
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrMonitorDeadlock is the sentinel matched (via errors.Is) by the
+// structured *MonitorDeadlockError a LockWatchdog reports.
+var ErrMonitorDeadlock = errors.New("threads: suspected monitor deadlock")
+
+// WaitEdge is one hop of a deadlock cycle: a labeled task that holds one
+// monitor while blocked entering another.
+type WaitEdge struct {
+	Task     string // the task's label (from EnterAs/EnterFor)
+	Holds    string // registered name of the monitor it holds
+	WaitsFor string // registered name of the monitor it is blocked entering
+}
+
+func (e WaitEdge) String() string {
+	return fmt.Sprintf("%q holds %s, waits for %s", e.Task, e.Holds, e.WaitsFor)
+}
+
+// MonitorDeadlockError reports a cycle of holder/waiter labels across
+// registered monitors — the shared-memory mirror of coro's DeadlockError.
+type MonitorDeadlockError struct{ Cycle []WaitEdge }
+
+func (e *MonitorDeadlockError) Error() string {
+	parts := make([]string, len(e.Cycle))
+	for i, edge := range e.Cycle {
+		parts[i] = edge.String()
+	}
+	return fmt.Sprintf("%v: %s", ErrMonitorDeadlock, strings.Join(parts, "; "))
+}
+
+// Is matches MonitorDeadlockError against ErrMonitorDeadlock for errors.Is.
+func (e *MonitorDeadlockError) Is(target error) bool { return target == ErrMonitorDeadlock }
+
+// LockWatchdog watches a set of named monitors for suspected entry
+// deadlocks: tasks that hold one monitor (identified by their EnterAs /
+// EnterFor labels) while blocked entering another, forming a cycle. It only
+// sees what labels reveal — unlabeled Enter calls are invisible to it — and
+// a cycle is a *suspicion* until it persists, since a snapshot can catch
+// transient contention. Tasks parked in Wait/WaitFor are not part of entry
+// cycles (they hold nothing); deadline-aware WaitFor covers lost-wakeup
+// hangs instead.
+type LockWatchdog struct {
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+	stop     chan struct{}
+	prev     string // fingerprint of the previous poll's suspicion
+}
+
+// NewLockWatchdog returns an empty watchdog.
+func NewLockWatchdog() *LockWatchdog {
+	return &LockWatchdog{monitors: make(map[string]*Monitor)}
+}
+
+// Register adds a monitor under a diagnostic name. Registering the same
+// name again replaces the previous monitor.
+func (w *LockWatchdog) Register(name string, m *Monitor) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.monitors[name] = m
+}
+
+// Check snapshots every registered monitor and reports a suspected
+// deadlock cycle, or nil when none is visible right now.
+func (w *LockWatchdog) Check() *MonitorDeadlockError {
+	w.mu.Lock()
+	mons := make(map[string]*Monitor, len(w.monitors))
+	for n, m := range w.monitors {
+		mons[n] = m
+	}
+	w.mu.Unlock()
+
+	// Snapshot: which labeled task holds which monitor, and which monitor
+	// each labeled task is blocked entering.
+	holds := make(map[string]string)    // task label -> monitor name it holds
+	waitsFor := make(map[string]string) // task label -> monitor name it waits to enter
+	names := make([]string, 0, len(mons))
+	for n := range mons {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic traversal
+	for _, n := range names {
+		c := mons[n].Contention()
+		if c.Holder != "" {
+			holds[c.Holder] = n
+		}
+		for _, waiter := range c.EntryWaiters {
+			if waiter != "" {
+				waitsFor[waiter] = n
+			}
+		}
+	}
+
+	// Follow task -> (monitor it waits for) -> (that monitor's holder)
+	// chains looking for a cycle.
+	tasks := make([]string, 0, len(waitsFor))
+	for t := range waitsFor {
+		tasks = append(tasks, t)
+	}
+	sort.Strings(tasks)
+	holderOf := make(map[string]string) // monitor name -> holder label
+	for task, mon := range holds {
+		holderOf[mon] = task
+	}
+	for _, start := range tasks {
+		seen := map[string]int{}
+		var path []string
+		task := start
+		for {
+			if _, onPath := seen[task]; onPath {
+				// Cycle: path[seen[task]:] closes on task.
+				cyc := path[seen[task]:]
+				edges := make([]WaitEdge, 0, len(cyc))
+				for _, t := range cyc {
+					edges = append(edges, WaitEdge{Task: t, Holds: holds[t], WaitsFor: waitsFor[t]})
+				}
+				return &MonitorDeadlockError{Cycle: edges}
+			}
+			mon, waiting := waitsFor[task]
+			if !waiting {
+				break // this task isn't blocked: no cycle through it
+			}
+			if _, holding := holds[task]; !holding {
+				break // blocked but holds nothing: cannot be part of a cycle
+			}
+			seen[task] = len(path)
+			path = append(path, task)
+			next, ok := holderOf[mon]
+			if !ok {
+				break // monitor free or held anonymously: cannot confirm
+			}
+			task = next
+		}
+	}
+	return nil
+}
+
+// Start polls every interval and invokes onDeadlock when the *same*
+// suspicion is observed on two consecutive polls (a one-snapshot cycle can
+// be transient contention; a persistent one is a deadlock). Stop ends the
+// polling.
+func (w *LockWatchdog) Start(interval time.Duration, onDeadlock func(*MonitorDeadlockError)) {
+	w.mu.Lock()
+	if w.stop != nil {
+		w.mu.Unlock()
+		return // already running
+	}
+	stop := make(chan struct{})
+	w.stop = stop
+	w.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			err := w.Check()
+			fp := ""
+			if err != nil {
+				fp = fingerprint(err)
+			}
+			w.mu.Lock()
+			repeat := fp != "" && fp == w.prev
+			w.prev = fp
+			w.mu.Unlock()
+			if repeat && onDeadlock != nil {
+				onDeadlock(err)
+			}
+		}
+	}()
+}
+
+// Stop ends a Start'ed polling loop.
+func (w *LockWatchdog) Stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stop != nil {
+		close(w.stop)
+		w.stop = nil
+		w.prev = ""
+	}
+}
+
+// fingerprint canonicalizes a cycle so consecutive observations of the same
+// deadlock compare equal regardless of traversal start.
+func fingerprint(e *MonitorDeadlockError) string {
+	parts := make([]string, len(e.Cycle))
+	for i, edge := range e.Cycle {
+		parts[i] = edge.Task + "/" + edge.Holds + "/" + edge.WaitsFor
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}

@@ -1,0 +1,312 @@
+package threads
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestEnterForAcquiresWhenFree(t *testing.T) {
+	var m Monitor
+	if err := m.EnterFor("a", 10*time.Millisecond); err != nil {
+		t.Fatalf("EnterFor on a free monitor: %v", err)
+	}
+	if m.Owner() != "a" {
+		t.Fatalf("owner = %q", m.Owner())
+	}
+	m.Exit()
+}
+
+func TestEnterForTimesOutWithStructuredError(t *testing.T) {
+	var m Monitor
+	m.EnterAs("hog")
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.EnterFor("victim", 20*time.Millisecond) }()
+	err := <-errCh
+	if !errors.Is(err, ErrMonitorTimeout) {
+		t.Fatalf("error = %v, want ErrMonitorTimeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not *TimeoutError", err)
+	}
+	if te.Holder != "hog" || te.Op != "EnterFor" || te.Label != "victim" {
+		t.Fatalf("TimeoutError = %+v", te)
+	}
+	// After the holder exits, the monitor is healthy again.
+	m.Exit()
+	if err := m.EnterFor("victim", time.Second); err != nil {
+		t.Fatalf("EnterFor after release: %v", err)
+	}
+	m.Exit()
+	// The timed-out waiter's label must not linger in the contention list.
+	if c := m.Contention(); len(c.EntryWaiters) != 0 {
+		t.Fatalf("stale entry waiters: %v", c.EntryWaiters)
+	}
+}
+
+func TestEnterForSucceedsUnderContention(t *testing.T) {
+	var m Monitor
+	m.EnterAs("holder")
+	done := make(chan error, 1)
+	go func() { done <- m.EnterFor("patient", 2*time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	m.Exit()
+	if err := <-done; err != nil {
+		t.Fatalf("EnterFor should win once the holder exits: %v", err)
+	}
+	m.Exit()
+}
+
+func TestWaitForTimeoutDetectsLostWakeup(t *testing.T) {
+	var m Monitor
+	m.EnterAs("waiter")
+	start := time.Now()
+	err := m.WaitFor("never-signaled", 20*time.Millisecond)
+	if !errors.Is(err, ErrMonitorTimeout) {
+		t.Fatalf("error = %v, want ErrMonitorTimeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.Op != "WaitFor" || te.Cond != "never-signaled" {
+		t.Fatalf("TimeoutError = %+v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("WaitFor did not respect its deadline")
+	}
+	// On timeout the caller holds the monitor again.
+	if !m.Held() || m.Owner() != "waiter" {
+		t.Fatalf("monitor not re-acquired: held=%v owner=%q", m.Held(), m.Owner())
+	}
+	m.Exit()
+	if c := m.Contention(); len(c.CondWaiters) != 0 {
+		t.Fatalf("stale cond waiters: %v", c.CondWaiters)
+	}
+}
+
+func TestWaitForWokenByNotify(t *testing.T) {
+	var m Monitor
+	var woken atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.EnterAs("sleeper")
+		if err := m.WaitFor("data", 5*time.Second); err != nil {
+			t.Errorf("WaitFor: %v", err)
+		}
+		woken.Store(true)
+		m.Exit()
+	}()
+	// Wait until the sleeper is parked.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c := m.Contention()
+		if len(c.CondWaiters["data"]) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never parked on the condition")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.EnterAs("notifier")
+	m.Notify("data")
+	m.Exit()
+	wg.Wait()
+	if !woken.Load() {
+		t.Fatal("WaitFor waiter was not woken by Notify")
+	}
+}
+
+func TestNotifyAllWakesTimedWaiters(t *testing.T) {
+	var m Monitor
+	const n = 3
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.EnterAs("w")
+			if err := m.WaitFor("go", 5*time.Second); err == nil {
+				okCount.Add(1)
+			}
+			m.Exit()
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(m.Contention().CondWaiters["go"]) == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters parked", len(m.Contention().CondWaiters["go"]))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.EnterAs("broadcaster")
+	m.NotifyAll("go")
+	m.Exit()
+	wg.Wait()
+	if okCount.Load() != n {
+		t.Fatalf("%d of %d timed waiters woke without timeout", okCount.Load(), n)
+	}
+}
+
+func TestWatchdogDetectsCrossMonitorCycle(t *testing.T) {
+	var m1, m2 Monitor
+	w := NewLockWatchdog()
+	w.Register("m1", &m1)
+	w.Register("m2", &m2)
+
+	// Classic ABBA deadlock, but with EnterFor so the test cleans up. The
+	// barrier guarantees both tasks hold their first monitor before either
+	// tries the second — otherwise one can win both and no cycle forms.
+	var wg, barrier sync.WaitGroup
+	wg.Add(2)
+	barrier.Add(2)
+	errs := make(chan error, 2)
+	hold := func(first *Monitor, second *Monitor, label string) {
+		defer wg.Done()
+		first.EnterAs(label)
+		defer first.Exit()
+		barrier.Done()
+		barrier.Wait()
+		err := second.EnterFor(label, 500*time.Millisecond)
+		if err == nil {
+			second.Exit()
+		}
+		errs <- err
+	}
+	go hold(&m1, &m2, "alice")
+	go hold(&m2, &m1, "bob")
+
+	// Poll Check until the cycle is visible.
+	var found *MonitorDeadlockError
+	deadline := time.Now().Add(2 * time.Second)
+	for found == nil && time.Now().Before(deadline) {
+		found = w.Check()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if found == nil {
+		t.Fatal("watchdog never saw the ABBA cycle")
+	}
+	if !errors.Is(found, ErrMonitorDeadlock) {
+		t.Fatalf("errors.Is(ErrMonitorDeadlock) = false for %v", found)
+	}
+	if len(found.Cycle) != 2 {
+		t.Fatalf("cycle = %v, want 2 edges", found.Cycle)
+	}
+	tasks := map[string]bool{}
+	for _, e := range found.Cycle {
+		tasks[e.Task] = true
+		if e.Holds == e.WaitsFor {
+			t.Fatalf("degenerate edge %v", e)
+		}
+	}
+	if !tasks["alice"] || !tasks["bob"] {
+		t.Fatalf("cycle tasks = %v, want alice and bob", found.Cycle)
+	}
+
+	// Deadline-aware recovery: at least one victim must time out. The other
+	// may then legitimately acquire the freed monitor just before its own
+	// deadline, so only the first is guaranteed a timeout.
+	wg.Wait()
+	timeouts := 0
+	for i := 0; i < 2; i++ {
+		err := <-errs
+		if errors.Is(err, ErrMonitorTimeout) {
+			timeouts++
+		} else if err != nil {
+			t.Fatalf("victim error = %v", err)
+		}
+	}
+	if timeouts == 0 {
+		t.Fatal("neither victim timed out; the cycle never broke via deadlines")
+	}
+	if err := w.Check(); err != nil {
+		t.Fatalf("suspicion should clear after recovery, got %v", err)
+	}
+}
+
+func TestWatchdogBackgroundTwoStrikes(t *testing.T) {
+	var m1, m2 Monitor
+	w := NewLockWatchdog()
+	w.Register("a", &m1)
+	w.Register("b", &m2)
+	reported := make(chan *MonitorDeadlockError, 1)
+	w.Start(5*time.Millisecond, func(e *MonitorDeadlockError) {
+		select {
+		case reported <- e:
+		default:
+		}
+	})
+	defer w.Stop()
+
+	var wg, barrier sync.WaitGroup
+	wg.Add(2)
+	barrier.Add(2)
+	grab := func(first, second *Monitor, label string) {
+		defer wg.Done()
+		first.EnterAs(label)
+		defer first.Exit()
+		barrier.Done()
+		barrier.Wait()
+		if err := second.EnterFor(label, 400*time.Millisecond); err == nil {
+			second.Exit()
+		}
+	}
+	go grab(&m1, &m2, "p")
+	go grab(&m2, &m1, "q")
+	select {
+	case e := <-reported:
+		if len(e.Cycle) != 2 {
+			t.Fatalf("reported cycle = %v", e.Cycle)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("background watchdog never reported the persistent cycle")
+	}
+	wg.Wait()
+}
+
+func TestWatchdogIgnoresPlainContention(t *testing.T) {
+	var m Monitor
+	w := NewLockWatchdog()
+	w.Register("m", &m)
+	m.EnterAs("busy")
+	done := make(chan struct{})
+	go func() {
+		m.EnterAs("queued") // plain contention, not a deadlock
+		m.Exit()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := w.Check(); err != nil {
+		t.Fatalf("single-monitor contention misreported as deadlock: %v", err)
+	}
+	m.Exit()
+	<-done
+}
+
+func TestMonitorLockSiteInjection(t *testing.T) {
+	var m Monitor
+	inj := faults.Count(faults.SlowConsumer(1, time.Millisecond, nil))
+	// SlowConsumer only matches receive sites; lock sites must be untouched.
+	m.SetInjector(inj)
+	m.EnterAs("x")
+	m.Exit()
+	if inj.Delays() != 0 {
+		t.Fatal("receive-site policy fired at a lock site")
+	}
+	delay := faults.Count(faults.Delay(3, 1.0, time.Millisecond, faults.AtSite(faults.SiteLock)))
+	m.SetInjector(delay)
+	m.EnterAs("x")
+	m.Exit()
+	if delay.Delays() != 1 {
+		t.Fatalf("lock-site delays = %d, want 1", delay.Delays())
+	}
+}

@@ -23,6 +23,8 @@ const (
 	KindNotify              // condition notify
 	KindSpawn               // task creation
 	KindExit                // task termination
+	KindFault               // injected fault (drop/delay/panic) on an operation
+	KindRestart             // supervised task restarted after a failure
 )
 
 var kindNames = map[Kind]string{
@@ -37,6 +39,8 @@ var kindNames = map[Kind]string{
 	KindNotify:  "notify",
 	KindSpawn:   "spawn",
 	KindExit:    "exit",
+	KindFault:   "fault",
+	KindRestart: "restart",
 }
 
 func (k Kind) String() string {
