@@ -7,13 +7,18 @@
 //
 // Usage:
 //
-//	benchtables [-reps N] [-quick]
+//	benchtables [-reps N] [-quick] [-json FILE]
+//
+// -json writes the mailbox/dispatcher numbers to FILE (the committed
+// baseline lives at BENCH_mailbox.json; see docs/PERF.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -28,6 +33,7 @@ import (
 func main() {
 	reps := flag.Int("reps", 3, "repetitions per cell (median reported)")
 	quick := flag.Bool("quick", false, "smaller workloads")
+	jsonPath := flag.String("json", "", "write the mailbox/dispatcher baseline to this file")
 	flag.Parse()
 
 	scale := 1
@@ -38,6 +44,15 @@ func main() {
 	problemTable(*reps, scale)
 	fmt.Println()
 	microTable(*reps, scale)
+	fmt.Println()
+	entries := mailboxTable(*reps, scale)
+
+	if *jsonPath != "" {
+		if err := writeBaseline(*jsonPath, scale, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // timeMedian runs fn reps times and returns the median duration.
@@ -181,4 +196,123 @@ func microTable(reps, scale int) {
 		return nil
 	})
 	fmt.Print(t)
+}
+
+// benchEntry is one row of the mailbox/dispatcher baseline (BENCH_mailbox.json).
+type benchEntry struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// tellThroughput floods one actor with n messages from the given number of
+// concurrent senders through the public Tell path and returns msgs/sec
+// (median of reps runs).
+func tellThroughput(reps int, cfg actors.Config, senders, n int) (float64, error) {
+	d, err := timeMedian(reps, func() error {
+		sys := actors.NewSystem(cfg)
+		defer sys.Shutdown()
+		done := make(chan struct{})
+		count := 0
+		sink := sys.MustSpawn("sink", func(ctx *actors.Context, msg any) {
+			count++
+			if count == n {
+				close(done)
+			}
+		})
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			per := n / senders
+			if s < n%senders {
+				per++
+			}
+			wg.Add(1)
+			go func(per int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					sink.Tell(i)
+				}
+			}(per)
+		}
+		wg.Wait()
+		<-done
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) / d.Seconds(), nil
+}
+
+// mailboxTable prints the actor hot-path numbers (see docs/PERF.md) and
+// returns them for the -json baseline. The "locked mailbox" row forces the
+// seed's mutex+cond path via a cap far above the workload, so the two rows
+// isolate the chunked-ring rewrite on an otherwise identical system.
+func mailboxTable(reps, scale int) []benchEntry {
+	t := metrics.NewTable("ACTOR HOT PATH: mailbox & dispatcher (docs/PERF.md)",
+		"Case", "value")
+	var entries []benchEntry
+	n := 200000 / scale
+
+	addTell := func(name string, cfg actors.Config, senders int) {
+		rate, err := tellThroughput(reps, cfg, senders, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.AddRow(name, fmt.Sprintf("%.2fM msgs/sec", rate/1e6))
+		entries = append(entries, benchEntry{Name: name, Metric: "msgs/sec", Value: rate})
+	}
+	lockCap := 1 << 30 // far above n: bounded semantics never bite
+	addTell("tell ring mailbox, 1 sender", actors.Config{}, 1)
+	addTell("tell ring mailbox, 8 senders", actors.Config{}, 8)
+	addTell("tell locked mailbox, 8 senders", actors.Config{MailboxCap: lockCap}, 8)
+	addTell("tell ring + pooled dispatch, 8 senders", actors.Config{Dispatcher: actors.Pooled}, 8)
+
+	idle := 100000 / scale
+	for _, mode := range []actors.DispatchMode{actors.Dedicated, actors.Pooled} {
+		name := fmt.Sprintf("spawn %dk idle actors (%s)", idle/1000, mode)
+		var perActor float64
+		_, err := timeMedian(reps, func() error {
+			before := runtime.NumGoroutine()
+			sys := actors.NewSystem(actors.Config{Dispatcher: mode})
+			for i := 0; i < idle; i++ {
+				sys.MustSpawn("idle", func(ctx *actors.Context, msg any) {})
+			}
+			perActor = float64(runtime.NumGoroutine()-before) / float64(idle)
+			sys.Shutdown()
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.AddRow(name, fmt.Sprintf("%.3f goroutines/actor", perActor))
+		entries = append(entries, benchEntry{Name: name, Metric: "goroutines/actor", Value: perActor})
+	}
+	fmt.Print(t)
+	return entries
+}
+
+// writeBaseline persists the mailbox/dispatcher entries as the committed
+// regression baseline. Values are machine-dependent: the file records the
+// shape of the numbers (ratios, goroutine counts), not portable absolutes.
+func writeBaseline(path string, scale int, entries []benchEntry) error {
+	doc := struct {
+		Note    string       `json:"note"`
+		Command string       `json:"command"`
+		Scale   int          `json:"scale"`
+		Entries []benchEntry `json:"entries"`
+	}{
+		Note: "Actor mailbox/dispatcher baseline. Machine-dependent: compare " +
+			"ratios (ring vs locked, dedicated vs pooled), not absolutes.",
+		Command: "go run ./cmd/benchtables -json BENCH_mailbox.json",
+		Scale:   scale,
+		Entries: entries,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,9 +1,208 @@
 package actors
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 )
+
+// BenchmarkMailboxThroughput is the tentpole number: messages/sec through
+// one mailbox with concurrent senders, chunked MPSC ring vs the seed's
+// mutex+cond implementation (preserved as the lockMailbox slow path). The
+// acceptance bar is ring ≥ 2× locked at 8 senders.
+func BenchmarkMailboxThroughput(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() mailbox
+	}{
+		{"ring", func() mailbox { return newRingMailbox() }},
+		{"locked", func() mailbox { return newLockMailbox(nil, 0) }},
+	}
+	for _, impl := range impls {
+		for _, senders := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/senders=%d", impl.name, senders), func(b *testing.B) {
+				m := impl.mk()
+				total := b.N
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for s := 0; s < senders; s++ {
+					n := total / senders
+					if s < total%senders {
+						n++
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							m.put(Envelope{Msg: i}, false)
+						}
+					}(n)
+				}
+				got := 0
+				var buf []Envelope
+				for got < total {
+					batch, ok := m.takeN(buf[:0], 64)
+					if !ok {
+						b.Fatal("mailbox closed")
+					}
+					got += len(batch)
+				}
+				wg.Wait()
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "msgs/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkMailboxBatchedDrain isolates the receive side: one flooded
+// mailbox drained with takeN batches vs envelope-at-a-time.
+func BenchmarkMailboxBatchedDrain(b *testing.B) {
+	for _, batch := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			m := newRingMailbox()
+			for i := 0; i < b.N; i++ {
+				m.put(Envelope{Msg: i}, false)
+			}
+			b.ResetTimer()
+			got := 0
+			var buf []Envelope
+			for got < b.N {
+				out, ok := m.takeN(buf[:0], batch)
+				if !ok {
+					b.Fatal("closed")
+				}
+				got += len(out)
+			}
+		})
+	}
+}
+
+// dispatchModes enumerates both dispatchers for side-by-side benches.
+var dispatchModes = []struct {
+	name string
+	cfg  Config
+}{
+	{"dedicated", Config{}},
+	{"pooled", Config{Dispatcher: Pooled}},
+}
+
+// BenchmarkDispatchTell: 8 concurrent senders flooding one actor through
+// the full system send path, under each dispatcher.
+func BenchmarkDispatchTell(b *testing.B) {
+	for _, mode := range dispatchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := NewSystem(mode.cfg)
+			defer sys.Shutdown()
+			done := make(chan struct{})
+			count := 0
+			sink := sys.MustSpawn("sink", func(ctx *Context, msg any) {
+				count++
+				if count == b.N {
+					close(done)
+				}
+			})
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for s := 0; s < 8; s++ {
+				n := b.N / 8
+				if s < b.N%8 {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						sink.Tell(i)
+					}
+				}(n)
+			}
+			wg.Wait()
+			if b.N > 0 {
+				<-done
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkDispatchPingPong: request/response latency under each
+// dispatcher (pooled pays a run-queue hop per turn).
+func BenchmarkDispatchPingPong(b *testing.B) {
+	for _, mode := range dispatchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := NewSystem(mode.cfg)
+			defer sys.Shutdown()
+			done := make(chan struct{})
+			rounds := 0
+			var pong *Ref
+			ping := sys.MustSpawn("ping", func(ctx *Context, msg any) {
+				rounds++
+				if rounds >= b.N {
+					close(done)
+					return
+				}
+				ctx.Send(pong, nil)
+			})
+			pong = sys.MustSpawn("pong", func(ctx *Context, msg any) { ctx.Reply(nil) })
+			b.ResetTimer()
+			ping.Tell(nil)
+			<-done
+		})
+	}
+}
+
+// BenchmarkDispatchFanOut: one round of work scattered across 1000 actors,
+// under each dispatcher — the many-mostly-idle-actors shape Pooled targets.
+func BenchmarkDispatchFanOut(b *testing.B) {
+	const actors = 1000
+	for _, mode := range dispatchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := NewSystem(mode.cfg)
+			defer sys.Shutdown()
+			var mu sync.Mutex
+			count := 0
+			done := make(chan struct{})
+			refs := make([]*Ref, actors)
+			for i := range refs {
+				refs[i] = sys.MustSpawn("w", func(ctx *Context, msg any) {
+					mu.Lock()
+					count++
+					if count == b.N {
+						close(done)
+					}
+					mu.Unlock()
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				refs[i%actors].Tell(i)
+			}
+			<-done
+		})
+	}
+}
+
+// BenchmarkSpawn100kIdle spawns 100k no-op actors and reports goroutines
+// per actor: ~1.0 dedicated, ~0 pooled (the acceptance criterion).
+func BenchmarkSpawn100kIdle(b *testing.B) {
+	const actors = 100000
+	for _, mode := range dispatchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				before := runtime.NumGoroutine()
+				sys := NewSystem(mode.cfg)
+				for j := 0; j < actors; j++ {
+					sys.MustSpawn("idle", func(ctx *Context, msg any) {})
+				}
+				b.ReportMetric(float64(runtime.NumGoroutine()-before)/actors, "goroutines/actor")
+				b.StopTimer()
+				sys.Shutdown()
+				b.StartTimer()
+			}
+		})
+	}
+}
 
 func BenchmarkTell(b *testing.B) {
 	sys := NewSystem(Config{})

@@ -23,57 +23,125 @@ type Envelope struct {
 	traceID string
 }
 
-// mailbox is a FIFO queue of envelopes with blocking receive. When perturb
-// is non-nil, dequeue picks a uniformly random pending envelope instead of
-// the head, modeling unordered asynchronous delivery. When cap > 0, put
-// blocks while the queue is full (bounded-mailbox backpressure, the
-// ablation from DESIGN.md §5); control messages bypass the bound.
+// mailbox is a FIFO queue of envelopes. Two implementations exist:
+//
+//   - ringMailbox (ring.go): the throughput fast path — a chunked MPSC
+//     queue with lock-free sends and batched dequeue. Used for unbounded,
+//     unperturbed, uninjected mailboxes (the common case).
+//   - lockMailbox (below): the fully-featured slow path — mutex + condvars,
+//     supporting MailboxCap backpressure (senders block while full) and
+//     PerturbSeed random delivery. Also selected when a fault injector is
+//     configured, so injected fault timing stays identical to the original
+//     runtime.
+//
+// Concurrency contract shared by both: put/close(false)/size may be called
+// from any goroutine; takeN/tryTake/close(true) are single-consumer — only
+// the goroutine (or pooled worker holding the cell's schedule slot) that
+// owns the actor may call them.
+type mailbox interface {
+	// put enqueues an envelope, blocking while a bounded mailbox is full
+	// (unless force). It reports false if the mailbox is closed.
+	put(e Envelope, force bool) bool
+	// takeN appends up to max envelopes to buf, blocking until at least one
+	// is available or the mailbox closes. ok is false when the mailbox is
+	// closed and drained (buf is returned unchanged then).
+	takeN(buf []Envelope, max int) (batch []Envelope, ok bool)
+	// tryTake dequeues one envelope without blocking. ok is false when the
+	// mailbox is empty (or closed and drained).
+	tryTake() (e Envelope, ok bool)
+	// close marks the mailbox closed and wakes blocked senders and takers.
+	// When discard is true it returns what was still queued (for deadletter
+	// accounting); pending messages stay takeable otherwise.
+	close(discard bool) []Envelope
+	// size returns the number of queued envelopes.
+	size() int
+}
+
+// newMailbox picks the implementation for one actor: the chunked MPSC ring
+// on the fast path, the lock mailbox whenever a feature that needs it
+// (backpressure, perturbation, fault injection) is active.
+func newMailbox(perturb *rand.Rand, capacity int, injected bool) mailbox {
+	if perturb == nil && capacity <= 0 && !injected {
+		return newRingMailbox()
+	}
+	return newLockMailbox(perturb, capacity)
+}
+
+// lockMailbox is the mutex-guarded slice mailbox. When perturb is non-nil,
+// dequeue picks a uniformly random pending envelope instead of the head,
+// modeling unordered asynchronous delivery. When cap > 0, put blocks while
+// the queue is full (bounded-mailbox backpressure, the ablation from
+// DESIGN.md §5); control messages bypass the bound.
 //
 // Dequeue is amortized O(1): a head index advances instead of re-slicing,
 // and the backing array is compacted once the dead prefix dominates.
-type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []Envelope
-	head    int // queue[head:] are the live entries
-	closed  bool
-	perturb *rand.Rand
-	cap     int
+// Wakeups are split across two condition variables (notEmpty for takers,
+// notFull for bounded senders) and only fired when the matching waiter
+// count is non-zero, so the uncontended enqueue path never pays for a
+// futex wake.
+type lockMailbox struct {
+	mu          sync.Mutex
+	notEmpty    *sync.Cond // takers wait here
+	notFull     *sync.Cond // bounded senders wait here
+	takeWaiters int        // takers blocked in notEmpty.Wait
+	putWaiters  int        // senders blocked in notFull.Wait
+	queue       []Envelope
+	head        int // queue[head:] are the live entries
+	closed      bool
+	perturb     *rand.Rand
+	cap         int
 }
 
-func newMailbox(perturb *rand.Rand, capacity int) *mailbox {
-	m := &mailbox{perturb: perturb, cap: capacity}
-	m.cond = sync.NewCond(&m.mu)
+func newLockMailbox(perturb *rand.Rand, capacity int) *lockMailbox {
+	m := &lockMailbox{perturb: perturb, cap: capacity}
+	m.notEmpty = sync.NewCond(&m.mu)
+	m.notFull = sync.NewCond(&m.mu)
 	return m
 }
 
 // live returns the number of queued envelopes. Caller holds mu.
-func (m *mailbox) live() int { return len(m.queue) - m.head }
+func (m *lockMailbox) live() int { return len(m.queue) - m.head }
 
-// put enqueues an envelope, blocking while a bounded mailbox is full
-// (unless force). It reports false if the mailbox is closed.
-func (m *mailbox) put(e Envelope, force bool) bool {
+func (m *lockMailbox) put(e Envelope, force bool) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.cap > 0 && !force && m.live() >= m.cap && !m.closed {
-		m.cond.Wait()
+		m.putWaiters++
+		m.notFull.Wait()
+		m.putWaiters--
 	}
 	if m.closed {
 		return false
 	}
 	m.queue = append(m.queue, e)
-	m.cond.Broadcast()
+	if m.takeWaiters > 0 {
+		m.notEmpty.Signal()
+	}
 	return true
 }
 
-// take dequeues the next envelope, blocking until one is available or the
-// mailbox closes. ok is false if the mailbox closed and drained.
-func (m *mailbox) take() (e Envelope, ok bool) {
+// takeOne dequeues the next envelope, blocking until one is available or
+// the mailbox closes. ok is false if the mailbox closed and drained.
+func (m *lockMailbox) takeOne() (e Envelope, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.live() == 0 && !m.closed {
-		m.cond.Wait()
+		m.takeWaiters++
+		m.notEmpty.Wait()
+		m.takeWaiters--
 	}
+	return m.popLocked()
+}
+
+func (m *lockMailbox) tryTake() (e Envelope, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.popLocked()
+}
+
+// popLocked removes one envelope (random under perturbation) and wakes one
+// blocked bounded sender for the freed slot. Caller holds mu.
+func (m *lockMailbox) popLocked() (e Envelope, ok bool) {
 	if m.live() == 0 {
 		return Envelope{}, false
 	}
@@ -96,14 +164,26 @@ func (m *mailbox) take() (e Envelope, ok bool) {
 		m.queue = m.queue[:n]
 		m.head = 0
 	}
-	m.cond.Broadcast() // space opened: wake blocked putters
+	if m.putWaiters > 0 {
+		m.notFull.Signal() // exactly one slot opened: wake one sender
+	}
 	return e, true
 }
 
-// close marks the mailbox closed and wakes blocked takers. Pending messages
-// remain takeable; the returned slice is what was still queued (for
-// deadletter accounting when discard is true).
-func (m *mailbox) close(discard bool) []Envelope {
+// takeN on the lock mailbox intentionally dequeues a single envelope per
+// call: bounded mailboxes keep one-in-one-out backpressure granularity
+// (a bulk drain would release every blocked sender at once), and perturbed
+// mailboxes keep the seed's per-dequeue random draw. Batched dequeue is the
+// ring mailbox's job.
+func (m *lockMailbox) takeN(buf []Envelope, max int) ([]Envelope, bool) {
+	e, ok := m.takeOne()
+	if !ok {
+		return buf, false
+	}
+	return append(buf, e), true
+}
+
+func (m *lockMailbox) close(discard bool) []Envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true
@@ -113,12 +193,12 @@ func (m *mailbox) close(discard bool) []Envelope {
 		m.queue = nil
 		m.head = 0
 	}
-	m.cond.Broadcast()
+	m.notEmpty.Broadcast()
+	m.notFull.Broadcast()
 	return drained
 }
 
-// size returns the number of queued envelopes.
-func (m *mailbox) size() int {
+func (m *lockMailbox) size() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.live()

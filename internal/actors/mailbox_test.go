@@ -1,6 +1,7 @@
 package actors
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -92,6 +93,116 @@ func TestBoundedMailboxPoisonPillBypassesCap(t *testing.T) {
 		t.Fatal("poison pill was blocked by the mailbox cap")
 	}
 	sys.Shutdown()
+}
+
+// TestLockMailboxWaiterCounters pins the signal-only-when-waiting fix: the
+// uncontended put/take path must never leave (or need) a waiter, so no
+// condvar wake is issued unless someone is actually blocked.
+func TestLockMailboxWaiterCounters(t *testing.T) {
+	m := newLockMailbox(nil, 2)
+	for i := 0; i < 10; i++ {
+		if !m.put(Envelope{Msg: i}, false) {
+			t.Fatal("put refused")
+		}
+		if _, ok := m.tryTake(); !ok {
+			t.Fatal("tryTake empty")
+		}
+	}
+	m.mu.Lock()
+	tw, pw := m.takeWaiters, m.putWaiters
+	m.mu.Unlock()
+	if tw != 0 || pw != 0 {
+		t.Fatalf("uncontended traffic left waiters: take=%d put=%d", tw, pw)
+	}
+
+	// A blocked taker registers, and exactly one put releases it.
+	woke := make(chan Envelope, 1)
+	go func() {
+		e, _ := m.takeOne()
+		woke <- e
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m.mu.Lock()
+		tw = m.takeWaiters
+		m.mu.Unlock()
+		if tw == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if tw != 1 {
+		t.Fatalf("blocked taker not counted: takeWaiters=%d", tw)
+	}
+	m.put(Envelope{Msg: "x"}, false)
+	select {
+	case e := <-woke:
+		if e.Msg != "x" {
+			t.Fatalf("taker woke with %v", e.Msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("put with a registered taker did not wake it")
+	}
+}
+
+// TestBoundedOverflowAccounting checks overflow bookkeeping on the new
+// split-condvar path: messages beyond the cap block their senders, every
+// blocked sender is admitted exactly once as slots free, and a close
+// surfaces exactly the still-queued envelopes.
+func TestBoundedOverflowAccounting(t *testing.T) {
+	const cap = 4
+	const overflow = 8
+	m := newLockMailbox(nil, cap)
+	for i := 0; i < cap; i++ {
+		if !m.put(Envelope{Msg: i}, false) {
+			t.Fatal("put refused while under cap")
+		}
+	}
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < overflow; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if m.put(Envelope{Msg: cap + i}, false) {
+				admitted.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let the overflow senders block
+	if got := m.size(); got != cap {
+		t.Fatalf("size = %d while senders blocked, want %d (cap exceeded?)", got, cap)
+	}
+	// Drain half the overflow one by one: each take admits exactly one
+	// blocked sender, so the queue stays at the cap.
+	taken := 0
+	for taken < overflow/2 {
+		if _, ok := m.takeOne(); !ok {
+			t.Fatal("takeOne failed with senders pending")
+		}
+		taken++
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.size() < cap && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.size(); got != cap {
+		t.Fatalf("size = %d after partial drain, want refilled to %d", got, cap)
+	}
+	// Close: the remaining queued envelopes surface for deadletter
+	// accounting, still-blocked senders are refused.
+	queued := len(m.close(true))
+	wg.Wait()
+	if total := taken + queued + (overflow - int(admitted.Load())); total != cap+overflow {
+		t.Fatalf("taken %d + drained %d + refused %d != %d sent",
+			taken, queued, overflow-int(admitted.Load()), cap+overflow)
+	}
+	// Everything that entered the mailbox is the initial fill plus the
+	// admitted overflow senders.
+	if taken+queued != cap+int(admitted.Load()) {
+		t.Fatalf("taken %d + queued %d != initial %d + admitted %d",
+			taken, queued, cap, admitted.Load())
+	}
 }
 
 func TestUnboundedDefaultNeverBlocks(t *testing.T) {

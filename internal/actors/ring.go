@@ -1,0 +1,333 @@
+package actors
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ringMailbox is the throughput fast path: a chunked multi-producer /
+// single-consumer queue. Senders reserve a global sequence number with one
+// fetch-add (their only point of contention), write their envelope into the
+// slot that number maps to, and publish it with an atomic flag — no mutex,
+// no condition variable, no allocation except one chunk per chunkSize
+// messages. The consumer drains published slots in sequence-number order
+// with plain loads, batching up to N envelopes per scheduling decision
+// (takeN), and parks on a 1-token channel only when the queue is truly
+// empty.
+//
+// Ordering: the reservation counter totally orders all sends, and a single
+// sender's sends are program-ordered, so per-sender FIFO holds — in fact
+// the ring is globally FIFO, strictly stronger than the actor contract.
+//
+// The ring is only used for unbounded, unperturbed mailboxes, so put never
+// blocks (see newMailbox for the fallback rules).
+// 64 slots ≈ 2.6KB per chunk (Envelope is 40 bytes): big enough that the
+// per-chunk allocation + link amortizes to noise, small enough that a
+// short-lived or lightly-loaded actor doesn't carry a 10KB+ first chunk.
+const (
+	chunkShift = 6
+	chunkSize  = 1 << chunkShift // envelopes per chunk
+	chunkMask  = chunkSize - 1
+)
+
+// ringClosed is the closed bit in ringMailbox.state; the low 63 bits count
+// reserved slots (the tail sequence number).
+const ringClosed = uint64(1) << 63
+
+// chunk is one fixed-size segment of the queue. start is the sequence
+// number of slots[0]; slot i holds sequence number start+i. A chunk is
+// written once (slots are never reused) and garbage-collected wholesale
+// once the consumer moves past it.
+type chunk struct {
+	start uint64
+	next  atomic.Pointer[chunk]
+	ready [chunkSize]atomic.Bool
+	slots [chunkSize]Envelope
+}
+
+type ringMailbox struct {
+	// state holds the tail sequence number plus the ringClosed bit; a
+	// sender's fetch-add atomically reserves a slot, and the closed bit in
+	// the returned value voids reservations made after close (see put).
+	// The padding keeps the producer-hammered line away from the
+	// consumer's fields below.
+	state atomic.Uint64
+	_     [56]byte
+	// prodHint is a best-effort pointer near the tail so senders reach
+	// their chunk in O(1) instead of walking the backlog; it is validated
+	// against the reserved sequence number before use.
+	prodHint atomic.Pointer[chunk]
+	_        [56]byte
+	// head is the next sequence number the consumer will take. Written only
+	// by the consumer; read by size().
+	head atomic.Uint64
+	// headChunk is the chunk containing head. Advanced only by the
+	// consumer; senders use it as a always-safe walk start (it can never be
+	// ahead of any unconsumed sequence number).
+	headChunk atomic.Pointer[chunk]
+	_         [48]byte
+	// waiting + wake implement consumer parking: the consumer sets waiting
+	// and re-checks before blocking on wake; a sender that turns the flag
+	// off owes exactly one token.
+	waiting atomic.Bool
+	wake    chan struct{}
+	// closedTail is the tail count frozen at the instant close() set the
+	// closed bit — the drain horizon. Reservations at or beyond it are the
+	// voided fetch-adds of senders that were told "closed"; reservations
+	// below it were accepted and will be published. Written before the
+	// closed bit becomes visible, so any reader that sees the bit sees the
+	// horizon.
+	closedTail atomic.Uint64
+}
+
+// tail returns the sequence number bounding published-or-pending slots:
+// the live counter while open, the frozen drain horizon once closed.
+func (m *ringMailbox) tail() uint64 {
+	s := m.state.Load()
+	if s&ringClosed != 0 {
+		return m.closedTail.Load()
+	}
+	return s
+}
+
+// newRingMailbox allocates no chunk: the first sender CAS-installs it (see
+// chunkFor), so an idle actor's mailbox costs ~a cache line, not a full
+// chunk — spawn stays cheap for large mostly-idle populations.
+func newRingMailbox() *ringMailbox {
+	return &ringMailbox{wake: make(chan struct{}, 1)}
+}
+
+func (m *ringMailbox) put(e Envelope, force bool) bool {
+	_ = force // the ring is unbounded: nothing to bypass
+	// One fetch-add is the whole reservation: no retry loop to collapse
+	// under contention. If the closed bit is set in the result the
+	// reservation is void — close() captured the tail before setting the
+	// bit, so a voided sequence number is beyond the drain horizon and is
+	// simply abandoned (the counter never wraps: 63 bits).
+	s := m.state.Add(1)
+	if s&ringClosed != 0 {
+		return false
+	}
+	seq := s - 1
+	c := m.chunkFor(seq)
+	i := seq & chunkMask
+	c.slots[i] = e
+	c.ready[i].Store(true)
+	m.wakeConsumer()
+	return true
+}
+
+// wakeConsumer hands the parked consumer its token, if there is one. The
+// CAS makes the wake single-shot: of all concurrent senders exactly one
+// pays the channel send.
+func (m *ringMailbox) wakeConsumer() {
+	if m.waiting.Load() && m.waiting.CompareAndSwap(true, false) {
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// chunkFor returns the chunk containing sequence number seq, allocating
+// and linking successors as needed. Starting points: prodHint when it is
+// not past seq, else headChunk (always ≤ any unconsumed seq, because the
+// consumer cannot pass an unpublished slot).
+func (m *ringMailbox) chunkFor(seq uint64) *chunk {
+	c := m.prodHint.Load()
+	if c == nil || c.start > seq {
+		c = m.headChunk.Load()
+		if c == nil {
+			// First send ever: race to install chunk 0. headChunk is nil
+			// only before this point and never again, so the CAS loser just
+			// reloads the winner's chunk.
+			nc := &chunk{}
+			if !m.headChunk.CompareAndSwap(nil, nc) {
+				nc = m.headChunk.Load()
+			}
+			c = nc
+		}
+	}
+	walked := false
+	for c.start+chunkSize <= seq {
+		next := c.next.Load()
+		if next == nil {
+			nc := &chunk{start: c.start + chunkSize}
+			if c.next.CompareAndSwap(nil, nc) {
+				next = nc
+			} else {
+				next = c.next.Load()
+			}
+		}
+		c = next
+		walked = true
+	}
+	if walked {
+		// Best-effort: a racing store of an older chunk is harmless, the
+		// hint is validated on load.
+		m.prodHint.Store(c)
+	}
+	return c
+}
+
+func (m *ringMailbox) tryTake() (Envelope, bool) {
+	h := m.head.Load()
+	if h >= m.tail() {
+		return Envelope{}, false
+	}
+	c := m.headChunk.Load()
+	if c == nil {
+		// A sender reserved seq 0 but has not installed chunk 0 yet.
+		return Envelope{}, false
+	}
+	if h >= c.start+chunkSize {
+		// The chunk is fully consumed; its successor exists unless the
+		// reserving sender is still mid-allocation — treat that instant as
+		// empty, the sender's publish will wake/reschedule us.
+		next := c.next.Load()
+		if next == nil {
+			return Envelope{}, false
+		}
+		m.headChunk.Store(next)
+		c = next
+	}
+	i := h & chunkMask
+	if !c.ready[i].Load() {
+		// Reserved but not yet published; the sender is between its CAS
+		// and its ready.Store. Do not skip ahead — sequence order is the
+		// FIFO guarantee.
+		return Envelope{}, false
+	}
+	e := c.slots[i]
+	c.slots[i] = Envelope{} // release references for the GC
+	m.head.Store(h + 1)
+	return e, true
+}
+
+func (m *ringMailbox) takeN(buf []Envelope, max int) ([]Envelope, bool) {
+	n := len(buf)
+	for {
+		buf = m.drain(buf, max)
+		if len(buf) > n {
+			return buf, true
+		}
+		if m.state.Load()&ringClosed != 0 && m.head.Load() >= m.closedTail.Load() {
+			return buf, false
+		}
+		// Two-phase park: declare intent, re-check, then block. A sender
+		// that published between the re-check and the block sees waiting
+		// set and sends the token; a stale token from an earlier race at
+		// worst costs one spurious loop iteration.
+		m.waiting.Store(true)
+		if m.available() || m.state.Load()&ringClosed != 0 {
+			m.waiting.Store(false)
+			continue
+		}
+		<-m.wake
+	}
+}
+
+// drain appends up to max published envelopes to buf with one head update
+// for the whole batch — the "N envelopes per atomic handoff" half of the
+// fast path (the other half being senders' single-CAS reservation).
+func (m *ringMailbox) drain(buf []Envelope, max int) []Envelope {
+	h := m.head.Load()
+	avail := m.tail() - h
+	if avail == 0 {
+		return buf
+	}
+	if avail > uint64(max) {
+		avail = uint64(max)
+	}
+	c := m.headChunk.Load()
+	if c == nil {
+		return buf // reserving sender has not installed chunk 0 yet
+	}
+	start := h
+	for h-start < avail {
+		if h >= c.start+chunkSize {
+			next := c.next.Load()
+			if next == nil {
+				break // successor mid-allocation; sender will wake us
+			}
+			m.headChunk.Store(next)
+			c = next
+		}
+		i := h & chunkMask
+		if !c.ready[i].Load() {
+			break // unpublished: stop, sequence order is the FIFO guarantee
+		}
+		buf = append(buf, c.slots[i])
+		c.slots[i] = Envelope{} // release references for the GC
+		h++
+	}
+	if h != start {
+		m.head.Store(h)
+	}
+	return buf
+}
+
+// available reports whether the next slot in sequence is published.
+func (m *ringMailbox) available() bool {
+	h := m.head.Load()
+	if h >= m.tail() {
+		return false
+	}
+	c := m.headChunk.Load()
+	if c == nil {
+		return false
+	}
+	if h >= c.start+chunkSize {
+		c = c.next.Load()
+		if c == nil {
+			return false
+		}
+	}
+	return c.ready[h&chunkMask].Load()
+}
+
+func (m *ringMailbox) close(discard bool) []Envelope {
+	for {
+		s := m.state.Load()
+		if s&ringClosed != 0 {
+			break
+		}
+		// Publish the horizon before the bit: a reader that sees the bit
+		// (via the state acquire-load) must see this horizon.
+		m.closedTail.Store(s)
+		if m.state.CompareAndSwap(s, s|ringClosed) {
+			break
+		}
+	}
+	// Wake a parked consumer (no-op when close runs on the consumer, the
+	// usual case: the owning goroutine's teardown).
+	if m.waiting.CompareAndSwap(true, false) {
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
+	}
+	if !discard {
+		return nil
+	}
+	// Drain every accepted reservation (those below the horizon). Their
+	// senders will publish momentarily — there is no blocking between
+	// reserve and publish — so spin across the gap.
+	tail := m.closedTail.Load()
+	var drained []Envelope
+	for m.head.Load() < tail {
+		e, ok := m.tryTake()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		drained = append(drained, e)
+	}
+	return drained
+}
+
+func (m *ringMailbox) size() int {
+	// Reserved-but-unpublished slots count as queued: their senders'
+	// put calls have logically happened.
+	return int(m.tail() - m.head.Load())
+}

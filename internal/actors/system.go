@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,16 +97,33 @@ type Config struct {
 	// (Started, Restarted, Stopped, Escalated) for every supervised actor,
 	// in addition to any per-supervisor OnEvent hook.
 	OnLifecycle func(ev LifecycleEvent)
+	// Dispatcher selects how mailboxes are driven: Dedicated (default) runs
+	// one goroutine per actor; Pooled multiplexes all actors onto PoolSize
+	// workers so idle actors cost no goroutine (see dispatch.go).
+	Dispatcher DispatchMode
+	// PoolSize is the number of worker goroutines under Pooled dispatch
+	// (default runtime.GOMAXPROCS(0)). Ignored under Dedicated dispatch.
+	PoolSize int
+	// Throughput bounds how many messages an actor processes per
+	// scheduling slice: the batch size of a dedicated actor's mailbox
+	// drain, and the fairness quantum after which a pooled actor yields
+	// its worker (default 64).
+	Throughput int
 }
 
 // System owns a set of actors and their mailboxes.
 type System struct {
-	cfg     Config
-	mu      sync.Mutex
-	nextID  uint64
-	actors  map[uint64]*cell
-	stopped bool
-	wg      sync.WaitGroup
+	cfg        Config
+	throughput int
+	mu         sync.Mutex
+	nextID     uint64
+	actors     map[uint64]*cell
+	stopped    bool
+	wg         sync.WaitGroup
+
+	// Pooled dispatch state (nil/zero under Dedicated dispatch).
+	runq     *runQueue
+	workerWG sync.WaitGroup
 
 	deadletters atomic.Int64
 	processed   atomic.Int64
@@ -118,9 +136,14 @@ type System struct {
 // cell is the runtime state of one actor.
 type cell struct {
 	ref      *Ref
-	mbox     *mailbox
+	mbox     mailbox
 	behavior Behavior
+	ctx      *Context
 	done     chan struct{}
+
+	// sched is the cell's run-queue state under Pooled dispatch (cellIdle /
+	// cellScheduled); unused under Dedicated dispatch.
+	sched atomic.Int32
 
 	// Supervision state; nil/zero for unsupervised actors. factory rebuilds
 	// the initial behavior on restart; restarts counts panics survived.
@@ -156,7 +179,23 @@ var NoRecipient = &Ref{name: "no-recipient"}
 
 // NewSystem creates an actor system with the given config.
 func NewSystem(cfg Config) *System {
-	return &System{cfg: cfg, actors: make(map[uint64]*cell)}
+	s := &System{cfg: cfg, actors: make(map[uint64]*cell)}
+	s.throughput = cfg.Throughput
+	if s.throughput <= 0 {
+		s.throughput = 64
+	}
+	if cfg.Dispatcher == Pooled {
+		workers := cfg.PoolSize
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s.runq = newRunQueue()
+		s.workerWG.Add(workers)
+		for i := 0; i < workers; i++ {
+			go s.worker()
+		}
+	}
+	return s
 }
 
 // Spawn creates an actor with the given name and initial behavior and starts
@@ -184,17 +223,23 @@ func (s *System) spawn(name string, b Behavior, sup *Supervisor, factory func() 
 	}
 	c := &cell{
 		ref:      ref,
-		mbox:     newMailbox(perturb, s.cfg.MailboxCap),
+		mbox:     newMailbox(perturb, s.cfg.MailboxCap, s.cfg.Injector != nil),
 		behavior: b,
 		done:     make(chan struct{}),
 		sup:      sup,
 		factory:  factory,
 	}
+	c.ctx = &Context{system: s, self: ref, cell: c}
 	s.actors[id] = c
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.run(c)
+	// Dedicated dispatch starts the actor's goroutine now; under Pooled
+	// dispatch the actor costs nothing until its first message schedules it
+	// onto a worker.
+	if s.runq == nil {
+		go s.runDedicated(c)
+	}
 	return ref, nil
 }
 
@@ -207,81 +252,85 @@ func (s *System) MustSpawn(name string, b Behavior) *Ref {
 	return ref
 }
 
-func (s *System) run(c *cell) {
-	defer s.wg.Done()
-	defer close(c.done)
-	defer func() {
-		s.mu.Lock()
-		delete(s.actors, c.ref.id)
-		s.mu.Unlock()
-		for _, e := range c.mbox.close(true) {
-			s.deadletter(c.ref, e)
-		}
-		if c.sup != nil {
-			c.sup.childExited(c.ref)
-		}
-	}()
-	ctx := &Context{system: s, self: c.ref, cell: c}
-	for {
-		e, ok := c.mbox.take()
-		if !ok {
-			return
-		}
-		switch m := e.Msg.(type) {
-		case stopMsg:
-			s.emitStopped(c, nil)
-			return
-		case restartMsg:
-			// Forced restart (all-for-one sibling, or subtree restart on
-			// escalation). Takes effect after the messages that were queued
-			// ahead of it; it does not count against the child's own budget.
-			s.restart(c, m.reason)
-			continue
-		}
-		// Receive-site fault injection: a slow consumer stalls here, after
-		// dequeue and before processing.
-		if d := s.decide(faults.SiteReceive, c.ref.name, e.Msg); d.Action == faults.ActDelay {
-			s.recordFault(c.ref, faults.SiteReceive, e.Msg, d)
-			time.Sleep(d.Delay)
-		}
-		if s.cfg.Recorder != nil && e.traceID != "" {
-			s.cfg.Recorder.RecordReceive(c.ref.String(), e.traceID, fmt.Sprintf("%T", e.Msg))
-		}
-		ctx.sender = e.Sender
-		var panicked bool
-		var reason any
-		if d := s.decide(faults.SiteBehavior, c.ref.name, e.Msg); d.Action == faults.ActPanic {
-			// Injected crash: the behavior never runs, so actor state is not
-			// half-mutated — the message is simply lost with the crash.
-			panicked = true
-			reason = faults.InjectedPanic{Op: faults.Op{
-				Site: faults.SiteBehavior, Actor: c.ref.name, Msg: fmt.Sprintf("%T", e.Msg),
-			}}
-			s.recordFault(c.ref, faults.SiteBehavior, e.Msg, d)
-			s.panics.Add(1)
-			if s.cfg.OnPanic != nil {
-				s.cfg.OnPanic(c.ref, reason)
-			}
-		} else {
-			panicked, reason = s.invoke(c, ctx, e.Msg)
-		}
-		if panicked {
-			if c.sup == nil {
-				// Unsupervised: the actor dies, the process lives.
-				s.emitStopped(c, reason)
-				return
-			}
-			if !s.superviseFailure(c, reason) {
-				return
-			}
-			continue
-		}
-		s.processed.Add(1)
-		if ctx.stopped {
-			s.emitStopped(c, nil)
-			return
-		}
+// teardown finalizes a terminated actor: it leaves the system's routing
+// table, its queued messages become deadletters, its supervisor learns of
+// the exit, and waiters (Await, Shutdown) are released. Called exactly once
+// per cell, by whichever goroutine (dedicated or pooled worker) observed
+// the exit; under Pooled dispatch the cell's schedule flag is still held,
+// so no other worker can be touching the mailbox.
+func (s *System) teardown(c *cell) {
+	s.mu.Lock()
+	delete(s.actors, c.ref.id)
+	s.mu.Unlock()
+	for _, e := range c.mbox.close(true) {
+		s.deadletter(c.ref, e)
 	}
+	if c.sup != nil {
+		c.sup.childExited(c.ref)
+	}
+	close(c.done)
+	s.wg.Done()
+}
+
+// processOne delivers a single envelope to the actor: control messages,
+// receive/behavior fault-injection sites, trace recording, the behavior
+// call, and panic/supervision handling. It reports whether the actor must
+// exit (the caller then runs teardown). Both dispatch modes funnel every
+// message through here, so the delivery contract is mode-independent.
+func (s *System) processOne(c *cell, e Envelope) (exit bool) {
+	ctx := c.ctx
+	switch m := e.Msg.(type) {
+	case stopMsg:
+		s.emitStopped(c, nil)
+		return true
+	case restartMsg:
+		// Forced restart (all-for-one sibling, or subtree restart on
+		// escalation). Takes effect after the messages that were queued
+		// ahead of it; it does not count against the child's own budget.
+		s.restart(c, m.reason)
+		return false
+	}
+	// Receive-site fault injection: a slow consumer stalls here, after
+	// dequeue and before processing.
+	if d := s.decide(faults.SiteReceive, c.ref.name, e.Msg); d.Action == faults.ActDelay {
+		s.recordFault(c.ref, faults.SiteReceive, e.Msg, d)
+		time.Sleep(d.Delay)
+	}
+	if s.cfg.Recorder != nil && e.traceID != "" {
+		s.cfg.Recorder.RecordReceive(c.ref.String(), e.traceID, fmt.Sprintf("%T", e.Msg))
+	}
+	ctx.sender = e.Sender
+	var panicked bool
+	var reason any
+	if d := s.decide(faults.SiteBehavior, c.ref.name, e.Msg); d.Action == faults.ActPanic {
+		// Injected crash: the behavior never runs, so actor state is not
+		// half-mutated — the message is simply lost with the crash.
+		panicked = true
+		reason = faults.InjectedPanic{Op: faults.Op{
+			Site: faults.SiteBehavior, Actor: c.ref.name, Msg: fmt.Sprintf("%T", e.Msg),
+		}}
+		s.recordFault(c.ref, faults.SiteBehavior, e.Msg, d)
+		s.panics.Add(1)
+		if s.cfg.OnPanic != nil {
+			s.cfg.OnPanic(c.ref, reason)
+		}
+	} else {
+		panicked, reason = s.invoke(c, ctx, e.Msg)
+	}
+	if panicked {
+		if c.sup == nil {
+			// Unsupervised: the actor dies, the process lives.
+			s.emitStopped(c, reason)
+			return true
+		}
+		return !s.superviseFailure(c, reason)
+	}
+	s.processed.Add(1)
+	if ctx.stopped {
+		s.emitStopped(c, nil)
+		return true
+	}
+	return false
 }
 
 // invoke runs one behavior call, trapping panics. It reports whether the
@@ -304,6 +353,9 @@ func (s *System) invoke(c *cell, ctx *Context, msg any) (panicked bool, recovere
 // superviseFailure consults the cell's supervisor about a panic and applies
 // the directive in the actor's own goroutine (so backoff sleeps never block
 // the supervisor or siblings). It reports whether the actor keeps running.
+// Under Pooled dispatch the backoff sleep occupies the worker running the
+// slice — bounded by SupervisorSpec.MaxBackoff; size the pool accordingly
+// when combining Pooled dispatch with large restart backoffs.
 func (s *System) superviseFailure(c *cell, reason any) bool {
 	restart, delay := c.sup.onChildFailure(c.ref, reason)
 	if !restart {
@@ -427,6 +479,9 @@ func (s *System) send(to *Ref, e Envelope) deliverStatus {
 		s.deadletter(to, e)
 		return statusDead
 	}
+	// Pooled dispatch: the message is in the mailbox, make sure a worker
+	// will visit the actor (no-op under Dedicated dispatch).
+	s.schedule(c)
 	return statusDelivered
 }
 
@@ -502,12 +557,14 @@ func (s *System) FaultsInjected() int64 { return s.injected.Load() }
 func (s *System) Restarts() int64 { return s.restarts.Load() }
 
 // Shutdown stops every actor (poison pill after queued messages) and waits
-// for all of them to terminate. The system accepts no further Spawns.
+// for all of them to terminate, then retires the worker pool if Pooled
+// dispatch is active. The system accepts no further Spawns.
 func (s *System) Shutdown() {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.stopPool()
 		return
 	}
 	s.stopped = true
@@ -520,6 +577,18 @@ func (s *System) Shutdown() {
 		s.Stop(r)
 	}
 	s.wg.Wait()
+	s.stopPool()
+}
+
+// stopPool drains and stops the Pooled dispatch workers. Idempotent; no-op
+// under Dedicated dispatch. Only called after every actor has terminated,
+// so the run queue can hold no live work.
+func (s *System) stopPool() {
+	if s.runq == nil {
+		return
+	}
+	s.runq.close()
+	s.workerWG.Wait()
 }
 
 // Context is the per-delivery view an actor has of itself and the system.

@@ -1,0 +1,169 @@
+// Cross-model conformance suite: every registered problem runs under every
+// model it implements, with randomized seeds, and (a) must pass its own
+// run-time invariant validation — a RunFunc returning nil error IS the
+// invariant check, see core.RunFunc — and (b) must report identical values
+// for every schedule-independent metric across threads, actors, and
+// coroutines. Run under -race in CI (see .github/workflows/ci.yml).
+package problems_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	_ "repro/internal/problems/registry"
+)
+
+// conformanceSeeds is how many randomized seeds each problem × model pair is
+// exercised with. The master seed is logged so a failure is replayable.
+const conformanceSeeds = 3
+
+// conformanceParams shrink each problem so the full matrix (problems ×
+// models × seeds) stays fast under -race; a problem absent here runs with
+// its spec defaults.
+var conformanceParams = map[string]core.Params{
+	"boundedbuffer":      {"producers": 3, "consumers": 3, "items": 120, "capacity": 8},
+	"diningphilosophers": {"philosophers": 5, "meals": 20},
+	"readerswriters":     {"readers": 4, "writers": 2, "ops": 60},
+	"sleepingbarber":     {"barbers": 2, "chairs": 4, "customers": 150},
+	"partymatching":      {"pairs": 80},
+	"singlelanebridge":   {"red": 3, "blue": 3, "crossings": 20},
+	"bookinventory":      {"titles": 6, "clients": 4, "ops": 80, "initial": 10},
+	"sumworkers":         {"workers": 6, "n": 30000},
+	"threadpool":         {"workers": 4, "tasks": 200, "queue": 8},
+}
+
+// comparableKeys lists, per problem, the metrics that are fully determined
+// by the parameters — so every model must report the same value no matter
+// how the schedule falls out. Keys deliberately absent:
+//
+//   - boundedbuffer maxOccupancy, readerswriters maxReaders,
+//     singlelanebridge maxSameDirection, sleepingbarber maxWaiting:
+//     high-water marks, schedule-dependent by nature (bounded by the
+//     problem's invariant, which the RunFunc already checks).
+//   - sleepingbarber served/turnedAway: the split depends on timing, but
+//     the sum is conserved — checked separately below.
+//   - bookinventory sold/restocked/queries/rejected: the op mix is drawn
+//     per-schedule; invariants only.
+var comparableKeys = map[string][]string{
+	"boundedbuffer":      {"consumed"},
+	"diningphilosophers": {"meals", "philosophers"},
+	"readerswriters":     {"readOps", "writeOps"},
+	"partymatching":      {"pairs"},
+	"singlelanebridge":   {"crossings"},
+	"sumworkers":         {"sum", "workers"},
+	"threadpool":         {"tasks"},
+}
+
+// TestCrossModelConformance is the matrix: for each problem and each seed,
+// run all implemented models, assert invariants (nil error), and assert the
+// schedule-independent metrics agree across models.
+func TestCrossModelConformance(t *testing.T) {
+	const masterSeed = 0x5eedc0de
+	t.Logf("master seed %#x (drives the per-run seeds)", int64(masterSeed))
+	rng := rand.New(rand.NewSource(masterSeed))
+	for _, name := range core.Default.Names() {
+		spec, err := core.Default.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			params := conformanceParams[spec.Name]
+			for round := 0; round < conformanceSeeds; round++ {
+				seed := rng.Int63()
+				got := map[core.Model]core.Metrics{}
+				for _, m := range core.AllModels {
+					if spec.Runs[m] == nil {
+						continue // chaos variants are actors-only
+					}
+					metrics, err := spec.Run(m, params, seed)
+					if err != nil {
+						t.Fatalf("%s/%s seed=%d: invariant violation: %v", name, m, seed, err)
+					}
+					got[m] = metrics
+				}
+				assertComparable(t, spec.Name, seed, got)
+			}
+		})
+	}
+}
+
+// assertComparable checks the schedule-independent metrics agree across
+// every model that ran, pairwise against the first model present.
+func assertComparable(t *testing.T, name string, seed int64, got map[core.Model]core.Metrics) {
+	t.Helper()
+	if len(got) < 2 {
+		return // single-model spec (chaos variants): invariants only
+	}
+	keys := comparableKeys[name]
+	if name == "sleepingbarber" {
+		// The served/turnedAway split is schedule-dependent but their sum is
+		// conserved: every customer is exactly one of the two.
+		sums := map[core.Model]int64{}
+		for m, metrics := range got {
+			sums[m] = metrics["served"] + metrics["turnedAway"]
+		}
+		assertEqualAcrossModels(t, name, "served+turnedAway", seed, sums)
+	}
+	for _, key := range keys {
+		vals := map[core.Model]int64{}
+		for m, metrics := range got {
+			v, ok := metrics[key]
+			if !ok {
+				t.Errorf("%s/%s seed=%d: missing comparable metric %q", name, m, seed, key)
+			}
+			vals[m] = v
+		}
+		assertEqualAcrossModels(t, name, key, seed, vals)
+	}
+}
+
+func assertEqualAcrossModels(t *testing.T, name, key string, seed int64, vals map[core.Model]int64) {
+	t.Helper()
+	var ref core.Model
+	var refVal int64
+	first := true
+	for _, m := range core.AllModels {
+		v, ok := vals[m]
+		if !ok {
+			continue
+		}
+		if first {
+			ref, refVal, first = m, v, false
+			continue
+		}
+		if v != refVal {
+			t.Errorf("%s seed=%d: %s diverges across models: %s=%d vs %s=%d",
+				name, seed, key, ref, refVal, m, v)
+		}
+	}
+}
+
+// TestConformanceCoversEveryComparableProblem pins the key table against the
+// registry: a newly registered multi-model problem must either declare its
+// comparable metrics or be explicitly exempted here.
+func TestConformanceCoversEveryComparableProblem(t *testing.T) {
+	exempt := map[string]string{
+		"bookinventory": "operation mix is drawn per schedule; invariants only",
+		"sleepingbarber": "served/turnedAway split is timing-dependent; " +
+			"the conserved sum is checked in assertComparable",
+	}
+	for _, name := range core.Default.Names() {
+		spec, err := core.Default.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spec.Runs) < 2 {
+			continue // single-model specs have nothing to compare
+		}
+		_, hasKeys := comparableKeys[name]
+		_, isExempt := exempt[name]
+		if !hasKeys && !isExempt {
+			t.Errorf("problem %q has %d models but no comparableKeys entry and no exemption",
+				name, len(spec.Runs))
+		}
+		if hasKeys && isExempt {
+			t.Errorf("problem %q is both listed in comparableKeys and exempted", name)
+		}
+	}
+}

@@ -159,18 +159,47 @@ func prec(e Expr) int {
 	return 8
 }
 
+// quoteString emits a string literal using exactly the escape set the lexer
+// decodes (\n, \t, \", \\), writing every other byte raw. strconv.Quote is
+// wrong here: it produces Go escapes like \x89 that the lexer would read as
+// a literal 'x', corrupting the value on a Format → Parse round trip.
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 func expr(e Expr) string {
 	switch x := e.(type) {
 	case *IntLit:
 		return strconv.FormatInt(x.Value, 10)
 	case *FloatLit:
 		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
-		if !strings.ContainsAny(s, ".e") {
+		if strings.ContainsAny(s, "eE") {
+			// The grammar has no exponent form; spell the digits out.
+			s = strconv.FormatFloat(x.Value, 'f', -1, 64)
+		}
+		if !strings.Contains(s, ".") {
 			s += ".0" // keep float literals lexically floats
 		}
 		return s
 	case *StrLit:
-		return strconv.Quote(x.Value)
+		return quoteString(x.Value)
 	case *BoolLit:
 		if x.Value {
 			return "True"
