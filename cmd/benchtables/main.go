@@ -7,10 +7,12 @@
 //
 // Usage:
 //
-//	benchtables [-reps N] [-quick] [-json FILE]
+//	benchtables [-reps N] [-quick] [-json FILE] [-remote] [-json-remote FILE]
 //
 // -json writes the mailbox/dispatcher numbers to FILE (the committed
-// baseline lives at BENCH_mailbox.json; see docs/PERF.md).
+// baseline lives at BENCH_mailbox.json; see docs/PERF.md). -remote appends
+// the node-to-node wire table, and -json-remote writes it to FILE (the
+// committed baseline lives at BENCH_remote.json; see docs/REMOTE.md).
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per cell (median reported)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the mailbox/dispatcher baseline to this file")
+	withRemote := flag.Bool("remote", false, "also run the node-to-node wire table")
+	jsonRemotePath := flag.String("json-remote", "", "write the remote wire baseline to this file (implies -remote)")
 	flag.Parse()
 
 	scale := 1
@@ -51,6 +55,17 @@ func main() {
 		if err := writeBaseline(*jsonPath, scale, entries); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	if *withRemote || *jsonRemotePath != "" {
+		fmt.Println()
+		remoteEntries := remoteTable(*reps, scale)
+		if *jsonRemotePath != "" {
+			if err := writeRemoteBaseline(*jsonRemotePath, scale, remoteEntries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package actors
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -16,6 +17,14 @@ var ErrAskTimeout = errors.New("actors: ask timed out")
 // backoff is *not* stopped — its mailbox keeps accepting messages.)
 var ErrActorStopped = errors.New("actors: target actor is stopped")
 
+// ErrPeerUnreachable is returned by Ask when the target is a proxy (remote)
+// Ref whose forwarding path refused the request — the peer's link is down or
+// its outbox is full. The ask fails fast like ErrActorStopped, but the
+// condition is transient: the peer may reconnect, so AskRetry treats it as
+// retryable and keeps backing off until the link heals or the budget runs
+// out.
+var ErrPeerUnreachable = errors.New("actors: remote peer unreachable")
+
 // Ask sends msg to ref and waits for one reply, bridging the asynchronous
 // actor world to synchronous callers (Scala's `!?` / ask pattern). It spawns
 // a temporary actor to receive the reply. If the target is already stopped
@@ -24,6 +33,12 @@ var ErrActorStopped = errors.New("actors: target actor is stopped")
 // indistinguishable from a slow reply and still times out — that is what
 // AskRetry is for.
 func Ask(sys *System, ref *Ref, msg any, timeout time.Duration) (any, error) {
+	return askCtx(context.Background(), sys, ref, msg, timeout)
+}
+
+// askCtx is Ask with a context: a cancelled ctx abandons the wait
+// immediately (the temporary reply actor is stopped) and returns ctx.Err().
+func askCtx(ctx context.Context, sys *System, ref *Ref, msg any, timeout time.Duration) (any, error) {
 	replyCh := make(chan any, 1)
 	tmp, err := sys.Spawn("ask-reply", func(ctx *Context, m any) {
 		select {
@@ -39,15 +54,22 @@ func Ask(sys *System, ref *Ref, msg any, timeout time.Duration) (any, error) {
 		sys.Stop(tmp)
 		return nil, ErrActorStopped
 	}
-	if st := sys.send(ref, Envelope{Msg: msg, Sender: tmp}); st == statusDead {
+	switch sys.send(ref, Envelope{Msg: msg, Sender: tmp}) {
+	case statusDead:
 		sys.Stop(tmp)
 		return nil, ErrActorStopped
+	case statusUnreachable:
+		sys.Stop(tmp)
+		return nil, ErrPeerUnreachable
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case r := <-replyCh:
 		return r, nil
+	case <-ctx.Done():
+		sys.Stop(tmp)
+		return nil, ctx.Err()
 	case <-timer.C:
 		sys.Stop(tmp)
 		return nil, ErrAskTimeout
@@ -96,14 +118,28 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 // wall-clock budget runs out. It is the at-least-once delivery layer that
 // makes lossy (fault-injected) message paths usable: receivers must treat
 // retried requests idempotently. ErrActorStopped is not retried — a stopped
-// actor will not come back as the same Ref.
+// actor will not come back as the same Ref. ErrPeerUnreachable *is* retried:
+// a partitioned peer can heal, and the backoff schedule is exactly what
+// rides out the outage.
 func AskRetry(sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
+	return AskRetryCtx(context.Background(), sys, ref, msg, rc)
+}
+
+// AskRetryCtx is AskRetry bounded by a context. Cancellation is honored
+// everywhere the call can linger: between backoff sleeps (a cancelled ctx
+// no longer burns the remaining retry budget asleep), while waiting out an
+// attempt's reply timeout, and before each new attempt. It returns ctx.Err()
+// as soon as the cancellation is observed.
+func AskRetryCtx(ctx context.Context, sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
 	rc = rc.withDefaults()
 	rng := rand.New(rand.NewSource(rc.Seed + 0x5eed))
 	start := time.Now()
 	backoff := rc.Backoff
 	var lastErr error
 	for attempt := 1; attempt <= rc.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if attempt > 1 {
 			d := backoff
 			if rc.Jitter > 0 {
@@ -114,7 +150,9 @@ func AskRetry(sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
 			if rc.Budget > 0 && time.Since(start)+d > rc.Budget {
 				break
 			}
-			time.Sleep(d)
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
 			backoff *= 2
 			if backoff > rc.MaxBackoff {
 				backoff = rc.MaxBackoff
@@ -128,9 +166,12 @@ func AskRetry(sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
 				timeout = left
 			}
 		}
-		r, err := Ask(sys, ref, msg, timeout)
+		r, err := askCtx(ctx, sys, ref, msg, timeout)
 		if err == nil {
 			return r, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 		lastErr = err
 		if errors.Is(err, ErrActorStopped) || errors.Is(err, ErrSystemStopped) {
@@ -141,4 +182,16 @@ func AskRetry(sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
 		lastErr = ErrAskTimeout
 	}
 	return nil, fmt.Errorf("actors: ask retry budget exhausted: %w", lastErr)
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }

@@ -1,6 +1,7 @@
 package actors
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -123,6 +124,81 @@ func TestAskRetryRespectsBudget(t *testing.T) {
 	}
 	if elapsed > time.Second {
 		t.Fatalf("AskRetry ran %v; budget of 50ms was not honored", elapsed)
+	}
+}
+
+// TestAskRetryCtxCancelledMidBackoff is the regression test for the bug
+// where AskRetry slept out its entire backoff schedule after the caller had
+// already gone away: cancellation must interrupt the sleep, not wait for it.
+func TestAskRetryCtxCancelledMidBackoff(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	blackhole := sys.MustSpawn("blackhole", func(ctx *Context, msg any) {})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Long backoffs: without ctx support this call sits asleep for ~20s.
+		_, err := AskRetryCtx(ctx, sys, blackhole, "anyone?", RetryConfig{
+			Attempts: 10,
+			Timeout:  10 * time.Millisecond,
+			Backoff:  10 * time.Second,
+		})
+		done <- err
+	}()
+	// Let the first attempt time out and the backoff sleep begin.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("cancellation took %v to be honored; backoff sleep was not interrupted", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AskRetryCtx ignored cancellation and kept sleeping")
+	}
+}
+
+// TestAskRetryCtxCancelledBeforeCall returns immediately without an attempt.
+func TestAskRetryCtxCancelledBeforeCall(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	var calls atomic.Int64
+	echo := sys.MustSpawn("echo", func(ctx *Context, msg any) {
+		calls.Add(1)
+		ctx.Reply(msg)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AskRetryCtx(ctx, sys, echo, 1, RetryConfig{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("cancelled-before-call still made %d attempts", calls.Load())
+	}
+}
+
+// TestAskRetryCtxCancelledDuringAttempt: cancellation inside the per-attempt
+// reply wait also returns promptly.
+func TestAskRetryCtxCancelledDuringAttempt(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Shutdown()
+	blackhole := sys.MustSpawn("blackhole", func(ctx *Context, msg any) {})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := AskRetryCtx(ctx, sys, blackhole, 1, RetryConfig{
+		Attempts: 2, Timeout: 10 * time.Second, Backoff: time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("took %v; the in-attempt wait ignored cancellation", elapsed)
 	}
 }
 

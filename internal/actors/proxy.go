@@ -1,0 +1,43 @@
+package actors
+
+// NewProxyRef creates a Ref that stands in for an actor living outside this
+// system — typically on another node (internal/remote), or a test double.
+// Sends on the Ref go through the normal delivery pipeline (fault injection
+// included) and are then handed to deliver instead of a local mailbox.
+//
+// deliver must not block: it is called on the sender's goroutine. It reports
+// whether the message was accepted for forwarding; a false return routes the
+// envelope to the system's deadletter hook with kind DLRemote, which is how
+// an unreachable peer surfaces — the send never blocks, it deadletters.
+// Control messages (poison pills, restart directives) never reach deliver:
+// they deadletter, because remote lifecycle is the remote system's business.
+//
+// The Ref draws its identity from the same ID space as local actors, so
+// ID() is unique within the system, but the proxy is not registered in the
+// routing table: Alive reports false, Await returns immediately, and Ask
+// fails fast only when deliver refuses the request.
+func (s *System) NewProxyRef(name string, deliver func(Envelope) bool) *Ref {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	return &Ref{id: id, name: name, sys: s, proxy: deliver}
+}
+
+// IsProxy reports whether the Ref forwards through a proxy function rather
+// than a local mailbox.
+func (r *Ref) IsProxy() bool { return r != nil && r.proxy != nil }
+
+// ByID returns the live local actor with the given ID, or nil if it has
+// stopped or never existed. Remote transports use it to route a reply
+// addressed by raw ID back to the asking actor; a nil return means the asker
+// is gone (for example an Ask that already timed out) and the reply should
+// deadletter.
+func (s *System) ByID(id uint64) *Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.actors[id]; ok {
+		return c.ref
+	}
+	return nil
+}

@@ -24,6 +24,13 @@ type Ref struct {
 	id   uint64
 	name string
 	sys  *System
+
+	// proxy, when non-nil, makes this Ref a stand-in for an actor that
+	// lives elsewhere (another node, a test double): sends are handed to
+	// proxy instead of a local mailbox. A false return means the proxy
+	// could not forward the message and it is deadlettered. See
+	// System.NewProxyRef and internal/remote.
+	proxy func(Envelope) bool
 }
 
 // Name returns the actor's registered name.
@@ -32,6 +39,16 @@ func (r *Ref) Name() string {
 		return "<nil>"
 	}
 	return r.name
+}
+
+// ID returns the Ref's system-unique identity. Remote transports use it to
+// route replies back to a specific actor (internal/remote); it carries no
+// meaning across systems.
+func (r *Ref) ID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.id
 }
 
 func (r *Ref) String() string { return fmt.Sprintf("actor(%s#%d)", r.Name(), r.id) }
@@ -126,6 +143,7 @@ type System struct {
 	workerWG sync.WaitGroup
 
 	deadletters atomic.Int64
+	dlByKind    [dlKinds]atomic.Int64
 	processed   atomic.Int64
 	traceSeq    atomic.Int64
 	panics      atomic.Int64
@@ -263,7 +281,7 @@ func (s *System) teardown(c *cell) {
 	delete(s.actors, c.ref.id)
 	s.mu.Unlock()
 	for _, e := range c.mbox.close(true) {
-		s.deadletter(c.ref, e)
+		s.deadletterKind(c.ref, e, DLClosed)
 	}
 	if c.sup != nil {
 		c.sup.childExited(c.ref)
@@ -445,6 +463,11 @@ const (
 	statusDropped
 	// statusDead: the target is stopped, foreign, or nil (deadlettered).
 	statusDead
+	// statusUnreachable: a proxy could not forward the message — the remote
+	// peer is down or its outbox is full (deadlettered as DLRemote). Unlike
+	// statusDead this is transient: the peer may reconnect, so Ask surfaces
+	// it as ErrPeerUnreachable, which AskRetry retries.
+	statusUnreachable
 )
 
 func (s *System) deliver(to *Ref, e Envelope) { s.send(to, e) }
@@ -452,8 +475,12 @@ func (s *System) deliver(to *Ref, e Envelope) { s.send(to, e) }
 // send delivers an envelope and reports what happened, so synchronous
 // bridges like Ask can fail fast on dead targets.
 func (s *System) send(to *Ref, e Envelope) deliverStatus {
-	if to == nil || to.sys != s {
-		s.deadletter(to, e)
+	if to == nil {
+		s.deadletterKind(to, e, DLNoRecipient)
+		return statusDead
+	}
+	if to.sys != s {
+		s.deadletterKind(to, e, DLDead)
 		return statusDead
 	}
 	ctrl := isControl(e.Msg)
@@ -461,12 +488,28 @@ func (s *System) send(to *Ref, e Envelope) deliverStatus {
 		switch d := s.decide(faults.SiteSend, to.name, e.Msg); d.Action {
 		case faults.ActDrop:
 			s.recordFault(to, faults.SiteSend, e.Msg, d)
-			s.deadletter(to, e)
+			s.deadletterKind(to, e, DLDropped)
 			return statusDropped
 		case faults.ActDelay:
 			s.recordFault(to, faults.SiteSend, e.Msg, d)
 			time.Sleep(d.Delay)
 		}
+	}
+	if to.proxy != nil {
+		// Proxied (e.g. remote) target. Control messages never cross a
+		// proxy — a poison pill is a local-system directive, not a wire
+		// message — and a proxy that cannot forward (peer down, outbox
+		// full) deadletters instead of blocking the sender. The latter is
+		// transient (the peer may come back), so it gets its own status.
+		if ctrl {
+			s.deadletterKind(to, e, DLRemote)
+			return statusDead
+		}
+		if !to.proxy(e) {
+			s.deadletterKind(to, e, DLRemote)
+			return statusUnreachable
+		}
+		return statusDelivered
 	}
 	if s.cfg.Recorder != nil && !ctrl {
 		e.traceID = fmt.Sprintf("%s#%d", to.String(), s.traceSeq.Add(1))
@@ -475,8 +518,12 @@ func (s *System) send(to *Ref, e Envelope) deliverStatus {
 	s.mu.Lock()
 	c, ok := s.actors[to.id]
 	s.mu.Unlock()
-	if !ok || !c.mbox.put(e, ctrl) {
-		s.deadletter(to, e)
+	if !ok {
+		s.deadletterKind(to, e, DLDead)
+		return statusDead
+	}
+	if !c.mbox.put(e, ctrl) {
+		s.deadletterKind(to, e, DLClosed)
 		return statusDead
 	}
 	// Pooled dispatch: the message is in the mailbox, make sure a worker
@@ -492,8 +539,58 @@ func senderName(r *Ref) string {
 	return r.String()
 }
 
+// DeadLetterKind classifies why a message became a deadletter, so remote
+// deadletters (an unreachable peer) are distinguishable from a stopped
+// actor or an injected drop. Kinds are surfaced through RegisterMetrics.
+type DeadLetterKind int
+
+const (
+	// DLNoRecipient: the message had no recipient at all (nil Ref,
+	// Context.Reply with no recorded sender).
+	DLNoRecipient DeadLetterKind = iota
+	// DLDead: the target is stopped or belongs to another system.
+	DLDead
+	// DLClosed: the target's mailbox (ring or lock) closed with the message
+	// queued or mid-put — the close-time drain of either mailbox kind.
+	DLClosed
+	// DLDropped: a fault injector discarded the send.
+	DLDropped
+	// DLRemote: a proxy (remote) target could not forward the message —
+	// peer unreachable, link outbox full, or a control message that cannot
+	// cross a proxy.
+	DLRemote
+
+	dlKinds = int(DLRemote) + 1
+)
+
+func (k DeadLetterKind) String() string {
+	switch k {
+	case DLNoRecipient:
+		return "norecipient"
+	case DLDead:
+		return "dead"
+	case DLClosed:
+		return "closed"
+	case DLDropped:
+		return "dropped"
+	case DLRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("DeadLetterKind(%d)", int(k))
+	}
+}
+
 func (s *System) deadletter(to *Ref, e Envelope) {
+	kind := DLDead
+	if to == nil {
+		kind = DLNoRecipient
+	}
+	s.deadletterKind(to, e, kind)
+}
+
+func (s *System) deadletterKind(to *Ref, e Envelope, kind DeadLetterKind) {
 	s.deadletters.Add(1)
+	s.dlByKind[kind].Add(1)
 	if s.cfg.DeadLetter != nil {
 		if to == nil {
 			// Never hand user hooks a nil receiver: a message with no
@@ -502,6 +599,14 @@ func (s *System) deadletter(to *Ref, e Envelope) {
 		}
 		s.cfg.DeadLetter(to, e)
 	}
+}
+
+// DeadLettersOf returns the count of deadletters of one kind.
+func (s *System) DeadLettersOf(kind DeadLetterKind) int64 {
+	if int(kind) < 0 || int(kind) >= dlKinds {
+		return 0
+	}
+	return s.dlByKind[kind].Load()
 }
 
 // Stop asks the actor to terminate after the messages already in its

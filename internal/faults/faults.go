@@ -16,6 +16,7 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,11 @@ const (
 	// (internal/coro). Panic crashes the task at the scheduling point;
 	// Drop skips the task for one round (starvation injection).
 	SiteResume Site = "resume"
+	// SiteWire: a frame is about to cross a transport link between two
+	// nodes (internal/remote's memtransport). Drop models a lost frame;
+	// Delay models link latency. Op.Actor is "src->dst" (see WireOp), so
+	// matchers and the Partition injector can select by link.
+	SiteWire Site = "wire"
 )
 
 // Op describes one operation presented to an Injector.
@@ -116,6 +122,31 @@ func OnActor(name string) Matcher { return func(op Op) bool { return op.Actor ==
 // MsgType matches operations whose Msg detail equals t (for actors this is
 // the Go type of the message, e.g. "boundedbuffer.putMsg").
 func MsgType(t string) Matcher { return func(op Op) bool { return op.Msg == t } }
+
+// WireOp builds the Op a transport presents at SiteWire for a frame
+// traveling from node src to node dst. msg describes the frame (typically
+// the payload's Go type, or the frame kind for control frames).
+func WireOp(src, dst, msg string) Op {
+	return Op{Site: SiteWire, Actor: src + "->" + dst, Msg: msg}
+}
+
+// splitLink parses a SiteWire Op.Actor of the form "src->dst".
+func splitLink(op Op) (src, dst string, ok bool) {
+	if op.Site != SiteWire {
+		return "", "", false
+	}
+	src, dst, ok = strings.Cut(op.Actor, "->")
+	return src, dst, ok
+}
+
+// OnLink matches wire operations between nodes a and b, in either
+// direction. Combine with Drop for a lossy link, Delay for a slow one.
+func OnLink(a, b string) Matcher {
+	return func(op Op) bool {
+		src, dst, ok := splitLink(op)
+		return ok && ((src == a && dst == b) || (src == b && dst == a))
+	}
+}
 
 // All combines matchers conjunctively.
 func All(ms ...Matcher) Matcher {
@@ -278,6 +309,72 @@ func (s *slowConsumer) Decide(op Op) Decision {
 		return Decision{Action: ActDelay, Delay: s.d}
 	}
 	return Decision{}
+}
+
+// Partition simulates network partitions at SiteWire: while a pair of node
+// addresses is cut, every frame between them (both directions) is dropped.
+// Unlike the probabilistic policies it is controlled imperatively — Cut
+// opens a partition, Heal closes it — so a test can split two nodes
+// mid-run, watch the protocol stall into retries and deadletters, heal the
+// link, and assert the run converges. Operations at other sites pass
+// through untouched, so a Partition composes in a Chain with message-level
+// policies.
+type Partition struct {
+	mu      sync.Mutex
+	cut     map[[2]string]bool
+	dropped atomic.Int64
+}
+
+// NewPartition returns a Partition with no links cut.
+func NewPartition() *Partition { return &Partition{cut: map[[2]string]bool{}} }
+
+// pairKey normalizes an unordered node pair.
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Cut partitions nodes a and b: frames between them drop in both directions
+// until Heal.
+func (p *Partition) Cut(a, b string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut[pairKey(a, b)] = true
+}
+
+// Heal reconnects nodes a and b.
+func (p *Partition) Heal(a, b string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.cut, pairKey(a, b))
+}
+
+// HealAll reconnects every cut pair.
+func (p *Partition) HealAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = map[[2]string]bool{}
+}
+
+// Dropped returns the number of frames dropped by this partition.
+func (p *Partition) Dropped() int64 { return p.dropped.Load() }
+
+// Decide drops wire operations between currently-cut pairs.
+func (p *Partition) Decide(op Op) Decision {
+	src, dst, ok := splitLink(op)
+	if !ok {
+		return Decision{}
+	}
+	p.mu.Lock()
+	cut := p.cut[pairKey(src, dst)]
+	p.mu.Unlock()
+	if !cut {
+		return Decision{}
+	}
+	p.dropped.Add(1)
+	return Decision{Action: ActDrop}
 }
 
 // Chain consults injectors in order and returns the first non-ActNone

@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWireOpShape(t *testing.T) {
+	op := WireOp("nodeA", "nodeB", "remote.tPing")
+	if op.Site != SiteWire {
+		t.Fatalf("Site = %q, want %q", op.Site, SiteWire)
+	}
+	if op.Actor != "nodeA->nodeB" {
+		t.Fatalf("Actor = %q", op.Actor)
+	}
+	if op.Msg != "remote.tPing" {
+		t.Fatalf("Msg = %q", op.Msg)
+	}
+}
+
+func TestOnLinkMatchesBothDirections(t *testing.T) {
+	m := OnLink("A", "B")
+	cases := []struct {
+		op   Op
+		want bool
+	}{
+		{WireOp("A", "B", "x"), true},
+		{WireOp("B", "A", "x"), true},
+		{WireOp("A", "C", "x"), false},
+		{WireOp("C", "B", "x"), false},
+		// Same actor string at a non-wire site must not match.
+		{Op{Site: SiteSend, Actor: "A->B"}, false},
+		// Malformed link (no arrow) must not match.
+		{Op{Site: SiteWire, Actor: "AB"}, false},
+	}
+	for _, c := range cases {
+		if got := m(c.op); got != c.want {
+			t.Errorf("OnLink(A,B)(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestPartitionCutHealLifecycle(t *testing.T) {
+	p := NewPartition()
+
+	// No cuts: everything passes.
+	if d := p.Decide(WireOp("A", "B", "x")); d.Action != ActNone {
+		t.Fatalf("uncut link decided %v", d)
+	}
+
+	p.Cut("A", "B")
+	// Both directions drop; the argument order of Cut is irrelevant.
+	if d := p.Decide(WireOp("A", "B", "x")); d.Action != ActDrop {
+		t.Fatalf("cut A->B decided %v", d)
+	}
+	if d := p.Decide(WireOp("B", "A", "x")); d.Action != ActDrop {
+		t.Fatalf("cut B->A decided %v", d)
+	}
+	// Unrelated links are untouched.
+	if d := p.Decide(WireOp("A", "C", "x")); d.Action != ActNone {
+		t.Fatalf("uncut A->C decided %v", d)
+	}
+	// Non-wire sites pass through even between cut nodes, so a Partition
+	// composes with message-level policies in a Chain.
+	if d := p.Decide(Op{Site: SiteSend, Actor: "A->B"}); d.Action != ActNone {
+		t.Fatalf("non-wire op decided %v", d)
+	}
+	if got := p.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+
+	p.Heal("B", "A") // reversed order heals the same pair
+	if d := p.Decide(WireOp("A", "B", "x")); d.Action != ActNone {
+		t.Fatalf("healed link decided %v", d)
+	}
+
+	p.Cut("A", "B")
+	p.Cut("A", "C")
+	p.HealAll()
+	for _, pair := range [][2]string{{"A", "B"}, {"A", "C"}} {
+		if d := p.Decide(WireOp(pair[0], pair[1], "x")); d.Action != ActNone {
+			t.Fatalf("link %v still cut after HealAll", pair)
+		}
+	}
+}
+
+func TestPartitionConcurrentUse(t *testing.T) {
+	p := NewPartition()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				p.Cut("A", "B")
+				p.Heal("A", "B")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				p.Decide(WireOp("A", "B", "x"))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPartitionComposesInChain(t *testing.T) {
+	p := NewPartition()
+	p.Cut("A", "B")
+	// Partition first: it drops cut wire frames, everything else falls
+	// through to the next policy.
+	ch := Chain(p, Drop(1, 1.0, OnActor("victim")))
+	if d := ch.Decide(WireOp("A", "B", "x")); d.Action != ActDrop {
+		t.Fatalf("chained partition did not drop: %v", d)
+	}
+	if d := ch.Decide(Op{Site: SiteSend, Actor: "victim"}); d.Action != ActDrop {
+		t.Fatalf("downstream drop policy did not fire: %v", d)
+	}
+	if d := ch.Decide(Op{Site: SiteSend, Actor: "bystander"}); d.Action != ActNone {
+		t.Fatalf("bystander op decided %v", d)
+	}
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing named count, safe for concurrent
+// use. Obtain one from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Registry is a flat namespace of named counters and gauges, the
+// observability surface for runtime internals that used to be visible only
+// in logs (mailbox deadletter counts, remote link state, frames on the
+// wire). Counters are owned by the registry and written by the instrumented
+// code; gauges are read-through functions sampled at Snapshot time, so a
+// subsystem can expose counters it already maintains (for example
+// actors.System.RegisterMetrics) without double bookkeeping.
+//
+// The zero value is ready to use. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter registered under name, creating it on first
+// use. Repeated calls with the same name return the same counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers fn as the value source for name, replacing any previous
+// gauge under that name. fn is called at Snapshot time and must be safe for
+// concurrent use.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]func() int64{}
+	}
+	r.gauges[name] = fn
+}
+
+// Sample is one named value in a Snapshot.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot reads every counter and gauge and returns the samples sorted by
+// name, so two snapshots are directly comparable.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Value: c.Load()})
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	r.mu.Unlock()
+	// Gauge functions run outside the registry lock: they may take locks of
+	// their own (e.g. summing mailbox sizes), and must not deadlock against
+	// concurrent Counter/Gauge registration.
+	for name, fn := range gauges {
+		out = append(out, Sample{Name: name, Value: fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the current value registered under name and whether it exists.
+func (r *Registry) Get(name string) (int64, bool) {
+	r.mu.Lock()
+	c, cok := r.counters[name]
+	fn, gok := r.gauges[name]
+	r.mu.Unlock()
+	if cok {
+		return c.Load(), true
+	}
+	if gok {
+		return fn(), true
+	}
+	return 0, false
+}
+
+// String renders the snapshot one "name value" line at a time, aligned.
+func (r *Registry) String() string {
+	samples := r.Snapshot()
+	width := 0
+	for _, s := range samples {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	for _, s := range samples {
+		fmt.Fprintf(&b, "%-*s %d\n", width, s.Name, s.Value)
+	}
+	return b.String()
+}

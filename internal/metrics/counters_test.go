@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("Load = %d, want 5", got)
+	}
+}
+
+func TestRegistryCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits")
+	b := r.Counter("hits")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(3)
+	if v, ok := r.Get("hits"); !ok || v != 3 {
+		t.Fatalf("Get(hits) = %d,%v", v, ok)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("Get(missing) reported ok")
+	}
+}
+
+func TestRegistryGaugeAndSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	v := int64(7)
+	r.Gauge("a.gauge", func() int64 { return v })
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d samples", len(snap))
+	}
+	if snap[0].Name != "a.gauge" || snap[1].Name != "b.count" {
+		t.Fatalf("snapshot not sorted by name: %v", snap)
+	}
+	if snap[0].Value != 7 || snap[1].Value != 2 {
+		t.Fatalf("snapshot values: %v", snap)
+	}
+	v = 9 // gauges are live reads
+	if got, _ := r.Get("a.gauge"); got != 9 {
+		t.Fatalf("gauge not live: %d", got)
+	}
+}
+
+// TestRegistryGaugeMayReenterRegistry pins the lock discipline: a gauge
+// function that itself reads the registry (as actor-system gauges that sum
+// over other state do) must not deadlock Snapshot.
+func TestRegistryGaugeMayReenterRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("base").Add(5)
+	r.Gauge("derived", func() int64 {
+		v, _ := r.Get("base")
+		return v * 2
+	})
+	done := make(chan []Sample, 1)
+	go func() { done <- r.Snapshot() }()
+	select {
+	case snap := <-done:
+		for _, s := range snap {
+			if s.Name == "derived" && s.Value != 10 {
+				t.Fatalf("derived = %d, want 10", s.Value)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshot deadlocked on a re-entrant gauge")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := r.Get("shared"); v != 8*500 {
+		t.Fatalf("shared = %d, want %d", v, 8*500)
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(12)
+	r.Gauge("inflight", func() int64 { return 3 })
+	out := r.String()
+	if !strings.Contains(out, "requests") || !strings.Contains(out, "12") {
+		t.Fatalf("String() missing counter:\n%s", out)
+	}
+	if !strings.Contains(out, "inflight") || !strings.Contains(out, "3") {
+		t.Fatalf("String() missing gauge:\n%s", out)
+	}
+}

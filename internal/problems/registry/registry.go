@@ -35,6 +35,7 @@ func All() []*core.Spec {
 		partymatching.Spec(),
 		singlelanebridge.Spec(),
 		singlelanebridge.ChaosSpec(),
+		singlelanebridge.RemoteSpec(),
 		bookinventory.Spec(),
 		sumworkers.Spec(),
 		threadpool.Spec(),

@@ -1,0 +1,72 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+)
+
+// benchPair builds two connected nodes with an echo actor registered on the
+// second, returning the first node and the proxy ref.
+func benchPair(b *testing.B, mkTransport func(addr string) Transport) (*Node, *actors.Ref, func()) {
+	b.Helper()
+	mk := func(addr string) *Node {
+		n, err := NewNode(Config{ListenAddr: addr, Transport: mkTransport(addr)})
+		if err != nil {
+			b.Fatalf("NewNode: %v", err)
+		}
+		return n
+	}
+	na, nb := mk(benchAddrA), mk(benchAddrB)
+	echo := nb.System().MustSpawn("echo", func(ctx *actors.Context, msg any) {
+		if p, ok := msg.(tPing); ok {
+			ctx.Reply(tPong{N: p.N})
+		}
+	})
+	nb.Register("echo", echo)
+	ref, err := na.RefFor("echo@" + nb.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := na.Connect(nb.Addr(), 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return na, ref, func() {
+		na.Close()
+		nb.Close()
+	}
+}
+
+// benchAddrA/B vary per transport: mem wants arbitrary names, TCP wants
+// loopback with an ephemeral port.
+var benchAddrA, benchAddrB = "", ""
+
+// BenchmarkRemotePingPong measures a full Ask round trip (request + reply,
+// each crossing the wire once) node-to-node, over the in-process transport
+// and over real loopback TCP.
+func BenchmarkRemotePingPong(b *testing.B) {
+	b.Run("mem", func(b *testing.B) {
+		net := NewMemNetwork()
+		benchAddrA, benchAddrB = "bench-a", "bench-b"
+		na, ref, cleanup := benchPair(b, func(addr string) Transport { return net.Endpoint(addr) })
+		defer cleanup()
+		runPingPong(b, na, ref)
+	})
+	b.Run("tcp", func(b *testing.B) {
+		benchAddrA, benchAddrB = "127.0.0.1:0", "127.0.0.1:0"
+		na, ref, cleanup := benchPair(b, func(addr string) Transport { return TCPTransport{} })
+		defer cleanup()
+		runPingPong(b, na, ref)
+	})
+}
+
+func runPingPong(b *testing.B, n *Node, ref *actors.Ref) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := actors.Ask(n.System(), ref, tPing{N: i}, 30*time.Second); err != nil {
+			b.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}

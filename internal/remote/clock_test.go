@@ -1,0 +1,118 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/trace"
+)
+
+// TestLamportPingPongMergesCausally drives a ping-pong across two nodes with
+// wire recording on and checks that the Lamport merge-on-receive holds: each
+// receive is stamped strictly after the send that caused it, so the merged
+// two-node log is one causal diagram (satellite: trace.Clock merge across
+// nodes).
+func TestLamportPingPongMergesCausally(t *testing.T) {
+	a, b, _ := twoMemNodes(t, func(c *Config) { c.RecordWire = true })
+
+	pong := b.System().MustSpawn("pong", func(ctx *actors.Context, msg any) {
+		if p, ok := msg.(tPing); ok {
+			ctx.Reply(tPong{N: p.N})
+		}
+	})
+	b.Register("pong", pong)
+
+	ref, err := a.RefFor("pong@" + b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect(b.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		r, err := actors.Ask(a.System(), ref, tPing{N: i}, 5*time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if p, ok := r.(tPong); !ok || p.N != i {
+			t.Fatalf("round %d: got %#v", i, r)
+		}
+	}
+
+	logA, logB := a.LamportLog(), b.LamportLog()
+	if len(logA) < 2*rounds || len(logB) < 2*rounds {
+		t.Fatalf("wire logs too short: A=%d B=%d (want >= %d each)", len(logA), len(logB), 2*rounds)
+	}
+
+	// Pair each send with its receive by (sender, seq) and assert the
+	// Lamport stamps respect causality: recv time > send time.
+	type key struct {
+		from string
+		seq  uint64
+	}
+	sends := map[key]uint64{}
+	for _, e := range a.WireEvents() {
+		if e.Dir == "send" {
+			sends[key{a.Addr(), e.Seq}] = e.Lamport
+		}
+	}
+	for _, e := range b.WireEvents() {
+		if e.Dir == "send" {
+			sends[key{b.Addr(), e.Seq}] = e.Lamport
+		}
+	}
+	checked := 0
+	for _, e := range append(a.WireEvents(), b.WireEvents()...) {
+		if e.Dir != "recv" {
+			continue
+		}
+		sendLam, ok := sends[key{e.Peer, e.Seq}]
+		if !ok {
+			t.Fatalf("recv seq=%d from %s has no matching send", e.Seq, e.Peer)
+		}
+		if e.Lamport <= sendLam {
+			t.Fatalf("causality violated: recv lamport %d <= send lamport %d (seq=%d from %s)",
+				e.Lamport, sendLam, e.Seq, e.Peer)
+		}
+		checked++
+	}
+	if checked < 2*rounds {
+		t.Fatalf("only %d send/recv pairs checked, want >= %d", checked, 2*rounds)
+	}
+
+	// The merged diagram is sorted by (Time, Node) — a single total order
+	// consistent with causality.
+	merged := trace.MergeLamport(logA, logB)
+	if len(merged) != len(logA)+len(logB) {
+		t.Fatalf("merge lost events: %d != %d+%d", len(merged), len(logA), len(logB))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time < merged[i-1].Time {
+			t.Fatalf("merged log out of order at %d: %v after %v", i, merged[i], merged[i-1])
+		}
+	}
+	if out := trace.FormatLamport(merged); len(out) == 0 {
+		t.Fatal("FormatLamport returned nothing")
+	}
+}
+
+// TestClockObserveAdvances pins the merge rule itself: observing a foreign
+// stamp jumps the local clock past it (Lamport's max rule).
+func TestClockObserveAdvances(t *testing.T) {
+	var c trace.LamportClock
+	if got := c.Tick(); got != 1 {
+		t.Fatalf("first tick = %d, want 1", got)
+	}
+	if got := c.Observe(10); got <= 10 {
+		t.Fatalf("observe(10) = %d, want > 10", got)
+	}
+	if got := c.Tick(); got <= 11 {
+		t.Fatalf("tick after observe = %d, want > 11", got)
+	}
+	// Observing the past must not rewind.
+	if got := c.Observe(3); got <= 11 {
+		t.Fatalf("observe(3) rewound the clock to %d", got)
+	}
+}

@@ -1,0 +1,48 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Codec turns wire envelopes into frames and back. Implementations must be
+// safe for concurrent use; nodes encode on sender goroutines and decode on
+// per-connection readers.
+type Codec interface {
+	Encode(w *WireEnvelope) ([]byte, error)
+	Decode(frame []byte) (*WireEnvelope, error)
+}
+
+// GobCodec is the default codec: encoding/gob, one self-contained stream
+// per frame. Self-contained frames cost re-sent type descriptors per
+// message but survive reconnects and reordering with no per-connection
+// codec state — any frame decodes in isolation, which is exactly what a
+// lossy, reconnecting link needs.
+//
+// Payload types must be registered up front with RegisterType (gob encodes
+// interface values by concrete type name). An unregistered payload fails at
+// Encode on the sender, never partway across the wire.
+type GobCodec struct{}
+
+// RegisterType registers a payload's concrete type with the gob codec.
+// Call it from an init function in the package that defines the protocol
+// messages; registration is global and idempotent for a given type/name.
+func RegisterType(v any) { gob.Register(v) }
+
+// Encode marshals w into one self-contained gob frame.
+func (GobCodec) Encode(w *WireEnvelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode unmarshals one frame produced by Encode.
+func (GobCodec) Decode(frame []byte) (*WireEnvelope, error) {
+	w := new(WireEnvelope)
+	if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(w); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

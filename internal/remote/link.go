@@ -1,0 +1,173 @@
+package remote
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Link lifecycle. A fresh link is connecting: the peer is not yet known to
+// be unreachable, so sends buffer into the outbox and flush when the dial
+// lands (this is what lets an Ask's reply survive the reply-direction link
+// being created on demand). A link goes down on its first dial failure or
+// when an established connection dies, and sends are refused — deadlettered
+// by the caller — until a redial succeeds.
+const (
+	linkConnecting int32 = iota
+	linkUp
+	linkDown
+)
+
+// link is one dial-out connection to a peer, owned by a single manager
+// goroutine (run) that dials, pumps the outbox, heartbeats, and redials
+// with jittered exponential backoff when the connection dies. Replies from
+// the peer do not travel back on this connection — the peer dials its own
+// link to us — so inbound traffic here is only heartbeat acks.
+type link struct {
+	n      *Node
+	peer   string
+	outbox chan []byte
+	state  atomic.Int32 // linkConnecting until the first dial resolves
+	// lastRecv is the unixnano of the last frame read on the current
+	// connection; heartbeat timeout compares against it.
+	lastRecv atomic.Int64
+}
+
+func newLink(n *Node, peer string) *link {
+	return &link{n: n, peer: peer, outbox: make(chan []byte, n.cfg.OutboxCap)}
+}
+
+// enqueue hands a frame to the link without blocking. False means the link
+// is down or its outbox is full; the caller deadletters. A connecting link
+// accepts (buffers) the frame: the peer is not yet known unreachable.
+func (l *link) enqueue(frame []byte) bool {
+	if l.state.Load() == linkDown {
+		return false
+	}
+	select {
+	case l.outbox <- frame:
+		return true
+	default:
+		return false
+	}
+}
+
+// isUp reports whether the link has a live, hello'd connection.
+func (l *link) isUp() bool { return l.state.Load() == linkUp }
+
+// run is the link's manager loop: dial, serve until the connection dies,
+// back off, repeat. It exits when the node closes.
+func (l *link) run() {
+	n := l.n
+	defer n.wg.Done()
+	backoff := n.cfg.ReconnectMin
+	established := false
+	for {
+		if n.isClosed() {
+			return
+		}
+		conn, err := n.tr.Dial(l.peer)
+		if err != nil {
+			l.state.Store(linkDown)
+			if !l.sleep(n.jitterDur(backoff)) {
+				return
+			}
+			backoff *= 2
+			if backoff > n.cfg.ReconnectMax {
+				backoff = n.cfg.ReconnectMax
+			}
+			continue
+		}
+		backoff = n.cfg.ReconnectMin
+		if established {
+			n.reconnects.Add(1)
+		}
+		established = true
+		l.serve(conn)
+		l.state.Store(linkDown)
+		_ = conn.Close()
+	}
+}
+
+// serve owns one live connection: hello, then outbox frames and
+// heartbeats, until a write fails, the peer falls silent past the
+// heartbeat timeout, or the node closes.
+func (l *link) serve(conn Conn) {
+	n := l.n
+	hello := &WireEnvelope{Kind: FrameHello, FromAddr: n.addr, Lamport: n.clock.Tick()}
+	data, err := n.codec.Encode(hello)
+	if err != nil {
+		n.encodeErrs.Add(1)
+		return
+	}
+	if err := conn.Send(data); err != nil {
+		return
+	}
+	l.lastRecv.Store(time.Now().UnixNano())
+	l.state.Store(linkUp)
+
+	// Reader: the only inbound traffic on a dial-out connection is
+	// heartbeat acks, consumed purely as liveness evidence (and clock
+	// merges). It exits when the connection closes from either side.
+	readErr := make(chan struct{})
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer close(readErr)
+		for {
+			frame, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if w, err := n.codec.Decode(frame); err == nil {
+				n.clock.Observe(w.Lamport)
+				l.lastRecv.Store(time.Now().UnixNano())
+			} else {
+				n.decodeErrs.Add(1)
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-readErr:
+			return
+		case frame := <-l.outbox:
+			if err := conn.Send(frame); err != nil {
+				// The dequeued frame is lost with the connection —
+				// at-most-once delivery, by contract.
+				return
+			}
+		case <-ticker.C:
+			silence := time.Since(time.Unix(0, l.lastRecv.Load()))
+			if silence > n.cfg.HeartbeatTimeout {
+				n.hbTimeouts.Add(1)
+				return
+			}
+			hb := &WireEnvelope{Kind: FrameHeartbeat, FromAddr: n.addr, Lamport: n.clock.Tick()}
+			data, err := n.codec.Encode(hb)
+			if err != nil {
+				n.encodeErrs.Add(1)
+				continue
+			}
+			if err := conn.Send(data); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// sleep pauses for d or until the node closes; false means closed.
+func (l *link) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-l.n.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,207 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// MemNetwork is the in-process transport fabric: nodes listen on arbitrary
+// string addresses and frames move over buffered channels, so distributed
+// runs execute deterministically under -race with no sockets. An optional
+// faults.Injector is consulted at faults.SiteWire for every frame, which is
+// where drop/delay/partition injection lives — the same seeded policies
+// that fault single-process runs fault the wire.
+//
+// Each node takes its Transport from Endpoint(localAddr), which binds the
+// dialer's identity so wire operations carry a "src->dst" link (see
+// faults.WireOp) that Partition and OnLink can match on.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	inj       faults.Injector
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewMemNetwork returns an empty in-process network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: map[string]*memListener{}}
+}
+
+// SetInjector installs (or replaces, or clears with nil) the fault injector
+// consulted per frame at faults.SiteWire.
+func (m *MemNetwork) SetInjector(inj faults.Injector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inj = inj
+}
+
+func (m *MemNetwork) injector() faults.Injector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inj
+}
+
+// Delivered returns the number of frames handed to a receiving connection.
+func (m *MemNetwork) Delivered() int64 { return m.delivered.Load() }
+
+// Dropped returns the number of frames discarded by the injector.
+func (m *MemNetwork) Dropped() int64 { return m.dropped.Load() }
+
+// Endpoint returns a Transport bound to localAddr as its identity: dials
+// made through it stamp wire operations with localAddr as the source.
+func (m *MemNetwork) Endpoint(localAddr string) Transport {
+	return memEndpoint{net: m, addr: localAddr}
+}
+
+type memEndpoint struct {
+	net  *MemNetwork
+	addr string
+}
+
+func (e memEndpoint) Listen(addr string) (Listener, error) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("remote: mem listen: empty address")
+	}
+	if _, taken := e.net.listeners[addr]; taken {
+		return nil, fmt.Errorf("remote: mem listen: address %q in use", addr)
+	}
+	l := &memListener{
+		net:    e.net,
+		addr:   addr,
+		accept: make(chan *memConn, 16),
+		done:   make(chan struct{}),
+	}
+	e.net.listeners[addr] = l
+	return l, nil
+}
+
+func (e memEndpoint) Dial(addr string) (Conn, error) {
+	// Dials cross the same faulted wire as frames: a cut or lossy link can
+	// refuse connection establishment, which is what keeps a partitioned
+	// link down (redials fail) instead of flapping (drops look like
+	// successful sends).
+	if inj := e.net.injector(); inj != nil {
+		switch d := inj.Decide(faults.WireOp(e.addr, addr, "dial")); d.Action {
+		case faults.ActDrop:
+			e.net.dropped.Add(1)
+			return nil, fmt.Errorf("remote: mem dial %q: connection refused (injected)", addr)
+		case faults.ActDelay:
+			time.Sleep(d.Delay)
+		}
+	}
+	e.net.mu.Lock()
+	l, ok := e.net.listeners[addr]
+	e.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("remote: mem dial %q: connection refused", addr)
+	}
+	// A pair of unidirectional channels; both conns share one done channel
+	// so a Close from either side unblocks both.
+	const connBuf = 4096
+	d2l := make(chan []byte, connBuf)
+	l2d := make(chan []byte, connBuf)
+	done := make(chan struct{})
+	var once sync.Once
+	dialer := &memConn{net: e.net, src: e.addr, dst: addr, out: d2l, in: l2d, done: done, once: &once}
+	server := &memConn{net: e.net, src: addr, dst: e.addr, out: l2d, in: d2l, done: done, once: &once}
+	select {
+	case l.accept <- server:
+		return dialer, nil
+	case <-l.done:
+		return nil, fmt.Errorf("remote: mem dial %q: connection refused", addr)
+	}
+}
+
+type memListener struct {
+	net    *MemNetwork
+	addr   string
+	accept chan *memConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// memConn is one direction-pair endpoint. src/dst are node addresses from
+// the endpoint's perspective, used to build the SiteWire Op.
+type memConn struct {
+	net      *MemNetwork
+	src, dst string
+	out      chan<- []byte
+	in       <-chan []byte
+	done     chan struct{}
+	once     *sync.Once
+}
+
+func (c *memConn) Send(frame []byte) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	if inj := c.net.injector(); inj != nil {
+		switch d := inj.Decide(faults.WireOp(c.src, c.dst, fmt.Sprintf("%dB", len(frame)))); d.Action {
+		case faults.ActDrop:
+			// Lost frame: the transport accepted it, the peer never sees
+			// it. The sender cannot tell — that is the point.
+			c.net.dropped.Add(1)
+			return nil
+		case faults.ActDelay:
+			time.Sleep(d.Delay)
+		}
+	}
+	select {
+	case c.out <- frame:
+		c.net.delivered.Add(1)
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.done:
+		// Drain frames that raced the close, then report EOF-equivalent.
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}

@@ -1,0 +1,514 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Config shapes a Node.
+type Config struct {
+	// ListenAddr is the address the node's listener binds ("127.0.0.1:0"
+	// for TCP, any unique string for a MemNetwork endpoint). The resolved
+	// address — Node.Addr() — is the node's identity: peers dial it, and
+	// replies are routed back to it.
+	ListenAddr string
+	// Transport moves frames (required).
+	Transport Transport
+	// Codec encodes envelopes (default GobCodec{}).
+	Codec Codec
+	// System is the actor system the node serves. When nil, the node
+	// creates one with default config and shuts it down on Close.
+	System *actors.System
+	// HeartbeatInterval is how often an idle link probes its peer
+	// (default 250ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a link tolerates silence before it
+	// declares the peer unreachable, tears the connection down, and starts
+	// reconnecting (default 4 × HeartbeatInterval).
+	HeartbeatTimeout time.Duration
+	// ReconnectMin / ReconnectMax bound the jittered exponential backoff
+	// between dial attempts (defaults 10ms / 1s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Seed makes reconnect jitter deterministic (0 uses a fixed seed).
+	Seed int64
+	// OutboxCap bounds each link's outbound frame queue (default 256).
+	// A full outbox deadletters the send instead of blocking it.
+	OutboxCap int
+	// RecordWire, when true, logs every application frame sent and
+	// received as a WireEvent (see Node.WireEvents / Node.LamportLog) so
+	// cross-node traces can be merged into one causal diagram. Off by
+	// default: the log grows with traffic.
+	RecordWire bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Codec == nil {
+		c.Codec = GobCodec{}
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = 10 * time.Millisecond
+	}
+	if c.ReconnectMax < c.ReconnectMin {
+		c.ReconnectMax = time.Second
+		if c.ReconnectMax < c.ReconnectMin {
+			c.ReconnectMax = 4 * c.ReconnectMin
+		}
+	}
+	if c.OutboxCap <= 0 {
+		c.OutboxCap = 256
+	}
+	return c
+}
+
+// Node connects one actors.System to its peers: a listener for inbound
+// frames, dial-out links for outbound ones, a name registry for exported
+// actors, and proxy Refs for remote ones. See the package comment for the
+// delivery contract.
+type Node struct {
+	cfg    Config
+	sys    *actors.System
+	ownSys bool
+	tr     Transport
+	lis    Listener
+	addr   string
+	codec  Codec
+	clock  trace.LamportClock
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	links   map[string]*link
+	names   map[string]*actors.Ref
+	proxies map[string]*actors.Ref
+	conns   []Conn
+	closed  bool
+
+	seq        atomic.Uint64
+	sent       atomic.Int64
+	received   atomic.Int64
+	remoteDead atomic.Int64
+	reconnects atomic.Int64
+	hbTimeouts atomic.Int64
+	encodeErrs atomic.Int64
+	decodeErrs atomic.Int64
+
+	evMu   sync.Mutex
+	events []WireEvent
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewNode binds cfg.ListenAddr and starts accepting. The returned node is
+// ready for Register / RefFor / Connect.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("remote: Config.Transport is required")
+	}
+	cfg = cfg.withDefaults()
+	lis, err := cfg.Transport.Listen(cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen %q: %w", cfg.ListenAddr, err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		sys:     cfg.System,
+		tr:      cfg.Transport,
+		lis:     lis,
+		addr:    lis.Addr(),
+		codec:   cfg.Codec,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 0x9e37)),
+		links:   map[string]*link{},
+		names:   map[string]*actors.Ref{},
+		proxies: map[string]*actors.Ref{},
+		done:    make(chan struct{}),
+	}
+	if n.sys == nil {
+		n.sys = actors.NewSystem(actors.Config{})
+		n.ownSys = true
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's resolved listen address — its identity on the
+// wire.
+func (n *Node) Addr() string { return n.addr }
+
+// System returns the actor system this node serves.
+func (n *Node) System() *actors.System { return n.sys }
+
+// Clock returns the node's Lamport clock (ticked on send, merged on
+// receive).
+func (n *Node) Clock() *trace.LamportClock { return &n.clock }
+
+// Register exports ref under name: peers reach it via "name@<this addr>".
+// Re-registering a name replaces the previous binding.
+func (n *Node) Register(name string, ref *actors.Ref) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.names[name] = ref
+}
+
+// Unregister removes a name. In-flight frames addressed to it deadletter.
+func (n *Node) Unregister(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.names, name)
+}
+
+// RefFor resolves "name@addr" to a proxy Ref whose Tell/Ask cross the wire.
+// The link to addr starts dialing immediately in the background; use
+// Connect to wait for it. Sends before the link is up (or while the peer is
+// partitioned away) deadletter rather than block.
+func (n *Node) RefFor(target string) (*actors.Ref, error) {
+	name, addr, ok := strings.Cut(target, "@")
+	if !ok || name == "" || addr == "" {
+		return nil, fmt.Errorf("remote: malformed target %q (want name@addr)", target)
+	}
+	if n.isClosed() {
+		return nil, ErrClosed
+	}
+	n.linkTo(addr)
+	return n.proxyRef("name:"+target, target, addr, name, 0), nil
+}
+
+// Connect blocks until the link to addr is established, or the timeout
+// elapses. It is optional — RefFor alone will get there eventually — but
+// turns the initial dial race into a clean error.
+func (n *Node) Connect(addr string, timeout time.Duration) error {
+	if n.isClosed() {
+		return ErrClosed
+	}
+	l := n.linkTo(addr)
+	deadline := time.Now().Add(timeout)
+	for !l.isUp() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("remote: connect %s: timed out after %s", addr, timeout)
+		}
+		select {
+		case <-n.done:
+			return ErrClosed
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Stats is a snapshot of the node's wire counters.
+type Stats struct {
+	Sent              int64 // application frames accepted onto a link
+	Received          int64 // frames received and decoded (all kinds)
+	RemoteDeadLetters int64 // inbound frames with no live target
+	Reconnects        int64 // links re-established after a drop
+	HeartbeatTimeouts int64 // links torn down for peer silence
+	EncodeErrors      int64
+	DecodeErrors      int64
+}
+
+// Stats returns the node's current wire counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Sent:              n.sent.Load(),
+		Received:          n.received.Load(),
+		RemoteDeadLetters: n.remoteDead.Load(),
+		Reconnects:        n.reconnects.Load(),
+		HeartbeatTimeouts: n.hbTimeouts.Load(),
+		EncodeErrors:      n.encodeErrs.Load(),
+		DecodeErrors:      n.decodeErrs.Load(),
+	}
+}
+
+// RegisterMetrics exposes the node's counters as gauges named
+// prefix.<metric> — the remote half of the observability surface whose
+// local half is actors.System.RegisterMetrics.
+func (n *Node) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix+".wire.sent", n.sent.Load)
+	reg.Gauge(prefix+".wire.received", n.received.Load)
+	reg.Gauge(prefix+".wire.deadletters", n.remoteDead.Load)
+	reg.Gauge(prefix+".wire.reconnects", n.reconnects.Load)
+	reg.Gauge(prefix+".wire.heartbeat_timeouts", n.hbTimeouts.Load)
+	reg.Gauge(prefix+".wire.encode_errors", n.encodeErrs.Load)
+	reg.Gauge(prefix+".wire.decode_errors", n.decodeErrs.Load)
+	reg.Gauge(prefix+".wire.links", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(len(n.links))
+	})
+}
+
+// Close stops the listener, tears down every link and inbound connection,
+// and waits for the node's goroutines. If the node created its own System
+// it is shut down too. Close is idempotent.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return nil
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+	close(n.done)
+	_ = n.lis.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	if n.ownSys {
+		n.sys.Shutdown()
+	}
+	return nil
+}
+
+func (n *Node) isClosed() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// linkTo returns the link to addr, creating and starting it on first use.
+func (n *Node) linkTo(addr string) *link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[addr]; ok {
+		return l
+	}
+	l := newLink(n, addr)
+	n.links[addr] = l
+	if !n.closed {
+		n.wg.Add(1)
+		go l.run()
+	}
+	return l
+}
+
+// proxyRef returns the cached proxy Ref under key, creating it on first
+// use. name/id address the remote target (exactly one set); display is the
+// Ref's human-readable name.
+func (n *Node) proxyRef(key, display, addr, name string, id uint64) *actors.Ref {
+	n.mu.Lock()
+	if p, ok := n.proxies[key]; ok {
+		n.mu.Unlock()
+		return p
+	}
+	n.mu.Unlock()
+	ref := n.sys.NewProxyRef(display, func(e actors.Envelope) bool {
+		return n.forward(addr, name, id, e)
+	})
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.proxies[key]; ok {
+		return p // lost the creation race; keep the first
+	}
+	n.proxies[key] = ref
+	return ref
+}
+
+// forward is the proxy delivery function: it encodes e for the remote
+// target and enqueues the frame on the link to addr. It never blocks; false
+// (peer down, outbox full, encode failure, node closed) deadletters the
+// envelope in the calling System.
+func (n *Node) forward(addr, name string, id uint64, e actors.Envelope) bool {
+	if addr == "" || n.isClosed() {
+		// addr "" is the tombstone proxy: it exists only to name a dead
+		// destination in deadletter hooks and never forwards.
+		return false
+	}
+	w := &WireEnvelope{
+		Kind:     FrameMsg,
+		To:       name,
+		ToID:     id,
+		FromAddr: n.addr,
+		Payload:  e.Msg,
+		Seq:      n.seq.Add(1),
+	}
+	if e.Sender != nil {
+		w.FromID = e.Sender.ID()
+		w.FromName = e.Sender.Name()
+	}
+	w.Lamport = n.clock.Tick()
+	frame, err := n.codec.Encode(w)
+	if err != nil {
+		n.encodeErrs.Add(1)
+		return false
+	}
+	if !n.linkTo(addr).enqueue(frame) {
+		return false
+	}
+	n.sent.Add(1)
+	n.recordWire("send", addr, w.Seq, w.Lamport, payloadType(e.Msg))
+	return true
+}
+
+// acceptLoop owns the listener.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		n.conns = append(n.conns, c)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(c)
+	}
+}
+
+// serveConn reads one inbound connection until it closes, answering
+// heartbeats and dispatching application frames.
+func (n *Node) serveConn(c Conn) {
+	defer n.wg.Done()
+	defer c.Close()
+	for {
+		frame, err := c.Recv()
+		if err != nil {
+			return
+		}
+		w, err := n.codec.Decode(frame)
+		if err != nil {
+			n.decodeErrs.Add(1)
+			continue
+		}
+		// Clock merge on receive: the Lamport max-rule, so every frame —
+		// heartbeats included — keeps the two nodes' clocks entangled.
+		lam := n.clock.Observe(w.Lamport)
+		n.received.Add(1)
+		switch w.Kind {
+		case FrameHeartbeat:
+			ack := &WireEnvelope{Kind: FrameHeartbeatAck, FromAddr: n.addr, Lamport: n.clock.Tick()}
+			if data, err := n.codec.Encode(ack); err == nil {
+				// A failed ack write is the dialer's problem to detect.
+				_ = c.Send(data)
+			}
+		case FrameMsg:
+			n.recordWire("recv", w.FromAddr, w.Seq, lam, payloadType(w.Payload))
+			n.dispatch(w)
+		}
+	}
+}
+
+// dispatch routes one inbound application frame into the local system.
+func (n *Node) dispatch(w *WireEnvelope) {
+	var sender *actors.Ref
+	if w.FromID != 0 && w.FromAddr != "" {
+		display := fmt.Sprintf("%s@%s", w.FromName, w.FromAddr)
+		key := fmt.Sprintf("id:%s#%d", w.FromAddr, w.FromID)
+		sender = n.proxyRef(key, display, w.FromAddr, "", w.FromID)
+	}
+	var target *actors.Ref
+	switch {
+	case w.ToID != 0:
+		target = n.sys.ByID(w.ToID)
+	case w.To != "":
+		n.mu.Lock()
+		target = n.names[w.To]
+		n.mu.Unlock()
+	}
+	if target == nil {
+		// Unknown name, or an actor that stopped since the frame was sent
+		// (e.g. the reply of an Ask that already timed out): the existing
+		// deadletter contract, addressed to a tombstone ref so hooks can
+		// still read the intended destination.
+		n.remoteDead.Add(1)
+		n.tombstone(w).TellFrom(sender, w.Payload)
+		return
+	}
+	target.TellFrom(sender, w.Payload)
+}
+
+// tombstone returns a cached always-deadletter proxy for a frame whose
+// target does not exist here, named after the intended destination.
+func (n *Node) tombstone(w *WireEnvelope) *actors.Ref {
+	dest := w.To
+	if dest == "" {
+		dest = fmt.Sprintf("#%d", w.ToID)
+	}
+	display := fmt.Sprintf("%s@%s", dest, n.addr)
+	return n.proxyRef("dead:"+display, display, "", "", 0)
+}
+
+// recordWire appends one WireEvent when Config.RecordWire is on.
+func (n *Node) recordWire(dir, peer string, seq, lamport uint64, msg string) {
+	if !n.cfg.RecordWire {
+		return
+	}
+	n.evMu.Lock()
+	n.events = append(n.events, WireEvent{Dir: dir, Peer: peer, Seq: seq, Lamport: lamport, Msg: msg})
+	n.evMu.Unlock()
+}
+
+// WireEvent is one application frame in the node's wire log (RecordWire).
+type WireEvent struct {
+	Dir     string // "send" or "recv"
+	Peer    string // remote node address
+	Seq     uint64 // sending node's frame sequence number
+	Lamport uint64 // this node's Lamport time at the event
+	Msg     string // payload type
+}
+
+// WireEvents returns a copy of the node's wire log.
+func (n *Node) WireEvents() []WireEvent {
+	n.evMu.Lock()
+	defer n.evMu.Unlock()
+	out := make([]WireEvent, len(n.events))
+	copy(out, n.events)
+	return out
+}
+
+// LamportLog renders the wire log as trace.LamportEvents, ready for
+// trace.MergeLamport with other nodes' logs.
+func (n *Node) LamportLog() []trace.LamportEvent {
+	events := n.WireEvents()
+	out := make([]trace.LamportEvent, len(events))
+	for i, e := range events {
+		out[i] = trace.LamportEvent{
+			Node: n.addr,
+			Time: e.Lamport,
+			What: fmt.Sprintf("%s %s seq=%d peer=%s", e.Dir, e.Msg, e.Seq, e.Peer),
+		}
+	}
+	return out
+}
+
+// jitterDur scales d by a uniform factor in [0.5, 1.5) from the node's
+// seeded RNG.
+func (n *Node) jitterDur(d time.Duration) time.Duration {
+	n.rngMu.Lock()
+	f := 0.5 + n.rng.Float64()
+	n.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,99 @@
+// Package remote is the location-transparent distribution layer: it lets
+// two (or N) actor Systems on different nodes exchange messages through
+// ordinary actors.Ref handles. The paper's actor model is
+// location-transparent by construction — Send(m).To(r) names a recipient,
+// not a memory address — and this package cashes that property in: a
+// proxy Ref obtained from Node.RefFor("bridge@addr") Tells and Asks exactly
+// like a local one, with the envelope crossing a Transport instead of a
+// mailbox pointer.
+//
+// A Node owns one listener plus dial-out links to its peers. Links carry
+// length-prefixed frames encoded by a Codec (gob by default), heartbeat
+// while idle, and reconnect with jittered exponential backoff when the peer
+// goes away. Sends to an unreachable peer never block: they route to the
+// owning System's deadletter contract (kind actors.DLRemote), which is also
+// what makes the failure observable through metrics.
+//
+// Delivery is at-most-once per send: a frame accepted onto a link can still
+// be lost if the connection dies before the peer reads it, and nothing is
+// retransmitted at this layer. Protocols that need more layer
+// actors.AskRetry (at-least-once with idempotent receivers) on top, exactly
+// as the chaos problem variants already do — see docs/REMOTE.md.
+//
+// Every envelope is stamped with a Lamport timestamp from the node's
+// trace.LamportClock (tick on send, Observe-merge on receive), so the wire
+// logs of all nodes merge into one causally consistent diagram via
+// trace.MergeLamport.
+package remote
+
+import "fmt"
+
+// FrameKind discriminates the frames a link carries.
+type FrameKind uint8
+
+const (
+	// FrameHello opens a connection: it announces the dialer's listen
+	// address and seeds the receiver's Lamport clock.
+	FrameHello FrameKind = iota + 1
+	// FrameMsg carries one application envelope.
+	FrameMsg
+	// FrameHeartbeat probes the link; the peer answers with
+	// FrameHeartbeatAck on the same connection.
+	FrameHeartbeat
+	// FrameHeartbeatAck answers a heartbeat; receiving any frame (ack
+	// included) refreshes the dialer's liveness horizon.
+	FrameHeartbeatAck
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameHello:
+		return "hello"
+	case FrameMsg:
+		return "msg"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameHeartbeatAck:
+		return "heartbeat-ack"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", int(k))
+	}
+}
+
+// WireEnvelope is the unit a Codec encodes into one frame. Application
+// payloads travel in Payload and must be registered with the codec (see
+// RegisterType for the gob default).
+type WireEnvelope struct {
+	Kind FrameKind
+
+	// Addressing: To names a recipient in the receiving node's registry;
+	// ToID addresses a specific actor by raw ID (reply routing). Exactly
+	// one is set on FrameMsg.
+	To   string
+	ToID uint64
+
+	// Sender identity, for replies: FromAddr is the sending node's listen
+	// address (the peer dials back to it), FromID/FromName identify the
+	// sending actor there. FromID 0 means the send came from outside any
+	// actor; replies then have nowhere to go and deadletter.
+	FromAddr string
+	FromID   uint64
+	FromName string
+
+	// Seq is the sending node's outbound frame sequence number, Lamport
+	// the logical timestamp (tick-on-send). Together they let two nodes'
+	// wire logs be matched pairwise and merged causally.
+	Seq     uint64
+	Lamport uint64
+
+	// Payload is the application message (FrameMsg only).
+	Payload any
+}
+
+// payloadType describes a payload for wire logs without reflecting on nil.
+func payloadType(v any) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%T", v)
+}

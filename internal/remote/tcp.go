@@ -1,0 +1,110 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a frame's encoded size (16 MiB). A length prefix beyond
+// it means a corrupt or hostile stream; the connection is torn down rather
+// than the node allocating unbounded memory.
+const maxFrame = 16 << 20
+
+// TCPTransport moves frames over TCP as 4-byte big-endian length prefixes
+// followed by the frame bytes. The zero value is ready to use.
+type TCPTransport struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+}
+
+func (t TCPTransport) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t TCPTransport) Dial(addr string) (Conn, error) {
+	timeout := t.DialTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+func (l *tcpListener) Close() error { return l.l.Close() }
+
+type tcpConn struct {
+	c net.Conn
+
+	wmu sync.Mutex // serializes frame writes (length prefix + body)
+	rmu sync.Mutex // serializes frame reads
+	r   *bufio.Reader
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Frames are already batched application units; Nagle only adds
+		// latency to the request/reply patterns Ask produces.
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c, r: bufio.NewReaderSize(c, 64<<10)}
+}
+
+func (c *tcpConn) Send(frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("remote: frame of %d bytes exceeds max %d", len(frame), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.c.Write(frame)
+	return err
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: frame length %d exceeds max %d", n, maxFrame)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }

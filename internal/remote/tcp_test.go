@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+)
+
+// twoTCPNodes builds two nodes on real loopback TCP sockets.
+func twoTCPNodes(t *testing.T) (a, b *Node) {
+	t.Helper()
+	mk := func() *Node {
+		n, err := NewNode(Config{
+			ListenAddr:        "127.0.0.1:0",
+			Transport:         TCPTransport{},
+			HeartbeatInterval: 20 * time.Millisecond,
+			ReconnectMin:      5 * time.Millisecond,
+			ReconnectMax:      100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		return n
+	}
+	a, b = mk(), mk()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestTCPLoopbackTellAndAsk(t *testing.T) {
+	a, b := twoTCPNodes(t)
+
+	echo := b.System().MustSpawn("echo", func(ctx *actors.Context, msg any) {
+		if p, ok := msg.(tPing); ok {
+			ctx.Reply(tPong{N: p.N * 10})
+		}
+	})
+	b.Register("echo", echo)
+
+	ref, err := a.RefFor("echo@" + b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect(b.Addr(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		r, err := actors.Ask(a.System(), ref, tPing{N: i}, 10*time.Second)
+		if err != nil {
+			t.Fatalf("ask %d: %v", i, err)
+		}
+		if p, ok := r.(tPong); !ok || p.N != i*10 {
+			t.Fatalf("ask %d: got %#v", i, r)
+		}
+	}
+}
+
+func TestTCPPeerRestartReconnects(t *testing.T) {
+	a, b := twoTCPNodes(t)
+
+	sink := make(chan int, 16)
+	s1 := b.System().MustSpawn("sink", func(ctx *actors.Context, msg any) {
+		if p, ok := msg.(tPing); ok {
+			sink <- p.N
+		}
+	})
+	b.Register("sink", s1)
+
+	ref, err := a.RefFor("sink@" + b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect(b.Addr(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ref.Tell(tPing{N: 1})
+	select {
+	case <-sink:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first message never arrived")
+	}
+
+	// Restart the peer on the same address; the link must notice the drop
+	// and redial until the new listener answers.
+	addr := b.Addr()
+	b.Close()
+	b2, err := NewNode(Config{
+		ListenAddr:        addr,
+		Transport:         TCPTransport{},
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Skipf("could not rebind %s (port raced away): %v", addr, err)
+	}
+	defer b2.Close()
+	s2 := b2.System().MustSpawn("sink", func(ctx *actors.Context, msg any) {
+		if p, ok := msg.(tPing); ok {
+			sink <- p.N
+		}
+	})
+	b2.Register("sink", s2)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ref.Tell(tPing{N: 2}) // deadletters until the link re-establishes
+		select {
+		case <-sink:
+			if a.Stats().Reconnects == 0 {
+				t.Fatal("message arrived but no reconnect was counted")
+			}
+			return
+		case <-time.After(10 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatal("link never re-established after peer restart")
+			}
+		}
+	}
+}

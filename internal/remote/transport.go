@@ -1,0 +1,44 @@
+package remote
+
+import "errors"
+
+// ErrClosed is returned by transport operations on a closed connection or
+// listener.
+var ErrClosed = errors.New("remote: connection closed")
+
+// Transport abstracts how frames move between nodes. Two implementations
+// ship: TCPTransport (length-prefixed frames over real sockets) and
+// MemNetwork endpoints (in-process channels, deterministic fault injection).
+// A frame is an opaque []byte produced by a Codec; transports never look
+// inside it.
+type Transport interface {
+	// Listen binds addr and returns a listener for inbound connections.
+	Listen(addr string) (Listener, error)
+	// Dial opens a connection to the listener bound at addr.
+	Dial(addr string) (Conn, error)
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks until a connection arrives or the listener closes
+	// (then it returns an error).
+	Accept() (Conn, error)
+	// Addr returns the bound address in the form Dial accepts — for TCP
+	// this resolves ":0" to the concrete port.
+	Addr() string
+	Close() error
+}
+
+// Conn is a bidirectional, frame-oriented connection. Recv may run
+// concurrently with Send; each of Send and Recv additionally tolerates
+// concurrent calls to itself (internally serialized). Close unblocks both
+// sides.
+type Conn interface {
+	// Send transmits one frame. A nil return means the frame was accepted
+	// by the transport, not that the peer processed it (at-most-once).
+	Send(frame []byte) error
+	// Recv blocks for the next frame; it returns an error once the
+	// connection is closed from either side.
+	Recv() ([]byte, error)
+	Close() error
+}

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -43,6 +44,53 @@ func (c *LamportClock) Now() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.time
+}
+
+// LamportEvent is one event in a per-node log, stamped with that node's
+// LamportClock. Nodes that exchange Lamport timestamps on every message
+// (tick on send, Observe on receive — internal/remote does this for every
+// envelope) produce logs whose merge is causally consistent: if event a
+// happened-before event b, then a.Time < b.Time, so sorting by time never
+// puts an effect ahead of its cause.
+type LamportEvent struct {
+	Node string // which node's clock stamped the event
+	Time uint64 // the Lamport timestamp
+	What string // free-form description ("send ping seq=3", ...)
+}
+
+func (e LamportEvent) String() string {
+	return fmt.Sprintf("t=%d [%s] %s", e.Time, e.Node, e.What)
+}
+
+// MergeLamport merges per-node Lamport-stamped logs into one total order
+// consistent with causality: ascending by Time, ties broken by Node name so
+// the merge is deterministic. Concurrent events (which can legitimately
+// share a timestamp across nodes) appear in name order; events within one
+// node keep their relative order because a node's clock is strictly
+// monotone. This is how two nodes' wire traces become a single causal
+// diagram.
+func MergeLamport(logs ...[]LamportEvent) []LamportEvent {
+	var out []LamportEvent
+	for _, log := range logs {
+		out = append(out, log...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// FormatLamport renders merged events one per line.
+func FormatLamport(events []LamportEvent) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // VectorClock maps process IDs to their logical times. The zero value is
