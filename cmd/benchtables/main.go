@@ -8,11 +8,16 @@
 // Usage:
 //
 //	benchtables [-reps N] [-quick] [-json FILE] [-remote] [-json-remote FILE]
+//	           [-obs] [-json-obs FILE]
 //
 // -json writes the mailbox/dispatcher numbers to FILE (the committed
 // baseline lives at BENCH_mailbox.json; see docs/PERF.md). -remote appends
 // the node-to-node wire table, and -json-remote writes it to FILE (the
 // committed baseline lives at BENCH_remote.json; see docs/REMOTE.md).
+// -obs appends the instrumentation-overhead table — the same Tell flood
+// with observability off, on at the default sampling rate, with the
+// conservation ledger, and timing every message — and -json-obs writes it
+// to FILE (committed baseline: BENCH_obs.json; see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -38,6 +43,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write the mailbox/dispatcher baseline to this file")
 	withRemote := flag.Bool("remote", false, "also run the node-to-node wire table")
 	jsonRemotePath := flag.String("json-remote", "", "write the remote wire baseline to this file (implies -remote)")
+	withObs := flag.Bool("obs", false, "also run the instrumentation-overhead table")
+	jsonObsPath := flag.String("json-obs", "", "write the instrumentation-overhead baseline to this file (implies -obs)")
 	flag.Parse()
 
 	scale := 1
@@ -68,6 +75,111 @@ func main() {
 			}
 		}
 	}
+
+	if *withObs || *jsonObsPath != "" {
+		fmt.Println()
+		obsEntries := obsTable(*reps, scale)
+		if *jsonObsPath != "" {
+			if err := writeObsBaseline(*jsonObsPath, scale, obsEntries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// obsTable measures what turning observability on costs the actor hot path:
+// the same 8-sender Tell flood with no Obs, with the default 1-in-64
+// latency sampling, with sampling plus the exact conservation ledger, and
+// timing every message (Sample=1). The overhead column is relative to the
+// uninstrumented row; docs/OBSERVABILITY.md states the ≤15% bound for the
+// default-sampling row, which the CI smoke job enforces.
+func obsTable(reps, scale int) []benchEntry {
+	t := metrics.NewTable("INSTRUMENTATION OVERHEAD: 8-sender Tell flood (docs/OBSERVABILITY.md)",
+		"Case", "throughput", "overhead")
+	var entries []benchEntry
+	n := 200000 / scale
+
+	obsCfg := func(sample int, conserve bool) actors.Config {
+		o := actors.NewObs(metrics.NewRegistry(), "actors")
+		o.Sample = sample
+		o.Conserve = conserve
+		return actors.Config{Obs: o}
+	}
+	cases := []struct {
+		name string
+		cfg  actors.Config
+	}{
+		{"no obs (baseline)", actors.Config{}},
+		{"obs, sample 1/64 (default)", obsCfg(0, false)},
+		{"obs + conservation ledger", obsCfg(0, true)},
+		{"obs, every message (sample 1)", obsCfg(1, false)},
+	}
+	// Interleave the cases within each repetition rather than running each
+	// case's reps back to back: overhead is a ratio between cases, and
+	// machine drift (frequency scaling, a neighbor's load) over the seconds
+	// a back-to-back sweep takes reads as fake overhead. Interleaving puts
+	// every case under the same drift. Per case, take the best (fastest)
+	// repetition, not the median: the flood runs hot for ~20ms, so any
+	// scheduler hiccup only ever adds time, and on a shared machine those
+	// additions dominate the median while the minimum converges on the
+	// undisturbed cost — the same aggregation the CI smoke bound uses.
+	best := make([]float64, len(cases))
+	for r := 0; r < reps+1; r++ {
+		for i, c := range cases {
+			start := time.Now()
+			if err := tellFloodOnce(c.cfg, 8, n); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", c.name, err)
+				os.Exit(1)
+			}
+			d := float64(time.Since(start))
+			if r == 0 {
+				continue // warmup round: page in code, grow the heap
+			}
+			if best[i] == 0 || d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	var base float64
+	for i, c := range cases {
+		rate := float64(n) / (best[i] / 1e9)
+		overhead := "-"
+		if i == 0 {
+			base = rate
+		} else if base > 0 {
+			pct := (base - rate) / base * 100
+			overhead = fmt.Sprintf("%+.1f%%", pct)
+			entries = append(entries, benchEntry{Name: c.name, Metric: "overhead_pct", Value: pct})
+		}
+		t.AddRow(c.name, fmt.Sprintf("%.2fM msgs/sec", rate/1e6), overhead)
+		entries = append(entries, benchEntry{Name: c.name, Metric: "msgs/sec", Value: rate})
+	}
+	fmt.Print(t)
+	return entries
+}
+
+// writeObsBaseline persists the instrumentation-overhead entries as the
+// committed regression baseline (BENCH_obs.json).
+func writeObsBaseline(path string, scale int, entries []benchEntry) error {
+	doc := struct {
+		Note    string       `json:"note"`
+		Command string       `json:"command"`
+		Scale   int          `json:"scale"`
+		Entries []benchEntry `json:"entries"`
+	}{
+		Note: "Instrumentation overhead baseline. Machine-dependent: compare the " +
+			"overhead_pct entries (instrumented vs uninstrumented Tell), not the " +
+			"absolute rates. The default-sampling row is the one bounded at 15%.",
+		Command: "go run ./cmd/benchtables -json-obs BENCH_obs.json",
+		Scale:   scale,
+		Entries: entries,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // timeMedian runs fn reps times and returns the median duration.
@@ -220,39 +332,41 @@ type benchEntry struct {
 	Value  float64 `json:"value"`
 }
 
-// tellThroughput floods one actor with n messages from the given number of
-// concurrent senders through the public Tell path and returns msgs/sec
-// (median of reps runs).
-func tellThroughput(reps int, cfg actors.Config, senders, n int) (float64, error) {
-	d, err := timeMedian(reps, func() error {
-		sys := actors.NewSystem(cfg)
-		defer sys.Shutdown()
-		done := make(chan struct{})
-		count := 0
-		sink := sys.MustSpawn("sink", func(ctx *actors.Context, msg any) {
-			count++
-			if count == n {
-				close(done)
-			}
-		})
-		var wg sync.WaitGroup
-		for s := 0; s < senders; s++ {
-			per := n / senders
-			if s < n%senders {
-				per++
-			}
-			wg.Add(1)
-			go func(per int) {
-				defer wg.Done()
-				for i := 0; i < per; i++ {
-					sink.Tell(i)
-				}
-			}(per)
+// tellFloodOnce floods one actor with n messages from the given number of
+// concurrent senders through the public Tell path, once.
+func tellFloodOnce(cfg actors.Config, senders, n int) error {
+	sys := actors.NewSystem(cfg)
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	count := 0
+	sink := sys.MustSpawn("sink", func(ctx *actors.Context, msg any) {
+		count++
+		if count == n {
+			close(done)
 		}
-		wg.Wait()
-		<-done
-		return nil
 	})
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		per := n / senders
+		if s < n%senders {
+			per++
+		}
+		wg.Add(1)
+		go func(per int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sink.Tell(i)
+			}
+		}(per)
+	}
+	wg.Wait()
+	<-done
+	return nil
+}
+
+// tellThroughput returns the flood's msgs/sec (median of reps runs).
+func tellThroughput(reps int, cfg actors.Config, senders, n int) (float64, error) {
+	d, err := timeMedian(reps, func() error { return tellFloodOnce(cfg, senders, n) })
 	if err != nil {
 		return 0, err
 	}

@@ -18,6 +18,12 @@
 // in-process variants validate) plus the wire counters, so a lossy or
 // flapping network shows up as deadletters and reconnects, not as silent
 // weirdness.
+//
+// -debug ADDR additionally serves the live observability endpoints on ADDR:
+// /debug/metrics is a Prometheus scrape of the node's wire counters,
+// heartbeat RTT histogram, and the actor system's mailbox/handler
+// latencies; /debug/flight pulls the flight recorder's retained trace as
+// Chrome trace JSON (open it in Perfetto). See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -30,10 +36,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/actors"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/problems/singlelanebridge"
 	"repro/internal/remote"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -45,36 +54,88 @@ func main() {
 	blue := flag.Int("blue", 3, "blue cars")
 	crossings := flag.Int("crossings", 20, "crossings per car")
 	seed := flag.Int64("seed", 1, "workload seed")
+	debugAddr := flag.String("debug", "", "serve /debug/metrics and /debug/flight on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
+	st := newObsStack(*debugAddr)
 	switch {
 	case *serve:
-		runServe(*listen)
+		runServe(*listen, st)
 	case *drive != "":
-		runDrive(*listen, *drive, *red, *blue, *crossings, *seed)
+		runDrive(*listen, *drive, *red, *blue, *crossings, *seed, st)
 	case *demo:
-		runDemo(*red, *blue, *crossings, *seed)
+		runDemo(*red, *blue, *crossings, *seed, st)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func newTCPNode(listen string) *remote.Node {
+// obsStack is the -debug observability wiring: one registry and one flight
+// recorder shared by every node this process runs, served over HTTP. A nil
+// *obsStack is valid and means "not asked for" — every method degrades to
+// the uninstrumented path.
+type obsStack struct {
+	reg *metrics.Registry
+	rec *trace.Recorder
+}
+
+func newObsStack(addr string) *obsStack {
+	if addr == "" {
+		return nil
+	}
+	st := &obsStack{reg: metrics.NewRegistry(), rec: trace.NewFlightRecorder(0)}
+	_, bound, err := obs.Serve(addr, st.reg, st.rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "node: -debug: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("debug: http://%s/debug/metrics and http://%s/debug/flight\n", bound, bound)
+	return st
+}
+
+// system returns the actor system a node should serve: instrumented (with
+// the prefix distinguishing this node's series) when -debug is on, nil
+// otherwise so the node creates and owns a default one.
+func (st *obsStack) system(prefix string) *actors.System {
+	if st == nil {
+		return nil
+	}
+	return actors.NewSystem(actors.Config{
+		Obs:      actors.NewObs(st.reg, prefix+".actors"),
+		Recorder: st.rec,
+	})
+}
+
+// newTCPNode builds one node, wired into the -debug observability stack
+// when there is one. close releases the node and, when the stack supplied
+// the system, shuts the system down too (a node only owns a system it
+// created itself).
+func newTCPNode(listen string, st *obsStack, prefix string) (n *remote.Node, close func()) {
+	sys := st.system(prefix)
 	n, err := remote.NewNode(remote.Config{
 		ListenAddr: listen,
 		Transport:  remote.TCPTransport{},
+		System:     sys,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "node: %v\n", err)
 		os.Exit(1)
 	}
-	return n
+	if st != nil {
+		n.RegisterMetrics(st.reg, prefix)
+	}
+	return n, func() {
+		_ = n.Close()
+		if sys != nil {
+			sys.Shutdown()
+		}
+	}
 }
 
-func runServe(listen string) {
-	n := newTCPNode(listen)
-	defer n.Close()
+func runServe(listen string, st *obsStack) {
+	n, close := newTCPNode(listen, st, "serve")
+	defer close()
 	singlelanebridge.ServeRemoteBridge(n)
 	fmt.Printf("bridge controller serving at bridge@%s\n", n.Addr())
 	fmt.Printf("drive cars with: node -drive bridge@%s\n", n.Addr())
@@ -82,18 +143,18 @@ func runServe(listen string) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	st := n.Stats()
-	fmt.Printf("\nshutting down: received=%d deadletters=%d\n", st.Received, st.RemoteDeadLetters)
+	stats := n.Stats()
+	fmt.Printf("\nshutting down: received=%d deadletters=%d\n", stats.Received, stats.RemoteDeadLetters)
 }
 
-func runDrive(listen, target string, red, blue, crossings int, seed int64) {
+func runDrive(listen, target string, red, blue, crossings int, seed int64, st *obsStack) {
 	_, addr, ok := strings.Cut(target, "@")
 	if !ok {
 		fmt.Fprintf(os.Stderr, "node: -drive wants name@host:port, got %q\n", target)
 		os.Exit(2)
 	}
-	n := newTCPNode(listen)
-	defer n.Close()
+	n, close := newTCPNode(listen, st, "drive")
+	defer close()
 	bridge, err := n.RefFor(target)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "node: %v\n", err)
@@ -115,14 +176,14 @@ func runDrive(listen, target string, red, blue, crossings int, seed int64) {
 	printRun(m, time.Since(start), n)
 }
 
-func runDemo(red, blue, crossings int, seed int64) {
-	server := newTCPNode("127.0.0.1:0")
-	defer server.Close()
+func runDemo(red, blue, crossings int, seed int64, st *obsStack) {
+	server, closeServer := newTCPNode("127.0.0.1:0", st, "server")
+	defer closeServer()
 	singlelanebridge.ServeRemoteBridge(server)
 	fmt.Printf("demo: bridge controller at bridge@%s (loopback TCP)\n", server.Addr())
 
-	client := newTCPNode("127.0.0.1:0")
-	defer client.Close()
+	client, closeClient := newTCPNode("127.0.0.1:0", st, "client")
+	defer closeClient()
 	bridge, err := client.RefFor("bridge@" + server.Addr())
 	if err == nil {
 		err = client.Connect(server.Addr(), 5*time.Second)

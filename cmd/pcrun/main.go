@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	pcrun [-seed N] [-trace] [-max-steps N] [-sync-send] [-fifo] [-coarse-lock] file.pc
+//	pcrun [-seed N] [-trace] [-metrics] [-max-steps N] [-sync-send] [-fifo] [-coarse-lock] file.pc
 //
 // Different seeds explore different interleavings; use pcexplore to
-// enumerate all of them.
+// enumerate all of them. -metrics counts the run's atomic steps per
+// operation and per task and dumps them as Prometheus text after the run —
+// the step-count profile of one interleaving.
 package main
 
 import (
@@ -14,12 +16,14 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/metrics"
 	"repro/internal/pseudocode"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "scheduler seed (same seed, same interleaving)")
 	traceFlag := flag.Bool("trace", false, "print every atomic step")
+	metricsFlag := flag.Bool("metrics", false, "dump per-op and per-task step counts after the run (Prometheus text)")
 	diagram := flag.Bool("diagram", false, "print a Mermaid sequence diagram of the run")
 	maxSteps := flag.Int("max-steps", 0, "step bound (0 = default)")
 	syncSend := flag.Bool("sync-send", false, "misconception semantics [C1]M3: sends block until received")
@@ -49,12 +53,23 @@ func main() {
 		},
 	}
 	var events []pseudocode.StepEvent
-	if *traceFlag || *diagram {
+	var reg *metrics.Registry
+	if *metricsFlag {
+		reg = metrics.NewRegistry()
+	}
+	if *traceFlag || *diagram || reg != nil {
 		opts.Trace = func(ev pseudocode.StepEvent) {
 			if *traceFlag {
 				fmt.Fprintf(os.Stderr, "[%s] %s line %d %s\n", ev.TaskName, ev.Op, ev.Line, ev.Detail)
 			}
-			events = append(events, ev)
+			if reg != nil {
+				reg.Counter("pc.steps").Inc()
+				reg.Counter("pc.op." + ev.Op).Inc()
+				reg.Counter("pc.task." + ev.TaskName + ".steps").Inc()
+			}
+			if *traceFlag || *diagram {
+				events = append(events, ev)
+			}
 		}
 	}
 	res, err := pseudocode.RunSource(string(src), opts)
@@ -65,6 +80,12 @@ func main() {
 	fmt.Print(res.Output)
 	if *diagram {
 		fmt.Println(pseudocode.TraceDiagram(events))
+	}
+	if reg != nil {
+		fmt.Println("# post-run metrics (Prometheus text format)")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pcrun: metrics dump:", err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "-- %s after %d steps\n", res.Kind, res.Steps)
 	if len(res.Blocked) > 0 {

@@ -6,6 +6,12 @@
 //	problems -list
 //	problems -problem diningphilosophers -model actors [-seed N] [-param k=v ...]
 //	problems -all [-seed N]        # run every problem under every model it implements
+//	problems -problem boundedbuffer -model actors -metrics   # + post-run metrics dump
+//
+// -metrics instruments all three runtimes (actor mailbox/handler latencies
+// and the message-conservation ledger, monitor acquire/hold latencies and
+// operation counts, coroutine resume latencies) and dumps the registry in
+// Prometheus text format after the run.
 package main
 
 import (
@@ -16,8 +22,12 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/actors"
 	"repro/internal/core"
+	"repro/internal/coro"
+	"repro/internal/metrics"
 	_ "repro/internal/problems/registry"
+	"repro/internal/threads"
 )
 
 type paramFlags core.Params
@@ -43,9 +53,15 @@ func main() {
 	problem := flag.String("problem", "", "problem name")
 	model := flag.String("model", "threads", "threads | actors | coroutines")
 	seed := flag.Int64("seed", 1, "workload seed")
+	withMetrics := flag.Bool("metrics", false, "instrument the runtimes and dump post-run metrics (Prometheus text)")
 	params := paramFlags{}
 	flag.Var(params, "param", "override a problem parameter, e.g. -param items=1000 (repeatable)")
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *withMetrics {
+		reg = instrumentRuntimes()
+	}
 
 	switch {
 	case *list:
@@ -70,6 +86,7 @@ func main() {
 				fmt.Printf("%-20s %-11s ok  %s\n", name, m, fmtMetrics(metrics))
 			}
 		}
+		dumpMetrics(reg)
 		if failed > 0 {
 			os.Exit(1)
 		}
@@ -90,9 +107,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s under %s: validated\n%s\n", spec.Name, m, fmtMetrics(metrics))
+		dumpMetrics(reg)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// instrumentRuntimes turns on the ambient observability of all three
+// runtimes — the problem implementations construct their systems, monitors,
+// and schedulers internally, so the flag reaches them through the
+// process-wide defaults. Conservation accounting is on: a one-shot
+// validated run wants exact ledgers more than peak throughput.
+func instrumentRuntimes() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	o := actors.NewObs(reg, "actors")
+	o.Conserve = true
+	actors.SetDefaultObs(o)
+	threads.SetDefaultObs(threads.NewMonitorObs(reg, "threads.monitor"))
+	coro.SetDefaultInstrument(reg, "coro")
+	return reg
+}
+
+// dumpMetrics writes the post-run registry as Prometheus text. The leading
+// line is a Prometheus comment, so the dump stays machine-parseable.
+func dumpMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Println("# post-run metrics (Prometheus text format)")
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "problems: metrics dump:", err)
 	}
 }
 

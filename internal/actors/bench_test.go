@@ -16,8 +16,8 @@ func BenchmarkMailboxThroughput(b *testing.B) {
 		name string
 		mk   func() mailbox
 	}{
-		{"ring", func() mailbox { return newRingMailbox() }},
-		{"locked", func() mailbox { return newLockMailbox(nil, 0) }},
+		{"ring", func() mailbox { return newRingMailbox(0) }},
+		{"locked", func() mailbox { return newLockMailbox(nil, 0, 0) }},
 	}
 	for _, impl := range impls {
 		for _, senders := range []int{1, 8} {
@@ -60,7 +60,7 @@ func BenchmarkMailboxThroughput(b *testing.B) {
 func BenchmarkMailboxBatchedDrain(b *testing.B) {
 	for _, batch := range []int{1, 16, 64, 256} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			m := newRingMailbox()
+			m := newRingMailbox(0)
 			for i := 0; i < b.N; i++ {
 				m.put(Envelope{Msg: i}, false)
 			}

@@ -97,6 +97,14 @@ func (rq *runQueue) pop() (c *cell, ok bool) {
 	return c, true
 }
 
+// depth returns the number of cells waiting on the run queue — the pooled
+// dispatcher's backlog gauge.
+func (rq *runQueue) depth() int {
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	return len(rq.q) - rq.head
+}
+
 func (rq *runQueue) close() {
 	rq.mu.Lock()
 	rq.closed = true
@@ -171,6 +179,11 @@ func (s *System) runDedicated(c *cell) {
 		for i, e := range batch {
 			if s.processOne(c, e) {
 				for _, rest := range batch[i+1:] {
+					// Already dequeued but never processed: drained, like
+					// the close-time drain in teardown.
+					if s.conserve && !isControl(rest.Msg) {
+						s.drained.Add(1)
+					}
 					s.deadletter(c.ref, rest)
 				}
 				s.teardown(c)

@@ -10,6 +10,7 @@ package actors
 import (
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Envelope carries a message together with its sender (which may be nil for
@@ -21,6 +22,11 @@ type Envelope struct {
 	// traceID pairs this envelope's send and receive events when the
 	// system runs with a trace.Recorder.
 	traceID string
+
+	// enqueuedAt is the send-side wall clock (unix nanoseconds), stamped
+	// only when the system runs with Config.Obs so the dequeue side can
+	// observe mailbox queue latency. Zero when instrumentation is off.
+	enqueuedAt int64
 }
 
 // mailbox is a FIFO queue of envelopes. Two implementations exist:
@@ -60,11 +66,17 @@ type mailbox interface {
 // newMailbox picks the implementation for one actor: the chunked MPSC ring
 // on the fast path, the lock mailbox whenever a feature that needs it
 // (backpressure, perturbation, fault injection) is active.
-func newMailbox(perturb *rand.Rand, capacity int, injected bool) mailbox {
+//
+// sample, when non-zero (a power of two), makes the mailbox stamp
+// Envelope.enqueuedAt on one in sample accepted puts, using the enqueue
+// tick each implementation already maintains (the ring's reservation
+// counter, the lock mailbox's under-mutex sequence) — so latency sampling
+// adds no shared state to the send path.
+func newMailbox(perturb *rand.Rand, capacity int, injected bool, sample uint64) mailbox {
 	if perturb == nil && capacity <= 0 && !injected {
-		return newRingMailbox()
+		return newRingMailbox(sample)
 	}
-	return newLockMailbox(perturb, capacity)
+	return newLockMailbox(perturb, capacity, sample)
 }
 
 // lockMailbox is the mutex-guarded slice mailbox. When perturb is non-nil,
@@ -90,10 +102,12 @@ type lockMailbox struct {
 	closed      bool
 	perturb     *rand.Rand
 	cap         int
+	sample      uint64 // latency sampling rate (0 = off); see newMailbox
+	seq         uint64 // accepted puts, the sampling tick; guarded by mu
 }
 
-func newLockMailbox(perturb *rand.Rand, capacity int) *lockMailbox {
-	m := &lockMailbox{perturb: perturb, cap: capacity}
+func newLockMailbox(perturb *rand.Rand, capacity int, sample uint64) *lockMailbox {
+	m := &lockMailbox{perturb: perturb, cap: capacity, sample: sample}
 	m.notEmpty = sync.NewCond(&m.mu)
 	m.notFull = sync.NewCond(&m.mu)
 	return m
@@ -113,6 +127,10 @@ func (m *lockMailbox) put(e Envelope, force bool) bool {
 	if m.closed {
 		return false
 	}
+	if m.sample != 0 && m.seq&(m.sample-1) == 0 {
+		e.enqueuedAt = time.Now().UnixNano()
+	}
+	m.seq++
 	m.queue = append(m.queue, e)
 	if m.takeWaiters > 0 {
 		m.notEmpty.Signal()

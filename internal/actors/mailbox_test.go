@@ -99,7 +99,7 @@ func TestBoundedMailboxPoisonPillBypassesCap(t *testing.T) {
 // uncontended put/take path must never leave (or need) a waiter, so no
 // condvar wake is issued unless someone is actually blocked.
 func TestLockMailboxWaiterCounters(t *testing.T) {
-	m := newLockMailbox(nil, 2)
+	m := newLockMailbox(nil, 2, 0)
 	for i := 0; i < 10; i++ {
 		if !m.put(Envelope{Msg: i}, false) {
 			t.Fatal("put refused")
@@ -152,7 +152,7 @@ func TestLockMailboxWaiterCounters(t *testing.T) {
 func TestBoundedOverflowAccounting(t *testing.T) {
 	const cap = 4
 	const overflow = 8
-	m := newLockMailbox(nil, cap)
+	m := newLockMailbox(nil, cap, 0)
 	for i := 0; i < cap; i++ {
 		if !m.put(Envelope{Msg: i}, false) {
 			t.Fatal("put refused while under cap")

@@ -3,6 +3,7 @@ package actors
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // ringMailbox is the throughput fast path: a chunked multi-producer /
@@ -78,6 +79,9 @@ type ringMailbox struct {
 	// closed bit becomes visible, so any reader that sees the bit sees the
 	// horizon.
 	closedTail atomic.Uint64
+	// sample is the latency sampling rate (0 = off, else a power of two);
+	// immutable after construction. See newMailbox.
+	sample uint64
 }
 
 // tail returns the sequence number bounding published-or-pending slots:
@@ -92,9 +96,10 @@ func (m *ringMailbox) tail() uint64 {
 
 // newRingMailbox allocates no chunk: the first sender CAS-installs it (see
 // chunkFor), so an idle actor's mailbox costs ~a cache line, not a full
-// chunk — spawn stays cheap for large mostly-idle populations.
-func newRingMailbox() *ringMailbox {
-	return &ringMailbox{wake: make(chan struct{}, 1)}
+// chunk — spawn stays cheap for large mostly-idle populations. sample is
+// the latency sampling rate from newMailbox (0 = off, else a power of two).
+func newRingMailbox(sample uint64) *ringMailbox {
+	return &ringMailbox{wake: make(chan struct{}, 1), sample: sample}
 }
 
 func (m *ringMailbox) put(e Envelope, force bool) bool {
@@ -109,6 +114,12 @@ func (m *ringMailbox) put(e Envelope, force bool) bool {
 		return false
 	}
 	seq := s - 1
+	if m.sample != 0 && seq&(m.sample-1) == 0 {
+		// Latency sampling rides the reservation counter the ring already
+		// pays for: one in sample sequence numbers carries a send timestamp,
+		// so enabling instrumentation adds no shared-state traffic here.
+		e.enqueuedAt = time.Now().UnixNano()
+	}
 	c := m.chunkFor(seq)
 	i := seq & chunkMask
 	c.slots[i] = e
@@ -221,6 +232,16 @@ func (m *ringMailbox) takeN(buf []Envelope, max int) ([]Envelope, bool) {
 		m.waiting.Store(true)
 		if m.available() || m.state.Load()&ringClosed != 0 {
 			m.waiting.Store(false)
+			continue
+		}
+		if m.head.Load() < m.tail() {
+			// A sender holds a reservation it has not published yet. That
+			// window is nanoseconds — at worst a sampled send's clock read —
+			// so spinning across it beats a park/wake round trip, which
+			// would otherwise stall the strictly-ordered consumer on every
+			// sampled message. close()'s drain uses the same idiom.
+			m.waiting.Store(false)
+			runtime.Gosched()
 			continue
 		}
 		<-m.wake

@@ -21,16 +21,16 @@ type tagged struct {
 // plain config, lock mailbox whenever backpressure, perturbation, or fault
 // injection needs it.
 func TestRingMailboxSelected(t *testing.T) {
-	if _, ok := newMailbox(nil, 0, false).(*ringMailbox); !ok {
+	if _, ok := newMailbox(nil, 0, false, 0).(*ringMailbox); !ok {
 		t.Fatal("plain config did not select the ring mailbox")
 	}
-	if _, ok := newMailbox(nil, 8, false).(*lockMailbox); !ok {
+	if _, ok := newMailbox(nil, 8, false, 0).(*lockMailbox); !ok {
 		t.Fatal("bounded config did not select the lock mailbox")
 	}
-	if _, ok := newMailbox(rand.New(rand.NewSource(1)), 0, false).(*lockMailbox); !ok {
+	if _, ok := newMailbox(rand.New(rand.NewSource(1)), 0, false, 0).(*lockMailbox); !ok {
 		t.Fatal("perturbed config did not select the lock mailbox")
 	}
-	if _, ok := newMailbox(nil, 0, true).(*lockMailbox); !ok {
+	if _, ok := newMailbox(nil, 0, true, 0).(*lockMailbox); !ok {
 		t.Fatal("injected config did not select the lock mailbox")
 	}
 }
@@ -42,7 +42,7 @@ func TestRingMailboxSelected(t *testing.T) {
 func TestRingMailboxFIFOAndCounting(t *testing.T) {
 	const senders = 8
 	const perSender = 2500 // 20k messages total
-	m := newRingMailbox()
+	m := newRingMailbox(0)
 	var wg sync.WaitGroup
 	for s := 0; s < senders; s++ {
 		wg.Add(1)
@@ -88,7 +88,7 @@ func TestRingMailboxFIFOAndCounting(t *testing.T) {
 // drained at close) or was refused — no envelope is lost or duplicated.
 func TestRingMailboxCloseAccounting(t *testing.T) {
 	for round := 0; round < 20; round++ {
-		m := newRingMailbox()
+		m := newRingMailbox(0)
 		const senders = 8
 		const perSender = 500
 		var accepted atomic.Int64
@@ -132,7 +132,7 @@ func TestRingMailboxCloseAccounting(t *testing.T) {
 // boundaries with a tiny interleaved produce/consume pattern, exercising
 // headChunk advancement and prodHint revalidation.
 func TestRingMailboxChunkBoundaries(t *testing.T) {
-	m := newRingMailbox()
+	m := newRingMailbox(0)
 	const total = chunkSize*3 + 17
 	next := 0
 	for i := 0; i < total; i++ {
@@ -169,7 +169,7 @@ func TestRingMailboxChunkBoundaries(t *testing.T) {
 // TestRingMailboxBlockingTake checks the park/wake protocol: a consumer
 // blocked in takeN is woken by a later put and by close.
 func TestRingMailboxBlockingTake(t *testing.T) {
-	m := newRingMailbox()
+	m := newRingMailbox(0)
 	got := make(chan any, 1)
 	go func() {
 		batch, ok := m.takeN(nil, 8)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -126,6 +127,12 @@ type Config struct {
 	// drain, and the fairness quantum after which a pooled actor yields
 	// its worker (default 64).
 	Throughput int
+	// Obs, when non-nil, turns on hot-path latency instrumentation
+	// (sampled mailbox queue wait and handler time) and, with Obs.Conserve,
+	// the exact message conservation ledger. Nil (the default) keeps the
+	// message path free of timestamp reads and shared-counter contention;
+	// see NewObs.
+	Obs *Obs
 }
 
 // System owns a set of actors and their mailboxes.
@@ -149,6 +156,19 @@ type System struct {
 	panics      atomic.Int64
 	injected    atomic.Int64
 	restarts    atomic.Int64
+
+	// Message conservation ledger (see CheckConservation), maintained only
+	// when cfg.Obs.Conserve is set (conserve caches that). Enqueue/dequeue
+	// are striped so 8-way parallel senders don't serialize on one cache
+	// line; drain is a cold path. obsSample is the latency sampling rate
+	// handed to every mailbox (0 when Obs is nil) and obsMask its mask for
+	// the dequeue-side tick; both fixed at construction.
+	enqueued  metrics.StripedCounter
+	dequeued  metrics.StripedCounter
+	drained   atomic.Int64
+	conserve  bool
+	obsSample uint64
+	obsMask   uint64
 }
 
 // cell is the runtime state of one actor.
@@ -162,6 +182,11 @@ type cell struct {
 	// sched is the cell's run-queue state under Pooled dispatch (cellIdle /
 	// cellScheduled); unused under Dedicated dispatch.
 	sched atomic.Int32
+
+	// obsTick counts processed messages for handler latency sampling. A
+	// plain field: only the single consumer touches it (same publication
+	// rules as behavior above).
+	obsTick uint64
 
 	// Supervision state; nil/zero for unsupervised actors. factory rebuilds
 	// the initial behavior on restart; restarts counts panics survived.
@@ -202,6 +227,14 @@ func NewSystem(cfg Config) *System {
 	if s.throughput <= 0 {
 		s.throughput = 64
 	}
+	if cfg.Obs == nil {
+		s.cfg.Obs = defaultObs.Load()
+	}
+	if o := s.cfg.Obs; o != nil {
+		s.obsSample = o.sampleRate()
+		s.obsMask = s.obsSample - 1
+		s.conserve = o.Conserve
+	}
 	if cfg.Dispatcher == Pooled {
 		workers := cfg.PoolSize
 		if workers <= 0 {
@@ -241,7 +274,7 @@ func (s *System) spawn(name string, b Behavior, sup *Supervisor, factory func() 
 	}
 	c := &cell{
 		ref:      ref,
-		mbox:     newMailbox(perturb, s.cfg.MailboxCap, s.cfg.Injector != nil),
+		mbox:     newMailbox(perturb, s.cfg.MailboxCap, s.cfg.Injector != nil, s.obsSample),
 		behavior: b,
 		done:     make(chan struct{}),
 		sup:      sup,
@@ -281,6 +314,9 @@ func (s *System) teardown(c *cell) {
 	delete(s.actors, c.ref.id)
 	s.mu.Unlock()
 	for _, e := range c.mbox.close(true) {
+		if s.conserve && !isControl(e.Msg) {
+			s.drained.Add(1)
+		}
 		s.deadletterKind(c.ref, e, DLClosed)
 	}
 	if c.sup != nil {
@@ -308,6 +344,24 @@ func (s *System) processOne(c *cell, e Envelope) (exit bool) {
 		s.restart(c, m.reason)
 		return false
 	}
+	obs := s.cfg.Obs
+	var timeHandler bool
+	if obs != nil {
+		if s.conserve {
+			s.dequeued.Add(1)
+		}
+		// The handler sampling tick is a plain field: processOne is
+		// single-consumer per cell (dedicated goroutine, or the pooled
+		// worker holding the schedule slot), so no atomic is needed.
+		timeHandler = c.obsTick&s.obsMask == 0
+		c.obsTick++
+		if e.enqueuedAt != 0 {
+			// Queue wait ends at dequeue, before any receive-site fault
+			// delay — an injected slow consumer shows up in handler-side
+			// stalls, not as phantom mailbox residency.
+			obs.QueueWait.Observe(time.Duration(time.Now().UnixNano() - e.enqueuedAt))
+		}
+	}
 	// Receive-site fault injection: a slow consumer stalls here, after
 	// dequeue and before processing.
 	if d := s.decide(faults.SiteReceive, c.ref.name, e.Msg); d.Action == faults.ActDelay {
@@ -332,6 +386,10 @@ func (s *System) processOne(c *cell, e Envelope) (exit bool) {
 		if s.cfg.OnPanic != nil {
 			s.cfg.OnPanic(c.ref, reason)
 		}
+	} else if timeHandler {
+		t := obs.Handler.Start()
+		panicked, reason = s.invoke(c, ctx, e.Msg)
+		t.Stop()
 	} else {
 		panicked, reason = s.invoke(c, ctx, e.Msg)
 	}
@@ -525,6 +583,13 @@ func (s *System) send(to *Ref, e Envelope) deliverStatus {
 	if !c.mbox.put(e, ctrl) {
 		s.deadletterKind(to, e, DLClosed)
 		return statusDead
+	}
+	// Ledger add after a successful put, so conservation sees only messages
+	// that actually entered a mailbox. (Latency sampling is not here: the
+	// mailbox itself stamps one in obsSample accepted envelopes, riding its
+	// own enqueue counter — see newMailbox.)
+	if s.conserve && !ctrl {
+		s.enqueued.Add(1)
 	}
 	// Pooled dispatch: the message is in the mailbox, make sure a worker
 	// will visit the actor (no-op under Dedicated dispatch).

@@ -1,0 +1,90 @@
+package coro
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// schedObs is the Scheduler's optional instrumentation (Instrument). The
+// scheduler itself is strictly single-threaded, so the only concession to
+// concurrency is that the two gauges are atomic mirrors: a metrics snapshot
+// reads them from another goroutine while Run is mid-round.
+type schedObs struct {
+	resume *metrics.LatencyHistogram
+	tick   uint64       // resumes so far, the sampling counter (scheduler-only)
+	ready  atomic.Int64 // resumable tasks observed in the last round
+	live   atomic.Int64 // unfinished tasks observed in the last round
+}
+
+// resumeSampleRate: one in this many resumes is timed. Resume steps can be
+// sub-microsecond in tight generator loops, where an unconditional clock
+// pair would dominate; sampling keeps the p50/p95/p99 readable while the
+// instrumented scheduler stays within noise of the plain one.
+const resumeSampleRate = 16
+
+// Instrument registers the scheduler's observability series in reg:
+//
+//	prefix.resume_ns    histogram of task resume-step durations (sampled)
+//	prefix.ready.depth  gauge: resumable (unblocked, unfinished) tasks in
+//	                    the last completed scheduling round
+//	prefix.tasks.live   gauge: unfinished tasks in the last completed round
+//
+// Call before Run; the naming scheme is docs/OBSERVABILITY.md. A nil reg
+// removes instrumentation.
+func (s *Scheduler) Instrument(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		s.obs = nil
+		return
+	}
+	o := &schedObs{resume: reg.Histogram(prefix + ".resume_ns")}
+	reg.Gauge(prefix+".ready.depth", o.ready.Load)
+	reg.Gauge(prefix+".tasks.live", o.live.Load)
+	s.obs = o
+}
+
+// defaultInstrument is the process-wide fallback adopted by NewScheduler;
+// see SetDefaultInstrument.
+var defaultInstrument atomic.Pointer[defaultInstr]
+
+type defaultInstr struct {
+	reg    *metrics.Registry
+	prefix string
+}
+
+// SetDefaultInstrument makes every subsequent NewScheduler call Instrument
+// itself with reg and prefix, so the CLI binaries' -metrics flags can reach
+// schedulers created deep inside a workload. All such schedulers feed the
+// same prefix.resume_ns histogram; the two gauges track whichever scheduler
+// was created last (a run that wants per-scheduler gauges calls Instrument
+// itself). A nil reg restores the uninstrumented default.
+func SetDefaultInstrument(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		defaultInstrument.Store(nil)
+		return
+	}
+	defaultInstrument.Store(&defaultInstr{reg: reg, prefix: prefix})
+}
+
+// resumeTimer starts a sampled timing for one resume step. The returned
+// Timer is a no-op unless this resume is the one-in-resumeSampleRate pick.
+func (o *schedObs) resumeTimer() metrics.Timer {
+	if o == nil {
+		return metrics.Timer{}
+	}
+	tick := o.tick
+	o.tick++
+	if tick%resumeSampleRate != 0 {
+		return metrics.Timer{}
+	}
+	return o.resume.Start()
+}
+
+// roundDone publishes the round's gauge values. Safe on nil.
+func (o *schedObs) roundDone(ready, live int) {
+	if o == nil {
+		return
+	}
+	o.ready.Store(int64(ready))
+	o.live.Store(int64(live))
+}

@@ -1,0 +1,93 @@
+package coro
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSchedulerInstrument(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewScheduler()
+	s.Instrument(reg, "coro")
+
+	shared := 0
+	for i := 0; i < 4; i++ {
+		s.Go("worker", func(tc *TaskCtl) {
+			for j := 0; j < 50; j++ {
+				shared++
+				tc.Pause()
+			}
+		})
+	}
+	s.Go("waiter", func(tc *TaskCtl) {
+		tc.WaitUntil(func() bool { return shared >= 200 })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 5 tasks × ~50 resumes ≫ the 1-in-16 sampling rate: the histogram
+	// must have fired.
+	h := reg.Histogram("coro.resume_ns")
+	if h.Count() == 0 {
+		t.Fatal("no resume samples recorded")
+	}
+	// After the final round everything is done: both gauges read 0.
+	if v, ok := reg.Get("coro.ready.depth"); !ok || v != 0 {
+		t.Fatalf("ready.depth = %d, %v; want 0 after Run", v, ok)
+	}
+	if v, ok := reg.Get("coro.tasks.live"); !ok || v != 0 {
+		t.Fatalf("tasks.live = %d, %v; want 0 after Run", v, ok)
+	}
+	if shared != 200 {
+		t.Fatalf("shared = %d, want 200", shared)
+	}
+}
+
+func TestSchedulerGaugesTrackBlockedTasks(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewScheduler()
+	s.Instrument(reg, "coro")
+
+	var readyMid, liveMid int64
+	release := false
+	s.Go("blocked", func(tc *TaskCtl) {
+		tc.WaitUntil(func() bool { return release })
+	})
+	s.Go("runner", func(tc *TaskCtl) {
+		for i := 0; i < 5; i++ {
+			tc.Pause()
+		}
+		// Mid-run snapshot: the blocked task is live but not ready.
+		readyMid, _ = reg.Get("coro.ready.depth")
+		liveMid, _ = reg.Get("coro.tasks.live")
+		release = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if liveMid != 2 {
+		t.Fatalf("mid-run tasks.live = %d, want 2", liveMid)
+	}
+	if readyMid != 1 {
+		t.Fatalf("mid-run ready.depth = %d, want 1 (blocked task excluded)", readyMid)
+	}
+}
+
+func TestSchedulerUninstrumentedRuns(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.Go("t", func(tc *TaskCtl) {
+		for i := 0; i < 3; i++ {
+			n++
+			tc.Pause()
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d", n)
+	}
+}

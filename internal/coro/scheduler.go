@@ -30,6 +30,7 @@ type Scheduler struct {
 	restarts int
 	injected int
 	panics   []error
+	obs      *schedObs
 }
 
 // Task is a cooperative task managed by a Scheduler.
@@ -97,8 +98,15 @@ func (e DeadlockError) Error() string {
 // Is reports that a DeadlockError matches ErrDeadlock for errors.Is.
 func (e DeadlockError) Is(target error) bool { return target == ErrDeadlock }
 
-// NewScheduler returns an empty scheduler.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+// NewScheduler returns an empty scheduler, instrumented with the
+// process-wide default registry if SetDefaultInstrument installed one.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{}
+	if d := defaultInstrument.Load(); d != nil {
+		s.Instrument(d.reg, d.prefix)
+	}
+	return s
+}
 
 // Go registers a task. Tasks may be added before Run or by a running task.
 func (s *Scheduler) Go(name string, body func(tc *TaskCtl)) *Task {
@@ -163,6 +171,7 @@ func (s *Scheduler) Run() error {
 	defer func() { s.running = false }()
 	for {
 		live := 0
+		ready := 0
 		progressed := false
 		// Iterate by index: tasks may append via Go during the loop.
 		for i := 0; i < len(s.tasks); i++ {
@@ -177,6 +186,7 @@ func (s *Scheduler) Run() error {
 				}
 				t.blocked = nil
 			}
+			ready++
 			var resumeVal any
 			if s.inj != nil {
 				op := faults.Op{Site: faults.SiteResume, Actor: t.name}
@@ -195,7 +205,9 @@ func (s *Scheduler) Run() error {
 					resumeVal = killSignal{reason: faults.InjectedPanic{Op: op}}
 				}
 			}
+			timer := s.obs.resumeTimer()
 			_, done, err := t.co.Resume(resumeVal)
+			timer.Stop()
 			progressed = true
 			if err != nil {
 				t.err = err
@@ -219,6 +231,7 @@ func (s *Scheduler) Run() error {
 				t.done = true
 			}
 		}
+		s.obs.roundDone(ready, live)
 		if live == 0 {
 			return errors.Join(s.panics...)
 		}

@@ -36,6 +36,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]func() int64
+	hists    map[string]*LatencyHistogram
 }
 
 // NewRegistry returns an empty Registry.
@@ -75,11 +76,13 @@ type Sample struct {
 	Value int64
 }
 
-// Snapshot reads every counter and gauge and returns the samples sorted by
-// name, so two snapshots are directly comparable.
+// Snapshot reads every counter, gauge and histogram and returns the samples
+// sorted by name, so two snapshots are directly comparable. A histogram
+// named h contributes derived samples h.count, h.p50_ns, h.p95_ns and
+// h.p99_ns.
 func (r *Registry) Snapshot() []Sample {
 	r.mu.Lock()
-	out := make([]Sample, 0, len(r.counters)+len(r.gauges))
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+4*len(r.hists))
 	for name, c := range r.counters {
 		out = append(out, Sample{Name: name, Value: c.Load()})
 	}
@@ -87,7 +90,20 @@ func (r *Registry) Snapshot() []Sample {
 	for name, fn := range r.gauges {
 		gauges[name] = fn
 	}
+	hists := make(map[string]*LatencyHistogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
 	r.mu.Unlock()
+	for name, h := range hists {
+		s := h.Snapshot()
+		out = append(out,
+			Sample{Name: name + ".count", Value: s.Count},
+			Sample{Name: name + ".p50_ns", Value: int64(s.Quantile(0.50))},
+			Sample{Name: name + ".p95_ns", Value: int64(s.Quantile(0.95))},
+			Sample{Name: name + ".p99_ns", Value: int64(s.Quantile(0.99))},
+		)
+	}
 	// Gauge functions run outside the registry lock: they may take locks of
 	// their own (e.g. summing mailbox sizes), and must not deadlock against
 	// concurrent Counter/Gauge registration.

@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHistogram is a concurrent, fixed-footprint histogram of durations
+// with logarithmic (power-of-two) buckets over nanoseconds. It is built for
+// hot paths: Observe is a couple of atomic adds with no allocation and no
+// locks, the counters are striped across cache lines so parallel writers do
+// not fight over one line, and every method is safe to call on a nil
+// receiver so instrumented code can keep a single unconditional call site —
+// a disabled histogram costs one predictable branch.
+//
+// Bucket b counts observations in [2^b ns, 2^(b+1) ns); bucket 0 also
+// absorbs zero and negative durations, and the last bucket absorbs
+// everything above ~9 minutes. Quantile estimates interpolate linearly
+// inside a bucket, so the error is bounded by the bucket width (a factor of
+// two) — adequate for p50/p95/p99 readouts of scheduling and messaging
+// latencies, which is what the runtimes feed it.
+type LatencyHistogram struct {
+	stripes [histStripes]histStripe
+}
+
+const (
+	// histStripes must be a power of two; sixteen stripes keeps parallel
+	// senders mostly on separate cache lines (stripe choice is a hash, so
+	// fewer stripes mean frequent birthday collisions at 8-way
+	// parallelism) without bloating the footprint: each stripe is 6 cache
+	// lines, so a histogram is 6 KiB.
+	histStripes = 16
+	// histBuckets of power-of-two widths cover 1ns .. 2^40ns (~18 min).
+	histBuckets = 40
+)
+
+type histStripe struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	// Pad the stripe to a cache-line multiple so adjacent stripes never
+	// share a line: 40*8 + 8 = 328 bytes -> round up to 384.
+	_ [56]byte
+}
+
+// stripeFor picks a stripe from the address of a stack variable (see
+// stripeIndex in striped.go). Distinct goroutines run on distinct stacks
+// (allocated with at least 2 KiB alignment/spacing), so bits 11+ of a stack
+// address spread concurrent writers across stripes; the same goroutine
+// tends to hash to the same stripe, which keeps its line warm. This is the
+// cheapest goroutine-affinity signal available without runtime hooks.
+func (h *LatencyHistogram) stripeFor() *histStripe {
+	return &h.stripes[stripeIndex()]
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketLower returns the inclusive lower bound of bucket i, the layout
+// documented in docs/OBSERVABILITY.md. Bucket 0 starts at 0.
+func BucketLower(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return time.Duration(1) << uint(i)
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i.
+func BucketUpper(i int) time.Duration {
+	return time.Duration(1) << uint(i+1)
+}
+
+// Observe records one duration. Safe for concurrent use; a no-op on a nil
+// receiver.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := h.stripeFor()
+	s.counts[bucketOf(d)].Add(1)
+	s.sum.Add(d.Nanoseconds())
+}
+
+// Start begins a timing. Use as: defer h.Start().Stop() or pair
+// t := h.Start(); ...; t.Stop(). Safe on a nil receiver: the returned
+// Timer's Stop is then a no-op that does not even read the clock.
+func (h *LatencyHistogram) Start() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Timer is one in-flight measurement from LatencyHistogram.Start.
+type Timer struct {
+	h     *LatencyHistogram
+	start time.Time
+}
+
+// Stop records the elapsed time since Start and returns it. A Timer from a
+// nil histogram records nothing and returns zero.
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d)
+	return d
+}
+
+// HistogramSnapshot is a point-in-time merge of all stripes.
+type HistogramSnapshot struct {
+	Counts [histBuckets]int64
+	Count  int64
+	Sum    int64 // total observed nanoseconds
+}
+
+// Snapshot merges the stripes into one consistent-enough view. Concurrent
+// Observes may land in some buckets and not others; each bucket count is
+// individually exact and monotone. Safe on a nil receiver (returns zeros).
+func (h *LatencyHistogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := 0; b < histBuckets; b++ {
+			c := st.counts[b].Load()
+			s.Counts[b] += c
+			s.Count += c
+		}
+		s.Sum += st.sum.Load()
+	}
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *LatencyHistogram) Count() int64 { return h.Snapshot().Count }
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket. Returns 0 for an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for b := 0; b < histBuckets; b++ {
+		c := float64(s.Counts[b])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := float64(BucketLower(b))
+			hi := float64(BucketUpper(b))
+			frac := (rank - cum) / c
+			return time.Duration(lo + frac*(hi-lo))
+		}
+		cum += c
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the observations (exact, from the
+// running sum, unlike the bucket-quantized quantiles).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// P50, P95 and P99 are the quantile readouts the runtimes report.
+func (h *LatencyHistogram) P50() time.Duration { return h.Snapshot().Quantile(0.50) }
+func (h *LatencyHistogram) P95() time.Duration { return h.Snapshot().Quantile(0.95) }
+func (h *LatencyHistogram) P99() time.Duration { return h.Snapshot().Quantile(0.99) }
+
+// Summary renders "n=<count> p50=<d> p95=<d> p99=<d> mean=<d>" for logs and
+// tables. Safe on a nil receiver.
+func (h *LatencyHistogram) Summary() string {
+	s := h.Snapshot()
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v mean=%v",
+		s.Count, s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Mean())
+}
+
+// Histogram returns the latency histogram registered under name, creating
+// it on first use. Repeated calls with the same name return the same
+// histogram, so independent subsystems can share one series.
+func (r *Registry) Histogram(name string) *LatencyHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*LatencyHistogram{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &LatencyHistogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// histograms returns a copied name->histogram map for iteration outside the
+// registry lock.
+func (r *Registry) histograms() map[string]*LatencyHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*LatencyHistogram, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h
+	}
+	return out
+}

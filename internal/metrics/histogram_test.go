@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *LatencyHistogram
+	h.Observe(time.Millisecond) // must not panic
+	if d := h.Start().Stop(); d != 0 {
+		t.Fatalf("nil timer returned %v, want 0", d)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	if got := h.P99(); got != 0 {
+		t.Fatalf("nil P99 = %v, want 0", got)
+	}
+	if !strings.Contains(h.Summary(), "n=0") {
+		t.Fatalf("nil Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1024, 10}, {1025, 10}, {2047, 10}, {2048, 11},
+		{time.Hour, histBuckets - 1}, // clamped into the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if BucketLower(0) != 0 || BucketUpper(0) != 2 {
+		t.Fatalf("bucket 0 bounds = [%d,%d)", BucketLower(0), BucketUpper(0))
+	}
+	if BucketLower(10) != 1024 || BucketUpper(10) != 2048 {
+		t.Fatalf("bucket 10 bounds = [%d,%d)", BucketLower(10), BucketUpper(10))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &LatencyHistogram{}
+	// 90 fast observations and 10 slow ones: p50 in the fast bucket, p99 in
+	// the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket [64,128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond) // bucket [2^19, 2^20) ~ [524µs, 1.05ms)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if p50 := s.Quantile(0.50); p50 < 64 || p50 >= 128 {
+		t.Errorf("p50 = %v, want within [64ns,128ns)", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 524288 || p99 > 2*1048576 {
+		t.Errorf("p99 = %v, want around 1ms", p99)
+	}
+	wantSum := int64(90*100 + 10*1000000)
+	if s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if mean := s.Mean(); mean != time.Duration(wantSum/100) {
+		t.Errorf("mean = %v", mean)
+	}
+	// Quantile bounds clamp.
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) < s.Quantile(0.99) {
+		t.Errorf("quantile clamping broken")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &LatencyHistogram{}
+	const goroutines = 16
+	const per = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*100 + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d (lost updates)", got, goroutines*per)
+	}
+}
+
+func TestHistogramTimer(t *testing.T) {
+	h := &LatencyHistogram{}
+	tm := h.Start()
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("timer measured %v, want >= 1ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d after one timed section", h.Count())
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("x.lat_ns")
+	h2 := r.Histogram("x.lat_ns")
+	if h1 != h2 {
+		t.Fatalf("same name returned distinct histograms")
+	}
+	h1.Observe(100 * time.Nanosecond)
+	snap := r.Snapshot()
+	byName := map[string]int64{}
+	for _, s := range snap {
+		byName[s.Name] = s.Value
+	}
+	if byName["x.lat_ns.count"] != 1 {
+		t.Fatalf("snapshot missing histogram count: %v", snap)
+	}
+	if _, ok := byName["x.lat_ns.p99_ns"]; !ok {
+		t.Fatalf("snapshot missing p99 sample: %v", snap)
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromSanitize maps a registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:]: the registry's dotted names ("actors.handler_ns")
+// become underscore-separated ("actors_handler_ns"), and a leading digit
+// gets an underscore prefix. Distinct registry names can collide after
+// sanitization; the naming scheme in docs/OBSERVABILITY.md avoids that by
+// construction.
+func PromSanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every counter, gauge and histogram in the
+// Prometheus text exposition format (version 0.0.4): counters and gauges as
+// single samples with a # TYPE line, histograms as the conventional
+// cumulative _bucket{le="..."} series plus _sum and _count. Histogram
+// bucket boundaries are the power-of-two nanosecond uppers from
+// LatencyHistogram, exposed in seconds as Prometheus convention wants.
+// Families are emitted in sorted name order so output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	hists := make(map[string]*LatencyHistogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	type family struct {
+		name string
+		emit func(io.Writer, string) error
+	}
+	var fams []family
+	for name, c := range counters {
+		c := c
+		fams = append(fams, family{name, func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Load())
+			return err
+		}})
+	}
+	for name, fn := range gauges {
+		fn := fn
+		fams = append(fams, family{name, func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, fn())
+			return err
+		}})
+	}
+	for name, h := range hists {
+		h := h
+		fams = append(fams, family{name, func(w io.Writer, n string) error {
+			return writePromHistogram(w, n, h.Snapshot())
+		}})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.emit(w, PromSanitize(f.name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	// Emit cumulative buckets up to the last non-empty one; the +Inf bucket
+	// always closes the series. Bounds are seconds per Prometheus
+	// convention (the registry name carries the _ns suffix for the raw
+	// nanosecond series elsewhere, but le must be in base units).
+	last := -1
+	for b := histBuckets - 1; b >= 0; b-- {
+		if s.Counts[b] != 0 {
+			last = b
+			break
+		}
+	}
+	var cum int64
+	for b := 0; b <= last; b++ {
+		cum += s.Counts[b]
+		upper := float64(BucketUpper(b)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatPromFloat(upper), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, formatPromFloat(float64(s.Sum)/1e9), name, s.Count)
+	return err
+}
+
+// formatPromFloat renders a float without an exponent for small magnitudes
+// (Prometheus accepts scientific notation, but fixed point keeps the text
+// greppable) and trims trailing zeros.
+func formatPromFloat(f float64) string {
+	out := fmt.Sprintf("%.9f", f)
+	out = strings.TrimRight(out, "0")
+	out = strings.TrimRight(out, ".")
+	if out == "" || out == "-" {
+		return "0"
+	}
+	return out
+}

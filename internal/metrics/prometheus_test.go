@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromSanitize(t *testing.T) {
+	cases := map[string]string{
+		"actors.mailbox.wait_ns": "actors_mailbox_wait_ns",
+		"node.wire.sent":         "node_wire_sent",
+		"9lives":                 "_9lives",
+		"a-b c":                  "a_b_c",
+		"ok_name:sub":            "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := PromSanitize(in); got != want {
+			t.Errorf("PromSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// parseProm is a minimal validator for the Prometheus text format: every
+// non-comment line must be `name{labels} value` or `name value` with a
+// legal metric name and a parseable float value. It returns samples keyed
+// by the full series name (including labels).
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	validName := func(s string) bool {
+		for i, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			case r >= '0' && r <= '9':
+				if i == 0 {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return len(s) > 0
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "TYPE" {
+				t.Fatalf("bad comment line: %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad type in %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("no value separator in %q", line)
+		}
+		series, val := line[:sp], line[sp+1:]
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = series[:i]
+			labels := series[i+1 : len(series)-1]
+			for _, l := range strings.Split(labels, ",") {
+				k, v, ok := strings.Cut(l, "=")
+				if !ok || !validName(k) || !strings.HasPrefix(v, `"`) || !strings.HasSuffix(v, `"`) {
+					t.Fatalf("bad label %q in %q", l, line)
+				}
+			}
+		}
+		if !validName(name) {
+			t.Fatalf("illegal metric name %q in %q", name, line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil && val != "+Inf" && val != "-Inf" && val != "NaN" {
+			t.Fatalf("bad value %q in %q: %v", val, line, err)
+		}
+		out[series] = f
+	}
+	return out
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("actors.deadletters").Add(3)
+	r.Gauge("actors.mailbox.backlog", func() int64 { return 7 })
+	h := r.Histogram("actors.handler_ns")
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(3 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := parseProm(t, text)
+
+	if samples["actors_deadletters"] != 3 {
+		t.Errorf("counter sample wrong: %v", samples)
+	}
+	if samples["actors_mailbox_backlog"] != 7 {
+		t.Errorf("gauge sample wrong: %v", samples)
+	}
+	if samples[`actors_handler_ns_bucket{le="+Inf"}`] != 3 {
+		t.Errorf("+Inf bucket != 3:\n%s", text)
+	}
+	if samples["actors_handler_ns_count"] != 3 {
+		t.Errorf("histogram count wrong:\n%s", text)
+	}
+	// The two 100ns observations land in the [64,128) bucket whose upper
+	// bound is 128ns = 1.28e-7s.
+	if got := samples[`actors_handler_ns_bucket{le="0.000000128"}`]; got != 2 {
+		t.Errorf("128ns cumulative bucket = %v, want 2:\n%s", got, text)
+	}
+	// Buckets must be cumulative (monotone nondecreasing in le order).
+	var prev float64
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "actors_handler_ns_bucket") {
+			continue
+		}
+		var v float64
+		fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%f", &v)
+		if v < prev {
+			t.Fatalf("buckets not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if !strings.Contains(text, "# TYPE actors_handler_ns histogram") {
+		t.Errorf("missing histogram TYPE line:\n%s", text)
+	}
+}
+
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_ns")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, b.String())
+	if samples[`empty_ns_bucket{le="+Inf"}`] != 0 || samples["empty_ns_count"] != 0 {
+		t.Fatalf("empty histogram exposition wrong:\n%s", b.String())
+	}
+}

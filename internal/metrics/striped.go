@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripeIndex picks a stripe from the address of a stack variable — see
+// LatencyHistogram.stripeFor for why this approximates goroutine affinity.
+func stripeIndex() int {
+	var marker byte
+	return int(uintptr(unsafe.Pointer(&marker)) >> 11 & (histStripes - 1))
+}
+
+// StripedCounter is a write-optimized exact counter for per-operation hot
+// paths: Add lands on one of eight cache-line-padded stripes chosen by
+// goroutine affinity, so parallel writers do not serialize on a single
+// cache line the way a plain atomic counter makes them. Load sums the
+// stripes — exact once writers have quiesced, momentarily fuzzy while they
+// have not (like any concurrent counter read).
+//
+// The per-stripe running total returned by Add doubles as a cheap sampling
+// tick: `if c.Add(1)&(rate-1) == 0 { ...take the expensive measurement }`
+// samples one in rate operations per stripe with no extra shared state.
+type StripedCounter struct {
+	stripes [histStripes]stripedCell
+}
+
+type stripedCell struct {
+	v atomic.Int64
+	_ [56]byte // pad to a full cache line
+}
+
+// Add increments the counter and returns the new value of the stripe it
+// landed on (not the global total — use Load for that).
+func (c *StripedCounter) Add(delta int64) int64 {
+	return c.stripes[stripeIndex()].v.Add(delta)
+}
+
+// Load returns the sum across stripes.
+func (c *StripedCounter) Load() int64 {
+	var n int64
+	for i := range c.stripes {
+		n += c.stripes[i].v.Load()
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+// Package obs puts the observability surfaces on HTTP: a live Prometheus
+// scrape of a metrics.Registry and an on-demand pull of a trace.Recorder's
+// flight window as a Chrome trace. It exists as its own small package so
+// the runtimes (actors, threads, coro, remote) stay import-free of net/http
+// — they expose registries and recorders; this package serves them.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Handler returns an http.Handler serving the debug endpoints:
+//
+//	/debug/metrics          Prometheus text exposition of reg
+//	/debug/flight           Chrome trace JSON of rec's retained events
+//	/debug/flight?format=text   the same events, one human-readable line each
+//
+// Load /debug/flight into Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Either argument may be nil; its endpoint then answers 503 so a probe can
+// tell "not wired" from "empty". The handler takes snapshots per request —
+// scraping never blocks the hot paths beyond what Snapshot itself costs.
+func Handler(reg *metrics.Registry, rec *trace.Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.Error(w, "no metrics registry configured", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is note it for the client log.
+			fmt.Fprintf(w, "# write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "no trace recorder configured", http.StatusServiceUnavailable)
+			return
+		}
+		events := rec.Events()
+		switch r.URL.Query().Get("format") {
+		case "", "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			if err := trace.ExportChrome(w, events); err != nil {
+				fmt.Fprintf(w, "\n# export error: %v\n", err)
+			}
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, e := range events {
+				fmt.Fprintln(w, e.String())
+			}
+		default:
+			http.Error(w, "format must be chrome or text", http.StatusBadRequest)
+		}
+	})
+	return mux
+}
+
+// Serve starts Handler on addr in a background goroutine and returns the
+// server (for Close) and its resolved listen address. This is the one-liner
+// the cmd/ binaries use behind their -debug flags.
+func Serve(addr string, reg *metrics.Registry, rec *trace.Recorder) (*http.Server, string, error) {
+	srv := &http.Server{Handler: Handler(reg, rec)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -30,6 +30,11 @@ type link struct {
 	// lastRecv is the unixnano of the last frame read on the current
 	// connection; heartbeat timeout compares against it.
 	lastRecv atomic.Int64
+	// hbSentAt is the unixnano of the most recent heartbeat written, or 0
+	// when no probe is outstanding; the reader swaps it out when the ack
+	// arrives to observe one round-trip sample. A probe that dies with its
+	// connection leaves a stale stamp, overwritten by the next probe.
+	hbSentAt atomic.Int64
 }
 
 func newLink(n *Node, peer string) *link {
@@ -102,6 +107,7 @@ func (l *link) serve(conn Conn) {
 	if err := conn.Send(data); err != nil {
 		return
 	}
+	n.bytesSent.Add(int64(len(data)))
 	l.lastRecv.Store(time.Now().UnixNano())
 	l.state.Store(linkUp)
 
@@ -118,9 +124,18 @@ func (l *link) serve(conn Conn) {
 			if err != nil {
 				return
 			}
+			n.bytesRecv.Add(int64(len(frame)))
 			if w, err := n.codec.Decode(frame); err == nil {
 				n.clock.Observe(w.Lamport)
-				l.lastRecv.Store(time.Now().UnixNano())
+				now := time.Now().UnixNano()
+				l.lastRecv.Store(now)
+				if w.Kind == FrameHeartbeatAck {
+					if t0 := l.hbSentAt.Swap(0); t0 != 0 {
+						if h := n.rtt.Load(); h != nil {
+							h.Observe(time.Duration(now - t0))
+						}
+					}
+				}
 			} else {
 				n.decodeErrs.Add(1)
 			}
@@ -141,6 +156,7 @@ func (l *link) serve(conn Conn) {
 				// at-most-once delivery, by contract.
 				return
 			}
+			n.bytesSent.Add(int64(len(frame)))
 		case <-ticker.C:
 			silence := time.Since(time.Unix(0, l.lastRecv.Load()))
 			if silence > n.cfg.HeartbeatTimeout {
@@ -153,9 +169,11 @@ func (l *link) serve(conn Conn) {
 				n.encodeErrs.Add(1)
 				continue
 			}
+			l.hbSentAt.Store(time.Now().UnixNano())
 			if err := conn.Send(data); err != nil {
 				return
 			}
+			n.bytesSent.Add(int64(len(data)))
 		}
 	}
 }

@@ -108,6 +108,13 @@ type Node struct {
 	hbTimeouts atomic.Int64
 	encodeErrs atomic.Int64
 	decodeErrs atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+
+	// rtt, when set (RegisterMetrics), receives heartbeat round-trip times
+	// measured on every dial-out link. An atomic pointer so links read it
+	// without locks; nil means unobserved.
+	rtt atomic.Pointer[metrics.LatencyHistogram]
 
 	evMu   sync.Mutex
 	events []WireEvent
@@ -222,6 +229,8 @@ type Stats struct {
 	HeartbeatTimeouts int64 // links torn down for peer silence
 	EncodeErrors      int64
 	DecodeErrors      int64
+	BytesSent         int64 // encoded frame bytes written (all frame kinds)
+	BytesReceived     int64 // frame bytes read (all frame kinds)
 }
 
 // Stats returns the node's current wire counters.
@@ -234,6 +243,8 @@ func (n *Node) Stats() Stats {
 		HeartbeatTimeouts: n.hbTimeouts.Load(),
 		EncodeErrors:      n.encodeErrs.Load(),
 		DecodeErrors:      n.decodeErrs.Load(),
+		BytesSent:         n.bytesSent.Load(),
+		BytesReceived:     n.bytesRecv.Load(),
 	}
 }
 
@@ -251,11 +262,16 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.Gauge(prefix+".wire.heartbeat_timeouts", n.hbTimeouts.Load)
 	reg.Gauge(prefix+".wire.encode_errors", n.encodeErrs.Load)
 	reg.Gauge(prefix+".wire.decode_errors", n.decodeErrs.Load)
+	reg.Gauge(prefix+".wire.bytes_sent", n.bytesSent.Load)
+	reg.Gauge(prefix+".wire.bytes_received", n.bytesRecv.Load)
 	reg.Gauge(prefix+".wire.links", func() int64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		return int64(len(n.links))
 	})
+	// Heartbeat round-trip time, the link-health latency series: stamped at
+	// heartbeat send on each dial-out link, observed when the ack returns.
+	n.rtt.Store(reg.Histogram(prefix + ".wire.heartbeat_rtt_ns"))
 }
 
 // Close stops the listener, tears down every link and inbound connection,
@@ -398,6 +414,7 @@ func (n *Node) serveConn(c Conn) {
 		if err != nil {
 			return
 		}
+		n.bytesRecv.Add(int64(len(frame)))
 		w, err := n.codec.Decode(frame)
 		if err != nil {
 			n.decodeErrs.Add(1)
@@ -412,7 +429,9 @@ func (n *Node) serveConn(c Conn) {
 			ack := &WireEnvelope{Kind: FrameHeartbeatAck, FromAddr: n.addr, Lamport: n.clock.Tick()}
 			if data, err := n.codec.Encode(ack); err == nil {
 				// A failed ack write is the dialer's problem to detect.
-				_ = c.Send(data)
+				if c.Send(data) == nil {
+					n.bytesSent.Add(int64(len(data)))
+				}
 			}
 		case FrameMsg:
 			n.recordWire("recv", w.FromAddr, w.Seq, lam, payloadType(w.Payload))

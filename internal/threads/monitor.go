@@ -41,6 +41,11 @@ type Monitor struct {
 	condWaiters  map[string][]string
 	timed        map[string][]*timedWaiter
 	inj          faults.Injector
+
+	// Optional instrumentation (SetObs): acquiredAt is the start of the
+	// current lock-held segment, zero while free or uninstrumented.
+	obs        *MonitorObs
+	acquiredAt time.Time
 }
 
 // timedWaiter is one WaitFor parkee: notified via channel close so the
@@ -95,21 +100,33 @@ func (m *Monitor) EnterAs(label string) {
 	m.injectLockDelay(label)
 	m.mu.Lock()
 	m.acquireLocked(label)
+	if m.obs != nil {
+		m.obs.enters.Add(1)
+	}
 	m.mu.Unlock()
 }
 
 // acquireLocked blocks until the monitor is free and takes it, keeping the
 // entry-waiter label list accurate. Caller holds m.mu.
 func (m *Monitor) acquireLocked(label string) {
+	m.adoptObsLocked()
 	if m.held {
+		var t0 time.Time
+		if m.obs != nil {
+			t0 = time.Now()
+		}
 		m.entryWaiters = append(m.entryWaiters, label)
 		for m.held {
 			m.waiterFor("\x00entry").Wait()
 		}
 		removeLabel(&m.entryWaiters, label)
+		if m.obs != nil {
+			m.obs.AcquireWait.Observe(time.Since(t0))
+		}
 	}
 	m.held = true
 	m.owner = label
+	m.holdStartLocked()
 }
 
 // removeLabel deletes the first occurrence of label from *s.
@@ -152,11 +169,20 @@ func (m *Monitor) EnterFor(label string, d time.Duration) error {
 	m.injectLockDelay(label)
 	deadline := time.Now().Add(d)
 	m.mu.Lock()
+	m.adoptObsLocked()
 	if !m.held {
 		m.held = true
 		m.owner = label
+		m.holdStartLocked()
+		if m.obs != nil {
+			m.obs.enters.Add(1)
+		}
 		m.mu.Unlock()
 		return nil
+	}
+	var t0 time.Time
+	if m.obs != nil {
+		t0 = time.Now()
 	}
 	entry := m.waiterFor("\x00entry")
 	stop := make(chan struct{})
@@ -167,7 +193,9 @@ func (m *Monitor) EnterFor(label string, d time.Duration) error {
 		if time.Now().After(deadline) {
 			removeLabel(&m.entryWaiters, label)
 			err := m.timeoutErrLocked("EnterFor", label, "")
+			obs := m.obs
 			m.mu.Unlock()
+			obs.deadlineMiss("EnterFor", label, "")
 			return err
 		}
 		entry.Wait()
@@ -175,6 +203,11 @@ func (m *Monitor) EnterFor(label string, d time.Duration) error {
 	removeLabel(&m.entryWaiters, label)
 	m.held = true
 	m.owner = label
+	m.holdStartLocked()
+	if m.obs != nil {
+		m.obs.AcquireWait.Observe(time.Since(t0))
+		m.obs.enters.Add(1)
+	}
 	m.mu.Unlock()
 	return nil
 }
@@ -217,11 +250,16 @@ func (m *Monitor) timeoutErrLocked(op, label, cond string) *TimeoutError {
 func (m *Monitor) TryEnter() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.adoptObsLocked()
 	if m.held {
 		return false
 	}
 	m.held = true
 	m.owner = ""
+	m.holdStartLocked()
+	if m.obs != nil {
+		m.obs.enters.Add(1)
+	}
 	return true
 }
 
@@ -231,6 +269,10 @@ func (m *Monitor) Exit() {
 	defer m.mu.Unlock()
 	if !m.held {
 		panic(ErrNotOwner{Op: "Exit"})
+	}
+	m.holdEndLocked()
+	if m.obs != nil {
+		m.obs.exits.Add(1)
 	}
 	m.held = false
 	m.owner = ""
@@ -263,6 +305,10 @@ func (m *Monitor) Wait(cond string) {
 		panic(ErrNotOwner{Op: "Wait"})
 	}
 	// Release the monitor.
+	m.holdEndLocked()
+	if m.obs != nil {
+		m.obs.waits.Add(1)
+	}
 	m.held = false
 	owner := m.owner
 	m.owner = ""
@@ -309,6 +355,10 @@ func (m *Monitor) WaitFor(cond string, d time.Duration) error {
 		m.timed = make(map[string][]*timedWaiter)
 	}
 	m.timed[cond] = append(m.timed[cond], w)
+	m.holdEndLocked()
+	if m.obs != nil {
+		m.obs.waits.Add(1)
+	}
 	owner := m.owner
 	m.held = false
 	m.owner = ""
@@ -342,7 +392,11 @@ func (m *Monitor) WaitFor(cond string, d time.Duration) error {
 	if timedOut {
 		err = m.timeoutErrLocked("WaitFor", owner, cond)
 	}
+	obs := m.obs
 	m.mu.Unlock()
+	if timedOut {
+		obs.deadlineMiss("WaitFor", owner, cond)
+	}
 	return err
 }
 
@@ -353,6 +407,9 @@ func (m *Monitor) Notify(cond string) {
 	defer m.mu.Unlock()
 	if !m.held {
 		panic(ErrNotOwner{Op: "Notify"})
+	}
+	if m.obs != nil {
+		m.obs.notifies.Add(1)
 	}
 	if len(m.condWaiters[cond]) > 0 {
 		m.waiterFor(cond).Signal()
@@ -376,6 +433,9 @@ func (m *Monitor) NotifyAll(cond string) {
 	defer m.mu.Unlock()
 	if !m.held {
 		panic(ErrNotOwner{Op: "NotifyAll"})
+	}
+	if m.obs != nil {
+		m.obs.notifies.Add(1)
 	}
 	m.waiterFor(cond).Broadcast()
 	for _, w := range m.timed[cond] {

@@ -1,0 +1,176 @@
+package threads
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// MonitorObs is optional instrumentation for a Monitor, installed with
+// SetObs. It measures the two latencies that matter for a lock — how long
+// acquirers block (AcquireWait) and how long the lock is held between
+// acquisition and release (Hold) — plus exact operation counts that let the
+// conformance suite assert the monitor's balance law: every Enter is paired
+// with an Exit once the workload quiesces.
+//
+// All updates happen under the monitor's own mutex, which every monitor
+// operation already takes, so instrumentation adds no new synchronization;
+// the clock reads it adds are per lock operation, not per message, and
+// monitors are coarse enough that this is noise. Every method is safe on a
+// nil receiver, so the monitor keeps unconditional call sites.
+type MonitorObs struct {
+	// AcquireWait records how long contended acquirers blocked between
+	// requesting the monitor and acquiring it, including re-acquisitions
+	// on the way out of Wait/WaitFor. Uncontended acquisitions (the
+	// monitor was free) are not recorded — the series measures contention,
+	// not the lock-free fast path.
+	AcquireWait *metrics.LatencyHistogram
+	// Hold records lock-held segments: acquisition (or wakeup from Wait)
+	// to release (Exit or the release half of Wait/WaitFor). A critical
+	// section that Waits in the middle therefore contributes two segments,
+	// which is the granularity that matters for contention analysis — Wait
+	// gives the lock away.
+	Hold *metrics.LatencyHistogram
+
+	enters, exits, waits, notifies, deadlineMisses atomic.Int64
+
+	rec  *trace.Recorder
+	name string
+}
+
+// NewMonitorObs returns a MonitorObs whose histograms are registered in reg
+// as prefix.acquire_wait_ns and prefix.hold_ns, with the operation counters
+// exposed as gauges prefix.enters, prefix.exits, prefix.waits,
+// prefix.notifies and prefix.deadline_misses (naming scheme:
+// docs/OBSERVABILITY.md). A nil reg yields histogram-less counting.
+func NewMonitorObs(reg *metrics.Registry, prefix string) *MonitorObs {
+	o := &MonitorObs{}
+	if reg != nil {
+		o.AcquireWait = reg.Histogram(prefix + ".acquire_wait_ns")
+		o.Hold = reg.Histogram(prefix + ".hold_ns")
+		reg.Gauge(prefix+".enters", o.Enters)
+		reg.Gauge(prefix+".exits", o.Exits)
+		reg.Gauge(prefix+".waits", o.Waits)
+		reg.Gauge(prefix+".notifies", o.Notifies)
+		reg.Gauge(prefix+".deadline_misses", o.DeadlineMisses)
+	}
+	return o
+}
+
+// SetRecorder routes deadline misses (EnterFor/WaitFor timeouts) into rec
+// as KindFault events attributed to the timed-out task's label, with the
+// monitor identified as name. The flight-recorder mode of trace.Recorder
+// auto-dumps on such events, so a missed lock deadline can trigger a
+// post-mortem snapshot.
+func (o *MonitorObs) SetRecorder(rec *trace.Recorder, name string) {
+	if o == nil {
+		return
+	}
+	o.rec = rec
+	o.name = name
+}
+
+// Enters returns the number of successful monitor acquisitions via
+// Enter/EnterAs/EnterFor/TryEnter (re-acquisitions inside Wait/WaitFor do
+// not count: they belong to the original Enter).
+func (o *MonitorObs) Enters() int64 { return o.enters.Load() }
+
+// Exits returns the number of Exit calls.
+func (o *MonitorObs) Exits() int64 { return o.exits.Load() }
+
+// Waits returns the number of Wait/WaitFor parks.
+func (o *MonitorObs) Waits() int64 { return o.waits.Load() }
+
+// Notifies returns the number of Notify/NotifyAll calls.
+func (o *MonitorObs) Notifies() int64 { return o.notifies.Load() }
+
+// DeadlineMisses returns the number of EnterFor/WaitFor timeouts.
+func (o *MonitorObs) DeadlineMisses() int64 { return o.deadlineMisses.Load() }
+
+// CheckBalance verifies the monitor conservation law: once the workload has
+// quiesced (no goroutine inside or blocked on the monitor), every
+// acquisition has been released — enters == exits. An EnterFor that timed
+// out counts as neither; a WaitFor timeout re-acquires and the caller still
+// Exits, so timeouts do not unbalance the ledger.
+func (o *MonitorObs) CheckBalance() error {
+	if o == nil {
+		return fmt.Errorf("threads: balance accounting requires a MonitorObs")
+	}
+	enters, exits := o.enters.Load(), o.exits.Load()
+	if enters != exits {
+		return fmt.Errorf("threads: monitor balance violated: enters=%d != exits=%d", enters, exits)
+	}
+	return nil
+}
+
+// deadlineMiss counts one EnterFor/WaitFor timeout and, with a recorder
+// attached, emits a KindFault event — the trigger for flight-recorder
+// auto-dump. Safe on nil.
+func (o *MonitorObs) deadlineMiss(op, label, cond string) {
+	if o == nil {
+		return
+	}
+	o.deadlineMisses.Add(1)
+	if o.rec != nil {
+		detail := op + " timeout"
+		if cond != "" {
+			detail += " cond=" + cond
+		}
+		task := label
+		if task == "" {
+			task = "anonymous"
+		}
+		o.rec.Record(task, trace.KindFault, "monitor:"+o.name, detail)
+	}
+}
+
+// SetObs installs instrumentation on the monitor (nil uninstalls). Like
+// SetInjector it is typically called before the monitor is shared.
+func (m *Monitor) SetObs(o *MonitorObs) {
+	m.mu.Lock()
+	m.obs = o
+	m.mu.Unlock()
+}
+
+// defaultMonitorObs is the process-wide fallback adopted by uninstrumented
+// monitors on acquisition; see SetDefaultObs.
+var defaultMonitorObs atomic.Pointer[MonitorObs]
+
+// SetDefaultObs installs a process-wide MonitorObs that every monitor
+// without its own SetObs adopts on its next acquisition, so the CLI
+// binaries' -metrics flags can observe monitors created deep inside a
+// workload. All such monitors share the one observer: its counters and
+// histograms aggregate across them, and CheckBalance states the balance law
+// for the aggregate. Call it before the workload starts (adoption mid-run
+// would count an Exit whose Enter predates adoption); passing nil stops
+// future adoptions but does not strip monitors that already adopted.
+func SetDefaultObs(o *MonitorObs) { defaultMonitorObs.Store(o) }
+
+// adoptObsLocked installs the process-wide default observer on a monitor
+// that never got SetObs. Called under m.mu at every acquisition point, so
+// an Exit or Wait can only ever see the observer its Enter counted into.
+func (m *Monitor) adoptObsLocked() {
+	if m.obs == nil {
+		m.obs = defaultMonitorObs.Load()
+	}
+}
+
+// holdStartLocked stamps the beginning of a lock-held segment. Caller holds
+// m.mu and has just acquired the monitor.
+func (m *Monitor) holdStartLocked() {
+	if m.obs != nil {
+		m.acquiredAt = time.Now()
+	}
+}
+
+// holdEndLocked closes the current lock-held segment, feeding the Hold
+// histogram. Caller holds m.mu and is about to release the monitor.
+func (m *Monitor) holdEndLocked() {
+	if m.obs != nil && !m.acquiredAt.IsZero() {
+		m.obs.Hold.Observe(time.Since(m.acquiredAt))
+		m.acquiredAt = time.Time{}
+	}
+}

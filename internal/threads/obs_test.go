@@ -1,0 +1,220 @@
+package threads
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func TestMonitorObsCountsAndBalance(t *testing.T) {
+	reg := metrics.NewRegistry()
+	obs := NewMonitorObs(reg, "threads.monitor")
+	var m Monitor
+	m.SetObs(obs)
+
+	const workers = 4
+	const rounds = 25
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				m.EnterAs("w")
+				time.Sleep(50 * time.Microsecond)
+				m.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := obs.CheckBalance(); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Enters(); got != workers*rounds {
+		t.Fatalf("enters = %d, want %d", got, workers*rounds)
+	}
+	if obs.Hold.Count() != workers*rounds {
+		t.Fatalf("hold segments = %d, want %d", obs.Hold.Count(), workers*rounds)
+	}
+	// Each section slept 50µs, so p50 hold must be at least that.
+	if p50 := obs.Hold.P50(); p50 < 50*time.Microsecond {
+		t.Fatalf("hold p50 = %v, want >= 50µs", p50)
+	}
+	// Four workers against one 50µs section: contention had to happen.
+	if obs.AcquireWait.Count() == 0 {
+		t.Fatal("no contended acquisitions observed under 4-way contention")
+	}
+	if v, ok := reg.Get("threads.monitor.enters"); !ok || v != workers*rounds {
+		t.Fatalf("registry enters gauge = %d, %v", v, ok)
+	}
+}
+
+func TestMonitorObsWaitSplitsHoldSegments(t *testing.T) {
+	obs := NewMonitorObs(metrics.NewRegistry(), "m")
+	var m Monitor
+	m.SetObs(obs)
+
+	released := make(chan struct{})
+	go func() {
+		m.EnterAs("sleeper")
+		close(released)
+		m.Wait("data") // segment 1 ends here, segment 2 runs after wakeup
+		m.Exit()
+	}()
+	<-released
+	// Wait until the sleeper parks, then notify.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(m.Contention().CondWaiters["data"]) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.EnterAs("notifier")
+	m.Notify("data")
+	m.Exit()
+	// Quiesce: wait for the sleeper's Exit.
+	deadline = time.Now().Add(2 * time.Second)
+	for m.Held() {
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never released")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for obs.Exits() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("exits = %d, want 2", obs.Exits())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := obs.CheckBalance(); err != nil {
+		t.Fatal(err)
+	}
+	// sleeper: enter, wait (2 segments); notifier: enter (1 segment).
+	if got := obs.Enters(); got != 2 {
+		t.Fatalf("enters = %d, want 2", got)
+	}
+	if got := obs.Waits(); got != 1 {
+		t.Fatalf("waits = %d, want 1", got)
+	}
+	if got := obs.Notifies(); got != 1 {
+		t.Fatalf("notifies = %d, want 1", got)
+	}
+	if got := obs.Hold.Count(); got != 3 {
+		t.Fatalf("hold segments = %d, want 3 (wait splits the sleeper's)", got)
+	}
+}
+
+func TestMonitorObsDeadlineMissFeedsFlightRecorder(t *testing.T) {
+	rec := trace.NewFlightRecorder(16)
+	dumped := make(chan []trace.Event, 1)
+	rec.OnDump(func(reason string, evs []trace.Event) {
+		select {
+		case dumped <- evs:
+		default:
+		}
+	})
+	obs := NewMonitorObs(metrics.NewRegistry(), "m")
+	obs.SetRecorder(rec, "res")
+	var m Monitor
+	m.SetObs(obs)
+
+	m.EnterAs("hog")
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.EnterFor("victim", 10*time.Millisecond) }()
+	if err := <-errCh; !errors.Is(err, ErrMonitorTimeout) {
+		t.Fatalf("EnterFor error = %v", err)
+	}
+	if err := m.WaitFor("never", 10*time.Millisecond); !errors.Is(err, ErrMonitorTimeout) {
+		t.Fatalf("WaitFor error = %v", err)
+	}
+	m.Exit()
+
+	if got := obs.DeadlineMisses(); got != 2 {
+		t.Fatalf("deadline misses = %d, want 2", got)
+	}
+	// A timed-out EnterFor never acquired; balance still holds after Exit.
+	if err := obs.CheckBalance(); err != nil {
+		t.Fatal(err)
+	}
+	// The KindFault events must have auto-dumped the flight window.
+	select {
+	case evs := <-dumped:
+		var fault bool
+		for _, e := range evs {
+			if e.Kind == trace.KindFault && e.Object == "monitor:res" {
+				fault = true
+			}
+		}
+		if !fault {
+			t.Fatalf("dump lacks the monitor fault event: %v", evs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline miss did not auto-dump the flight recorder")
+	}
+}
+
+// TestWatchdogSuspectedCycleMetricAndTrace is the regression test for the
+// watchdog observability satellite: a persistent ABBA cycle must increment
+// threads.watchdog.suspected_cycles and emit a KindFault trace event.
+func TestWatchdogSuspectedCycleMetricAndTrace(t *testing.T) {
+	var m1, m2 Monitor
+	reg := metrics.NewRegistry()
+	rec := trace.NewRecorder()
+	w := NewLockWatchdog()
+	w.Register("a", &m1)
+	w.Register("b", &m2)
+	w.SetMetrics(reg)
+	w.SetRecorder(rec)
+	confirmed := make(chan struct{}, 1)
+	w.Start(5*time.Millisecond, func(*MonitorDeadlockError) {
+		select {
+		case confirmed <- struct{}{}:
+		default:
+		}
+	})
+	defer w.Stop()
+
+	var wg, barrier sync.WaitGroup
+	wg.Add(2)
+	barrier.Add(2)
+	grab := func(first, second *Monitor, label string) {
+		defer wg.Done()
+		first.EnterAs(label)
+		defer first.Exit()
+		barrier.Done()
+		barrier.Wait()
+		if err := second.EnterFor(label, 400*time.Millisecond); err == nil {
+			second.Exit()
+		}
+	}
+	go grab(&m1, &m2, "p")
+	go grab(&m2, &m1, "q")
+	select {
+	case <-confirmed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never confirmed the cycle")
+	}
+	wg.Wait()
+
+	if v, ok := reg.Get("threads.watchdog.suspected_cycles"); !ok || v < 1 {
+		t.Fatalf("suspected_cycles = %d, %v; want >= 1", v, ok)
+	}
+	var fault bool
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindFault && e.Task == "watchdog" && e.Object == "deadlock" &&
+			strings.Contains(e.Detail, "holds") {
+			fault = true
+		}
+	}
+	if !fault {
+		t.Fatal("no watchdog KindFault event recorded for the confirmed cycle")
+	}
+}

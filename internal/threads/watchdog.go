@@ -6,7 +6,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrMonitorDeadlock is the sentinel matched (via errors.Is) by the
@@ -53,12 +57,42 @@ type LockWatchdog struct {
 	monitors map[string]*Monitor
 	stop     chan struct{}
 	prev     string // fingerprint of the previous poll's suspicion
+
+	// suspected counts confirmed (two-strike) cycles; surfaced as the
+	// threads.watchdog.suspected_cycles metric by SetMetrics. rec, when
+	// set, receives a KindFault event per confirmed cycle — the trigger
+	// for flight-recorder auto-dump.
+	suspected atomic.Int64
+	rec       *trace.Recorder
 }
 
 // NewLockWatchdog returns an empty watchdog.
 func NewLockWatchdog() *LockWatchdog {
 	return &LockWatchdog{monitors: make(map[string]*Monitor)}
 }
+
+// SetMetrics exposes the watchdog's confirmed-cycle count in reg as the
+// gauge threads.watchdog.suspected_cycles (the docs/OBSERVABILITY.md name).
+func (w *LockWatchdog) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("threads.watchdog.suspected_cycles", w.SuspectedCycles)
+}
+
+// SetRecorder routes confirmed cycles into rec as KindFault events
+// attributed to the pseudo-task "watchdog", carrying the cycle description.
+// With a flight recorder this means a persistent suspected deadlock
+// auto-dumps the recent event window for post-mortem analysis.
+func (w *LockWatchdog) SetRecorder(rec *trace.Recorder) {
+	w.mu.Lock()
+	w.rec = rec
+	w.mu.Unlock()
+}
+
+// SuspectedCycles returns the number of confirmed suspicions: cycles that
+// persisted across two consecutive polls of a Start'ed watchdog.
+func (w *LockWatchdog) SuspectedCycles() int64 { return w.suspected.Load() }
 
 // Register adds a monitor under a diagnostic name. Registering the same
 // name again replaces the previous monitor.
@@ -173,9 +207,16 @@ func (w *LockWatchdog) Start(interval time.Duration, onDeadlock func(*MonitorDea
 			w.mu.Lock()
 			repeat := fp != "" && fp == w.prev
 			w.prev = fp
+			rec := w.rec
 			w.mu.Unlock()
-			if repeat && onDeadlock != nil {
-				onDeadlock(err)
+			if repeat {
+				w.suspected.Add(1)
+				if rec != nil {
+					rec.Record("watchdog", trace.KindFault, "deadlock", err.Error())
+				}
+				if onDeadlock != nil {
+					onDeadlock(err)
+				}
 			}
 		}
 	}()

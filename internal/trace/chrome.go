@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format" flavor: a top-level object with a traceEvents array), the
+// interchange format Perfetto and chrome://tracing open directly.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`    // instant-event scope
+	Args  map[string]string `json:"args,omitempty"` // shown in the detail pane
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ExportChrome writes events as Chrome trace-event JSON so a recorded run —
+// a debug trace, a bounded window, or a flight-recorder dump — opens in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each task becomes a named
+// thread row; each event becomes an instant event on that row, with kind as
+// the category and object/detail/seq in args. Timestamps use the recorded
+// wall-clock TS normalized to the earliest event; events without TS (traces
+// recorded before the field existed, or hand-built ones) fall back to Seq
+// as a microsecond tick, which preserves ordering at the cost of real
+// durations.
+func ExportChrome(w io.Writer, events []Event) error {
+	tids := taskIDs(events)
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]string{"name": "repro"},
+	})
+	names := make([]string, 0, len(tids))
+	for t := range tids {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tids[t],
+			Args: map[string]string{"name": t},
+		})
+	}
+	var minTS int64
+	for _, e := range events {
+		if e.TS != 0 && (minTS == 0 || e.TS < minTS) {
+			minTS = e.TS
+		}
+	}
+	for _, e := range events {
+		ts := float64(e.Seq) // fallback: one "µs" per seq step
+		if e.TS != 0 {
+			ts = float64(e.TS-minTS) / 1e3
+		}
+		name := e.Kind.String()
+		if e.Object != "" {
+			name += " " + e.Object
+		}
+		args := map[string]string{"seq": strconv.Itoa(e.Seq)}
+		if e.Object != "" {
+			args["object"] = e.Object
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if len(e.Clock) > 0 {
+			args["clock"] = e.Clock.String()
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  name,
+			Cat:   e.Kind.String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    ts,
+			PID:   1,
+			TID:   tids[e.Task],
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ExportChromeLamport writes a Lamport-merged multi-node wire log (see
+// MergeLamport) as Chrome trace-event JSON: each node becomes its own
+// process row and the Lamport time becomes the timeline, so the causal
+// order of a distributed run is scrubbable in Perfetto even though the
+// nodes share no clock.
+func ExportChromeLamport(w io.Writer, events []LamportEvent) error {
+	pids := map[string]int{}
+	var nodes []string
+	for _, e := range events {
+		if _, ok := pids[e.Node]; !ok {
+			pids[e.Node] = 0
+			nodes = append(nodes, e.Node)
+		}
+	}
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		pids[n] = i + 1
+	}
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	for _, n := range nodes {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pids[n], TID: 0,
+			Args: map[string]string{"name": "node " + n},
+		})
+	}
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  e.What,
+			Cat:   "wire",
+			Phase: "i",
+			Scope: "p",
+			TS:    float64(e.Time),
+			PID:   pids[e.Node],
+			TID:   1,
+			Args:  map[string]string{"lamport": strconv.FormatUint(e.Time, 10)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// taskIDs assigns stable numeric thread IDs (sorted task order) for the
+// trace-event format, which wants integers.
+func taskIDs(events []Event) map[string]int {
+	set := map[string]bool{}
+	for _, e := range events {
+		set[e.Task] = true
+	}
+	names := make([]string, 0, len(set))
+	for t := range set {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	ids := make(map[string]int, len(names))
+	for i, t := range names {
+		ids[t] = i + 1
+	}
+	return ids
+}

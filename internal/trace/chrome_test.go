@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Acceptance: ExportChrome output must be valid trace-event JSON that
+// round-trips through encoding/json.
+func TestExportChromeRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.RecordSend("alice", "mbox/bob#0", "hello")
+	r.RecordReceive("bob", "mbox/bob#0", "hello")
+	r.Record("bob", KindLocal, "work", "")
+	r.Record("bob", KindFault, "work", "injected panic")
+
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string          `json:"name"`
+			Phase string          `json:"ph"`
+			TS    float64         `json:"ts"`
+			PID   int             `json:"pid"`
+			TID   int             `json:"tid"`
+			Args  json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output does not round-trip through encoding/json: %v\n%s", err, buf.String())
+	}
+	// 1 process_name + 2 thread_name metadata + 4 instants.
+	if len(parsed.TraceEvents) != 7 {
+		t.Fatalf("got %d trace events, want 7:\n%s", len(parsed.TraceEvents), buf.String())
+	}
+	meta, instants := 0, 0
+	var lastTS float64 = -1
+	for _, e := range parsed.TraceEvents {
+		switch e.Phase {
+		case "M":
+			meta++
+		case "i":
+			instants++
+			if e.TS < lastTS {
+				t.Fatalf("instant timestamps not nondecreasing: %v then %v", lastTS, e.TS)
+			}
+			lastTS = e.TS
+			if e.PID == 0 || e.TID == 0 {
+				t.Fatalf("instant with zero pid/tid: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if meta != 3 || instants != 4 {
+		t.Fatalf("meta=%d instants=%d", meta, instants)
+	}
+}
+
+func TestExportChromeSeqFallback(t *testing.T) {
+	// Hand-built events with no TS must still export in Seq order.
+	events := []Event{
+		{Seq: 0, Task: "a", Kind: KindLocal, Object: "x"},
+		{Seq: 1, Task: "b", Kind: KindLocal, Object: "y"},
+	}
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed["traceEvents"]; !ok {
+		t.Fatalf("missing traceEvents key:\n%s", buf.String())
+	}
+}
+
+func TestExportChromeLamport(t *testing.T) {
+	logA := []LamportEvent{
+		{Node: "A", Time: 1, What: "send msg"},
+		{Node: "A", Time: 4, What: "recv ack"},
+	}
+	logB := []LamportEvent{
+		{Node: "B", Time: 2, What: "recv msg"},
+		{Node: "B", Time: 3, What: "send ack"},
+	}
+	merged := MergeLamport(logA, logB)
+	var buf bytes.Buffer
+	if err := ExportChromeLamport(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Phase string  `json:"ph"`
+			PID   int     `json:"pid"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("lamport export does not round-trip: %v\n%s", err, buf.String())
+	}
+	pids := map[int]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Phase == "i" {
+			pids[e.PID] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("want 2 node processes, got pids %v:\n%s", pids, buf.String())
+	}
+}
+
+// Flight-recorder dumps export too: the no-clock events must not emit a
+// clock arg and must keep per-task ordering.
+func TestExportChromeFlightDump(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record("hot", KindLocal, "spin", "")
+	}
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, r.Dump("test")); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON:\n%s", buf.String())
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"clock"`)) {
+		t.Fatalf("flight events should not carry clocks:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultPerTaskCap is the flight-recorder ring size per task when the
+// caller passes a non-positive capacity: enough to reconstruct the last few
+// scheduling rounds of a busy actor without holding the whole run.
+const defaultPerTaskCap = 256
+
+// autoDumpMinGap rate-limits fault-triggered dumps so a fault storm (a
+// drop-heavy injector can fire thousands of times a second) produces one
+// flight dump, not one per fault.
+const autoDumpMinGap = time.Second
+
+// NewFlightRecorder returns a Recorder in flight-recorder mode: each task
+// gets its own fixed-capacity ring buffer guarded by its own lock, so
+// recording from N concurrent tasks contends only on a per-task mutex and
+// one global atomic Seq counter instead of the single big recorder lock.
+// The oldest events of each task are overwritten once its ring is full —
+// the recorder holds "the last perTaskCap things every task did", which is
+// exactly the window a post-mortem wants.
+//
+// Trade-offs versus NewRecorder, by design: no vector clocks (Clock is nil
+// on every event; ordering comes from the global Seq and wall-clock TS), so
+// DetectRaces reports nothing on a flight trace, and RecordSync/RecordSend
+// degrade to plain records. Diagram rendering and ExportChrome work
+// unchanged.
+func NewFlightRecorder(perTaskCap int) *Recorder {
+	if perTaskCap <= 0 {
+		perTaskCap = defaultPerTaskCap
+	}
+	return &Recorder{
+		flight: &flightRec{
+			perTaskCap: perTaskCap,
+			rings:      make(map[string]*taskRing),
+		},
+	}
+}
+
+// IsFlight reports whether the recorder is in sharded flight mode.
+func (r *Recorder) IsFlight() bool { return r.flight != nil }
+
+// flightRec is the sharded storage behind NewFlightRecorder.
+type flightRec struct {
+	perTaskCap int
+	seq        atomic.Int64 // global order; also the all-time event count
+	mu         sync.RWMutex // guards the rings map, not the rings
+	rings      map[string]*taskRing
+}
+
+// taskRing is one task's fixed-capacity event window.
+type taskRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int   // oldest retained event once wrapped
+	total int64 // all-time events recorded by this task
+}
+
+func (f *flightRec) ring(task string) *taskRing {
+	f.mu.RLock()
+	tr := f.rings[task]
+	f.mu.RUnlock()
+	if tr != nil {
+		return tr
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tr = f.rings[task]; tr == nil {
+		tr = &taskRing{}
+		f.rings[task] = tr
+	}
+	return tr
+}
+
+func (f *flightRec) record(task string, kind Kind, object, detail string) Event {
+	tr := f.ring(task)
+	ev := Event{
+		TS:     time.Now().UnixNano(),
+		Task:   task,
+		Kind:   kind,
+		Object: object,
+		Detail: detail,
+	}
+	tr.mu.Lock()
+	// Seq is drawn under the ring lock so each task's retained events are
+	// strictly Seq-increasing; across tasks Seq is unique and roughly
+	// real-time ordered, which is all a snapshot sort needs.
+	ev.Seq = int(f.seq.Add(1)) - 1
+	if len(tr.buf) == f.perTaskCap {
+		tr.buf[tr.start] = ev
+		tr.start = (tr.start + 1) % f.perTaskCap
+	} else {
+		tr.buf = append(tr.buf, ev)
+	}
+	tr.total++
+	tr.mu.Unlock()
+	return ev
+}
+
+// snapshot copies every task's retained window and returns the merged
+// events sorted by Seq — the on-demand "pull the flight recorder" read.
+func (f *flightRec) snapshot() []Event {
+	f.mu.RLock()
+	rings := make([]*taskRing, 0, len(f.rings))
+	for _, tr := range f.rings {
+		rings = append(rings, tr)
+	}
+	f.mu.RUnlock()
+	var out []Event
+	for _, tr := range rings {
+		tr.mu.Lock()
+		out = append(out, tr.buf[tr.start:]...)
+		out = append(out, tr.buf[:tr.start]...)
+		tr.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+func (f *flightRec) retained() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for _, tr := range f.rings {
+		tr.mu.Lock()
+		n += len(tr.buf)
+		tr.mu.Unlock()
+	}
+	return n
+}
+
+func (f *flightRec) dropped() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var n int64
+	for _, tr := range f.rings {
+		tr.mu.Lock()
+		n += tr.total - int64(len(tr.buf))
+		tr.mu.Unlock()
+	}
+	return n
+}
+
+func (f *flightRec) tasks() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.rings))
+	for t := range f.rings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OnDump registers fn to receive flight dumps: explicit Dump calls and the
+// automatic dump fired when a KindFault event is recorded (a fault injector
+// fired, a watchdog tripped, or a deadline was missed — all of which are
+// recorded as KindFault by their subsystems). fn runs on the caller's
+// goroutine with no recorder locks held; it must not record into the same
+// recorder synchronously forever (a single re-entrant record is fine).
+// Passing nil disables dumping.
+func (r *Recorder) OnDump(fn func(reason string, events []Event)) {
+	if fn == nil {
+		r.dumpFn.Store(nil)
+		return
+	}
+	r.dumpFn.Store(&fn)
+}
+
+// Dump snapshots the retained events, hands them to the OnDump hook if one
+// is registered, and returns them.
+func (r *Recorder) Dump(reason string) []Event {
+	evs := r.Events()
+	if fn := r.dumpFn.Load(); fn != nil {
+		(*fn)(reason, evs)
+	}
+	return evs
+}
+
+// maybeAutoDump fires the dump hook when a fault-class event was just
+// recorded, rate-limited to one dump per autoDumpMinGap.
+func (r *Recorder) maybeAutoDump(kind Kind) {
+	if kind != KindFault {
+		return
+	}
+	if r.dumpFn.Load() == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := r.lastDump.Load()
+	if last != 0 && now-last < int64(autoDumpMinGap) {
+		return
+	}
+	if !r.lastDump.CompareAndSwap(last, now) {
+		return // another fault beat us to this dump window
+	}
+	r.Dump("fault")
+}

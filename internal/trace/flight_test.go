@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Satellite: the bounded recorder must evict oldest-first while Seq keeps
+// counting monotonically across the eviction boundary.
+func TestRecorderCapEvictsOldest(t *testing.T) {
+	r := NewRecorderCap(4)
+	for i := 0; i < 10; i++ {
+		r.Record("w", KindLocal, "x", fmt.Sprintf("v%d", i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// The oldest retained event is #6 (events 0..5 evicted).
+	for i, e := range evs {
+		if e.Seq != 6+i {
+			t.Fatalf("event %d has Seq %d, want %d (order: %v)", i, e.Seq, 6+i, evs)
+		}
+		if want := fmt.Sprintf("v%d", 6+i); e.Detail != want {
+			t.Fatalf("event %d detail %q, want %q", i, e.Detail, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+}
+
+func TestRecorderCapSeqMonotonicConcurrent(t *testing.T) {
+	r := NewRecorderCap(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			task := fmt.Sprintf("t%d", g)
+			for i := 0; i < 200; i++ {
+				r.Record(task, KindLocal, "x", "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 32 {
+		t.Fatalf("retained %d, want 32", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("Seq not strictly increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if r.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", r.Total())
+	}
+}
+
+func TestRecorderUnboundedUnchanged(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Record("w", KindLocal, "x", "")
+	}
+	if r.Len() != 100 || r.Dropped() != 0 || r.Total() != 100 {
+		t.Fatalf("unbounded recorder: len=%d dropped=%d total=%d", r.Len(), r.Dropped(), r.Total())
+	}
+	for i, e := range r.Events() {
+		if e.Seq != i {
+			t.Fatalf("Seq %d at index %d", e.Seq, i)
+		}
+	}
+}
+
+func TestFlightRecorderPerTaskWindows(t *testing.T) {
+	r := NewFlightRecorder(8)
+	if !r.IsFlight() {
+		t.Fatal("IsFlight() = false")
+	}
+	// A chatty task and a quiet one: the chatty task's window wraps, the
+	// quiet task keeps everything.
+	for i := 0; i < 100; i++ {
+		r.Record("chatty", KindLocal, "x", fmt.Sprintf("c%d", i))
+	}
+	r.Record("quiet", KindLocal, "y", "q0")
+	byTask := map[string]int{}
+	for _, e := range r.Events() {
+		byTask[e.Task]++
+	}
+	if byTask["chatty"] != 8 {
+		t.Fatalf("chatty retained %d, want 8", byTask["chatty"])
+	}
+	if byTask["quiet"] != 1 {
+		t.Fatalf("quiet retained %d, want 1", byTask["quiet"])
+	}
+	if got := r.Total(); got != 101 {
+		t.Fatalf("Total = %d, want 101", got)
+	}
+	if got := r.Dropped(); got != 92 {
+		t.Fatalf("Dropped = %d, want 92", got)
+	}
+	if tasks := r.Tasks(); len(tasks) != 2 || tasks[0] != "chatty" || tasks[1] != "quiet" {
+		t.Fatalf("Tasks = %v", tasks)
+	}
+}
+
+func TestFlightRecorderSeqOrderAndConcurrency(t *testing.T) {
+	r := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			task := fmt.Sprintf("t%d", g)
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					r.Record(task, KindLocal, "x", "")
+				case 1:
+					r.RecordSend(task, "m", "")
+				default:
+					r.RecordReceive(task, "m", "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 8*16 {
+		t.Fatalf("retained %d, want %d", len(evs), 8*16)
+	}
+	seen := map[int]bool{}
+	perTask := map[string]int{}
+	for i, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate Seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not Seq-sorted at %d", i)
+		}
+		if last, ok := perTask[e.Task]; ok && e.Seq <= last {
+			t.Fatalf("task %s Seq went backwards", e.Task)
+		}
+		perTask[e.Task] = e.Seq
+	}
+	if r.Total() != 8*500 {
+		t.Fatalf("Total = %d, want %d", r.Total(), 8*500)
+	}
+}
+
+func TestDumpHookExplicit(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Record("w", KindLocal, "x", "")
+	var gotReason string
+	var gotEvents int
+	r.OnDump(func(reason string, events []Event) {
+		gotReason = reason
+		gotEvents = len(events)
+	})
+	evs := r.Dump("manual")
+	if gotReason != "manual" || gotEvents != 1 || len(evs) != 1 {
+		t.Fatalf("dump hook saw (%q, %d), Dump returned %d", gotReason, gotEvents, len(evs))
+	}
+}
+
+func TestAutoDumpOnFault(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		rec  *Recorder
+	}{
+		{"flight", NewFlightRecorder(8)},
+		{"bounded", NewRecorderCap(8)},
+		{"unbounded", NewRecorder()},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			r := mode.rec
+			dumps := 0
+			r.OnDump(func(reason string, events []Event) {
+				if reason != "fault" {
+					t.Errorf("reason = %q, want fault", reason)
+				}
+				dumps++
+			})
+			r.Record("w", KindLocal, "x", "")
+			if dumps != 0 {
+				t.Fatalf("non-fault event triggered a dump")
+			}
+			r.Record("w", KindFault, "x", "injected drop")
+			if dumps != 1 {
+				t.Fatalf("fault event dumps = %d, want 1", dumps)
+			}
+			// A second fault inside the rate-limit window must not dump again.
+			r.Record("w", KindFault, "x", "injected drop")
+			if dumps != 1 {
+				t.Fatalf("rate limit failed: dumps = %d, want 1", dumps)
+			}
+		})
+	}
+}

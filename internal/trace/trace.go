@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Kind classifies trace events.
@@ -53,6 +55,7 @@ func (k Kind) String() string {
 // Event is one recorded step of a concurrent execution.
 type Event struct {
 	Seq    int         // global sequence number in the recorded order
+	TS     int64       // wall-clock unix nanoseconds at record time (0 in pre-TS traces)
 	Task   string      // task/actor/thread identifier
 	Kind   Kind        //
 	Object string      // variable, lock, mailbox, or message name
@@ -66,20 +69,63 @@ func (e Event) String() string {
 
 // Recorder accumulates events from concurrently executing tasks and stamps
 // them with vector clocks. It is safe for concurrent use.
+//
+// A Recorder has three storage modes, chosen at construction:
+//
+//   - NewRecorder: unbounded slice, full vector clocks. The test/teaching
+//     mode the rest of the repo grew up with.
+//   - NewRecorderCap: the same single-lock recorder bounded to a fixed
+//     capacity with overwrite-oldest semantics; Seq stays globally
+//     monotonic across evictions.
+//   - NewFlightRecorder: sharded per-task ring buffers with no vector
+//     clocks, built to stay always-on next to the hot paths. See
+//     flight.go.
+//
+// All modes share the dump hook: OnDump registers a callback, Dump snapshots
+// and fires it, and recording a KindFault event (fault injector fired,
+// watchdog tripped, deadline missed) auto-fires it with at most one dump
+// per autoDumpMinGap.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
-	clocks map[string]VectorClock
+	// start is the ring head once a bounded recorder has wrapped; events
+	// are in recorded order at events[start:], events[:start].
+	start int
+	// total is the all-time event count and the Seq source, so Seq stays
+	// monotonic even after eviction drops the early events.
+	total    int
+	capacity int   // 0 = unbounded
+	dropped  int64 // events evicted by the ring
+	clocks   map[string]VectorClock
 	// pending send clocks keyed by message identity, consumed by Receive.
 	inflight map[string][]VectorClock
+
+	// flight, when non-nil, replaces the single-lock storage above with
+	// sharded per-task rings (NewFlightRecorder).
+	flight *flightRec
+
+	dumpFn   atomic.Pointer[func(reason string, events []Event)]
+	lastDump atomic.Int64 // unixnano of the last auto-dump, for rate limiting
 }
 
-// NewRecorder returns an empty Recorder.
+// NewRecorder returns an empty, unbounded Recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
 		clocks:   make(map[string]VectorClock),
 		inflight: make(map[string][]VectorClock),
 	}
+}
+
+// NewRecorderCap returns a Recorder that retains at most capacity events,
+// overwriting the oldest once full (Seq keeps counting, so consumers can
+// detect the gap via Dropped or the first retained Seq). capacity <= 0
+// means unbounded.
+func NewRecorderCap(capacity int) *Recorder {
+	r := NewRecorder()
+	if capacity > 0 {
+		r.capacity = capacity
+	}
+	return r
 }
 
 func (r *Recorder) clockOf(task string) VectorClock {
@@ -93,30 +139,50 @@ func (r *Recorder) clockOf(task string) VectorClock {
 
 // Record logs a plain event for task, advancing its vector clock.
 func (r *Recorder) Record(task string, kind Kind, object, detail string) Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.record(task, kind, object, detail)
+	var ev Event
+	if r.flight != nil {
+		ev = r.flight.record(task, kind, object, detail)
+	} else {
+		r.mu.Lock()
+		ev = r.record(task, kind, object, detail)
+		r.mu.Unlock()
+	}
+	r.maybeAutoDump(kind)
+	return ev
 }
 
 func (r *Recorder) record(task string, kind Kind, object, detail string) Event {
 	c := r.clockOf(task)
 	c.Tick(task)
 	ev := Event{
-		Seq:    len(r.events),
+		Seq:    r.total,
+		TS:     time.Now().UnixNano(),
 		Task:   task,
 		Kind:   kind,
 		Object: object,
 		Detail: detail,
 		Clock:  c.Copy(),
 	}
-	r.events = append(r.events, ev)
+	r.total++
+	if r.capacity > 0 && len(r.events) == r.capacity {
+		r.events[r.start] = ev
+		r.start = (r.start + 1) % r.capacity
+		r.dropped++
+	} else {
+		r.events = append(r.events, ev)
+	}
 	return ev
 }
 
 // RecordSend logs a message send and remembers the sender's clock so the
 // matching RecordReceive establishes the happened-before edge. msgID must
-// be unique per in-flight message (e.g. "mailbox/name#7").
+// be unique per in-flight message (e.g. "mailbox/name#7"). A flight
+// recorder skips the clock bookkeeping: causality there comes from Seq
+// order, not vector clocks.
 func (r *Recorder) RecordSend(task, msgID, detail string) Event {
+	if r.flight != nil {
+		return r.flight.record(task, KindSend, msgID, detail)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ev := r.record(task, KindSend, msgID, detail)
@@ -127,6 +193,9 @@ func (r *Recorder) RecordSend(task, msgID, detail string) Event {
 // RecordReceive logs a message receive, merging the sender's clock if the
 // send was recorded.
 func (r *Recorder) RecordReceive(task, msgID, detail string) Event {
+	if r.flight != nil {
+		return r.flight.record(task, KindReceive, msgID, detail)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.clockOf(task)
@@ -144,32 +213,73 @@ func (r *Recorder) RecordReceive(task, msgID, detail string) Event {
 // event on object (e.g. lock release → acquire). The recorder merges the
 // releasing task's clock into the acquiring task's clock.
 func (r *Recorder) RecordSync(task string, kind Kind, object, detail string, syncWith VectorClock) Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if syncWith != nil {
-		r.clockOf(task).Merge(syncWith)
+	var ev Event
+	if r.flight != nil {
+		ev = r.flight.record(task, kind, object, detail)
+	} else {
+		r.mu.Lock()
+		if syncWith != nil {
+			r.clockOf(task).Merge(syncWith)
+		}
+		ev = r.record(task, kind, object, detail)
+		r.mu.Unlock()
 	}
-	return r.record(task, kind, object, detail)
+	r.maybeAutoDump(kind)
+	return ev
 }
 
-// Events returns a copy of the recorded events in recorded order.
+// Events returns a copy of the retained events in recorded order (for a
+// bounded or flight recorder this is the most recent window, not the full
+// history; see Total and Dropped).
 func (r *Recorder) Events() []Event {
+	if r.flight != nil {
+		return r.flight.snapshot()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
 	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
+	if r.flight != nil {
+		return r.flight.retained()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
 }
 
+// Total returns the all-time number of recorded events, including any that
+// a bounded recorder has since evicted.
+func (r *Recorder) Total() int64 {
+	if r.flight != nil {
+		return r.flight.seq.Load()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(r.total)
+}
+
+// Dropped returns how many events have been evicted to honor the capacity
+// bound. Always zero for an unbounded recorder.
+func (r *Recorder) Dropped() int64 {
+	if r.flight != nil {
+		return r.flight.dropped()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
 // Tasks returns the sorted set of task IDs that appear in the trace.
 func (r *Recorder) Tasks() []string {
+	if r.flight != nil {
+		return r.flight.tasks()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	seen := map[string]bool{}
