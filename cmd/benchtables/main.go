@@ -8,7 +8,7 @@
 // Usage:
 //
 //	benchtables [-reps N] [-quick] [-json FILE] [-remote] [-json-remote FILE]
-//	           [-obs] [-json-obs FILE]
+//	           [-obs] [-json-obs FILE] [-wire] [-json-wire FILE]
 //
 // -json writes the mailbox/dispatcher numbers to FILE (the committed
 // baseline lives at BENCH_mailbox.json; see docs/PERF.md). -remote appends
@@ -18,6 +18,9 @@
 // with observability off, on at the default sampling rate, with the
 // conservation ledger, and timing every message — and -json-obs writes it
 // to FILE (committed baseline: BENCH_obs.json; see docs/OBSERVABILITY.md).
+// -wire appends the wire hot-path table — streaming codec vs self-contained
+// gob, micro costs and end-to-end floods — and -json-wire writes it to FILE
+// (committed baseline: BENCH_wire.json; see docs/REMOTE.md).
 package main
 
 import (
@@ -45,6 +48,8 @@ func main() {
 	jsonRemotePath := flag.String("json-remote", "", "write the remote wire baseline to this file (implies -remote)")
 	withObs := flag.Bool("obs", false, "also run the instrumentation-overhead table")
 	jsonObsPath := flag.String("json-obs", "", "write the instrumentation-overhead baseline to this file (implies -obs)")
+	withWire := flag.Bool("wire", false, "also run the wire hot-path table")
+	jsonWirePath := flag.String("json-wire", "", "write the wire hot-path baseline to this file (implies -wire)")
 	flag.Parse()
 
 	scale := 1
@@ -81,6 +86,17 @@ func main() {
 		obsEntries := obsTable(*reps, scale)
 		if *jsonObsPath != "" {
 			if err := writeObsBaseline(*jsonObsPath, scale, obsEntries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *withWire || *jsonWirePath != "" {
+		fmt.Println()
+		wireEntries := wireTable(*reps, scale)
+		if *jsonWirePath != "" {
+			if err := writeWireBaseline(*jsonWirePath, scale, wireEntries); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 				os.Exit(1)
 			}

@@ -171,9 +171,11 @@ func writeRemoteBaseline(path string, scale int, entries []benchEntry) error {
 		Scale   int          `json:"scale"`
 		Entries []benchEntry `json:"entries"`
 	}{
-		Note: "Remote actor wire baseline (gob codec, length-prefixed frames). " +
-			"Machine-dependent: compare mem vs tcp and ping-pong vs flood " +
-			"ratios, not absolutes.",
+		Note: "Remote actor wire baseline (default streaming codec, " +
+			"length-prefixed frames). Machine-dependent: compare mem vs tcp " +
+			"and ping-pong vs flood ratios, not absolutes. The pre-rewrite " +
+			"gob-codec flood this replaced is pinned as a constant in " +
+			"cmd/benchtables/wire.go.",
 		Command: "go run ./cmd/benchtables -remote -json-remote BENCH_remote.json",
 		Scale:   scale,
 		Entries: entries,

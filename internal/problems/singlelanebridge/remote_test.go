@@ -139,3 +139,81 @@ func TestRemoteBridgePartitionMidRun(t *testing.T) {
 		t.Fatal("partition never dropped anything; the chaos did not bite")
 	}
 }
+
+// TestRemoteBridgeDropsAndPartitionCombined layers both chaos modes at once:
+// 5% random frame loss the whole time, plus a partition sawtooth cutting the
+// link mid-run. Random drops can take a streaming session's type descriptors
+// with them (forcing a teardown + renegotiation, not just a lost message),
+// and the partition forces reconnects on top — the idempotent protocol and
+// AskRetry must still complete every crossing with the invariant intact.
+func TestRemoteBridgeDropsAndPartitionCombined(t *testing.T) {
+	net := remote.NewMemNetwork()
+	part := faults.NewPartition()
+	drops := faults.Drop(99, 0.05, faults.AtSite(faults.SiteWire))
+	net.SetInjector(faults.Chain(part, drops))
+
+	mk := func(addr string, seed int64) *remote.Node {
+		n, err := remote.NewNode(remote.Config{
+			ListenAddr: addr, Transport: net.Endpoint(addr), Seed: seed,
+			HeartbeatInterval: 5 * time.Millisecond,
+			HeartbeatTimeout:  25 * time.Millisecond,
+			ReconnectMin:      time.Millisecond,
+			ReconnectMax:      10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	bridgeNode := mk("bridge-node", 1)
+	defer bridgeNode.Close()
+	carNode := mk("cars", 2)
+	defer carNode.Close()
+
+	ServeRemoteBridge(bridgeNode)
+	bridge, err := carNode.RefFor("bridge@" + bridgeNode.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := carNode.Connect(bridgeNode.Addr(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stopChaos := make(chan struct{})
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for {
+			select {
+			case <-stopChaos:
+				part.HealAll()
+				return
+			case <-time.After(10 * time.Millisecond):
+				part.Cut("cars", "bridge-node")
+			}
+			select {
+			case <-stopChaos:
+				part.HealAll()
+				return
+			case <-time.After(10 * time.Millisecond):
+				part.HealAll()
+			}
+		}
+	}()
+
+	m, err := DriveRemoteCars(carNode.System(), bridge, 2, 2, 10, 13)
+	close(stopChaos)
+	<-chaosDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["crossings"] != 4*10 {
+		t.Fatalf("crossings = %d, want %d", m["crossings"], 4*10)
+	}
+	if part.Dropped() == 0 {
+		t.Fatal("partition never bit")
+	}
+	if net.Dropped() == part.Dropped() {
+		t.Fatal("random drops never bit on top of the partition")
+	}
+}

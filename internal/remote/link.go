@@ -21,11 +21,17 @@ const (
 // goroutine (run) that dials, pumps the outbox, heartbeats, and redials
 // with jittered exponential backoff when the connection dies. Replies from
 // the peer do not travel back on this connection — the peer dials its own
-// link to us — so inbound traffic here is only heartbeat acks.
+// link to us — so inbound traffic here is only heartbeat and hello acks.
+//
+// The outbox carries envelopes, not frames: encoding happens on the writer
+// goroutine, which owns the connection's codec session and one grow-only
+// scratch buffer, so the steady-state send path allocates nothing and the
+// writer can coalesce every ready envelope into a single buffered write
+// with one flush when the queue goes empty (Nagle without the delay).
 type link struct {
 	n      *Node
 	peer   string
-	outbox chan []byte
+	outbox chan *WireEnvelope
 	state  atomic.Int32 // linkConnecting until the first dial resolves
 	// lastRecv is the unixnano of the last frame read on the current
 	// connection; heartbeat timeout compares against it.
@@ -38,18 +44,19 @@ type link struct {
 }
 
 func newLink(n *Node, peer string) *link {
-	return &link{n: n, peer: peer, outbox: make(chan []byte, n.cfg.OutboxCap)}
+	return &link{n: n, peer: peer, outbox: make(chan *WireEnvelope, n.cfg.OutboxCap)}
 }
 
-// enqueue hands a frame to the link without blocking. False means the link
-// is down or its outbox is full; the caller deadletters. A connecting link
-// accepts (buffers) the frame: the peer is not yet known unreachable.
-func (l *link) enqueue(frame []byte) bool {
+// enqueue hands an envelope to the link without blocking. False means the
+// link is down or its outbox is full; the caller deadletters (and releases
+// the envelope). A connecting link accepts (buffers) the envelope: the peer
+// is not yet known unreachable.
+func (l *link) enqueue(w *WireEnvelope) bool {
 	if l.state.Load() == linkDown {
 		return false
 	}
 	select {
-	case l.outbox <- frame:
+	case l.outbox <- w:
 		return true
 	default:
 		return false
@@ -93,12 +100,28 @@ func (l *link) run() {
 	}
 }
 
-// serve owns one live connection: hello, then outbox frames and
-// heartbeats, until a write fails, the peer falls silent past the
-// heartbeat timeout, or the node closes.
+// connState is the per-connection wire-format state the writer owns. A
+// fresh connection starts on self-contained v1 frames; when the reader sees
+// the peer's FrameHelloAck it sets acked, and the writer upgrades to v2
+// framing (binary header + streaming payload session) from the next frame
+// on. Both formats are distinguishable per frame by the leading byte, so
+// the upgrade needs no synchronization beyond the ordered connection.
+type connState struct {
+	acked   atomic.Bool // reader → writer: peer granted streaming
+	v2      bool        // writer-local: upgrade performed
+	sess    *encSession
+	scratch []byte // grow-only encode buffer, reused for every frame
+}
+
+// serve owns one live connection: hello, then coalesced outbox batches and
+// heartbeats, until a write fails, the peer falls silent past the heartbeat
+// timeout, or the node closes.
 func (l *link) serve(conn Conn) {
 	n := l.n
 	hello := &WireEnvelope{Kind: FrameHello, FromAddr: n.addr, Lamport: n.clock.Tick()}
+	if _, ok := n.codec.(sessionCodec); ok {
+		hello.CodecVer = codecVerStreaming
+	}
 	data, err := n.codec.Encode(hello)
 	if err != nil {
 		n.encodeErrs.Add(1)
@@ -111,9 +134,12 @@ func (l *link) serve(conn Conn) {
 	l.lastRecv.Store(time.Now().UnixNano())
 	l.state.Store(linkUp)
 
-	// Reader: the only inbound traffic on a dial-out connection is
-	// heartbeat acks, consumed purely as liveness evidence (and clock
-	// merges). It exits when the connection closes from either side.
+	cs := &connState{}
+
+	// Reader: the only inbound traffic on a dial-out connection is hello
+	// and heartbeat acks, consumed as liveness evidence (plus the codec
+	// upgrade signal and clock merges). It exits when the connection
+	// closes from either side.
 	readErr := make(chan struct{})
 	n.wg.Add(1)
 	go func() {
@@ -125,19 +151,26 @@ func (l *link) serve(conn Conn) {
 				return
 			}
 			n.bytesRecv.Add(int64(len(frame)))
-			if w, err := n.codec.Decode(frame); err == nil {
-				n.clock.Observe(w.Lamport)
-				now := time.Now().UnixNano()
-				l.lastRecv.Store(now)
-				if w.Kind == FrameHeartbeatAck {
-					if t0 := l.hbSentAt.Swap(0); t0 != 0 {
-						if h := n.rtt.Load(); h != nil {
-							h.Observe(time.Duration(now - t0))
-						}
+			w, derr := l.decodeInbound(frame)
+			putFrame(frame)
+			if derr != nil {
+				n.decodeErrs.Add(1)
+				continue
+			}
+			n.clock.Observe(w.Lamport)
+			now := time.Now().UnixNano()
+			l.lastRecv.Store(now)
+			switch w.Kind {
+			case FrameHelloAck:
+				if w.CodecVer >= codecVerStreaming {
+					cs.acked.Store(true)
+				}
+			case FrameHeartbeatAck:
+				if t0 := l.hbSentAt.Swap(0); t0 != 0 {
+					if h := n.rtt.Load(); h != nil {
+						h.Observe(time.Duration(now - t0))
 					}
 				}
-			} else {
-				n.decodeErrs.Add(1)
 			}
 		}
 	}()
@@ -150,32 +183,122 @@ func (l *link) serve(conn Conn) {
 			return
 		case <-readErr:
 			return
-		case frame := <-l.outbox:
-			if err := conn.Send(frame); err != nil {
-				// The dequeued frame is lost with the connection —
-				// at-most-once delivery, by contract.
+		case w := <-l.outbox:
+			if !l.writeBatch(conn, cs, w) {
 				return
 			}
-			n.bytesSent.Add(int64(len(frame)))
 		case <-ticker.C:
 			silence := time.Since(time.Unix(0, l.lastRecv.Load()))
 			if silence > n.cfg.HeartbeatTimeout {
 				n.hbTimeouts.Add(1)
 				return
 			}
-			hb := &WireEnvelope{Kind: FrameHeartbeat, FromAddr: n.addr, Lamport: n.clock.Tick()}
-			data, err := n.codec.Encode(hb)
-			if err != nil {
-				n.encodeErrs.Add(1)
-				continue
+			// The heartbeat is pre-encoded once per node and format — a
+			// static frame, not a codec round trip per tick.
+			cs.maybeUpgrade(n)
+			hb := n.statics().heartbeat(cs.v2)
+			if hb == nil {
+				continue // codec could not encode a heartbeat at init
 			}
 			l.hbSentAt.Store(time.Now().UnixNano())
-			if err := conn.Send(data); err != nil {
+			if err := conn.Send(hb); err != nil {
 				return
 			}
-			n.bytesSent.Add(int64(len(data)))
+			n.bytesSent.Add(int64(len(hb)))
 		}
 	}
+}
+
+// decodeInbound parses one ack-direction frame, routing by the leading byte:
+// tagged frames are v2 binary (no payload ever travels toward a dialer),
+// untagged ones go through the self-contained codec.
+func (l *link) decodeInbound(frame []byte) (WireEnvelope, error) {
+	if len(frame) > 0 && frame[0] == frameTagBinary {
+		var w WireEnvelope
+		if _, err := decodeEnvelopeInto(&w, frame, nil); err != nil {
+			return WireEnvelope{}, err
+		}
+		return w, nil
+	}
+	w, err := l.n.codec.Decode(frame)
+	if err != nil {
+		return WireEnvelope{}, err
+	}
+	return *w, nil
+}
+
+// maybeUpgrade flips the connection to v2 framing once the peer's hello-ack
+// has arrived, creating the outbound payload session.
+func (cs *connState) maybeUpgrade(n *Node) {
+	if cs.v2 || !cs.acked.Load() {
+		return
+	}
+	cs.v2 = true
+	cs.sess = n.codec.(sessionCodec).newEncSession()
+	n.streamConns.Add(1)
+}
+
+// writeBatch drains every envelope that is already queued — starting with
+// first, which the select just dequeued — encodes each into one frame, and
+// pushes them all through the connection with a single flush when the queue
+// goes empty. On a BufferedConn (TCP) that coalesces a burst of sends into
+// one syscall; on per-frame transports (mem) it degrades to ordinary sends,
+// preserving the per-frame fault-injection site either way. False means the
+// connection is dead or the codec session is poisoned; the caller tears the
+// connection down and the manager loop redials.
+func (l *link) writeBatch(conn Conn, cs *connState, first *WireEnvelope) bool {
+	n := l.n
+	bw, buffered := conn.(BufferedConn)
+	cs.maybeUpgrade(n)
+	w := first
+	frames := int64(0)
+	for {
+		var frame []byte
+		var err error
+		if cs.v2 {
+			cs.scratch, err = cs.sess.appendFrame(cs.scratch[:0], w)
+			frame = cs.scratch
+		} else {
+			frame, err = n.codec.Encode(w)
+		}
+		putEnvelope(w)
+		if err != nil {
+			n.encodeErrs.Add(1)
+			if cs.v2 {
+				// The payload session may hold a half-recorded type
+				// descriptor; the stream is no longer trustworthy.
+				return false
+			}
+			// Self-contained frames are independent: drop this one, keep
+			// draining.
+		} else {
+			var serr error
+			if buffered {
+				serr = bw.SendBuffered(frame)
+			} else {
+				serr = conn.Send(frame)
+			}
+			if serr != nil {
+				return false
+			}
+			n.bytesSent.Add(int64(len(frame)))
+			frames++
+		}
+		select {
+		case w = <-l.outbox:
+			continue
+		default:
+		}
+		break
+	}
+	if buffered {
+		if err := bw.Flush(); err != nil {
+			return false
+		}
+	}
+	n.batches.Add(1)
+	n.batchedFrames.Add(frames)
+	return true
 }
 
 // sleep pauses for d or until the node closes; false means closed.

@@ -177,11 +177,18 @@ func (c *memConn) Send(frame []byte) error {
 			time.Sleep(d.Delay)
 		}
 	}
+	// Copy before handing off: Send must not retain the caller's frame
+	// (it may be a static heartbeat or a link writer's scratch buffer that
+	// is reused for the next frame), and the receiver recycles whatever
+	// Recv returns via putFrame — so the copy comes from the same pool.
+	buf := getFrame(len(frame))
+	copy(buf, frame)
 	select {
-	case c.out <- frame:
+	case c.out <- buf:
 		c.net.delivered.Add(1)
 		return nil
 	case <-c.done:
+		putFrame(buf)
 		return ErrClosed
 	}
 }

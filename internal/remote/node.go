@@ -23,7 +23,9 @@ type Config struct {
 	ListenAddr string
 	// Transport moves frames (required).
 	Transport Transport
-	// Codec encodes envelopes (default GobCodec{}).
+	// Codec encodes envelopes (default NewStreamCodec(), which negotiates
+	// the v2 streaming wire format per connection and falls back to
+	// self-contained gob frames against peers that don't support it).
 	Codec Codec
 	// System is the actor system the node serves. When nil, the node
 	// creates one with default config and shuts it down on Close.
@@ -53,7 +55,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.Codec == nil {
-		c.Codec = GobCodec{}
+		c.Codec = NewStreamCodec()
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 250 * time.Millisecond
@@ -100,16 +102,22 @@ type Node struct {
 	conns   []Conn
 	closed  bool
 
-	seq        atomic.Uint64
-	sent       atomic.Int64
-	received   atomic.Int64
-	remoteDead atomic.Int64
-	reconnects atomic.Int64
-	hbTimeouts atomic.Int64
-	encodeErrs atomic.Int64
-	decodeErrs atomic.Int64
-	bytesSent  atomic.Int64
-	bytesRecv  atomic.Int64
+	seq           atomic.Uint64
+	sent          atomic.Int64
+	received      atomic.Int64
+	remoteDead    atomic.Int64
+	reconnects    atomic.Int64
+	hbTimeouts    atomic.Int64
+	encodeErrs    atomic.Int64
+	decodeErrs    atomic.Int64
+	bytesSent     atomic.Int64
+	bytesRecv     atomic.Int64
+	batches       atomic.Int64
+	batchedFrames atomic.Int64
+	streamConns   atomic.Int64
+
+	staticsOnce sync.Once
+	staticFr    *staticFrames
 
 	// rtt, when set (RegisterMetrics), receives heartbeat round-trip times
 	// measured on every dial-out link. An atomic pointer so links read it
@@ -231,6 +239,9 @@ type Stats struct {
 	DecodeErrors      int64
 	BytesSent         int64 // encoded frame bytes written (all frame kinds)
 	BytesReceived     int64 // frame bytes read (all frame kinds)
+	Batches           int64 // coalesced write batches flushed by link writers
+	BatchedFrames     int64 // application+control frames those batches carried
+	StreamingConns    int64 // connections upgraded to the v2 streaming format
 }
 
 // Stats returns the node's current wire counters.
@@ -245,6 +256,9 @@ func (n *Node) Stats() Stats {
 		DecodeErrors:      n.decodeErrs.Load(),
 		BytesSent:         n.bytesSent.Load(),
 		BytesReceived:     n.bytesRecv.Load(),
+		Batches:           n.batches.Load(),
+		BatchedFrames:     n.batchedFrames.Load(),
+		StreamingConns:    n.streamConns.Load(),
 	}
 }
 
@@ -264,6 +278,9 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.Gauge(prefix+".wire.decode_errors", n.decodeErrs.Load)
 	reg.Gauge(prefix+".wire.bytes_sent", n.bytesSent.Load)
 	reg.Gauge(prefix+".wire.bytes_received", n.bytesRecv.Load)
+	reg.Gauge(prefix+".wire.batches", n.batches.Load)
+	reg.Gauge(prefix+".wire.batched_frames", n.batchedFrames.Load)
+	reg.Gauge(prefix+".wire.streaming_conns", n.streamConns.Load)
 	reg.Gauge(prefix+".wire.links", func() int64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -347,39 +364,40 @@ func (n *Node) proxyRef(key, display, addr, name string, id uint64) *actors.Ref 
 	return ref
 }
 
-// forward is the proxy delivery function: it encodes e for the remote
-// target and enqueues the frame on the link to addr. It never blocks; false
-// (peer down, outbox full, encode failure, node closed) deadletters the
-// envelope in the calling System.
+// forward is the proxy delivery function: it stamps e into a pooled wire
+// envelope and enqueues it on the link to addr — encoding happens later, on
+// the link's writer goroutine, so the sending actor pays only for the
+// enqueue. It never blocks; false (peer down, outbox full, node closed)
+// deadletters the envelope in the calling System.
 func (n *Node) forward(addr, name string, id uint64, e actors.Envelope) bool {
 	if addr == "" || n.isClosed() {
 		// addr "" is the tombstone proxy: it exists only to name a dead
 		// destination in deadletter hooks and never forwards.
 		return false
 	}
-	w := &WireEnvelope{
-		Kind:     FrameMsg,
-		To:       name,
-		ToID:     id,
-		FromAddr: n.addr,
-		Payload:  e.Msg,
-		Seq:      n.seq.Add(1),
-	}
+	w := getEnvelope()
+	w.Kind = FrameMsg
+	w.To = name
+	w.ToID = id
+	w.FromAddr = n.addr
+	w.Payload = e.Msg
+	w.Seq = n.seq.Add(1)
 	if e.Sender != nil {
 		w.FromID = e.Sender.ID()
 		w.FromName = e.Sender.Name()
 	}
 	w.Lamport = n.clock.Tick()
-	frame, err := n.codec.Encode(w)
-	if err != nil {
-		n.encodeErrs.Add(1)
-		return false
-	}
-	if !n.linkTo(addr).enqueue(frame) {
+	// The writer releases w back to the pool the moment it is encoded, so
+	// nothing here may touch w after a successful enqueue.
+	seq, lam := w.Seq, w.Lamport
+	if !n.linkTo(addr).enqueue(w) {
+		putEnvelope(w)
 		return false
 	}
 	n.sent.Add(1)
-	n.recordWire("send", addr, w.Seq, w.Lamport, payloadType(e.Msg))
+	if n.cfg.RecordWire {
+		n.recordWire("send", addr, seq, lam, payloadType(e.Msg))
+	}
 	return true
 }
 
@@ -404,40 +422,128 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// serveConn reads one inbound connection until it closes, answering
-// heartbeats and dispatching application frames.
+// serveConn reads one inbound connection until it closes, answering hellos
+// and heartbeats and dispatching application frames. It routes each frame by
+// its leading byte: v2 binary frames go through the connection's streaming
+// decode session (created when the dialer's hello is granted), self-contained
+// frames through the codec. A session decode error means the stream is
+// desynchronized — typically a lost frame took gob type descriptors with it —
+// so the connection is torn down and the dialer renegotiates on reconnect.
 func (n *Node) serveConn(c Conn) {
 	defer n.wg.Done()
 	defer c.Close()
+	var sess *decSession // non-nil once streaming is granted
+	var env WireEnvelope // reused decode target for v2 frames
 	for {
 		frame, err := c.Recv()
 		if err != nil {
 			return
 		}
 		n.bytesRecv.Add(int64(len(frame)))
-		w, err := n.codec.Decode(frame)
-		if err != nil {
-			n.decodeErrs.Add(1)
-			continue
+		var w *WireEnvelope
+		if len(frame) > 0 && frame[0] == frameTagBinary {
+			if sess == nil {
+				// A tagged frame on a connection that never negotiated
+				// streaming is corruption, not a format the codec knows.
+				putFrame(frame)
+				n.decodeErrs.Add(1)
+				return
+			}
+			env = WireEnvelope{}
+			if err := sess.decodeFrame(frame, &env); err != nil {
+				putFrame(frame)
+				n.decodeErrs.Add(1)
+				return
+			}
+			w = &env
+		} else {
+			var derr error
+			w, derr = n.codec.Decode(frame)
+			if derr != nil {
+				putFrame(frame)
+				n.decodeErrs.Add(1)
+				continue
+			}
 		}
+		putFrame(frame)
 		// Clock merge on receive: the Lamport max-rule, so every frame —
 		// heartbeats included — keeps the two nodes' clocks entangled.
 		lam := n.clock.Observe(w.Lamport)
 		n.received.Add(1)
 		switch w.Kind {
+		case FrameHello:
+			if w.CodecVer >= codecVerStreaming && sess == nil {
+				if sc, ok := n.codec.(sessionCodec); ok {
+					sess = sc.newDecSession()
+					n.streamConns.Add(1)
+					ack := n.statics().helloAck
+					// A failed ack write is the dialer's problem to detect.
+					if c.Send(ack) == nil {
+						n.bytesSent.Add(int64(len(ack)))
+					}
+				}
+			}
 		case FrameHeartbeat:
-			ack := &WireEnvelope{Kind: FrameHeartbeatAck, FromAddr: n.addr, Lamport: n.clock.Tick()}
-			if data, err := n.codec.Encode(ack); err == nil {
-				// A failed ack write is the dialer's problem to detect.
-				if c.Send(data) == nil {
-					n.bytesSent.Add(int64(len(data)))
+			if ack := n.statics().heartbeatAck(sess != nil); ack != nil {
+				if c.Send(ack) == nil {
+					n.bytesSent.Add(int64(len(ack)))
 				}
 			}
 		case FrameMsg:
-			n.recordWire("recv", w.FromAddr, w.Seq, lam, payloadType(w.Payload))
+			if n.cfg.RecordWire {
+				n.recordWire("recv", w.FromAddr, w.Seq, lam, payloadType(w.Payload))
+			}
 			n.dispatch(w)
 		}
 	}
+}
+
+// staticFrames caches the pre-encoded control frames a node sends over and
+// over — heartbeat, heartbeat-ack, hello-ack — in both wire formats, so a
+// tick or an ack is a lookup instead of a codec round trip. They carry
+// Lamport 0: liveness probes are not causal events, and Observe(0) is a
+// no-op on the receiver.
+type staticFrames struct {
+	hbV1, ackV1 []byte // self-contained codec encoding (nil on encode error)
+	hbV2, ackV2 []byte // v2 binary framing (nil when the codec lacks sessions)
+	helloAck    []byte
+}
+
+func (s *staticFrames) heartbeat(v2 bool) []byte {
+	if v2 && s.hbV2 != nil {
+		return s.hbV2
+	}
+	return s.hbV1
+}
+
+func (s *staticFrames) heartbeatAck(v2 bool) []byte {
+	if v2 && s.ackV2 != nil {
+		return s.ackV2
+	}
+	return s.ackV1
+}
+
+func (n *Node) statics() *staticFrames {
+	n.staticsOnce.Do(func() {
+		s := &staticFrames{}
+		if b, err := n.codec.Encode(&WireEnvelope{Kind: FrameHeartbeat, FromAddr: n.addr}); err == nil {
+			s.hbV1 = b
+		} else {
+			n.encodeErrs.Add(1)
+		}
+		if b, err := n.codec.Encode(&WireEnvelope{Kind: FrameHeartbeatAck, FromAddr: n.addr}); err == nil {
+			s.ackV1 = b
+		} else {
+			n.encodeErrs.Add(1)
+		}
+		if _, ok := n.codec.(sessionCodec); ok {
+			s.hbV2 = appendEnvelope(nil, &WireEnvelope{Kind: FrameHeartbeat, FromAddr: n.addr})
+			s.ackV2 = appendEnvelope(nil, &WireEnvelope{Kind: FrameHeartbeatAck, FromAddr: n.addr})
+			s.helloAck = appendEnvelope(nil, &WireEnvelope{Kind: FrameHelloAck, FromAddr: n.addr, CodecVer: codecVerStreaming})
+		}
+		n.staticFr = s
+	})
+	return n.staticFr
 }
 
 // dispatch routes one inbound application frame into the local system.

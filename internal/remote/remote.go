@@ -43,6 +43,11 @@ const (
 	// FrameHeartbeatAck answers a heartbeat; receiving any frame (ack
 	// included) refreshes the dialer's liveness horizon.
 	FrameHeartbeatAck
+	// FrameHelloAck answers a FrameHello whose CodecVer requested the
+	// streaming wire format, granting it for this connection. Nodes that
+	// predate v2 framing never send one, which is exactly how a streaming
+	// dialer discovers it must stay on self-contained frames.
+	FrameHelloAck
 )
 
 func (k FrameKind) String() string {
@@ -55,6 +60,8 @@ func (k FrameKind) String() string {
 		return "heartbeat"
 	case FrameHeartbeatAck:
 		return "heartbeat-ack"
+	case FrameHelloAck:
+		return "hello-ack"
 	default:
 		return fmt.Sprintf("FrameKind(%d)", int(k))
 	}
@@ -65,6 +72,13 @@ func (k FrameKind) String() string {
 // RegisterType for the gob default).
 type WireEnvelope struct {
 	Kind FrameKind
+
+	// CodecVer negotiates the wire format: a dialer whose codec supports
+	// streaming sessions advertises codecVerStreaming in its FrameHello,
+	// and the receiver echoes it in FrameHelloAck to grant the upgrade.
+	// Zero everywhere else (and everywhere on pre-v2 nodes, whose gob
+	// decoders simply never see the field).
+	CodecVer uint8
 
 	// Addressing: To names a recipient in the receiving node's registry;
 	// ToID addresses a specific actor by raw ID (reply routing). Exactly

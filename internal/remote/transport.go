@@ -33,6 +33,12 @@ type Listener interface {
 // concurrently with Send; each of Send and Recv additionally tolerates
 // concurrent calls to itself (internally serialized). Close unblocks both
 // sides.
+//
+// Buffer ownership: Send must not retain frame after it returns — callers
+// reuse the backing array immediately (scratch buffers, pre-encoded static
+// frames). Every slice Recv returns is owned by the caller, which hands it
+// back to the frame pool once decoded; transports draw their Recv buffers
+// from that same pool.
 type Conn interface {
 	// Send transmits one frame. A nil return means the frame was accepted
 	// by the transport, not that the peer processed it (at-most-once).
@@ -41,4 +47,16 @@ type Conn interface {
 	// connection is closed from either side.
 	Recv() ([]byte, error)
 	Close() error
+}
+
+// BufferedConn is an optional Conn capability for transports that can stage
+// several frames and push them to the wire in one batch. The link writer
+// uses it to coalesce every ready frame into a single flush; transports
+// without it just see one Send per frame.
+type BufferedConn interface {
+	Conn
+	// SendBuffered stages one frame without forcing it onto the wire.
+	SendBuffered(frame []byte) error
+	// Flush writes everything staged so far.
+	Flush() error
 }

@@ -1,0 +1,146 @@
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// v2 framing: the hand-rolled binary codec for the fixed envelope header.
+//
+// A v2 frame is self-describing at the byte level:
+//
+//	[0]     frameTagBinary (0xB2)
+//	[1]     Kind
+//	[2]     CodecVer
+//	uvarint ToID, FromID, Seq, Lamport
+//	string  To, FromAddr, FromName   (uvarint length + bytes each)
+//	...     payload bytes            (FrameMsg only; a streaming gob session)
+//
+// The tag byte doubles as the codec-negotiation discriminator on a mixed
+// connection: 0xB2 can never begin a self-contained gob frame, because a gob
+// message starts with its length prefix, which is either a single byte
+// < 0x80 or a negated byte count in 0xF8..0xFF. A receiver that has granted
+// streaming (sent FrameHelloAck) therefore routes each inbound frame by its
+// first byte — tagged frames through the link's decode session, untagged
+// ones through the self-contained fallback codec — with no ambiguity and no
+// per-connection mode handshake beyond the hello/ack pair.
+const frameTagBinary = 0xB2
+
+// codecVerStreaming is the wire version advertised in FrameHello.CodecVer by
+// nodes whose codec supports per-link streaming sessions, and echoed in
+// FrameHelloAck when the receiver grants it. Version 0 (the zero value old
+// nodes send) means self-contained frames only.
+const codecVerStreaming = 2
+
+var (
+	errBadTag    = errors.New("remote: frame does not start with the v2 binary tag")
+	errTruncated = errors.New("remote: truncated envelope header")
+)
+
+// appendEnvelope appends the binary header encoding of w to buf and returns
+// the extended slice. It never fails: every field is length-delimited and
+// bounded only by the transport's maxFrame check at send time.
+func appendEnvelope(buf []byte, w *WireEnvelope) []byte {
+	buf = append(buf, frameTagBinary, byte(w.Kind), w.CodecVer)
+	buf = binary.AppendUvarint(buf, w.ToID)
+	buf = binary.AppendUvarint(buf, w.FromID)
+	buf = binary.AppendUvarint(buf, w.Seq)
+	buf = binary.AppendUvarint(buf, w.Lamport)
+	buf = appendWireString(buf, w.To)
+	buf = appendWireString(buf, w.FromAddr)
+	buf = appendWireString(buf, w.FromName)
+	return buf
+}
+
+func appendWireString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// internTable caches the previous value of each header string so that
+// steady-state decoding allocates nothing: a link decodes thousands of
+// frames that all carry the same To / FromAddr / FromName, and comparing
+// bytes against the cached string is allocation-free in Go.
+type internTable struct {
+	to, fromAddr, fromName string
+}
+
+func intern(slot *string, b []byte) string {
+	if *slot != string(b) {
+		*slot = string(b)
+	}
+	return *slot
+}
+
+// decodeEnvelopeInto parses the binary header at the start of frame into w
+// (overwriting every header field; Payload is left untouched) and returns
+// the number of bytes consumed, so the caller can hand frame[n:] to the
+// payload session. cache may be nil. Malformed, truncated, or oversized
+// input returns an error — never a panic — which is what FuzzCodec pins.
+func decodeEnvelopeInto(w *WireEnvelope, frame []byte, cache *internTable) (int, error) {
+	if len(frame) < 3 {
+		return 0, errTruncated
+	}
+	if frame[0] != frameTagBinary {
+		return 0, errBadTag
+	}
+	kind := FrameKind(frame[1])
+	if kind < FrameHello || kind > FrameHelloAck {
+		return 0, fmt.Errorf("remote: invalid frame kind %d", frame[1])
+	}
+	w.Kind = kind
+	w.CodecVer = frame[2]
+	rest := frame[3:]
+
+	var err error
+	if w.ToID, rest, err = readUvarint(rest); err != nil {
+		return 0, err
+	}
+	if w.FromID, rest, err = readUvarint(rest); err != nil {
+		return 0, err
+	}
+	if w.Seq, rest, err = readUvarint(rest); err != nil {
+		return 0, err
+	}
+	if w.Lamport, rest, err = readUvarint(rest); err != nil {
+		return 0, err
+	}
+	var to, fromAddr, fromName []byte
+	if to, rest, err = readWireBytes(rest); err != nil {
+		return 0, err
+	}
+	if fromAddr, rest, err = readWireBytes(rest); err != nil {
+		return 0, err
+	}
+	if fromName, rest, err = readWireBytes(rest); err != nil {
+		return 0, err
+	}
+	if cache != nil {
+		w.To = intern(&cache.to, to)
+		w.FromAddr = intern(&cache.fromAddr, fromAddr)
+		w.FromName = intern(&cache.fromName, fromName)
+	} else {
+		w.To, w.FromAddr, w.FromName = string(to), string(fromAddr), string(fromName)
+	}
+	return len(frame) - len(rest), nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errTruncated
+	}
+	return v, b[n:], nil
+}
+
+func readWireBytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("remote: string length %d exceeds remaining %d bytes", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
