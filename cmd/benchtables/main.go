@@ -9,6 +9,7 @@
 //
 //	benchtables [-reps N] [-quick] [-json FILE] [-remote] [-json-remote FILE]
 //	           [-obs] [-json-obs FILE] [-wire] [-json-wire FILE]
+//	           [-overload] [-json-overload FILE]
 //
 // -json writes the mailbox/dispatcher numbers to FILE (the committed
 // baseline lives at BENCH_mailbox.json; see docs/PERF.md). -remote appends
@@ -21,6 +22,10 @@
 // -wire appends the wire hot-path table — streaming codec vs self-contained
 // gob, micro costs and end-to-end floods — and -json-wire writes it to FILE
 // (committed baseline: BENCH_wire.json; see docs/REMOTE.md).
+// -overload appends the overload-protection table — achieved throughput,
+// ask p99, and shed volume at 1×/4×/16× the sink's service rate under
+// credit-based flow control — and -json-overload writes it to FILE
+// (committed baseline: BENCH_overload.json; see docs/REMOTE.md).
 package main
 
 import (
@@ -50,6 +55,8 @@ func main() {
 	jsonObsPath := flag.String("json-obs", "", "write the instrumentation-overhead baseline to this file (implies -obs)")
 	withWire := flag.Bool("wire", false, "also run the wire hot-path table")
 	jsonWirePath := flag.String("json-wire", "", "write the wire hot-path baseline to this file (implies -wire)")
+	withOverload := flag.Bool("overload", false, "also run the overload-protection table")
+	jsonOverloadPath := flag.String("json-overload", "", "write the overload-protection baseline to this file (implies -overload)")
 	flag.Parse()
 
 	scale := 1
@@ -97,6 +104,17 @@ func main() {
 		wireEntries := wireTable(*reps, scale)
 		if *jsonWirePath != "" {
 			if err := writeWireBaseline(*jsonWirePath, scale, wireEntries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *withOverload || *jsonOverloadPath != "" {
+		fmt.Println()
+		overloadEntries := overloadTable(*reps, scale)
+		if *jsonOverloadPath != "" {
+			if err := writeOverloadBaseline(*jsonOverloadPath, scale, overloadEntries); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 				os.Exit(1)
 			}

@@ -25,6 +25,13 @@ var ErrActorStopped = errors.New("actors: target actor is stopped")
 // out.
 var ErrPeerUnreachable = errors.New("actors: remote peer unreachable")
 
+// ErrOverloaded is returned by Ask when admission control shed the request:
+// the target's bounded mailbox was full under a shedding policy, or the
+// remote link's outbox/credit window had no room. Like ErrPeerUnreachable it
+// is transient — the backlog drains — so AskRetry retries it with backoff
+// rather than failing the call.
+var ErrOverloaded = errors.New("actors: target overloaded")
+
 // Ask sends msg to ref and waits for one reply, bridging the asynchronous
 // actor world to synchronous callers (Scala's `!?` / ask pattern). It spawns
 // a temporary actor to receive the reply. If the target is already stopped
@@ -61,6 +68,9 @@ func askCtx(ctx context.Context, sys *System, ref *Ref, msg any, timeout time.Du
 	case statusUnreachable:
 		sys.Stop(tmp)
 		return nil, ErrPeerUnreachable
+	case statusOverloaded:
+		sys.Stop(tmp)
+		return nil, ErrOverloaded
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -118,9 +128,10 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 // wall-clock budget runs out. It is the at-least-once delivery layer that
 // makes lossy (fault-injected) message paths usable: receivers must treat
 // retried requests idempotently. ErrActorStopped is not retried — a stopped
-// actor will not come back as the same Ref. ErrPeerUnreachable *is* retried:
-// a partitioned peer can heal, and the backoff schedule is exactly what
-// rides out the outage.
+// actor will not come back as the same Ref. ErrPeerUnreachable and
+// ErrOverloaded *are* retried: a partitioned peer can heal and an overloaded
+// target drains its backlog, and the backoff schedule is exactly what rides
+// out both.
 func AskRetry(sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
 	return AskRetryCtx(context.Background(), sys, ref, msg, rc)
 }

@@ -8,6 +8,7 @@
 package actors
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -29,25 +30,95 @@ type Envelope struct {
 	enqueuedAt int64
 }
 
+// MailboxPolicy selects what a bounded mailbox (Config.MailboxCap) does
+// with a non-control send that arrives while the queue is full. It is the
+// local half of admission control; the remote half is the credit window in
+// internal/remote, and both shed into the same DLOverloaded deadletter kind
+// so overload is observable wherever it bites.
+type MailboxPolicy int
+
+const (
+	// MailboxBlock (default): the sender blocks until a slot opens — classic
+	// bounded-mailbox backpressure. Safe under Dedicated dispatch; under
+	// Pooled dispatch a blocked sender occupies a worker, so prefer
+	// MailboxParkSender there.
+	MailboxBlock MailboxPolicy = iota
+	// MailboxShed: the message is dropped immediately and deadlettered with
+	// kind DLOverloaded. The sender never blocks; Ask fails fast with
+	// ErrOverloaded (transient — AskRetry backs off and retries).
+	MailboxShed
+	// MailboxParkSender: the sender parks for at most Config.ParkTimeout
+	// waiting for a slot, then sheds like MailboxShed. Bounded occupancy —
+	// a pooled worker can stall briefly but can never be captured
+	// indefinitely by one slow consumer, which is what makes backpressure
+	// deadlock-safe on a fixed-size worker pool.
+	MailboxParkSender
+)
+
+func (p MailboxPolicy) String() string {
+	switch p {
+	case MailboxBlock:
+		return "block"
+	case MailboxShed:
+		return "shed"
+	case MailboxParkSender:
+		return "park-sender"
+	default:
+		return fmt.Sprintf("MailboxPolicy(%d)", int(p))
+	}
+}
+
+// putMode tells a mailbox how much waiting a put is allowed to do.
+type putMode int8
+
+const (
+	// putWait: honor the mailbox's admission policy (block / shed / park).
+	putWait putMode = iota
+	// putForce: control message — bypass capacity bounds entirely, so
+	// shutdown and supervision can never be wedged by a full queue.
+	putForce
+	// putNoWait: shed instead of blocking regardless of policy. Used by
+	// conduits (the remote dispatch path) that must never stall their
+	// reader goroutine; their backpressure tool is the credit window, and
+	// a put that would block means credits already failed to prevent
+	// overrun — the honest outcome is a counted shed, not a stalled link.
+	putNoWait
+)
+
+// putResult reports what a mailbox did with an envelope.
+type putResult int8
+
+const (
+	// putOK: the envelope was enqueued.
+	putOK putResult = iota
+	// putClosed: the mailbox is closed; the caller deadletters as DLClosed.
+	putClosed
+	// putShed: admission control refused the envelope (bounded queue full
+	// under MailboxShed / ParkSender / putNoWait); the caller deadletters
+	// as DLOverloaded.
+	putShed
+)
+
 // mailbox is a FIFO queue of envelopes. Two implementations exist:
 //
 //   - ringMailbox (ring.go): the throughput fast path — a chunked MPSC
 //     queue with lock-free sends and batched dequeue. Used for unbounded,
 //     unperturbed, uninjected mailboxes (the common case).
 //   - lockMailbox (below): the fully-featured slow path — mutex + condvars,
-//     supporting MailboxCap backpressure (senders block while full) and
-//     PerturbSeed random delivery. Also selected when a fault injector is
-//     configured, so injected fault timing stays identical to the original
-//     runtime.
+//     supporting MailboxCap admission control (block / shed / park-sender)
+//     and PerturbSeed random delivery. Also selected when a fault injector
+//     is configured, so injected fault timing stays identical to the
+//     original runtime.
 //
 // Concurrency contract shared by both: put/close(false)/size may be called
 // from any goroutine; takeN/tryTake/close(true) are single-consumer — only
 // the goroutine (or pooled worker holding the cell's schedule slot) that
 // owns the actor may call them.
 type mailbox interface {
-	// put enqueues an envelope, blocking while a bounded mailbox is full
-	// (unless force). It reports false if the mailbox is closed.
-	put(e Envelope, force bool) bool
+	// put enqueues an envelope; mode says whether a full bounded mailbox
+	// may block the caller (putWait + MailboxBlock), must shed (putNoWait,
+	// or a shedding policy), or is bypassed entirely (putForce).
+	put(e Envelope, mode putMode) putResult
 	// takeN appends up to max envelopes to buf, blocking until at least one
 	// is available or the mailbox closes. ok is false when the mailbox is
 	// closed and drained (buf is returned unchanged then).
@@ -72,18 +143,18 @@ type mailbox interface {
 // tick each implementation already maintains (the ring's reservation
 // counter, the lock mailbox's under-mutex sequence) — so latency sampling
 // adds no shared state to the send path.
-func newMailbox(perturb *rand.Rand, capacity int, injected bool, sample uint64) mailbox {
+func newMailbox(perturb *rand.Rand, capacity int, injected bool, sample uint64, policy MailboxPolicy, parkFor time.Duration) mailbox {
 	if perturb == nil && capacity <= 0 && !injected {
 		return newRingMailbox(sample)
 	}
-	return newLockMailbox(perturb, capacity, sample)
+	return newLockMailbox(perturb, capacity, sample, policy, parkFor)
 }
 
 // lockMailbox is the mutex-guarded slice mailbox. When perturb is non-nil,
 // dequeue picks a uniformly random pending envelope instead of the head,
-// modeling unordered asynchronous delivery. When cap > 0, put blocks while
-// the queue is full (bounded-mailbox backpressure, the ablation from
-// DESIGN.md §5); control messages bypass the bound.
+// modeling unordered asynchronous delivery. When cap > 0, a full queue
+// applies the configured MailboxPolicy to non-control puts (block / shed /
+// park-sender); control messages bypass the bound.
 //
 // Dequeue is amortized O(1): a head index advances instead of re-slicing,
 // and the backing array is compacted once the dead prefix dominates.
@@ -102,12 +173,19 @@ type lockMailbox struct {
 	closed      bool
 	perturb     *rand.Rand
 	cap         int
-	sample      uint64 // latency sampling rate (0 = off); see newMailbox
-	seq         uint64 // accepted puts, the sampling tick; guarded by mu
+	policy      MailboxPolicy // full-queue admission policy (cap > 0 only)
+	parkFor     time.Duration // MailboxParkSender's bounded wait
+	sample      uint64        // latency sampling rate (0 = off); see newMailbox
+	seq         uint64        // accepted puts, the sampling tick; guarded by mu
 }
 
-func newLockMailbox(perturb *rand.Rand, capacity int, sample uint64) *lockMailbox {
-	m := &lockMailbox{perturb: perturb, cap: capacity, sample: sample}
+// parkPoll is the granularity of a MailboxParkSender wait: sync.Cond has no
+// timed wait in Go, so a parked sender polls for a freed slot. 50µs keeps
+// the reaction to a drain prompt while bounding the busy-wait cost.
+const parkPoll = 50 * time.Microsecond
+
+func newLockMailbox(perturb *rand.Rand, capacity int, sample uint64, policy MailboxPolicy, parkFor time.Duration) *lockMailbox {
+	m := &lockMailbox{perturb: perturb, cap: capacity, sample: sample, policy: policy, parkFor: parkFor}
 	m.notEmpty = sync.NewCond(&m.mu)
 	m.notFull = sync.NewCond(&m.mu)
 	return m
@@ -116,16 +194,27 @@ func newLockMailbox(perturb *rand.Rand, capacity int, sample uint64) *lockMailbo
 // live returns the number of queued envelopes. Caller holds mu.
 func (m *lockMailbox) live() int { return len(m.queue) - m.head }
 
-func (m *lockMailbox) put(e Envelope, force bool) bool {
+func (m *lockMailbox) put(e Envelope, mode putMode) putResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for m.cap > 0 && !force && m.live() >= m.cap && !m.closed {
-		m.putWaiters++
-		m.notFull.Wait()
-		m.putWaiters--
+	if m.cap > 0 && mode != putForce && m.live() >= m.cap && !m.closed {
+		switch {
+		case mode == putNoWait || m.policy == MailboxShed:
+			return putShed
+		case m.policy == MailboxParkSender:
+			if !m.parkLocked() {
+				return putShed
+			}
+		default: // MailboxBlock
+			for m.live() >= m.cap && !m.closed {
+				m.putWaiters++
+				m.notFull.Wait()
+				m.putWaiters--
+			}
+		}
 	}
 	if m.closed {
-		return false
+		return putClosed
 	}
 	if m.sample != 0 && m.seq&(m.sample-1) == 0 {
 		e.enqueuedAt = time.Now().UnixNano()
@@ -134,6 +223,25 @@ func (m *lockMailbox) put(e Envelope, force bool) bool {
 	m.queue = append(m.queue, e)
 	if m.takeWaiters > 0 {
 		m.notEmpty.Signal()
+	}
+	return putOK
+}
+
+// parkLocked waits up to m.parkFor for the bounded queue to open a slot,
+// releasing the mutex between polls. True means a slot opened (or the
+// mailbox closed — the caller re-checks closed either way); false means the
+// park timed out and the envelope must shed. The wait is a bounded courtesy,
+// not a guarantee: under sustained overload it converts blocking into a
+// short, fixed-cost delay followed by an honest shed.
+func (m *lockMailbox) parkLocked() bool {
+	deadline := time.Now().Add(m.parkFor)
+	for m.live() >= m.cap && !m.closed {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		m.mu.Unlock()
+		time.Sleep(parkPoll)
+		m.mu.Lock()
 	}
 	return true
 }

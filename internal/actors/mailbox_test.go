@@ -99,9 +99,9 @@ func TestBoundedMailboxPoisonPillBypassesCap(t *testing.T) {
 // uncontended put/take path must never leave (or need) a waiter, so no
 // condvar wake is issued unless someone is actually blocked.
 func TestLockMailboxWaiterCounters(t *testing.T) {
-	m := newLockMailbox(nil, 2, 0)
+	m := newLockMailbox(nil, 2, 0, MailboxBlock, time.Millisecond)
 	for i := 0; i < 10; i++ {
-		if !m.put(Envelope{Msg: i}, false) {
+		if m.put(Envelope{Msg: i}, putWait) != putOK {
 			t.Fatal("put refused")
 		}
 		if _, ok := m.tryTake(); !ok {
@@ -134,7 +134,7 @@ func TestLockMailboxWaiterCounters(t *testing.T) {
 	if tw != 1 {
 		t.Fatalf("blocked taker not counted: takeWaiters=%d", tw)
 	}
-	m.put(Envelope{Msg: "x"}, false)
+	m.put(Envelope{Msg: "x"}, putWait)
 	select {
 	case e := <-woke:
 		if e.Msg != "x" {
@@ -152,9 +152,9 @@ func TestLockMailboxWaiterCounters(t *testing.T) {
 func TestBoundedOverflowAccounting(t *testing.T) {
 	const cap = 4
 	const overflow = 8
-	m := newLockMailbox(nil, cap, 0)
+	m := newLockMailbox(nil, cap, 0, MailboxBlock, time.Millisecond)
 	for i := 0; i < cap; i++ {
-		if !m.put(Envelope{Msg: i}, false) {
+		if m.put(Envelope{Msg: i}, putWait) != putOK {
 			t.Fatal("put refused while under cap")
 		}
 	}
@@ -164,7 +164,7 @@ func TestBoundedOverflowAccounting(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if m.put(Envelope{Msg: cap + i}, false) {
+			if m.put(Envelope{Msg: cap + i}, putWait) == putOK {
 				admitted.Add(1)
 			}
 		}(i)

@@ -1,5 +1,24 @@
 package actors
 
+// ProxyStatus is a proxy deliver function's verdict on one envelope. It
+// distinguishes the two transient failure modes a remote hop can hit —
+// unreachable peer vs. overloaded link — so the sender-side deadletter kind
+// and Ask error match what actually went wrong.
+type ProxyStatus int
+
+const (
+	// ProxyDelivered: the envelope was accepted for forwarding.
+	ProxyDelivered ProxyStatus = iota
+	// ProxyUnreachable: the peer is down or unknown; the envelope
+	// deadletters as DLRemote and Ask fails fast with ErrPeerUnreachable.
+	ProxyUnreachable
+	// ProxyOverloaded: the forwarding path exists but has no room — a full
+	// outbox or an exhausted credit window. The envelope deadletters as
+	// DLOverloaded and Ask fails fast with ErrOverloaded, which AskRetry
+	// backs off on.
+	ProxyOverloaded
+)
+
 // NewProxyRef creates a Ref that stands in for an actor living outside this
 // system — typically on another node (internal/remote), or a test double.
 // Sends on the Ref go through the normal delivery pipeline (fault injection
@@ -17,6 +36,20 @@ package actors
 // routing table: Alive reports false, Await returns immediately, and Ask
 // fails fast only when deliver refuses the request.
 func (s *System) NewProxyRef(name string, deliver func(Envelope) bool) *Ref {
+	return s.NewProxyRefStatus(name, func(e Envelope) ProxyStatus {
+		if deliver(e) {
+			return ProxyDelivered
+		}
+		return ProxyUnreachable
+	})
+}
+
+// NewProxyRefStatus is NewProxyRef for proxies that distinguish failure
+// modes: deliver returns a ProxyStatus instead of a bool, so an overloaded
+// link (ProxyOverloaded → DLOverloaded, ErrOverloaded) surfaces differently
+// from a dead peer (ProxyUnreachable → DLRemote, ErrPeerUnreachable). The
+// same non-blocking contract applies.
+func (s *System) NewProxyRefStatus(name string, deliver func(Envelope) ProxyStatus) *Ref {
 	s.mu.Lock()
 	s.nextID++
 	id := s.nextID

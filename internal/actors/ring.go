@@ -102,8 +102,8 @@ func newRingMailbox(sample uint64) *ringMailbox {
 	return &ringMailbox{wake: make(chan struct{}, 1), sample: sample}
 }
 
-func (m *ringMailbox) put(e Envelope, force bool) bool {
-	_ = force // the ring is unbounded: nothing to bypass
+func (m *ringMailbox) put(e Envelope, mode putMode) putResult {
+	_ = mode // the ring is unbounded: no bound to bypass, nothing to shed
 	// One fetch-add is the whole reservation: no retry loop to collapse
 	// under contention. If the closed bit is set in the result the
 	// reservation is void — close() captured the tail before setting the
@@ -111,7 +111,7 @@ func (m *ringMailbox) put(e Envelope, force bool) bool {
 	// simply abandoned (the counter never wraps: 63 bits).
 	s := m.state.Add(1)
 	if s&ringClosed != 0 {
-		return false
+		return putClosed
 	}
 	seq := s - 1
 	if m.sample != 0 && seq&(m.sample-1) == 0 {
@@ -125,7 +125,7 @@ func (m *ringMailbox) put(e Envelope, force bool) bool {
 	c.slots[i] = e
 	c.ready[i].Store(true)
 	m.wakeConsumer()
-	return true
+	return putOK
 }
 
 // wakeConsumer hands the parked consumer its token, if there is one. The

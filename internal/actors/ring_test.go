@@ -21,16 +21,16 @@ type tagged struct {
 // plain config, lock mailbox whenever backpressure, perturbation, or fault
 // injection needs it.
 func TestRingMailboxSelected(t *testing.T) {
-	if _, ok := newMailbox(nil, 0, false, 0).(*ringMailbox); !ok {
+	if _, ok := newMailbox(nil, 0, false, 0, MailboxBlock, time.Millisecond).(*ringMailbox); !ok {
 		t.Fatal("plain config did not select the ring mailbox")
 	}
-	if _, ok := newMailbox(nil, 8, false, 0).(*lockMailbox); !ok {
+	if _, ok := newMailbox(nil, 8, false, 0, MailboxBlock, time.Millisecond).(*lockMailbox); !ok {
 		t.Fatal("bounded config did not select the lock mailbox")
 	}
-	if _, ok := newMailbox(rand.New(rand.NewSource(1)), 0, false, 0).(*lockMailbox); !ok {
+	if _, ok := newMailbox(rand.New(rand.NewSource(1)), 0, false, 0, MailboxBlock, time.Millisecond).(*lockMailbox); !ok {
 		t.Fatal("perturbed config did not select the lock mailbox")
 	}
-	if _, ok := newMailbox(nil, 0, true, 0).(*lockMailbox); !ok {
+	if _, ok := newMailbox(nil, 0, true, 0, MailboxBlock, time.Millisecond).(*lockMailbox); !ok {
 		t.Fatal("injected config did not select the lock mailbox")
 	}
 }
@@ -49,7 +49,7 @@ func TestRingMailboxFIFOAndCounting(t *testing.T) {
 		go func(s int) {
 			defer wg.Done()
 			for i := 0; i < perSender; i++ {
-				if !m.put(Envelope{Msg: tagged{sender: s, seq: i}}, false) {
+				if m.put(Envelope{Msg: tagged{sender: s, seq: i}}, putWait) != putOK {
 					t.Errorf("put refused on open mailbox (sender %d seq %d)", s, i)
 					return
 				}
@@ -98,7 +98,7 @@ func TestRingMailboxCloseAccounting(t *testing.T) {
 			go func(s int) {
 				defer wg.Done()
 				for i := 0; i < perSender; i++ {
-					if m.put(Envelope{Msg: tagged{sender: s, seq: i}}, false) {
+					if m.put(Envelope{Msg: tagged{sender: s, seq: i}}, putWait) == putOK {
 						accepted.Add(1)
 					}
 				}
@@ -122,7 +122,7 @@ func TestRingMailboxCloseAccounting(t *testing.T) {
 			t.Fatalf("round %d: consumed %d + drained %d = %d, want %d accepted",
 				round, consumed, drained, consumed+drained, accepted.Load())
 		}
-		if m.put(Envelope{Msg: 0}, false) {
+		if m.put(Envelope{Msg: 0}, putWait) == putOK {
 			t.Fatal("put succeeded on a closed mailbox")
 		}
 	}
@@ -136,7 +136,7 @@ func TestRingMailboxChunkBoundaries(t *testing.T) {
 	const total = chunkSize*3 + 17
 	next := 0
 	for i := 0; i < total; i++ {
-		if !m.put(Envelope{Msg: i}, false) {
+		if m.put(Envelope{Msg: i}, putWait) != putOK {
 			t.Fatal("put refused")
 		}
 		// Lag the consumer by a chunk so boundaries stay in play.
@@ -180,7 +180,7 @@ func TestRingMailboxBlockingTake(t *testing.T) {
 		got <- batch[0].Msg
 	}()
 	time.Sleep(20 * time.Millisecond) // let the consumer park
-	m.put(Envelope{Msg: "wake"}, false)
+	m.put(Envelope{Msg: "wake"}, putWait)
 	select {
 	case v := <-got:
 		if v != "wake" {

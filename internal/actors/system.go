@@ -28,10 +28,10 @@ type Ref struct {
 
 	// proxy, when non-nil, makes this Ref a stand-in for an actor that
 	// lives elsewhere (another node, a test double): sends are handed to
-	// proxy instead of a local mailbox. A false return means the proxy
-	// could not forward the message and it is deadlettered. See
-	// System.NewProxyRef and internal/remote.
-	proxy func(Envelope) bool
+	// proxy instead of a local mailbox. A non-delivered status deadletters
+	// the envelope (DLRemote for unreachable, DLOverloaded for a refused
+	// admission). See System.NewProxyRef and internal/remote.
+	proxy func(Envelope) ProxyStatus
 }
 
 // Name returns the actor's registered name.
@@ -72,6 +72,19 @@ func (r *Ref) TellFrom(sender *Ref, msg any) {
 	r.sys.deliver(r, Envelope{Msg: msg, Sender: sender})
 }
 
+// TellFromNoWait is TellFrom for conduits that must never block — the
+// remote dispatch path uses it so a full bounded mailbox can never stall a
+// connection's reader goroutine. Where TellFrom would block (MailboxBlock
+// policy, queue full) the message is shed and deadlettered as DLOverloaded
+// instead. It reports whether the message was enqueued (or accepted by a
+// proxy); false means it deadlettered — shed, dropped, or target gone.
+func (r *Ref) TellFromNoWait(sender *Ref, msg any) bool {
+	if r == nil || r.sys == nil {
+		return false
+	}
+	return r.sys.sendMode(r, Envelope{Msg: msg, Sender: sender}, putNoWait) == statusDelivered
+}
+
 // Config controls a System.
 type Config struct {
 	// PerturbSeed, when non-zero, makes every mailbox deliver pending
@@ -80,11 +93,18 @@ type Config struct {
 	// delivery, the behavior behind the paper's misconception [I2]M5
 	// ("conflate message sending order with receiving order").
 	PerturbSeed int64
-	// MailboxCap, when positive, bounds every mailbox: senders block while
-	// the receiver's queue is full (backpressure) instead of queueing
-	// without limit. Control messages (poison pills) bypass the bound so
-	// shutdown cannot deadlock.
+	// MailboxCap, when positive, bounds every mailbox: a full queue applies
+	// MailboxPolicy to the sender (block / shed / park-sender) instead of
+	// queueing without limit. Control messages (poison pills) bypass the
+	// bound so shutdown cannot deadlock.
 	MailboxCap int
+	// MailboxPolicy selects what a full bounded mailbox does to non-control
+	// senders: MailboxBlock (default) blocks them, MailboxShed deadletters
+	// the message as DLOverloaded, MailboxParkSender blocks for at most
+	// ParkTimeout then sheds. Ignored when MailboxCap is zero.
+	MailboxPolicy MailboxPolicy
+	// ParkTimeout bounds a MailboxParkSender wait (default 1ms).
+	ParkTimeout time.Duration
 	// DeadLetter, when non-nil, receives messages sent to stopped actors.
 	// The to argument is never nil: a message that had no recipient at all
 	// (for example Context.Reply with no recorded sender) arrives addressed
@@ -272,9 +292,13 @@ func (s *System) spawn(name string, b Behavior, sup *Supervisor, factory func() 
 	if s.cfg.PerturbSeed != 0 {
 		perturb = rand.New(rand.NewSource(s.cfg.PerturbSeed + int64(id)))
 	}
+	parkFor := s.cfg.ParkTimeout
+	if parkFor <= 0 {
+		parkFor = time.Millisecond
+	}
 	c := &cell{
 		ref:      ref,
-		mbox:     newMailbox(perturb, s.cfg.MailboxCap, s.cfg.Injector != nil, s.obsSample),
+		mbox:     newMailbox(perturb, s.cfg.MailboxCap, s.cfg.Injector != nil, s.obsSample, s.cfg.MailboxPolicy, parkFor),
 		behavior: b,
 		done:     make(chan struct{}),
 		sup:      sup,
@@ -522,10 +546,16 @@ const (
 	// statusDead: the target is stopped, foreign, or nil (deadlettered).
 	statusDead
 	// statusUnreachable: a proxy could not forward the message — the remote
-	// peer is down or its outbox is full (deadlettered as DLRemote). Unlike
-	// statusDead this is transient: the peer may reconnect, so Ask surfaces
-	// it as ErrPeerUnreachable, which AskRetry retries.
+	// peer is down (deadlettered as DLRemote). Unlike statusDead this is
+	// transient: the peer may reconnect, so Ask surfaces it as
+	// ErrPeerUnreachable, which AskRetry retries.
 	statusUnreachable
+	// statusOverloaded: admission control shed the message — a bounded
+	// mailbox full under a shedding policy, or a remote link's outbox full
+	// while the peer is out of credits (deadlettered as DLOverloaded).
+	// Transient like statusUnreachable: the backlog drains, so Ask surfaces
+	// it as ErrOverloaded, which AskRetry backs off on.
+	statusOverloaded
 )
 
 func (s *System) deliver(to *Ref, e Envelope) { s.send(to, e) }
@@ -533,6 +563,13 @@ func (s *System) deliver(to *Ref, e Envelope) { s.send(to, e) }
 // send delivers an envelope and reports what happened, so synchronous
 // bridges like Ask can fail fast on dead targets.
 func (s *System) send(to *Ref, e Envelope) deliverStatus {
+	return s.sendMode(to, e, putWait)
+}
+
+// sendMode is send with the caller's waiting budget: putWait honors the
+// target's admission policy, putNoWait sheds where putWait would block.
+// (putForce is chosen internally for control messages, never by callers.)
+func (s *System) sendMode(to *Ref, e Envelope, mode putMode) deliverStatus {
 	if to == nil {
 		s.deadletterKind(to, e, DLNoRecipient)
 		return statusDead
@@ -556,16 +593,22 @@ func (s *System) send(to *Ref, e Envelope) deliverStatus {
 	if to.proxy != nil {
 		// Proxied (e.g. remote) target. Control messages never cross a
 		// proxy — a poison pill is a local-system directive, not a wire
-		// message — and a proxy that cannot forward (peer down, outbox
-		// full) deadletters instead of blocking the sender. The latter is
-		// transient (the peer may come back), so it gets its own status.
+		// message — and a proxy that cannot forward deadletters instead of
+		// blocking the sender. Both failure statuses are transient (the
+		// peer may come back, the backlog may drain), so each keeps its own
+		// kind: DLRemote for an unreachable peer, DLOverloaded for a full
+		// outbox / exhausted credit window.
 		if ctrl {
 			s.deadletterKind(to, e, DLRemote)
 			return statusDead
 		}
-		if !to.proxy(e) {
+		switch to.proxy(e) {
+		case ProxyUnreachable:
 			s.deadletterKind(to, e, DLRemote)
 			return statusUnreachable
+		case ProxyOverloaded:
+			s.deadletterKind(to, e, DLOverloaded)
+			return statusOverloaded
 		}
 		return statusDelivered
 	}
@@ -580,9 +623,16 @@ func (s *System) send(to *Ref, e Envelope) deliverStatus {
 		s.deadletterKind(to, e, DLDead)
 		return statusDead
 	}
-	if !c.mbox.put(e, ctrl) {
+	if ctrl {
+		mode = putForce
+	}
+	switch c.mbox.put(e, mode) {
+	case putClosed:
 		s.deadletterKind(to, e, DLClosed)
 		return statusDead
+	case putShed:
+		s.deadletterKind(to, e, DLOverloaded)
+		return statusOverloaded
 	}
 	// Ledger add after a successful put, so conservation sees only messages
 	// that actually entered a mailbox. (Latency sampling is not here: the
@@ -621,11 +671,15 @@ const (
 	// DLDropped: a fault injector discarded the send.
 	DLDropped
 	// DLRemote: a proxy (remote) target could not forward the message —
-	// peer unreachable, link outbox full, or a control message that cannot
-	// cross a proxy.
+	// peer unreachable, or a control message that cannot cross a proxy.
 	DLRemote
+	// DLOverloaded: admission control shed the message — a bounded mailbox
+	// full under MailboxShed (or a ParkSender timeout), or a remote link
+	// whose outbox/credit window had no room. Distinct from DLRemote so
+	// dashboards can tell "peer down" from "peer slow".
+	DLOverloaded
 
-	dlKinds = int(DLRemote) + 1
+	dlKinds = int(DLOverloaded) + 1
 )
 
 func (k DeadLetterKind) String() string {
@@ -640,6 +694,8 @@ func (k DeadLetterKind) String() string {
 		return "dropped"
 	case DLRemote:
 		return "remote"
+	case DLOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("DeadLetterKind(%d)", int(k))
 	}

@@ -377,6 +377,38 @@ func (p *Partition) Decide(op Op) Decision {
 	return Decision{Action: ActDrop}
 }
 
+// Window gates another injector imperatively: while closed (the initial
+// state) every operation passes through untouched; Open hands matching
+// operations to the wrapped injector until Close. Like Partition it is
+// phase-controlled rather than probabilistic — an overload chaos test opens
+// the window for the spike, injects its delays only there, and closes it to
+// measure clean recovery, all without rebuilding the injector chain
+// mid-run.
+type Window struct {
+	in   Injector
+	open atomic.Bool
+}
+
+// NewWindow wraps in with a closed injection window.
+func NewWindow(in Injector) *Window { return &Window{in: in} }
+
+// Open starts handing operations to the wrapped injector.
+func (w *Window) Open() { w.open.Store(true) }
+
+// Close stops injecting; subsequent operations pass through untouched.
+func (w *Window) Close() { w.open.Store(false) }
+
+// IsOpen reports whether the window is currently injecting.
+func (w *Window) IsOpen() bool { return w.open.Load() }
+
+// Decide delegates to the wrapped injector while open.
+func (w *Window) Decide(op Op) Decision {
+	if !w.open.Load() || w.in == nil {
+		return Decision{}
+	}
+	return w.in.Decide(op)
+}
+
 // Chain consults injectors in order and returns the first non-ActNone
 // decision. Every injector sees every operation (so per-policy counters
 // advance uniformly even when an earlier policy fires).

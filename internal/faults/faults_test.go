@@ -117,3 +117,32 @@ func TestMatchers(t *testing.T) {
 		t.Fatal("wrong site matched")
 	}
 }
+
+func TestWindowGatesInjection(t *testing.T) {
+	w := NewWindow(CrashOnNth(1, AtSite(SiteWire))) // every matching op panics
+	op := Op{Site: SiteWire, Actor: "a->b"}
+	if d := w.Decide(op); d.Action != ActNone {
+		t.Fatalf("closed window injected %v", d.Action)
+	}
+	if w.IsOpen() {
+		t.Fatal("window reports open before Open")
+	}
+	w.Open()
+	if !w.IsOpen() {
+		t.Fatal("window reports closed after Open")
+	}
+	if d := w.Decide(op); d.Action != ActPanic {
+		t.Fatalf("open window passed the op through (action %v)", d.Action)
+	}
+	w.Close()
+	if d := w.Decide(op); d.Action != ActNone {
+		t.Fatalf("re-closed window injected %v", d.Action)
+	}
+	// A Window composes in a Chain like any other injector, and a nil inner
+	// injector is a no-op even when open.
+	var nilWin Window
+	nilWin.Open()
+	if d := Chain(&nilWin, CrashOnNth(1, nil)).Decide(op); d.Action != ActPanic {
+		t.Fatalf("chain skipped past an open empty window incorrectly (action %v)", d.Action)
+	}
+}

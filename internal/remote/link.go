@@ -41,27 +41,54 @@ type link struct {
 	// arrives to observe one round-trip sample. A probe that dies with its
 	// connection leaves a stale stamp, overwritten by the next probe.
 	hbSentAt atomic.Int64
+	// cs is the live connection's wire state, for observers only (the
+	// per-link credits gauge); nil between connections.
+	cs atomic.Pointer[connState]
 }
 
 func newLink(n *Node, peer string) *link {
 	return &link{n: n, peer: peer, outbox: make(chan *WireEnvelope, n.cfg.OutboxCap)}
 }
 
-// enqueue hands an envelope to the link without blocking. False means the
-// link is down or its outbox is full; the caller deadletters (and releases
-// the envelope). A connecting link accepts (buffers) the envelope: the peer
-// is not yet known unreachable.
-func (l *link) enqueue(w *WireEnvelope) bool {
+// enqResult says what enqueue did with an envelope, so the caller can pick
+// the matching deadletter kind: a down link is an unreachable peer
+// (DLRemote), a full outbox on a live link is overload (DLOverloaded).
+type enqResult int
+
+const (
+	enqOK enqResult = iota
+	enqDown
+	enqFull
+)
+
+// enqueue hands an envelope to the link without blocking. Anything but
+// enqOK means the caller deadletters (and releases) the envelope. A
+// connecting link accepts (buffers) the envelope: the peer is not yet known
+// unreachable.
+func (l *link) enqueue(w *WireEnvelope) enqResult {
 	if l.state.Load() == linkDown {
-		return false
+		return enqDown
 	}
 	select {
 	case l.outbox <- w:
-		return true
+		return enqOK
 	default:
-		return false
+		return enqFull
 	}
 }
+
+// credits reports the live connection's available credit, or -1 when the
+// connection is down or uncredited (metered send does not apply).
+func (l *link) credits() int64 {
+	cs := l.cs.Load()
+	if cs == nil || !cs.credited.Load() {
+		return -1
+	}
+	return cs.available()
+}
+
+// depth is the current outbox occupancy (per-link gauge).
+func (l *link) depth() int64 { return int64(len(l.outbox)) }
 
 // isUp reports whether the link has a live, hello'd connection.
 func (l *link) isUp() bool { return l.state.Load() == linkUp }
@@ -111,6 +138,41 @@ type connState struct {
 	v2      bool        // writer-local: upgrade performed
 	sess    *encSession
 	scratch []byte // grow-only encode buffer, reused for every frame
+
+	// Credit flow control (all connection-scoped; a reconnect starts from
+	// zero on both ends, like the codec session). credited flips when the
+	// peer's hello-ack carries codecVerCredited; granted is the peer's
+	// cumulative grant (reader → writer, monotonic); consumed counts
+	// FrameMsg written since the connection opened (writer-owned, atomic
+	// only so the credits gauge can read it). available = granted−consumed;
+	// at ≤ 0 the writer parks the next message until the reader signals
+	// creditCh (capacity 1 — a wakeup token, not a value).
+	credited atomic.Bool
+	granted  atomic.Int64
+	consumed atomic.Int64
+	creditCh chan struct{}
+}
+
+// available is the remaining credit window; meaningful only when credited.
+func (cs *connState) available() int64 { return cs.granted.Load() - cs.consumed.Load() }
+
+// grant raises the cumulative grant to g (grants are monotonic; stale or
+// reordered credit frames must never shrink the window) and wakes a writer
+// that may be parked on zero credits.
+func (cs *connState) grant(g int64) {
+	for {
+		cur := cs.granted.Load()
+		if g <= cur {
+			return
+		}
+		if cs.granted.CompareAndSwap(cur, g) {
+			break
+		}
+	}
+	select {
+	case cs.creditCh <- struct{}{}:
+	default:
+	}
 }
 
 // serve owns one live connection: hello, then coalesced outbox batches and
@@ -121,6 +183,9 @@ func (l *link) serve(conn Conn) {
 	hello := &WireEnvelope{Kind: FrameHello, FromAddr: n.addr, Lamport: n.clock.Tick()}
 	if _, ok := n.codec.(sessionCodec); ok {
 		hello.CodecVer = codecVerStreaming
+		if n.creditsOn() {
+			hello.CodecVer = codecVerCredited
+		}
 	}
 	data, err := n.codec.Encode(hello)
 	if err != nil {
@@ -134,12 +199,14 @@ func (l *link) serve(conn Conn) {
 	l.lastRecv.Store(time.Now().UnixNano())
 	l.state.Store(linkUp)
 
-	cs := &connState{}
+	cs := &connState{creditCh: make(chan struct{}, 1)}
+	l.cs.Store(cs)
+	defer l.cs.Store(nil)
 
 	// Reader: the only inbound traffic on a dial-out connection is hello
-	// and heartbeat acks, consumed as liveness evidence (plus the codec
-	// upgrade signal and clock merges). It exits when the connection
-	// closes from either side.
+	// acks, heartbeat acks, and credit grants, consumed as liveness
+	// evidence (plus the codec upgrade signal and clock merges). It exits
+	// when the connection closes from either side.
 	readErr := make(chan struct{})
 	n.wg.Add(1)
 	go func() {
@@ -165,6 +232,19 @@ func (l *link) serve(conn Conn) {
 				if w.CodecVer >= codecVerStreaming {
 					cs.acked.Store(true)
 				}
+				if w.CodecVer >= codecVerCredited && n.creditsOn() {
+					// The credited ack's Seq is the initial window. Order
+					// matters for the gauge only: grant before flipping
+					// credited so a gauge read never sees credited with a
+					// zero window it would misread as a stall.
+					cs.grant(int64(w.Seq))
+					if cs.credited.CompareAndSwap(false, true) {
+						n.creditedConns.Add(1)
+					}
+				}
+			case FrameCredit:
+				n.creditFramesRecv.Add(1)
+				cs.grant(int64(w.Seq))
 			case FrameHeartbeatAck:
 				if t0 := l.hbSentAt.Swap(0); t0 != 0 {
 					if h := n.rtt.Load(); h != nil {
@@ -177,36 +257,79 @@ func (l *link) serve(conn Conn) {
 
 	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
 	defer ticker.Stop()
+	// pending is the one envelope the writer dequeued but could not send for
+	// lack of credits. It parks here — not back in the outbox, order matters
+	// — until the reader's grant wakes the loop (the heartbeat tick doubles
+	// as a retry backstop). Heartbeats keep flowing while parked, so a
+	// credit stall never looks like peer silence. A connection that dies
+	// with a message parked loses it, exactly like a frame written into a
+	// dead socket: at-most-once.
+	var pending *WireEnvelope
+	defer func() {
+		if pending != nil {
+			putEnvelope(pending)
+		}
+	}()
 	for {
+		var ok bool
+		if pending == nil {
+			select {
+			case <-n.done:
+				return
+			case <-readErr:
+				return
+			case w := <-l.outbox:
+				if pending, ok = l.writeBatch(conn, cs, w); !ok {
+					return
+				}
+			case <-ticker.C:
+				if !l.tick(conn, cs) {
+					return
+				}
+			}
+			continue
+		}
 		select {
 		case <-n.done:
 			return
 		case <-readErr:
 			return
-		case w := <-l.outbox:
-			if !l.writeBatch(conn, cs, w) {
-				return
-			}
+		case <-cs.creditCh:
 		case <-ticker.C:
-			silence := time.Since(time.Unix(0, l.lastRecv.Load()))
-			if silence > n.cfg.HeartbeatTimeout {
-				n.hbTimeouts.Add(1)
+			if !l.tick(conn, cs) {
 				return
 			}
-			// The heartbeat is pre-encoded once per node and format — a
-			// static frame, not a codec round trip per tick.
-			cs.maybeUpgrade(n)
-			hb := n.statics().heartbeat(cs.v2)
-			if hb == nil {
-				continue // codec could not encode a heartbeat at init
-			}
-			l.hbSentAt.Store(time.Now().UnixNano())
-			if err := conn.Send(hb); err != nil {
+		}
+		if cs.available() > 0 || !cs.credited.Load() {
+			if pending, ok = l.writeBatch(conn, cs, pending); !ok {
 				return
 			}
-			n.bytesSent.Add(int64(len(hb)))
 		}
 	}
+}
+
+// tick runs one heartbeat-interval maintenance pass: the peer-silence check
+// plus a pre-encoded probe (a static frame, not a codec round trip). False
+// means the connection is dead or the peer timed out; the caller tears it
+// down.
+func (l *link) tick(conn Conn, cs *connState) bool {
+	n := l.n
+	silence := time.Since(time.Unix(0, l.lastRecv.Load()))
+	if silence > n.cfg.HeartbeatTimeout {
+		n.hbTimeouts.Add(1)
+		return false
+	}
+	cs.maybeUpgrade(n)
+	hb := n.statics().heartbeat(cs.v2)
+	if hb == nil {
+		return true // codec could not encode a heartbeat at init
+	}
+	l.hbSentAt.Store(time.Now().UnixNano())
+	if err := conn.Send(hb); err != nil {
+		return false
+	}
+	n.bytesSent.Add(int64(len(hb)))
+	return true
 }
 
 // decodeInbound parses one ack-direction frame, routing by the leading byte:
@@ -239,20 +362,30 @@ func (cs *connState) maybeUpgrade(n *Node) {
 }
 
 // writeBatch drains every envelope that is already queued — starting with
-// first, which the select just dequeued — encodes each into one frame, and
-// pushes them all through the connection with a single flush when the queue
-// goes empty. On a BufferedConn (TCP) that coalesces a burst of sends into
-// one syscall; on per-frame transports (mem) it degrades to ordinary sends,
-// preserving the per-frame fault-injection site either way. False means the
-// connection is dead or the codec session is poisoned; the caller tears the
-// connection down and the manager loop redials.
-func (l *link) writeBatch(conn Conn, cs *connState, first *WireEnvelope) bool {
+// first, which the caller just dequeued (or un-parked) — encodes each into
+// one frame, and pushes them all through the connection with a single flush
+// when the queue goes empty. On a BufferedConn (TCP) that coalesces a burst
+// of sends into one syscall; on per-frame transports (mem) it degrades to
+// ordinary sends, preserving the per-frame fault-injection site either way.
+//
+// On a credited connection each message costs one credit; when the window
+// runs dry mid-batch the current envelope is returned as pending — what was
+// already encoded still flushes — and the caller parks until the peer
+// grants more. ok == false means the connection is dead or the codec
+// session is poisoned; the caller tears the connection down and the manager
+// loop redials.
+func (l *link) writeBatch(conn Conn, cs *connState, first *WireEnvelope) (pending *WireEnvelope, ok bool) {
 	n := l.n
 	bw, buffered := conn.(BufferedConn)
 	cs.maybeUpgrade(n)
 	w := first
 	frames := int64(0)
 	for {
+		if w.Kind == FrameMsg && cs.credited.Load() && cs.available() <= 0 {
+			pending = w
+			n.creditStalls.Add(1)
+			break
+		}
 		var frame []byte
 		var err error
 		if cs.v2 {
@@ -261,13 +394,14 @@ func (l *link) writeBatch(conn Conn, cs *connState, first *WireEnvelope) bool {
 		} else {
 			frame, err = n.codec.Encode(w)
 		}
+		isMsg := w.Kind == FrameMsg
 		putEnvelope(w)
 		if err != nil {
 			n.encodeErrs.Add(1)
 			if cs.v2 {
 				// The payload session may hold a half-recorded type
 				// descriptor; the stream is no longer trustworthy.
-				return false
+				return nil, false
 			}
 			// Self-contained frames are independent: drop this one, keep
 			// draining.
@@ -279,9 +413,14 @@ func (l *link) writeBatch(conn Conn, cs *connState, first *WireEnvelope) bool {
 				serr = conn.Send(frame)
 			}
 			if serr != nil {
-				return false
+				return nil, false
 			}
 			n.bytesSent.Add(int64(len(frame)))
+			if isMsg {
+				// Consume the credit only for frames actually written:
+				// both ends count FrameMsg since the connection opened.
+				cs.consumed.Add(1)
+			}
 			frames++
 		}
 		select {
@@ -293,12 +432,14 @@ func (l *link) writeBatch(conn Conn, cs *connState, first *WireEnvelope) bool {
 	}
 	if buffered {
 		if err := bw.Flush(); err != nil {
-			return false
+			return nil, false
 		}
 	}
-	n.batches.Add(1)
-	n.batchedFrames.Add(frames)
-	return true
+	if frames > 0 {
+		n.batches.Add(1)
+		n.batchedFrames.Add(frames)
+	}
+	return pending, true
 }
 
 // sleep pauses for d or until the node closes; false means closed.

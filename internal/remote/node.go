@@ -46,6 +46,16 @@ type Config struct {
 	// OutboxCap bounds each link's outbound frame queue (default 256).
 	// A full outbox deadletters the send instead of blocking it.
 	OutboxCap int
+	// CreditWindow is the per-connection credit window this node grants to
+	// credited peers: the number of messages a sender may have in flight
+	// beyond what this node has already received (default 1024; negative
+	// disables credits entirely, making the node behave like a pre-credit
+	// peer). Both directions of a node pair negotiate independently — each
+	// receiver meters its own inbound connection. The window bounds
+	// receiver-side queue growth per link; senders that exhaust it park
+	// their link writer, and once the outbox also fills, sends deadletter
+	// as Overloaded instead of buffering without bound.
+	CreditWindow int
 	// RecordWire, when true, logs every application frame sent and
 	// received as a WireEvent (see Node.WireEvents / Node.LamportLog) so
 	// cross-node traces can be merged into one causal diagram. Off by
@@ -74,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OutboxCap <= 0 {
 		c.OutboxCap = 256
+	}
+	if c.CreditWindow == 0 {
+		c.CreditWindow = 1024
 	}
 	return c
 }
@@ -115,6 +128,27 @@ type Node struct {
 	batches       atomic.Int64
 	batchedFrames atomic.Int64
 	streamConns   atomic.Int64
+
+	// Flow-control counters. creditStalls: times a link writer parked on an
+	// empty window; creditFramesSent/Recv: FrameCredit traffic (sent as
+	// receiver, received as sender); creditsGranted: cumulative messages
+	// worth of credit issued; outboxOverflows: sends shed because a live
+	// link's outbox was full; creditedConns: connections negotiated to the
+	// credited protocol (either direction); inboundShed: inbound messages
+	// shed because the target's bounded mailbox was full (the reader never
+	// blocks — see dispatch).
+	creditStalls     atomic.Int64
+	creditFramesSent atomic.Int64
+	creditFramesRecv atomic.Int64
+	creditsGranted   atomic.Int64
+	outboxOverflows  atomic.Int64
+	creditedConns    atomic.Int64
+	inboundShed      atomic.Int64
+
+	// metricsReg/metricsPrefix remember the RegisterMetrics registry so
+	// links created later still get their per-link gauges (guarded by mu).
+	metricsReg    *metrics.Registry
+	metricsPrefix string
 
 	staticsOnce sync.Once
 	staticFr    *staticFrames
@@ -167,6 +201,16 @@ func NewNode(cfg Config) (*Node, error) {
 // Addr returns the node's resolved listen address — its identity on the
 // wire.
 func (n *Node) Addr() string { return n.addr }
+
+// creditsOn reports whether this node speaks credit-based flow control
+// (Config.CreditWindow not negative, codec supports sessions).
+func (n *Node) creditsOn() bool {
+	if n.cfg.CreditWindow <= 0 {
+		return false
+	}
+	_, ok := n.codec.(sessionCodec)
+	return ok
+}
 
 // System returns the actor system this node serves.
 func (n *Node) System() *actors.System { return n.sys }
@@ -242,6 +286,13 @@ type Stats struct {
 	Batches           int64 // coalesced write batches flushed by link writers
 	BatchedFrames     int64 // application+control frames those batches carried
 	StreamingConns    int64 // connections upgraded to the v2 streaming format
+	CreditedConns     int64 // connections negotiated to credited flow control
+	CreditStalls      int64 // link writers parked on an exhausted credit window
+	CreditFramesSent  int64 // FrameCredit grants issued to inbound senders
+	CreditFramesRecv  int64 // FrameCredit grants received on dial-out links
+	CreditsGranted    int64 // cumulative messages worth of credit issued
+	OutboxOverflows   int64 // sends shed because a live link's outbox was full
+	InboundShed       int64 // inbound messages shed at a full bounded mailbox
 }
 
 // Stats returns the node's current wire counters.
@@ -259,6 +310,13 @@ func (n *Node) Stats() Stats {
 		Batches:           n.batches.Load(),
 		BatchedFrames:     n.batchedFrames.Load(),
 		StreamingConns:    n.streamConns.Load(),
+		CreditedConns:     n.creditedConns.Load(),
+		CreditStalls:      n.creditStalls.Load(),
+		CreditFramesSent:  n.creditFramesSent.Load(),
+		CreditFramesRecv:  n.creditFramesRecv.Load(),
+		CreditsGranted:    n.creditsGranted.Load(),
+		OutboxOverflows:   n.outboxOverflows.Load(),
+		InboundShed:       n.inboundShed.Load(),
 	}
 }
 
@@ -281,6 +339,13 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.Gauge(prefix+".wire.batches", n.batches.Load)
 	reg.Gauge(prefix+".wire.batched_frames", n.batchedFrames.Load)
 	reg.Gauge(prefix+".wire.streaming_conns", n.streamConns.Load)
+	reg.Gauge(prefix+".wire.credited_conns", n.creditedConns.Load)
+	reg.Gauge(prefix+".wire.credit_stalls", n.creditStalls.Load)
+	reg.Gauge(prefix+".wire.credit_frames_sent", n.creditFramesSent.Load)
+	reg.Gauge(prefix+".wire.credit_frames_received", n.creditFramesRecv.Load)
+	reg.Gauge(prefix+".wire.credits_granted", n.creditsGranted.Load)
+	reg.Gauge(prefix+".wire.outbox_overflows", n.outboxOverflows.Load)
+	reg.Gauge(prefix+".wire.inbound_shed", n.inboundShed.Load)
 	reg.Gauge(prefix+".wire.links", func() int64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -289,6 +354,26 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	// Heartbeat round-trip time, the link-health latency series: stamped at
 	// heartbeat send on each dial-out link, observed when the ack returns.
 	n.rtt.Store(reg.Histogram(prefix + ".wire.heartbeat_rtt_ns"))
+	// Per-link occupancy gauges: existing links now, future ones as linkTo
+	// creates them (the registry and prefix are remembered for that).
+	n.mu.Lock()
+	n.metricsReg, n.metricsPrefix = reg, prefix
+	links := make(map[string]*link, len(n.links))
+	for addr, l := range n.links {
+		links[addr] = l
+	}
+	n.mu.Unlock()
+	for addr, l := range links {
+		n.registerLinkGauges(reg, prefix, addr, l)
+	}
+}
+
+// registerLinkGauges exposes one link's queue depth and remaining credit
+// window as prefix.wire.link.<peer>.{outbox_depth,credits}. credits reads
+// -1 while the connection is down or uncredited (metering does not apply).
+func (n *Node) registerLinkGauges(reg *metrics.Registry, prefix, addr string, l *link) {
+	reg.Gauge(prefix+".wire.link."+addr+".outbox_depth", l.depth)
+	reg.Gauge(prefix+".wire.link."+addr+".credits", l.credits)
 }
 
 // Close stops the listener, tears down every link and inbound connection,
@@ -329,8 +414,8 @@ func (n *Node) isClosed() bool {
 // linkTo returns the link to addr, creating and starting it on first use.
 func (n *Node) linkTo(addr string) *link {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if l, ok := n.links[addr]; ok {
+		n.mu.Unlock()
 		return l
 	}
 	l := newLink(n, addr)
@@ -338,6 +423,11 @@ func (n *Node) linkTo(addr string) *link {
 	if !n.closed {
 		n.wg.Add(1)
 		go l.run()
+	}
+	reg, prefix := n.metricsReg, n.metricsPrefix
+	n.mu.Unlock()
+	if reg != nil {
+		n.registerLinkGauges(reg, prefix, addr, l)
 	}
 	return l
 }
@@ -352,7 +442,7 @@ func (n *Node) proxyRef(key, display, addr, name string, id uint64) *actors.Ref 
 		return p
 	}
 	n.mu.Unlock()
-	ref := n.sys.NewProxyRef(display, func(e actors.Envelope) bool {
+	ref := n.sys.NewProxyRefStatus(display, func(e actors.Envelope) actors.ProxyStatus {
 		return n.forward(addr, name, id, e)
 	})
 	n.mu.Lock()
@@ -367,13 +457,16 @@ func (n *Node) proxyRef(key, display, addr, name string, id uint64) *actors.Ref 
 // forward is the proxy delivery function: it stamps e into a pooled wire
 // envelope and enqueues it on the link to addr — encoding happens later, on
 // the link's writer goroutine, so the sending actor pays only for the
-// enqueue. It never blocks; false (peer down, outbox full, node closed)
-// deadletters the envelope in the calling System.
-func (n *Node) forward(addr, name string, id uint64, e actors.Envelope) bool {
+// enqueue. It never blocks; a refusal deadletters the envelope in the
+// calling System, with the status distinguishing a down/closed link
+// (ProxyUnreachable → DLRemote) from a full outbox on a live one
+// (ProxyOverloaded → DLOverloaded) — the latter is what a credit-stalled
+// writer eventually backs sends up into.
+func (n *Node) forward(addr, name string, id uint64, e actors.Envelope) actors.ProxyStatus {
 	if addr == "" || n.isClosed() {
 		// addr "" is the tombstone proxy: it exists only to name a dead
 		// destination in deadletter hooks and never forwards.
-		return false
+		return actors.ProxyUnreachable
 	}
 	w := getEnvelope()
 	w.Kind = FrameMsg
@@ -390,15 +483,20 @@ func (n *Node) forward(addr, name string, id uint64, e actors.Envelope) bool {
 	// The writer releases w back to the pool the moment it is encoded, so
 	// nothing here may touch w after a successful enqueue.
 	seq, lam := w.Seq, w.Lamport
-	if !n.linkTo(addr).enqueue(w) {
+	switch n.linkTo(addr).enqueue(w) {
+	case enqDown:
 		putEnvelope(w)
-		return false
+		return actors.ProxyUnreachable
+	case enqFull:
+		putEnvelope(w)
+		n.outboxOverflows.Add(1)
+		return actors.ProxyOverloaded
 	}
 	n.sent.Add(1)
 	if n.cfg.RecordWire {
 		n.recordWire("send", addr, seq, lam, payloadType(e.Msg))
 	}
-	return true
+	return actors.ProxyDelivered
 }
 
 // acceptLoop owns the listener.
@@ -432,8 +530,14 @@ func (n *Node) acceptLoop() {
 func (n *Node) serveConn(c Conn) {
 	defer n.wg.Done()
 	defer c.Close()
-	var sess *decSession // non-nil once streaming is granted
-	var env WireEnvelope // reused decode target for v2 frames
+	var sess *decSession  // non-nil once streaming is granted
+	var cred *creditState // non-nil once credited flow control is granted
+	var env WireEnvelope  // reused decode target for v2 frames
+	defer func() {
+		if cred != nil {
+			close(cred.closed) // stop any drain watcher
+		}
+	}()
 	for {
 		frame, err := c.Recv()
 		if err != nil {
@@ -477,6 +581,15 @@ func (n *Node) serveConn(c Conn) {
 					sess = sc.newDecSession()
 					n.streamConns.Add(1)
 					ack := n.statics().helloAck
+					if w.CodecVer >= codecVerCredited && n.creditsOn() {
+						// Credited hello from a credited node: answer with
+						// the credited ack, whose Seq carries the initial
+						// window — the first cumulative grant.
+						cred = newCreditState(n)
+						n.creditedConns.Add(1)
+						n.creditsGranted.Add(cred.granted)
+						ack = n.statics().helloAckCredited
+					}
 					// A failed ack write is the dialer's problem to detect.
 					if c.Send(ack) == nil {
 						n.bytesSent.Add(int64(len(ack)))
@@ -484,6 +597,13 @@ func (n *Node) serveConn(c Conn) {
 				}
 			}
 		case FrameHeartbeat:
+			if cred != nil {
+				// Heartbeats force a grant re-check so a window that opened
+				// while the sender was stalled (mailboxes drained, no new
+				// messages to trigger the batched path) is returned within
+				// one heartbeat interval.
+				cred.maybeGrant(c, true)
+			}
 			if ack := n.statics().heartbeatAck(sess != nil); ack != nil {
 				if c.Send(ack) == nil {
 					n.bytesSent.Add(int64(len(ack)))
@@ -493,7 +613,143 @@ func (n *Node) serveConn(c Conn) {
 			if n.cfg.RecordWire {
 				n.recordWire("recv", w.FromAddr, w.Seq, lam, payloadType(w.Payload))
 			}
-			n.dispatch(w)
+			target := n.dispatch(w)
+			if cred != nil {
+				cred.onDelivered(c, target)
+			}
+		}
+	}
+}
+
+// creditState is the receiver half of flow control for one inbound credited
+// connection: it counts delivered messages, remembers which local mailboxes
+// this connection has delivered into, and returns cumulative grants —
+// piggybacked on the message path (batched), forced on heartbeats, and
+// issued by a drain watcher when the window closes mid-burst — as long as
+// the backlog in those mailboxes stays below the window. The mutex covers
+// the read loop, the heartbeat path, and the watcher goroutine.
+type creditState struct {
+	n      *Node
+	window int64
+	closed chan struct{} // closed when the serving read loop exits
+
+	mu        sync.Mutex
+	delivered int64 // FrameMsg received since the connection opened
+	granted   int64 // last cumulative grant sent (starts at window: hello-ack)
+	targets   map[*actors.Ref]struct{}
+	scratch   []byte // grow-only encode buffer for credit frames
+	watching  bool   // a drain watcher goroutine is live
+}
+
+func newCreditState(n *Node) *creditState {
+	w := int64(n.cfg.CreditWindow)
+	return &creditState{
+		n: n, window: w, granted: w,
+		targets: map[*actors.Ref]struct{}{},
+		closed:  make(chan struct{}),
+	}
+}
+
+// backlogLocked sums the mailbox occupancy of every actor this connection
+// has delivered into, pruning the ones that drained to zero (dead actors —
+// ask replies, mostly — read as zero and fall out here, bounding the map).
+// Callers hold cr.mu.
+func (cr *creditState) backlogLocked() int64 {
+	var total int64
+	for ref := range cr.targets {
+		size := int64(cr.n.sys.MailboxSize(ref))
+		if size == 0 {
+			delete(cr.targets, ref)
+			continue
+		}
+		total += size
+	}
+	return total
+}
+
+// onDelivered records one dispatched message and runs the batched grant
+// path — the per-frame hook on the read loop.
+func (cr *creditState) onDelivered(c Conn, target *actors.Ref) {
+	cr.mu.Lock()
+	cr.delivered++
+	if target != nil {
+		cr.targets[target] = struct{}{}
+	}
+	cr.grantLocked(c, false)
+	cr.mu.Unlock()
+}
+
+// maybeGrant is the event-driven entry point (heartbeats): force skips the
+// quarter-window batching so a drained backlog is reported even when no
+// messages flow.
+func (cr *creditState) maybeGrant(c Conn, force bool) {
+	cr.mu.Lock()
+	cr.grantLocked(c, force)
+	cr.mu.Unlock()
+}
+
+// grantLocked returns credits to the sender when the receiver has headroom:
+// the cumulative target is delivered+window, withheld while the tracked
+// mailbox backlog has consumed the window (that is the backpressure), and
+// batched to quarter-window steps on the message path so a flood costs ~4
+// credit frames per window, not one per message. When the window is
+// consumed there may be no further inbound frame to re-run this path — the
+// sender is stalled waiting on us — so a watcher goroutine polls the drain
+// and issues the reopening grant; heartbeats remain the coarse backstop.
+func (cr *creditState) grantLocked(c Conn, force bool) {
+	if cr.backlogLocked() >= cr.window {
+		if !cr.watching {
+			cr.watching = true
+			go cr.watchDrain(c)
+		}
+		return
+	}
+	want := cr.delivered + cr.window
+	if want <= cr.granted {
+		return
+	}
+	if !force && want-cr.granted < cr.window/4 {
+		return
+	}
+	n := cr.n
+	cr.scratch = appendEnvelope(cr.scratch[:0], &WireEnvelope{
+		Kind: FrameCredit, FromAddr: n.addr, Seq: uint64(want),
+	})
+	if c.Send(cr.scratch) != nil {
+		return // connection dying; the reader will notice
+	}
+	n.bytesSent.Add(int64(len(cr.scratch)))
+	n.creditFramesSent.Add(1)
+	n.creditsGranted.Add(want - cr.granted)
+	cr.granted = want
+}
+
+// watchDrain polls the tracked mailboxes until they drain below one window,
+// then issues the grant that unstalls the sender. Polling backs off toward
+// 5ms so a long-stalled consumer costs a few wakeups per heartbeat, not a
+// spin; the watcher exits once it has granted (a fresh one is spawned if
+// the window closes again) or when the connection's read loop ends.
+func (cr *creditState) watchDrain(c Conn) {
+	sleep := 100 * time.Microsecond
+	for {
+		select {
+		case <-cr.closed:
+			cr.mu.Lock()
+			cr.watching = false
+			cr.mu.Unlock()
+			return
+		case <-time.After(sleep):
+		}
+		cr.mu.Lock()
+		if cr.backlogLocked() < cr.window {
+			cr.watching = false
+			cr.grantLocked(c, true)
+			cr.mu.Unlock()
+			return
+		}
+		cr.mu.Unlock()
+		if sleep < 5*time.Millisecond {
+			sleep *= 2
 		}
 	}
 }
@@ -504,9 +760,10 @@ func (n *Node) serveConn(c Conn) {
 // Lamport 0: liveness probes are not causal events, and Observe(0) is a
 // no-op on the receiver.
 type staticFrames struct {
-	hbV1, ackV1 []byte // self-contained codec encoding (nil on encode error)
-	hbV2, ackV2 []byte // v2 binary framing (nil when the codec lacks sessions)
-	helloAck    []byte
+	hbV1, ackV1      []byte // self-contained codec encoding (nil on encode error)
+	hbV2, ackV2      []byte // v2 binary framing (nil when the codec lacks sessions)
+	helloAck         []byte
+	helloAckCredited []byte // credited grant variant; nil when credits are off
 }
 
 func (s *staticFrames) heartbeat(v2 bool) []byte {
@@ -540,14 +797,22 @@ func (n *Node) statics() *staticFrames {
 			s.hbV2 = appendEnvelope(nil, &WireEnvelope{Kind: FrameHeartbeat, FromAddr: n.addr})
 			s.ackV2 = appendEnvelope(nil, &WireEnvelope{Kind: FrameHeartbeatAck, FromAddr: n.addr})
 			s.helloAck = appendEnvelope(nil, &WireEnvelope{Kind: FrameHelloAck, FromAddr: n.addr, CodecVer: codecVerStreaming})
+			if n.creditsOn() {
+				s.helloAckCredited = appendEnvelope(nil, &WireEnvelope{
+					Kind: FrameHelloAck, FromAddr: n.addr,
+					CodecVer: codecVerCredited, Seq: uint64(n.cfg.CreditWindow),
+				})
+			}
 		}
 		n.staticFr = s
 	})
 	return n.staticFr
 }
 
-// dispatch routes one inbound application frame into the local system.
-func (n *Node) dispatch(w *WireEnvelope) {
+// dispatch routes one inbound application frame into the local system,
+// returning the resolved target (nil when it deadlettered) so credited
+// connections can track which mailboxes they feed.
+func (n *Node) dispatch(w *WireEnvelope) *actors.Ref {
 	var sender *actors.Ref
 	if w.FromID != 0 && w.FromAddr != "" {
 		display := fmt.Sprintf("%s@%s", w.FromName, w.FromAddr)
@@ -570,9 +835,17 @@ func (n *Node) dispatch(w *WireEnvelope) {
 		// still read the intended destination.
 		n.remoteDead.Add(1)
 		n.tombstone(w).TellFrom(sender, w.Payload)
-		return
+		return nil
 	}
-	target.TellFrom(sender, w.Payload)
+	// No-wait delivery: this runs on the connection's reader goroutine, and
+	// a send that blocked on a full bounded mailbox would stall heartbeat
+	// acks and credit grants for every sender sharing the connection. Where
+	// a local Tell would wait, the reader sheds (DLOverloaded in the local
+	// system) — the credit window, not the reader, is the backpressure.
+	if !target.TellFromNoWait(sender, w.Payload) {
+		n.inboundShed.Add(1)
+	}
+	return target
 }
 
 // tombstone returns a cached always-deadletter proxy for a frame whose

@@ -48,6 +48,14 @@ const (
 	// predate v2 framing never send one, which is exactly how a streaming
 	// dialer discovers it must stay on self-contained frames.
 	FrameHelloAck
+	// FrameCredit returns flow-control credits to the sender: Seq carries
+	// the receiver's cumulative grant (total messages the sender may have
+	// sent on this connection since it opened). Grants only ever travel
+	// ack-direction (receiver → dialer), only on connections whose hello
+	// negotiated codecVerCredited, and are cumulative so a lost credit
+	// frame is healed by the next one. Peers that predate credits never
+	// send or receive one.
+	FrameCredit
 )
 
 func (k FrameKind) String() string {
@@ -62,6 +70,8 @@ func (k FrameKind) String() string {
 		return "heartbeat-ack"
 	case FrameHelloAck:
 		return "hello-ack"
+	case FrameCredit:
+		return "credit"
 	default:
 		return fmt.Sprintf("FrameKind(%d)", int(k))
 	}
@@ -96,7 +106,10 @@ type WireEnvelope struct {
 
 	// Seq is the sending node's outbound frame sequence number, Lamport
 	// the logical timestamp (tick-on-send). Together they let two nodes'
-	// wire logs be matched pairwise and merged causally.
+	// wire logs be matched pairwise and merged causally. Flow control
+	// overloads the field on its own frames: FrameCredit (and a credited
+	// FrameHelloAck) carry the receiver's cumulative credit grant in Seq,
+	// so credits ride the existing header with no layout change.
 	Seq     uint64
 	Lamport uint64
 

@@ -75,18 +75,26 @@ func TestStreamSessionTruncatedPayload(t *testing.T) {
 
 // TestCodecInterop runs every pairing of the streaming codec and the legacy
 // self-contained GobCodec across a live two-node exchange, in both
-// directions (Tell request, Ask reply). Streaming must engage exactly when
-// both ends support it, and every pairing must deliver.
+// directions (Tell request, Ask reply), plus a credited node against a
+// streaming-but-uncredited peer. Streaming must engage exactly when both
+// ends support it, credits exactly when both ends are credited, and every
+// pairing must deliver.
 func TestCodecInterop(t *testing.T) {
 	cases := []struct {
 		name           string
 		codecA, codecB func() Codec
+		creditB        int // 0 = default (on); <0 disables credits on B
 		wantStream     bool
+		wantCredit     bool
 	}{
-		{"stream-stream", func() Codec { return NewStreamCodec() }, func() Codec { return NewStreamCodec() }, true},
-		{"stream-gob", func() Codec { return NewStreamCodec() }, func() Codec { return GobCodec{} }, false},
-		{"gob-stream", func() Codec { return GobCodec{} }, func() Codec { return NewStreamCodec() }, false},
-		{"gob-gob", func() Codec { return GobCodec{} }, func() Codec { return GobCodec{} }, false},
+		{"stream-stream", func() Codec { return NewStreamCodec() }, func() Codec { return NewStreamCodec() }, 0, true, true},
+		{"stream-gob", func() Codec { return NewStreamCodec() }, func() Codec { return GobCodec{} }, 0, false, false},
+		{"gob-stream", func() Codec { return GobCodec{} }, func() Codec { return NewStreamCodec() }, 0, false, false},
+		{"gob-gob", func() Codec { return GobCodec{} }, func() Codec { return GobCodec{} }, 0, false, false},
+		// A credited dialer against a PR5-era peer (streaming, no credits):
+		// B's hello-ack echoes codecVerStreaming, so A runs the connection
+		// streaming-but-unmetered. Interop, not degradation.
+		{"credited-uncredited", func() Codec { return NewStreamCodec() }, func() Codec { return NewStreamCodec() }, -1, true, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -95,6 +103,7 @@ func TestCodecInterop(t *testing.T) {
 					c.Codec = tc.codecA()
 				} else {
 					c.Codec = tc.codecB()
+					c.CreditWindow = tc.creditB
 				}
 			})
 			echo := b.System().MustSpawn("echo", func(ctx *actors.Context, msg any) {
@@ -131,6 +140,19 @@ func TestCodecInterop(t *testing.T) {
 				}
 			} else if sc := a.Stats().StreamingConns + b.Stats().StreamingConns; sc != 0 {
 				t.Fatalf("streaming engaged on a mixed/legacy pairing (%d conns)", sc)
+			}
+			if tc.wantCredit {
+				deadline := time.Now().Add(5 * time.Second)
+				for a.Stats().CreditedConns == 0 || b.Stats().CreditedConns == 0 {
+					if time.Now().After(deadline) {
+						t.Fatalf("credits never engaged: a=%d b=%d",
+							a.Stats().CreditedConns, b.Stats().CreditedConns)
+					}
+					ref.Tell(tPing{N: -1})
+					time.Sleep(time.Millisecond)
+				}
+			} else if cc := a.Stats().CreditedConns + b.Stats().CreditedConns; cc != 0 {
+				t.Fatalf("credits engaged on an uncredited pairing (%d conns)", cc)
 			}
 		})
 	}

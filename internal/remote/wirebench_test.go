@@ -76,15 +76,20 @@ func TestStreamDecodeAllocs(t *testing.T) {
 }
 
 // floodThroughput measures one-way Tell throughput (msgs/sec) between two
-// mem-transport nodes using the given codec on both ends.
-func floodThroughput(t *testing.T, mkCodec func() Codec, msgs int) float64 {
+// mem-transport nodes using the given codec on both ends. cfg, when non-nil,
+// tweaks both nodes' configs (e.g. CreditWindow).
+func floodThroughput(t *testing.T, mkCodec func() Codec, msgs int, cfg func(*Config)) float64 {
 	t.Helper()
 	net := NewMemNetwork()
 	mk := func(addr string) *Node {
-		n, err := NewNode(Config{
+		c := Config{
 			ListenAddr: addr, Transport: net.Endpoint(addr), Codec: mkCodec(),
 			OutboxCap: msgs + 64,
-		})
+		}
+		if cfg != nil {
+			cfg(&c)
+		}
+		n, err := NewNode(c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,11 +140,32 @@ func TestWireBenchSmoke(t *testing.T) {
 		t.Skip("set WIRE_BENCH_SMOKE=1 to run the throughput regression gate")
 	}
 	const msgs = 30000
-	gob := floodThroughput(t, func() Codec { return GobCodec{} }, msgs)
-	stream := floodThroughput(t, func() Codec { return NewStreamCodec() }, msgs)
+	gob := floodThroughput(t, func() Codec { return GobCodec{} }, msgs, nil)
+	stream := floodThroughput(t, func() Codec { return NewStreamCodec() }, msgs, nil)
 	ratio := stream / gob
 	t.Logf("gob %.0f msgs/sec, stream %.0f msgs/sec, ratio %.2fx", gob, stream, ratio)
 	if ratio < 1.3 {
 		t.Fatalf("streaming codec only %.2fx the legacy codec (want ≥1.3x)", ratio)
+	}
+}
+
+// TestCreditedFloodFloor is the flow-control cost gate: on the same machine
+// and run, the credited streaming path must keep ≥0.8× the throughput of
+// the identical uncredited path (CreditWindow disabled). Measured as a
+// same-run ratio rather than against a committed absolute so the gate is
+// meaningful on machines unlike the baseline's. Gated like the smoke above.
+func TestCreditedFloodFloor(t *testing.T) {
+	if os.Getenv("WIRE_BENCH_SMOKE") == "" {
+		t.Skip("set WIRE_BENCH_SMOKE=1 to run the credited-path throughput gate")
+	}
+	const msgs = 30000
+	uncredited := floodThroughput(t, func() Codec { return NewStreamCodec() }, msgs, func(c *Config) {
+		c.CreditWindow = -1
+	})
+	credited := floodThroughput(t, func() Codec { return NewStreamCodec() }, msgs, nil)
+	ratio := credited / uncredited
+	t.Logf("uncredited %.0f msgs/sec, credited %.0f msgs/sec, ratio %.2fx", uncredited, credited, ratio)
+	if ratio < 0.8 {
+		t.Fatalf("credited path only %.2fx the uncredited path (want ≥0.8x)", ratio)
 	}
 }

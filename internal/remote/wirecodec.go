@@ -33,6 +33,15 @@ const frameTagBinary = 0xB2
 // nodes send) means self-contained frames only.
 const codecVerStreaming = 2
 
+// codecVerCredited is the wire version advertised by nodes that also speak
+// credit-based flow control (FrameCredit). It implies streaming: receivers
+// that only know codecVerStreaming grant the upgrade with `>= 2` and echo 2,
+// which is exactly how a credited dialer discovers its peer is uncredited —
+// the connection runs streaming-but-unmetered, interop-safe both ways. A
+// receiver that echoes codecVerCredited carries its initial window grant in
+// the hello-ack's Seq field.
+const codecVerCredited = 3
+
 var (
 	errBadTag    = errors.New("remote: frame does not start with the v2 binary tag")
 	errTruncated = errors.New("remote: truncated envelope header")
@@ -86,7 +95,7 @@ func decodeEnvelopeInto(w *WireEnvelope, frame []byte, cache *internTable) (int,
 		return 0, errBadTag
 	}
 	kind := FrameKind(frame[1])
-	if kind < FrameHello || kind > FrameHelloAck {
+	if kind < FrameHello || kind > FrameCredit {
 		return 0, fmt.Errorf("remote: invalid frame kind %d", frame[1])
 	}
 	w.Kind = kind

@@ -12,10 +12,10 @@ func randEnvelope(rng *rand.Rand) *WireEnvelope {
 	strs := []string{"", "sink", "bridge@node-b", "日本語-actor", "x", string(make([]byte, 300))}
 	nums := []uint64{0, 1, 127, 128, 16383, 16384, math.MaxUint32, math.MaxUint64}
 	pick := func() uint64 { return nums[rng.Intn(len(nums))] }
-	kinds := []FrameKind{FrameHello, FrameMsg, FrameHeartbeat, FrameHeartbeatAck, FrameHelloAck}
+	kinds := []FrameKind{FrameHello, FrameMsg, FrameHeartbeat, FrameHeartbeatAck, FrameHelloAck, FrameCredit}
 	return &WireEnvelope{
 		Kind:     kinds[rng.Intn(len(kinds))],
-		CodecVer: uint8(rng.Intn(3)),
+		CodecVer: uint8(rng.Intn(4)),
 		To:       strs[rng.Intn(len(strs))],
 		ToID:     pick(),
 		FromAddr: strs[rng.Intn(len(strs))],
@@ -84,7 +84,7 @@ func TestEnvelopeDecodeRejectsBadInput(t *testing.T) {
 	if _, err := decodeEnvelopeInto(&w, bad, nil); err == nil {
 		t.Fatal("kind 0 decoded without error")
 	}
-	bad[1] = byte(FrameHelloAck) + 1 // kind above the known range
+	bad[1] = byte(FrameCredit) + 1 // kind above the known range
 	if _, err := decodeEnvelopeInto(&w, bad, nil); err == nil {
 		t.Fatal("out-of-range kind decoded without error")
 	}
@@ -95,6 +95,48 @@ func TestEnvelopeDecodeRejectsBadInput(t *testing.T) {
 	oversized = append(oversized, 0xFF, 0xFF, 0x7F) // To length ≈ 2M, no bytes follow
 	if _, err := decodeEnvelopeInto(&w, oversized, nil); err == nil {
 		t.Fatal("oversized string length decoded without error")
+	}
+}
+
+// TestCreditFrameWire pins the credit frame's wire contract: the grant
+// rides Seq and round-trips exactly; truncated credit frames error at every
+// prefix; and a credit frame with trailing garbage is rejected by the
+// streaming session (control frames are header-only) without corrupting it —
+// the session keeps decoding subsequent well-formed frames.
+func TestCreditFrameWire(t *testing.T) {
+	w := &WireEnvelope{Kind: FrameCredit, FromAddr: "node-b", Seq: math.MaxUint32 + 7}
+	frame := appendEnvelope(nil, w)
+	var got WireEnvelope
+	n, err := decodeEnvelopeInto(&got, frame, nil)
+	if err != nil || n != len(frame) {
+		t.Fatalf("credit decode: n=%d err=%v", n, err)
+	}
+	if got.Kind != FrameCredit || got.Seq != w.Seq {
+		t.Fatalf("credit round trip: got kind=%v seq=%d, want kind=%v seq=%d", got.Kind, got.Seq, w.Kind, w.Seq)
+	}
+	for i := 0; i < len(frame); i++ {
+		var p WireEnvelope
+		if _, err := decodeEnvelopeInto(&p, frame[:i], nil); err == nil {
+			t.Fatalf("credit prefix of %d/%d bytes decoded without error", i, len(frame))
+		}
+	}
+
+	var sc sessionCodec = NewStreamCodec()
+	enc, dec := sc.newEncSession(), sc.newDecSession()
+	var out WireEnvelope
+	if err := dec.decodeFrame(append(frame, 0xAB), &out); err == nil {
+		t.Fatal("credit frame with trailing bytes decoded without error")
+	}
+	msg, err := enc.appendFrame(nil, &WireEnvelope{Kind: FrameCredit, Seq: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = WireEnvelope{}
+	if err := dec.decodeFrame(msg, &out); err != nil {
+		t.Fatalf("session did not survive a malformed credit frame: %v", err)
+	}
+	if out.Kind != FrameCredit || out.Seq != 42 {
+		t.Fatalf("post-error decode: got %+v", out)
 	}
 }
 
@@ -143,6 +185,7 @@ func FuzzCodec(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{frameTagBinary})
+	f.Add(appendEnvelope(nil, &WireEnvelope{Kind: FrameCredit, FromAddr: "node-b", Seq: 4096}))
 	f.Add([]byte{frameTagBinary, byte(FrameMsg), 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var w WireEnvelope
