@@ -24,6 +24,15 @@
 // heartbeat RTT histogram, and the actor system's mailbox/handler
 // latencies; /debug/flight pulls the flight recorder's retained trace as
 // Chrome trace JSON (open it in Perfetto). See docs/OBSERVABILITY.md.
+//
+// -demo also supports deterministic record/replay (docs/DETECT.md): with
+// -record FILE it runs over the in-process transport (a schedule cannot be
+// forced onto real sockets), optionally lossy via -drop N, and saves the
+// wire schedule; -replay FILE re-executes a saved schedule with no
+// injector, reproducing the recorded run's frame fates:
+//
+//	node -demo -drop 20 -record run.wirelog
+//	node -demo -replay run.wirelog
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 
 	"repro/internal/actors"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/problems/singlelanebridge"
@@ -55,7 +65,34 @@ func main() {
 	crossings := flag.Int("crossings", 20, "crossings per car")
 	seed := flag.Int64("seed", 1, "workload seed")
 	debugAddr := flag.String("debug", "", "serve /debug/metrics and /debug/flight on this address (e.g. 127.0.0.1:6060)")
+	record := flag.String("record", "", "(-demo only) record the wire schedule to FILE; runs over the in-process transport")
+	replay := flag.String("replay", "", "(-demo only) re-execute the wire schedule in FILE; runs over the in-process transport")
+	drop := flag.Int("drop", 0, "(-demo with -record) drop N%% of wire frames, seeded")
 	flag.Parse()
+
+	if (*record != "" || *replay != "" || *drop > 0) && !*demo {
+		fmt.Fprintln(os.Stderr, "node: -record/-replay/-drop need -demo (a schedule cannot be forced onto real sockets)")
+		os.Exit(2)
+	}
+	if *record != "" && *replay != "" {
+		fmt.Fprintln(os.Stderr, "node: -record and -replay are mutually exclusive")
+		os.Exit(2)
+	}
+	var replayRec *remote.WireRecording
+	if *replay != "" {
+		var err error
+		replayRec, err = remote.LoadWireRecording(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "node: %v\n", err)
+			os.Exit(1)
+		}
+		// A recording pins the workload seed too; an explicit -seed wins.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		if !seedSet {
+			*seed = replayRec.Seed
+		}
+	}
 
 	st := newObsStack(*debugAddr)
 	switch {
@@ -64,7 +101,7 @@ func main() {
 	case *drive != "":
 		runDrive(*listen, *drive, *red, *blue, *crossings, *seed, st)
 	case *demo:
-		runDemo(*red, *blue, *crossings, *seed, st)
+		runDemo(*red, *blue, *crossings, *seed, st, *record, replayRec, *drop)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -107,17 +144,19 @@ func (st *obsStack) system(prefix string) *actors.System {
 	})
 }
 
-// newTCPNode builds one node, wired into the -debug observability stack
-// when there is one. close releases the node and, when the stack supplied
-// the system, shuts the system down too (a node only owns a system it
-// created itself).
+// newTCPNode builds one loopback-TCP node via newNode.
 func newTCPNode(listen string, st *obsStack, prefix string) (n *remote.Node, close func()) {
+	return newNode(remote.Config{ListenAddr: listen, Transport: remote.TCPTransport{}}, st, prefix)
+}
+
+// newNode builds one node from cfg, wired into the -debug observability
+// stack when there is one. close releases the node and, when the stack
+// supplied the system, shuts the system down too (a node only owns a system
+// it created itself).
+func newNode(cfg remote.Config, st *obsStack, prefix string) (n *remote.Node, close func()) {
 	sys := st.system(prefix)
-	n, err := remote.NewNode(remote.Config{
-		ListenAddr: listen,
-		Transport:  remote.TCPTransport{},
-		System:     sys,
-	})
+	cfg.System = sys
+	n, err := remote.NewNode(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "node: %v\n", err)
 		os.Exit(1)
@@ -176,13 +215,43 @@ func runDrive(listen, target string, red, blue, crossings int, seed int64, st *o
 	printRun(m, time.Since(start), n)
 }
 
-func runDemo(red, blue, crossings int, seed int64, st *obsStack) {
-	server, closeServer := newTCPNode("127.0.0.1:0", st, "server")
+func runDemo(red, blue, crossings int, seed int64, st *obsStack, recordPath string, replayRec *remote.WireRecording, dropPct int) {
+	// Record/replay needs the in-process transport: only MemNetwork can
+	// capture or force a frame schedule. The plain demo keeps loopback TCP.
+	var (
+		memNet *remote.MemNetwork
+		rec    *remote.WireRecording
+	)
+	if recordPath != "" || replayRec != nil {
+		memNet = remote.NewMemNetwork()
+		if replayRec != nil {
+			memNet.Replay(replayRec)
+			fmt.Printf("demo: replaying %d recorded frames (%d drops), seed %d\n",
+				replayRec.Len(), replayRec.Drops(), seed)
+		} else {
+			if dropPct > 0 {
+				memNet.SetInjector(faults.Drop(seed+7, float64(dropPct)/100, faults.AtSite(faults.SiteWire)))
+			}
+			rec = memNet.Record(seed)
+		}
+	}
+	mk := func(addr, prefix string) (*remote.Node, func()) {
+		if memNet == nil {
+			return newTCPNode("127.0.0.1:0", st, prefix)
+		}
+		return newNode(remote.Config{ListenAddr: addr, Transport: memNet.Endpoint(addr)}, st, prefix)
+	}
+
+	server, closeServer := mk("server", "server")
 	defer closeServer()
 	singlelanebridge.ServeRemoteBridge(server)
-	fmt.Printf("demo: bridge controller at bridge@%s (loopback TCP)\n", server.Addr())
+	if memNet == nil {
+		fmt.Printf("demo: bridge controller at bridge@%s (loopback TCP)\n", server.Addr())
+	} else {
+		fmt.Printf("demo: bridge controller at bridge@%s (in-process transport)\n", server.Addr())
+	}
 
-	client, closeClient := newTCPNode("127.0.0.1:0", st, "client")
+	client, closeClient := mk("client", "client")
 	defer closeClient()
 	bridge, err := client.RefFor("bridge@" + server.Addr())
 	if err == nil {
@@ -199,6 +268,14 @@ func runDemo(red, blue, crossings int, seed int64, st *obsStack) {
 		os.Exit(1)
 	}
 	printRun(m, time.Since(start), client)
+	if rec != nil {
+		if err := rec.Save(recordPath); err != nil {
+			fmt.Fprintf(os.Stderr, "node: save recording: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d wire frames (%d dropped) to %s; replay with: node -demo -replay %s\n",
+			rec.Len(), rec.Drops(), recordPath, recordPath)
+	}
 }
 
 func printRun(m core.Metrics, elapsed time.Duration, n *remote.Node) {

@@ -12,6 +12,16 @@
 // and the message-conservation ledger, monitor acquire/hold latencies and
 // operation counts, coroutine resume latencies) and dumps the registry in
 // Prometheus text format after the run.
+//
+// -detect attaches the online concurrency-bug detectors (internal/detect)
+// to the run and reports findings afterwards; a correct run reports none.
+// -record FILE captures the wire schedule of a distributed problem (one
+// that runs over the in-process MemNetwork, e.g. singlelanebridge-remote)
+// for deterministic re-execution with -replay FILE. See docs/DETECT.md:
+//
+//	problems -problem singlelanebridge-remote -model actors \
+//	    -param drop=30 -record fail.wirelog
+//	problems -problem singlelanebridge-remote -model actors -replay fail.wirelog
 package main
 
 import (
@@ -25,9 +35,12 @@ import (
 	"repro/internal/actors"
 	"repro/internal/core"
 	"repro/internal/coro"
+	"repro/internal/detect"
 	"repro/internal/metrics"
 	_ "repro/internal/problems/registry"
+	"repro/internal/remote"
 	"repro/internal/threads"
+	"repro/internal/trace"
 )
 
 type paramFlags core.Params
@@ -54,13 +67,53 @@ func main() {
 	model := flag.String("model", "threads", "threads | actors | coroutines")
 	seed := flag.Int64("seed", 1, "workload seed")
 	withMetrics := flag.Bool("metrics", false, "instrument the runtimes and dump post-run metrics (Prometheus text)")
+	withDetect := flag.Bool("detect", false, "attach the concurrency-bug detectors and report findings after the run")
+	recordPath := flag.String("record", "", "(-problem only) record the run's wire schedule (MemNetwork problems) to FILE")
+	replayPath := flag.String("replay", "", "(-problem only) re-execute the wire schedule recorded in FILE")
 	params := paramFlags{}
 	flag.Var(params, "param", "override a problem parameter, e.g. -param items=1000 (repeatable)")
 	flag.Parse()
 
+	if (*recordPath != "" || *replayPath != "") && *problem == "" {
+		fmt.Fprintln(os.Stderr, "problems: -record/-replay need -problem")
+		os.Exit(2)
+	}
+	if *recordPath != "" && *replayPath != "" {
+		fmt.Fprintln(os.Stderr, "problems: -record and -replay are mutually exclusive")
+		os.Exit(2)
+	}
+	var rec *remote.WireRecording
+	if *recordPath != "" {
+		rec = remote.NewWireRecording(*seed)
+		remote.SetAmbientRecording(rec)
+	}
+	if *replayPath != "" {
+		loaded, err := remote.LoadWireRecording(*replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "problems:", err)
+			os.Exit(1)
+		}
+		// The recording pins the workload seed too; an explicit -seed wins.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		if !seedSet {
+			*seed = loaded.Seed
+		}
+		remote.SetAmbientReplay(loaded)
+		fmt.Printf("replaying %d recorded frames (%d drops) from %s, seed %d\n",
+			loaded.Len(), loaded.Drops(), *replayPath, *seed)
+	}
+
 	var reg *metrics.Registry
 	if *withMetrics {
 		reg = instrumentRuntimes()
+	}
+	var suite *detect.Suite
+	if *withDetect {
+		tr := trace.NewRecorder()
+		suite = detect.New()
+		suite.Attach(tr)
+		actors.SetDefaultRecorder(tr)
 	}
 
 	switch {
@@ -87,6 +140,7 @@ func main() {
 			}
 		}
 		dumpMetrics(reg)
+		reportDetect(suite)
 		if failed > 0 {
 			os.Exit(1)
 		}
@@ -102,12 +156,16 @@ func main() {
 			os.Exit(2)
 		}
 		metrics, err := spec.Run(m, core.Params(params), *seed)
+		// Save even when the run failed: the recording of a failing chaos
+		// run is exactly the repro artifact -replay wants.
+		saveRecording(rec, *recordPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "problems: run failed:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("%s under %s: validated\n%s\n", spec.Name, m, fmtMetrics(metrics))
 		dumpMetrics(reg)
+		reportDetect(suite)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -127,6 +185,43 @@ func instrumentRuntimes() *metrics.Registry {
 	threads.SetDefaultObs(threads.NewMonitorObs(reg, "threads.monitor"))
 	coro.SetDefaultInstrument(reg, "coro")
 	return reg
+}
+
+// reportDetect prints the detector verdict for a -detect run and exits
+// nonzero when anything fired: a finding on a real run is signal.
+func reportDetect(suite *detect.Suite) {
+	if suite == nil {
+		return
+	}
+	findings := suite.Findings()
+	if len(findings) == 0 {
+		fmt.Println("detectors: no findings")
+		return
+	}
+	fmt.Printf("detectors: %d finding(s):\n", len(findings))
+	for _, f := range findings {
+		fmt.Printf("  %v\n", f)
+	}
+	os.Exit(1)
+}
+
+// saveRecording writes a -record capture to disk, warning when the workload
+// never touched a MemNetwork (nothing to replay).
+func saveRecording(rec *remote.WireRecording, path string) {
+	if rec == nil {
+		return
+	}
+	remote.SetAmbientRecording(nil)
+	if err := rec.Save(path); err != nil {
+		fmt.Fprintln(os.Stderr, "problems: save recording:", err)
+		os.Exit(1)
+	}
+	if rec.Len() == 0 {
+		fmt.Println("warning: recorded 0 wire frames — this problem runs no MemNetwork wire (try singlelanebridge-remote)")
+		return
+	}
+	fmt.Printf("recorded %d wire frames (%d dropped) to %s; replay with -replay %s\n",
+		rec.Len(), rec.Drops(), path, path)
 }
 
 // dumpMetrics writes the post-run registry as Prometheus text. The leading

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Obs is the optional hot-path instrumentation for a System: two striped
@@ -74,6 +75,19 @@ var defaultObs atomic.Pointer[Obs]
 // Call it before the systems it should observe are created; passing nil
 // restores the uninstrumented default.
 func SetDefaultObs(o *Obs) { defaultObs.Store(o) }
+
+// defaultRecorder is the process-wide fallback consulted by NewSystem when
+// Config.Recorder is nil; see SetDefaultRecorder.
+var defaultRecorder atomic.Pointer[trace.Recorder]
+
+// SetDefaultRecorder installs a process-wide trace recorder adopted by every
+// subsequent NewSystem whose Config.Recorder is nil. Like SetDefaultObs it
+// exists for the CLI binaries (and the detector conformance sweep), whose
+// workloads construct their systems internally where no flag can reach;
+// libraries and tests should pass Config.Recorder explicitly. Call it before
+// the systems it should trace are created; passing nil restores the
+// untraced default.
+func SetDefaultRecorder(r *trace.Recorder) { defaultRecorder.Store(r) }
 
 // MessagesEnqueued returns the number of non-control messages accepted into
 // local mailboxes. Zero unless the conservation ledger (Obs.Conserve) is on.

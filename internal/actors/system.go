@@ -208,6 +208,13 @@ type cell struct {
 	// rules as behavior above).
 	obsTick uint64
 
+	// gen counts Become calls since the last (re)start: the behavior
+	// generation. Only the consumer goroutine touches it (same publication
+	// rules as behavior above). A restart resets it to zero — the factory
+	// reinstalls the initial behavior — which is exactly the rollback the
+	// stale-behavior detector watches for.
+	gen int
+
 	// Supervision state; nil/zero for unsupervised actors. factory rebuilds
 	// the initial behavior on restart; restarts counts panics survived.
 	sup      *Supervisor
@@ -249,6 +256,9 @@ func NewSystem(cfg Config) *System {
 	}
 	if cfg.Obs == nil {
 		s.cfg.Obs = defaultObs.Load()
+	}
+	if cfg.Recorder == nil {
+		s.cfg.Recorder = defaultRecorder.Load()
 	}
 	if o := s.cfg.Obs; o != nil {
 		s.obsSample = o.sampleRate()
@@ -476,6 +486,7 @@ func (s *System) restart(c *cell, reason any) {
 	if c.factory != nil {
 		c.behavior = c.factory()
 	}
+	c.gen = 0
 	c.restarts++
 	s.restarts.Add(1)
 	s.emitLifecycle(c.sup, LifecycleEvent{
@@ -712,6 +723,17 @@ func (s *System) deadletter(to *Ref, e Envelope) {
 func (s *System) deadletterKind(to *Ref, e Envelope, kind DeadLetterKind) {
 	s.deadletters.Add(1)
 	s.dlByKind[kind].Add(1)
+	if s.cfg.Recorder != nil && !isControl(e.Msg) {
+		// The orphaned-protocol detector consumes these: Task is the sender
+		// whose message died, Object the intended recipient, Detail the kind
+		// plus payload type (which is how a later retry is matched up).
+		dest := to
+		if dest == nil {
+			dest = NoRecipient
+		}
+		s.cfg.Recorder.Record(senderName(e.Sender), trace.KindDeadLetter, dest.String(),
+			fmt.Sprintf("%s %T", kind, e.Msg))
+	}
 	if s.cfg.DeadLetter != nil {
 		if to == nil {
 			// Never hand user hooks a nil receiver: a message with no
@@ -794,6 +816,13 @@ func (s *System) Shutdown() {
 		return
 	}
 	s.stopped = true
+	// Mark the quiesce point in the trace before any actor is stopped:
+	// deadletters after this marker are teardown noise (late sends into a
+	// system that is deliberately winding down), which the orphaned-protocol
+	// detector must not report.
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Record("system", trace.KindExit, "shutdown", "")
+	}
 	refs := make([]*Ref, 0, len(s.actors))
 	for _, c := range s.actors {
 		refs = append(refs, c.ref)
@@ -856,10 +885,18 @@ func (c *Context) Spawn(name string, b Behavior) (*Ref, error) {
 	return c.system.Spawn(name, b)
 }
 
-// Become replaces the actor's behavior for subsequent messages.
+// Become replaces the actor's behavior for subsequent messages. Each swap
+// advances the cell's behavior generation and is recorded as a
+// trace.KindBecome event, which is what the stale-behavior detector
+// (internal/detect) keys on.
 func (c *Context) Become(b Behavior) {
-	if b != nil {
-		c.cell.behavior = b
+	if b == nil {
+		return
+	}
+	c.cell.behavior = b
+	c.cell.gen++
+	if r := c.system.cfg.Recorder; r != nil {
+		r.Record(c.self.String(), trace.KindBecome, fmt.Sprintf("gen=%d", c.cell.gen), "")
 	}
 }
 

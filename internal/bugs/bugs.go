@@ -11,6 +11,7 @@ package bugs
 import (
 	"fmt"
 
+	"repro/internal/detect"
 	"repro/internal/pseudocode"
 )
 
@@ -26,22 +27,72 @@ const (
 	AtomicViolation Category = "atomicity violation"
 )
 
-// Bug is one gallery entry.
+// Bug is one gallery entry. Every entry carries at least one executable
+// witness: a pseudocode pair checked by the explorer (Buggy/Fixed/Witness),
+// a live actor-runtime pair checked by the trace detectors (Detector), or
+// both. Detector-only entries (empty Buggy) cover defects the pseudocode
+// language cannot express — behavior swaps and deadletters.
 type Bug struct {
 	Name        string
 	Category    Category
 	Description string
-	// Buggy and Fixed are complete pseudocode programs.
+	// Buggy and Fixed are complete pseudocode programs (empty for
+	// detector-only entries).
 	Buggy, Fixed string
 	// Witness detects the defect in an exploration result.
 	Witness func(res *pseudocode.ExploreResult) bool
 	// WitnessDesc says what the witness looks for, for reports.
 	WitnessDesc string
+	// Detector, when set, is the entry's trace-detector witness pair.
+	Detector *DetectorWitness
+}
+
+// DetectorWitness is an online-detector witness (internal/detect): a live
+// actor program rendered buggy and fixed, with the detector expected to
+// fire on the first and stay silent on the second.
+type DetectorWitness struct {
+	// Detector is the detect.Category expected to fire.
+	Detector detect.Category
+	// Run executes one rendition and reports whether the detector fired,
+	// with a human-readable evidence line when it did.
+	Run func(buggy bool) (fired bool, evidence string, err error)
+}
+
+// CheckDetector runs the entry's detector witness pair: the detector must
+// fire on the buggy rendition and stay silent on the fixed one. It returns
+// the buggy rendition's evidence line. Entries without a detector witness
+// return ("", nil).
+func (b *Bug) CheckDetector() (evidence string, err error) {
+	if b.Detector == nil {
+		return "", nil
+	}
+	fired, evidence, err := b.Detector.Run(true)
+	if err != nil {
+		return "", fmt.Errorf("bugs: %s: buggy rendition: %w", b.Name, err)
+	}
+	if !fired {
+		return "", fmt.Errorf("bugs: %s: %s detector silent on the buggy rendition", b.Name, b.Detector.Detector)
+	}
+	fixedFired, fixedEv, err := b.Detector.Run(false)
+	if err != nil {
+		return "", fmt.Errorf("bugs: %s: fixed rendition: %w", b.Name, err)
+	}
+	if fixedFired {
+		return "", fmt.Errorf("bugs: %s: %s detector fired on the fixed rendition: %s",
+			b.Name, b.Detector.Detector, fixedEv)
+	}
+	return evidence, nil
 }
 
 // Check explores both versions and verifies the witness fires on Buggy and
-// not on Fixed. It returns the two exploration results.
+// not on Fixed. It returns the two exploration results. Detector-only
+// entries (no pseudocode) are checked via CheckDetector instead and return
+// nil results.
 func (b *Bug) Check() (buggy, fixed *pseudocode.ExploreResult, err error) {
+	if b.Buggy == "" && b.Fixed == "" {
+		_, err = b.CheckDetector()
+		return nil, nil, err
+	}
 	buggy, err = pseudocode.ExploreSource(b.Buggy, pseudocode.ExploreOpts{})
 	if err != nil {
 		return nil, nil, fmt.Errorf("bugs: %s: buggy version: %w", b.Name, err)
@@ -353,12 +404,82 @@ c.run()
 			Witness: func(res *pseudocode.ExploreResult) bool {
 				return hasOutput(res, "second first ")
 			},
+			// The same defect rendered on the real actor runtime: the
+			// order-race detector confirms the ack pair across two
+			// schedules (see detect.ConfirmOrderRaces).
+			Detector: &DetectorWitness{
+				Detector: detect.OrderRace,
+				Run:      orderRaceWitness,
+			},
+		},
+		{
+			Name:        "behavior-lost-on-restart",
+			Category:    ProtocolError,
+			Description: "a client upgrades a service via Become, the service crashes and its supervisor restarts it with the factory behavior; the client keeps talking to the vanished upgrade",
+			WitnessDesc: "stale-behavior detector: a message is dispatched at a generation older than the Become its sender causally observed",
+			Detector: &DetectorWitness{
+				Detector: detect.StaleBehavior,
+				Run: func(buggy bool) (bool, string, error) {
+					findings, _, err := detect.RunStaleRestartScenario(!buggy)
+					return firstFinding(findings, err)
+				},
+			},
+		},
+		{
+			Name:        "orphaned-request",
+			Category:    ProtocolError,
+			Description: "a request to a stopped service dies as a deadletter and the protocol just ends — no retry, no respawn, the conversation is abandoned",
+			WitnessDesc: "orphaned-protocol detector: a norecipient/dead deadletter with no causally-later retry to the same destination",
+			Detector: &DetectorWitness{
+				Detector: detect.OrphanedProtocol,
+				Run: func(buggy bool) (bool, string, error) {
+					findings, err := detect.RunOrphanScenario(!buggy)
+					return firstFinding(findings, err)
+				},
+			},
 		},
 	}
 }
 
-// Report describes one checked entry for human consumption.
+// orderRaceWitness is the live rendition of unordered-reply-confusion.
+// Order races need cross-run confirmation, so one witness check is two
+// executions: buggy drives the two workers in opposite orders (the
+// detector must confirm the racing ack pair), fixed chains them causally
+// (no concurrent pair survives).
+func orderRaceWitness(buggy bool) (bool, string, error) {
+	var runs []detect.Run
+	for _, first := range []int{1, 2} {
+		r, err := detect.RunOrderRaceScenario(first, !buggy)
+		if err != nil {
+			return false, "", err
+		}
+		runs = append(runs, r)
+	}
+	confirmed := detect.ConfirmOrderRaces(runs)
+	if len(confirmed) == 0 {
+		return false, "", nil
+	}
+	return true, confirmed[0].String(), nil
+}
+
+// firstFinding adapts a detector scenario's findings to the witness shape.
+func firstFinding(findings []detect.Finding, err error) (bool, string, error) {
+	if err != nil {
+		return false, "", err
+	}
+	if len(findings) == 0 {
+		return false, "", nil
+	}
+	return true, findings[0].String(), nil
+}
+
+// Report describes one checked entry for human consumption. Detector-only
+// entries pass nil exploration results.
 func Report(b *Bug, buggy, fixed *pseudocode.ExploreResult) string {
+	if buggy == nil || fixed == nil {
+		return fmt.Sprintf("%-26s %-28s detector-only entry (%s)",
+			b.Name, "["+string(b.Category)+"]", b.WitnessDesc)
+	}
 	return fmt.Sprintf("%-26s %-28s buggy: %d outputs, %d deadlocks | fixed: %d outputs, %d deadlocks (%s)",
 		b.Name, "["+string(b.Category)+"]",
 		len(buggy.Outputs)+len(buggy.DeadlockOutputs), buggy.Deadlocks,

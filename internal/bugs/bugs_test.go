@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/detect"
 	"repro/internal/pseudocode"
 )
 
@@ -18,7 +19,7 @@ func TestGalleryWitnesses(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if buggy == nil || fixed == nil {
+			if b.Buggy != "" && (buggy == nil || fixed == nil) {
 				t.Fatal("missing exploration results")
 			}
 			rep := Report(&b, buggy, fixed)
@@ -26,6 +27,38 @@ func TestGalleryWitnesses(t *testing.T) {
 				t.Fatalf("report = %q", rep)
 			}
 		})
+	}
+}
+
+// TestGalleryDetectorWitnesses verifies every detector-backed entry: the
+// named trace detector fires on the buggy live rendition and stays silent
+// on the fixed one, and all three detector categories are covered.
+func TestGalleryDetectorWitnesses(t *testing.T) {
+	covered := map[detect.Category]bool{}
+	for _, b := range Gallery() {
+		if b.Detector == nil {
+			continue
+		}
+		b := b
+		covered[b.Detector.Detector] = true
+		t.Run(b.Name, func(t *testing.T) {
+			evidence, err := b.CheckDetector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if evidence == "" {
+				t.Fatal("detector witness returned no evidence")
+			}
+			if !strings.Contains(evidence, string(b.Detector.Detector)) {
+				t.Fatalf("evidence %q does not name the %s detector", evidence, b.Detector.Detector)
+			}
+			t.Log(evidence)
+		})
+	}
+	for _, cat := range []detect.Category{detect.OrderRace, detect.StaleBehavior, detect.OrphanedProtocol} {
+		if !covered[cat] {
+			t.Errorf("no gallery entry carries a %s detector witness", cat)
+		}
 	}
 }
 

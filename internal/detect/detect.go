@@ -1,0 +1,567 @@
+// Package detect turns the vector-clock trace layer into online
+// concurrency-bug detectors for the actor-bug taxonomy of "A Study of
+// Concurrency Bugs and Advanced Development Support for Actor-based
+// Programs" (arXiv 1706.07372, see PAPERS.md):
+//
+//   - message-order races: two sends to one mailbox that are causally
+//     concurrent, whose delivery order changed an observable metric
+//     (cross-run confirmation via ConfirmOrderRaces);
+//   - stale-behavior interleavings: a message dispatched to a handler
+//     generation older than a Become the sender causally observed
+//     (supervised-restart rollback), or processed by the pre-Become
+//     handler while racing the message that triggered the Become;
+//   - orphaned protocols: asks/acks that end in deadletters
+//     (norecipient/dead/overloaded) with no later retry to the same
+//     destination.
+//
+// A Suite attaches to a trace.Recorder (full vector-clock mode; the flight
+// recorder carries no clocks and cannot drive these detectors) and consumes
+// events online through the Recorder.OnEvent tap. Findings are intended to
+// be zero on every correct program — the conformance sweep in
+// internal/problems asserts exactly that across the whole problem registry.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Category names one detector.
+type Category string
+
+const (
+	// OrderRace: causally-concurrent sends to one mailbox whose delivery
+	// order changed an observable metric. Single runs yield candidates
+	// (Candidates); findings of this category come from ConfirmOrderRaces
+	// over runs that differ only in scheduling.
+	OrderRace Category = "message-order-race"
+	// StaleBehavior: a message dispatched to a behavior generation that is
+	// older than a Become its sender causally observed, or processed by the
+	// pre-Become handler while racing the Become's trigger message.
+	StaleBehavior Category = "stale-behavior"
+	// OrphanedProtocol: a non-control message deadlettered as
+	// norecipient/dead/overloaded with no later send of the same payload
+	// type to a same-named destination (no retry).
+	OrphanedProtocol Category = "orphaned-protocol"
+)
+
+// Finding is one detector hit.
+type Finding struct {
+	Category Category
+	// Actor is the mailbox/actor the finding is about (destination ref or
+	// name, depending on the detector).
+	Actor string
+	// Summary is a one-line human-readable description.
+	Summary string
+	// Evidence holds the trace events that witnessed the finding.
+	Evidence []trace.Event
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s: %s", f.Category, f.Actor, f.Summary)
+}
+
+// maxRecentSends bounds the per-mailbox window scanned for concurrent send
+// pairs, and maxRecentRecvs the per-actor receive lookback at a Become.
+const (
+	maxRecentSends = 16
+	maxRecentRecvs = 64
+)
+
+// recvRec pairs a receive event with the send event it matched (nil when
+// the send was not traced, e.g. a message injected from outside).
+type recvRec struct {
+	recv trace.Event
+	send *trace.Event
+}
+
+// becomeRec is one recorded behavior swap with its generation number.
+type becomeRec struct {
+	ev  trace.Event
+	gen int
+}
+
+// actorState is the per-destination bookkeeping shared by the detectors.
+type actorState struct {
+	gen      int         // current behavior generation (Becomes since last restart)
+	becomes  []becomeRec // all Become events observed for this actor
+	recent   []recvRec   // receives since the last Become (bounded)
+	lastRecv *recvRec    // most recent receive (the Become trigger, if one follows)
+	sends    []trace.Event
+	// pending is a provisional stale-dispatch finding awaiting the actor's
+	// next event: if that event is a Become restoring generation pendingGen
+	// (or beyond), the flagged message itself performed the recovery
+	// handshake and the finding is dropped. See resolvePending.
+	pending    *Finding
+	pendingGen int
+}
+
+// OrderCandidate is a pair of causally-concurrent sends to one mailbox,
+// with the delivery order observed in this run. Candidates are not
+// findings: a correct multi-producer program has them constantly. They
+// become findings only when ConfirmOrderRaces sees two runs that delivered
+// the same pair in opposite orders with different observable metrics.
+type OrderCandidate struct {
+	Mailbox string      // destination ref, e.g. "actor(buffer#3)"
+	Key     string      // schedule-independent pair identity (sender+type of both sides)
+	A, B    trace.Event // the two send events, in canonical Key order
+	// delivery indices (global receive counter), -1 while undelivered
+	recvA, recvB int
+}
+
+// Delivered reports the observed delivery order: "ab", "ba", or "" if
+// either message was never received.
+func (c *OrderCandidate) Delivered() string {
+	switch {
+	case c.recvA < 0 || c.recvB < 0:
+		return ""
+	case c.recvA < c.recvB:
+		return "ab"
+	default:
+		return "ba"
+	}
+}
+
+// Suite is the online detector state machine. Feed it every event of a
+// clocked trace (Attach does this via the recorder tap); query Findings
+// and Candidates after the run has quiesced. A Suite is safe for
+// concurrent use.
+type Suite struct {
+	mu sync.Mutex
+
+	// pending send events keyed by message ID, consumed by the matching
+	// receive.
+	sends map[string]trace.Event
+
+	actors map[string]*actorState // keyed by destination ref string
+
+	// candidate order races: key → candidate; watched maps a message ID to
+	// the candidate slots its delivery resolves, and recvIdx remembers the
+	// global delivery index of every receive so a candidate identified
+	// after one side was already delivered can still be resolved.
+	cands   map[string]*OrderCandidate
+	watched map[string][]*candSlot
+	recvIdx map[string]int
+	recvSeq int
+
+	// pending orphans: (destination name, payload type) → latest deadletter.
+	orphans map[orphanKey]trace.Event
+
+	// quiesced flips when the system's shutdown marker arrives; deadletters
+	// after it are teardown noise (late sends into a deliberately stopping
+	// system), not orphaned protocols.
+	quiesced bool
+
+	findings []Finding
+	seen     map[string]bool // finding dedup
+}
+
+type candSlot struct {
+	c     *OrderCandidate
+	slotA bool
+}
+
+type orphanKey struct {
+	dest    string // destination *name* (not ref: a respawn changes the id)
+	msgType string
+}
+
+// New returns an empty detector suite.
+func New() *Suite {
+	return &Suite{
+		sends:   make(map[string]trace.Event),
+		actors:  make(map[string]*actorState),
+		cands:   make(map[string]*OrderCandidate),
+		watched: make(map[string][]*candSlot),
+		recvIdx: make(map[string]int),
+		orphans: make(map[orphanKey]trace.Event),
+		seen:    make(map[string]bool),
+	}
+}
+
+// Attach subscribes the suite to every event r records from now on. The
+// recorder must be a clocked one (NewRecorder/NewRecorderCap): flight
+// events carry no vector clocks, so the causality queries degrade to
+// "equal" and the detectors stay silent.
+func (s *Suite) Attach(r *trace.Recorder) { r.OnEvent(s.Feed) }
+
+// Analyze runs a recorded event sequence (in Seq order) through a fresh
+// suite — the offline entry point.
+func Analyze(events []trace.Event) *Suite {
+	s := New()
+	for _, ev := range events {
+		s.Feed(ev)
+	}
+	return s
+}
+
+// Feed consumes one trace event. Events must arrive in Seq order (the
+// recorder tap guarantees this).
+func (s *Suite) Feed(ev trace.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.actors[ev.Task]; ok && st.pending != nil {
+		s.resolvePending(st, ev)
+	}
+	switch ev.Kind {
+	case trace.KindSend:
+		s.onSend(ev)
+	case trace.KindReceive:
+		s.onReceive(ev)
+	case trace.KindBecome:
+		s.onBecome(ev)
+	case trace.KindRestart:
+		s.state(ev.Task).gen = 0
+	case trace.KindDeadLetter:
+		s.onDeadLetter(ev)
+	case trace.KindExit:
+		if ev.Task == "system" && ev.Object == "shutdown" {
+			s.quiesced = true
+		}
+	}
+}
+
+func (s *Suite) state(ref string) *actorState {
+	st, ok := s.actors[ref]
+	if !ok {
+		st = &actorState{}
+		s.actors[ref] = st
+	}
+	return st
+}
+
+func (s *Suite) addFinding(f Finding) {
+	key := string(f.Category) + "|" + f.Actor + "|" + f.Summary
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.findings = append(s.findings, f)
+}
+
+// --- message-order race candidates -----------------------------------------
+
+// sendKey is the schedule-independent identity of one side of a candidate
+// pair: who sent what.
+func sendKey(ev trace.Event) string { return ev.Task + "→" + ev.Detail }
+
+func (s *Suite) onSend(ev trace.Event) {
+	dest := destOfMsgID(ev.Object)
+	// A send is also the retry that un-orphans an earlier deadletter to the
+	// same-named destination.
+	delete(s.orphans, orphanKey{dest: nameOfRef(dest), msgType: ev.Detail})
+
+	st := s.state(dest)
+	for i := range st.sends {
+		prev := &st.sends[i]
+		if prev.Task == ev.Task {
+			continue // same sender: per-sender FIFO orders them
+		}
+		if !trace.ConcurrentEvents(*prev, ev) {
+			continue
+		}
+		a, b := *prev, ev
+		ka, kb := sendKey(a), sendKey(b)
+		if ka > kb {
+			a, b = b, a
+			ka, kb = kb, ka
+		}
+		key := dest + "|" + ka + "|" + kb
+		if _, dup := s.cands[key]; dup {
+			continue
+		}
+		c := &OrderCandidate{Mailbox: dest, Key: key, A: a, B: b, recvA: -1, recvB: -1}
+		s.cands[key] = c
+		// One side may already have been delivered (a pair only becomes a
+		// candidate at its second send); backfill from the receive index.
+		if idx, ok := s.recvIdx[a.Object]; ok {
+			c.recvA = idx
+		} else {
+			s.watched[a.Object] = append(s.watched[a.Object], &candSlot{c: c, slotA: true})
+		}
+		if idx, ok := s.recvIdx[b.Object]; ok {
+			c.recvB = idx
+		} else {
+			s.watched[b.Object] = append(s.watched[b.Object], &candSlot{c: c, slotA: false})
+		}
+	}
+	st.sends = append(st.sends, ev)
+	if len(st.sends) > maxRecentSends {
+		st.sends = st.sends[1:]
+	}
+	// Remembered until the matching receive consumes it. A message that
+	// never arrives (deadlettered after the send was recorded) keeps its
+	// entry for the rest of the run — bounded by the trace itself.
+	s.sends[ev.Object] = ev
+}
+
+// --- receive: order bookkeeping + stale-dispatch check ----------------------
+
+func (s *Suite) onReceive(ev trace.Event) {
+	s.recvSeq++
+	s.recvIdx[ev.Object] = s.recvSeq
+	if slots := s.watched[ev.Object]; slots != nil {
+		for _, sl := range slots {
+			if sl.slotA {
+				sl.c.recvA = s.recvSeq
+			} else {
+				sl.c.recvB = s.recvSeq
+			}
+		}
+		delete(s.watched, ev.Object)
+	}
+
+	var send *trace.Event
+	if sv, ok := s.sends[ev.Object]; ok {
+		send = &sv
+		delete(s.sends, ev.Object)
+	}
+
+	st := s.state(ev.Task)
+	rec := recvRec{recv: ev, send: send}
+	st.recent = append(st.recent, rec)
+	if len(st.recent) > maxRecentRecvs {
+		st.recent = st.recent[1:]
+	}
+	st.lastRecv = &st.recent[len(st.recent)-1]
+
+	// Stale dispatch: the sender causally observed a Become this dispatch
+	// generation predates — possible only after a supervised restart rolled
+	// the behavior back to its factory default.
+	if send == nil {
+		return
+	}
+	expected, witness := 0, trace.Event{}
+	for _, b := range st.becomes {
+		if b.gen > expected && trace.HappenedBefore(b.ev, *send) {
+			expected, witness = b.gen, b.ev
+		}
+	}
+	if st.gen < expected {
+		// Provisional: if this very message's processing performs the Become
+		// that restores the expected generation, it *is* the recovery
+		// handshake (a re-upgrade after a restart), not a bug. Settled at the
+		// actor's next event, or at Findings() if none follows.
+		st.pending = &Finding{
+			Category: StaleBehavior,
+			Actor:    ev.Task,
+			Summary: fmt.Sprintf("message %s from %s dispatched at behavior generation %d, but its sender causally observed generation %d (restart rolled the behavior back)",
+				send.Detail, send.Task, st.gen, expected),
+			Evidence: []trace.Event{*send, ev, witness},
+		}
+		st.pendingGen = expected
+	}
+}
+
+// resolvePending settles a provisional stale-dispatch finding at the actor's
+// next trace event. A Become reaching the generation the sender observed
+// means the flagged message restored the behavior itself; anything else
+// (another receive, a send from the handler, a restart) means the message
+// really ran on the rolled-back behavior.
+func (s *Suite) resolvePending(st *actorState, ev trace.Event) {
+	if ev.Kind == trace.KindBecome {
+		gen := st.gen + 1
+		fmt.Sscanf(ev.Object, "gen=%d", &gen)
+		if gen >= st.pendingGen {
+			st.pending, st.pendingGen = nil, 0
+			return
+		}
+	}
+	s.addFinding(*st.pending)
+	st.pending, st.pendingGen = nil, 0
+}
+
+// --- become: generation tracking + racing-trigger check ---------------------
+
+func (s *Suite) onBecome(ev trace.Event) {
+	st := s.state(ev.Task)
+	gen := st.gen + 1
+	if n, err := fmt.Sscanf(ev.Object, "gen=%d", &gen); n != 1 || err != nil {
+		gen = st.gen + 1
+	}
+	// The message being processed when the actor swapped behavior is the
+	// Become's trigger. Earlier same-generation receives whose sends race
+	// the trigger's send were order-dependent: in another schedule they
+	// would have been handled by the new behavior.
+	if st.lastRecv != nil && st.lastRecv.send != nil {
+		trigger := st.lastRecv.send
+		for i := range st.recent[:len(st.recent)-1] {
+			r := &st.recent[i]
+			if r.send == nil || r.send.Task == trigger.Task {
+				continue
+			}
+			if trace.ConcurrentEvents(*r.send, *trigger) {
+				s.addFinding(Finding{
+					Category: StaleBehavior,
+					Actor:    ev.Task,
+					Summary: fmt.Sprintf("message %s from %s was handled by the pre-Become behavior (gen %d) while racing the Become trigger %s from %s",
+						r.send.Detail, r.send.Task, st.gen, trigger.Detail, trigger.Task),
+					Evidence: []trace.Event{*r.send, r.recv, *trigger, ev},
+				})
+			}
+		}
+	}
+	st.gen = gen
+	st.becomes = append(st.becomes, becomeRec{ev: ev, gen: gen})
+	st.recent = st.recent[:0]
+	st.lastRecv = nil
+}
+
+// --- orphaned protocols -----------------------------------------------------
+
+// orphanKinds are the deadletter kinds the detector tracks (the transient/
+// shutdown kinds — closed, dropped, remote — are excluded: close-time
+// drains and injected drops are expected losses, and remote deadletters are
+// the link layer's transient signal that AskRetry handles).
+var orphanKinds = map[string]bool{"norecipient": true, "dead": true, "overloaded": true}
+
+func (s *Suite) onDeadLetter(ev trace.Event) {
+	if s.quiesced {
+		return // teardown noise: the system is deliberately winding down
+	}
+	kind, msgType, ok := strings.Cut(ev.Detail, " ")
+	if !ok || !orphanKinds[kind] {
+		return
+	}
+	// The failed attempt supersedes any earlier orphan with the same
+	// identity: the earlier one *was* retried (the retry just failed too),
+	// and this attempt is now the one waiting for a retry.
+	s.orphans[orphanKey{dest: nameOfRef(ev.Object), msgType: msgType}] = ev
+}
+
+// --- results ----------------------------------------------------------------
+
+// Findings returns the confirmed findings so far (stale-behavior and
+// orphaned-protocol; order races need cross-run confirmation, see
+// Candidates/ConfirmOrderRaces), in a deterministic order. Call after the
+// traced run has quiesced: an orphan is only an orphan because no retry
+// followed it.
+func (s *Suite) Findings() []Finding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Finding, 0, len(s.findings)+len(s.orphans))
+	out = append(out, s.findings...)
+	// Unsettled provisional stale dispatches: no later event performed the
+	// recovery Become, so they stand.
+	for _, st := range s.actors {
+		if st.pending != nil {
+			out = append(out, *st.pending)
+		}
+	}
+	for k, ev := range s.orphans {
+		out = append(out, Finding{
+			Category: OrphanedProtocol,
+			Actor:    k.dest,
+			Summary: fmt.Sprintf("message %s from %s deadlettered (%s) with no later retry to %q",
+				k.msgType, ev.Task, strings.Fields(ev.Detail)[0], k.dest),
+			Evidence: []trace.Event{ev},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Category != out[j].Category {
+			return out[i].Category < out[j].Category
+		}
+		if out[i].Actor != out[j].Actor {
+			return out[i].Actor < out[j].Actor
+		}
+		return out[i].Summary < out[j].Summary
+	})
+	return out
+}
+
+// Candidates returns this run's causally-concurrent send pairs with their
+// observed delivery orders, sorted by Key.
+func (s *Suite) Candidates() []OrderCandidate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OrderCandidate, 0, len(s.cands))
+	for _, c := range s.cands {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Run is one execution's evidence for cross-run order-race confirmation:
+// the candidates its suite collected plus a canonical rendering of the
+// observable outcome (schedule-independent for a correct program).
+type Run struct {
+	Candidates []OrderCandidate
+	Metric     string
+}
+
+// ConfirmOrderRaces upgrades candidates to findings: a pair delivered in
+// opposite orders by two runs whose observable metrics differ is a
+// message-order race — the program's outcome depended on the delivery
+// order of causally-unordered sends. The runs must differ only in
+// scheduling (same workload, same inputs), otherwise a metric difference
+// says nothing about delivery order.
+func ConfirmOrderRaces(runs []Run) []Finding {
+	type obs struct {
+		order  string
+		metric string
+		cand   OrderCandidate
+	}
+	byKey := make(map[string][]obs)
+	for _, r := range runs {
+		for _, c := range r.Candidates {
+			if d := c.Delivered(); d != "" {
+				byKey[c.Key] = append(byKey[c.Key], obs{order: d, metric: r.Metric, cand: c})
+			}
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var findings []Finding
+	for _, k := range keys {
+		seen := byKey[k]
+		for i := 0; i < len(seen); i++ {
+			for j := i + 1; j < len(seen); j++ {
+				if seen[i].order != seen[j].order && seen[i].metric != seen[j].metric {
+					c := seen[i].cand
+					findings = append(findings, Finding{
+						Category: OrderRace,
+						Actor:    c.Mailbox,
+						Summary: fmt.Sprintf("concurrent sends %s and %s to %s delivered in both orders across runs, with different observable outcomes (%q vs %q)",
+							sendKey(c.A), sendKey(c.B), c.Mailbox, seen[i].metric, seen[j].metric),
+						Evidence: []trace.Event{c.A, c.B},
+					})
+					i, j = len(seen), len(seen) // one finding per pair identity
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// --- trace-string helpers ---------------------------------------------------
+
+// destOfMsgID extracts the destination ref from a traced message ID
+// ("actor(name#id)#seq" → "actor(name#id)").
+func destOfMsgID(msgID string) string {
+	if i := strings.LastIndex(msgID, "#"); i >= 0 {
+		return msgID[:i]
+	}
+	return msgID
+}
+
+// nameOfRef extracts the actor name from a ref string
+// ("actor(name#id)" → "name"). Respawned actors keep their name but get a
+// fresh id, which is why orphan retries match on the name.
+func nameOfRef(ref string) string {
+	s := ref
+	if strings.HasPrefix(s, "actor(") && strings.HasSuffix(s, ")") {
+		s = s[len("actor(") : len(s)-1]
+	}
+	if i := strings.LastIndex(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

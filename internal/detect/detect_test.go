@@ -1,0 +1,166 @@
+package detect
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/actors"
+	"repro/internal/trace"
+)
+
+// Every detector ships a witness pair: the buggy rendition fires, the
+// fixed one is silent. The scenarios live in scenarios.go so internal/bugs
+// can mount them in the gallery as DetectorWitness entries.
+
+func TestOrderRaceWitnessPair(t *testing.T) {
+	// Buggy: the two acks are causally concurrent; driving the workers in
+	// opposite orders across two runs delivers the pair both ways with
+	// different outputs — a confirmed order race.
+	var buggy []Run
+	for _, first := range []int{1, 2} {
+		r, err := RunOrderRaceScenario(first, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Candidates) == 0 {
+			t.Fatalf("drive order %d: no concurrent-send candidates (want the ack pair)", first)
+		}
+		buggy = append(buggy, r)
+	}
+	confirmed := ConfirmOrderRaces(buggy)
+	if len(confirmed) == 0 {
+		t.Fatalf("order-race detector silent on the buggy scenario\nrun0 metric %q, run1 metric %q\ncandidates: %+v",
+			buggy[0].Metric, buggy[1].Metric, buggy[0].Candidates)
+	}
+	t.Logf("fired: %v", confirmed[0])
+
+	// Fixed: worker one triggers worker two causally; the acks are ordered,
+	// so there is no concurrent ack candidate and nothing to confirm.
+	var fixed []Run
+	for range []int{0, 1} {
+		r, err := RunOrderRaceScenario(1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Metric != "first second " {
+			t.Fatalf("fixed run metric %q, want %q", r.Metric, "first second ")
+		}
+		fixed = append(fixed, r)
+	}
+	if confirmed := ConfirmOrderRaces(fixed); len(confirmed) != 0 {
+		t.Fatalf("order-race detector fired on the fixed scenario: %v", confirmed)
+	}
+}
+
+func TestStaleBehaviorRestartWitnessPair(t *testing.T) {
+	findings, version, err := RunStaleRestartScenario(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != "v0" {
+		t.Fatalf("buggy scenario served by %s, want the stale v0", version)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("stale-behavior detector silent on the restart-rollback scenario")
+	}
+	t.Logf("fired: %v", findings[0])
+
+	findings, version, err = RunStaleRestartScenario(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != "v1" {
+		t.Fatalf("fixed scenario served by %s, want v1", version)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("stale-behavior detector fired on the fixed scenario: %v", findings)
+	}
+}
+
+func TestStaleBehaviorRacingTriggerWitnessPair(t *testing.T) {
+	findings, err := RunStaleRaceScenario(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("stale-behavior detector silent on the racing-trigger scenario")
+	}
+	t.Logf("fired: %v", findings[0])
+
+	findings, err = RunStaleRaceScenario(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("stale-behavior detector fired on the fixed scenario: %v", findings)
+	}
+}
+
+func TestOrphanWitnessPair(t *testing.T) {
+	findings, err := RunOrphanScenario(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("orphan detector silent on the abandoned-request scenario")
+	}
+	t.Logf("fired: %v", findings[0])
+
+	findings, err = RunOrphanScenario(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("orphan detector fired on the retried scenario: %v", findings)
+	}
+}
+
+// --- unit coverage ----------------------------------------------------------
+
+func TestTraceStringHelpers(t *testing.T) {
+	if got := destOfMsgID("actor(bridge#3)#41"); got != "actor(bridge#3)" {
+		t.Fatalf("destOfMsgID = %q", got)
+	}
+	if got := nameOfRef("actor(ask-reply#12)"); got != "ask-reply" {
+		t.Fatalf("nameOfRef = %q", got)
+	}
+	if got := nameOfRef("weird"); got != "weird" {
+		t.Fatalf("nameOfRef passthrough = %q", got)
+	}
+}
+
+func TestAnalyzeOffline(t *testing.T) {
+	rec := trace.NewRecorder()
+	sys := actors.NewSystem(actors.Config{Recorder: rec})
+	svc := sys.MustSpawn("svc", func(ctx *actors.Context, msg any) {})
+	sys.Stop(svc)
+	sys.Await(svc)
+	svc.Tell("late") // deadletters as dead, never retried
+	sys.Shutdown()
+	suite := Analyze(rec.Events())
+	if found := FilterCategory(suite.Findings(), OrphanedProtocol); len(found) == 0 {
+		t.Fatalf("offline Analyze missed the orphaned deadletter:\n%s", rec.String())
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Category: OrphanedProtocol, Actor: "svc", Summary: "x"}
+	if s := f.String(); s != fmt.Sprintf("[%s] svc: x", OrphanedProtocol) {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCandidateDeliveredOrders(t *testing.T) {
+	c := OrderCandidate{recvA: -1, recvB: -1}
+	if c.Delivered() != "" {
+		t.Fatalf("undelivered pair reported %q", c.Delivered())
+	}
+	c.recvA, c.recvB = 1, 2
+	if c.Delivered() != "ab" {
+		t.Fatalf("Delivered = %q, want ab", c.Delivered())
+	}
+	c.recvA, c.recvB = 5, 3
+	if c.Delivered() != "ba" {
+		t.Fatalf("Delivered = %q, want ba", c.Delivered())
+	}
+}

@@ -1,0 +1,334 @@
+package detect
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/trace"
+)
+
+// This file holds the live-runtime witness scenarios for the three
+// detectors: each is a small actor program rendered twice — a buggy variant
+// the detector must flag and a fixed variant it must stay silent on. They
+// are exported (rather than living in the tests) because internal/bugs
+// wires them into the gallery as DetectorWitness entries, alongside the
+// pseudocode explorer witnesses.
+
+type ackMsg struct{ tag string }
+type goMsg struct{}
+type probeMsg struct{}
+type upgradeMsg struct{}
+type upgradedMsg struct{}
+type boomMsg struct{}
+type computeMsg struct{}
+type restartedMsg struct{}
+type dataMsg struct{}
+type trigMsg struct{}
+type fwdMsg struct{}
+type reqMsg struct{}
+
+const scenarioTimeout = 10 * time.Second
+
+// FilterCategory keeps only findings of one category.
+func FilterCategory(fs []Finding, cat Category) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Category == cat {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunOrderRaceScenario executes one run of the reply-confusion scenario
+// (the live analogue of the "unordered-reply-confusion" gallery entry): two
+// worker actors send acks to a collector whose observable output is the
+// arrival order. firstWorker (1 or 2) selects which worker is driven first;
+// with sequenced=false the two acks are causally concurrent, so the
+// schedule alone decides the output — running the scenario with both drive
+// orders hands ConfirmOrderRaces the two schedules it needs. sequenced=true
+// is the fix: worker one triggers worker two on its own causal path, the
+// acks become ordered, and no concurrent candidate exists.
+func RunOrderRaceScenario(firstWorker int, sequenced bool) (Run, error) {
+	rec := trace.NewRecorder()
+	suite := New()
+	suite.Attach(rec)
+	sys := actors.NewSystem(actors.Config{Recorder: rec})
+	defer sys.Shutdown()
+
+	var mu sync.Mutex
+	var got string
+	collector := sys.MustSpawn("collector", func(ctx *actors.Context, msg any) {
+		switch m := msg.(type) {
+		case ackMsg:
+			mu.Lock()
+			got += m.tag
+			mu.Unlock()
+		case probeMsg:
+			ctx.Reply("ok")
+		}
+	})
+	var w2 *actors.Ref
+	worker := func(tag string, chain bool) actors.Behavior {
+		return func(ctx *actors.Context, msg any) {
+			switch msg.(type) {
+			case goMsg:
+				ctx.Send(collector, ackMsg{tag})
+				if chain {
+					// The fix: the second request rides this worker's causal
+					// past instead of racing it.
+					ctx.Send(w2, goMsg{})
+				}
+				ctx.Reply("sent")
+			case probeMsg:
+				ctx.Reply("ok")
+			}
+		}
+	}
+	w1 := sys.MustSpawn("w1", worker("first ", sequenced))
+	w2 = sys.MustSpawn("w2", worker("second ", false))
+
+	ask := func(r *actors.Ref, msg any) error {
+		_, err := actors.Ask(sys, r, msg, scenarioTimeout)
+		return err
+	}
+	var err error
+	switch {
+	case sequenced:
+		// w2 fires via w1's chained send; probing w2 afterwards proves its
+		// ack is enqueued before the collector probe below.
+		err = firstErr(ask(w1, goMsg{}), ask(w2, probeMsg{}))
+	case firstWorker == 1:
+		err = firstErr(ask(w1, goMsg{}), ask(w2, goMsg{}))
+	default:
+		err = firstErr(ask(w2, goMsg{}), ask(w1, goMsg{}))
+	}
+	if err != nil {
+		return Run{}, err
+	}
+	// The collector probe quiesces it: per-sender FIFO means every ack
+	// enqueued above is processed before the probe's reply.
+	if err := ask(collector, probeMsg{}); err != nil {
+		return Run{}, err
+	}
+	mu.Lock()
+	metric := got
+	mu.Unlock()
+	return Run{Candidates: suite.Candidates(), Metric: metric}, nil
+}
+
+// RunStaleRestartScenario renders the behavior-lost-across-restart defect:
+// a client upgrades a supervised service (Become), crashes it, and — in
+// the buggy variant — keeps using it as if the upgrade survived the
+// restart, so its request is dispatched to the rolled-back factory
+// behavior. The fixed variant listens for the restart lifecycle event and
+// re-runs the upgrade handshake before further use. Returns the
+// stale-behavior findings and which version served the final compute.
+func RunStaleRestartScenario(fixed bool) ([]Finding, string, error) {
+	rec := trace.NewRecorder()
+	suite := New()
+	suite.Attach(rec)
+	sys := actors.NewSystem(actors.Config{Recorder: rec})
+	defer sys.Shutdown()
+
+	served := make(chan string, 1)
+	var v0, v1 actors.Behavior
+	v0 = func(ctx *actors.Context, msg any) {
+		switch msg.(type) {
+		case upgradeMsg:
+			ctx.Become(v1)
+			ctx.Reply(upgradedMsg{})
+		case computeMsg:
+			served <- "v0"
+		}
+	}
+	v1 = func(ctx *actors.Context, msg any) {
+		switch msg.(type) {
+		case upgradeMsg:
+			ctx.Become(v1)
+			ctx.Reply(upgradedMsg{})
+		case boomMsg:
+			panic("injected crash")
+		case computeMsg:
+			served <- "v1"
+		}
+	}
+
+	var client *actors.Ref
+	sup := sys.Supervise("root", actors.SupervisorSpec{
+		MaxRestarts: 3,
+		OnEvent: func(ev actors.LifecycleEvent) {
+			if fixed && ev.Kind == actors.LifecycleRestarted {
+				client.Tell(restartedMsg{})
+			}
+		},
+	})
+	svc, err := sup.Spawn("svc", func() actors.Behavior { return v0 })
+	if err != nil {
+		return nil, "", err
+	}
+
+	acks := 0 // touched only by the client's own goroutine
+	client = sys.MustSpawn("client", func(ctx *actors.Context, msg any) {
+		switch msg.(type) {
+		case goMsg:
+			ctx.Send(svc, upgradeMsg{})
+		case upgradedMsg:
+			acks++
+			switch {
+			case !fixed:
+				// Buggy: assume the upgrade is durable — crash, then use.
+				ctx.Send(svc, boomMsg{})
+				ctx.Send(svc, computeMsg{})
+			case acks == 1:
+				ctx.Send(svc, boomMsg{})
+			default:
+				ctx.Send(svc, computeMsg{})
+			}
+		case restartedMsg: // fixed only: redo the handshake
+			ctx.Send(svc, upgradeMsg{})
+		}
+	})
+
+	client.Tell(goMsg{})
+	select {
+	case version := <-served:
+		return FilterCategory(suite.Findings(), StaleBehavior), version, nil
+	case <-time.After(scenarioTimeout):
+		return nil, "", fmt.Errorf("detect: stale-restart scenario: compute never served")
+	}
+}
+
+// RunStaleRaceScenario renders the interleaving-behind-Become defect: actor
+// X sends data to a state-machine service while actor Y concurrently sends
+// the trigger that makes it Become its next state. In the buggy variant the
+// two sends are causally unordered — the schedule decides which handler
+// sees the data. The fix chains Y's trigger causally after X's send.
+func RunStaleRaceScenario(fixed bool) ([]Finding, error) {
+	rec := trace.NewRecorder()
+	suite := New()
+	suite.Attach(rec)
+	sys := actors.NewSystem(actors.Config{Recorder: rec})
+	defer sys.Shutdown()
+
+	var v0, v1 actors.Behavior
+	v0 = func(ctx *actors.Context, msg any) {
+		switch msg.(type) {
+		case trigMsg:
+			ctx.Become(v1)
+		case probeMsg:
+			ctx.Reply("ok")
+		}
+	}
+	v1 = func(ctx *actors.Context, msg any) {
+		if _, ok := msg.(probeMsg); ok {
+			ctx.Reply("ok")
+		}
+	}
+	svc := sys.MustSpawn("svc", v0)
+
+	var y *actors.Ref
+	x := sys.MustSpawn("x", func(ctx *actors.Context, msg any) {
+		ctx.Send(svc, dataMsg{})
+		if fixed {
+			ctx.Send(y, fwdMsg{}) // the trigger rides x's causal past
+		}
+		ctx.Reply("sent")
+	})
+	y = sys.MustSpawn("y", func(ctx *actors.Context, msg any) {
+		switch msg.(type) {
+		case goMsg:
+			ctx.Send(svc, trigMsg{})
+			ctx.Reply("sent")
+		case fwdMsg:
+			ctx.Send(svc, trigMsg{})
+		case probeMsg:
+			ctx.Reply("ok")
+		}
+	})
+
+	if _, err := actors.Ask(sys, x, goMsg{}, scenarioTimeout); err != nil {
+		return nil, err
+	}
+	if fixed {
+		// Quiesce y: its FIFO means the probe reply proves the chained
+		// fwd was processed, so trig is already enqueued at svc — the
+		// final probe below is causally after it, not racing it.
+		if _, err := actors.Ask(sys, y, probeMsg{}, scenarioTimeout); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := actors.Ask(sys, y, goMsg{}, scenarioTimeout); err != nil {
+			return nil, err
+		}
+	}
+	// Quiesce: per-sender FIFO only orders one sender's messages, but by
+	// now both data and trig are enqueued at svc, so a probe lands after
+	// both and its reply proves the Become (if any) has been recorded.
+	if _, err := actors.Ask(sys, svc, probeMsg{}, scenarioTimeout); err != nil {
+		return nil, err
+	}
+	return FilterCategory(suite.Findings(), StaleBehavior), nil
+}
+
+// RunOrphanScenario renders the abandoned-protocol defect: a client fires a
+// request at a service that has stopped, and the message dies as a dead
+// deadletter. The buggy variant never retries; the fixed one respawns the
+// service (same name, fresh incarnation) and resends — the causally-later
+// retry the detector looks for.
+func RunOrphanScenario(fixed bool) ([]Finding, error) {
+	rec := trace.NewRecorder()
+	suite := New()
+	suite.Attach(rec)
+	sys := actors.NewSystem(actors.Config{Recorder: rec})
+	defer sys.Shutdown()
+
+	svc := sys.MustSpawn("svc", func(ctx *actors.Context, msg any) {})
+	sys.Stop(svc)
+	sys.Await(svc)
+
+	delivered := make(chan struct{}, 1)
+	client := sys.MustSpawn("client", func(ctx *actors.Context, msg any) {
+		ctx.Send(svc, reqMsg{}) // dead target → deadletter
+		ctx.Reply("sent")
+	})
+	if _, err := actors.Ask(sys, client, goMsg{}, scenarioTimeout); err != nil {
+		return nil, err
+	}
+
+	if fixed {
+		// Recovery: a fresh incarnation under the same name, and a retry.
+		svc2 := sys.MustSpawn("svc", func(ctx *actors.Context, msg any) {
+			if _, ok := msg.(reqMsg); ok {
+				select {
+				case delivered <- struct{}{}:
+				default:
+				}
+			}
+		})
+		retrier := sys.MustSpawn("retrier", func(ctx *actors.Context, msg any) {
+			ctx.Send(svc2, reqMsg{})
+			ctx.Reply("sent")
+		})
+		if _, err := actors.Ask(sys, retrier, goMsg{}, scenarioTimeout); err != nil {
+			return nil, err
+		}
+		select {
+		case <-delivered:
+		case <-time.After(scenarioTimeout):
+			return nil, fmt.Errorf("detect: orphan scenario: retry never delivered")
+		}
+	}
+	return FilterCategory(suite.Findings(), OrphanedProtocol), nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -122,3 +122,44 @@ func TestPartitionComposesInChain(t *testing.T) {
 		t.Fatalf("bystander op decided %v", d)
 	}
 }
+
+// TestSeededWireDecisionsIgnoreUnmatchedTraffic guards the record/replay
+// contract: a seeded injector's decision stream must be a pure function of
+// (seed, matched-op sequence). Unmatched operations — control frames, other
+// links, dial probes — must not advance the RNG, or a replay whose ambient
+// traffic interleaves differently would see different injected faults than
+// the recording did.
+func TestSeededWireDecisionsIgnoreUnmatchedTraffic(t *testing.T) {
+	match := All(AtSite(SiteWire), OnLink("A", "B"))
+	decide := func(withNoise bool) []Action {
+		inj := Drop(21, 0.4, match)
+		var out []Action
+		for i := 0; i < 100; i++ {
+			if withNoise {
+				// None of these match: wrong link, wrong site, dial probe
+				// on a different pair.
+				inj.Decide(WireOp("A", "C", "64B"))
+				inj.Decide(Op{Site: SiteSend, Actor: "A->B", Msg: "64B"})
+				inj.Decide(WireOp("C", "D", "dial"))
+			}
+			out = append(out, inj.Decide(WireOp("A", "B", "64B")).Action)
+		}
+		return out
+	}
+	clean, noisy := decide(false), decide(true)
+	for i := range clean {
+		if clean[i] != noisy[i] {
+			t.Fatalf("decision %d differs once unmatched traffic interleaves: %v vs %v",
+				i, clean[i], noisy[i])
+		}
+	}
+	drops := 0
+	for _, a := range clean {
+		if a == ActDrop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(clean) {
+		t.Fatalf("drop pattern degenerate (%d/%d); seed 21 should mix", drops, len(clean))
+	}
+}

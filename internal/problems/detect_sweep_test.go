@@ -1,0 +1,90 @@
+// Detector conformance sweep: every registered problem, under every model
+// it implements, runs with the online concurrency-bug detectors attached
+// and fault injection off — and must produce zero findings. The detectors'
+// value rests on this: a correct program never trips them, so a finding on
+// a real run is signal, not noise.
+//
+// Chaos variants are excluded: their fault injection is intrinsic to the
+// RunFunc (that is the variant), and injected crashes and drops produce
+// exactly the deadletter/restart traffic the detectors exist to flag.
+package problems_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/actors"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/trace"
+
+	_ "repro/internal/problems/registry"
+)
+
+// TestDetectorConformanceSweep runs each problem × model twice under a
+// fresh detector suite. Per run, the stale-behavior and orphaned-protocol
+// detectors must stay silent; across the two runs, ConfirmOrderRaces over
+// the schedule-independent metrics must confirm nothing — a concurrent send
+// pair delivered in opposite orders with identical observable metrics is
+// exactly the benign multi-producer traffic the two-tier design exists to
+// not report.
+func TestDetectorConformanceSweep(t *testing.T) {
+	const seed = 0xD37EC7
+	for _, name := range core.Default.Names() {
+		spec, err := core.Default.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasSuffix(name, "-chaos") {
+			continue // injection is the variant; see the package comment
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, model := range core.AllModels {
+				if spec.Runs[model] == nil {
+					continue
+				}
+				model := model
+				t.Run(model.String(), func(t *testing.T) {
+					var runs []detect.Run
+					for round := 0; round < 2; round++ {
+						rec := trace.NewRecorder()
+						suite := detect.New()
+						suite.Attach(rec)
+						actors.SetDefaultRecorder(rec)
+						metrics, err := spec.Run(model, conformanceParams[spec.Name], seed)
+						actors.SetDefaultRecorder(nil)
+						if err != nil {
+							t.Fatalf("%s/%s: %v", name, model, err)
+						}
+						for _, f := range suite.Findings() {
+							t.Errorf("%s/%s round %d: false positive: %v", name, model, round, f)
+						}
+						runs = append(runs, detect.Run{
+							Candidates: suite.Candidates(),
+							Metric:     canonicalMetric(spec.Name, metrics),
+						})
+					}
+					for _, f := range detect.ConfirmOrderRaces(runs) {
+						t.Errorf("%s/%s: confirmed order race on a conformant program: %v", name, model, f)
+					}
+				})
+			}
+		})
+	}
+}
+
+// canonicalMetric renders the problem's schedule-independent metrics (the
+// conformance suite's comparableKeys) as the observable outcome handed to
+// ConfirmOrderRaces. Schedule-dependent metrics deliberately stay out: they
+// differ across legal runs, which is not evidence of a bug.
+func canonicalMetric(name string, m core.Metrics) string {
+	keys := append([]string(nil), comparableKeys[name]...)
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d ", k, m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+// Record/replay round-trip over a real problem: a lossy, partitioned
+// singlelanebridge-remote run is recorded through the ambient wire hooks
+// (the same path the CLI -record flag uses), then re-executed from the
+// saved schedule with no injector installed. The replayed run must converge
+// with the safety invariant intact and must reproduce wire loss purely from
+// the recorded schedule.
+package problems_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+
+	_ "repro/internal/problems/registry"
+)
+
+func TestRemoteRecordReplayRoundTrip(t *testing.T) {
+	spec, err := core.Default.Get("singlelanebridge-remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 42
+
+	// Record: 10% frame loss plus a 60ms full partition of the cars↔bridge
+	// link. The run's own metrics() call is the invariant audit — mutual
+	// exclusion and crossing conservation — so a nil error means it held.
+	rec := remote.NewWireRecording(seed)
+	remote.SetAmbientRecording(rec)
+	m, err := spec.Run(core.Actors, core.Params{
+		"red": 2, "blue": 2, "crossings": 6, "drop": 10, "partition": 60,
+	}, seed)
+	remote.SetAmbientRecording(nil)
+	if err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recording captured no frames")
+	}
+	if rec.Drops() == 0 {
+		t.Fatal("drops+partition lost no frames; the round-trip needs a lossy schedule")
+	}
+	t.Logf("recorded %d frames, %d dropped, crossings=%d", rec.Len(), rec.Drops(), m["crossings"])
+
+	// Round-trip through the on-disk format the -record/-replay flags use.
+	path := filepath.Join(t.TempDir(), "bridge.wirelog")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := remote.LoadWireRecording(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: same workload, no drop/partition params — every lost frame
+	// must come from the schedule alone.
+	remote.SetAmbientReplay(loaded)
+	defer remote.SetAmbientReplay(nil)
+	m2, err := spec.Run(core.Actors, core.Params{
+		"red": 2, "blue": 2, "crossings": 6,
+	}, seed)
+	if err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	if m2["crossings"] != m["crossings"] {
+		t.Fatalf("replay completed %d crossings, record run completed %d", m2["crossings"], m["crossings"])
+	}
+	if m2["wireDropped"] == 0 {
+		t.Fatal("replay run lost no frames despite the recorded drops and no injector")
+	}
+}

@@ -179,16 +179,21 @@ func DriveRemoteCars(sys *actors.System, bridge *actors.Ref, red, blue, crossing
 //	tcp=1   — real loopback TCP sockets instead of the in-process transport
 //	drop=N  — (mem transport only) drop N% of wire frames, seeded; AskRetry
 //	          plus the idempotent protocol must still converge
+//	partition=N — (mem transport only) once the nodes are connected, cut the
+//	          cars↔bridge link completely for N ms, then heal; the retry
+//	          budget must absorb the outage
 func RunActorsRemote(p core.Params, seed int64) (core.Metrics, error) {
 	red := p.Get("red", 2)
 	blue := p.Get("blue", 2)
 	crossings := p.Get("crossings", 10)
 	useTCP := p.Get("tcp", 0) == 1
 	dropPct := p.Get("drop", 0)
+	partMS := p.Get("partition", 0)
 
 	var carTransport, bridgeTransport remote.Transport
 	carAddr, bridgeAddr := "cars", "bridge-node"
 	var memNet *remote.MemNetwork
+	var part *faults.Partition
 	if useTCP {
 		carAddr, bridgeAddr = "127.0.0.1:0", "127.0.0.1:0"
 		carTransport, bridgeTransport = remote.TCPTransport{}, remote.TCPTransport{}
@@ -196,8 +201,16 @@ func RunActorsRemote(p core.Params, seed int64) (core.Metrics, error) {
 		memNet = remote.NewMemNetwork()
 		carTransport = memNet.Endpoint(carAddr)
 		bridgeTransport = memNet.Endpoint(bridgeAddr)
+		var injs []faults.Injector
 		if dropPct > 0 {
-			memNet.SetInjector(faults.Drop(seed+7, float64(dropPct)/100, faults.AtSite(faults.SiteWire)))
+			injs = append(injs, faults.Drop(seed+7, float64(dropPct)/100, faults.AtSite(faults.SiteWire)))
+		}
+		if partMS > 0 {
+			part = faults.NewPartition()
+			injs = append(injs, part)
+		}
+		if len(injs) > 0 {
+			memNet.SetInjector(faults.Chain(injs...))
 		}
 	}
 
@@ -229,6 +242,14 @@ func RunActorsRemote(p core.Params, seed int64) (core.Metrics, error) {
 	}
 	if err := carNode.Connect(bridgeNode.Addr(), 5*time.Second); err != nil {
 		return nil, fmt.Errorf("singlelanebridge-remote: %w", err)
+	}
+	// The partition starts only after the link is up: a cut during the
+	// initial dial would fail the whole run instead of modelling an outage
+	// the protocol must survive.
+	if part != nil {
+		part.Cut(carAddr, bridgeAddr)
+		heal := time.AfterFunc(time.Duration(partMS)*time.Millisecond, part.HealAll)
+		defer heal.Stop()
 	}
 
 	m, err := DriveRemoteCars(carNode.System(), bridge, red, blue, crossings, seed)

@@ -24,13 +24,76 @@ type MemNetwork struct {
 	listeners map[string]*memListener
 	inj       faults.Injector
 
+	// record/replay (see replay.go): recording captures the application
+	// frame schedule; replay forces sends into a captured one. At most one
+	// of the two is active; replay takes precedence and bypasses the
+	// injector entirely — the recorded drops already are its decisions.
+	recording *WireRecording
+	replay    *Replayer
+
 	delivered atomic.Int64
 	dropped   atomic.Int64
 }
 
-// NewMemNetwork returns an empty in-process network.
+// NewMemNetwork returns an empty in-process network. If an ambient
+// recording or replay is installed (SetAmbientRecording / SetAmbientReplay,
+// for the CLI -record/-replay flags), the network adopts it.
 func NewMemNetwork() *MemNetwork {
-	return &MemNetwork{listeners: map[string]*memListener{}}
+	m := &MemNetwork{listeners: map[string]*memListener{}}
+	if rec, rep := ambientWire(); rep != nil {
+		m.Replay(rep)
+	} else if rec != nil {
+		m.recording = rec
+	}
+	return m
+}
+
+// Record begins capturing this network's application-frame schedule into a
+// fresh recording carrying seed (the workload's fault-injector seed, stored
+// so a replay harness can rebuild the identical run). The returned recording
+// grows live; Snapshot or Save it once the run has quiesced. Passing the
+// result of a previous Record replaces it; recording stops when the network
+// is replaced or via Replay.
+func (m *MemNetwork) Record(seed int64) *WireRecording {
+	rec := NewWireRecording(seed)
+	m.mu.Lock()
+	m.recording, m.replay = rec, nil
+	m.mu.Unlock()
+	return rec
+}
+
+// Replay forces this network's application frames into rec's schedule (nil
+// stops replaying). While replaying, the fault injector is bypassed for both
+// sends and dials: the recorded drops are re-applied verbatim and dials
+// always succeed, so the re-execution sees exactly the recorded wire.
+func (m *MemNetwork) Replay(rec *WireRecording) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recording = nil
+	if rec == nil {
+		m.replay = nil
+		return
+	}
+	m.replay = NewReplayer(rec)
+}
+
+func (m *MemNetwork) replayer() *Replayer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replay
+}
+
+// recordSend appends one application-frame decision to the active recording,
+// if any. Classification runs only while recording (gob fallback decode is
+// not free), and append order under the recording's lock is the schedule.
+func (m *MemNetwork) recordSend(src, dst string, drop bool, frame []byte) {
+	m.mu.Lock()
+	rec := m.recording
+	m.mu.Unlock()
+	if rec == nil || !isMsgFrame(frame) {
+		return
+	}
+	rec.add(WireEntry{Src: src, Dst: dst, Drop: drop})
 }
 
 // SetInjector installs (or replaces, or clears with nil) the fault injector
@@ -87,8 +150,10 @@ func (e memEndpoint) Dial(addr string) (Conn, error) {
 	// Dials cross the same faulted wire as frames: a cut or lossy link can
 	// refuse connection establishment, which is what keeps a partitioned
 	// link down (redials fail) instead of flapping (drops look like
-	// successful sends).
-	if inj := e.net.injector(); inj != nil {
+	// successful sends). Replay bypasses the injector: the recorded message
+	// schedule already embodies every loss, and connection establishment
+	// must succeed for the scheduled frames to flow.
+	if inj := e.net.injector(); inj != nil && e.net.replayer() == nil {
 		switch d := inj.Decide(faults.WireOp(e.addr, addr, "dial")); d.Action {
 		case faults.ActDrop:
 			e.net.dropped.Add(1)
@@ -166,15 +231,30 @@ func (c *memConn) Send(frame []byte) error {
 		return ErrClosed
 	default:
 	}
-	if inj := c.net.injector(); inj != nil {
-		switch d := inj.Decide(faults.WireOp(c.src, c.dst, fmt.Sprintf("%dB", len(frame)))); d.Action {
-		case faults.ActDrop:
+	if rp := c.net.replayer(); rp != nil {
+		// Replay: application frames take their recorded schedule turn
+		// (possibly a recorded drop); control frames pass unscheduled. The
+		// injector is bypassed — the schedule is its recorded verdicts.
+		if isMsgFrame(frame) && rp.gate(c.src, c.dst) {
+			c.net.dropped.Add(1)
+			return nil
+		}
+	} else {
+		drop := false
+		if inj := c.net.injector(); inj != nil {
+			switch d := inj.Decide(faults.WireOp(c.src, c.dst, fmt.Sprintf("%dB", len(frame)))); d.Action {
+			case faults.ActDrop:
+				drop = true
+			case faults.ActDelay:
+				time.Sleep(d.Delay)
+			}
+		}
+		c.net.recordSend(c.src, c.dst, drop, frame)
+		if drop {
 			// Lost frame: the transport accepted it, the peer never sees
 			// it. The sender cannot tell — that is the point.
 			c.net.dropped.Add(1)
 			return nil
-		case faults.ActDelay:
-			time.Sleep(d.Delay)
 		}
 	}
 	// Copy before handing off: Send must not retain the caller's frame

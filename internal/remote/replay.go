@@ -1,0 +1,217 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Deterministic record/replay of distributed runs over MemNetwork.
+//
+// A recording is the pair (fault-injector seed, global wire schedule): the
+// seed lets the harness rebuild the exact same workload and injector, and
+// the schedule pins the one remaining source of nondeterminism the seed does
+// not cover — the interleaving of application frames across links. Control
+// frames (hello, heartbeat, credit) are liveness machinery, not causality:
+// they are neither recorded nor scheduled, so replays stay live even when
+// their timing differs.
+//
+// Record mode taps memConn.Send after the fault injector has decided each
+// frame's fate, capturing (src, dst, dropped) per application frame in global
+// arrival order. Replay mode replaces the injector entirely: each FrameMsg
+// send consumes its link's next recorded fate and either delivers or
+// re-drops exactly as recorded. The schedule is consumed per link, never
+// blocking the sender: frame *batching* inside a link is timing-dependent,
+// so a concurrent re-execution cannot be forced through the recorded global
+// frame order without stalling its outboxes (sequential workloads interleave
+// identically either way, because each send causally follows the previous
+// delivery). Past the end of a link's schedule the link's final recorded
+// fate extends — a severed link stays severed, a healthy one stays healthy —
+// and a link the recording never saw delivers (fail-open), which keeps
+// replays of slightly-divergent runs live.
+
+// WireEntry is one recorded application-frame send.
+type WireEntry struct {
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+	Drop bool   `json:"drop,omitempty"`
+}
+
+// WireRecording is a replayable capture of one MemNetwork run: the fault
+// seed the workload ran under plus the global application-frame schedule.
+// Safe for concurrent appends (several links record into one schedule).
+type WireRecording struct {
+	mu      sync.Mutex
+	Seed    int64       `json:"seed"`
+	Entries []WireEntry `json:"entries"`
+}
+
+// NewWireRecording returns an empty recording carrying the workload seed.
+func NewWireRecording(seed int64) *WireRecording { return &WireRecording{Seed: seed} }
+
+func (r *WireRecording) add(e WireEntry) {
+	r.mu.Lock()
+	r.Entries = append(r.Entries, e)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded application frames.
+func (r *WireRecording) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.Entries)
+}
+
+// Drops returns how many recorded frames were dropped by the injector.
+func (r *WireRecording) Drops() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.Entries {
+		if e.Drop {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy safe to replay while the original keeps recording.
+func (r *WireRecording) Snapshot() *WireRecording {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &WireRecording{Seed: r.Seed, Entries: append([]WireEntry(nil), r.Entries...)}
+}
+
+// Save writes the recording as JSON to path.
+func (r *WireRecording) Save(path string) error {
+	r.mu.Lock()
+	data, err := json.MarshalIndent(struct {
+		Seed    int64       `json:"seed"`
+		Entries []WireEntry `json:"entries"`
+	}{r.Seed, r.Entries}, "", " ")
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadWireRecording reads a recording written by Save.
+func LoadWireRecording(path string) (*WireRecording, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Seed    int64       `json:"seed"`
+		Entries []WireEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("remote: load recording %s: %w", path, err)
+	}
+	return &WireRecording{Seed: out.Seed, Entries: out.Entries}, nil
+}
+
+// Replayer forces a MemNetwork's application frames through a recorded
+// schedule, one fate FIFO per link. One instance serves all links of one
+// network.
+type Replayer struct {
+	mu    sync.Mutex
+	fates map[string][]bool // per-link recorded drop fates, in order
+	pos   map[string]int    // per-link consumption cursor
+	total int
+}
+
+// NewReplayer builds a replayer for rec.
+func NewReplayer(rec *WireRecording) *Replayer {
+	fates := make(map[string][]bool)
+	total := 0
+	for _, e := range rec.Snapshot().Entries {
+		key := e.Src + "->" + e.Dst
+		fates[key] = append(fates[key], e.Drop)
+		total++
+	}
+	return &Replayer{fates: fates, pos: make(map[string]int), total: total}
+}
+
+// Pos reports replay progress: scheduled fates consumed so far and total.
+// Consumption past a link's schedule (extended fates) does not advance it.
+func (r *Replayer) Pos() (consumed, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.pos {
+		consumed += p
+	}
+	return consumed, r.total
+}
+
+// gate consumes the next recorded fate for (src, dst) and reports whether
+// the frame must be dropped. Past the end of a link's schedule the link's
+// final fate repeats; a link with no recorded frames delivers.
+func (r *Replayer) gate(src, dst string) (drop bool) {
+	key := src + "->" + dst
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fates := r.fates[key]
+	if len(fates) == 0 {
+		return false
+	}
+	i := r.pos[key]
+	if i >= len(fates) {
+		return fates[len(fates)-1]
+	}
+	r.pos[key] = i + 1
+	return fates[i]
+}
+
+// isMsgFrame reports whether frame carries an application message
+// (FrameMsg). v2 frames are classified from their two-byte header; untagged
+// frames fall back to a self-contained gob decode (negotiation and v1 peers).
+// Undecodable frames are treated as control traffic and pass unscheduled.
+func isMsgFrame(frame []byte) bool {
+	if len(frame) == 0 {
+		return false
+	}
+	if frame[0] == frameTagBinary {
+		return len(frame) > 1 && FrameKind(frame[1]) == FrameMsg
+	}
+	w, err := GobCodec{}.Decode(frame)
+	return err == nil && w.Kind == FrameMsg
+}
+
+// --- ambient record/replay ---------------------------------------------------
+
+// The CLI binaries' -record/-replay flags need to reach MemNetworks that
+// workloads construct internally, where no flag can. Like
+// actors.SetDefaultRecorder, these install process-wide defaults adopted by
+// every subsequent NewMemNetwork; libraries and tests should call
+// MemNetwork.Record / MemNetwork.Replay directly.
+var (
+	ambientWireMu    sync.Mutex
+	ambientRecording *WireRecording
+	ambientReplay    *WireRecording
+)
+
+// SetAmbientRecording makes every subsequent NewMemNetwork record into rec
+// (nil restores the default). Multiple networks share the one schedule;
+// typical CLI runs construct exactly one.
+func SetAmbientRecording(rec *WireRecording) {
+	ambientWireMu.Lock()
+	defer ambientWireMu.Unlock()
+	ambientRecording = rec
+}
+
+// SetAmbientReplay makes every subsequent NewMemNetwork replay rec (nil
+// restores the default).
+func SetAmbientReplay(rec *WireRecording) {
+	ambientWireMu.Lock()
+	defer ambientWireMu.Unlock()
+	ambientReplay = rec
+}
+
+func ambientWire() (rec, rep *WireRecording) {
+	ambientWireMu.Lock()
+	defer ambientWireMu.Unlock()
+	return ambientRecording, ambientReplay
+}

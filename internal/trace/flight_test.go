@@ -157,6 +157,93 @@ func TestFlightRecorderSeqOrderAndConcurrency(t *testing.T) {
 	}
 }
 
+// TestDumpUnderConcurrentRecord is the regression guard for pulling the
+// flight recorder mid-run: Dump (and the auto-dump path, via injected
+// faults) races against recording writers on every ring, and each snapshot
+// it takes must still be internally consistent — Seq-sorted, duplicate-free,
+// per-task monotonic, no torn events. Run under -race this also proves the
+// ring and map locking discipline.
+func TestDumpUnderConcurrentRecord(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 2000
+		ringCap   = 32
+	)
+	r := NewFlightRecorder(ringCap)
+	r.OnDump(func(reason string, events []Event) { checkSnapshot(t, events) })
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			task := fmt.Sprintf("w%d", w)
+			for i := 0; i < perWriter; i++ {
+				kind := KindLocal
+				if i%500 == 250 {
+					kind = KindFault // exercise maybeAutoDump under load
+				}
+				r.Record(task, kind, "obj", fmt.Sprintf("v%d", i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	dumperDone := make(chan struct{})
+	go func() {
+		defer close(dumperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				checkSnapshot(t, r.Dump("concurrent"))
+			}
+		}
+	}()
+	writersWG.Wait()
+	close(stop)
+	<-dumperDone
+
+	evs := r.Dump("final")
+	checkSnapshot(t, evs)
+	if got, want := len(evs), writers*ringCap; got != want {
+		t.Fatalf("final snapshot retained %d events, want %d (full rings)", got, want)
+	}
+	if r.Total() != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", r.Total(), writers*perWriter)
+	}
+}
+
+// checkSnapshot asserts the structural invariants every flight snapshot
+// must satisfy regardless of when it was taken. It uses Errorf, not Fatalf:
+// snapshots are checked from the dumper goroutine too, where FailNow must
+// not be called.
+func checkSnapshot(t *testing.T, evs []Event) {
+	t.Helper()
+	seen := make(map[int]bool, len(evs))
+	perTask := map[string]int{}
+	for i, e := range evs {
+		if e.Task == "" || e.TS == 0 {
+			t.Errorf("torn event at %d: %+v", i, e)
+			return
+		}
+		if seen[e.Seq] {
+			t.Errorf("duplicate Seq %d in snapshot", e.Seq)
+			return
+		}
+		seen[e.Seq] = true
+		if i > 0 && e.Seq <= evs[i-1].Seq {
+			t.Errorf("snapshot not Seq-sorted at %d", i)
+			return
+		}
+		if last, ok := perTask[e.Task]; ok && e.Seq <= last {
+			t.Errorf("task %s Seq went backwards", e.Task)
+			return
+		}
+		perTask[e.Task] = e.Seq
+	}
+}
+
 func TestDumpHookExplicit(t *testing.T) {
 	r := NewFlightRecorder(8)
 	r.Record("w", KindLocal, "x", "")

@@ -27,6 +27,8 @@ const (
 	KindExit                // task termination
 	KindFault               // injected fault (drop/delay/panic) on an operation
 	KindRestart             // supervised task restarted after a failure
+	KindBecome              // actor swapped its behavior (handler generation change)
+	KindDeadLetter          // message that could not be delivered (see actors.DeadLetterKind)
 )
 
 var kindNames = map[Kind]string{
@@ -41,8 +43,10 @@ var kindNames = map[Kind]string{
 	KindNotify:  "notify",
 	KindSpawn:   "spawn",
 	KindExit:    "exit",
-	KindFault:   "fault",
-	KindRestart: "restart",
+	KindFault:      "fault",
+	KindRestart:    "restart",
+	KindBecome:     "become",
+	KindDeadLetter: "deadletter",
 }
 
 func (k Kind) String() string {
@@ -106,6 +110,34 @@ type Recorder struct {
 
 	dumpFn   atomic.Pointer[func(reason string, events []Event)]
 	lastDump atomic.Int64 // unixnano of the last auto-dump, for rate limiting
+
+	// eventFn, when set via OnEvent, observes every recorded event online.
+	// On a clocked recorder it fires under the recorder lock, so a detector
+	// sees events in Seq order with their final (post-merge) clocks.
+	eventFn atomic.Pointer[func(Event)]
+}
+
+// OnEvent registers fn to be called for every event as it is recorded (nil
+// clears it). This is the tap the online bug detectors (internal/detect)
+// attach to.
+//
+// On the locked recorders (NewRecorder/NewRecorderCap) fn runs while the
+// recorder's lock is held: invocations are serialized and arrive in Seq
+// order, and fn must not call back into the Recorder. On a flight recorder
+// fn runs under the per-task ring lock instead, so cross-task ordering is
+// not guaranteed (and events carry no vector clocks there).
+func (r *Recorder) OnEvent(fn func(Event)) {
+	if fn == nil {
+		r.eventFn.Store(nil)
+		return
+	}
+	r.eventFn.Store(&fn)
+}
+
+func (r *Recorder) tapEvent(ev Event) {
+	if fn := r.eventFn.Load(); fn != nil {
+		(*fn)(ev)
+	}
 }
 
 // NewRecorder returns an empty, unbounded Recorder.
@@ -142,6 +174,7 @@ func (r *Recorder) Record(task string, kind Kind, object, detail string) Event {
 	var ev Event
 	if r.flight != nil {
 		ev = r.flight.record(task, kind, object, detail)
+		r.tapEvent(ev)
 	} else {
 		r.mu.Lock()
 		ev = r.record(task, kind, object, detail)
@@ -171,6 +204,7 @@ func (r *Recorder) record(task string, kind Kind, object, detail string) Event {
 	} else {
 		r.events = append(r.events, ev)
 	}
+	r.tapEvent(ev)
 	return ev
 }
 
@@ -181,7 +215,9 @@ func (r *Recorder) record(task string, kind Kind, object, detail string) Event {
 // order, not vector clocks.
 func (r *Recorder) RecordSend(task, msgID, detail string) Event {
 	if r.flight != nil {
-		return r.flight.record(task, KindSend, msgID, detail)
+		ev := r.flight.record(task, KindSend, msgID, detail)
+		r.tapEvent(ev)
+		return ev
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -194,7 +230,9 @@ func (r *Recorder) RecordSend(task, msgID, detail string) Event {
 // send was recorded.
 func (r *Recorder) RecordReceive(task, msgID, detail string) Event {
 	if r.flight != nil {
-		return r.flight.record(task, KindReceive, msgID, detail)
+		ev := r.flight.record(task, KindReceive, msgID, detail)
+		r.tapEvent(ev)
+		return ev
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -216,6 +254,7 @@ func (r *Recorder) RecordSync(task string, kind Kind, object, detail string, syn
 	var ev Event
 	if r.flight != nil {
 		ev = r.flight.record(task, kind, object, detail)
+		r.tapEvent(ev)
 	} else {
 		r.mu.Lock()
 		if syncWith != nil {
@@ -341,3 +380,49 @@ func DetectRaces(events []Event) []Race {
 	}
 	return races
 }
+
+// Ordering is the result of a happens-before query between two events.
+type Ordering int
+
+const (
+	OrderConcurrent Ordering = iota // neither event causally precedes the other
+	OrderBefore                     // first event happens-before the second
+	OrderAfter                      // second event happens-before the first
+	OrderEqual                      // identical clocks (same event, or no clocks at all)
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case OrderBefore:
+		return "before"
+	case OrderAfter:
+		return "after"
+	case OrderEqual:
+		return "equal"
+	default:
+		return "concurrent"
+	}
+}
+
+// CausalOrder reports the happens-before relation between two events by
+// their vector clocks. Events from a flight recorder carry no clocks and
+// always compare OrderEqual; callers that need causality there must fall
+// back to Seq order.
+func CausalOrder(a, b Event) Ordering {
+	switch {
+	case a.Clock.Equal(b.Clock):
+		return OrderEqual
+	case a.Clock.Before(b.Clock):
+		return OrderBefore
+	case b.Clock.Before(a.Clock):
+		return OrderAfter
+	default:
+		return OrderConcurrent
+	}
+}
+
+// HappenedBefore reports whether a causally precedes b.
+func HappenedBefore(a, b Event) bool { return CausalOrder(a, b) == OrderBefore }
+
+// ConcurrentEvents reports whether a and b are causally unordered.
+func ConcurrentEvents(a, b Event) bool { return CausalOrder(a, b) == OrderConcurrent }
