@@ -57,12 +57,16 @@ func main() {
 	jsonWirePath := flag.String("json-wire", "", "write the wire hot-path baseline to this file (implies -wire)")
 	withOverload := flag.Bool("overload", false, "also run the overload-protection table")
 	jsonOverloadPath := flag.String("json-overload", "", "write the overload-protection baseline to this file (implies -overload)")
+	withCluster := flag.Bool("cluster", false, "also run the cluster sharding table (full baseline: cmd/loadgen)")
+	clusterOnly := flag.Bool("cluster-only", false, "run only the cluster sharding table (CI smoke)")
 	flag.Parse()
 
-	scale := 1
-	if *quick {
-		scale = 4
+	if *clusterOnly {
+		clusterTable(*reps, scaleOf(*quick))
+		return
 	}
+
+	scale := scaleOf(*quick)
 
 	problemTable(*reps, scale)
 	fmt.Println()
@@ -120,6 +124,19 @@ func main() {
 			}
 		}
 	}
+
+	if *withCluster {
+		fmt.Println()
+		clusterTable(*reps, scale)
+	}
+}
+
+// scaleOf maps -quick to the workload divisor shared by every table.
+func scaleOf(quick bool) int {
+	if quick {
+		return 4
+	}
+	return 1
 }
 
 // obsTable measures what turning observability on costs the actor hot path:

@@ -1,0 +1,121 @@
+// Command loadgen drives the cluster load harness: millions of simulated
+// chat/presence clients multiplexed onto presence grains across a local
+// 3–5 node cluster, with one node killed mid-run to measure tail latency
+// during the rebalance and the recovery time after the kill.
+//
+// Usage:
+//
+//	loadgen [-nodes N] [-clients N] [-grains N] [-workers N] [-shards N]
+//	        [-rebalance-ops N] [-kill=false] [-smoke] [-json FILE]
+//
+// The committed baseline (BENCH_cluster.json) comes from the full-scale
+// run:
+//
+//	go run ./cmd/loadgen -json BENCH_cluster.json
+//
+// -smoke shrinks everything for CI: a few tens of thousands of clients,
+// small grain and worker counts, fast failure-detection clocks, same code
+// path end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster/harness"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster size (3-5)")
+	clients := flag.Int64("clients", 1_000_000, "simulated client population")
+	grains := flag.Int("grains", 4096, "presence grains the clients multiplex onto")
+	workers := flag.Int("workers", 64, "driver goroutines")
+	shards := flag.Int("shards", 128, "ring size")
+	rebalanceOps := flag.Int64("rebalance-ops", 0, "ops driven through the kill window (default clients/5)")
+	kill := flag.Bool("kill", true, "kill one node after the steady phase")
+	smoke := flag.Bool("smoke", false, "reduced CI preset (overrides sizes unless set explicitly)")
+	jsonPath := flag.String("json", "", "write the report to this file (BENCH_cluster.json)")
+	flag.Parse()
+
+	cfg := harness.Config{
+		Nodes:        *nodes,
+		Clients:      *clients,
+		Grains:       *grains,
+		Workers:      *workers,
+		Shards:       *shards,
+		RebalanceOps: *rebalanceOps,
+		Kill:         *kill,
+		Seed:         1,
+	}
+	if *smoke {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["nodes"] {
+			cfg.Nodes = 3
+		}
+		if !set["clients"] {
+			cfg.Clients = 30_000
+		}
+		if !set["grains"] {
+			cfg.Grains = 256
+		}
+		if !set["workers"] {
+			cfg.Workers = 32
+		}
+		if !set["shards"] {
+			cfg.Shards = 32
+		}
+		cfg.HeartbeatInterval = 2 * time.Millisecond
+		cfg.HeartbeatTimeout = 20 * time.Millisecond
+		cfg.SuspectAfter = 60 * time.Millisecond
+	}
+
+	rep, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("cluster %d nodes, %d clients on %d grains, %d workers\n",
+		rep.Nodes, rep.Clients, rep.Grains, rep.Workers)
+	fmt.Printf("steady:    %.1fk ops/sec (%.1fk wire msgs/sec), p50 %.2f ms, p99 %.2f ms over %d ops\n",
+		rep.SteadyRate/1e3, rep.SteadyWireRate/1e3,
+		ms(rep.SteadyP50), ms(rep.SteadyP99), rep.SteadyOps)
+	if rep.RebalanceOps > 0 {
+		fmt.Printf("rebalance: %.1fk ops/sec, p99 %.2f ms over %d ops through the kill\n",
+			rep.RebalanceRate/1e3, ms(rep.RebalanceP99), rep.RebalanceOps)
+		fmt.Printf("recovery:  %.1f ms from kill to first op on a re-homed grain\n", ms(rep.RecoveryTime))
+	}
+	fmt.Printf("lifecycle: %d activations, %d handoffs, %d parked (%d flushed), %d forwards\n",
+		rep.Activations, rep.Handoffs, rep.Parked, rep.ParkedFlush, rep.Forwards)
+
+	if *jsonPath != "" {
+		doc := struct {
+			Note    string         `json:"note"`
+			Command string         `json:"command"`
+			Report  harness.Report `json:"report"`
+		}{
+			Note: "Cluster load-harness baseline: steady-state throughput, tail " +
+				"latency during a mid-run node kill, and recovery time to the " +
+				"first op on a re-homed grain. Machine-dependent: compare shapes " +
+				"(bounded rebalance p99, recovery near SuspectAfter + activation " +
+				"grace), not absolute rates.",
+			Command: "go run ./cmd/loadgen -json BENCH_cluster.json",
+			Report:  rep,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -32,6 +32,14 @@ var ErrPeerUnreachable = errors.New("actors: remote peer unreachable")
 // rather than failing the call.
 var ErrOverloaded = errors.New("actors: target overloaded")
 
+// ErrShardMoving is returned by Ask when the target grain's shard is
+// mid-handoff between cluster nodes (internal/cluster) and the request could
+// be neither delivered nor buffered. Transient by construction: the
+// rebalance completes and the next resolve finds the new owner, so AskRetry
+// treats it exactly like ErrOverloaded — retried with backoff, never
+// fail-fast.
+var ErrShardMoving = errors.New("actors: target shard is moving")
+
 // Ask sends msg to ref and waits for one reply, bridging the asynchronous
 // actor world to synchronous callers (Scala's `!?` / ask pattern). It spawns
 // a temporary actor to receive the reply. If the target is already stopped
@@ -71,6 +79,9 @@ func askCtx(ctx context.Context, sys *System, ref *Ref, msg any, timeout time.Du
 	case statusOverloaded:
 		sys.Stop(tmp)
 		return nil, ErrOverloaded
+	case statusMoving:
+		sys.Stop(tmp)
+		return nil, ErrShardMoving
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -128,10 +139,10 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 // wall-clock budget runs out. It is the at-least-once delivery layer that
 // makes lossy (fault-injected) message paths usable: receivers must treat
 // retried requests idempotently. ErrActorStopped is not retried — a stopped
-// actor will not come back as the same Ref. ErrPeerUnreachable and
-// ErrOverloaded *are* retried: a partitioned peer can heal and an overloaded
-// target drains its backlog, and the backoff schedule is exactly what rides
-// out both.
+// actor will not come back as the same Ref. ErrPeerUnreachable,
+// ErrOverloaded, and ErrShardMoving *are* retried: a partitioned peer can
+// heal, an overloaded target drains its backlog, and a moving shard lands on
+// its new owner — the backoff schedule is exactly what rides out all three.
 func AskRetry(sys *System, ref *Ref, msg any, rc RetryConfig) (any, error) {
 	return AskRetryCtx(context.Background(), sys, ref, msg, rc)
 }

@@ -17,6 +17,13 @@ const (
 	// DLOverloaded and Ask fails fast with ErrOverloaded, which AskRetry
 	// backs off on.
 	ProxyOverloaded
+	// ProxyMoving: the target's shard is mid-handoff between cluster nodes
+	// (internal/cluster) and the proxy could neither deliver nor buffer the
+	// envelope. The envelope deadletters as DLMoving and Ask fails fast with
+	// ErrShardMoving — transient by construction: the rebalance completes and
+	// a retry resolves the new owner, so AskRetry backs off on it exactly
+	// like ErrOverloaded.
+	ProxyMoving
 )
 
 // NewProxyRef creates a Ref that stands in for an actor living outside this

@@ -567,6 +567,12 @@ const (
 	// Transient like statusUnreachable: the backlog drains, so Ask surfaces
 	// it as ErrOverloaded, which AskRetry backs off on.
 	statusOverloaded
+	// statusMoving: the target grain's shard is mid-handoff between cluster
+	// nodes and the proxy could neither forward nor buffer the message
+	// (deadlettered as DLMoving). Transient by construction — the rebalance
+	// completes — so Ask surfaces it as ErrShardMoving, which AskRetry backs
+	// off on.
+	statusMoving
 )
 
 func (s *System) deliver(to *Ref, e Envelope) { s.send(to, e) }
@@ -620,6 +626,9 @@ func (s *System) sendMode(to *Ref, e Envelope, mode putMode) deliverStatus {
 		case ProxyOverloaded:
 			s.deadletterKind(to, e, DLOverloaded)
 			return statusOverloaded
+		case ProxyMoving:
+			s.deadletterKind(to, e, DLMoving)
+			return statusMoving
 		}
 		return statusDelivered
 	}
@@ -689,8 +698,14 @@ const (
 	// whose outbox/credit window had no room. Distinct from DLRemote so
 	// dashboards can tell "peer down" from "peer slow".
 	DLOverloaded
+	// DLMoving: the target grain's shard was mid-handoff between cluster
+	// nodes and the cluster proxy could neither forward nor buffer
+	// (internal/cluster). Distinct from DLOverloaded so dashboards can tell
+	// "rebalancing" from "peer slow"; like DLRemote it is a transient signal
+	// the AskRetry layer absorbs.
+	DLMoving
 
-	dlKinds = int(DLOverloaded) + 1
+	dlKinds = int(DLMoving) + 1
 )
 
 func (k DeadLetterKind) String() string {
@@ -707,6 +722,8 @@ func (k DeadLetterKind) String() string {
 		return "remote"
 	case DLOverloaded:
 		return "overloaded"
+	case DLMoving:
+		return "moving"
 	default:
 		return fmt.Sprintf("DeadLetterKind(%d)", int(k))
 	}

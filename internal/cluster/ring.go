@@ -1,0 +1,49 @@
+package cluster
+
+import "hash/fnv"
+
+// The shard ring partitions the grain name space. Names hash onto a fixed
+// number of shards (Config.Shards, default 128), and each shard is owned by
+// exactly one live member chosen by rendezvous (highest-random-weight)
+// hashing: the owner of shard s is the member m maximizing h(m, s). Every
+// node computes ownership locally from its own membership view — there is no
+// placement coordinator — so agreement is exactly as good as membership
+// agreement, which is why activation is additionally fenced by quorum and
+// the suspect grace period (see membership.go).
+//
+// Rendezvous hashing was chosen over a hashed token ring because its
+// redistribution is minimal and exact: when a member dies, only the shards
+// it owned move, each independently to the surviving member that ranks next,
+// and when it returns, exactly those shards move back. No virtual-node
+// tuning, no token metadata to gossip.
+
+// shardOf maps a grain name to its shard.
+func shardOf(name string, shards int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// rendezvous scores one (member, shard) pair; the highest score owns.
+func rendezvous(member string, shard int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{'#', byte(shard), byte(shard >> 8), byte(shard >> 16), byte(shard >> 24)})
+	return h.Sum64()
+}
+
+// ownerAmong picks the rendezvous winner for shard from candidates; empty
+// string when there are none. Ties (astronomically unlikely with fnv64a over
+// distinct addresses) break toward the lexically smaller address so every
+// node picks the same winner.
+func ownerAmong(shard int, candidates []string) string {
+	var owner string
+	var best uint64
+	for _, m := range candidates {
+		s := rendezvous(m, shard)
+		if owner == "" || s > best || (s == best && m < owner) {
+			owner, best = m, s
+		}
+	}
+	return owner
+}

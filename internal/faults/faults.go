@@ -320,13 +320,16 @@ func (s *slowConsumer) Decide(op Op) Decision {
 // through untouched, so a Partition composes in a Chain with message-level
 // policies.
 type Partition struct {
-	mu      sync.Mutex
-	cut     map[[2]string]bool
-	dropped atomic.Int64
+	mu       sync.Mutex
+	cut      map[[2]string]bool
+	isolated map[string]bool
+	dropped  atomic.Int64
 }
 
 // NewPartition returns a Partition with no links cut.
-func NewPartition() *Partition { return &Partition{cut: map[[2]string]bool{}} }
+func NewPartition() *Partition {
+	return &Partition{cut: map[[2]string]bool{}, isolated: map[string]bool{}}
+}
 
 // pairKey normalizes an unordered node pair.
 func pairKey(a, b string) [2]string {
@@ -351,11 +354,30 @@ func (p *Partition) Heal(a, b string) {
 	delete(p.cut, pairKey(a, b))
 }
 
-// HealAll reconnects every cut pair.
+// Isolate cuts node addr off from the entire network: every frame to or
+// from it drops until HealNode. It is the node-kill chaos primitive for
+// cluster tests — unlike Cut it needs no enumeration of peers, so a member
+// discovered mid-run is severed too.
+func (p *Partition) Isolate(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isolated[addr] = true
+}
+
+// HealNode reconnects an isolated node. Pairwise cuts involving it, if any,
+// remain in force.
+func (p *Partition) HealNode(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.isolated, addr)
+}
+
+// HealAll reconnects every cut pair and every isolated node.
 func (p *Partition) HealAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.cut = map[[2]string]bool{}
+	p.isolated = map[string]bool{}
 }
 
 // Dropped returns the number of frames dropped by this partition.
@@ -368,7 +390,7 @@ func (p *Partition) Decide(op Op) Decision {
 		return Decision{}
 	}
 	p.mu.Lock()
-	cut := p.cut[pairKey(src, dst)]
+	cut := p.cut[pairKey(src, dst)] || p.isolated[src] || p.isolated[dst]
 	p.mu.Unlock()
 	if !cut {
 		return Decision{}

@@ -163,3 +163,37 @@ func TestSeededWireDecisionsIgnoreUnmatchedTraffic(t *testing.T) {
 		t.Fatalf("drop pattern degenerate (%d/%d); seed 21 should mix", drops, len(clean))
 	}
 }
+
+func TestPartitionIsolateNode(t *testing.T) {
+	p := NewPartition()
+	p.Isolate("B")
+
+	// Every link touching B drops, in both directions, including dials.
+	for _, op := range []Op{
+		WireOp("A", "B", "x"), WireOp("B", "A", "x"),
+		WireOp("C", "B", "dial"), WireOp("B", "C", "4B"),
+	} {
+		if d := p.Decide(op); d.Action != ActDrop {
+			t.Fatalf("isolated node: %v decided %v, want drop", op, d)
+		}
+	}
+	// Links not touching B are untouched.
+	if d := p.Decide(WireOp("A", "C", "x")); d.Action != ActNone {
+		t.Fatalf("A<->C decided %v while only B isolated", d)
+	}
+
+	p.HealNode("B")
+	if d := p.Decide(WireOp("A", "B", "x")); d.Action != ActNone {
+		t.Fatalf("healed node still dropping: %v", d)
+	}
+
+	// HealAll clears isolation too.
+	p.Isolate("A")
+	p.Cut("A", "C")
+	p.HealAll()
+	for _, op := range []Op{WireOp("A", "B", "x"), WireOp("A", "C", "x")} {
+		if d := p.Decide(op); d.Action != ActNone {
+			t.Fatalf("HealAll left %v dropping: %v", op, d)
+		}
+	}
+}

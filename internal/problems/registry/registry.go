@@ -36,6 +36,7 @@ func All() []*core.Spec {
 		singlelanebridge.Spec(),
 		singlelanebridge.ChaosSpec(),
 		singlelanebridge.RemoteSpec(),
+		singlelanebridge.ClusterSpec(),
 		bookinventory.Spec(),
 		sumworkers.Spec(),
 		threadpool.Spec(),

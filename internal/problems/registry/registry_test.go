@@ -12,7 +12,8 @@ func TestAllProblemsRegistered(t *testing.T) {
 	want := []string{
 		"bookinventory", "boundedbuffer", "boundedbuffer-chaos",
 		"diningphilosophers", "partymatching", "readerswriters",
-		"singlelanebridge", "singlelanebridge-chaos", "singlelanebridge-remote",
+		"singlelanebridge", "singlelanebridge-chaos", "singlelanebridge-cluster",
+		"singlelanebridge-remote",
 		"sleepingbarber", "sumworkers", "threadpool",
 	}
 	if len(names) != len(want) {
@@ -25,13 +26,15 @@ func TestAllProblemsRegistered(t *testing.T) {
 	}
 }
 
-// Every classical problem implements the full three-model matrix; the chaos
-// and remote variants are actor-runtime exercises by design (they exist to
-// drive the supervision tree under injected faults, and the distribution
-// layer over the wire, respectively).
+// Every classical problem implements the full three-model matrix; the chaos,
+// remote and cluster variants are actor-runtime exercises by design (they
+// exist to drive the supervision tree under injected faults, the
+// distribution layer over the wire, and the sharded grain layer through a
+// node kill, respectively).
 func TestModelCoverage(t *testing.T) {
 	for _, spec := range All() {
-		if strings.HasSuffix(spec.Name, "-chaos") || strings.HasSuffix(spec.Name, "-remote") {
+		if strings.HasSuffix(spec.Name, "-chaos") || strings.HasSuffix(spec.Name, "-remote") ||
+			strings.HasSuffix(spec.Name, "-cluster") {
 			if spec.Runs[core.Actors] == nil {
 				t.Errorf("%s: missing actors implementation", spec.Name)
 			}
@@ -56,18 +59,19 @@ func TestModelCoverage(t *testing.T) {
 // plus the chaos variants under the actors runtime.
 func TestFullMatrixSmoke(t *testing.T) {
 	small := map[string]core.Params{
-		"boundedbuffer":           {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
-		"boundedbuffer-chaos":     {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
-		"diningphilosophers":      {"philosophers": 4, "meals": 10},
-		"readerswriters":          {"readers": 3, "writers": 2, "ops": 20},
-		"sleepingbarber":          {"barbers": 1, "chairs": 2, "customers": 30},
-		"partymatching":           {"pairs": 25},
-		"singlelanebridge":        {"red": 2, "blue": 2, "crossings": 10},
-		"singlelanebridge-chaos":  {"red": 2, "blue": 2, "crossings": 10},
-		"singlelanebridge-remote": {"red": 2, "blue": 2, "crossings": 10},
-		"bookinventory":           {"titles": 4, "clients": 3, "ops": 40, "initial": 5},
-		"sumworkers":              {"workers": 3, "n": 5000},
-		"threadpool":              {"workers": 3, "tasks": 60, "queue": 4},
+		"boundedbuffer":            {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
+		"boundedbuffer-chaos":      {"producers": 2, "consumers": 2, "items": 20, "capacity": 3},
+		"diningphilosophers":       {"philosophers": 4, "meals": 10},
+		"readerswriters":           {"readers": 3, "writers": 2, "ops": 20},
+		"sleepingbarber":           {"barbers": 1, "chairs": 2, "customers": 30},
+		"partymatching":            {"pairs": 25},
+		"singlelanebridge":         {"red": 2, "blue": 2, "crossings": 10},
+		"singlelanebridge-chaos":   {"red": 2, "blue": 2, "crossings": 10},
+		"singlelanebridge-cluster": {"red": 2, "blue": 2, "crossings": 10},
+		"singlelanebridge-remote":  {"red": 2, "blue": 2, "crossings": 10},
+		"bookinventory":            {"titles": 4, "clients": 3, "ops": 40, "initial": 5},
+		"sumworkers":               {"workers": 3, "n": 5000},
+		"threadpool":               {"workers": 3, "tasks": 60, "queue": 4},
 	}
 	for _, spec := range All() {
 		params, ok := small[spec.Name]

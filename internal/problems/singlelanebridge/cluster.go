@@ -1,0 +1,287 @@
+package singlelanebridge
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/remote"
+)
+
+// Cluster variant: the bridge controller is a virtual actor ("bridge")
+// placed by the ring on one of three cluster nodes, and the cars drive it
+// through cluster.RefFor — no node knows or cares where the grain lives.
+// Mid-run the grain's host is killed (kill=1, the default): the survivors
+// declare it dead, the shard moves, the grain reactivates on its new owner,
+// and the cars' AskRetry rides straight through the handoff.
+//
+// The controller state is activation-local, so the handoff resets it — which
+// the protocol tolerates by construction: entries are granted against the
+// current direction counts, exits of unknown crossings are acked as
+// duplicates, and the safety invariant is audited on the car side exactly
+// like the remote variant. What the kill adds is the cluster's availability
+// claim: no operation is lost, no car errors out, the run converges with the
+// same audited crossing count.
+
+// driveClusterCars runs the car goroutines of both colors against their own
+// node's grain ref (red from one node, blue from another) with a shared
+// safety auditor. halfway, if non-nil, is closed-on by every car after it
+// completes half its crossings; the caller uses the barrier to kill the
+// grain's host deterministically mid-load.
+func driveClusterCars(redSys, blueSys *actors.System, redRef, blueRef *actors.Ref,
+	red, blue, crossings int, seed int64, halfway *sync.WaitGroup, resume <-chan struct{}) (core.Metrics, error) {
+	var a safetyAuditor
+	errCh := make(chan error, red+blue)
+	var wg sync.WaitGroup
+	car := func(id int64, name string, isRed bool, sys *actors.System, bridge *actors.Ref) {
+		defer wg.Done()
+		rc := actors.RetryConfig{
+			Attempts:   400,
+			Timeout:    50 * time.Millisecond,
+			Backoff:    300 * time.Microsecond,
+			MaxBackoff: 10 * time.Millisecond,
+			Jitter:     0.3,
+			Budget:     60 * time.Second,
+			Seed:       seed + id,
+		}
+		for n := 0; n < crossings; n++ {
+			if halfway != nil && n == (crossings+1)/2 {
+				halfway.Done()
+				<-resume
+			}
+			for {
+				rep, err := actors.AskRetry(sys, bridge, EnterReq{Car: name, N: n, Red: isRed}, rc)
+				if err != nil {
+					errCh <- fmt.Errorf("%s: enter %d: %w", name, n, err)
+					return
+				}
+				if _, ok := rep.(Granted); ok {
+					break
+				}
+				time.Sleep(200 * time.Microsecond) // busy or stale: poll again
+			}
+			a.enter(isRed)
+			a.exit(isRed)
+			for {
+				rep, err := actors.AskRetry(sys, bridge, ExitReq{Car: name, N: n, Red: isRed}, rc)
+				if err != nil {
+					errCh <- fmt.Errorf("%s: exit %d: %w", name, n, err)
+					return
+				}
+				if _, ok := rep.(ExitAck); ok {
+					break
+				}
+			}
+		}
+	}
+	for r := 0; r < red; r++ {
+		wg.Add(1)
+		go car(int64(r), fmt.Sprintf("redCar-%d", r), true, redSys, redRef)
+	}
+	for b := 0; b < blue; b++ {
+		wg.Add(1)
+		go car(int64(100+b), fmt.Sprintf("blueCar-%d", b), false, blueSys, blueRef)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, fmt.Errorf("singlelanebridge-cluster: %w", err)
+	default:
+	}
+	return a.metrics(red, blue, crossings)
+}
+
+// RunActorsCluster runs the bridge as a grain on a three-node cluster.
+// Params:
+//
+//	red, blue, crossings — workload size
+//	kill=1 — isolate the grain's host node once every car is halfway
+//	         through; the grain must reactivate on a survivor and every
+//	         remaining crossing must still complete (default on)
+func RunActorsCluster(p core.Params, seed int64) (core.Metrics, error) {
+	red := p.Get("red", 2)
+	blue := p.Get("blue", 2)
+	crossings := p.Get("crossings", 10)
+	kill := p.Get("kill", 1) == 1
+
+	// The grain factory every node shares: a fresh idempotent controller
+	// state machine per activation (same machine as ServeRemoteBridge).
+	factory := func(name string) actors.Behavior {
+		if name != "bridge" {
+			return nil
+		}
+		onBridge := make(map[string]int)
+		done := make(map[string]int)
+		redOn, blueOn := 0, 0
+		return func(ctx *actors.Context, msg any) {
+			switch m := msg.(type) {
+			case EnterReq:
+				if d, ok := done[m.Car]; ok && m.N <= d {
+					ctx.Reply(EnterStale{})
+					return
+				}
+				if cur, ok := onBridge[m.Car]; ok && cur == m.N {
+					ctx.Reply(Granted{})
+					return
+				}
+				blocked := blueOn
+				if !m.Red {
+					blocked = redOn
+				}
+				if blocked > 0 {
+					ctx.Reply(BusyNack{})
+					return
+				}
+				onBridge[m.Car] = m.N
+				if m.Red {
+					redOn++
+				} else {
+					blueOn++
+				}
+				ctx.Reply(Granted{})
+			case ExitReq:
+				if cur, ok := onBridge[m.Car]; ok && cur == m.N {
+					delete(onBridge, m.Car)
+					done[m.Car] = m.N
+					if m.Red {
+						redOn--
+					} else {
+						blueOn--
+					}
+				}
+				ctx.Reply(ExitAck{})
+			}
+		}
+	}
+
+	net := remote.NewMemNetwork()
+	part := faults.NewPartition()
+	net.SetInjector(part)
+	addrs := []string{"slb-1", "slb-2", "slb-3"}
+	nodes := map[string]*cluster.Cluster{}
+	for i, addr := range addrs {
+		c, err := cluster.New(cluster.Config{
+			ListenAddr:        addr,
+			Transport:         net.Endpoint(addr),
+			Seeds:             addrs,
+			Shards:            16,
+			Grain:             factory,
+			HeartbeatInterval: 2 * time.Millisecond,
+			SuspectAfter:      60 * time.Millisecond,
+			Seed:              seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("singlelanebridge-cluster: node %s: %v", addr, err)
+		}
+		nodes[addr] = c
+		defer c.Close()
+	}
+
+	// Wait for the full membership before placing anything, then pick the
+	// grain's owner under the converged view and drive the cars from the
+	// other two nodes — so killing the owner never kills a driver.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		converged := true
+		for _, c := range nodes {
+			ms, _ := c.Members()
+			alive := 0
+			for _, m := range ms {
+				if m.State == cluster.StateAlive {
+					alive++
+				}
+			}
+			if alive != len(addrs) {
+				converged = false
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("singlelanebridge-cluster: membership never converged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	owner, ok := nodes[addrs[0]].OwnerOf("bridge")
+	if !ok {
+		return nil, fmt.Errorf("singlelanebridge-cluster: no owner for the bridge grain")
+	}
+	var drivers []*cluster.Cluster
+	for _, addr := range addrs {
+		if addr != owner {
+			drivers = append(drivers, nodes[addr])
+		}
+	}
+	redNode, blueNode := drivers[0], drivers[1]
+	redRef := redNode.RefFor("bridge")
+	blueRef := blueNode.RefFor("bridge")
+
+	var halfway *sync.WaitGroup
+	resume := make(chan struct{})
+	if kill {
+		halfway = &sync.WaitGroup{}
+		halfway.Add(red + blue)
+		go func() {
+			halfway.Wait()
+			part.Isolate(owner)
+			close(resume)
+		}()
+	} else {
+		close(resume)
+	}
+
+	m, err := driveClusterCars(redNode.System(), blueNode.System(), redRef, blueRef,
+		red, blue, crossings, seed, halfway, resume)
+	if err != nil {
+		return nil, err
+	}
+
+	if kill {
+		// The handoff must actually have happened: the survivors' view buried
+		// the owner, and the grain reactivated somewhere else (at least two
+		// activations across the cluster: the original plus its successor).
+		var acts int64
+		for _, c := range nodes {
+			acts += c.CounterSnapshot().Activations
+		}
+		if acts < 2 {
+			return nil, fmt.Errorf("singlelanebridge-cluster: kill ran but grain never reactivated (activations=%d)", acts)
+		}
+		newOwner, ok := drivers[0].OwnerOf("bridge")
+		if !ok || newOwner == owner {
+			return nil, fmt.Errorf("singlelanebridge-cluster: bridge still placed on killed node %s", owner)
+		}
+		m["handoffOwnerMoved"] = 1
+		var parked int64
+		for _, c := range nodes {
+			parked += c.CounterSnapshot().Parked
+		}
+		m["clusterParked"] = parked
+	}
+	var forwards int64
+	for _, c := range nodes {
+		forwards += c.CounterSnapshot().Forwards
+	}
+	m["clusterForwards"] = forwards
+	return m, nil
+}
+
+// ClusterSpec returns the registry entry for the cluster variant. Defaults
+// are small and the kill is on: the conformance and detector sweeps then
+// exercise a full killed-node handoff — with zero detector findings — on
+// every run of the registry.
+func ClusterSpec() *core.Spec {
+	return &core.Spec{
+		Name:        "singlelanebridge-cluster",
+		Description: "bridge controller as a virtual actor on a 3-node cluster, host killed mid-run",
+		Defaults:    core.Params{"red": 2, "blue": 2, "crossings": 10, "kill": 1},
+		Runs: map[core.Model]core.RunFunc{
+			core.Actors: RunActorsCluster,
+		},
+	}
+}

@@ -1,0 +1,40 @@
+package singlelanebridge
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestActorsClusterKillsOwner is the CI anchor for the clustered bridge:
+// the grain's host is isolated once every car is halfway through, and the
+// run must still converge — every crossing audited, the grain reactivated
+// on a survivor, the ring re-pointed away from the dead node. The
+// owner-moved and reactivation checks live inside RunActorsCluster (it
+// errors if the handoff never happened), so a nil error here is the whole
+// availability claim.
+func TestActorsClusterKillsOwner(t *testing.T) {
+	m, err := RunActorsCluster(core.Params{"red": 2, "blue": 2, "crossings": 10, "kill": 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m["crossings"], int64(4*10); got != want {
+		t.Fatalf("crossings = %d, want %d", got, want)
+	}
+	if m["handoffOwnerMoved"] != 1 {
+		t.Fatalf("bridge grain never moved off the killed node: %v", m)
+	}
+}
+
+// TestActorsClusterNoKill pins the happy path: with kill=0 the cluster
+// variant is just the remote bridge behind a ring lookup — one activation,
+// same audited crossing count.
+func TestActorsClusterNoKill(t *testing.T) {
+	m, err := RunActorsCluster(core.Params{"red": 2, "blue": 2, "crossings": 10, "kill": 0}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m["crossings"], int64(4*10); got != want {
+		t.Fatalf("crossings = %d, want %d", got, want)
+	}
+}

@@ -44,6 +44,11 @@ type link struct {
 	// cs is the live connection's wire state, for observers only (the
 	// per-link credits gauge); nil between connections.
 	cs atomic.Pointer[connState]
+	// reported is the last liveness state surfaced through
+	// Config.OnLinkState: 0 never reported, 1 up, 2 down. Owned by the
+	// manager goroutine, so transitions are reported exactly once even
+	// across redial churn.
+	reported int8
 }
 
 func newLink(n *Node, peer string) *link {
@@ -93,6 +98,26 @@ func (l *link) depth() int64 { return int64(len(l.outbox)) }
 // isUp reports whether the link has a live, hello'd connection.
 func (l *link) isUp() bool { return l.state.Load() == linkUp }
 
+// notify surfaces a liveness transition through Config.OnLinkState, once per
+// transition (manager goroutine only). The very first down report fires too:
+// a seed peer that refuses the initial dial is exactly what a failure
+// detector needs to hear about.
+func (l *link) notify(up bool) {
+	cb := l.n.cfg.OnLinkState
+	if cb == nil {
+		return
+	}
+	target := int8(2)
+	if up {
+		target = 1
+	}
+	if l.reported == target {
+		return
+	}
+	l.reported = target
+	cb(l.peer, up)
+}
+
 // run is the link's manager loop: dial, serve until the connection dies,
 // back off, repeat. It exits when the node closes.
 func (l *link) run() {
@@ -107,6 +132,7 @@ func (l *link) run() {
 		conn, err := n.tr.Dial(l.peer)
 		if err != nil {
 			l.state.Store(linkDown)
+			l.notify(false)
 			if !l.sleep(n.jitterDur(backoff)) {
 				return
 			}
@@ -123,6 +149,7 @@ func (l *link) run() {
 		established = true
 		l.serve(conn)
 		l.state.Store(linkDown)
+		l.notify(false)
 		_ = conn.Close()
 	}
 }
@@ -151,6 +178,10 @@ type connState struct {
 	granted  atomic.Int64
 	consumed atomic.Int64
 	creditCh chan struct{}
+
+	// clusterOK flips when the peer's hello-ack echoes codecVerCluster:
+	// this connection may carry FrameGossip (reader → writer, like acked).
+	clusterOK atomic.Bool
 }
 
 // available is the remaining credit window; meaningful only when credited.
@@ -186,6 +217,9 @@ func (l *link) serve(conn Conn) {
 		if n.creditsOn() {
 			hello.CodecVer = codecVerCredited
 		}
+		if n.gossipOn() {
+			hello.CodecVer = codecVerCluster
+		}
 	}
 	data, err := n.codec.Encode(hello)
 	if err != nil {
@@ -198,6 +232,7 @@ func (l *link) serve(conn Conn) {
 	n.bytesSent.Add(int64(len(data)))
 	l.lastRecv.Store(time.Now().UnixNano())
 	l.state.Store(linkUp)
+	l.notify(true)
 
 	cs := &connState{creditCh: make(chan struct{}, 1)}
 	l.cs.Store(cs)
@@ -232,15 +267,21 @@ func (l *link) serve(conn Conn) {
 				if w.CodecVer >= codecVerStreaming {
 					cs.acked.Store(true)
 				}
-				if w.CodecVer >= codecVerCredited && n.creditsOn() {
+				if w.CodecVer >= codecVerCredited && n.creditsOn() && w.Seq > 0 {
 					// The credited ack's Seq is the initial window. Order
 					// matters for the gauge only: grant before flipping
 					// credited so a gauge read never sees credited with a
-					// zero window it would misread as a stall.
+					// zero window it would misread as a stall. A v4 ack with
+					// Seq 0 is a cluster peer that does not meter — arming
+					// credits off an empty grant would park the writer
+					// forever, so metering stays off.
 					cs.grant(int64(w.Seq))
 					if cs.credited.CompareAndSwap(false, true) {
 						n.creditedConns.Add(1)
 					}
+				}
+				if w.CodecVer >= codecVerCluster && n.gossipOn() {
+					cs.clusterOK.Store(true)
 				}
 			case FrameCredit:
 				n.creditFramesRecv.Add(1)
@@ -329,6 +370,25 @@ func (l *link) tick(conn Conn, cs *connState) bool {
 		return false
 	}
 	n.bytesSent.Add(int64(len(hb)))
+	// Membership gossip rides the same cadence: one digest per tick, on
+	// connections whose hello-ack granted codecVerCluster. The digest is
+	// opaque bytes in the To field — a self-contained frame, so a drop costs
+	// one round of dissemination, never the payload session. Encoded into
+	// the writer-owned scratch buffer (tick runs on the manager goroutine,
+	// same as writeBatch).
+	if g := n.cfg.Gossip; g != nil && cs.clusterOK.Load() {
+		if digest := g.GossipDigest(l.peer); len(digest) > 0 {
+			cs.scratch = appendEnvelope(cs.scratch[:0], &WireEnvelope{
+				Kind: FrameGossip, FromAddr: n.addr,
+				To: string(digest), Lamport: n.clock.Tick(),
+			})
+			if err := conn.Send(cs.scratch); err != nil {
+				return false
+			}
+			n.bytesSent.Add(int64(len(cs.scratch)))
+			n.gossipSent.Add(1)
+		}
+	}
 	return true
 }
 
@@ -351,9 +411,18 @@ func (l *link) decodeInbound(frame []byte) (WireEnvelope, error) {
 }
 
 // maybeUpgrade flips the connection to v2 framing once the peer's hello-ack
-// has arrived, creating the outbound payload session.
+// has arrived, creating the outbound payload session — unless the transport
+// is in record/replay mode. A streaming session's frames are decodable only
+// in encode order (gob type descriptors ride the first frame that needs
+// them), which is exactly what the replayer's reorder buffer violates when
+// it forces a divergent re-execution back into the recorded content order.
+// Determinism mode therefore keeps every frame self-contained: reorderable,
+// and byte-comparable between the recorded and replayed runs.
 func (cs *connState) maybeUpgrade(n *Node) {
 	if cs.v2 || !cs.acked.Load() {
+		return
+	}
+	if st, ok := n.tr.(contentStamper); ok && st.stampContent() {
 		return
 	}
 	cs.v2 = true

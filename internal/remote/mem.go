@@ -31,9 +31,19 @@ type MemNetwork struct {
 	recording *WireRecording
 	replay    *Replayer
 
+	// stamping mirrors (recording != nil || replay != nil) as an atomic so
+	// Node.forward can ask "stamp content fingerprints?" per send without
+	// taking the network lock (see WireEnvelope.Content).
+	stamping atomic.Bool
+
 	delivered atomic.Int64
 	dropped   atomic.Int64
 }
+
+// contentStamper is the optional Transport capability Node.forward probes to
+// decide whether to stamp WireEnvelope.Content: true while the transport's
+// network is recording or replaying.
+type contentStamper interface{ stampContent() bool }
 
 // NewMemNetwork returns an empty in-process network. If an ambient
 // recording or replay is installed (SetAmbientRecording / SetAmbientReplay,
@@ -58,6 +68,7 @@ func (m *MemNetwork) Record(seed int64) *WireRecording {
 	rec := NewWireRecording(seed)
 	m.mu.Lock()
 	m.recording, m.replay = rec, nil
+	m.stamping.Store(true)
 	m.mu.Unlock()
 	return rec
 }
@@ -72,9 +83,11 @@ func (m *MemNetwork) Replay(rec *WireRecording) {
 	m.recording = nil
 	if rec == nil {
 		m.replay = nil
+		m.stamping.Store(false)
 		return
 	}
 	m.replay = NewReplayer(rec)
+	m.stamping.Store(true)
 }
 
 func (m *MemNetwork) replayer() *Replayer {
@@ -90,10 +103,14 @@ func (m *MemNetwork) recordSend(src, dst string, drop bool, frame []byte) {
 	m.mu.Lock()
 	rec := m.recording
 	m.mu.Unlock()
-	if rec == nil || !isMsgFrame(frame) {
+	if rec == nil {
 		return
 	}
-	rec.add(WireEntry{Src: src, Dst: dst, Drop: drop})
+	isMsg, content := msgFrameInfo(frame)
+	if !isMsg {
+		return
+	}
+	rec.add(WireEntry{Src: src, Dst: dst, Drop: drop, Content: content})
 }
 
 // SetInjector installs (or replaces, or clears with nil) the fault injector
@@ -126,6 +143,10 @@ type memEndpoint struct {
 	net  *MemNetwork
 	addr string
 }
+
+// stampContent implements contentStamper: nodes on this network stamp
+// payload fingerprints while it records or replays.
+func (e memEndpoint) stampContent() bool { return e.net.stamping.Load() }
 
 func (e memEndpoint) Listen(addr string) (Listener, error) {
 	e.net.mu.Lock()
@@ -231,13 +252,29 @@ func (c *memConn) Send(frame []byte) error {
 		return ErrClosed
 	default:
 	}
+	// followup, when set, emits held frames this send released from the
+	// replayer's reorder buffer; it runs after this frame's own delivery so
+	// releases land behind the frame that unblocked them.
+	var followup func()
 	if rp := c.net.replayer(); rp != nil {
-		// Replay: application frames take their recorded schedule turn
-		// (possibly a recorded drop); control frames pass unscheduled. The
-		// injector is bypassed — the schedule is its recorded verdicts.
-		if isMsgFrame(frame) && rp.gate(c.src, c.dst) {
-			c.net.dropped.Add(1)
-			return nil
+		// Replay: application frames take their recorded schedule turn —
+		// a recorded drop, a hold until their recorded slot, or delivery;
+		// control frames pass unscheduled. The injector is bypassed — the
+		// schedule is its recorded verdicts.
+		if isMsg, content := msgFrameInfo(frame); isMsg {
+			var v replayVerdict
+			v, followup = rp.gateContent(c.src, c.dst, content, frame, c.emitReplay)
+			switch v {
+			case replayDrop:
+				c.net.dropped.Add(1)
+				if followup != nil {
+					followup()
+				}
+				return nil
+			case replayHeld:
+				// The replayer copied the frame; it will emit later.
+				return nil
+			}
 		}
 	} else {
 		drop := false
@@ -266,10 +303,33 @@ func (c *memConn) Send(frame []byte) error {
 	select {
 	case c.out <- buf:
 		c.net.delivered.Add(1)
+		if followup != nil {
+			followup()
+		}
 		return nil
 	case <-c.done:
 		putFrame(buf)
+		if followup != nil {
+			followup() // released frames still try to land; emit handles done
+		}
 		return ErrClosed
+	}
+}
+
+// emitReplay lands one frame released from the replayer's reorder buffer:
+// buf is already a pooled copy, so it is either handed to the receiver or
+// recycled on a recorded drop / dead connection.
+func (c *memConn) emitReplay(buf []byte, drop bool) {
+	if drop {
+		c.net.dropped.Add(1)
+		putFrame(buf)
+		return
+	}
+	select {
+	case c.out <- buf:
+		c.net.delivered.Add(1)
+	case <-c.done:
+		putFrame(buf)
 	}
 }
 

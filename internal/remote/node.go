@@ -61,6 +61,35 @@ type Config struct {
 	// cross-node traces can be merged into one causal diagram. Off by
 	// default: the log grows with traffic.
 	RecordWire bool
+	// Gossip, when set (and the codec supports sessions), makes the node
+	// advertise codecVerCluster and piggyback membership digests on its
+	// heartbeat cadence: every heartbeat tick on a dial-out link whose peer
+	// granted v4 also carries one FrameGossip with GossipDigest's bytes, and
+	// every inbound FrameGossip is handed to OnGossip. Digests are opaque to
+	// this layer — internal/cluster owns their encoding. Both hook methods
+	// run on link goroutines and must not block.
+	Gossip GossipHook
+	// OnLinkState, when set, is called on every dial-out link liveness
+	// transition: up=true once the link's hello is on the wire, up=false
+	// when a dial fails or an established connection dies (heartbeat
+	// timeout included). Exactly one call per transition — redial churn
+	// while a peer stays down does not repeat the down report. This is the
+	// failure-detection signal cluster membership rides; the callback runs
+	// on the link's manager goroutine and must not block.
+	OnLinkState func(peer string, up bool)
+}
+
+// GossipHook is the membership side-channel a cluster layer plugs into a
+// Node: digests ride the existing heartbeat cadence instead of a second
+// timer wheel, so failure detection and state dissemination share one
+// liveness mechanism.
+type GossipHook interface {
+	// GossipDigest returns the bytes to piggyback on the next heartbeat to
+	// peer; empty means nothing to send this tick. Digests must be
+	// self-contained snapshots (the transport may drop any one of them).
+	GossipDigest(peer string) []byte
+	// OnGossip merges a digest received from the node listening at from.
+	OnGossip(from string, digest []byte)
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +174,10 @@ type Node struct {
 	creditedConns    atomic.Int64
 	inboundShed      atomic.Int64
 
+	// Gossip counters: FrameGossip traffic in each direction.
+	gossipSent atomic.Int64
+	gossipRecv atomic.Int64
+
 	// metricsReg/metricsPrefix remember the RegisterMetrics registry so
 	// links created later still get their per-link gauges (guarded by mu).
 	metricsReg    *metrics.Registry
@@ -212,6 +245,17 @@ func (n *Node) creditsOn() bool {
 	return ok
 }
 
+// gossipOn reports whether this node speaks membership gossip (a GossipHook
+// is configured and the codec supports sessions — gossip frames only exist
+// in the v2 binary framing).
+func (n *Node) gossipOn() bool {
+	if n.cfg.Gossip == nil {
+		return false
+	}
+	_, ok := n.codec.(sessionCodec)
+	return ok
+}
+
 // System returns the actor system this node serves.
 func (n *Node) System() *actors.System { return n.sys }
 
@@ -248,6 +292,32 @@ func (n *Node) RefFor(target string) (*actors.Ref, error) {
 	}
 	n.linkTo(addr)
 	return n.proxyRef("name:"+target, target, addr, name, 0), nil
+}
+
+// RefByID returns a proxy Ref addressing the actor with the given system ID
+// on the node at addr, displayed under the given name. It is how a routing
+// layer (internal/cluster) reconstructs a reply path for a message it
+// forwarded on: the origin's address and actor ID travel inside the routed
+// payload, and the final host materializes the sender proxy from them so
+// replies cross the wire directly back to the origin node instead of
+// retracing the forwarding chain. The proxy is cached like every other.
+func (n *Node) RefByID(addr string, id uint64, display string) *actors.Ref {
+	if addr == "" || id == 0 {
+		return nil
+	}
+	n.linkTo(addr)
+	return n.proxyRef(fmt.Sprintf("id:%s#%d", addr, id), display, addr, "", id)
+}
+
+// Forward hands e to the named actor on the node at addr and reports the
+// link's verdict synchronously — the same ProxyStatus a proxy Ref's deliver
+// function returns, without routing through one. Layers that stack their own
+// proxies on top of the wire (internal/cluster) use it so the outer proxy
+// can surface the inner refusal as its own status: returning the status is
+// what lets the caller's System record exactly one deadletter, at the outer
+// layer, with the right kind.
+func (n *Node) Forward(addr, name string, e actors.Envelope) actors.ProxyStatus {
+	return n.forward(addr, name, 0, e)
 }
 
 // Connect blocks until the link to addr is established, or the timeout
@@ -293,6 +363,8 @@ type Stats struct {
 	CreditsGranted    int64 // cumulative messages worth of credit issued
 	OutboxOverflows   int64 // sends shed because a live link's outbox was full
 	InboundShed       int64 // inbound messages shed at a full bounded mailbox
+	GossipFramesSent  int64 // membership digests piggybacked on heartbeat ticks
+	GossipFramesRecv  int64 // membership digests received and handed to the hook
 }
 
 // Stats returns the node's current wire counters.
@@ -317,6 +389,8 @@ func (n *Node) Stats() Stats {
 		CreditsGranted:    n.creditsGranted.Load(),
 		OutboxOverflows:   n.outboxOverflows.Load(),
 		InboundShed:       n.inboundShed.Load(),
+		GossipFramesSent:  n.gossipSent.Load(),
+		GossipFramesRecv:  n.gossipRecv.Load(),
 	}
 }
 
@@ -346,6 +420,8 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.Gauge(prefix+".wire.credits_granted", n.creditsGranted.Load)
 	reg.Gauge(prefix+".wire.outbox_overflows", n.outboxOverflows.Load)
 	reg.Gauge(prefix+".wire.inbound_shed", n.inboundShed.Load)
+	reg.Gauge(prefix+".wire.gossip_sent", n.gossipSent.Load)
+	reg.Gauge(prefix+".wire.gossip_received", n.gossipRecv.Load)
 	reg.Gauge(prefix+".wire.links", func() int64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -479,6 +555,11 @@ func (n *Node) forward(addr, name string, id uint64, e actors.Envelope) actors.P
 		w.FromID = e.Sender.ID()
 		w.FromName = e.Sender.Name()
 	}
+	if st, ok := n.tr.(contentStamper); ok && st.stampContent() {
+		// Record/replay is active on this transport: fingerprint the payload
+		// so the wire schedule can pin same-link content order (replay.go).
+		w.Content = contentHash(name, id, e.Msg)
+	}
 	w.Lamport = n.clock.Tick()
 	// The writer releases w back to the pool the moment it is encoded, so
 	// nothing here may touch w after a successful enqueue.
@@ -590,6 +671,12 @@ func (n *Node) serveConn(c Conn) {
 						n.creditsGranted.Add(cred.granted)
 						ack = n.statics().helloAckCredited
 					}
+					if w.CodecVer >= codecVerCluster && n.gossipOn() {
+						// Cluster hello from a cluster node: the v4 ack
+						// subsumes the credited one (its Seq carries the
+						// window when this node meters, zero when not).
+						ack = n.statics().helloAckCluster
+					}
 					// A failed ack write is the dialer's problem to detect.
 					if c.Send(ack) == nil {
 						n.bytesSent.Add(int64(len(ack)))
@@ -616,6 +703,11 @@ func (n *Node) serveConn(c Conn) {
 			target := n.dispatch(w)
 			if cred != nil {
 				cred.onDelivered(c, target)
+			}
+		case FrameGossip:
+			if g := n.cfg.Gossip; g != nil && w.To != "" {
+				n.gossipRecv.Add(1)
+				g.OnGossip(w.FromAddr, []byte(w.To))
 			}
 		}
 	}
@@ -764,6 +856,7 @@ type staticFrames struct {
 	hbV2, ackV2      []byte // v2 binary framing (nil when the codec lacks sessions)
 	helloAck         []byte
 	helloAckCredited []byte // credited grant variant; nil when credits are off
+	helloAckCluster  []byte // v4 variant (gossip granted); nil when gossip is off
 }
 
 func (s *staticFrames) heartbeat(v2 bool) []byte {
@@ -801,6 +894,18 @@ func (n *Node) statics() *staticFrames {
 				s.helloAckCredited = appendEnvelope(nil, &WireEnvelope{
 					Kind: FrameHelloAck, FromAddr: n.addr,
 					CodecVer: codecVerCredited, Seq: uint64(n.cfg.CreditWindow),
+				})
+			}
+			if n.gossipOn() {
+				// The v4 ack carries the credit window in Seq only when this
+				// node meters; Seq 0 tells the dialer gossip-yes, credits-no.
+				var window uint64
+				if n.creditsOn() {
+					window = uint64(n.cfg.CreditWindow)
+				}
+				s.helloAckCluster = appendEnvelope(nil, &WireEnvelope{
+					Kind: FrameHelloAck, FromAddr: n.addr,
+					CodecVer: codecVerCluster, Seq: window,
 				})
 			}
 		}

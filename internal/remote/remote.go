@@ -56,6 +56,15 @@ const (
 	// frame is healed by the next one. Peers that predate credits never
 	// send or receive one.
 	FrameCredit
+	// FrameGossip piggybacks a cluster-membership digest on the heartbeat
+	// cadence (internal/cluster): each heartbeat tick on a dial-out link
+	// whose hello negotiated codecVerCluster may carry one. The digest
+	// travels as opaque bytes in the To header field — not in Payload — so
+	// gossip frames stay self-contained: a dropped digest never
+	// desynchronizes the streaming payload session, and the next tick's
+	// digest supersedes it (gossip state is convergent, not incremental).
+	// Peers that predate clustering never negotiate v4 and never see one.
+	FrameGossip
 )
 
 func (k FrameKind) String() string {
@@ -72,6 +81,8 @@ func (k FrameKind) String() string {
 		return "hello-ack"
 	case FrameCredit:
 		return "credit"
+	case FrameGossip:
+		return "gossip"
 	default:
 		return fmt.Sprintf("FrameKind(%d)", int(k))
 	}
@@ -112,6 +123,14 @@ type WireEnvelope struct {
 	// so credits ride the existing header with no layout change.
 	Seq     uint64
 	Lamport uint64
+
+	// Content is a payload fingerprint used by wire record/replay to pin
+	// same-link frame *content* order, not just per-link fates: a replayed
+	// run's frames may be batched and sequenced differently, but their
+	// contents match the recorded ones. Stamped by forward() only while a
+	// recording (or replay) with content IDs is active — zero otherwise, so
+	// steady-state traffic pays one header byte and no hashing.
+	Content uint64
 
 	// Payload is the application message (FrameMsg only).
 	Payload any

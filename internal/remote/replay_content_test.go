@@ -1,0 +1,213 @@
+package remote
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/actors"
+)
+
+// contentNodes is replayNodes without the wire log: content-order tests
+// compare delivered payload sequences, not Lamport diagrams.
+func contentNodes(t *testing.T, net *MemNetwork) (a, b *Node) {
+	t.Helper()
+	mk := func(addr string) *Node {
+		n, err := NewNode(Config{
+			ListenAddr:        addr,
+			Transport:         net.Endpoint(addr),
+			HeartbeatInterval: time.Hour,
+			HeartbeatTimeout:  4 * time.Hour,
+			ReconnectMin:      time.Millisecond,
+			ReconnectMax:      10 * time.Millisecond,
+			Seed:              1,
+		})
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", addr, err)
+		}
+		return n
+	}
+	a, b = mk("A"), mk("B")
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+// orderSink registers a "sink" on node b that logs every tPing payload in
+// arrival order.
+func orderSink(b *Node) func() []int {
+	var mu sync.Mutex
+	var got []int
+	sink := b.System().MustSpawn("sink", func(ctx *actors.Context, msg any) {
+		if p, ok := msg.(tPing); ok {
+			mu.Lock()
+			got = append(got, p.N)
+			mu.Unlock()
+		}
+	})
+	b.Register("sink", sink)
+	return func() []int {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]int(nil), got...)
+	}
+}
+
+func waitSeqLen(t *testing.T, seq func() []int, n int) []int {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := seq()
+		if len(s) >= n {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver saw %d/%d messages: %v", len(s), n, s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplayPinsContentOrder is the reorder regression: a schedule whose
+// recorded same-link order differs from the re-execution's natural send
+// order must be enforced byte-for-byte — the replayer holds early frames and
+// releases them in recorded order. The recording is crafted with
+// pairwise-swapped content slots, so a sequential sender (natural order
+// 1,2,3,4,5,6) is delivered as 2,1,4,3,6,5.
+func TestReplayPinsContentOrder(t *testing.T) {
+	recorded := []int{2, 1, 4, 3, 6, 5}
+	rec := NewWireRecording(1)
+	for _, n := range recorded {
+		rec.add(WireEntry{Src: "A", Dst: "B", Content: contentHash("sink", 0, tPing{N: n})})
+	}
+
+	net := NewMemNetwork()
+	net.Replay(rec)
+	a, b := contentNodes(t, net)
+	seq := orderSink(b)
+	ref, err := a.RefFor("sink@B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("B", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 6; n++ {
+		ref.Tell(tPing{N: n})
+	}
+	got := waitSeqLen(t, seq, len(recorded))
+	if !intsEqual(got, recorded) {
+		t.Fatalf("delivery order = %v, want the recorded schedule %v", got, recorded)
+	}
+	if h := net.replayer().Held(); h != 0 {
+		t.Fatalf("%d frames still held after the schedule completed", h)
+	}
+}
+
+// TestReplayContentOrderRoundTrip records a run with racy same-link
+// interleaving — two concurrent senders multiplexed onto one link — and
+// replays it repeatedly: every replay must deliver the identical payload
+// sequence the recorded run produced, which per-link drop fates alone cannot
+// guarantee.
+func TestReplayContentOrderRoundTrip(t *testing.T) {
+	const perSender = 20
+	run := func(net *MemNetwork) []int {
+		a, b := contentNodes(t, net)
+		seq := orderSink(b)
+		ref, err := a.RefFor("sink@B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Connect("B", 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < 2; s++ {
+			wg.Add(1)
+			go func(base int) {
+				defer wg.Done()
+				for i := 0; i < perSender; i++ {
+					ref.Tell(tPing{N: base + i})
+				}
+			}(1 + s*1000)
+		}
+		wg.Wait()
+		return waitSeqLen(t, seq, 2*perSender)
+	}
+
+	recNet := NewMemNetwork()
+	rec := recNet.Record(1)
+	recordedSeq := run(recNet)
+	if rec.Len() != 2*perSender {
+		t.Fatalf("recorded %d frames, want %d", rec.Len(), 2*perSender)
+	}
+	for _, e := range rec.Snapshot().Entries {
+		if e.Content == 0 {
+			t.Fatal("recording is missing content fingerprints")
+		}
+	}
+
+	for i := 0; i < 5; i++ {
+		repNet := NewMemNetwork()
+		repNet.Replay(rec.Snapshot())
+		if got := run(repNet); !intsEqual(got, recordedSeq) {
+			t.Fatalf("replay %d delivery order diverged:\nrecorded %v\nreplayed %v", i, recordedSeq, got)
+		}
+	}
+}
+
+// TestReplayContentStallFailsOpen pins the liveness escape hatch: a held
+// frame whose recorded predecessor never arrives is flushed after the stall
+// timeout and the link runs unscheduled — a divergent re-execution degrades,
+// it does not hang.
+func TestReplayContentStallFailsOpen(t *testing.T) {
+	rec := NewWireRecording(1)
+	// Slot 1 expects a payload the re-execution will never send; slot 2 is
+	// the payload it does send — which therefore parks in the reorder buffer
+	// until the watchdog gives up on the schedule.
+	rec.add(WireEntry{Src: "A", Dst: "B", Content: contentHash("sink", 0, tPing{N: 999})})
+	rec.add(WireEntry{Src: "A", Dst: "B", Content: contentHash("sink", 0, tPing{N: 1})})
+
+	net := NewMemNetwork()
+	net.Replay(rec)
+	a, b := contentNodes(t, net)
+	seq := orderSink(b)
+	ref, err := a.RefFor("sink@B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("B", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ref.Tell(tPing{N: 1})
+
+	// Parked: nothing may arrive before the stall timeout trips.
+	time.Sleep(replayStallTimeout / 4)
+	if s := seq(); len(s) != 0 {
+		t.Fatalf("held frame delivered before its slot or the stall flush: %v", s)
+	}
+	if h := net.replayer().Held(); h != 1 {
+		t.Fatalf("Held = %d, want 1 (the parked frame)", h)
+	}
+	got := waitSeqLen(t, seq, 1)
+	if got[0] != 1 {
+		t.Fatalf("stall flush delivered %v, want [1]", got)
+	}
+	if h := net.replayer().Held(); h != 0 {
+		t.Fatalf("Held = %d after flush, want 0", h)
+	}
+}

@@ -13,7 +13,7 @@ import (
 //	[0]     frameTagBinary (0xB2)
 //	[1]     Kind
 //	[2]     CodecVer
-//	uvarint ToID, FromID, Seq, Lamport
+//	uvarint ToID, FromID, Seq, Lamport, Content
 //	string  To, FromAddr, FromName   (uvarint length + bytes each)
 //	...     payload bytes            (FrameMsg only; a streaming gob session)
 //
@@ -42,6 +42,16 @@ const codecVerStreaming = 2
 // the hello-ack's Seq field.
 const codecVerCredited = 3
 
+// codecVerCluster is the wire version advertised by nodes participating in
+// cluster membership (internal/cluster): it additionally speaks FrameGossip,
+// the membership digest piggybacked on heartbeat ticks. Like credits it
+// degrades pairwise: a v4 dialer against a v3-or-older receiver gets a lower
+// ack and simply never sends gossip on that connection, and a cluster
+// receiver echoes codecVerCluster with the credit window in Seq when it
+// meters (zero Seq means streaming-and-gossip but unmetered — the dialer
+// must not arm credits off an empty grant).
+const codecVerCluster = 4
+
 var (
 	errBadTag    = errors.New("remote: frame does not start with the v2 binary tag")
 	errTruncated = errors.New("remote: truncated envelope header")
@@ -56,6 +66,7 @@ func appendEnvelope(buf []byte, w *WireEnvelope) []byte {
 	buf = binary.AppendUvarint(buf, w.FromID)
 	buf = binary.AppendUvarint(buf, w.Seq)
 	buf = binary.AppendUvarint(buf, w.Lamport)
+	buf = binary.AppendUvarint(buf, w.Content)
 	buf = appendWireString(buf, w.To)
 	buf = appendWireString(buf, w.FromAddr)
 	buf = appendWireString(buf, w.FromName)
@@ -95,7 +106,7 @@ func decodeEnvelopeInto(w *WireEnvelope, frame []byte, cache *internTable) (int,
 		return 0, errBadTag
 	}
 	kind := FrameKind(frame[1])
-	if kind < FrameHello || kind > FrameCredit {
+	if kind < FrameHello || kind > FrameGossip {
 		return 0, fmt.Errorf("remote: invalid frame kind %d", frame[1])
 	}
 	w.Kind = kind
@@ -113,6 +124,9 @@ func decodeEnvelopeInto(w *WireEnvelope, frame []byte, cache *internTable) (int,
 		return 0, err
 	}
 	if w.Lamport, rest, err = readUvarint(rest); err != nil {
+		return 0, err
+	}
+	if w.Content, rest, err = readUvarint(rest); err != nil {
 		return 0, err
 	}
 	var to, fromAddr, fromName []byte

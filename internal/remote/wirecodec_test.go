@@ -12,10 +12,10 @@ func randEnvelope(rng *rand.Rand) *WireEnvelope {
 	strs := []string{"", "sink", "bridge@node-b", "日本語-actor", "x", string(make([]byte, 300))}
 	nums := []uint64{0, 1, 127, 128, 16383, 16384, math.MaxUint32, math.MaxUint64}
 	pick := func() uint64 { return nums[rng.Intn(len(nums))] }
-	kinds := []FrameKind{FrameHello, FrameMsg, FrameHeartbeat, FrameHeartbeatAck, FrameHelloAck, FrameCredit}
+	kinds := []FrameKind{FrameHello, FrameMsg, FrameHeartbeat, FrameHeartbeatAck, FrameHelloAck, FrameCredit, FrameGossip}
 	return &WireEnvelope{
 		Kind:     kinds[rng.Intn(len(kinds))],
-		CodecVer: uint8(rng.Intn(4)),
+		CodecVer: uint8(rng.Intn(5)),
 		To:       strs[rng.Intn(len(strs))],
 		ToID:     pick(),
 		FromAddr: strs[rng.Intn(len(strs))],
@@ -23,6 +23,7 @@ func randEnvelope(rng *rand.Rand) *WireEnvelope {
 		FromName: strs[rng.Intn(len(strs))],
 		Seq:      pick(),
 		Lamport:  pick(),
+		Content:  pick(),
 	}
 }
 
@@ -30,7 +31,7 @@ func envelopeHeadersEqual(a, b *WireEnvelope) bool {
 	return a.Kind == b.Kind && a.CodecVer == b.CodecVer &&
 		a.To == b.To && a.ToID == b.ToID &&
 		a.FromAddr == b.FromAddr && a.FromID == b.FromID && a.FromName == b.FromName &&
-		a.Seq == b.Seq && a.Lamport == b.Lamport
+		a.Seq == b.Seq && a.Lamport == b.Lamport && a.Content == b.Content
 }
 
 func TestEnvelopeRoundTrip(t *testing.T) {
@@ -84,7 +85,7 @@ func TestEnvelopeDecodeRejectsBadInput(t *testing.T) {
 	if _, err := decodeEnvelopeInto(&w, bad, nil); err == nil {
 		t.Fatal("kind 0 decoded without error")
 	}
-	bad[1] = byte(FrameCredit) + 1 // kind above the known range
+	bad[1] = byte(FrameGossip) + 1 // kind above the known range
 	if _, err := decodeEnvelopeInto(&w, bad, nil); err == nil {
 		t.Fatal("out-of-range kind decoded without error")
 	}
