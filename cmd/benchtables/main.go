@@ -59,6 +59,8 @@ func main() {
 	jsonOverloadPath := flag.String("json-overload", "", "write the overload-protection baseline to this file (implies -overload)")
 	withCluster := flag.Bool("cluster", false, "also run the cluster sharding table (full baseline: cmd/loadgen)")
 	clusterOnly := flag.Bool("cluster-only", false, "run only the cluster sharding table (CI smoke)")
+	withTrace := flag.Bool("trace", false, "also run the distributed-tracing overhead table")
+	jsonTracePath := flag.String("json-trace", "", "write the tracing-overhead baseline to this file (implies -trace)")
 	flag.Parse()
 
 	if *clusterOnly {
@@ -119,6 +121,17 @@ func main() {
 		overloadEntries := overloadTable(*reps, scale)
 		if *jsonOverloadPath != "" {
 			if err := writeOverloadBaseline(*jsonOverloadPath, scale, overloadEntries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *withTrace || *jsonTracePath != "" {
+		fmt.Println()
+		traceEntries := traceTable(*reps, scale)
+		if *jsonTracePath != "" {
+			if err := writeTraceBaseline(*jsonTracePath, scale, traceEntries); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 				os.Exit(1)
 			}

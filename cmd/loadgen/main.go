@@ -7,6 +7,16 @@
 //
 //	loadgen [-nodes N] [-clients N] [-grains N] [-workers N] [-shards N]
 //	        [-rebalance-ops N] [-kill=false] [-smoke] [-json FILE]
+//	        [-trace] [-trace-sample N] [-trace-out FILE] [-trace-check]
+//
+// -trace turns on distributed tracing (sampling 1 in -trace-sample client
+// operations, default 64; 1 traces everything): after the kill/rebalance
+// phase the run reports the slowest traces with their per-stage latency
+// attribution (mailbox wait, handler, wire, credit stall, handoff park),
+// -trace-out writes the assembled cross-node timeline as Perfetto/Chrome
+// trace JSON (load it at ui.perfetto.dev), and -trace-check exits nonzero
+// unless at least one complete cross-node trace's stage ledger telescopes
+// to within 10% of its end-to-end latency — the CI gate.
 //
 // The committed baseline (BENCH_cluster.json) comes from the full-scale
 // run:
@@ -26,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/cluster/harness"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,6 +49,10 @@ func main() {
 	kill := flag.Bool("kill", true, "kill one node after the steady phase")
 	smoke := flag.Bool("smoke", false, "reduced CI preset (overrides sizes unless set explicitly)")
 	jsonPath := flag.String("json", "", "write the report to this file (BENCH_cluster.json)")
+	traceOn := flag.Bool("trace", false, "sample distributed traces and report the slowest with stage attribution")
+	traceSample := flag.Int("trace-sample", 64, "trace 1 in N client operations (1 = every op)")
+	traceOut := flag.String("trace-out", "", "write assembled traces as Perfetto/Chrome trace JSON to this file")
+	traceCheck := flag.Bool("trace-check", false, "exit nonzero unless a complete cross-node trace telescopes within 10%")
 	flag.Parse()
 
 	cfg := harness.Config{
@@ -49,6 +64,9 @@ func main() {
 		RebalanceOps: *rebalanceOps,
 		Kill:         *kill,
 		Seed:         1,
+	}
+	if *traceOn || *traceOut != "" || *traceCheck {
+		cfg.TraceSample = *traceSample
 	}
 	if *smoke {
 		set := map[string]bool{}
@@ -92,6 +110,55 @@ func main() {
 	fmt.Printf("lifecycle: %d activations, %d handoffs, %d parked (%d flushed), %d forwards\n",
 		rep.Activations, rep.Handoffs, rep.Parked, rep.ParkedFlush, rep.Forwards)
 
+	if tr := rep.Trace; tr != nil {
+		fmt.Printf("tracing:   1/%d sampled — %d spans in %d traces (%d cross-node, %d complete, %d dead spans)\n",
+			tr.SampleEvery, tr.Spans, tr.Traces, tr.CrossNode, tr.Complete, tr.DeadSpans)
+		fmt.Println("slowest traces (stage attribution):")
+		for _, st := range tr.Slowest {
+			status := ""
+			if !st.Complete {
+				status = " INCOMPLETE"
+			}
+			if st.Dead > 0 {
+				status += fmt.Sprintf(" dead=%d", st.Dead)
+			}
+			fmt.Printf("  %s  %8.2f ms  %d hops on %v  coverage %.2f%s\n",
+				st.Trace, float64(st.DurationNS)/1e6, st.Hops, st.Nodes, st.Coverage, status)
+			fmt.Printf("    ")
+			for _, stage := range []string{"mailbox", "handler", "wire", "stall", "park"} {
+				if ns := st.StagesNS[stage]; ns > 0 {
+					fmt.Printf(" %s=%.2fms", stage, float64(ns)/1e6)
+				}
+			}
+			fmt.Println()
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			if err := trace.ExportChromeSpans(f, rep.TraceViews, nil); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: trace export: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("tracing:   %d traces exported to %s (open at ui.perfetto.dev)\n",
+				len(rep.TraceViews), *traceOut)
+		}
+		if *traceCheck {
+			if err := checkTraces(rep.TraceViews); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: trace check FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("tracing:   check passed — complete cross-node trace telescopes within 10%")
+		}
+	}
+
 	if *jsonPath != "" {
 		doc := struct {
 			Note    string         `json:"note"`
@@ -119,3 +186,34 @@ func main() {
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// checkTraces is the -trace-check gate: at least one assembled trace must
+// cross nodes with every span finished cleanly, carry mailbox, handler and
+// wire time in its ledger, and have a stage sum within 10% of its
+// end-to-end latency.
+func checkTraces(views []trace.TraceView) error {
+	if len(views) == 0 {
+		return fmt.Errorf("no traces assembled")
+	}
+	var cross, complete int
+	for _, tv := range views {
+		if !tv.CrossNode() {
+			continue
+		}
+		cross++
+		if !tv.Complete() {
+			continue
+		}
+		complete++
+		if c := tv.Coverage(); c < 0.9 || c > 1.1 {
+			continue
+		}
+		if tv.StageNS[trace.StageMailbox] > 0 &&
+			tv.StageNS[trace.StageHandler] > 0 &&
+			tv.StageNS[trace.StageWire] > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("none of %d traces (%d cross-node, %d complete) telescopes with a full stage ledger",
+		len(views), cross, complete)
+}

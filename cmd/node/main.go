@@ -64,7 +64,8 @@ func main() {
 	blue := flag.Int("blue", 3, "blue cars")
 	crossings := flag.Int("crossings", 20, "crossings per car")
 	seed := flag.Int64("seed", 1, "workload seed")
-	debugAddr := flag.String("debug", "", "serve /debug/metrics and /debug/flight on this address (e.g. 127.0.0.1:6060)")
+	debugAddr := flag.String("debug", "", "serve /debug/metrics, /debug/flight and /debug/trace on this address (e.g. 127.0.0.1:6060)")
+	traceSample := flag.Int("trace-sample", 64, "(with -debug) sample 1 in N sends for distributed tracing; 0 disables")
 	record := flag.String("record", "", "(-demo only) record the wire schedule to FILE; runs over the in-process transport")
 	replay := flag.String("replay", "", "(-demo only) re-execute the wire schedule in FILE; runs over the in-process transport")
 	drop := flag.Int("drop", 0, "(-demo with -record) drop N%% of wire frames, seeded")
@@ -94,7 +95,7 @@ func main() {
 		}
 	}
 
-	st := newObsStack(*debugAddr)
+	st := newObsStack(*debugAddr, *traceSample)
 	switch {
 	case *serve:
 		runServe(*listen, st)
@@ -113,21 +114,25 @@ func main() {
 // *obsStack is valid and means "not asked for" — every method degrades to
 // the uninstrumented path.
 type obsStack struct {
-	reg *metrics.Registry
-	rec *trace.Recorder
+	reg    *metrics.Registry
+	rec    *trace.Recorder
+	tracer *trace.Tracer
 }
 
-func newObsStack(addr string) *obsStack {
+func newObsStack(addr string, traceSample int) *obsStack {
 	if addr == "" {
 		return nil
 	}
 	st := &obsStack{reg: metrics.NewRegistry(), rec: trace.NewFlightRecorder(0)}
-	_, bound, err := obs.Serve(addr, st.reg, st.rec)
+	if traceSample > 0 {
+		st.tracer = trace.NewTracer(traceSample, 0)
+	}
+	_, bound, err := obs.ServeDebug(addr, obs.Debug{Registry: st.reg, Recorder: st.rec, Tracer: st.tracer})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "node: -debug: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("debug: http://%s/debug/metrics and http://%s/debug/flight\n", bound, bound)
+	fmt.Printf("debug: http://%s/debug/metrics, /debug/flight and /debug/trace\n", bound)
 	return st
 }
 
@@ -138,9 +143,13 @@ func (st *obsStack) system(prefix string) *actors.System {
 	if st == nil {
 		return nil
 	}
+	if st.tracer != nil && st.tracer.NodeName() == "" {
+		st.tracer.SetNode(prefix)
+	}
 	return actors.NewSystem(actors.Config{
 		Obs:      actors.NewObs(st.reg, prefix+".actors"),
 		Recorder: st.rec,
+		Tracer:   st.tracer,
 	})
 }
 

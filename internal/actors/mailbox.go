@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Envelope carries a message together with its sender (which may be nil for
@@ -19,6 +21,19 @@ import (
 type Envelope struct {
 	Msg    any
 	Sender *Ref
+
+	// Span is the distributed-tracing context riding this delivery, nil for
+	// the (vast) untraced majority. The send path originates one for sampled
+	// sends when the system has a Config.Tracer; conduits that already carry
+	// a span (remote dispatch, cluster routing) attach it here so the hop
+	// continues the trace instead of starting a new one.
+	Span *trace.Span
+
+	// noTrace marks an envelope that must not originate a new trace even if
+	// sampling would pick it: in-handler sends of an untraced message (a
+	// trace that starts mid-protocol has no root) and remote deliveries
+	// (the origin node made the sampling decision).
+	noTrace bool
 
 	// traceID pairs this envelope's send and receive events when the
 	// system runs with a trace.Recorder.

@@ -85,6 +85,29 @@ func (r *Ref) TellFromNoWait(sender *Ref, msg any) bool {
 	return r.sys.sendMode(r, Envelope{Msg: msg, Sender: sender}, putNoWait) == statusDelivered
 }
 
+// TellSpan sends msg continuing the given trace span (which may be nil),
+// recording sender. It never originates a new trace — the conduits that use
+// it (cluster routing, tests) carry the origin's sampling decision in sp —
+// and honors the target's admission policy like TellFrom.
+func (r *Ref) TellSpan(sender *Ref, msg any, sp *trace.Span) {
+	if r == nil || r.sys == nil {
+		sp.FinishDead(DLNoRecipient.String(), trace.SpanNow())
+		return
+	}
+	r.sys.deliver(r, Envelope{Msg: msg, Sender: sender, Span: sp, noTrace: true})
+}
+
+// TellSpanNoWait is TellSpan with TellFromNoWait's never-block contract: the
+// remote dispatch path uses it so a traced delivery can continue its span
+// without ever stalling a connection's reader goroutine.
+func (r *Ref) TellSpanNoWait(sender *Ref, msg any, sp *trace.Span) bool {
+	if r == nil || r.sys == nil {
+		sp.FinishDead(DLNoRecipient.String(), trace.SpanNow())
+		return false
+	}
+	return r.sys.sendMode(r, Envelope{Msg: msg, Sender: sender, Span: sp, noTrace: true}, putNoWait) == statusDelivered
+}
+
 // Config controls a System.
 type Config struct {
 	// PerturbSeed, when non-zero, makes every mailbox deliver pending
@@ -153,6 +176,14 @@ type Config struct {
 	// message path free of timestamp reads and shared-counter contention;
 	// see NewObs.
 	Obs *Obs
+	// Tracer, when non-nil, turns on sampled distributed tracing: one in
+	// Tracer.SampleEvery sends entering the system from outside a traced
+	// context originates a trace.Span that rides the envelope through every
+	// mailbox, handler, wire link and cluster handoff it crosses,
+	// accumulating a per-stage latency ledger (docs/OBSERVABILITY.md
+	// "Distributed tracing"). Nil (the default) keeps the message path at
+	// one predictable branch per send.
+	Tracer *trace.Tracer
 }
 
 // System owns a set of actors and their mailboxes.
@@ -259,6 +290,9 @@ func NewSystem(cfg Config) *System {
 	}
 	if cfg.Recorder == nil {
 		s.cfg.Recorder = defaultRecorder.Load()
+	}
+	if cfg.Tracer == nil {
+		s.cfg.Tracer = defaultTracer.Load()
 	}
 	if o := s.cfg.Obs; o != nil {
 		s.obsSample = o.sampleRate()
@@ -405,6 +439,14 @@ func (s *System) processOne(c *cell, e Envelope) (exit bool) {
 	if s.cfg.Recorder != nil && e.traceID != "" {
 		s.cfg.Recorder.RecordReceive(c.ref.String(), e.traceID, fmt.Sprintf("%T", e.Msg))
 	}
+	// Traced delivery: close the mailbox stage (origination/arrival →
+	// dequeue) and expose the span to the behavior, so in-handler sends can
+	// continue the trace and the cluster router can take the span onward.
+	sp := e.Span
+	if sp != nil {
+		sp.Mark(trace.StageMailbox, trace.SpanNow())
+		ctx.span = sp
+	}
 	ctx.sender = e.Sender
 	var panicked bool
 	var reason any
@@ -426,6 +468,20 @@ func (s *System) processOne(c *cell, e Envelope) (exit bool) {
 		t.Stop()
 	} else {
 		panicked, reason = s.invoke(c, ctx, e.Msg)
+	}
+	if sp != nil {
+		// Seal the span unless the handler took it (cluster routing hands
+		// the span to the next hop, which then owns the ledger).
+		now := trace.SpanNow()
+		if !ctx.spanTaken {
+			if panicked {
+				sp.FinishDead("panic", now)
+			} else {
+				sp.Mark(trace.StageHandler, now)
+				sp.Finish(now)
+			}
+		}
+		ctx.span, ctx.spanTaken = nil, false
 	}
 	if panicked {
 		if c.sup == nil {
@@ -607,6 +663,15 @@ func (s *System) sendMode(to *Ref, e Envelope, mode putMode) deliverStatus {
 			time.Sleep(d.Delay)
 		}
 	}
+	// Trace origination: a sampled send entering the system from outside a
+	// traced context grows a span here, before the proxy branch, so remote
+	// and clustered sends are traced from the same point local ones are.
+	// In-handler sends and remote deliveries arrive with Span already set
+	// (continuing their trace) or noTrace set (the origin declined), so the
+	// untraced hot path pays one branch.
+	if tr := s.cfg.Tracer; tr != nil && e.Span == nil && !e.noTrace && !ctrl && tr.Sample() {
+		e.Span = tr.Root(to.name, fmt.Sprintf("%T", e.Msg), trace.SpanNow())
+	}
 	if to.proxy != nil {
 		// Proxied (e.g. remote) target. Control messages never cross a
 		// proxy — a poison pill is a local-system directive, not a wire
@@ -740,16 +805,26 @@ func (s *System) deadletter(to *Ref, e Envelope) {
 func (s *System) deadletterKind(to *Ref, e Envelope, kind DeadLetterKind) {
 	s.deadletters.Add(1)
 	s.dlByKind[kind].Add(1)
+	// A traced message that dies is still a finished span: seal it with the
+	// deadletter kind so the trace that died stays inspectable end to end.
+	if e.Span != nil {
+		e.Span.FinishDead(kind.String(), trace.SpanNow())
+	}
 	if s.cfg.Recorder != nil && !isControl(e.Msg) {
 		// The orphaned-protocol detector consumes these: Task is the sender
 		// whose message died, Object the intended recipient, Detail the kind
-		// plus payload type (which is how a later retry is matched up).
+		// plus payload type (which is how a later retry is matched up). A
+		// traced envelope appends its TraceID so an orphaned-protocol finding
+		// links back to the exact trace that died.
 		dest := to
 		if dest == nil {
 			dest = NoRecipient
 		}
-		s.cfg.Recorder.Record(senderName(e.Sender), trace.KindDeadLetter, dest.String(),
-			fmt.Sprintf("%s %T", kind, e.Msg))
+		detail := fmt.Sprintf("%s %T", kind, e.Msg)
+		if e.Span != nil {
+			detail = fmt.Sprintf("%s trace=%016x", detail, e.Span.Trace)
+		}
+		s.cfg.Recorder.Record(senderName(e.Sender), trace.KindDeadLetter, dest.String(), detail)
 	}
 	if s.cfg.DeadLetter != nil {
 		if to == nil {
@@ -805,6 +880,10 @@ func (s *System) MailboxSize(ref *Ref) int {
 
 // Processed returns the total number of messages processed by all actors.
 func (s *System) Processed() int64 { return s.processed.Load() }
+
+// Tracer returns the system's distributed tracer, nil when tracing is off.
+// The wire layer consults it to negotiate trace-context propagation.
+func (s *System) Tracer() *trace.Tracer { return s.cfg.Tracer }
 
 // DeadLetters returns the count of undeliverable messages.
 func (s *System) DeadLetters() int64 { return s.deadletters.Load() }
@@ -872,6 +951,12 @@ type Context struct {
 	cell    *cell
 	sender  *Ref
 	stopped bool
+
+	// span is the trace context of the message being processed (nil when
+	// untraced); spanTaken flips when a handler hands the span to the next
+	// hop (TakeSpan), telling processOne not to seal it.
+	span      *trace.Span
+	spanTaken bool
 }
 
 // Self returns the actor's own Ref.
@@ -884,8 +969,37 @@ func (c *Context) Sender() *Ref { return c.sender }
 // System returns the owning system, e.g. for Spawn from outside helpers.
 func (c *Context) System() *System { return c.system }
 
-// Send sends msg to to, recording this actor as the sender.
-func (c *Context) Send(to *Ref, msg any) { to.TellFrom(c.self, msg) }
+// Send sends msg to to, recording this actor as the sender. When the
+// message being processed is traced, the send continues its trace as a
+// child span (the next hop); when it is not, the send is marked untraced so
+// no trace can begin mid-protocol.
+func (c *Context) Send(to *Ref, msg any) {
+	if to == nil || to.sys == nil {
+		return
+	}
+	e := Envelope{Msg: msg, Sender: c.self, noTrace: true}
+	if c.span != nil {
+		if tr := c.system.cfg.Tracer; tr != nil {
+			e.Span = tr.Child(c.span, to.name, fmt.Sprintf("%T", msg), trace.SpanNow())
+		}
+	}
+	to.sys.deliver(to, e)
+}
+
+// Span returns the trace span riding the message being processed, nil when
+// the message is untraced.
+func (c *Context) Span() *trace.Span { return c.span }
+
+// TakeSpan transfers ownership of the current message's span to the caller:
+// processOne will not seal it, so the caller must attach it to the next hop
+// (TellSpan, remote forward) or Finish it. The caller should Mark the
+// handler stage at the moment of the handoff. Returns nil when untraced.
+func (c *Context) TakeSpan() *trace.Span {
+	if c.span != nil {
+		c.spanTaken = true
+	}
+	return c.span
+}
 
 // Reply sends msg to the sender of the current message; it is a deadletter
 // if the sender was not recorded.

@@ -150,10 +150,12 @@ type grain struct {
 	last    atomic.Int64 // unix nanos of last delivery (passivation clock)
 }
 
-// parked is one message waiting out a shard handoff.
+// parked is one message waiting out a shard handoff. A span parked with its
+// message keeps measuring: the flush marks the park time into StagePark.
 type parked struct {
 	ge     GrainEnvelope
 	sender *actors.Ref
+	sp     *trace.Span
 }
 
 // Cluster is one node's view of the sharded grain space.
@@ -300,7 +302,10 @@ func (c *Cluster) RefFor(name string) *actors.Ref {
 		if e.Sender != nil {
 			ge.FromAddr, ge.FromID, ge.FromName = c.addr, e.Sender.ID(), e.Sender.Name()
 		}
-		return c.route(ge, e.Sender)
+		// Span ownership only transfers on ProxyDelivered (delivered, parked,
+		// or forwarded); on a refusal it stays with e and the caller's
+		// deadletter path seals it with the refusal kind.
+		return c.route(ge, e.Sender, e.Span)
 	})
 	c.gmu.Lock()
 	defer c.gmu.Unlock()
@@ -314,8 +319,11 @@ func (c *Cluster) RefFor(name string) *actors.Ref {
 // route is the one resolution path: local activation on the owner, a
 // forward to a live remote owner, or the parking buffer while the shard is
 // in motion. Used by the local proxy (hops 0), the inbound router, and the
-// janitor's flush.
-func (c *Cluster) route(ge GrainEnvelope, sender *actors.Ref) actors.ProxyStatus {
+// janitor's flush. sp, when non-nil, is the message's migrating trace span:
+// it travels with the message (into the grain's mailbox, the parking buffer,
+// or the next wire hop); route never seals it — refusals return to a caller
+// whose deadletter path does.
+func (c *Cluster) route(ge GrainEnvelope, sender *actors.Ref, sp *trace.Span) actors.ProxyStatus {
 	if c.isClosed() {
 		return actors.ProxyUnreachable
 	}
@@ -324,29 +332,29 @@ func (c *Cluster) route(ge GrainEnvelope, sender *actors.Ref) actors.ProxyStatus
 	switch {
 	case !ok:
 		// No live candidate at all — park until membership recovers.
-		return c.park(shard, ge, sender)
+		return c.park(shard, ge, sender, sp)
 	case owner == c.addr:
 		if !c.mem.quorate() {
 			// Fenced: we may own this shard on paper, but without a quorum
 			// of live peers we might be the minority side of a partition
 			// whose majority is already re-homing it.
-			return c.park(shard, ge, sender)
+			return c.park(shard, ge, sender, sp)
 		}
 		g, status := c.activate(ge.Grain, shard)
 		if g == nil {
 			if status == actors.ProxyMoving {
-				return c.park(shard, ge, sender)
+				return c.park(shard, ge, sender, sp)
 			}
 			return status
 		}
 		g.last.Store(time.Now().UnixNano())
-		g.ref.TellFrom(sender, ge.Msg)
+		g.ref.TellSpan(sender, ge.Msg, sp)
 		return actors.ProxyDelivered
 	case state == StateSuspect:
 		// The owner is wobbling: its link died but the grace period still
 		// runs. Forwarding would feed a dead link; park instead, and the
 		// janitor redelivers when the owner revives or its shards move.
-		return c.park(shard, ge, sender)
+		return c.park(shard, ge, sender, sp)
 	default:
 		// The other half of the fencing handshake: before this node hands a
 		// message to the new owner, any activation it still hosts for the
@@ -360,7 +368,7 @@ func (c *Cluster) route(ge GrainEnvelope, sender *actors.Ref) actors.ProxyStatus
 			return actors.ProxyMoving
 		}
 		ge.Hops++
-		st := c.node.Forward(owner, RouterName, actors.Envelope{Msg: ge})
+		st := c.node.Forward(owner, RouterName, actors.Envelope{Msg: ge, Span: sp})
 		if st == actors.ProxyDelivered {
 			c.forwards.Add(1)
 		}
@@ -386,8 +394,16 @@ func (c *Cluster) routeInbound(ctx *actors.Context, msg any) {
 		display := fmt.Sprintf("%s@%s", ge.FromName, ge.FromAddr)
 		sender = c.node.RefByID(ge.FromAddr, ge.FromID, display)
 	}
-	if c.route(ge, sender) != actors.ProxyDelivered {
+	// Take ownership of the span so processOne does not seal it when this
+	// handler returns: routing is a relay, and the span belongs to the
+	// message's next hop. The handler stage absorbs the router's own work.
+	sp := ctx.TakeSpan()
+	if sp != nil {
+		sp.Mark(trace.StageHandler, trace.SpanNow())
+	}
+	if c.route(ge, sender, sp) != actors.ProxyDelivered {
 		c.parkedShed.Add(1)
+		sp.FinishDead(actors.DLMoving.String(), trace.SpanNow())
 	}
 }
 
@@ -463,7 +479,7 @@ func (c *Cluster) deposeIfActive(name string) {
 
 // park buffers one message whose shard is mid-handoff. Bounded per shard;
 // overflow is the retryable shed (ProxyMoving → DLMoving → ErrShardMoving).
-func (c *Cluster) park(shard int, ge GrainEnvelope, sender *actors.Ref) actors.ProxyStatus {
+func (c *Cluster) park(shard int, ge GrainEnvelope, sender *actors.Ref, sp *trace.Span) actors.ProxyStatus {
 	c.gmu.Lock()
 	defer c.gmu.Unlock()
 	if c.closed {
@@ -478,7 +494,7 @@ func (c *Cluster) park(shard int, ge GrainEnvelope, sender *actors.Ref) actors.P
 			c.movingSince[shard] = time.Now()
 		}
 	}
-	c.pending[shard] = append(q, parked{ge: ge, sender: sender})
+	c.pending[shard] = append(q, parked{ge: ge, sender: sender, sp: sp})
 	c.parkedTotal.Add(1)
 	return actors.ProxyDelivered
 }
@@ -622,12 +638,16 @@ func (c *Cluster) sweep(now time.Time) {
 
 	for _, f := range flushes {
 		for _, p := range f.batch {
+			// The time spent in the buffer is the handoff-park stage of the
+			// message's span; a re-park just opens another park interval.
+			p.sp.Mark(trace.StagePark, trace.SpanNow())
 			// Redelivery re-enters route, which may re-park under a view
 			// that shifted again — bounded by the same buffer.
-			if st := c.route(p.ge, p.sender); st == actors.ProxyDelivered {
+			if st := c.route(p.ge, p.sender, p.sp); st == actors.ProxyDelivered {
 				c.parkedFlush.Add(1)
 			} else {
 				c.parkedShed.Add(1)
+				p.sp.FinishDead(actors.DLMoving.String(), trace.SpanNow())
 			}
 		}
 		if h := c.handoffHist.Load(); h != nil && !f.started.IsZero() {
@@ -656,9 +676,20 @@ func (c *Cluster) Close() error {
 	}
 	c.closed = true
 	grains := c.grains
+	pending := c.pending
 	c.grains = map[string]*grain{}
 	c.pending = map[int][]parked{}
 	c.gmu.Unlock()
+	for _, q := range pending {
+		for _, p := range q {
+			// Parked messages die with the node; seal their spans so the
+			// measurements drain to the ring instead of leaking.
+			if p.sp != nil {
+				p.sp.Mark(trace.StagePark, trace.SpanNow())
+				p.sp.FinishDead(actors.DLMoving.String(), trace.SpanNow())
+			}
+		}
+	}
 	c.mem.leave()
 	close(c.done)
 	c.wg.Wait()

@@ -18,6 +18,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/remote"
+	"repro/internal/trace"
 )
 
 // Presence is one simulated client's presence update: client Client's Seq'th
@@ -64,6 +66,12 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
 	SuspectAfter      time.Duration
+	// TraceSample, when > 0, turns on distributed tracing on every node:
+	// 1 in TraceSample client operations originates a trace context that
+	// rides the envelope across forwards, handoffs and the wire, and the
+	// report gains a Trace section (assembled cross-node traces, slowest
+	// first, with per-stage attribution). 1 traces every operation.
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +134,50 @@ type Report struct {
 	Parked      int64 `json:"parked"`
 	ParkedFlush int64 `json:"parkedFlush"`
 	Forwards    int64 `json:"forwards"`
+
+	// Trace summarizes the sampled distributed traces (nil when tracing was
+	// off); TraceViews carries the assembled traces themselves, slowest
+	// first, for exporters (loadgen -trace-out feeds them to Perfetto) —
+	// excluded from the JSON report, which wants the summary, not megabytes
+	// of span ledgers.
+	Trace      *TraceReport      `json:"trace,omitempty"`
+	TraceViews []trace.TraceView `json:"-"`
+}
+
+// TraceReport is the report's distributed-tracing section.
+type TraceReport struct {
+	SampleEvery int `json:"sampleEvery"`
+	// Spans is the total finished spans retained across every node's ring;
+	// Traces is how many distinct traces they assemble into.
+	Spans  int `json:"spans"`
+	Traces int `json:"traces"`
+	// CrossNode / Complete / CompleteCrossNode count traces that touched
+	// more than one node, finished every retained span cleanly, and both.
+	CrossNode         int `json:"crossNode"`
+	Complete          int `json:"complete"`
+	CompleteCrossNode int `json:"completeCrossNode"`
+	// DeadSpans counts spans that deadlettered (expected during the kill
+	// window: traces caught mid-handoff die as DLMoving and stay
+	// inspectable).
+	DeadSpans int `json:"deadSpans"`
+	// Slowest lists the slowest traces with their stage rollups.
+	Slowest []SlowTrace `json:"slowest"`
+	// Attribution is the per-grain/per-stage latency table for the most
+	// traced grains (top 10 by span count).
+	Attribution []trace.ActorAttribution `json:"attribution,omitempty"`
+}
+
+// SlowTrace is one assembled trace's summary row.
+type SlowTrace struct {
+	Trace      string           `json:"trace"` // 16-hex TraceID
+	DurationNS int64            `json:"durationNs"`
+	Hops       int              `json:"hops"`
+	Nodes      []string         `json:"nodes"`
+	CrossNode  bool             `json:"crossNode"`
+	Complete   bool             `json:"complete"`
+	Coverage   float64          `json:"coverage"`
+	Dead       int              `json:"dead,omitempty"`
+	StagesNS   map[string]int64 `json:"stagesNs"`
 }
 
 // presenceFactory builds a presence grain: a per-grain roster size and
@@ -158,11 +210,21 @@ func Run(cfg Config) (Report, error) {
 		addrs[i] = fmt.Sprintf("load-%d", i+1)
 	}
 	nodes := make([]*cluster.Cluster, cfg.Nodes)
+	tracers := make([]*trace.Tracer, cfg.Nodes)
 	for i, addr := range addrs {
+		var sys *actors.System
+		if cfg.TraceSample > 0 {
+			// Per-node tracer: each node rings its own finished spans; the
+			// collector below merges them into cross-node traces.
+			tracers[i] = trace.NewTracer(cfg.TraceSample, 0)
+			tracers[i].SetNode(addr)
+			sys = actors.NewSystem(actors.Config{Tracer: tracers[i]})
+		}
 		c, err := cluster.New(cluster.Config{
 			ListenAddr:        addr,
 			Transport:         net.Endpoint(addr),
 			Seeds:             addrs,
+			System:            sys,
 			Shards:            cfg.Shards,
 			Grain:             presenceFactory,
 			HeartbeatInterval: cfg.HeartbeatInterval,
@@ -329,7 +391,68 @@ func Run(cfg Config) (Report, error) {
 		rep.ParkedFlush += s.ParkedFlush
 		rep.Forwards += s.Forwards
 	}
+	if cfg.TraceSample > 0 {
+		rep.Trace, rep.TraceViews = collectTraces(tracers, cfg.TraceSample)
+	}
 	return rep, nil
+}
+
+// collectTraces merges every node's span ring into cross-node traces and
+// summarizes them for the report. Called after the drive phases have
+// quiesced, so in-flight spans are the exception, not the rule.
+func collectTraces(tracers []*trace.Tracer, sampleEvery int) (*TraceReport, []trace.TraceView) {
+	var spans []trace.SpanView
+	for _, tr := range tracers {
+		spans = append(spans, tr.Spans()...)
+	}
+	views := trace.AssembleTraces(spans)
+	tr := &TraceReport{SampleEvery: sampleEvery, Spans: len(spans), Traces: len(views)}
+	for _, tv := range views {
+		if tv.CrossNode() {
+			tr.CrossNode++
+		}
+		if tv.Complete() {
+			tr.Complete++
+			if tv.CrossNode() {
+				tr.CompleteCrossNode++
+			}
+		}
+		tr.DeadSpans += tv.Dead
+	}
+	const topN = 10
+	for _, tv := range views {
+		if len(tr.Slowest) == topN {
+			break
+		}
+		tr.Slowest = append(tr.Slowest, summarizeTrace(tv))
+	}
+	attr := trace.AttributeStages(spans)
+	sort.Slice(attr, func(i, j int) bool { return attr[i].Count > attr[j].Count })
+	if len(attr) > topN {
+		attr = attr[:topN]
+	}
+	tr.Attribution = attr
+	return tr, views
+}
+
+func summarizeTrace(tv trace.TraceView) SlowTrace {
+	st := SlowTrace{
+		Trace:      fmt.Sprintf("%016x", tv.Trace),
+		DurationNS: int64(tv.Duration()),
+		Hops:       len(tv.Spans),
+		Nodes:      tv.Nodes,
+		CrossNode:  tv.CrossNode(),
+		Complete:   tv.Complete(),
+		Coverage:   tv.Coverage(),
+		Dead:       tv.Dead,
+		StagesNS:   map[string]int64{},
+	}
+	for i, d := range tv.StageNS {
+		if d > 0 {
+			st.StagesNS[trace.SpanStage(i).String()] = d
+		}
+	}
+	return st
 }
 
 // waitConverged blocks until every node sees the full membership alive.

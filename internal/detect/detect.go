@@ -419,11 +419,38 @@ func (s *Suite) onBecome(ev trace.Event) {
 // the link layer's transient signal that AskRetry handles).
 var orphanKinds = map[string]bool{"norecipient": true, "dead": true, "overloaded": true}
 
+// cutTraceTag splits an optional trailing " trace=<16 hex>" tag off a
+// deadletter Detail (stamped by the actors runtime when the envelope carried
+// a distributed-trace span). It must be suffix detection, not field
+// splitting: the message-type portion of the Detail is a Go %T and can
+// itself contain spaces (anonymous struct types do).
+func cutTraceTag(detail string) (rest, traceID string) {
+	const tag = " trace="
+	i := strings.LastIndex(detail, tag)
+	if i < 0 {
+		return detail, ""
+	}
+	id := detail[i+len(tag):]
+	if len(id) != 16 {
+		return detail, ""
+	}
+	for _, c := range id {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return detail, ""
+		}
+	}
+	return detail[:i], id
+}
+
 func (s *Suite) onDeadLetter(ev trace.Event) {
 	if s.quiesced {
 		return // teardown noise: the system is deliberately winding down
 	}
-	kind, msgType, ok := strings.Cut(ev.Detail, " ")
+	// Strip the trace stamp before parsing: the orphan identity (and the
+	// retry match against later sends, whose Detail is the bare %T) must not
+	// depend on which trace happened to be sampled.
+	detail, _ := cutTraceTag(ev.Detail)
+	kind, msgType, ok := strings.Cut(detail, " ")
 	if !ok || !orphanKinds[kind] {
 		return
 	}
@@ -453,11 +480,19 @@ func (s *Suite) Findings() []Finding {
 		}
 	}
 	for k, ev := range s.orphans {
+		detail, traceID := cutTraceTag(ev.Detail)
+		summary := fmt.Sprintf("message %s from %s deadlettered (%s) with no later retry to %q",
+			k.msgType, ev.Task, strings.Fields(detail)[0], k.dest)
+		if traceID != "" {
+			// The envelope carried a sampled distributed-trace span; name it
+			// so the finding links to the exact trace that died (visible in
+			// /debug/trace and the loadgen -trace report).
+			summary += " (trace " + traceID + ")"
+		}
 		out = append(out, Finding{
 			Category: OrphanedProtocol,
 			Actor:    k.dest,
-			Summary: fmt.Sprintf("message %s from %s deadlettered (%s) with no later retry to %q",
-				k.msgType, ev.Task, strings.Fields(ev.Detail)[0], k.dest),
+			Summary:  summary,
 			Evidence: []trace.Event{ev},
 		})
 	}

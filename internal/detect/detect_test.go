@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/actors"
@@ -162,5 +163,59 @@ func TestCandidateDeliveredOrders(t *testing.T) {
 	c.recvA, c.recvB = 5, 3
 	if c.Delivered() != "ba" {
 		t.Fatalf("Delivered = %q, want ba", c.Delivered())
+	}
+}
+
+// TestOrphanTraceStamp covers the trace-stamped deadletter Detail: the
+// actors runtime appends " trace=<16 hex>" when the dead envelope carried a
+// sampled span, and the orphan detector must (a) key the orphan by the bare
+// message type so an untraced retry still clears it, and (b) name the trace
+// in the finding so it links to the span ledger that died. The message type
+// here is an anonymous struct whose %T contains spaces — the reason the tag
+// is stripped by suffix detection, not field splitting.
+func TestOrphanTraceStamp(t *testing.T) {
+	rec := trace.NewRecorder()
+	const msgType = "struct { A int; B string }"
+	rec.Record("client", trace.KindDeadLetter, "actor(svc)",
+		"norecipient "+msgType+" trace=00c0ffee00c0ffee")
+	suite := Analyze(rec.Events())
+	found := FilterCategory(suite.Findings(), OrphanedProtocol)
+	if len(found) != 1 {
+		t.Fatalf("findings = %v, want one orphan", found)
+	}
+	if !strings.Contains(found[0].Summary, "(trace 00c0ffee00c0ffee)") {
+		t.Fatalf("summary does not name the trace: %q", found[0].Summary)
+	}
+	if !strings.Contains(found[0].Summary, msgType) {
+		t.Fatalf("summary lost the message type: %q", found[0].Summary)
+	}
+
+	// A later (untraced) send of the same payload type to the same-named
+	// destination is the retry: the traced orphan must clear, which only
+	// works if the orphan key stripped the stamp.
+	rec2 := trace.NewRecorder()
+	rec2.Record("client", trace.KindDeadLetter, "actor(svc)",
+		"norecipient "+msgType+" trace=00c0ffee00c0ffee")
+	rec2.Record("client", trace.KindSend, "actor(svc)#1", msgType)
+	if found := FilterCategory(Analyze(rec2.Events()).Findings(), OrphanedProtocol); len(found) != 0 {
+		t.Fatalf("traced orphan survived an untraced retry: %v", found)
+	}
+}
+
+func TestCutTraceTag(t *testing.T) {
+	cases := []struct {
+		in, rest, id string
+	}{
+		{"dead struct { X int } trace=0123456789abcdef", "dead struct { X int }", "0123456789abcdef"},
+		{"dead string", "dead string", ""},
+		{"dead string trace=xyz", "dead string trace=xyz", ""},                             // not hex
+		{"dead string trace=0123", "dead string trace=0123", ""},                           // wrong width
+		{"overloaded x trace=ABCDEF0123456789", "overloaded x trace=ABCDEF0123456789", ""}, // uppercase: not ours
+	}
+	for _, c := range cases {
+		rest, id := cutTraceTag(c.in)
+		if rest != c.rest || id != c.id {
+			t.Errorf("cutTraceTag(%q) = (%q, %q), want (%q, %q)", c.in, rest, id, c.rest, c.id)
+		}
 	}
 }

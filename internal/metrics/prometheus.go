@@ -34,13 +34,32 @@ func PromSanitize(name string) string {
 	return b.String()
 }
 
+// promEscapeHelp escapes a # HELP docstring per the text exposition format:
+// backslash and newline are the only characters with escape sequences there.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promEscapeLabel escapes a label value per the text exposition format:
+// backslash, double quote, and newline. (Not %q — Go quoting escapes more
+// than the format defines, and a strict scraper must see only \\ \" \n.)
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus renders every counter, gauge and histogram in the
 // Prometheus text exposition format (version 0.0.4): counters and gauges as
-// single samples with a # TYPE line, histograms as the conventional
-// cumulative _bucket{le="..."} series plus _sum and _count. Histogram
-// bucket boundaries are the power-of-two nanosecond uppers from
-// LatencyHistogram, exposed in seconds as Prometheus convention wants.
-// Families are emitted in sorted name order so output is diffable.
+// single samples with # HELP and # TYPE lines, histograms as the
+// conventional cumulative _bucket{le="..."} series plus _sum and _count.
+// The HELP text is the original dotted registry name — sanitization is
+// lossy, and the docstring is where a scraped dashboard can recover the
+// name the code uses. Histogram bucket boundaries are the power-of-two
+// nanosecond uppers from LatencyHistogram, exposed in seconds as Prometheus
+// convention wants. Families are emitted in sorted name order so output is
+// diffable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
@@ -84,7 +103,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
-		if err := f.emit(w, PromSanitize(f.name)); err != nil {
+		n := PromSanitize(f.name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, promEscapeHelp(f.name)); err != nil {
+			return err
+		}
+		if err := f.emit(w, n); err != nil {
 			return err
 		}
 	}
@@ -110,7 +133,7 @@ func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
 	for b := 0; b <= last; b++ {
 		cum += s.Counts[b]
 		upper := float64(BucketUpper(b)) / 1e9
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatPromFloat(upper), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promEscapeLabel(formatPromFloat(upper)), cum); err != nil {
 			return err
 		}
 	}

@@ -53,13 +53,21 @@ func parseProm(t *testing.T, text string) map[string]float64 {
 		}
 		if strings.HasPrefix(line, "#") {
 			fields := strings.Fields(line)
-			if len(fields) < 4 || fields[1] != "TYPE" {
+			if len(fields) < 3 || (fields[1] != "TYPE" && fields[1] != "HELP") {
 				t.Fatalf("bad comment line: %q", line)
 			}
-			switch fields[3] {
-			case "counter", "gauge", "histogram":
-			default:
-				t.Fatalf("bad type in %q", line)
+			if !validName(fields[2]) {
+				t.Fatalf("bad family name in %q", line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					t.Fatalf("bad TYPE line: %q", line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Fatalf("bad type in %q", line)
+				}
 			}
 			continue
 		}
@@ -144,6 +152,22 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if !strings.Contains(text, "# TYPE actors_handler_ns histogram") {
 		t.Errorf("missing histogram TYPE line:\n%s", text)
+	}
+	// HELP docstrings carry the original dotted registry name.
+	if !strings.Contains(text, "# HELP actors_handler_ns actors.handler_ns") {
+		t.Errorf("missing histogram HELP line:\n%s", text)
+	}
+	if !strings.Contains(text, "# HELP actors_deadletters actors.deadletters") {
+		t.Errorf("missing counter HELP line:\n%s", text)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	if got := promEscapeHelp("a\\b\nc"); got != `a\\b\nc` {
+		t.Errorf("promEscapeHelp = %q", got)
+	}
+	if got := promEscapeLabel("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("promEscapeLabel = %q", got)
 	}
 }
 

@@ -3,6 +3,8 @@ package remote
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Link lifecycle. A fresh link is connecting: the peer is not yet known to
@@ -182,6 +184,13 @@ type connState struct {
 	// clusterOK flips when the peer's hello-ack echoes codecVerCluster:
 	// this connection may carry FrameGossip (reader → writer, like acked).
 	clusterOK atomic.Bool
+
+	// tracedOK flips when the peer's hello-ack echoes codecVerTraced: this
+	// connection's FrameMsg may carry migrating trace spans. Until then —
+	// and forever against older peers — the writer seals any span at the
+	// wire boundary instead (the trace ends here, but what was measured is
+	// kept).
+	tracedOK atomic.Bool
 }
 
 // available is the remaining credit window; meaningful only when credited.
@@ -219,6 +228,9 @@ func (l *link) serve(conn Conn) {
 		}
 		if n.gossipOn() {
 			hello.CodecVer = codecVerCluster
+		}
+		if n.tracedOn() {
+			hello.CodecVer = codecVerTraced
 		}
 	}
 	data, err := n.codec.Encode(hello)
@@ -283,6 +295,9 @@ func (l *link) serve(conn Conn) {
 				if w.CodecVer >= codecVerCluster && n.gossipOn() {
 					cs.clusterOK.Store(true)
 				}
+				if w.CodecVer >= codecVerTraced && n.tracedOn() {
+					cs.tracedOK.Store(true)
+				}
 			case FrameCredit:
 				n.creditFramesRecv.Add(1)
 				cs.grant(int64(w.Seq))
@@ -308,6 +323,11 @@ func (l *link) serve(conn Conn) {
 	var pending *WireEnvelope
 	defer func() {
 		if pending != nil {
+			if pending.span != nil {
+				// The message dies with the connection; seal the span so
+				// the measurement survives even though the hop did not.
+				pending.span.FinishDead("wire", trace.SpanNow())
+			}
 			putEnvelope(pending)
 		}
 	}()
@@ -342,6 +362,11 @@ func (l *link) serve(conn Conn) {
 			}
 		}
 		if cs.available() > 0 || !cs.credited.Load() {
+			if pending.span != nil {
+				// The park is over: everything since the stall mark was
+				// time spent waiting on the peer's credit window.
+				pending.span.Mark(trace.StageStall, trace.SpanNow())
+			}
 			if pending, ok = l.writeBatch(conn, cs, pending); !ok {
 				return
 			}
@@ -450,7 +475,23 @@ func (l *link) writeBatch(conn Conn, cs *connState, first *WireEnvelope) (pendin
 	w := first
 	frames := int64(0)
 	for {
+		if w.Kind == FrameMsg && w.span != nil && (!cs.v2 || !cs.tracedOK.Load()) {
+			// The peer cannot adopt spans (pre-v5, or the self-contained
+			// fallback format, whose gob encoding never carries the
+			// unexported field): the trace ends at this node's wire
+			// boundary. Charge the outbox wait to the wire stage and seal,
+			// so partial traces still attribute what they saw.
+			now := trace.SpanNow()
+			w.span.Mark(trace.StageWire, now)
+			w.span.Finish(now)
+			w.span = nil
+		}
 		if w.Kind == FrameMsg && cs.credited.Load() && cs.available() <= 0 {
+			if w.span != nil {
+				// Entering a credit park: close out the wire stage so the
+				// stall mark at un-park measures only the park.
+				w.span.Mark(trace.StageWire, trace.SpanNow())
+			}
 			pending = w
 			n.creditStalls.Add(1)
 			break

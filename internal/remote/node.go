@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -256,6 +257,18 @@ func (n *Node) gossipOn() bool {
 	return ok
 }
 
+// tracedOn reports whether this node can migrate trace spans across the wire
+// (its System has a Tracer and the codec supports sessions — span fields only
+// exist in the v2 binary framing). Both sides need a tracer: the dialer to
+// originate and serialize spans, the receiver to adopt them into its ring.
+func (n *Node) tracedOn() bool {
+	if n.sys.Tracer() == nil {
+		return false
+	}
+	_, ok := n.codec.(sessionCodec)
+	return ok
+}
+
 // System returns the actor system this node serves.
 func (n *Node) System() *actors.System { return n.sys }
 
@@ -392,6 +405,46 @@ func (n *Node) Stats() Stats {
 		GossipFramesSent:  n.gossipSent.Load(),
 		GossipFramesRecv:  n.gossipRecv.Load(),
 	}
+}
+
+// LinkInfo is one dial-out link's live state, for introspection surfaces
+// (the /debug/cluster endpoint). Credits is -1 while the connection is down
+// or uncredited — metering does not apply.
+type LinkInfo struct {
+	Peer        string `json:"peer"`
+	State       string `json:"state"` // connecting, up, down
+	OutboxDepth int64  `json:"outbox_depth"`
+	OutboxCap   int    `json:"outbox_cap"`
+	Credits     int64  `json:"credits"`
+}
+
+// Links snapshots every dial-out link, sorted by peer address.
+func (n *Node) Links() []LinkInfo {
+	n.mu.Lock()
+	links := make(map[string]*link, len(n.links))
+	for addr, l := range n.links {
+		links[addr] = l
+	}
+	n.mu.Unlock()
+	out := make([]LinkInfo, 0, len(links))
+	for addr, l := range links {
+		state := "connecting"
+		switch l.state.Load() {
+		case linkUp:
+			state = "up"
+		case linkDown:
+			state = "down"
+		}
+		out = append(out, LinkInfo{
+			Peer:        addr,
+			State:       state,
+			OutboxDepth: l.depth(),
+			OutboxCap:   n.cfg.OutboxCap,
+			Credits:     l.credits(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 // RegisterMetrics exposes the node's counters as gauges named
@@ -560,6 +613,12 @@ func (n *Node) forward(addr, name string, id uint64, e actors.Envelope) actors.P
 		// so the wire schedule can pin same-link content order (replay.go).
 		w.Content = contentHash(name, id, e.Msg)
 	}
+	// The span migrates with the message: ownership transfers to the wire
+	// envelope here, and the link writer either serializes it (traced
+	// connection) or seals it at the wire boundary (older peer). On a
+	// refused enqueue ownership stays with e — the caller's deadletter
+	// path finishes the span with the refusal kind.
+	w.span = e.Span
 	w.Lamport = n.clock.Tick()
 	// The writer releases w back to the pool the moment it is encoded, so
 	// nothing here may touch w after a successful enqueue.
@@ -676,6 +735,14 @@ func (n *Node) serveConn(c Conn) {
 						// subsumes the credited one (its Seq carries the
 						// window when this node meters, zero when not).
 						ack = n.statics().helloAckCluster
+					}
+					if w.CodecVer >= codecVerTraced && n.tracedOn() {
+						// Traced hello from a traced node: the v5 ack grants
+						// span migration on top of whatever the lower rungs
+						// negotiated (Seq carries the credit window exactly
+						// like the v4 ack; capabilities below v5 stay gated
+						// per-feature on both ends).
+						ack = n.statics().helloAckTraced
 					}
 					// A failed ack write is the dialer's problem to detect.
 					if c.Send(ack) == nil {
@@ -857,6 +924,7 @@ type staticFrames struct {
 	helloAck         []byte
 	helloAckCredited []byte // credited grant variant; nil when credits are off
 	helloAckCluster  []byte // v4 variant (gossip granted); nil when gossip is off
+	helloAckTraced   []byte // v5 variant (span migration granted); nil when untraced
 }
 
 func (s *staticFrames) heartbeat(v2 bool) []byte {
@@ -908,6 +976,18 @@ func (n *Node) statics() *staticFrames {
 					CodecVer: codecVerCluster, Seq: window,
 				})
 			}
+			if n.tracedOn() {
+				// Same Seq convention as the v4 ack: the credit window when
+				// this node meters, zero when it does not.
+				var window uint64
+				if n.creditsOn() {
+					window = uint64(n.cfg.CreditWindow)
+				}
+				s.helloAckTraced = appendEnvelope(nil, &WireEnvelope{
+					Kind: FrameHelloAck, FromAddr: n.addr,
+					CodecVer: codecVerTraced, Seq: window,
+				})
+			}
 		}
 		n.staticFr = s
 	})
@@ -933,13 +1013,30 @@ func (n *Node) dispatch(w *WireEnvelope) *actors.Ref {
 		target = n.names[w.To]
 		n.mu.Unlock()
 	}
+	// Rebuild the migrating span the frame carried: the receiving tracer
+	// adopts the accumulated ledger and the wire stage absorbs everything
+	// since the sender's last mark — outbox wait, encode, flight, decode.
+	// A traced frame landing on a tracerless node (possible after a
+	// reconnect renegotiated down) just drops the ledger.
+	var sp *trace.Span
+	if w.traced {
+		if tr := n.sys.Tracer(); tr != nil {
+			actor := w.To
+			if actor == "" && target != nil {
+				actor = target.Name()
+			}
+			sp = tr.Adopt(w.wireSpan, actor, payloadType(w.Payload))
+			sp.Mark(trace.StageWire, trace.SpanNow())
+		}
+	}
 	if target == nil {
 		// Unknown name, or an actor that stopped since the frame was sent
 		// (e.g. the reply of an Ask that already timed out): the existing
 		// deadletter contract, addressed to a tombstone ref so hooks can
-		// still read the intended destination.
+		// still read the intended destination (and seal the span with the
+		// refusal kind).
 		n.remoteDead.Add(1)
-		n.tombstone(w).TellFrom(sender, w.Payload)
+		n.tombstone(w).TellSpan(sender, w.Payload, sp)
 		return nil
 	}
 	// No-wait delivery: this runs on the connection's reader goroutine, and
@@ -947,7 +1044,9 @@ func (n *Node) dispatch(w *WireEnvelope) *actors.Ref {
 	// acks and credit grants for every sender sharing the connection. Where
 	// a local Tell would wait, the reader sheds (DLOverloaded in the local
 	// system) — the credit window, not the reader, is the backpressure.
-	if !target.TellFromNoWait(sender, w.Payload) {
+	// TellSpan also suppresses local trace origination: roots start at the
+	// client's send, never mid-flight on a forwarded message.
+	if !target.TellSpanNoWait(sender, w.Payload, sp) {
 		n.inboundShed.Add(1)
 	}
 	return target

@@ -26,7 +26,11 @@
 // trace.MergeLamport.
 package remote
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // FrameKind discriminates the frames a link carries.
 type FrameKind uint8
@@ -134,6 +138,22 @@ type WireEnvelope struct {
 
 	// Payload is the application message (FrameMsg only).
 	Payload any
+
+	// span is the in-flight distributed trace span migrating with this
+	// envelope, if the message is sampled and the connection negotiated
+	// codecVerTraced. Unexported on purpose: the v1 gob codec reflects only
+	// exported fields, so pre-trace peers never see it — traced nodes talk
+	// to them with spans sealed at the wire boundary instead. The binary
+	// codec carries it explicitly (wirecodec.go) when the frame's traced
+	// flag bit is set.
+	span *trace.Span
+
+	// Inbound side of the migration: the binary decoder parses the span
+	// ledger into wireSpan and sets traced; the dispatch path then rebuilds
+	// a live Span via the receiving node's Tracer.Adopt. Split from span so
+	// decoding stays allocation-free and tracer-free.
+	wireSpan trace.WireSpan
+	traced   bool
 }
 
 // payloadType describes a payload for wire logs without reflecting on nil.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // v2 framing: the hand-rolled binary codec for the fixed envelope header.
@@ -52,6 +54,24 @@ const codecVerCredited = 3
 // must not arm credits off an empty grant).
 const codecVerCluster = 4
 
+// codecVerTraced is the wire version advertised by nodes that can carry
+// distributed trace spans in their message frames. Like credits and gossip
+// it degrades pairwise: a v5 dialer against a v4-or-older receiver gets the
+// lower ack and seals spans at the wire boundary instead of migrating them;
+// a receiver only echoes codecVerTraced when it has a tracer to adopt the
+// spans into. The trace context itself is not negotiated state — each
+// FrameMsg says whether it carries one via msgFlagTraced — so an untraced
+// message on a traced connection still pays zero extra bytes.
+const codecVerTraced = 5
+
+// msgFlagTraced marks a FrameMsg whose header is followed by a trace.WireSpan
+// (the migrating span ledger). It lives in the CodecVer byte, which is
+// documented as zero on every non-hello frame, so pre-trace decoders — which
+// ignore the byte outside negotiation — skip frames they'll never be sent
+// (the flag is only set on connections that negotiated codecVerTraced) and
+// the header layout of v2..v4 frames is untouched.
+const msgFlagTraced = 0x01
+
 var (
 	errBadTag    = errors.New("remote: frame does not start with the v2 binary tag")
 	errTruncated = errors.New("remote: truncated envelope header")
@@ -61,7 +81,12 @@ var (
 // the extended slice. It never fails: every field is length-delimited and
 // bounded only by the transport's maxFrame check at send time.
 func appendEnvelope(buf []byte, w *WireEnvelope) []byte {
-	buf = append(buf, frameTagBinary, byte(w.Kind), w.CodecVer)
+	ver := w.CodecVer
+	traced := w.Kind == FrameMsg && w.span != nil
+	if traced {
+		ver |= msgFlagTraced
+	}
+	buf = append(buf, frameTagBinary, byte(w.Kind), ver)
 	buf = binary.AppendUvarint(buf, w.ToID)
 	buf = binary.AppendUvarint(buf, w.FromID)
 	buf = binary.AppendUvarint(buf, w.Seq)
@@ -70,6 +95,25 @@ func appendEnvelope(buf []byte, w *WireEnvelope) []byte {
 	buf = appendWireString(buf, w.To)
 	buf = appendWireString(buf, w.FromAddr)
 	buf = appendWireString(buf, w.FromName)
+	if traced {
+		buf = appendWireSpan(buf, w.span.Wire())
+	}
+	return buf
+}
+
+// appendWireSpan appends the migrating span ledger after the fixed header:
+// identity, then the running timestamps, then every stage bucket. All
+// uvarints — a fresh root span is ~30 bytes, and only sampled messages on
+// traced connections pay it.
+func appendWireSpan(buf []byte, ws trace.WireSpan) []byte {
+	buf = binary.AppendUvarint(buf, ws.Trace)
+	buf = binary.AppendUvarint(buf, ws.ID)
+	buf = binary.AppendUvarint(buf, ws.Parent)
+	buf = binary.AppendUvarint(buf, uint64(ws.Start))
+	buf = binary.AppendUvarint(buf, uint64(ws.Last))
+	for _, d := range ws.Stages {
+		buf = binary.AppendUvarint(buf, uint64(d))
+	}
 	return buf
 }
 
@@ -146,7 +190,49 @@ func decodeEnvelopeInto(w *WireEnvelope, frame []byte, cache *internTable) (int,
 	} else {
 		w.To, w.FromAddr, w.FromName = string(to), string(fromAddr), string(fromName)
 	}
+	w.traced, w.wireSpan = false, trace.WireSpan{}
+	if w.Kind == FrameMsg && w.CodecVer&msgFlagTraced != 0 {
+		// Self-describing: no negotiation state needed here. Strip the flag
+		// so CodecVer keeps its documented "zero on non-hello frames" shape
+		// for everything downstream (wire logs, record/replay).
+		w.CodecVer &^= msgFlagTraced
+		if rest, err = readWireSpan(&w.wireSpan, rest); err != nil {
+			return 0, err
+		}
+		w.traced = true
+	}
 	return len(frame) - len(rest), nil
+}
+
+// readWireSpan parses the span ledger appendWireSpan wrote. Same
+// error-never-panic contract as the rest of the header.
+func readWireSpan(ws *trace.WireSpan, b []byte) ([]byte, error) {
+	var v uint64
+	var err error
+	if ws.Trace, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if ws.ID, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if ws.Parent, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if v, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	ws.Start = int64(v)
+	if v, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	ws.Last = int64(v)
+	for i := range ws.Stages {
+		if v, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		ws.Stages[i] = int64(v)
+	}
+	return b, nil
 }
 
 func readUvarint(b []byte) (uint64, []byte, error) {

@@ -13,9 +13,18 @@ func randEnvelope(rng *rand.Rand) *WireEnvelope {
 	nums := []uint64{0, 1, 127, 128, 16383, 16384, math.MaxUint32, math.MaxUint64}
 	pick := func() uint64 { return nums[rng.Intn(len(nums))] }
 	kinds := []FrameKind{FrameHello, FrameMsg, FrameHeartbeat, FrameHeartbeatAck, FrameHelloAck, FrameCredit, FrameGossip}
+	kind := kinds[rng.Intn(len(kinds))]
+	ver := uint8(rng.Intn(6))
+	if kind == FrameMsg {
+		// On msg frames bit 0 of the CodecVer byte is the traced flag
+		// (msgFlagTraced), owned by the codec: senders leave the byte zero
+		// there, so a valid generated envelope must not claim a span it
+		// does not carry.
+		ver &^= msgFlagTraced
+	}
 	return &WireEnvelope{
-		Kind:     kinds[rng.Intn(len(kinds))],
-		CodecVer: uint8(rng.Intn(5)),
+		Kind:     kind,
+		CodecVer: ver,
 		To:       strs[rng.Intn(len(strs))],
 		ToID:     pick(),
 		FromAddr: strs[rng.Intn(len(strs))],

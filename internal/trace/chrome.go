@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -14,7 +15,8 @@ type chromeEvent struct {
 	Name  string            `json:"name"`
 	Cat   string            `json:"cat,omitempty"`
 	Phase string            `json:"ph"`
-	TS    float64           `json:"ts"` // microseconds
+	TS    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds, complete ("X") events only
 	PID   int               `json:"pid"`
 	TID   int               `json:"tid"`
 	Scope string            `json:"s,omitempty"`    // instant-event scope
@@ -129,6 +131,154 @@ func ExportChromeLamport(w io.Writer, events []LamportEvent) error {
 			TID:   1,
 			Args:  map[string]string{"lamport": strconv.FormatUint(e.Time, 10)},
 		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ExportChromeSpans writes assembled traces — and, optionally, each node's
+// Lamport-stamped wire log — as one cross-node Chrome trace-event JSON
+// timeline. Each node becomes a process row; within it every trace gets its
+// own span track (thread) carrying one complete ("X") event per hop, with
+// the per-stage ledger in args, and the node's wire events ride along as
+// instant events on a "wire" track. Timestamps are wall-clock nanoseconds
+// normalized to the earliest span, so a 4-node loadgen run scrubs as one
+// timeline in Perfetto (ui.perfetto.dev).
+func ExportChromeSpans(w io.Writer, traces []TraceView, wireEvents map[string][]Event) error {
+	pids := map[string]int{}
+	var nodes []string
+	addNode := func(n string) {
+		if n == "" {
+			n = "?"
+		}
+		if _, ok := pids[n]; !ok {
+			pids[n] = 0
+			nodes = append(nodes, n)
+		}
+	}
+	for _, tv := range traces {
+		for _, s := range tv.Spans {
+			addNode(s.Node)
+		}
+	}
+	for n := range wireEvents {
+		addNode(n)
+	}
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		pids[n] = i + 1
+	}
+	nodePID := func(n string) int {
+		if n == "" {
+			n = "?"
+		}
+		return pids[n]
+	}
+
+	var minTS int64
+	for _, tv := range traces {
+		if tv.Start != 0 && (minTS == 0 || tv.Start < minTS) {
+			minTS = tv.Start
+		}
+	}
+	for _, evs := range wireEvents {
+		for _, e := range evs {
+			if e.TS != 0 && (minTS == 0 || e.TS < minTS) {
+				minTS = e.TS
+			}
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-minTS) / 1e3 }
+
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	for _, n := range nodes {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pids[n], TID: 0,
+			Args: map[string]string{"name": "node " + n},
+		})
+	}
+	// One span track per (node, trace): tid 1 is the node's wire track,
+	// traces claim 2.. in slowest-first order (the order AssembleTraces
+	// returns), so the worst offenders sit at the top of each process row.
+	type trackKey struct {
+		node  string
+		trace uint64
+	}
+	tids := map[trackKey]int{}
+	nextTID := map[string]int{}
+	for _, tv := range traces {
+		for _, s := range tv.Spans {
+			k := trackKey{node: s.Node, trace: tv.Trace}
+			if _, ok := tids[k]; ok {
+				continue
+			}
+			if nextTID[s.Node] == 0 {
+				nextTID[s.Node] = 2
+			}
+			tids[k] = nextTID[s.Node]
+			nextTID[s.Node]++
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: nodePID(s.Node), TID: tids[k],
+				Args: map[string]string{"name": fmt.Sprintf("trace %016x", tv.Trace)},
+			})
+		}
+	}
+	for _, tv := range traces {
+		for _, s := range tv.Spans {
+			end := s.End
+			if end == 0 {
+				end = s.Start // in flight: render as zero-width
+			}
+			args := map[string]string{
+				"trace":  fmt.Sprintf("%016x", s.Trace),
+				"span":   fmt.Sprintf("%016x", s.ID),
+				"parent": fmt.Sprintf("%016x", s.Parent),
+				"msg":    s.Msg,
+			}
+			for i, d := range s.Stages {
+				if d > 0 {
+					args[SpanStage(i).String()+"_us"] = strconv.FormatFloat(float64(d)/1e3, 'f', 1, 64)
+				}
+			}
+			if s.Dead != "" {
+				args["deadletter"] = s.Dead
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  s.Actor + " ← " + s.Msg,
+				Cat:   "span",
+				Phase: "X",
+				TS:    us(s.Start),
+				Dur:   float64(end-s.Start) / 1e3,
+				PID:   nodePID(s.Node),
+				TID:   tids[trackKey{node: s.Node, trace: tv.Trace}],
+				Args:  args,
+			})
+		}
+	}
+	for _, n := range nodes {
+		evs := wireEvents[n]
+		if len(evs) == 0 {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pids[n], TID: 1,
+			Args: map[string]string{"name": "wire"},
+		})
+		for _, e := range evs {
+			ts := float64(e.Seq)
+			if e.TS != 0 {
+				ts = us(e.TS)
+			}
+			name := e.Kind.String()
+			if e.Object != "" {
+				name += " " + e.Object
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: e.Kind.String(), Phase: "i", Scope: "t",
+				TS: ts, PID: pids[n], TID: 1,
+				Args: map[string]string{"detail": e.Detail},
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -1,0 +1,583 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the distributed-tracing substrate (docs/OBSERVABILITY.md
+// "Distributed tracing"): a sampled trace context that originates at a
+// client Tell/Ask, rides the envelope through every mailbox, wire link and
+// cluster handoff it crosses, and accumulates a per-stage latency ledger as
+// it goes. Where the Recorder answers "what happened, in what causal order",
+// a Span answers "where did this request's time go" — the attribution the
+// per-site histograms cannot give, because they aggregate across requests.
+//
+// The design is a migrating ledger, not a tree of timers. A Span belongs to
+// exactly one owner at a time — the sender that originated it, the mailbox
+// it sits in, the wire envelope carrying it, the handler processing it —
+// and each ownership transfer calls Mark(stage, now), folding the time
+// since the previous transfer into one stage bucket. Because every
+// nanosecond between Start and End lands in exactly one bucket, the stage
+// sums of a finished span telescope to its end-to-end latency exactly;
+// cross-span accounting (a reply overlapping the tail of the request's
+// handler) is what keeps a whole trace's coverage near, not at, 1.0.
+
+// SpanStage buckets where a traced message's time went. The stages mirror
+// the delivery pipeline: queued in a mailbox, running in a handler, being
+// encoded/in flight on the wire, parked on an exhausted credit window, or
+// parked against a mid-handoff shard.
+type SpanStage uint8
+
+const (
+	// StageMailbox: from enqueue (or origination/arrival) to dequeue —
+	// mailbox residency plus the sub-microsecond routing residue around it.
+	StageMailbox SpanStage = iota
+	// StageHandler: behavior execution, up to completion or the moment the
+	// handler forwarded the span onward.
+	StageHandler
+	// StageWire: link outbox wait, envelope encode, flight, and decode —
+	// everything between the sender's last mark and the receiver's dispatch.
+	StageWire
+	// StageStall: parked in the link writer against an exhausted credit
+	// window (docs/REMOTE.md "Flow control").
+	StageStall
+	// StagePark: parked in the cluster router against a shard with no
+	// settled owner, from park to flush (docs/CLUSTER.md "Handoff").
+	StagePark
+
+	// StageCount sizes per-stage arrays.
+	StageCount = int(StagePark) + 1
+)
+
+func (s SpanStage) String() string {
+	switch s {
+	case StageMailbox:
+		return "mailbox"
+	case StageHandler:
+		return "handler"
+	case StageWire:
+		return "wire"
+	case StageStall:
+		return "stall"
+	case StagePark:
+		return "park"
+	default:
+		return fmt.Sprintf("SpanStage(%d)", uint8(s))
+	}
+}
+
+// StageNames lists the stages in ledger order, for table headers.
+func StageNames() [StageCount]string {
+	var out [StageCount]string
+	for i := range out {
+		out[i] = SpanStage(i).String()
+	}
+	return out
+}
+
+// Span is one hop of a sampled trace: a single message delivery, from the
+// send that created it to the handler that consumed it (possibly on another
+// node — the span migrates across the wire with the envelope). Identity
+// fields are written once at creation and are read-only afterwards; the
+// ledger fields are atomics because a finished span can still absorb a late
+// stage mark from the handler that handed it off.
+type Span struct {
+	// Trace is shared by every span of one request (root and children).
+	Trace uint64
+	// ID identifies this span; Parent is the ID of the span whose handler
+	// caused this send (0 for a root originated outside any actor).
+	ID     uint64
+	Parent uint64
+	// Node is where the span finished (handler side); Actor and Msg name
+	// the destination and payload type.
+	Node  string
+	Actor string
+	Msg   string
+	// Start is the origination wall-clock time (UnixNano). Wall clock, not
+	// monotonic: spans from different nodes of one machine must merge onto
+	// one timeline.
+	Start int64
+
+	tracer *Tracer
+	last   atomic.Int64 // previous Mark's timestamp: the open stage's start
+	end    atomic.Int64 // 0 while in flight
+	stages [StageCount]atomic.Int64
+	dead   atomic.Pointer[string] // deadletter kind, nil if delivered
+	done   atomic.Bool            // guards double-Finish
+}
+
+// SpanNow is the ledger clock: wall time, comparable across the nodes of
+// one machine (the clocks the cluster harness and loadgen run on).
+func SpanNow() int64 { return time.Now().UnixNano() }
+
+// Mark closes the currently open stage: the time since the previous mark is
+// added to stage, and now becomes the next stage's start. Safe to call from
+// the single current owner; atomics keep a racing late mark (a handler
+// closing its stage while the downstream mailbox already holds the span)
+// memory-safe and the ledger's total intact.
+func (s *Span) Mark(stage SpanStage, now int64) {
+	if s == nil {
+		return
+	}
+	prev := s.last.Swap(now)
+	if d := now - prev; d > 0 {
+		s.stages[stage].Add(d)
+	}
+}
+
+// Add credits d nanoseconds to stage without moving the ledger clock — for
+// stages measured externally (a credit stall timed by the link writer).
+func (s *Span) Add(stage SpanStage, d int64) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.stages[stage].Add(d)
+	s.last.Add(d)
+}
+
+// Finish seals the span at now and publishes it to its tracer's ring. The
+// caller marks the final stage first (Mark(StageHandler, now); Finish(now)).
+// Idempotent: only the first Finish publishes.
+func (s *Span) Finish(now int64) {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	s.end.Store(now)
+	if s.tracer != nil {
+		s.tracer.push(s)
+	}
+}
+
+// FinishDead seals a span whose message deadlettered instead of being
+// delivered (kind is the DeadLetterKind string). The open stage stays
+// open — a dead span's ledger is partial by construction — but the span
+// still reaches the ring so a trace that died is inspectable.
+func (s *Span) FinishDead(kind string, now int64) {
+	if s == nil || s.done.Load() {
+		// Already sealed: a late deadletter-path call must not stamp a span
+		// that finished delivered (Finish won the race and published it).
+		return
+	}
+	s.dead.CompareAndSwap(nil, &kind)
+	s.Finish(now)
+}
+
+// Finished reports whether the span has been sealed.
+func (s *Span) Finished() bool { return s != nil && s.done.Load() }
+
+// WireSpan is the span state that crosses the wire with a traced envelope:
+// identity, the original Start, the sender-side ledger clock, and the stage
+// totals accumulated so far. The receiver rebuilds the span from it
+// (Tracer.Adopt) and the sender-side object is discarded — the span
+// migrates, it does not fork.
+type WireSpan struct {
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+	Start  int64
+	Last   int64
+	Stages [StageCount]int64
+}
+
+// Wire snapshots the span for encoding. Called by the link writer, which
+// owns the envelope (and therefore the span) at that point.
+func (s *Span) Wire() WireSpan {
+	w := WireSpan{Trace: s.Trace, ID: s.ID, Parent: s.Parent, Start: s.Start, Last: s.last.Load()}
+	for i := range w.Stages {
+		w.Stages[i] = s.stages[i].Load()
+	}
+	return w
+}
+
+// SpanView is an immutable snapshot of a finished (or in-flight) span, the
+// unit the collector, the /debug/trace endpoint and the exporters consume.
+type SpanView struct {
+	Trace  uint64            `json:"trace"`
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Node   string            `json:"node"`
+	Actor  string            `json:"actor"`
+	Msg    string            `json:"msg"`
+	Start  int64             `json:"start_ns"`
+	End    int64             `json:"end_ns"`
+	Stages [StageCount]int64 `json:"stages_ns"`
+	Dead   string            `json:"dead,omitempty"`
+}
+
+// View snapshots the span.
+func (s *Span) View() SpanView {
+	v := SpanView{
+		Trace: s.Trace, ID: s.ID, Parent: s.Parent,
+		Node: s.Node, Actor: s.Actor, Msg: s.Msg,
+		Start: s.Start, End: s.end.Load(),
+	}
+	for i := range v.Stages {
+		v.Stages[i] = s.stages[i].Load()
+	}
+	if k := s.dead.Load(); k != nil {
+		v.Dead = *k
+	}
+	return v
+}
+
+// Duration is the span's end-to-end latency (0 while in flight).
+func (v SpanView) Duration() time.Duration {
+	if v.End == 0 {
+		return 0
+	}
+	return time.Duration(v.End - v.Start)
+}
+
+// StageSum is the total nanoseconds attributed across all stages.
+func (v SpanView) StageSum() int64 {
+	var sum int64
+	for _, d := range v.Stages {
+		sum += d
+	}
+	return sum
+}
+
+// Tracer samples, allocates and collects spans for one node. Sampling is
+// the cheap gate that keeps untraced messages near free: Sample is one
+// branch plus (below rate 1) one per-thread PRNG draw, and everything else
+// happens only for the 1-in-N messages that pass. Finished spans land in a
+// bounded ring (newest wins), mirroring the flight recorder's retention
+// policy: always on, bounded memory, dump after the fact.
+//
+// All methods are safe on a nil *Tracer, so instrumented code keeps
+// unconditional call sites.
+type Tracer struct {
+	mask uint64 // sample 1-in-(mask+1); 0 = every message
+
+	ids atomic.Uint64 // span/trace ID allocator (random base per tracer)
+
+	mu    sync.Mutex
+	node  string
+	ring  []*Span
+	next  int
+	total uint64
+}
+
+// DefaultSpanRing bounds the completed-span ring when NewTracer is given no
+// explicit capacity.
+const DefaultSpanRing = 4096
+
+// NewTracer returns a tracer sampling 1 in sampleEvery sends (rounded up to
+// a power of two; <=1 traces every send) and retaining the most recent
+// ringCap finished spans (<=0 selects DefaultSpanRing).
+func NewTracer(sampleEvery, ringCap int) *Tracer {
+	every := uint64(1)
+	for int(every) < sampleEvery {
+		every <<= 1
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultSpanRing
+	}
+	t := &Tracer{mask: every - 1, ring: make([]*Span, ringCap)}
+	// Random ID base: spans minted by different tracers (nodes) must not
+	// collide when merged into one timeline.
+	t.ids.Store(rand.Uint64())
+	return t
+}
+
+// SetNode names the node this tracer belongs to (the resolved listen
+// address, known only after the wire node binds).
+func (t *Tracer) SetNode(addr string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.node = addr
+	t.mu.Unlock()
+}
+
+// NodeName returns the configured node name.
+func (t *Tracer) NodeName() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node
+}
+
+// SampleEvery returns the sampling rate (1 = every message).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.mask + 1)
+}
+
+// Sample decides whether the next origination is traced. Safe on nil
+// (false). The draw is math/rand/v2's per-thread generator: no shared
+// state, a few nanoseconds, paid only on the origination path.
+func (t *Tracer) Sample() bool {
+	if t == nil {
+		return false
+	}
+	return t.mask == 0 || rand.Uint64()&t.mask == 0
+}
+
+// Root originates a new trace for a message to actor, starting its ledger
+// at now.
+func (t *Tracer) Root(actor, msg string, now int64) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.ids.Add(1)
+	s := &Span{tracer: t, Trace: id, ID: id, Node: t.NodeName(), Actor: actor, Msg: msg, Start: now}
+	s.last.Store(now)
+	return s
+}
+
+// Child opens the next hop of parent's trace: a send performed by the
+// handler currently processing parent.
+func (t *Tracer) Child(parent *Span, actor, msg string, now int64) *Span {
+	if t == nil || parent == nil {
+		return nil
+	}
+	s := &Span{tracer: t, Trace: parent.Trace, ID: t.ids.Add(1), Parent: parent.ID,
+		Node: t.NodeName(), Actor: actor, Msg: msg, Start: now}
+	s.last.Store(now)
+	return s
+}
+
+// Adopt rebuilds a span that arrived over the wire: same identity and
+// accumulated ledger, now owned by this node. The caller marks StageWire
+// immediately after (the gap sender-Last → now is the wire time).
+func (t *Tracer) Adopt(w WireSpan, actor, msg string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, Trace: w.Trace, ID: w.ID, Parent: w.Parent,
+		Node: t.NodeName(), Actor: actor, Msg: msg, Start: w.Start}
+	s.last.Store(w.Last)
+	for i, d := range w.Stages {
+		s.stages[i].Store(d)
+	}
+	return s
+}
+
+// push retires a finished span into the ring (newest overwrites oldest).
+func (t *Tracer) push(s *Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many spans have finished into this tracer (including
+// ones the ring has since evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans snapshots the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		if s := t.ring[(t.next+i)%len(t.ring)]; s != nil {
+			spans = append(spans, s)
+		}
+	}
+	t.mu.Unlock()
+	out := make([]SpanView, len(spans))
+	for i, s := range spans {
+		out[i] = s.View()
+	}
+	return out
+}
+
+// TraceView is one assembled trace: every retained span sharing a TraceID,
+// merged across nodes by the collector.
+type TraceView struct {
+	Trace uint64     `json:"trace"`
+	Spans []SpanView `json:"spans"`
+	// Start/End bound the trace (min span start, max span end).
+	Start int64 `json:"start_ns"`
+	End   int64 `json:"end_ns"`
+	// Nodes are the distinct nodes the trace touched, sorted.
+	Nodes []string `json:"nodes"`
+	// StageNS sums each stage across all spans.
+	StageNS [StageCount]int64 `json:"stages_ns"`
+	// Dead counts spans that deadlettered.
+	Dead int `json:"dead,omitempty"`
+}
+
+// Duration is the trace's end-to-end wall time.
+func (tv TraceView) Duration() time.Duration { return time.Duration(tv.End - tv.Start) }
+
+// CrossNode reports whether the trace touched more than one node.
+func (tv TraceView) CrossNode() bool { return len(tv.Nodes) > 1 }
+
+// Coverage is (sum of all stage time) / (end-to-end wall time): how much of
+// the trace's latency the ledger attributes. A finished span telescopes
+// exactly, so single-span traces sit at 1.0; multi-span traces run slightly
+// above it (a reply span opens before the request's handler stage closes).
+// Well below 1.0 means spans are missing (an unfinished hop, a ring
+// eviction, an untraced peer in the path).
+func (tv TraceView) Coverage() float64 {
+	if tv.End <= tv.Start {
+		return 0
+	}
+	var sum int64
+	for _, d := range tv.StageNS {
+		sum += d
+	}
+	return float64(sum) / float64(tv.End-tv.Start)
+}
+
+// Complete reports whether every retained span of the trace finished
+// cleanly (has an end, no deadletter).
+func (tv TraceView) Complete() bool {
+	if len(tv.Spans) == 0 {
+		return false
+	}
+	for _, s := range tv.Spans {
+		if s.End == 0 || s.Dead != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// AssembleTraces groups span snapshots (typically the concatenation of
+// every node's Tracer.Spans) into traces, slowest first. Spans within a
+// trace are ordered by start time.
+func AssembleTraces(spans []SpanView) []TraceView {
+	byTrace := map[uint64]*TraceView{}
+	for _, s := range spans {
+		tv, ok := byTrace[s.Trace]
+		if !ok {
+			tv = &TraceView{Trace: s.Trace}
+			byTrace[s.Trace] = tv
+		}
+		tv.Spans = append(tv.Spans, s)
+	}
+	out := make([]TraceView, 0, len(byTrace))
+	for _, tv := range byTrace {
+		sort.Slice(tv.Spans, func(i, j int) bool { return tv.Spans[i].Start < tv.Spans[j].Start })
+		nodes := map[string]bool{}
+		for _, s := range tv.Spans {
+			if tv.Start == 0 || s.Start < tv.Start {
+				tv.Start = s.Start
+			}
+			if s.End > tv.End {
+				tv.End = s.End
+			}
+			for i, d := range s.Stages {
+				tv.StageNS[i] += d
+			}
+			if s.Dead != "" {
+				tv.Dead++
+			}
+			if s.Node != "" {
+				nodes[s.Node] = true
+			}
+		}
+		for n := range nodes {
+			tv.Nodes = append(tv.Nodes, n)
+		}
+		sort.Strings(tv.Nodes)
+		out = append(out, *tv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].End-out[i].Start, out[j].End-out[j].Start
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+// StageQuantiles summarizes one stage's distribution over the spans that
+// exercised it (Count is the number of spans with nonzero time in the
+// stage; a stage no span hit reports zeros).
+type StageQuantiles struct {
+	Count int   `json:"count"`
+	P50   int64 `json:"p50_ns"`
+	P95   int64 `json:"p95_ns"`
+	P99   int64 `json:"p99_ns"`
+}
+
+// ActorAttribution is the per-grain/per-stage latency table: for one
+// destination actor, where its traced messages spent their time.
+type ActorAttribution struct {
+	Actor  string                     `json:"actor"`
+	Count  int                        `json:"count"`
+	Stages [StageCount]StageQuantiles `json:"stages"`
+}
+
+// AttributeStages builds per-actor, per-stage p50/p95/p99 attribution from
+// span snapshots, sorted by span count descending (busiest actors first).
+func AttributeStages(spans []SpanView) []ActorAttribution {
+	type acc struct {
+		count  int
+		stages [StageCount][]int64
+	}
+	accs := map[string]*acc{}
+	for _, s := range spans {
+		a, ok := accs[s.Actor]
+		if !ok {
+			a = &acc{}
+			accs[s.Actor] = a
+		}
+		a.count++
+		for i, d := range s.Stages {
+			if d > 0 {
+				a.stages[i] = append(a.stages[i], d)
+			}
+		}
+	}
+	out := make([]ActorAttribution, 0, len(accs))
+	for actor, a := range accs {
+		att := ActorAttribution{Actor: actor, Count: a.count}
+		for i := range a.stages {
+			vals := a.stages[i]
+			if len(vals) == 0 {
+				continue
+			}
+			sort.Slice(vals, func(x, y int) bool { return vals[x] < vals[y] })
+			att.Stages[i] = StageQuantiles{
+				Count: len(vals),
+				P50:   quantileNS(vals, 0.50),
+				P95:   quantileNS(vals, 0.95),
+				P99:   quantileNS(vals, 0.99),
+			}
+		}
+		out = append(out, att)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Actor < out[j].Actor
+	})
+	return out
+}
+
+// quantileNS reads the q-th quantile from a sorted slice (nearest rank).
+func quantileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanLedgerTelescopes pins the migrating-ledger invariant the whole
+// design rests on: every nanosecond between Start and the final mark lands
+// in exactly one stage, so a finished span's stage sum equals its
+// end-to-end latency exactly.
+func TestSpanLedgerTelescopes(t *testing.T) {
+	tr := NewTracer(1, 0)
+	tr.SetNode("n1")
+	s := tr.Root("sink", "tPing", 1000)
+	s.Mark(StageMailbox, 1400) // 400ns queued
+	s.Mark(StageHandler, 1900) // 500ns handling
+	s.Finish(1900)
+	v := s.View()
+	if v.Stages[StageMailbox] != 400 || v.Stages[StageHandler] != 500 {
+		t.Fatalf("stages = %v", v.Stages)
+	}
+	if got := v.StageSum(); got != int64(v.Duration()) {
+		t.Fatalf("stage sum %d != duration %d", got, v.Duration())
+	}
+	if v.Node != "n1" || v.Actor != "sink" || v.Msg != "tPing" {
+		t.Fatalf("identity wrong: %+v", v)
+	}
+}
+
+// TestSpanMigration walks a span through the wire round trip the remote
+// layer performs — Wire() on the sending node, Adopt on the receiving one —
+// and checks identity, accumulated stages and the ledger clock survive.
+func TestSpanMigration(t *testing.T) {
+	src, dst := NewTracer(1, 0), NewTracer(1, 0)
+	src.SetNode("a")
+	dst.SetNode("b")
+	s := src.Root("grain-7", "Presence", 1000)
+	s.Mark(StageMailbox, 1300)
+	w := s.Wire()
+	if w.Trace != s.Trace || w.ID != s.ID || w.Start != 1000 || w.Last != 1300 {
+		t.Fatalf("wire snapshot wrong: %+v", w)
+	}
+	adopted := dst.Adopt(w, "grain-7", "Presence")
+	adopted.Mark(StageWire, 1800) // 500ns in flight
+	adopted.Mark(StageHandler, 2000)
+	adopted.Finish(2000)
+	v := adopted.View()
+	if v.Trace != s.Trace || v.ID != s.ID {
+		t.Fatalf("identity did not migrate: %+v vs %+v", v, s)
+	}
+	if v.Node != "b" {
+		t.Fatalf("adopted span node = %q, want b", v.Node)
+	}
+	if v.Stages[StageMailbox] != 300 || v.Stages[StageWire] != 500 || v.Stages[StageHandler] != 200 {
+		t.Fatalf("stages = %v", v.Stages)
+	}
+	if v.StageSum() != int64(v.Duration()) {
+		t.Fatalf("migrated ledger does not telescope: sum %d duration %d", v.StageSum(), v.Duration())
+	}
+	// The span migrated: only the destination ring holds it.
+	if n := len(src.Spans()); n != 0 {
+		t.Fatalf("source ring holds %d spans, want 0", n)
+	}
+	if n := len(dst.Spans()); n != 1 {
+		t.Fatalf("destination ring holds %d spans, want 1", n)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	s.Mark(StageHandler, 1)
+	s.Add(StageStall, 1)
+	s.Finish(1)
+	s.FinishDead("dead", 1)
+	if s.Finished() {
+		t.Fatal("nil span reports finished")
+	}
+	var tr *Tracer
+	if tr.Sample() {
+		t.Fatal("nil tracer samples")
+	}
+	if tr.Root("a", "m", 1) != nil || tr.Child(nil, "a", "m", 1) != nil {
+		t.Fatal("nil tracer allocated a span")
+	}
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer has state")
+	}
+}
+
+func TestSpanFinishIdempotent(t *testing.T) {
+	tr := NewTracer(1, 0)
+	s := tr.Root("a", "m", 100)
+	s.Mark(StageHandler, 200)
+	s.Finish(200)
+	s.Finish(999)
+	s.FinishDead("dead", 999)
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("double finish pushed %d spans", n)
+	}
+	if v := tr.Spans()[0]; v.End != 200 || v.Dead != "" {
+		t.Fatalf("first finish did not win: %+v", v)
+	}
+}
+
+func TestTracerSamplingMask(t *testing.T) {
+	every := NewTracer(1, 0)
+	for i := 0; i < 100; i++ {
+		if !every.Sample() {
+			t.Fatal("sampleEvery=1 must sample everything")
+		}
+	}
+	// 1-in-64: over many draws the rate must be near 1/64 (binomial with
+	// n=64k, p=1/64 — mean 1024, this band is ±6 sigma).
+	some := NewTracer(64, 0)
+	hits := 0
+	for i := 0; i < 64*1024; i++ {
+		if some.Sample() {
+			hits++
+		}
+	}
+	if hits < 832 || hits > 1216 {
+		t.Fatalf("1-in-64 sampler hit %d of 65536 (want ≈1024)", hits)
+	}
+	// Non-power-of-two rates round up to the next power of two.
+	if got := NewTracer(100, 0).SampleEvery(); got != 128 {
+		t.Fatalf("SampleEvery(100) = %d, want 128", got)
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(1, 8)
+	for i := 0; i < 20; i++ {
+		s := tr.Root("a", "m", int64(1000+i))
+		s.Mark(StageHandler, int64(1001+i))
+		s.Finish(int64(1001 + i))
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(spans))
+	}
+	if tr.Total() != 20 {
+		t.Fatalf("total = %d, want 20", tr.Total())
+	}
+	// Newest win: the retained spans are the last 8 pushed, oldest first.
+	for i, v := range spans {
+		if want := int64(1000 + 12 + i); v.Start != want {
+			t.Fatalf("span %d start = %d, want %d", i, v.Start, want)
+		}
+	}
+}
+
+// TestAssembleTraces checks the collector: spans from multiple nodes
+// sharing a TraceID merge into one TraceView with summed stages, sorted
+// slowest-trace first, and the view's predicates report what happened.
+func TestAssembleTraces(t *testing.T) {
+	spans := []SpanView{
+		{Trace: 7, ID: 1, Node: "a", Start: 1000, End: 1500, Stages: stageArr(StageMailbox, 500)},
+		{Trace: 7, ID: 2, Parent: 1, Node: "b", Start: 1500, End: 3000, Stages: stageArr(StageWire, 1500)},
+		{Trace: 9, ID: 3, Node: "a", Start: 2000, End: 2100, Stages: stageArr(StageHandler, 100)},
+	}
+	views := AssembleTraces(spans)
+	if len(views) != 2 {
+		t.Fatalf("assembled %d traces, want 2", len(views))
+	}
+	tv := views[0] // slowest first: trace 7 spans 2000ns, trace 9 spans 100ns
+	if tv.Trace != 7 || len(tv.Spans) != 2 {
+		t.Fatalf("slowest = %+v", tv)
+	}
+	if !tv.CrossNode() || len(tv.Nodes) != 2 {
+		t.Fatalf("trace 7 nodes = %v", tv.Nodes)
+	}
+	if !tv.Complete() || tv.Dead != 0 {
+		t.Fatalf("trace 7 should be complete: %+v", tv)
+	}
+	if tv.StageNS[StageMailbox] != 500 || tv.StageNS[StageWire] != 1500 {
+		t.Fatalf("stage rollup = %v", tv.StageNS)
+	}
+	if c := tv.Coverage(); c != 1.0 {
+		t.Fatalf("coverage = %v, want exactly 1.0 (2000ns attributed over 2000ns)", c)
+	}
+	if views[1].CrossNode() {
+		t.Fatal("trace 9 is single-node")
+	}
+
+	// A dead span breaks completeness and is counted.
+	dead := append(spans, SpanView{Trace: 7, ID: 4, Node: "b", Start: 1600, End: 1700, Dead: "moving"})
+	views = AssembleTraces(dead)
+	if views[0].Complete() || views[0].Dead != 1 {
+		t.Fatalf("dead span not reflected: %+v", views[0])
+	}
+}
+
+func TestAttributeStages(t *testing.T) {
+	var spans []SpanView
+	for i := 0; i < 10; i++ {
+		spans = append(spans, SpanView{
+			Trace: uint64(i), ID: uint64(i), Actor: "grain-1",
+			Start: 0, End: 100, Stages: stageArr(StageMailbox, int64(100+i)),
+		})
+	}
+	spans = append(spans, SpanView{Trace: 99, ID: 99, Actor: "grain-2", Stages: stageArr(StageHandler, 5)})
+	attr := AttributeStages(spans)
+	if len(attr) != 2 {
+		t.Fatalf("attributed %d actors, want 2", len(attr))
+	}
+	var g1 *ActorAttribution
+	for i := range attr {
+		if attr[i].Actor == "grain-1" {
+			g1 = &attr[i]
+		}
+	}
+	if g1 == nil || g1.Count != 10 {
+		t.Fatalf("grain-1 attribution missing: %+v", attr)
+	}
+	q := g1.Stages[StageMailbox]
+	if q.Count != 10 || q.P50 < 100 || q.P99 > 109 {
+		t.Fatalf("mailbox quantiles = %+v", q)
+	}
+	if g1.Stages[StageWire].Count != 0 {
+		t.Fatalf("wire stage should be empty: %+v", g1.Stages[StageWire])
+	}
+}
+
+// TestExportChromeSpansValid renders a cross-node trace and checks the
+// output is valid Chrome/Perfetto JSON: one process per node, complete
+// ("X") events per stage with microsecond timestamps, and flow events
+// linking parent to child spans.
+func TestExportChromeSpansValid(t *testing.T) {
+	views := AssembleTraces([]SpanView{
+		{Trace: 7, ID: 1, Node: "a", Actor: "driver", Msg: "Presence", Start: 1_000_000, End: 1_500_000,
+			Stages: stageArr(StageMailbox, 500_000)},
+		{Trace: 7, ID: 2, Parent: 1, Node: "b", Actor: "grain", Msg: "Presence", Start: 1_500_000, End: 3_000_000,
+			Stages: stageArr(StageWire, 1_500_000)},
+	})
+	var b strings.Builder
+	if err := ExportChromeSpans(&b, views, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	pids := map[float64]bool{}
+	var sliceEvents int
+	for _, e := range doc.TraceEvents {
+		if ph, _ := e["ph"].(string); ph == "X" {
+			sliceEvents++
+			if pid, ok := e["pid"].(float64); ok {
+				pids[pid] = true
+			}
+			if _, ok := e["dur"]; !ok {
+				t.Fatalf("X event without dur: %v", e)
+			}
+		}
+	}
+	if sliceEvents == 0 {
+		t.Fatal("no slice events in export")
+	}
+	if len(pids) != 2 {
+		t.Fatalf("expected 2 node pids, saw %v", pids)
+	}
+}
+
+func stageArr(stage SpanStage, ns int64) [StageCount]int64 {
+	var a [StageCount]int64
+	a[stage] = ns
+	return a
+}
