@@ -26,6 +26,11 @@
 // ask p99, and shed volume at 1×/4×/16× the sink's service rate under
 // credit-based flow control — and -json-overload writes it to FILE
 // (committed baseline: BENCH_overload.json; see docs/REMOTE.md).
+// -explore appends the pseudocode explorer throughput table — states/sec,
+// transition counts with and without partial-order reduction, parallel
+// rates, and the study ground-truth regeneration time — and -json-explore
+// writes it to FILE (committed baseline: BENCH_explore.json; see
+// docs/PERF.md). -explore-only runs just that table (CI smoke).
 package main
 
 import (
@@ -61,10 +66,23 @@ func main() {
 	clusterOnly := flag.Bool("cluster-only", false, "run only the cluster sharding table (CI smoke)")
 	withTrace := flag.Bool("trace", false, "also run the distributed-tracing overhead table")
 	jsonTracePath := flag.String("json-trace", "", "write the tracing-overhead baseline to this file (implies -trace)")
+	withExplore := flag.Bool("explore", false, "also run the pseudocode explorer throughput table")
+	jsonExplorePath := flag.String("json-explore", "", "write the explorer baseline to this file (implies -explore)")
+	exploreOnly := flag.Bool("explore-only", false, "run only the explorer throughput table (CI smoke)")
 	flag.Parse()
 
 	if *clusterOnly {
 		clusterTable(*reps, scaleOf(*quick))
+		return
+	}
+	if *exploreOnly {
+		entries := exploreTable(*reps, scaleOf(*quick))
+		if *jsonExplorePath != "" {
+			if err := writeExploreBaseline(*jsonExplorePath, scaleOf(*quick), entries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -132,6 +150,17 @@ func main() {
 		traceEntries := traceTable(*reps, scale)
 		if *jsonTracePath != "" {
 			if err := writeTraceBaseline(*jsonTracePath, scale, traceEntries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *withExplore || *jsonExplorePath != "" {
+		fmt.Println()
+		exploreEntries := exploreTable(*reps, scale)
+		if *jsonExplorePath != "" {
+			if err := writeExploreBaseline(*jsonExplorePath, scale, exploreEntries); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 				os.Exit(1)
 			}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	pcexplore [-max-states N] [-sync-send] [-fifo] [-coarse-lock] file.pc
+//	pcexplore [-max-states N] [-sync-send] [-fifo] [-coarse-lock]
+//	          [-por] [-workers N] [-stats] file.pc
 package main
 
 import (
@@ -13,12 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/pseudocode"
 )
 
 func main() {
 	maxStates := flag.Int("max-states", 0, "state bound (0 = default)")
+	por := flag.Bool("por", false, "enable sleep-set partial-order reduction (same results, fewer transitions)")
+	workers := flag.Int("workers", 1, "parallel exploration goroutines (>1 disables -livelock/-witness)")
+	stats := flag.Bool("stats", false, "report exploration throughput, memory, and POR savings")
 	syncSend := flag.Bool("sync-send", false, "misconception semantics [C1]M3: sends block until received")
 	fifo := flag.Bool("fifo", false, "misconception semantics [I2]M5: FIFO mailboxes")
 	coarse := flag.Bool("coarse-lock", false, "misconception semantics [I1]S7: lock held across whole functions")
@@ -51,15 +57,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pcexplore:", err)
 		os.Exit(1)
 	}
-	res, err := pseudocode.Explore(prog, pseudocode.ExploreOpts{
+	opts := pseudocode.ExploreOpts{
 		MaxStates:    *maxStates,
 		TrackGraph:   *livelock,
 		TrackWitness: *witness,
+		POR:          *por,
+		Workers:      *workers,
 		Sem:          sem,
-	})
+	}
+	start := time.Now()
+	res, err := pseudocode.Explore(prog, opts)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pcexplore:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Printf("explored %d distinct states, %d transitions in %v (%.0f states/sec, peak heap %.1f MB)\n",
+			res.StatesVisited, res.Transitions, elapsed.Round(time.Microsecond),
+			float64(res.StatesVisited)/elapsed.Seconds(), float64(ms.HeapAlloc)/(1<<20))
+		if *por {
+			// POR savings are relative to the unreduced transition count, so
+			// -stats -por pays for one extra unreduced run to report it.
+			unreduced := opts
+			unreduced.POR = false
+			if ur, err := pseudocode.Explore(prog, unreduced); err == nil && ur.Transitions > 0 {
+				saved := ur.Transitions - res.Transitions
+				fmt.Printf("POR: %d transitions vs %d unreduced (%.1f%% saved)\n",
+					res.Transitions, ur.Transitions, 100*float64(saved)/float64(ur.Transitions))
+			}
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

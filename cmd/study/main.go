@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/study"
 )
@@ -30,6 +31,14 @@ func main() {
 		fmt.Print(study.Table1())
 		return
 	}
+	// Ground-truth regeneration dominates startup; report its wall time so
+	// explorer regressions are visible from the CLI.
+	bankStart := time.Now()
+	if _, err := study.BuildBank(); err != nil {
+		fmt.Fprintln(os.Stderr, "study:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "study: question bank regenerated in %v\n", time.Since(bankStart).Round(time.Millisecond))
 	res, err := study.Run(study.Config{Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)

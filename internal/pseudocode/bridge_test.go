@@ -128,8 +128,8 @@ func TestBridgeMessageSafety(t *testing.T) {
 		if len(bridges) == 0 {
 			return false
 		}
-		r, _ := bridges[0].Fields["red"].(IntV)
-		b, _ := bridges[0].Fields["blue"].(IntV)
+		r, _ := bridges[0].Field("red").(IntV)
+		b, _ := bridges[0].Field("blue").(IntV)
 		return r > 0 && b > 0
 	})
 	if err != nil {
@@ -181,7 +181,7 @@ func TestBridgeMessageGrantPrecedesReceipt(t *testing.T) {
 		if len(bridges) == 0 {
 			return false
 		}
-		r, _ := bridges[0].Fields["red"].(IntV)
+		r, _ := bridges[0].Field("red").(IntV)
 		// red > 0 while a succeedEnter message is still in flight.
 		return r > 0 && w.MailboxCount() > 0
 	})

@@ -61,13 +61,16 @@ type Instr struct {
 	A    int    // numeric operand (jump target, argc, table index)
 	S    string // symbolic operand (name, operator)
 	Line int    // source line for traces and errors
+	L    int    // OpLoad/OpStore: local slot (-1 = name is never a local here)
+	G    int    // OpLoad/OpStore: global slot (-1 = unused)
 }
 
 // CompiledClause is one ON_RECEIVING arm after compilation.
 type CompiledClause struct {
-	MsgName string
-	Params  []string
-	Target  int // jump target of the clause body
+	MsgName    string
+	Params     []string
+	ParamSlots []int // local slots bound on delivery (parallel to Params)
+	Target     int   // jump target of the clause body
 }
 
 // RecvTable is the dispatch table of one OpReceive.
@@ -84,17 +87,39 @@ type CodeObject struct {
 	IsReceiver bool     // body contains ON_RECEIVING: calls spawn a task
 	IsMethod   bool     // defined inside a CLASS
 	ExcVars    []string // union of EXC_ACC footprints (for CoarseLock)
+	ExcIdx     []int    // ExcVars as lock slots
+	// Slot resolution: every name that could ever be a frame local of this
+	// code object (params first, then receive-clause params and assignment
+	// targets) gets a fixed slot, so frames can store locals in a []Value.
+	NumLocals  int
+	LocalNames []string // slot -> name
+	// stepFPs[ip] is the static footprint of the atomic step a task parked
+	// at ip would execute next (used by partial-order reduction).
+	stepFPs []*stepFP
+	// spawnName is the task name used when this PARA child is spawned
+	// (precomputed so OpPara allocates nothing).
+	spawnName string
+	// id is a dense program-unique index, used in place of Name by the
+	// state encoding.
+	id int
 }
 
 // Compiled is a fully compiled program.
 type Compiled struct {
-	Main       *CodeObject
-	Funcs      map[string]*CodeObject
-	Classes    map[string]map[string]*CodeObject
-	Footprints [][]string // EXC_ACC variable sets by index
-	ParaBlocks [][]*CodeObject
-	RecvTables []RecvTable
-	Consts     []Value
+	Main         *CodeObject
+	Funcs        map[string]*CodeObject
+	Classes      map[string]map[string]*CodeObject
+	Footprints   [][]string // EXC_ACC variable sets by index
+	FootprintIdx [][]int    // the same sets as lock slots
+	ParaBlocks   [][]*CodeObject
+	RecvTables   []RecvTable
+	Consts       []Value
+	// GlobalNames/LockVars give every name that can ever be a global (resp.
+	// a guarded variable) a fixed slot, so World state is slice-indexed.
+	GlobalNames []string
+	LockVars    []string
+	globalIdx   map[string]int
+	lockIdx     map[string]int
 }
 
 // CompileError reports a semantic error found during compilation.
@@ -165,7 +190,138 @@ func Compile(prog *Program) (*Compiled, error) {
 		return nil, err
 	}
 	c.out.Main = main
+	c.finalize()
 	return c.out, nil
+}
+
+// finalize runs the post-compilation passes: name-to-slot resolution for
+// locals/globals/locks, and the static per-step footprints used by
+// partial-order reduction.
+func (c *compiler) finalize() {
+	p := c.out
+	p.globalIdx = map[string]int{}
+	p.lockIdx = map[string]int{}
+	// Lock slots: every variable appearing in any EXC_ACC footprint.
+	p.FootprintIdx = make([][]int, len(p.Footprints))
+	for i, fp := range p.Footprints {
+		idx := make([]int, len(fp))
+		for j, name := range fp {
+			idx[j] = c.lockSlot(name)
+		}
+		p.FootprintIdx[i] = idx
+	}
+	for i, code := range p.allCodeObjects() {
+		code.id = i
+		code.ExcIdx = make([]int, len(code.ExcVars))
+		for j, name := range code.ExcVars {
+			code.ExcIdx[j] = c.lockSlot(name)
+		}
+		c.assignSlots(code)
+	}
+	computeStepFootprints(p)
+}
+
+func (c *compiler) lockSlot(name string) int {
+	if i, ok := c.out.lockIdx[name]; ok {
+		return i
+	}
+	c.out.LockVars = append(c.out.LockVars, name)
+	c.out.lockIdx[name] = len(c.out.LockVars) - 1
+	return len(c.out.LockVars) - 1
+}
+
+func (c *compiler) globalSlot(name string) int {
+	if i, ok := c.out.globalIdx[name]; ok {
+		return i
+	}
+	c.out.GlobalNames = append(c.out.GlobalNames, name)
+	c.out.globalIdx[name] = len(c.out.GlobalNames) - 1
+	return len(c.out.GlobalNames) - 1
+}
+
+// allCodeObjects lists every compiled code object exactly once.
+func (p *Compiled) allCodeObjects() []*CodeObject {
+	out := []*CodeObject{p.Main}
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if p.Funcs[name] != nil {
+			out = append(out, p.Funcs[name])
+		}
+	}
+	classes := make([]string, 0, len(p.Classes))
+	for name := range p.Classes {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, cls := range classes {
+		methods := make([]string, 0, len(p.Classes[cls]))
+		for m := range p.Classes[cls] {
+			methods = append(methods, m)
+		}
+		sort.Strings(methods)
+		for _, m := range methods {
+			if p.Classes[cls][m] != nil {
+				out = append(out, p.Classes[cls][m])
+			}
+		}
+	}
+	for _, children := range p.ParaBlocks {
+		out = append(out, children...)
+	}
+	return out
+}
+
+// assignSlots gives every potential frame-local of code a slot (params take
+// the first slots, so call argument binding is a copy) and annotates
+// OpLoad/OpStore with local and global slots. Name resolution stays dynamic
+// — locals, then self fields, then globals — but each tier is now an index
+// lookup: a local slot holding nil means "not bound here".
+func (c *compiler) assignSlots(code *CodeObject) {
+	local := map[string]int{}
+	add := func(name string) int {
+		if i, ok := local[name]; ok {
+			return i
+		}
+		local[name] = len(code.LocalNames)
+		code.LocalNames = append(code.LocalNames, name)
+		return len(code.LocalNames) - 1
+	}
+	for _, pname := range code.Params {
+		add(pname)
+	}
+	for i := range code.Instrs {
+		in := &code.Instrs[i]
+		switch in.Op {
+		case OpStore:
+			add(in.S)
+		case OpReceive:
+			clauses := c.out.RecvTables[in.A].Clauses
+			for ci := range clauses {
+				cl := &clauses[ci]
+				cl.ParamSlots = make([]int, len(cl.Params))
+				for pi, pname := range cl.Params {
+					cl.ParamSlots[pi] = add(pname)
+				}
+			}
+		}
+	}
+	code.NumLocals = len(code.LocalNames)
+	for i := range code.Instrs {
+		in := &code.Instrs[i]
+		if in.Op != OpLoad && in.Op != OpStore {
+			continue
+		}
+		if slot, ok := local[in.S]; ok {
+			in.L = slot
+		} else {
+			in.L = -1
+		}
+		in.G = c.globalSlot(in.S)
+	}
 }
 
 // CompileSource parses and compiles src in one call.
@@ -306,6 +462,7 @@ func (c *compiler) stmt(ctx *fnCtx, s Stmt) error {
 			if err != nil {
 				return err
 			}
+			child.spawnName = fmt.Sprintf("%s#%d", child.Name, i)
 			children = append(children, child)
 		}
 		c.out.ParaBlocks = append(c.out.ParaBlocks, children)

@@ -1,0 +1,45 @@
+package pseudocode
+
+import (
+	"embed"
+	"sort"
+	"strings"
+)
+
+//go:embed testdata/*.pc
+var corpusFS embed.FS
+
+// CorpusPrograms returns the package's pseudocode example corpus (the
+// figure programs, quiz programs, bridge and philosophers models) keyed by
+// base name without the .pc extension. The corpus backs the equivalence
+// sweep tests and the benchtables exploration tables, so both always run
+// against the same programs.
+func CorpusPrograms() map[string]string {
+	entries, err := corpusFS.ReadDir("testdata")
+	if err != nil {
+		panic("pseudocode: embedded corpus missing: " + err.Error())
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pc") {
+			continue
+		}
+		data, err := corpusFS.ReadFile("testdata/" + e.Name())
+		if err != nil {
+			panic("pseudocode: embedded corpus unreadable: " + err.Error())
+		}
+		out[strings.TrimSuffix(e.Name(), ".pc")] = string(data)
+	}
+	return out
+}
+
+// CorpusNames returns the corpus program names in sorted order.
+func CorpusNames() []string {
+	progs := CorpusPrograms()
+	names := make([]string, 0, len(progs))
+	for name := range progs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -31,13 +31,33 @@ type ExploreOpts struct {
 	// questions: DivergentStates counts states from which no terminal is
 	// reachable (livelock — e.g. an unconditional message-deferral loop).
 	// Costs memory proportional to the edge count. Incompatible with
-	// NoMemo.
+	// NoMemo; disables POR and parallel search.
 	TrackGraph bool
 	// TrackWitness records parent links so the result carries a concrete
 	// schedule (sequence of Choices) reaching the first deadlock found —
 	// a counterexample you can replay with ReplayWitness. Incompatible
-	// with NoMemo.
+	// with NoMemo; disables parallel search (POR still applies).
 	TrackWitness bool
+	// POR enables sleep-set partial-order reduction: provably commuting
+	// interleavings are explored once instead of in every order. The
+	// reduction prunes transitions, never states — Outputs, Deadlocks,
+	// StatesVisited, and predicate hits are identical to an unreduced run;
+	// only Transitions shrinks. Ignored under NoMemo or TrackGraph (the
+	// reduced graph's edge set would be incomplete).
+	POR bool
+	// Workers > 1 explores the state graph with that many goroutines over
+	// a sharded fingerprint set. Results are merged deterministically
+	// (Terminals sorted canonically). Predicates must then be safe to call
+	// concurrently and must not retain the *World. Ignored (forced to 1)
+	// under NoMemo, TrackGraph, or TrackWitness.
+	Workers int
+	// AuditEncodings retains the full canonical encoding of every state
+	// alongside its 128-bit fingerprint and counts fingerprint collisions
+	// (two distinct encodings hashing identically) in AuditCollisions.
+	// This opt-in mode restores the seed explorer's memory profile; it
+	// exists so tests can certify that fingerprint-based deduplication
+	// merged no distinct states in a given run.
+	AuditEncodings bool
 }
 
 // Exploration bounds defaults.
@@ -69,6 +89,10 @@ type ExploreResult struct {
 	Deadlocks int
 	// StatesVisited counts distinct states explored.
 	StatesVisited int
+	// Transitions counts atomic steps executed during exploration. Without
+	// POR this is the edge count of the explored graph; POR lowers it (the
+	// savings metric reported by pcexplore -stats).
+	Transitions int
 	// PredicateHit is true when opts.Predicate matched some visited state.
 	PredicateHit bool
 	// PredicateHits mirrors opts.Predicates.
@@ -82,6 +106,9 @@ type ExploreResult struct {
 	// DeadlockWitness is a schedule from the initial state to the first
 	// deadlock found (with opts.TrackWitness). Empty when no deadlock.
 	DeadlockWitness []Choice
+	// AuditCollisions counts fingerprint collisions detected with
+	// opts.AuditEncodings (expected: always zero).
+	AuditCollisions int
 	// Truncated is true when a bound was hit; the result is then a lower
 	// bound on the execution space.
 	Truncated bool
@@ -104,24 +131,105 @@ func (r *ExploreResult) OutputSet() map[string]bool {
 // canonical encoding. It returns the distinct terminal configurations and
 // the set of possible outputs — the "space of executions".
 func Explore(prog *Compiled, opts ExploreOpts) (*ExploreResult, error) {
-	maxStates := opts.MaxStates
+	if (opts.TrackGraph || opts.TrackWitness) && opts.NoMemo {
+		return nil, errors.New("pseudocode: graph/witness tracking requires memoization")
+	}
+	if opts.Workers > 1 && !opts.NoMemo && !opts.TrackGraph && !opts.TrackWitness {
+		return exploreParallel(prog, opts)
+	}
+	return exploreSeq(prog, opts)
+}
+
+func exploreBounds(opts ExploreOpts) (maxStates, maxDepth int) {
+	maxStates = opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
-	maxDepth := opts.MaxDepth
+	maxDepth = opts.MaxDepth
 	if maxDepth <= 0 {
 		maxDepth = DefaultMaxDepth
 	}
-	res := &ExploreResult{}
-	visited := map[string]bool{}
-	terminalSeen := map[string]bool{}
-	outputSet := map[string]bool{}
-	deadlockOutputSet := map[string]bool{}
+	return maxStates, maxDepth
+}
 
-	type node struct {
-		w     *World
-		depth int
+// sleepEntry is one transition the search can skip at a state: it commutes
+// with every transition explored since it was added, so the interleaving it
+// would start has already been covered in another order.
+type sleepEntry struct {
+	ch Choice
+	fp *stepFP
+}
+
+// stepFootprint returns the static footprint of the atomic step choice ch
+// would execute from the current state.
+func (w *World) stepFootprint(ch Choice) *stepFP {
+	f := w.Tasks[ch.TaskIdx].top()
+	if f == nil {
+		return universalStepFP
 	}
+	return f.code.stepFPs[f.ip]
+}
+
+// sleepCovered reports whether stored ⊆ sleep (by choice): a state already
+// expanded with sleep set `stored` need not be re-expanded on an arrival
+// with a larger sleep set.
+func sleepCovered(stored []Choice, sleep []sleepEntry) bool {
+	for _, s := range stored {
+		found := false
+		for i := range sleep {
+			if sleep[i].ch == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// sleepIntersect keeps the entries of sleep whose choice is in stored.
+func sleepIntersect(stored []Choice, sleep []sleepEntry) []sleepEntry {
+	var out []sleepEntry
+	for i := range sleep {
+		for _, s := range stored {
+			if sleep[i].ch == s {
+				out = append(out, sleep[i])
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sleepChoices(sleep []sleepEntry) []Choice {
+	if len(sleep) == 0 {
+		return nil
+	}
+	out := make([]Choice, len(sleep))
+	for i := range sleep {
+		out[i] = sleep[i].ch
+	}
+	return out
+}
+
+// exNode is one frontier entry of the sequential search.
+type exNode struct {
+	w     *World
+	depth int
+	fp    fingerprint
+	sleep []sleepEntry
+}
+
+func exploreSeq(prog *Compiled, opts ExploreOpts) (*ExploreResult, error) {
+	maxStates, maxDepth := exploreBounds(opts)
+	por := opts.POR && !opts.NoMemo && !opts.TrackGraph
+	// Recycling worlds into the pools is only safe when no user predicate
+	// could have retained a *World.
+	canRecycle := opts.Predicate == nil && len(opts.Predicates) == 0
+
+	res := &ExploreResult{}
 	res.PredicateHits = make([]bool, len(opts.Predicates))
 	observe := func(w *World) {
 		if opts.Predicate != nil && opts.Predicate(w) {
@@ -133,91 +241,220 @@ func Explore(prog *Compiled, opts ExploreOpts) (*ExploreResult, error) {
 			}
 		}
 	}
-	if (opts.TrackGraph || opts.TrackWitness) && opts.NoMemo {
-		return nil, errors.New("pseudocode: graph/witness tracking requires memoization")
+
+	visited := map[fingerprint]struct{}{}
+	var auditEnc map[fingerprint]string
+	if opts.AuditEncodings {
+		auditEnc = map[fingerprint]string{}
 	}
-	var edges map[string][]string
-	var terminalEncs []string
+	var sleepStore map[fingerprint][]Choice
+	if por {
+		sleepStore = map[fingerprint][]Choice{}
+	}
+	terminalSeen := map[fingerprint]bool{}
+	outputSet := map[string]bool{}
+	deadlockOutputSet := map[string]bool{}
+	var edges map[fingerprint][]fingerprint
+	var terminalFPs []fingerprint
 	if opts.TrackGraph {
-		edges = map[string][]string{}
+		edges = map[fingerprint][]fingerprint{}
 	}
-	var parents map[string]parentLink
+	var parents map[fingerprint]parentLink
 	if opts.TrackWitness {
-		parents = map[string]parentLink{}
+		parents = map[fingerprint]parentLink{}
+	}
+
+	// All state encodings stream through one reused buffer: a state is
+	// encoded exactly once, hashed, and the bytes are dropped (unless
+	// auditing).
+	var encBuf []byte
+	encodeFP := func(w *World) fingerprint {
+		encBuf = w.appendEncode(encBuf[:0])
+		return fingerprintOf(encBuf)
 	}
 
 	start := NewWorld(prog, opts.Sem)
-	stack := []node{{w: start, depth: 0}}
-	visited[start.Encode()] = true
+	start.alloc = &alloc{} // this lane's private container free list
+	startFP := encodeFP(start)
+	if !opts.NoMemo {
+		visited[startFP] = struct{}{}
+		if auditEnc != nil {
+			auditEnc[startFP] = string(encBuf)
+		}
+		if por {
+			sleepStore[startFP] = nil
+		}
+	}
 	res.StatesVisited = 1
 	observe(start)
+	stack := []exNode{{w: start, depth: 0, fp: startFP}}
+
+	var choiceBuf []Choice
+	var live []Choice
+	var liveFPs []*stepFP
 
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		var parentEnc string
-		if opts.TrackGraph || opts.TrackWitness {
-			parentEnc = n.w.Encode()
-		}
-		choices := n.w.Runnable()
+		choiceBuf = n.w.runnableInto(choiceBuf)
+		choices := choiceBuf
 		if len(choices) == 0 {
-			kind := n.w.Classify()
-			enc := n.w.Encode()
+			kind := n.w.classifyBlocked()
+			tfp := n.fp
+			if opts.NoMemo {
+				tfp = encodeFP(n.w)
+			}
 			if opts.TrackWitness && kind == Deadlocked && res.DeadlockWitness == nil {
-				res.DeadlockWitness = rebuildWitness(parents, enc)
+				res.DeadlockWitness = rebuildWitness(parents, tfp)
 			}
-			if opts.TrackGraph && !terminalSeen[enc] {
-				terminalEncs = append(terminalEncs, enc)
-			}
-			if !terminalSeen[enc] {
-				terminalSeen[enc] = true
+			if !terminalSeen[tfp] {
+				terminalSeen[tfp] = true
+				if opts.TrackGraph {
+					terminalFPs = append(terminalFPs, tfp)
+				}
 				term := Terminal{Kind: kind, Output: n.w.Output()}
 				if kind == Deadlocked {
 					term.Blocked = n.w.BlockedTasks()
 					res.Deadlocks++
-					deadlockOutputSet[n.w.Output()] = true
+					deadlockOutputSet[term.Output] = true
 				} else {
-					outputSet[n.w.Output()] = true
+					outputSet[term.Output] = true
 				}
 				res.Terminals = append(res.Terminals, term)
+			}
+			if canRecycle {
+				n.w.recycle()
 			}
 			continue
 		}
 		if n.depth >= maxDepth {
 			res.Truncated = true
+			if canRecycle {
+				n.w.recycle()
+			}
 			continue
 		}
-		for _, ch := range choices {
-			child := n.w.Clone()
+
+		// live = enabled choices not in the sleep set.
+		live = live[:0]
+		if por && len(n.sleep) > 0 {
+			for _, ch := range choices {
+				slept := false
+				for i := range n.sleep {
+					if n.sleep[i].ch == ch {
+						slept = true
+						break
+					}
+				}
+				if !slept {
+					live = append(live, ch)
+				}
+			}
+		} else {
+			live = append(live, choices...)
+		}
+		if por {
+			liveFPs = liveFPs[:0]
+			for _, ch := range live {
+				liveFPs = append(liveFPs, n.w.stepFootprint(ch))
+			}
+		}
+
+		reused := false
+		for i, ch := range live {
+			// Bound check before paying for Clone+Step: once the state
+			// budget is spent no child can be admitted, so stop expanding
+			// the whole frontier.
+			if !opts.NoMemo {
+				if len(visited) >= maxStates {
+					res.Truncated = true
+					break
+				}
+			} else if res.StatesVisited >= maxStates {
+				res.Truncated = true
+				break
+			}
+			var child *World
+			if i == len(live)-1 {
+				// Clone elision: the node's own world serves as the last
+				// child (every earlier child took a copy).
+				child = n.w
+				reused = true
+			} else {
+				child = n.w.Clone()
+			}
 			if err := child.Step(ch); err != nil {
 				return res, errors.Join(ErrExploreError, err)
 			}
-			nVisited := len(visited)
+			res.Transitions++
 			if opts.NoMemo {
-				nVisited = res.StatesVisited
-			}
-			if nVisited >= maxStates {
-				res.Truncated = true
+				res.StatesVisited++
+				observe(child)
+				stack = append(stack, exNode{w: child, depth: n.depth + 1})
 				continue
 			}
-			if !opts.NoMemo {
-				enc := child.Encode()
-				if opts.TrackGraph {
-					edges[parentEnc] = append(edges[parentEnc], enc)
+			var childSleep []sleepEntry
+			if por {
+				chFP := liveFPs[i]
+				for j := range n.sleep {
+					e := &n.sleep[j]
+					if e.ch.TaskIdx != ch.TaskIdx && independentSteps(e.fp, chFP) {
+						childSleep = append(childSleep, *e)
+					}
 				}
-				if visited[enc] {
-					continue
+				for j := 0; j < i; j++ {
+					if live[j].TaskIdx != ch.TaskIdx && independentSteps(liveFPs[j], chFP) {
+						childSleep = append(childSleep, sleepEntry{ch: live[j], fp: liveFPs[j]})
+					}
 				}
-				visited[enc] = true
-				if opts.TrackWitness {
-					parents[enc] = parentLink{parent: parentEnc, ch: ch}
+			}
+			cfp := encodeFP(child)
+			if opts.TrackGraph {
+				edges[n.fp] = append(edges[n.fp], cfp)
+			}
+			if _, dup := visited[cfp]; dup {
+				if auditEnc != nil && auditEnc[cfp] != string(encBuf) {
+					res.AuditCollisions++
 				}
+				if por {
+					// Covering rule: a state expanded with sleep set S is
+					// only covered for arrivals with sleep ⊇ S; a smaller
+					// arrival re-expands it with the intersection (the
+					// stored set strictly shrinks, so this terminates).
+					stored := sleepStore[cfp]
+					if !sleepCovered(stored, childSleep) {
+						inter := sleepIntersect(stored, childSleep)
+						sleepStore[cfp] = sleepChoices(inter)
+						stack = append(stack, exNode{w: child, depth: n.depth + 1, fp: cfp, sleep: inter})
+						continue
+					}
+				}
+				if child == n.w {
+					reused = false
+				} else if canRecycle {
+					child.recycle()
+				}
+				continue
+			}
+			visited[cfp] = struct{}{}
+			if auditEnc != nil {
+				auditEnc[cfp] = string(encBuf)
+			}
+			if por {
+				sleepStore[cfp] = sleepChoices(childSleep)
+			}
+			if opts.TrackWitness {
+				parents[cfp] = parentLink{parent: n.fp, ch: ch}
 			}
 			res.StatesVisited++
 			observe(child)
-			stack = append(stack, node{w: child, depth: n.depth + 1})
+			stack = append(stack, exNode{w: child, depth: n.depth + 1, fp: cfp, sleep: childSleep})
+		}
+		if !reused && canRecycle {
+			n.w.recycle()
 		}
 	}
+
 	for o := range outputSet {
 		res.Outputs = append(res.Outputs, o)
 	}
@@ -230,16 +467,16 @@ func Explore(prog *Compiled, opts ExploreOpts) (*ExploreResult, error) {
 	if opts.TrackGraph && !res.Truncated {
 		// Liveness: a state is divergent if no terminal is reachable from
 		// it. Compute by reverse BFS from the terminals.
-		rev := map[string][]string{}
+		rev := map[fingerprint][]fingerprint{}
 		for from, tos := range edges {
 			for _, to := range tos {
 				rev[to] = append(rev[to], from)
 			}
 		}
-		reach := make(map[string]bool, len(visited))
-		queue := append([]string(nil), terminalEncs...)
-		for _, enc := range queue {
-			reach[enc] = true
+		reach := make(map[fingerprint]bool, len(visited))
+		queue := append([]fingerprint(nil), terminalFPs...)
+		for _, fp := range queue {
+			reach[fp] = true
 		}
 		for len(queue) > 0 {
 			cur := queue[len(queue)-1]
@@ -259,15 +496,15 @@ func Explore(prog *Compiled, opts ExploreOpts) (*ExploreResult, error) {
 
 // parentLink records how a state was first reached during exploration.
 type parentLink struct {
-	parent string
+	parent fingerprint
 	ch     Choice
 }
 
-// rebuildWitness walks parent links from a terminal encoding back to the
+// rebuildWitness walks parent links from a terminal fingerprint back to the
 // initial state and returns the schedule in execution order.
-func rebuildWitness(parents map[string]parentLink, enc string) []Choice {
+func rebuildWitness(parents map[fingerprint]parentLink, fp fingerprint) []Choice {
 	var rev []Choice
-	cur := enc
+	cur := fp
 	for {
 		link, ok := parents[cur]
 		if !ok {

@@ -1,0 +1,371 @@
+package pseudocode
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel exploration: N workers share one LIFO work queue of frontier
+// worlds and a fingerprint set sharded across 64 locks. Each worker keeps
+// private result accumulators; the merge at the end is deterministic
+// (Terminals sorted canonically, output sets unioned and sorted,
+// StatesVisited counted by atomic set insertion). The visited *set* is
+// run-order independent, so everything derived from it is reproducible even
+// though the schedule of workers is not.
+
+const exploreShardCount = 64
+
+type exploreShard struct {
+	mu    sync.Mutex
+	seen  map[fingerprint]struct{}
+	enc   map[fingerprint]string   // AuditEncodings only
+	sleep map[fingerprint][]Choice // POR only
+	term  map[fingerprint]bool     // terminal dedup
+}
+
+func (fp fingerprint) shard() int { return int(fp.lo % exploreShardCount) }
+
+// workQueue is the shared frontier. outstanding counts nodes pushed but not
+// yet fully expanded; the search is complete when the queue is empty and
+// outstanding is zero (every worker then drains out).
+type workQueue struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	stack       []exNode
+	outstanding int
+	err         error
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) push(n exNode) {
+	q.mu.Lock()
+	q.stack = append(q.stack, n)
+	q.outstanding++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until work is available, the search completes, or a worker
+// failed. ok=false means "stop".
+func (q *workQueue) pop() (exNode, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.stack) == 0 && q.outstanding > 0 && q.err == nil {
+		q.cond.Wait()
+	}
+	if q.err != nil || len(q.stack) == 0 {
+		return exNode{}, false
+	}
+	n := q.stack[len(q.stack)-1]
+	q.stack = q.stack[:len(q.stack)-1]
+	return n, true
+}
+
+func (q *workQueue) finish() {
+	q.mu.Lock()
+	q.outstanding--
+	done := q.outstanding == 0
+	q.mu.Unlock()
+	if done {
+		q.cond.Broadcast()
+	}
+}
+
+func (q *workQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// workerAcc collects per-worker partial results, merged after the join.
+type workerAcc struct {
+	outputs         map[string]bool
+	deadlockOutputs map[string]bool
+	terminals       []Terminal
+	deadlocks       int
+	transitions     int
+	collisions      int
+	predicateHit    bool
+	predicateHits   []bool
+	truncated       bool
+}
+
+func exploreParallel(prog *Compiled, opts ExploreOpts) (*ExploreResult, error) {
+	maxStates, maxDepth := exploreBounds(opts)
+	por := opts.POR
+	canRecycle := opts.Predicate == nil && len(opts.Predicates) == 0
+
+	shards := make([]exploreShard, exploreShardCount)
+	for i := range shards {
+		shards[i].seen = map[fingerprint]struct{}{}
+		shards[i].term = map[fingerprint]bool{}
+		if opts.AuditEncodings {
+			shards[i].enc = map[fingerprint]string{}
+		}
+		if por {
+			shards[i].sleep = map[fingerprint][]Choice{}
+		}
+	}
+	var statesVisited atomic.Int64
+	q := newWorkQueue()
+
+	res := &ExploreResult{}
+	res.PredicateHits = make([]bool, len(opts.Predicates))
+
+	start := NewWorld(prog, opts.Sem)
+	startEnc := start.appendEncode(nil)
+	startFP := fingerprintOf(startEnc)
+	s0 := &shards[startFP.shard()]
+	s0.seen[startFP] = struct{}{}
+	if opts.AuditEncodings {
+		s0.enc[startFP] = string(startEnc)
+	}
+	if por {
+		s0.sleep[startFP] = nil
+	}
+	statesVisited.Add(1)
+	if opts.Predicate != nil && opts.Predicate(start) {
+		res.PredicateHit = true
+	}
+	for i, p := range opts.Predicates {
+		if p(start) {
+			res.PredicateHits[i] = true
+		}
+	}
+	q.push(exNode{w: start, depth: 0, fp: startFP})
+
+	accs := make([]*workerAcc, opts.Workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < opts.Workers; wi++ {
+		acc := &workerAcc{
+			outputs:         map[string]bool{},
+			deadlockOutputs: map[string]bool{},
+			predicateHits:   make([]bool, len(opts.Predicates)),
+		}
+		accs[wi] = acc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lane := &alloc{} // private free list; popped worlds re-tag to it
+			var encBuf []byte
+			var choiceBuf, live []Choice
+			var liveFPs []*stepFP
+			observe := func(w *World) {
+				if opts.Predicate != nil && opts.Predicate(w) {
+					acc.predicateHit = true
+				}
+				for i, p := range opts.Predicates {
+					if !acc.predicateHits[i] && p(w) {
+						acc.predicateHits[i] = true
+					}
+				}
+			}
+			for {
+				n, ok := q.pop()
+				if !ok {
+					return
+				}
+				// The popping worker exclusively owns this world now; its
+				// clones and recycled containers go through this lane.
+				n.w.alloc = lane
+				choiceBuf = n.w.runnableInto(choiceBuf)
+				choices := choiceBuf
+				if len(choices) == 0 {
+					kind := n.w.classifyBlocked()
+					ts := &shards[n.fp.shard()]
+					ts.mu.Lock()
+					first := !ts.term[n.fp]
+					if first {
+						ts.term[n.fp] = true
+					}
+					ts.mu.Unlock()
+					if first {
+						term := Terminal{Kind: kind, Output: n.w.Output()}
+						if kind == Deadlocked {
+							term.Blocked = n.w.BlockedTasks()
+							acc.deadlocks++
+							acc.deadlockOutputs[term.Output] = true
+						} else {
+							acc.outputs[term.Output] = true
+						}
+						acc.terminals = append(acc.terminals, term)
+					}
+					if canRecycle {
+						n.w.recycle()
+					}
+					q.finish()
+					continue
+				}
+				if n.depth >= maxDepth {
+					acc.truncated = true
+					if canRecycle {
+						n.w.recycle()
+					}
+					q.finish()
+					continue
+				}
+				live = live[:0]
+				if por && len(n.sleep) > 0 {
+					for _, ch := range choices {
+						slept := false
+						for i := range n.sleep {
+							if n.sleep[i].ch == ch {
+								slept = true
+								break
+							}
+						}
+						if !slept {
+							live = append(live, ch)
+						}
+					}
+				} else {
+					live = append(live, choices...)
+				}
+				if por {
+					liveFPs = liveFPs[:0]
+					for _, ch := range live {
+						liveFPs = append(liveFPs, n.w.stepFootprint(ch))
+					}
+				}
+				reused := false
+				for i, ch := range live {
+					if statesVisited.Load() >= int64(maxStates) {
+						acc.truncated = true
+						break
+					}
+					var child *World
+					if i == len(live)-1 {
+						child = n.w
+						reused = true
+					} else {
+						child = n.w.Clone()
+					}
+					if err := child.Step(ch); err != nil {
+						q.fail(err)
+						break
+					}
+					acc.transitions++
+					var childSleep []sleepEntry
+					if por {
+						chFP := liveFPs[i]
+						for j := range n.sleep {
+							e := &n.sleep[j]
+							if e.ch.TaskIdx != ch.TaskIdx && independentSteps(e.fp, chFP) {
+								childSleep = append(childSleep, *e)
+							}
+						}
+						for j := 0; j < i; j++ {
+							if live[j].TaskIdx != ch.TaskIdx && independentSteps(liveFPs[j], chFP) {
+								childSleep = append(childSleep, sleepEntry{ch: live[j], fp: liveFPs[j]})
+							}
+						}
+					}
+					encBuf = child.appendEncode(encBuf[:0])
+					cfp := fingerprintOf(encBuf)
+					s := &shards[cfp.shard()]
+					s.mu.Lock()
+					_, dup := s.seen[cfp]
+					if !dup {
+						s.seen[cfp] = struct{}{}
+						if s.enc != nil {
+							s.enc[cfp] = string(encBuf)
+						}
+						if por {
+							s.sleep[cfp] = sleepChoices(childSleep)
+						}
+						s.mu.Unlock()
+						statesVisited.Add(1)
+						observe(child)
+						q.push(exNode{w: child, depth: n.depth + 1, fp: cfp, sleep: childSleep})
+						continue
+					}
+					if s.enc != nil && s.enc[cfp] != string(encBuf) {
+						acc.collisions++
+					}
+					if por {
+						stored := s.sleep[cfp]
+						if !sleepCovered(stored, childSleep) {
+							inter := sleepIntersect(stored, childSleep)
+							s.sleep[cfp] = sleepChoices(inter)
+							s.mu.Unlock()
+							q.push(exNode{w: child, depth: n.depth + 1, fp: cfp, sleep: inter})
+							continue
+						}
+					}
+					s.mu.Unlock()
+					if child == n.w {
+						reused = false
+					} else if canRecycle {
+						child.recycle()
+					}
+				}
+				if !reused && canRecycle {
+					n.w.recycle()
+				}
+				q.finish()
+			}
+		}()
+	}
+	wg.Wait()
+
+	outputSet := map[string]bool{}
+	deadlockOutputSet := map[string]bool{}
+	for _, acc := range accs {
+		res.Terminals = append(res.Terminals, acc.terminals...)
+		res.Deadlocks += acc.deadlocks
+		res.Transitions += acc.transitions
+		res.AuditCollisions += acc.collisions
+		if acc.predicateHit {
+			res.PredicateHit = true
+		}
+		for i, h := range acc.predicateHits {
+			if h {
+				res.PredicateHits[i] = true
+			}
+		}
+		if acc.truncated {
+			res.Truncated = true
+		}
+		for o := range acc.outputs {
+			outputSet[o] = true
+		}
+		for o := range acc.deadlockOutputs {
+			deadlockOutputSet[o] = true
+		}
+	}
+	// Deterministic order regardless of which worker claimed which terminal.
+	sort.Slice(res.Terminals, func(i, j int) bool {
+		a, b := res.Terminals[i], res.Terminals[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Output != b.Output {
+			return a.Output < b.Output
+		}
+		return strings.Join(a.Blocked, "|") < strings.Join(b.Blocked, "|")
+	})
+	for o := range outputSet {
+		res.Outputs = append(res.Outputs, o)
+	}
+	sort.Strings(res.Outputs)
+	for o := range deadlockOutputSet {
+		res.DeadlockOutputs = append(res.DeadlockOutputs, o)
+	}
+	sort.Strings(res.DeadlockOutputs)
+	res.StatesVisited = int(statesVisited.Load())
+	if q.err != nil {
+		return res, errors.Join(ErrExploreError, q.err)
+	}
+	return res, nil
+}

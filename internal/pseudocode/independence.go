@@ -1,0 +1,251 @@
+package pseudocode
+
+// Static independence relation for partial-order reduction.
+//
+// Two enabled transitions (atomic steps of different tasks) are independent
+// when executing them in either order reaches the same state and neither
+// enables or disables the other. We approximate this conservatively at
+// compile time: for every instruction position a task can park at, we walk
+// the instructions the next atomic step could execute (up to the next OpStep
+// boundary) and record a footprint — global reads/writes, lock slots,
+// whether the step touches the heap, mailboxes, the waiter list, spawns
+// tasks, or prints. Two steps are independent only if every one of those
+// channels is disjoint. Anything the analysis cannot bound (method calls,
+// frame pops, calls into step-less bodies) makes the step "universal":
+// dependent on everything.
+//
+// Conservatism here only costs reduction, never correctness: a dependency we
+// fail to see would be unsound, a dependency we invent merely explores a few
+// more interleavings.
+
+// bitset is a fixed-width bit set over slot indices.
+type bitset []uint64
+
+func newBitsetFor(n int) bitset {
+	if n == 0 {
+		return nil
+	}
+	return make(bitset, (n+63)/64)
+}
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (i % 64) }
+
+func (b bitset) intersects(o bitset) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stepFP is the static footprint of one atomic step.
+type stepFP struct {
+	universal bool   // conflicts with everything
+	readsG    bitset // global slots possibly read
+	writesG   bitset // global slots possibly written
+	locks     bitset // lock slots acquired/released/probed
+	allLocks  bool   // may touch an unbounded lock set (WAIT under CoarseLock)
+	heapRW    bool   // may read or write object fields
+	mailbox   bool   // sends, receives, or rendezvous-unblocks
+	spawn     bool   // allocates objects or task IDs (order-sensitive counters)
+	print     bool   // appends to the ordered output
+	syncW     bool   // touches the waiter list (WAIT/NOTIFY)
+}
+
+var universalStepFP = &stepFP{universal: true}
+
+func (a *stepFP) usesLocks() bool { return a.allLocks || !a.locks.empty() }
+
+// independentSteps reports whether two steps of *different* tasks commute.
+func independentSteps(a, b *stepFP) bool {
+	if a.universal || b.universal {
+		return false
+	}
+	if a.spawn && b.spawn {
+		return false
+	}
+	if a.mailbox && b.mailbox {
+		return false
+	}
+	if a.print && b.print {
+		return false
+	}
+	if a.syncW && b.syncW {
+		return false
+	}
+	if (a.allLocks && b.usesLocks()) || (b.allLocks && a.usesLocks()) {
+		return false
+	}
+	if a.locks.intersects(b.locks) {
+		return false
+	}
+	if a.heapRW && b.heapRW {
+		return false
+	}
+	if a.writesG.intersects(b.writesG) || a.writesG.intersects(b.readsG) || a.readsG.intersects(b.writesG) {
+		return false
+	}
+	return true
+}
+
+// computeStepFootprints fills code.stepFPs for every code object. Every
+// instruction index is a potential park position (OpStep boundaries, blocked
+// blocking-ops, and post-OpSend rendezvous resumption), so we analyze all of
+// them; programs are small enough that the quadratic sweep is negligible.
+func computeStepFootprints(p *Compiled) {
+	for _, code := range p.allCodeObjects() {
+		code.stepFPs = make([]*stepFP, len(code.Instrs))
+		for ip := range code.Instrs {
+			code.stepFPs[ip] = analyzeStep(p, code, ip)
+		}
+	}
+}
+
+func analyzeStep(p *Compiled, code *CodeObject, start int) *stepFP {
+	nG := len(p.GlobalNames)
+	nL := len(p.LockVars)
+	fp := &stepFP{readsG: newBitsetFor(nG), writesG: newBitsetFor(nG), locks: newBitsetFor(nL)}
+	params := map[string]bool{}
+	for _, pn := range code.Params {
+		params[pn] = true
+	}
+	seen := make([]bool, len(code.Instrs))
+	addLocks := func(slots []int) {
+		for _, s := range slots {
+			fp.locks.set(s)
+		}
+	}
+	var walk func(ip int)
+	walk = func(ip int) {
+		for {
+			if ip < 0 || ip >= len(code.Instrs) {
+				fp.universal = true
+				return
+			}
+			if seen[ip] {
+				return
+			}
+			seen[ip] = true
+			in := code.Instrs[ip]
+			switch in.Op {
+			case OpStep:
+				if ip == start {
+					ip++ // consuming our own boundary
+					continue
+				}
+				return // next statement boundary: step ends
+			case OpPush, OpPop, OpBinary, OpUnary, OpMakeMsg:
+				ip++
+			case OpLoad:
+				if !params[in.S] {
+					if code.IsMethod {
+						fp.heapRW = true // may resolve to a self field
+					}
+					if in.G >= 0 {
+						fp.readsG.set(in.G)
+					}
+				}
+				ip++
+			case OpStore:
+				if !params[in.S] {
+					if code.IsMethod {
+						fp.heapRW = true
+					}
+					if in.G >= 0 {
+						fp.writesG.set(in.G)
+					}
+				}
+				ip++
+			case OpLoadSelf:
+				ip++
+			case OpGetField, OpSetField:
+				fp.heapRW = true
+				ip++
+			case OpJump:
+				ip = in.A
+			case OpJumpIfFalse:
+				walk(in.A)
+				ip++
+			case OpPrint:
+				fp.print = true
+				ip++
+			case OpCall:
+				callee := p.Funcs[in.S]
+				if callee == nil {
+					fp.universal = true
+					return
+				}
+				// Under CoarseLock the call acquires the callee's ExcVars;
+				// including them unconditionally is conservative elsewhere.
+				addLocks(callee.ExcIdx)
+				if len(callee.Instrs) > 0 && callee.Instrs[0].Op == OpStep {
+					return // step ends parked at the callee's first statement
+				}
+				// Step-less callee bodies run to the frame pop within this
+				// step, continuing at an unknown caller position.
+				fp.universal = true
+				return
+			case OpCallMethod:
+				fp.universal = true // dynamic dispatch target; may spawn a receiver
+				return
+			case OpReturn:
+				fp.universal = true // resumes the caller mid-expression
+				return
+			case OpNew:
+				fp.spawn = true // heap index allocation order
+				fp.heapRW = true
+				ip++
+			case OpSend:
+				fp.mailbox = true
+				ip++ // a sync-send park resumes at ip+1, a separate position
+			case OpAcquire:
+				addLocks(p.FootprintIdx[in.A])
+				ip++ // may block (adds nothing) or proceed: union of both
+			case OpRelease:
+				addLocks(p.FootprintIdx[in.A])
+				ip++
+			case OpWait:
+				fp.syncW = true
+				fp.allLocks = true // CoarseLock releases the dynamic held set
+				if ip == start {
+					ip++ // resuming from the woken state: re-acquire, continue
+					continue
+				}
+				return // first encounter parks here
+			case OpNotify:
+				fp.syncW = true
+				ip++
+			case OpPara:
+				fp.spawn = true // task ID allocation order
+				ip++
+			case OpParaJoin:
+				ip++ // blocked path adds nothing; join proceeds otherwise
+			case OpReceive:
+				fp.mailbox = true
+				for _, cl := range p.RecvTables[in.A].Clauses {
+					walk(cl.Target)
+				}
+				return
+			default:
+				fp.universal = true
+				return
+			}
+		}
+	}
+	walk(start)
+	return fp
+}

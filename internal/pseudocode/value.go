@@ -2,7 +2,8 @@ package pseudocode
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -10,7 +11,7 @@ import (
 // object reference, or a message.
 type Value interface {
 	// encode appends a canonical representation used for state hashing.
-	encode(b *strings.Builder)
+	encode(b []byte) []byte
 	// display renders the value the way PRINT shows it.
 	display() string
 }
@@ -39,25 +40,60 @@ type MsgV struct {
 	Args []Value
 }
 
-func (v IntV) encode(b *strings.Builder)   { fmt.Fprintf(b, "i%d", int64(v)) }
-func (v FloatV) encode(b *strings.Builder) { fmt.Fprintf(b, "f%g", float64(v)) }
-func (v StrV) encode(b *strings.Builder)   { fmt.Fprintf(b, "s%q", string(v)) }
-func (v BoolV) encode(b *strings.Builder)  { fmt.Fprintf(b, "b%t", bool(v)) }
-func (v NullV) encode(b *strings.Builder)  { b.WriteString("n") }
-func (v RefV) encode(b *strings.Builder)   { fmt.Fprintf(b, "r%d", int(v)) }
-func (v MsgV) encode(b *strings.Builder) {
-	fmt.Fprintf(b, "m%q(", v.Name)
-	for i, a := range v.Args {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		a.encode(b)
-	}
-	b.WriteByte(')')
+// The canonical encoding is a binary format built for hashing, not reading:
+// every value starts with a one-byte tag, numerics are fixed-width
+// little-endian, and strings are length-prefixed raw bytes. Each encoded
+// value is self-delimiting, which makes concatenations injective without
+// separators or escaping (the seed's quoted/decimal text format spent most
+// of its time in strconv).
+
+// appendU32 appends v as 4 little-endian bytes.
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
-func (v IntV) display() string   { return fmt.Sprintf("%d", int64(v)) }
-func (v FloatV) display() string { return fmt.Sprintf("%g", float64(v)) }
+// appendU64 appends v as 8 little-endian bytes.
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// appendStr appends a length-prefixed raw string.
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func (v IntV) encode(b []byte) []byte {
+	return appendU64(append(b, 'i'), uint64(int64(v)))
+}
+func (v FloatV) encode(b []byte) []byte {
+	return appendU64(append(b, 'f'), math.Float64bits(float64(v)))
+}
+func (v StrV) encode(b []byte) []byte {
+	return appendStr(append(b, 's'), string(v))
+}
+func (v BoolV) encode(b []byte) []byte {
+	if v {
+		return append(b, 'T')
+	}
+	return append(b, 'F')
+}
+func (v NullV) encode(b []byte) []byte { return append(b, 'n') }
+func (v RefV) encode(b []byte) []byte {
+	return appendU32(append(b, 'r'), uint32(int32(v)))
+}
+func (v MsgV) encode(b []byte) []byte {
+	b = appendStr(append(b, 'm'), v.Name)
+	b = appendU32(b, uint32(len(v.Args)))
+	for _, a := range v.Args {
+		b = a.encode(b)
+	}
+	return b
+}
+
+func (v IntV) display() string   { return strconv.FormatInt(int64(v), 10) }
+func (v FloatV) display() string { return strconv.FormatFloat(float64(v), 'g', -1, 64) }
 func (v StrV) display() string   { return string(v) }
 func (v BoolV) display() string {
 	if v {
@@ -75,11 +111,9 @@ func (v MsgV) display() string {
 	return fmt.Sprintf("MESSAGE.%s(%s)", v.Name, strings.Join(parts, ", "))
 }
 
-// encodeValue renders v canonically (helper for tests).
+// encodeValue renders v canonically (helper for tests and message interning).
 func encodeValue(v Value) string {
-	var b strings.Builder
-	v.encode(&b)
-	return b.String()
+	return string(v.encode(nil))
 }
 
 // truthy converts a value to a condition result; only BoolV is accepted,
@@ -138,36 +172,69 @@ func valuesEqual(a, b Value) bool {
 	return false
 }
 
+// fieldKV is one object field. Object fields are kept as a slice sorted by
+// key so cloning is a single copy and encoding needs no per-state sort.
+type fieldKV struct {
+	k string
+	v Value
+}
+
 // Object is a heap-allocated class instance. Its mailbox is stored in the
 // World, keyed by object ID, so Objects themselves stay simple records.
 type Object struct {
 	Class  string
-	Fields map[string]Value
+	fields []fieldKV // sorted by key
 }
 
-func (o *Object) encode(b *strings.Builder) {
-	fmt.Fprintf(b, "O%q{", o.Class)
-	keys := make([]string, 0, len(o.Fields))
-	for k := range o.Fields {
-		keys = append(keys, k)
+// Field returns the named field's value, or nil when unset.
+func (o *Object) Field(name string) Value {
+	for i := range o.fields {
+		if o.fields[i].k == name {
+			return o.fields[i].v
+		}
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(b, "%q=", k)
-		o.Fields[k].encode(b)
-		b.WriteByte(';')
+	return nil
+}
+
+// SetField sets a field, keeping the field list sorted by key.
+func (o *Object) SetField(name string, v Value) {
+	i := 0
+	for i < len(o.fields) && o.fields[i].k < name {
+		i++
 	}
-	b.WriteString("}")
+	if i < len(o.fields) && o.fields[i].k == name {
+		o.fields[i].v = v
+		return
+	}
+	o.fields = append(o.fields, fieldKV{})
+	copy(o.fields[i+1:], o.fields[i:])
+	o.fields[i] = fieldKV{k: name, v: v}
+}
+
+// FieldNames returns the field names in sorted order.
+func (o *Object) FieldNames() []string {
+	out := make([]string, len(o.fields))
+	for i := range o.fields {
+		out[i] = o.fields[i].k
+	}
+	return out
+}
+
+func (o *Object) encode(b []byte) []byte {
+	b = appendStr(append(b, 'O'), o.Class)
+	b = appendU32(b, uint32(len(o.fields)))
+	for i := range o.fields {
+		b = appendStr(b, o.fields[i].k)
+		b = o.fields[i].v.encode(b)
+	}
+	return b
 }
 
 // clone deep-copies the object (values are immutable; only containers copy).
 func (o *Object) clone() *Object {
 	n := &Object{Class: o.Class}
-	if o.Fields != nil {
-		n.Fields = make(map[string]Value, len(o.Fields))
-		for k, v := range o.Fields {
-			n.Fields[k] = v
-		}
+	if len(o.fields) > 0 {
+		n.fields = append(make([]fieldKV, 0, len(o.fields)), o.fields...)
 	}
 	return n
 }

@@ -56,15 +56,30 @@ func TestDisplayForms(t *testing.T) {
 }
 
 func TestEncodeForms(t *testing.T) {
-	if encodeValue(RefV(2)) != "r2" {
-		t.Fatalf("RefV encode = %q", encodeValue(RefV(2)))
+	if got := encodeValue(RefV(2)); got != "r\x02\x00\x00\x00" {
+		t.Fatalf("RefV encode = %q", got)
 	}
-	if encodeValue(NullV{}) != "n" {
-		t.Fatalf("NullV encode = %q", encodeValue(NullV{}))
+	if got := encodeValue(NullV{}); got != "n" {
+		t.Fatalf("NullV encode = %q", got)
 	}
-	got := encodeValue(MsgV{Name: "m", Args: []Value{IntV(1), BoolV(false)}})
-	if got != `m"m"(i1,bfalse)` {
+	want := "m\x01\x00\x00\x00m\x02\x00\x00\x00i\x01\x00\x00\x00\x00\x00\x00\x00F"
+	if got := encodeValue(MsgV{Name: "m", Args: []Value{IntV(1), BoolV(false)}}); got != want {
 		t.Fatalf("MsgV encode = %q", got)
+	}
+	// The encoding must be injective: values that differ (or equal values of
+	// different dynamic type) must never share an encoding.
+	distinct := []Value{
+		IntV(0), IntV(1), IntV(-1), FloatV(0), FloatV(1), FloatV(-1),
+		StrV(""), StrV("a"), StrV("i1"), BoolV(true), BoolV(false), NullV{},
+		RefV(0), RefV(-1), MsgV{Name: "a"}, MsgV{Name: "a", Args: []Value{NullV{}}},
+	}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		enc := encodeValue(v)
+		if prev, dup := seen[enc]; dup {
+			t.Fatalf("encoding collision: %#v and %#v both encode to %q", prev, v, enc)
+		}
+		seen[enc] = v
 	}
 }
 

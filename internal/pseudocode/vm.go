@@ -3,6 +3,7 @@ package pseudocode
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -47,27 +48,54 @@ var blockNames = [...]string{"", "acquire", "wait", "reacquire", "join", "receiv
 
 func (b blockKind) String() string { return blockNames[b] }
 
-// frame is one activation record.
+// frame is one activation record. It is a plain value stored in
+// Task.frames; its locals and operand stack live in the task's shared
+// value arena (Task.vals), starting at base:
+//
+//	vals[base : base+code.NumLocals]   locals (slot-indexed, nil = unbound)
+//	vals[base+code.NumLocals : end]    operand stack (end = next frame's
+//	                                   base, or len(vals) for the top frame)
+//
+// A task clone is therefore two slice copies, with no per-frame allocation.
 type frame struct {
 	code     *CodeObject
 	ip       int
-	locals   map[string]Value
-	stack    []Value
-	self     RefV     // -1 when not in a method
-	heldCall []string // vars acquired at call entry under CoarseLock
+	self     RefV  // -1 when not in a method
+	base     int   // offset of this frame's region in Task.vals
+	heldCall []int // lock slots acquired at call entry under CoarseLock
+	// heldCall aliases compiled-program data and is never written through.
 }
 
-func (f *frame) clone() *frame {
-	n := &frame{code: f.code, ip: f.ip, self: f.self}
-	if f.locals != nil {
-		n.locals = make(map[string]Value, len(f.locals))
-		for k, v := range f.locals {
-			n.locals[k] = v
-		}
+// alloc is a free list of world/task containers. The explorer clones and
+// discards worlds at a rate of millions per run; recycling the container
+// allocations (not the immutable Values inside) takes that churn off the
+// GC. Each search lane — the sequential explorer, or one worker of the
+// parallel explorer — owns a private alloc, so get/put are plain slice
+// operations with no atomics (a sync.Pool here cost ~25% of exploration
+// time in pushHead/CompareAndSwap). A world carries a pointer to the alloc
+// that owns it; the parallel explorer re-tags a popped world with the
+// popping worker's alloc before cloning or recycling it.
+type alloc struct {
+	worlds []*World
+	tasks  []*Task
+}
+
+func (a *alloc) getWorld() *World {
+	if a != nil && len(a.worlds) > 0 {
+		w := a.worlds[len(a.worlds)-1]
+		a.worlds = a.worlds[:len(a.worlds)-1]
+		return w
 	}
-	n.stack = append([]Value(nil), f.stack...)
-	n.heldCall = append([]string(nil), f.heldCall...)
-	return n
+	return &World{}
+}
+
+func (a *alloc) getTask() *Task {
+	if a != nil && len(a.tasks) > 0 {
+		t := a.tasks[len(a.tasks)-1]
+		a.tasks = a.tasks[:len(a.tasks)-1]
+		return t
+	}
+	return &Task{}
 }
 
 // Task is one concurrent activity (the main program, a PARA child, or a
@@ -76,11 +104,12 @@ type Task struct {
 	ID       int
 	Name     string
 	Parent   int // -1 for main
-	frames   []*frame
+	frames   []frame
+	vals     []Value // shared locals+stack arena for all frames
 	block    blockKind
-	blockFP  []string // vars for blockAcquire/blockReacquire
-	blockSeq int      // mail seq for blockRendezvous
-	children int      // live child count for join
+	blockFP  []int // lock slots for blockAcquire/blockReacquire
+	blockSeq int   // mail seq for blockRendezvous
+	children int   // live child count for join
 	Done     bool
 	// Steps counts atomic steps this task executed. Path metadata: it is
 	// excluded from state encoding and exists for fairness measurements.
@@ -94,8 +123,8 @@ func (t *Task) BlockedOn() string { return t.block.String() }
 // for the named function or method. Intended for explorer predicates
 // ("is this car inside redEnter?").
 func (t *Task) InFunction(name string) bool {
-	for _, f := range t.frames {
-		if f.code.Name == name {
+	for i := range t.frames {
+		if t.frames[i].code.Name == name {
 			return true
 		}
 	}
@@ -108,17 +137,19 @@ func (t *Task) Waiting() bool {
 	return t.block == blockWaitNotify || t.block == blockReacquire
 }
 
-func (t *Task) clone() *Task {
-	n := &Task{
-		ID: t.ID, Name: t.Name, Parent: t.Parent,
-		block: t.block, blockSeq: t.blockSeq, children: t.children, Done: t.Done,
-		Steps: t.Steps,
-	}
-	n.blockFP = append([]string(nil), t.blockFP...)
-	n.frames = make([]*frame, len(t.frames))
-	for i, f := range t.frames {
-		n.frames[i] = f.clone()
-	}
+func (t *Task) clone(a *alloc) *Task {
+	n := a.getTask()
+	n.ID = t.ID
+	n.Name = t.Name
+	n.Parent = t.Parent
+	n.block = t.block
+	n.blockSeq = t.blockSeq
+	n.children = t.children
+	n.Done = t.Done
+	n.Steps = t.Steps
+	n.blockFP = append(n.blockFP[:0], t.blockFP...)
+	n.frames = append(n.frames[:0], t.frames...)
+	n.vals = append(n.vals[:0], t.vals...)
 	return n
 }
 
@@ -126,29 +157,70 @@ func (t *Task) top() *frame {
 	if len(t.frames) == 0 {
 		return nil
 	}
-	return t.frames[len(t.frames)-1]
+	return &t.frames[len(t.frames)-1]
+}
+
+// pushFrame appends an activation record for code, reserving its local
+// slots (unbound) at the end of the arena.
+func (t *Task) pushFrame(code *CodeObject, self RefV) *frame {
+	base := len(t.vals)
+	for i := 0; i < code.NumLocals; i++ {
+		t.vals = append(t.vals, nil)
+	}
+	t.frames = append(t.frames, frame{code: code, self: self, base: base})
+	return &t.frames[len(t.frames)-1]
+}
+
+// push appends v to the top frame's operand stack.
+func (t *Task) push(v Value) { t.vals = append(t.vals, v) }
+
+// pop removes the top of the operand stack of frame f (which must be the
+// top frame).
+func (t *Task) pop(f *frame) Value {
+	floor := f.base + f.code.NumLocals
+	if len(t.vals) <= floor {
+		return NullV{}
+	}
+	v := t.vals[len(t.vals)-1]
+	t.vals = t.vals[:len(t.vals)-1]
+	return v
+}
+
+// popN pops n values, preserving their push order, into a fresh slice.
+func (t *Task) popN(f *frame, n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	vals := make([]Value, n)
+	for i := n - 1; i >= 0; i-- {
+		vals[i] = t.pop(f)
+	}
+	return vals
 }
 
 // mailEntry is one message in a mailbox, with a sequence number for
 // rendezvous identity and FIFO ordering (the seq is excluded from state
-// hashing).
+// hashing) and the message's canonical encoding interned at send time.
 type mailEntry struct {
 	seq int
 	msg MsgV
+	enc string
 }
 
 // World is the full machine state: shared globals, heap, tasks, locks,
 // wait queue, and output. Worlds are cloneable so the explorer can branch.
+// Globals and locks are slot-indexed slices (slots assigned at compile
+// time); mailboxes are indexed alongside the heap.
 type World struct {
 	prog    *Compiled
 	sem     Semantics
-	Globals map[string]Value
+	globals []Value // slot-indexed; nil = unset
 	heap    []*Object
-	mail    map[int][]mailEntry // object id -> mailbox
+	mail    [][]mailEntry // object id -> mailbox (parallel to heap)
 	Tasks   []*Task
-	locks   map[string]lockState
-	waiters []int // task IDs parked in WAIT, in arrival order
-	output  strings.Builder
+	locks   []lockState // slot-indexed; depth==0 = free
+	waiters []int       // task IDs parked in WAIT, in arrival order
+	output  []byte
 	msgSeq  int
 	nextTID int
 
@@ -156,12 +228,21 @@ type World struct {
 	Trace func(ev StepEvent)
 	// steps counts atomic steps executed.
 	steps int
+
+	// scratch buffers (never cloned, reused across calls on this world).
+	scrCands []candidate
+	scrArgs  []Value
+	scrEncs  []string
+
+	// alloc is the free list this world's containers came from and return
+	// to; nil outside the explorer (plain allocation, no recycling).
+	alloc *alloc
 }
 
 // lockState records the holder of one guarded variable.
 type lockState struct {
 	holder int // task ID
-	depth  int // re-entrancy count
+	depth  int // re-entrancy count; 0 = free
 }
 
 // StepEvent describes one atomic step for tracing.
@@ -190,56 +271,82 @@ func NewWorld(prog *Compiled, sem Semantics) *World {
 	w := &World{
 		prog:    prog,
 		sem:     sem,
-		Globals: map[string]Value{},
-		mail:    map[int][]mailEntry{},
-		locks:   map[string]lockState{},
+		globals: make([]Value, len(prog.GlobalNames)),
+		locks:   make([]lockState, len(prog.LockVars)),
 	}
-	w.spawn("main", -1, prog.Main, nil, RefV(-1))
+	w.spawn("main", -1, prog.Main, RefV(-1))
 	return w
 }
 
-// Clone deep-copies the world (Trace is not carried over).
+// Clone deep-copies the world (Trace is not carried over). The copy comes
+// from a pool; the explorer returns finished worlds via recycle().
 func (w *World) Clone() *World {
-	n := &World{
-		prog:    w.prog,
-		sem:     w.sem,
-		Globals: make(map[string]Value, len(w.Globals)),
-		heap:    make([]*Object, len(w.heap)),
-		mail:    make(map[int][]mailEntry, len(w.mail)),
-		Tasks:   make([]*Task, len(w.Tasks)),
-		locks:   make(map[string]lockState, len(w.locks)),
-		msgSeq:  w.msgSeq,
-		nextTID: w.nextTID,
-		steps:   w.steps,
+	n := w.alloc.getWorld()
+	n.alloc = w.alloc
+	n.prog = w.prog
+	n.sem = w.sem
+	n.msgSeq = w.msgSeq
+	n.nextTID = w.nextTID
+	n.steps = w.steps
+	n.Trace = nil
+	n.globals = append(n.globals[:0], w.globals...)
+	n.heap = n.heap[:0]
+	for _, o := range w.heap {
+		n.heap = append(n.heap, o.clone())
 	}
-	for k, v := range w.Globals {
-		n.Globals[k] = v
+	n.mail = n.mail[:0]
+	for _, box := range w.mail {
+		if len(box) == 0 {
+			n.mail = append(n.mail, nil)
+		} else {
+			n.mail = append(n.mail, append([]mailEntry(nil), box...))
+		}
 	}
-	for i, o := range w.heap {
-		n.heap[i] = o.clone()
+	n.Tasks = n.Tasks[:0]
+	for _, t := range w.Tasks {
+		n.Tasks = append(n.Tasks, t.clone(w.alloc))
 	}
-	for k, v := range w.mail {
-		n.mail[k] = append([]mailEntry(nil), v...)
-	}
-	for i, t := range w.Tasks {
-		n.Tasks[i] = t.clone()
-	}
-	for k, v := range w.locks {
-		n.locks[k] = v
-	}
-	n.waiters = append([]int(nil), w.waiters...)
-	n.output.WriteString(w.output.String())
+	n.locks = append(n.locks[:0], w.locks...)
+	n.waiters = append(n.waiters[:0], w.waiters...)
+	n.output = append(n.output[:0], w.output...)
 	return n
 }
 
+// recycle returns the world's containers to its alloc free list. Only the
+// explorer calls it, and only for worlds it owns exclusively (never ones
+// observed by user predicates).
+func (w *World) recycle() {
+	a := w.alloc
+	if a == nil {
+		return
+	}
+	for _, t := range w.Tasks {
+		t.frames = t.frames[:0]
+		t.vals = t.vals[:0]
+		a.tasks = append(a.tasks, t)
+	}
+	w.Tasks = w.Tasks[:0]
+	for i := range w.heap {
+		w.heap[i] = nil
+	}
+	w.heap = w.heap[:0]
+	w.Trace = nil
+	a.worlds = append(a.worlds, w)
+}
+
 // Output returns everything printed so far.
-func (w *World) Output() string { return w.output.String() }
+func (w *World) Output() string { return string(w.output) }
 
 // Steps returns the number of atomic steps executed.
 func (w *World) Steps() int { return w.steps }
 
 // GetGlobal returns a global variable's value (nil if unset).
-func (w *World) GetGlobal(name string) Value { return w.Globals[name] }
+func (w *World) GetGlobal(name string) Value {
+	if i, ok := w.prog.globalIdx[name]; ok {
+		return w.globals[i]
+	}
+	return nil
+}
 
 // TaskByName returns the first non-done task with the given name, or nil.
 func (w *World) TaskByName(name string) *Task {
@@ -253,8 +360,8 @@ func (w *World) TaskByName(name string) *Task {
 
 // LockHolder returns the task ID holding var name, or -1.
 func (w *World) LockHolder(name string) int {
-	if ls, ok := w.locks[name]; ok {
-		return ls.holder
+	if i, ok := w.prog.lockIdx[name]; ok && w.locks[i].depth > 0 {
+		return w.locks[i].holder
 	}
 	return -1
 }
@@ -280,16 +387,20 @@ func (w *World) MailboxCount() int {
 	return n
 }
 
-func (w *World) spawn(name string, parent int, code *CodeObject, locals map[string]Value, self RefV) *Task {
-	if locals == nil {
-		locals = map[string]Value{}
-	}
-	t := &Task{
-		ID:     w.nextTID,
-		Name:   name,
-		Parent: parent,
-		frames: []*frame{{code: code, locals: locals, self: self}},
-	}
+func (w *World) spawn(name string, parent int, code *CodeObject, self RefV) *Task {
+	t := w.alloc.getTask()
+	t.ID = w.nextTID
+	t.Name = name
+	t.Parent = parent
+	t.block = blockNone
+	t.blockFP = t.blockFP[:0]
+	t.blockSeq = 0
+	t.children = 0
+	t.Done = false
+	t.Steps = 0
+	t.frames = t.frames[:0]
+	t.vals = t.vals[:0]
+	t.pushFrame(code, self)
 	w.nextTID++
 	w.Tasks = append(w.Tasks, t)
 	return t
@@ -306,8 +417,12 @@ type Choice struct {
 }
 
 // Runnable returns all scheduling choices available in the current state.
-func (w *World) Runnable() []Choice {
-	var out []Choice
+func (w *World) Runnable() []Choice { return w.runnableInto(nil) }
+
+// runnableInto appends the available choices to buf (reused by the
+// explorer's hot loop).
+func (w *World) runnableInto(buf []Choice) []Choice {
+	out := buf[:0]
 	for i, t := range w.Tasks {
 		n := w.taskOptions(t)
 		for o := 0; o < n; o++ {
@@ -359,7 +474,7 @@ func (w *World) taskOptions(t *Task) int {
 	}
 	switch probe.Op {
 	case OpAcquire:
-		if w.canAcquire(t.ID, w.prog.Footprints[probe.A]) {
+		if w.canAcquire(t.ID, w.prog.FootprintIdx[probe.A]) {
 			return 1
 		}
 		return 0
@@ -375,8 +490,8 @@ func (w *World) taskOptions(t *Task) int {
 		return len(cands)
 	case OpCall:
 		if w.sem.CoarseLock {
-			if fn := w.prog.Funcs[probe.S]; fn != nil && len(fn.ExcVars) > 0 {
-				if !w.canAcquire(t.ID, fn.ExcVars) {
+			if fn := w.prog.Funcs[probe.S]; fn != nil && len(fn.ExcIdx) > 0 {
+				if !w.canAcquire(t.ID, fn.ExcIdx) {
 					return 0
 				}
 			}
@@ -387,39 +502,42 @@ func (w *World) taskOptions(t *Task) int {
 	}
 }
 
-func (w *World) canAcquire(tid int, vars []string) bool {
-	for _, v := range vars {
-		if ls, ok := w.locks[v]; ok && ls.holder != tid {
+func (w *World) canAcquire(tid int, slots []int) bool {
+	for _, s := range slots {
+		if ls := &w.locks[s]; ls.depth > 0 && ls.holder != tid {
 			return false
 		}
 	}
 	return true
 }
 
-func (w *World) acquire(tid int, vars []string) {
-	for _, v := range vars {
-		ls := w.locks[v]
+func (w *World) acquire(tid int, slots []int) {
+	for _, s := range slots {
+		ls := &w.locks[s]
 		if ls.depth == 0 {
 			ls.holder = tid
 		}
 		ls.depth++
-		w.locks[v] = ls
 	}
 }
 
-func (w *World) release(tid int, vars []string) {
-	for _, v := range vars {
-		ls, ok := w.locks[v]
-		if !ok || ls.holder != tid {
+func (w *World) release(tid int, slots []int) {
+	for _, s := range slots {
+		ls := &w.locks[s]
+		if ls.depth == 0 || ls.holder != tid {
 			continue
 		}
 		ls.depth--
-		if ls.depth <= 0 {
-			delete(w.locks, v)
-		} else {
-			w.locks[v] = ls
-		}
 	}
+}
+
+// lockNames renders lock slots for traces.
+func (w *World) lockNames(slots []int) string {
+	names := make([]string, len(slots))
+	for i, s := range slots {
+		names[i] = w.prog.LockVars[s]
+	}
+	return strings.Join(names, ",")
 }
 
 // receiveCandidates lists the mailbox entries task t could consume, in
@@ -433,12 +551,13 @@ type candidate struct {
 func (w *World) receiveCandidates(t *Task, table RecvTable) []candidate {
 	f := t.top()
 	box := w.mail[int(f.self)]
-	var cands []candidate
+	cands := w.scrCands[:0]
 	consider := func(i int) {
-		e := box[i]
-		for ci, cl := range table.Clauses {
+		e := &box[i]
+		for ci := range table.Clauses {
+			cl := &table.Clauses[ci]
 			if cl.MsgName == e.msg.Name && len(cl.Params) == len(e.msg.Args) {
-				cands = append(cands, candidate{entryIdx: i, clauseIdx: ci, enc: encodeValue(e.msg)})
+				cands = append(cands, candidate{entryIdx: i, clauseIdx: ci, enc: e.enc})
 				return
 			}
 		}
@@ -447,22 +566,29 @@ func (w *World) receiveCandidates(t *Task, table RecvTable) []candidate {
 		if len(box) > 0 {
 			consider(0) // strict order: only the head is deliverable
 		}
+		w.scrCands = cands
 		return cands
 	}
 	for i := range box {
 		consider(i)
 	}
 	// Canonical order and dedup by message content: receiving either of two
-	// identical messages leads to the same state.
-	sort.Slice(cands, func(a, b int) bool { return cands[a].enc < cands[b].enc })
-	uniq := cands[:0]
-	var last string
-	for i, c := range cands {
-		if i == 0 || c.enc != last {
-			uniq = append(uniq, c)
-			last = c.enc
+	// identical messages leads to the same state. Candidate lists are tiny;
+	// insertion sort avoids sort.Slice overhead in the hot path.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].enc < cands[j-1].enc; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
 	}
+	uniq := cands[:0]
+	var last string
+	for i := range cands {
+		if i == 0 || cands[i].enc != last {
+			last = cands[i].enc
+			uniq = append(uniq, cands[i])
+		}
+	}
+	w.scrCands = cands[:0]
 	return uniq
 }
 
@@ -496,67 +622,77 @@ func (w *World) Step(ch Choice) error {
 			consumed = true
 			f.ip++
 		case OpPush:
-			f.stack = append(f.stack, w.prog.Consts[in.A])
+			t.push(w.prog.Consts[in.A])
 			f.ip++
 		case OpLoad:
-			v, err := w.load(t, f, in.S, in.Line)
-			if err != nil {
-				return err
+			var v Value
+			if in.L >= 0 {
+				v = t.vals[f.base+in.L]
 			}
-			f.stack = append(f.stack, v)
+			if v == nil && int(f.self) >= 0 {
+				v = w.heap[f.self].Field(in.S)
+			}
+			if v == nil && in.G >= 0 {
+				v = w.globals[in.G]
+			}
+			if v == nil {
+				return &RuntimeError{t.Name, in.Line, "undefined variable " + in.S}
+			}
+			t.push(v)
 			f.ip++
 		case OpStore:
-			v := w.pop(f)
-			w.store(t, f, in.S, v)
-			w.trace(t, "assign", in.Line, in.S+" = "+v.display())
+			v := t.pop(f)
+			w.store(t, f, in, v)
+			if w.Trace != nil {
+				w.trace(t, "assign", in.Line, in.S+" = "+v.display())
+			}
 			f.ip++
 		case OpLoadSelf:
-			f.stack = append(f.stack, f.self)
+			t.push(f.self)
 			f.ip++
 		case OpGetField:
 			obj, err := w.popObject(t, f, in.Line)
 			if err != nil {
 				return err
 			}
-			v, ok := obj.Fields[in.S]
-			if !ok {
+			v := obj.Field(in.S)
+			if v == nil {
 				return &RuntimeError{t.Name, in.Line, "object has no field " + in.S}
 			}
-			f.stack = append(f.stack, v)
+			t.push(v)
 			f.ip++
 		case OpSetField:
-			v := w.pop(f)
+			v := t.pop(f)
 			obj, err := w.popObject(t, f, in.Line)
 			if err != nil {
 				return err
 			}
-			if obj.Fields == nil {
-				obj.Fields = map[string]Value{}
+			obj.SetField(in.S, v)
+			if w.Trace != nil {
+				w.trace(t, "setfield", in.Line, in.S+" = "+v.display())
 			}
-			obj.Fields[in.S] = v
-			w.trace(t, "setfield", in.Line, in.S+" = "+v.display())
 			f.ip++
 		case OpBinary:
-			rhs := w.pop(f)
-			lhs := w.pop(f)
+			rhs := t.pop(f)
+			lhs := t.pop(f)
 			v, err := binaryOp(in.S, lhs, rhs)
 			if err != nil {
 				return &RuntimeError{t.Name, in.Line, err.Error()}
 			}
-			f.stack = append(f.stack, v)
+			t.push(v)
 			f.ip++
 		case OpUnary:
-			v := w.pop(f)
+			v := t.pop(f)
 			r, err := unaryOp(in.S, v)
 			if err != nil {
 				return &RuntimeError{t.Name, in.Line, err.Error()}
 			}
-			f.stack = append(f.stack, r)
+			t.push(r)
 			f.ip++
 		case OpJump:
 			f.ip = in.A
 		case OpJumpIfFalse:
-			v := w.pop(f)
+			v := t.pop(f)
 			b, err := truthy(v)
 			if err != nil {
 				return &RuntimeError{t.Name, in.Line, err.Error()}
@@ -567,45 +703,45 @@ func (w *World) Step(ch Choice) error {
 				f.ip = in.A
 			}
 		case OpPrint:
-			v := w.pop(f)
-			w.output.WriteString(v.display())
+			v := t.pop(f)
+			w.output = append(w.output, v.display()...)
 			if in.A == 1 {
-				w.output.WriteByte('\n')
+				w.output = append(w.output, '\n')
 			}
-			w.trace(t, "print", in.Line, v.display())
+			if w.Trace != nil {
+				w.trace(t, "print", in.Line, v.display())
+			}
 			f.ip++
 		case OpCall:
 			fn := w.prog.Funcs[in.S]
 			if fn == nil {
 				return &RuntimeError{t.Name, in.Line, "undefined function " + in.S}
 			}
-			if w.sem.CoarseLock && len(fn.ExcVars) > 0 {
-				if !w.canAcquire(t.ID, fn.ExcVars) {
+			if w.sem.CoarseLock && len(fn.ExcIdx) > 0 {
+				if !w.canAcquire(t.ID, fn.ExcIdx) {
 					t.block = blockAcquire
-					t.blockFP = fn.ExcVars
+					t.blockFP = append(t.blockFP[:0], fn.ExcIdx...)
 					return nil
 				}
-				w.acquire(t.ID, fn.ExcVars)
+				w.acquire(t.ID, fn.ExcIdx)
 			}
 			t.block = blockNone
-			args := w.popN(f, in.A)
+			args := w.popNScratch(t, f, in.A)
 			if len(args) != len(fn.Params) {
 				return &RuntimeError{t.Name, in.Line, fmt.Sprintf("%s expects %d args, got %d", in.S, len(fn.Params), len(args))}
 			}
-			locals := map[string]Value{}
-			for i, p := range fn.Params {
-				locals[p] = args[i]
-			}
-			nf := &frame{code: fn, locals: locals, self: RefV(-1)}
-			if w.sem.CoarseLock && len(fn.ExcVars) > 0 {
-				nf.heldCall = fn.ExcVars
-			}
 			f.ip++
-			t.frames = append(t.frames, nf)
-			w.trace(t, "call", in.Line, in.S)
+			nf := t.pushFrame(fn, RefV(-1))
+			copy(t.vals[nf.base:nf.base+len(args)], args)
+			if w.sem.CoarseLock && len(fn.ExcIdx) > 0 {
+				nf.heldCall = fn.ExcIdx
+			}
+			if w.Trace != nil {
+				w.trace(t, "call", in.Line, in.S)
+			}
 		case OpCallMethod:
-			args := w.popN(f, in.A)
-			objV := w.pop(f)
+			args := w.popNScratch(t, f, in.A)
+			objV := t.pop(f)
 			ref, ok := objV.(RefV)
 			if !ok || int(ref) < 0 || int(ref) >= len(w.heap) {
 				return &RuntimeError{t.Name, in.Line, "method call on non-object"}
@@ -619,46 +755,51 @@ func (w *World) Step(ch Choice) error {
 			if len(args) != len(m.Params) {
 				return &RuntimeError{t.Name, in.Line, fmt.Sprintf("%s expects %d args, got %d", in.S, len(m.Params), len(args))}
 			}
-			locals := map[string]Value{}
-			for i, p := range m.Params {
-				locals[p] = args[i]
-			}
 			f.ip++
 			if m.IsReceiver {
 				// Starting a receiver spawns a persistent task on the object.
-				w.spawn(obj.Class+"."+in.S+"@"+fmt.Sprint(int(ref)), t.ID, m, locals, ref)
-				f.stack = append(f.stack, NullV{})
-				w.trace(t, "start-receiver", in.Line, in.S)
+				nt := w.spawn(obj.Class+"."+in.S+"@"+strconv.Itoa(int(ref)), t.ID, m, ref)
+				copy(nt.vals[:len(args)], args)
+				t.push(NullV{})
+				if w.Trace != nil {
+					w.trace(t, "start-receiver", in.Line, in.S)
+				}
 			} else {
-				t.frames = append(t.frames, &frame{code: m, locals: locals, self: ref})
-				w.trace(t, "call", in.Line, in.S)
+				nf := t.pushFrame(m, ref)
+				copy(t.vals[nf.base:nf.base+len(args)], args)
+				if w.Trace != nil {
+					w.trace(t, "call", in.Line, in.S)
+				}
 			}
 		case OpReturn:
-			ret := w.pop(f)
+			ret := t.pop(f)
 			if len(f.heldCall) > 0 {
 				w.release(t.ID, f.heldCall)
 			}
+			base := f.base
 			t.frames = t.frames[:len(t.frames)-1]
-			if top := t.top(); top != nil {
-				top.stack = append(top.stack, ret)
+			t.vals = t.vals[:base]
+			if len(t.frames) > 0 {
+				t.push(ret)
 			} else {
 				w.taskExit(t)
 				return nil
 			}
 		case OpPop:
-			w.pop(f)
+			t.pop(f)
 			f.ip++
 		case OpMakeMsg:
-			args := w.popN(f, in.A)
-			f.stack = append(f.stack, MsgV{Name: in.S, Args: args})
+			args := t.popN(f, in.A)
+			t.push(MsgV{Name: in.S, Args: args})
 			f.ip++
 		case OpNew:
-			w.heap = append(w.heap, &Object{Class: in.S, Fields: map[string]Value{}})
-			f.stack = append(f.stack, RefV(len(w.heap)-1))
+			w.heap = append(w.heap, &Object{Class: in.S})
+			w.mail = append(w.mail, nil)
+			t.push(RefV(len(w.heap) - 1))
 			f.ip++
 		case OpSend:
-			tgt := w.pop(f)
-			msg := w.pop(f)
+			tgt := t.pop(f)
+			msg := t.pop(f)
 			ref, ok := tgt.(RefV)
 			if !ok || int(ref) < 0 || int(ref) >= len(w.heap) {
 				return &RuntimeError{t.Name, in.Line, "Send target is not an object"}
@@ -668,8 +809,10 @@ func (w *World) Step(ch Choice) error {
 				return &RuntimeError{t.Name, in.Line, "Send argument is not a MESSAGE"}
 			}
 			w.msgSeq++
-			w.mail[int(ref)] = append(w.mail[int(ref)], mailEntry{seq: w.msgSeq, msg: mv})
-			w.trace(t, "send", in.Line, mv.display())
+			w.mail[int(ref)] = append(w.mail[int(ref)], mailEntry{seq: w.msgSeq, msg: mv, enc: encodeValue(mv)})
+			if w.Trace != nil {
+				w.trace(t, "send", in.Line, mv.display())
+			}
 			f.ip++
 			if w.sem.SendSynchronous {
 				t.block = blockRendezvous
@@ -677,51 +820,58 @@ func (w *World) Step(ch Choice) error {
 				return nil
 			}
 		case OpAcquire:
-			fp := w.prog.Footprints[in.A]
+			fp := w.prog.FootprintIdx[in.A]
 			if t.block == blockAcquire || t.block == blockNone {
 				if !w.canAcquire(t.ID, fp) {
 					t.block = blockAcquire
-					t.blockFP = fp
-					w.trace(t, "block-acquire", in.Line, strings.Join(fp, ","))
+					t.blockFP = append(t.blockFP[:0], fp...)
+					if w.Trace != nil {
+						w.trace(t, "block-acquire", in.Line, w.lockNames(fp))
+					}
 					return nil
 				}
 			}
 			w.acquire(t.ID, fp)
 			t.block = blockNone
-			t.blockFP = nil
-			w.trace(t, "acquire", in.Line, strings.Join(fp, ","))
+			t.blockFP = t.blockFP[:0]
+			if w.Trace != nil {
+				w.trace(t, "acquire", in.Line, w.lockNames(fp))
+			}
 			f.ip++
 		case OpRelease:
-			fp := w.prog.Footprints[in.A]
+			fp := w.prog.FootprintIdx[in.A]
 			w.release(t.ID, fp)
-			w.trace(t, "release", in.Line, strings.Join(fp, ","))
+			if w.Trace != nil {
+				w.trace(t, "release", in.Line, w.lockNames(fp))
+			}
 			f.ip++
 		case OpWait:
-			fp := w.prog.Footprints[in.A]
 			switch t.block {
 			case blockNone:
-				releaseSet := fp
+				releaseSet := w.prog.FootprintIdx[in.A]
 				if w.sem.CoarseLock {
 					// Under the S7 model the lock spans the whole call, so a
 					// coherent WAIT must release every level the task holds
-					// (and re-acquire the same multiset on wakeup).
+					// (and re-acquire the same multiset on wakeup). Slot order
+					// keeps the multiset canonical.
 					releaseSet = nil
-					for v, ls := range w.locks {
-						if ls.holder == t.ID {
+					for s := range w.locks {
+						if ls := &w.locks[s]; ls.depth > 0 && ls.holder == t.ID {
 							for d := 0; d < ls.depth; d++ {
-								releaseSet = append(releaseSet, v)
+								releaseSet = append(releaseSet, s)
 							}
 						}
 					}
-					sort.Strings(releaseSet)
 				}
 				if !w.sem.WaitKeepsLock {
 					w.release(t.ID, releaseSet)
 				}
 				t.block = blockWaitNotify
-				t.blockFP = releaseSet
+				t.blockFP = append(t.blockFP[:0], releaseSet...)
 				w.waiters = append(w.waiters, t.ID)
-				w.trace(t, "wait", in.Line, strings.Join(releaseSet, ","))
+				if w.Trace != nil {
+					w.trace(t, "wait", in.Line, w.lockNames(releaseSet))
+				}
 				return nil
 			case blockReacquire:
 				// Woken by NOTIFY; re-acquire and continue after WAIT().
@@ -730,8 +880,10 @@ func (w *World) Step(ch Choice) error {
 					w.acquire(t.ID, t.blockFP)
 				}
 				t.block = blockNone
-				t.blockFP = nil
-				w.trace(t, "wake", in.Line, "")
+				t.blockFP = t.blockFP[:0]
+				if w.Trace != nil {
+					w.trace(t, "wake", in.Line, "")
+				}
 				f.ip++
 			default:
 				return &RuntimeError{t.Name, in.Line, "invalid wait state"}
@@ -741,11 +893,13 @@ func (w *World) Step(ch Choice) error {
 			f.ip++
 		case OpPara:
 			children := w.prog.ParaBlocks[in.A]
-			for i, child := range children {
-				w.spawn(fmt.Sprintf("%s#%d", child.Name, i), t.ID, child, nil, f.self)
+			for _, child := range children {
+				w.spawn(child.spawnName, t.ID, child, f.self)
 			}
 			t.children = len(children)
-			w.trace(t, "para", in.Line, fmt.Sprintf("%d tasks", len(children)))
+			if w.Trace != nil {
+				w.trace(t, "para", in.Line, fmt.Sprintf("%d tasks", len(children)))
+			}
 			f.ip++
 		case OpParaJoin:
 			if t.children > 0 {
@@ -753,7 +907,9 @@ func (w *World) Step(ch Choice) error {
 				return nil
 			}
 			t.block = blockNone
-			w.trace(t, "join", in.Line, "")
+			if w.Trace != nil {
+				w.trace(t, "join", in.Line, "")
+			}
 			f.ip++
 		case OpReceive:
 			table := w.prog.RecvTables[in.A]
@@ -778,12 +934,14 @@ func (w *World) Step(ch Choice) error {
 					}
 				}
 			}
-			cl := table.Clauses[cand.clauseIdx]
-			for i, p := range cl.Params {
-				f.locals[p] = entry.msg.Args[i]
+			cl := &table.Clauses[cand.clauseIdx]
+			for i, slot := range cl.ParamSlots {
+				t.vals[f.base+slot] = entry.msg.Args[i]
 			}
 			t.block = blockNone
-			w.trace(t, "receive", in.Line, entry.msg.display())
+			if w.Trace != nil {
+				w.trace(t, "receive", in.Line, entry.msg.display())
+			}
 			f.ip = cl.Target
 		default:
 			return &RuntimeError{t.Name, in.Line, "unknown opcode " + in.Op.String()}
@@ -793,7 +951,9 @@ func (w *World) Step(ch Choice) error {
 
 func (w *World) notifyWaiters(t *Task, line int) {
 	if len(w.waiters) == 0 {
-		w.trace(t, "notify", line, "no waiters")
+		if w.Trace != nil {
+			w.trace(t, "notify", line, "no waiters")
+		}
 		return
 	}
 	wake := w.waiters
@@ -801,7 +961,7 @@ func (w *World) notifyWaiters(t *Task, line int) {
 		wake = w.waiters[:1]
 		w.waiters = append([]int(nil), w.waiters[1:]...)
 	} else {
-		w.waiters = nil
+		w.waiters = w.waiters[:0]
 	}
 	for _, id := range wake {
 		for _, wt := range w.Tasks {
@@ -810,7 +970,9 @@ func (w *World) notifyWaiters(t *Task, line int) {
 			}
 		}
 	}
-	w.trace(t, "notify", line, fmt.Sprintf("woke %d", len(wake)))
+	if w.Trace != nil {
+		w.trace(t, "notify", line, fmt.Sprintf("woke %d", len(wake)))
+	}
 }
 
 func (w *World) taskExit(t *Task) {
@@ -818,16 +980,14 @@ func (w *World) taskExit(t *Task) {
 		return
 	}
 	t.Done = true
-	w.trace(t, "exit", 0, "")
-	// Release anything still held (defensive; balanced programs hold nothing).
-	var held []string
-	for v, ls := range w.locks {
-		if ls.holder == t.ID {
-			held = append(held, v)
-		}
+	if w.Trace != nil {
+		w.trace(t, "exit", 0, "")
 	}
-	for _, v := range held {
-		delete(w.locks, v)
+	// Release anything still held (defensive; balanced programs hold nothing).
+	for s := range w.locks {
+		if ls := &w.locks[s]; ls.depth > 0 && ls.holder == t.ID {
+			ls.depth = 0
+		}
 	}
 	if t.Parent >= 0 {
 		for _, pt := range w.Tasks {
@@ -849,28 +1009,21 @@ func (w *World) trace(t *Task, op string, line int, detail string) {
 	}
 }
 
-func (w *World) pop(f *frame) Value {
-	if len(f.stack) == 0 {
-		return NullV{}
+// popNScratch pops n values into a reused buffer (for call argument binding,
+// where the values are copied into frame locals immediately).
+func (w *World) popNScratch(t *Task, f *frame, n int) []Value {
+	if cap(w.scrArgs) < n {
+		w.scrArgs = make([]Value, n)
 	}
-	v := f.stack[len(f.stack)-1]
-	f.stack = f.stack[:len(f.stack)-1]
-	return v
-}
-
-func (w *World) popN(f *frame, n int) []Value {
-	if n == 0 {
-		return nil
-	}
-	vals := make([]Value, n)
+	vals := w.scrArgs[:n]
 	for i := n - 1; i >= 0; i-- {
-		vals[i] = w.pop(f)
+		vals[i] = t.pop(f)
 	}
 	return vals
 }
 
 func (w *World) popObject(t *Task, f *frame, line int) (*Object, error) {
-	v := w.pop(f)
+	v := t.pop(f)
 	ref, ok := v.(RefV)
 	if !ok || int(ref) < 0 || int(ref) >= len(w.heap) {
 		return nil, &RuntimeError{t.Name, line, "not an object"}
@@ -878,45 +1031,29 @@ func (w *World) popObject(t *Task, f *frame, line int) (*Object, error) {
 	return w.heap[ref], nil
 }
 
-// load resolves a name: locals → method self fields → globals. Loads in the
-// main (top-level) frame read globals directly.
-func (w *World) load(t *Task, f *frame, name string, line int) (Value, error) {
-	if v, ok := f.locals[name]; ok {
-		return v, nil
-	}
-	if int(f.self) >= 0 {
-		if v, ok := w.heap[f.self].Fields[name]; ok {
-			return v, nil
-		}
-	}
-	if v, ok := w.Globals[name]; ok {
-		return v, nil
-	}
-	return nil, &RuntimeError{t.Name, line, "undefined variable " + name}
-}
-
 // store resolves an assignment target: existing local → method self field →
-// existing global → new binding (global at top level, local otherwise).
-func (w *World) store(t *Task, f *frame, name string, v Value) {
-	if _, ok := f.locals[name]; ok {
-		f.locals[name] = v
+// existing global → new binding (global at top level, local otherwise). The
+// compiler pre-resolved the local and global slots.
+func (w *World) store(t *Task, f *frame, in Instr, v Value) {
+	if in.L >= 0 && t.vals[f.base+in.L] != nil {
+		t.vals[f.base+in.L] = v
 		return
 	}
 	if int(f.self) >= 0 {
-		if _, ok := w.heap[f.self].Fields[name]; ok {
-			w.heap[f.self].Fields[name] = v
+		if w.heap[f.self].Field(in.S) != nil {
+			w.heap[f.self].SetField(in.S, v)
 			return
 		}
 	}
-	if _, ok := w.Globals[name]; ok {
-		w.Globals[name] = v
+	if in.G >= 0 && w.globals[in.G] != nil {
+		w.globals[in.G] = v
 		return
 	}
 	if f.code == w.prog.Main {
-		w.Globals[name] = v
+		w.globals[in.G] = v
 		return
 	}
-	f.locals[name] = v
+	t.vals[f.base+in.L] = v
 }
 
 // --- Terminal classification ---
@@ -983,9 +1120,19 @@ func (w *World) effectiveBlock(t *Task) blockKind {
 
 // Classify reports whether the world is terminal and how.
 func (w *World) Classify() TerminalKind {
-	if len(w.Runnable()) > 0 {
-		return NotTerminal
+	// Early-out without materializing the choice list: predicates call
+	// Classify at every explored state.
+	for _, t := range w.Tasks {
+		if w.taskOptions(t) > 0 {
+			return NotTerminal
+		}
 	}
+	return w.classifyBlocked()
+}
+
+// classifyBlocked classifies a world already known to have no runnable
+// choices (the explorer computes Runnable once and reuses it).
+func (w *World) classifyBlocked() TerminalKind {
 	allDone := true
 	onlyReceivers := true
 	for _, t := range w.Tasks {
@@ -1022,101 +1169,147 @@ func (w *World) BlockedTasks() []string {
 // Encode produces a canonical string for state memoization: globals, heap,
 // mailboxes (as multisets under bag delivery, sequences under FIFO), tasks
 // (code, ip, locals, stack, block state), locks, waiters, and output.
-func (w *World) Encode() string {
-	var b strings.Builder
-	b.WriteString("G{")
-	keys := make([]string, 0, len(w.Globals))
-	for k := range w.Globals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%q=", k)
-		w.Globals[k].encode(&b)
-		b.WriteByte(';')
-	}
-	b.WriteString("}H[")
-	for i, o := range w.heap {
-		fmt.Fprintf(&b, "%d:", i)
-		o.encode(&b)
-		// Mailbox lives in w.mail, encode here per object.
-		box := w.mail[i]
-		if w.sem.FIFOMailboxes {
-			b.WriteByte('<')
-			for _, e := range box {
-				e.msg.encode(&b)
-				b.WriteByte('|')
-			}
-			b.WriteByte('>')
-		} else {
-			enc := make([]string, len(box))
-			for j, e := range box {
-				enc[j] = encodeValue(e.msg)
-			}
-			sort.Strings(enc)
-			b.WriteByte('<')
-			b.WriteString(strings.Join(enc, "|"))
-			b.WriteByte('>')
+func (w *World) Encode() string { return string(w.appendEncode(nil)) }
+
+// appendEncode appends the canonical state encoding to b. The format is
+// binary: one-byte section tags, count-prefixed lists, and self-delimiting
+// value encodings — no quoting or decimal formatting. The explorer streams
+// it through a reused buffer and hashes it, so the encoding itself is never
+// retained per state.
+func (w *World) appendEncode(b []byte) []byte {
+	b = append(b, 'G')
+	ng := 0
+	for _, v := range w.globals {
+		if v != nil {
+			ng++
 		}
 	}
-	b.WriteString("]T[")
-	for _, t := range w.Tasks {
-		fmt.Fprintf(&b, "%d%q:", t.ID, t.Name)
-		if t.Done {
-			b.WriteString("done;")
+	b = appendU32(b, uint32(ng))
+	for i, v := range w.globals {
+		if v == nil {
 			continue
 		}
-		fmt.Fprintf(&b, "blk%d/%d/", int(t.block), t.children)
-		b.WriteString(strings.Join(t.blockFP, ","))
-		b.WriteByte('/')
+		b = appendU32(b, uint32(i))
+		b = v.encode(b)
+	}
+	b = append(b, 'H')
+	b = appendU32(b, uint32(len(w.heap)))
+	for i, o := range w.heap {
+		b = o.encode(b)
+		// Mailbox lives in w.mail, encode here per object.
+		box := w.mail[i]
+		b = appendU32(b, uint32(len(box)))
+		if w.sem.FIFOMailboxes || len(box) < 2 {
+			for e := range box {
+				b = append(b, box[e].enc...)
+			}
+		} else {
+			// Bag delivery: mailbox content is a multiset — encode the
+			// entries in sorted order so arrival order doesn't split states.
+			encs := w.scrEncs[:0]
+			for e := range box {
+				encs = append(encs, box[e].enc)
+			}
+			for x := 1; x < len(encs); x++ {
+				for y := x; y > 0 && encs[y] < encs[y-1]; y-- {
+					encs[y], encs[y-1] = encs[y-1], encs[y]
+				}
+			}
+			for _, e := range encs {
+				b = append(b, e...)
+			}
+			w.scrEncs = encs[:0]
+		}
+	}
+	b = append(b, 'T')
+	b = appendU32(b, uint32(len(w.Tasks)))
+	for _, t := range w.Tasks {
+		b = appendU32(b, uint32(t.ID))
+		b = appendStr(b, t.Name)
+		if t.Done {
+			b = append(b, 1)
+			continue
+		}
+		b = append(b, 0, byte(t.block))
+		b = appendU32(b, uint32(t.children))
+		b = appendU32(b, uint32(len(t.blockFP)))
+		for _, s := range t.blockFP {
+			b = appendU32(b, uint32(s))
+		}
 		if t.block == blockRendezvous {
 			// Encode the awaited message by content (seq numbers are
 			// path-dependent and would defeat memoization).
-			for oid := 0; oid < len(w.heap); oid++ {
-				for _, e := range w.mail[oid] {
-					if e.seq == t.blockSeq {
-						fmt.Fprintf(&b, "rdv%d:", oid)
-						e.msg.encode(&b)
+			found := false
+			for oid := 0; oid < len(w.heap) && !found; oid++ {
+				for e := range w.mail[oid] {
+					if w.mail[oid][e].seq == t.blockSeq {
+						b = append(b, 1)
+						b = appendU32(b, uint32(oid))
+						b = append(b, w.mail[oid][e].enc...)
+						found = true
+						break
 					}
 				}
 			}
+			if !found {
+				b = append(b, 0)
+			}
 		}
-		for _, f := range t.frames {
-			fmt.Fprintf(&b, "(%q@%d self%d L{", f.code.Name, f.ip, int(f.self))
-			lk := make([]string, 0, len(f.locals))
-			for k := range f.locals {
-				lk = append(lk, k)
+		b = appendU32(b, uint32(len(t.frames)))
+		for fi := range t.frames {
+			f := &t.frames[fi]
+			end := len(t.vals)
+			if fi+1 < len(t.frames) {
+				end = t.frames[fi+1].base
 			}
-			sort.Strings(lk)
-			for _, k := range lk {
-				fmt.Fprintf(&b, "%q=", k)
-				f.locals[k].encode(&b)
-				b.WriteByte(';')
+			b = appendU32(b, uint32(f.code.id))
+			b = appendU32(b, uint32(f.ip))
+			b = appendU32(b, uint32(int32(f.self)))
+			locals := t.vals[f.base : f.base+f.code.NumLocals]
+			nl := 0
+			for _, v := range locals {
+				if v != nil {
+					nl++
+				}
 			}
-			b.WriteString("}S{")
-			for _, v := range f.stack {
-				v.encode(&b)
-				b.WriteByte(';')
+			b = appendU32(b, uint32(nl))
+			for i, v := range locals {
+				if v == nil {
+					continue
+				}
+				b = appendU32(b, uint32(i))
+				b = v.encode(b)
 			}
-			b.WriteString("})")
+			stack := t.vals[f.base+f.code.NumLocals : end]
+			b = appendU32(b, uint32(len(stack)))
+			for _, v := range stack {
+				b = v.encode(b)
+			}
 		}
-		b.WriteByte(';')
 	}
-	b.WriteString("]L{")
-	lkeys := make([]string, 0, len(w.locks))
-	for k := range w.locks {
-		lkeys = append(lkeys, k)
+	b = append(b, 'L')
+	nh := 0
+	for i := range w.locks {
+		if w.locks[i].depth > 0 {
+			nh++
+		}
 	}
-	sort.Strings(lkeys)
-	for _, k := range lkeys {
-		ls := w.locks[k]
-		fmt.Fprintf(&b, "%q=%d/%d;", k, ls.holder, ls.depth)
+	b = appendU32(b, uint32(nh))
+	for i := range w.locks {
+		if w.locks[i].depth == 0 {
+			continue
+		}
+		b = appendU32(b, uint32(i))
+		b = appendU32(b, uint32(w.locks[i].holder))
+		b = appendU32(b, uint32(w.locks[i].depth))
 	}
-	b.WriteString("}W[")
+	b = append(b, 'W')
+	b = appendU32(b, uint32(len(w.waiters)))
 	for _, id := range w.waiters {
-		fmt.Fprintf(&b, "%d,", id)
+		b = appendU32(b, uint32(id))
 	}
-	b.WriteString("]O")
-	fmt.Fprintf(&b, "%q", w.output.String())
-	return b.String()
+	b = append(b, 'Z')
+	b = appendU32(b, uint32(len(w.output)))
+	b = append(b, w.output...)
+	return b
 }

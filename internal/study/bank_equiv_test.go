@@ -1,0 +1,34 @@
+package study
+
+import (
+	"testing"
+
+	"repro/internal/pseudocode"
+)
+
+// The production bank build uses POR + parallel workers; its ground truths
+// must match a bank built with the plain sequential reference explorer
+// bit for bit. This is the study-level counterpart of the explorer's
+// equivalence sweep.
+func TestFastBankMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference bank build explores the full message bridge")
+	}
+	ref, err := buildBank(pseudocode.ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := buildBank(fastExploreOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Questions) != len(fast.Questions) {
+		t.Fatalf("question counts differ: %d vs %d", len(ref.Questions), len(fast.Questions))
+	}
+	for i := range ref.Questions {
+		r, f := ref.Questions[i], fast.Questions[i]
+		if r.ID != f.ID || r.Truth != f.Truth {
+			t.Errorf("question %s: reference truth %v, fast truth %v", r.ID, r.Truth, f.Truth)
+		}
+	}
+}

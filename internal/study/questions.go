@@ -2,6 +2,7 @@ package study
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/pseudocode"
@@ -210,8 +211,8 @@ func intGlobal(w *pseudocode.World, name string) int64 {
 // matches name.
 func carField(w *pseudocode.World, carName, field string) int64 {
 	for _, o := range w.ObjectsByClass("Car") {
-		if n, ok := o.Fields["carname"].(pseudocode.StrV); ok && string(n) == carName {
-			if v, ok := o.Fields[field].(pseudocode.IntV); ok {
+		if n, ok := o.Field("carname").(pseudocode.StrV); ok && string(n) == carName {
+			if v, ok := o.Field(field).(pseudocode.IntV); ok {
 				return int64(v)
 			}
 			return 0
@@ -225,7 +226,7 @@ func bridgeField(w *pseudocode.World, field string) int64 {
 	if len(bs) == 0 {
 		return 0
 	}
-	if v, ok := bs[0].Fields[field].(pseudocode.IntV); ok {
+	if v, ok := bs[0].Field(field).(pseudocode.IntV); ok {
 		return int64(v)
 	}
 	return 0
@@ -410,14 +411,25 @@ var (
 
 // BuildBank computes ground truths for every question by exploring each
 // section's program once with all of that section's predicates. The result
-// is cached process-wide (explorations of the message-passing bridge take
-// seconds).
+// is cached process-wide. Exploration runs with partial-order reduction and
+// parallel workers — configurations the equivalence tests pin to the plain
+// sequential search — so regenerating the bank takes well under a second
+// where the reference explorer took seconds.
 func BuildBank() (*Bank, error) {
-	bankOnce.Do(func() { bankVal, bankErr = buildBank() })
+	bankOnce.Do(func() { bankVal, bankErr = buildBank(fastExploreOpts()) })
 	return bankVal, bankErr
 }
 
-func buildBank() (*Bank, error) {
+// fastExploreOpts is the production search configuration for ground truths.
+func fastExploreOpts() pseudocode.ExploreOpts {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	return pseudocode.ExploreOpts{POR: true, Workers: workers}
+}
+
+func buildBank(base pseudocode.ExploreOpts) (*Bank, error) {
 	qs := questionDefs()
 	for _, section := range []struct {
 		sec Section
@@ -431,7 +443,9 @@ func buildBank() (*Bank, error) {
 				preds = append(preds, qs[i].pred)
 			}
 		}
-		res, err := pseudocode.ExploreSource(section.src, pseudocode.ExploreOpts{Predicates: preds})
+		opts := base
+		opts.Predicates = preds
+		res, err := pseudocode.ExploreSource(section.src, opts)
 		if err != nil {
 			return nil, fmt.Errorf("study: exploring %s section: %w", section.sec, err)
 		}
